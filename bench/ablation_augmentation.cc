@@ -1,0 +1,48 @@
+// Extension implementing the paper's §7 "Limitations" direction: a data
+// augmentation process to reduce false positives on rarely-appearing
+// normal patterns. Training sessions are augmented with their own
+// swap/remove mutations (which are normal by construction); the bench
+// compares FPR/F1 with and without augmentation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+
+int main() {
+  using namespace ucad;  // NOLINT
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner(
+      "Extension: training-data augmentation (paper §7 future work)", scale);
+
+  util::TablePrinter table({"Variant", "FPR(V1)", "FPR(V2)", "FPR(V3)",
+                            "Recall", "F1"});
+  for (int augment : {0, 2}) {
+    eval::ScenarioConfig config =
+        bench::SweepSized(eval::ScenarioIConfig(scale), scale);
+    config.dataset.augment_per_session = augment;
+    const eval::ScenarioDataset ds =
+        eval::BuildScenarioDataset(config.spec, config.dataset);
+    const eval::TransDasRun run = eval::RunTransDas(
+        ds, config.model, config.training, config.detection, ds.train);
+    const std::string label =
+        augment == 0 ? "No augmentation"
+                     : "+" + std::to_string(augment) + " mutations/session";
+    table.AddRow(label,
+                 {run.metrics.Rate(sql::SessionLabel::kNormal),
+                  run.metrics.Rate(sql::SessionLabel::kNormalSwapped),
+                  run.metrics.Rate(sql::SessionLabel::kNormalReduced),
+                  run.metrics.recall, run.metrics.f1});
+    std::printf("  %-24s FPR(V1) %.5f F1 %.5f (train %zu sessions)\n",
+                label.c_str(), run.metrics.Rate(sql::SessionLabel::kNormal),
+                run.metrics.f1, ds.train.size());
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "expected shape: augmentation lowers the FPR on the swapped/reduced\n"
+      "normal variants (the model sees more of the normal manifold) at\n"
+      "little or no recall cost.\n");
+  return 0;
+}

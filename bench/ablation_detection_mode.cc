@@ -1,0 +1,83 @@
+// Ablation for the detection-mode design choice (DESIGN.md §4): the
+// paper's §5.3 scores one operation per forward pass over its preceding
+// window; the default detector scores a full window per pass (bidirectional
+// training-consistent context). This bench measures their verdict
+// agreement and the wall-clock speedup.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ucad;  // NOLINT
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Ablation: batched vs per-operation detection", scale);
+
+  eval::ScenarioConfig config =
+      bench::SweepSized(eval::ScenarioIConfig(scale), scale);
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  transdas::TransDasConfig model_config = config.model;
+  model_config.vocab_size = ds.vocab.size();
+  util::Rng rng(77);
+  transdas::TransDasModel model(model_config, &rng);
+  transdas::TransDasTrainer trainer(&model, config.training);
+  trainer.Train(ds.train);
+
+  transdas::DetectorOptions batched_options = config.detection;
+  batched_options.batched = true;
+  transdas::DetectorOptions per_op_options = config.detection;
+  per_op_options.batched = false;
+  transdas::TransDasDetector batched(&model, batched_options);
+  transdas::TransDasDetector per_op(&model, per_op_options);
+
+  // Verdict agreement + timing over the normal and stealthy sets.
+  int sessions = 0, agree = 0;
+  double batched_seconds = 0.0, per_op_seconds = 0.0;
+  double batched_f1 = 0.0, per_op_f1 = 0.0;
+  {
+    util::Timer t;
+    batched_f1 = eval::Evaluate(
+                     [&](const std::vector<int>& s) {
+                       return batched.DetectSession(s).abnormal;
+                     },
+                     ds.TestSets())
+                     .f1;
+    batched_seconds = t.ElapsedSeconds();
+  }
+  {
+    util::Timer t;
+    per_op_f1 = eval::Evaluate(
+                    [&](const std::vector<int>& s) {
+                      return per_op.DetectSession(s).abnormal;
+                    },
+                    ds.TestSets())
+                    .f1;
+    per_op_seconds = t.ElapsedSeconds();
+  }
+  for (const auto& set : ds.TestSets()) {
+    for (const auto& s : set.sessions) {
+      ++sessions;
+      agree += batched.DetectSession(s).abnormal ==
+                       per_op.DetectSession(s).abnormal
+                   ? 1
+                   : 0;
+    }
+  }
+
+  util::TablePrinter table({"Mode", "F1", "Detection time (s)"});
+  table.AddRow("Batched (default)", {batched_f1, batched_seconds});
+  table.AddRow("Per-op (paper §5.3)", {per_op_f1, per_op_seconds});
+  table.Print(std::cout);
+  std::printf(
+      "\nverdict agreement: %d/%d sessions (%.1f%%), speedup %.1fx\n",
+      agree, sessions, 100.0 * agree / sessions,
+      per_op_seconds / std::max(1e-9, batched_seconds));
+  return 0;
+}

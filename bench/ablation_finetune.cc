@@ -1,0 +1,124 @@
+// Ablation for the concept-drift strategy of §5.2: when user behavior
+// drifts, compare (a) keeping the stale model, (b) fine-tuning it on newly
+// verified normal sessions (the paper's strategy), and (c) training a
+// fresh model on the new sessions only. The paper argues fine-tuning
+// retains historical patterns while adapting; retraining from scratch is
+// constrained by the small amount of new data.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+/// Evaluates one model on both behavioral regimes.
+struct RegimeF1 {
+  double old_regime = 0.0;
+  double new_regime = 0.0;
+};
+
+RegimeF1 Evaluate(transdas::TransDasModel* model,
+                  const transdas::DetectorOptions& options,
+                  const eval::ScenarioDataset& old_ds,
+                  const eval::ScenarioDataset& new_ds) {
+  transdas::TransDasDetector detector(model, options);
+  auto classify = [&detector](const std::vector<int>& s) {
+    return detector.DetectSession(s).abnormal;
+  };
+  RegimeF1 out;
+  out.old_regime = eval::Evaluate(classify, old_ds.TestSets()).f1;
+  out.new_regime = eval::Evaluate(classify, new_ds.TestSets()).f1;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner(
+      "Ablation: concept drift — stale vs fine-tuned vs retrained (§5.2)",
+      scale);
+
+  eval::ScenarioConfig config =
+      bench::SweepSized(eval::ScenarioIConfig(scale), scale);
+
+  // Old regime: the stock commenting scenario. New regime: user habits
+  // drift — posting dominates watching and moderation triples.
+  workload::ScenarioSpec drifted = config.spec;
+  drifted.tasks[0].weight = 1.0;  // watch: 3.0 -> 1.0
+  drifted.tasks[1].weight = 4.0;  // post:  3.0 -> 4.0
+  drifted.tasks[3].weight = 1.5;  // moderate: 0.5 -> 1.5
+  // Habit chains shift too: after posting, users keep posting.
+  drifted.task_transitions[1] = {0.20, 0.45, 0.20, 0.05, 0.05, 0.05};
+
+  const eval::ScenarioDataset old_ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  eval::DatasetOptions new_options = config.dataset;
+  new_options.seed += 17;
+  new_options.normal_sessions = config.dataset.normal_sessions / 3;
+  const eval::ScenarioDataset new_ds =
+      eval::BuildScenarioDataset(drifted, new_options);
+
+  // NOTE: both datasets build their own vocabulary; the drifted scenario
+  // uses the same statement families, so the template sets match and we
+  // can evaluate one model on both (keys are assigned in generation order,
+  // which is deterministic per spec).
+  transdas::TransDasConfig model_config = config.model;
+  model_config.vocab_size =
+      std::max(old_ds.vocab.size(), new_ds.vocab.size());
+
+  util::TablePrinter table(
+      {"Strategy", "F1 (old regime)", "F1 (new regime)"});
+  auto add = [&table](const char* name, const RegimeF1& r) {
+    table.AddRow(name, {r.old_regime, r.new_regime});
+    std::printf("  %-22s old %.5f new %.5f\n", name, r.old_regime,
+                r.new_regime);
+  };
+
+  // (a) Stale model: trained on the old regime only.
+  util::Rng rng(2024);
+  transdas::TransDasModel stale(model_config, &rng);
+  {
+    transdas::TransDasTrainer trainer(&stale, config.training);
+    trainer.Train(old_ds.train);
+  }
+  add("Stale (no update)", Evaluate(&stale, config.detection, old_ds, new_ds));
+
+  // (b) Fine-tuned: the paper's strategy — short low-LR run on new data.
+  util::Rng rng2(2024);
+  transdas::TransDasModel tuned(model_config, &rng2);
+  {
+    transdas::TransDasTrainer trainer(&tuned, config.training);
+    trainer.Train(old_ds.train);
+    trainer.FineTune(new_ds.train, /*epochs=*/std::max(
+                         2, config.training.epochs / 6),
+                     /*lr_scale=*/0.3f);
+  }
+  add("Fine-tuned (paper)",
+      Evaluate(&tuned, config.detection, old_ds, new_ds));
+
+  // (c) Retrained from scratch on the (small) new dataset only.
+  util::Rng rng3(2024);
+  transdas::TransDasModel fresh(model_config, &rng3);
+  {
+    transdas::TransDasTrainer trainer(&fresh, config.training);
+    trainer.Train(new_ds.train);
+  }
+  add("Retrained on new only",
+      Evaluate(&fresh, config.detection, old_ds, new_ds));
+
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "expected shape (paper §5.2): the stale model degrades on the new\n"
+      "regime; retraining on the small new batch forgets the old regime;\n"
+      "fine-tuning holds up on both.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Extension stressing the paper's §7 adversarial-examples discussion: a
+// mimicry attacker (Wagner & Soto [80]) cannot craft arbitrary SQL — only
+// reuse legitimate statement templates — and tries to disguise the
+// injected operation by wrapping it in the context it normally appears in.
+// The bench compares detection of naive A2 injections vs context-wrapped
+// (mimicry) injections.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "workload/anomaly.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+/// Wraps each injected operation with the operations that legitimately
+/// precede/follow it in the moderation flow (mimicry): the attacker
+/// prepends the select that normally precedes the delete.
+sql::RawSession MimicryInjection(const workload::SessionGenerator& generator,
+                                 const sql::RawSession& base,
+                                 util::Rng* rng) {
+  sql::RawSession out = base;
+  out.label = sql::SessionLabel::kCredentialTheft;
+  // The stealthy delete plus its usual context prologue.
+  std::vector<std::string> block = {
+      generator.RealizeByName("sel_rm_mac", rng),
+      generator.RealizeByName("ins_rm_mac", rng),
+      generator.RealizeByName("del_rm_mac_abnormal", rng),
+  };
+  const size_t pos = 1 + rng->UniformU64(out.operations.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    sql::OperationRecord op;
+    op.sql = block[i];
+    op.injected = true;
+    out.operations.insert(out.operations.begin() + pos + i, std::move(op));
+  }
+  int64_t offset = 0;
+  for (auto& op : out.operations) {
+    op.time_offset_s = offset;
+    offset += rng->UniformInt(1, 20);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Extension: mimicry attacker (paper §7 discussion)", scale);
+
+  eval::ScenarioConfig config =
+      bench::SweepSized(eval::ScenarioIConfig(scale), scale);
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+
+  workload::SessionGenerator generator(config.spec);
+  workload::AnomalySynthesizer synthesizer(&generator);
+  util::Rng rng(4242);
+
+  // Train one detector.
+  transdas::TransDasConfig model_config = config.model;
+  model_config.vocab_size = ds.vocab.size();
+  util::Rng model_rng(1234);
+  transdas::TransDasModel model(model_config, &model_rng);
+  transdas::TransDasTrainer trainer(&model, config.training);
+  trainer.Train(ds.train);
+  transdas::TransDasDetector detector(&model, config.detection);
+
+  auto detect_rate = [&](const std::vector<sql::RawSession>& sessions) {
+    int caught = 0;
+    for (const auto& raw : sessions) {
+      const sql::KeySession keys = sql::TokenizeSessionFrozen(raw, ds.vocab);
+      caught += detector.DetectSession(keys.keys).abnormal ? 1 : 0;
+    }
+    return static_cast<double>(caught) / sessions.size();
+  };
+
+  const int n = 60;
+  std::vector<sql::RawSession> naive, mimicry;
+  for (int i = 0; i < n; ++i) {
+    const sql::RawSession base = generator.GenerateNormal(&rng);
+    naive.push_back(synthesizer.CredentialStealing(base, &rng));
+    mimicry.push_back(MimicryInjection(generator, base, &rng));
+  }
+
+  const double naive_rate = detect_rate(naive);
+  const double mimicry_rate = detect_rate(mimicry);
+  util::TablePrinter table({"Attack variant", "Detection rate"});
+  table.AddRow("Naive A2 injection", {naive_rate});
+  table.AddRow("Mimicry (context-wrapped)", {mimicry_rate});
+  table.Print(std::cout);
+  std::printf(
+      "\ninterpretation: the mimicry block reuses a legitimate moderation\n"
+      "flow, so per-operation intent matching weakens against it — but the\n"
+      "block itself must appear where moderation never happens, which the\n"
+      "surrounding context still exposes on a fraction of sessions. The\n"
+      "paper argues full evasion needs statement templates the attacker\n"
+      "cannot craft under the application's prepared-statement discipline.\n");
+  return 0;
+}

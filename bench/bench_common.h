@@ -1,0 +1,64 @@
+#ifndef UCAD_BENCH_BENCH_COMMON_H_
+#define UCAD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "eval/dataset.h"
+#include "eval/experiment_config.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace ucad::bench {
+
+/// Prints the standard bench banner: which experiment, which scale.
+inline void Banner(const std::string& title, eval::Scale scale) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale: %s (set UCAD_SCALE=smoke|repro|paper)\n",
+              eval::ScaleName(scale));
+  std::printf("==================================================\n");
+}
+
+/// Formats an EvalResult as the paper's Table 2 row:
+/// FPR(V1,V2,V3) FNR(A1,A2,A3) P R F1.
+inline std::vector<std::string> MetricsRow(const std::string& method,
+                                           const eval::EvalResult& r) {
+  auto f = [](double v) { return util::FormatDouble(v, 5); };
+  return {method,
+          f(r.Rate(sql::SessionLabel::kNormal)),
+          f(r.Rate(sql::SessionLabel::kNormalSwapped)),
+          f(r.Rate(sql::SessionLabel::kNormalReduced)),
+          f(r.Rate(sql::SessionLabel::kPrivilegeAbuse)),
+          f(r.Rate(sql::SessionLabel::kCredentialTheft)),
+          f(r.Rate(sql::SessionLabel::kMisoperation)),
+          f(r.precision),
+          f(r.recall),
+          f(r.f1)};
+}
+
+/// Header matching MetricsRow.
+inline std::vector<std::string> MetricsHeader(const std::string& first) {
+  return {first,     "FPR(V1)", "FPR(V2)", "FPR(V3)", "FNR(A1)",
+          "FNR(A2)", "FNR(A3)", "P",       "R",       "F1"};
+}
+
+/// Reduces a scenario config for the inner sweep loops of Tables 4/5 and
+/// Figures 7/8, where dozens of models are trained: fewer sessions and
+/// epochs, same relative comparisons.
+inline eval::ScenarioConfig SweepSized(eval::ScenarioConfig config,
+                                       eval::Scale scale) {
+  if (scale == eval::Scale::kRepro) {
+    config.dataset.normal_sessions =
+        std::min(config.dataset.normal_sessions, 260);
+    config.training.epochs = std::min(config.training.epochs, 30);
+    config.deeplog.epochs = 1;
+    config.usad.epochs = std::min(config.usad.epochs, 8);
+  }
+  return config;
+}
+
+}  // namespace ucad::bench
+
+#endif  // UCAD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// Reproduces paper Figure 7: sensitivity of UCAD's F1 to the four major
+// hyper-parameters — top-p, input size L, margin g, hidden dimension h —
+// in both scenarios. The paper's finding: the variation of F1 is small
+// (< ~0.04) around the defaults.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+/// (a) top-p sweep: one trained model, many detector settings.
+void SweepTopP(const eval::ScenarioConfig& config,
+               const eval::ScenarioDataset& ds, util::TablePrinter* table) {
+  transdas::TransDasConfig model_config = config.model;
+  model_config.vocab_size = ds.vocab.size();
+  util::Rng rng(301);
+  transdas::TransDasModel model(model_config, &rng);
+  transdas::TransDasTrainer trainer(&model, config.training);
+  trainer.Train(ds.train);
+  const int max_p = std::max(2, config.detection.top_p * 2);
+  for (int p = 1; p <= max_p; p = p < 4 ? p + 1 : p + 2) {
+    transdas::TransDasDetector detector(
+        &model, transdas::DetectorOptions{.top_p = p});
+    const eval::EvalResult r = eval::Evaluate(
+        [&detector](const std::vector<int>& s) {
+          return detector.DetectSession(s).abnormal;
+        },
+        ds.TestSets());
+    table->AddRow({config.name, "p", std::to_string(p),
+                   util::FormatDouble(r.f1, 5)});
+    std::printf("  p=%-3d F1 %.5f\n", p, r.f1);
+  }
+}
+
+/// Generic retrain sweep over a config mutation.
+template <typename Mutate>
+void SweepRetrain(const eval::ScenarioConfig& config,
+                  const eval::ScenarioDataset& ds, const char* knob,
+                  const std::vector<double>& values, Mutate mutate,
+                  util::TablePrinter* table) {
+  for (double value : values) {
+    transdas::TransDasConfig model = config.model;
+    transdas::TrainOptions training = config.training;
+    mutate(value, &model, &training);
+    const eval::TransDasRun run =
+        eval::RunTransDas(ds, model, training, config.detection, ds.train);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    table->AddRow({config.name, knob, buf,
+                   util::FormatDouble(run.metrics.f1, 5)});
+    std::printf("  %s=%-6g F1 %.5f\n", knob, value, run.metrics.f1);
+  }
+}
+
+void RunScenario(const eval::ScenarioConfig& config,
+                 util::TablePrinter* table) {
+  std::printf("\n--- %s ---\n", config.name.c_str());
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+
+  SweepTopP(config, ds, table);
+
+  // (b) window size L.
+  const int L0 = config.model.window;
+  SweepRetrain(config, ds, "L", {L0 * 0.5, 1.0 * L0, L0 * 1.5},
+               [](double v, transdas::TransDasConfig* m,
+                  transdas::TrainOptions* t) {
+                 m->window = std::max(4, static_cast<int>(v));
+                 t->window_stride = std::max(1, m->window / 2);
+               },
+               table);
+
+  // (c) triplet margin g.
+  SweepRetrain(config, ds, "g", {0.1, 0.5, 0.9},
+               [](double v, transdas::TransDasConfig*,
+                  transdas::TrainOptions* t) {
+                 t->margin = static_cast<float>(v);
+               },
+               table);
+
+  // (d) hidden dimension h.
+  const int h0 = config.model.hidden_dim;
+  SweepRetrain(config, ds, "h", {h0 * 0.5, 1.0 * h0, h0 * 2.0},
+               [](double v, transdas::TransDasConfig* m,
+                  transdas::TrainOptions*) {
+                 m->hidden_dim = std::max(4, static_cast<int>(v));
+                 m->num_heads =
+                     std::max(1, std::min(m->num_heads, m->hidden_dim / 4));
+                 while (m->hidden_dim % m->num_heads != 0) --m->num_heads;
+               },
+               table);
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Figure 7: hyper-parameter sensitivity (p, L, g, h)", scale);
+  util::TablePrinter table({"Scenario", "Knob", "Value", "F1"});
+  RunScenario(bench::SweepSized(eval::ScenarioIConfig(scale), scale),
+              &table);
+  RunScenario(bench::SweepSized(eval::ScenarioIIConfig(scale), scale),
+              &table);
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "paper:    F1 varies < ~0.04 across each sweep; p peaks at the\n"
+      "          scenario default (5 / 10), L peaks at the average session\n"
+      "          length, g and h are flat.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces paper Figure 8: robustness to abnormal sessions in the
+// training set. (a)/(b): Trans-DAS F1 in both scenarios as the poisoning
+// ratio grows 0% -> 20%. (c)/(d): all methods under the same poisoning.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "eval/runner.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+void RunScenario(const eval::ScenarioConfig& config, bool include_baselines,
+                 util::TablePrinter* table) {
+  std::printf("\n--- %s ---\n", config.name.c_str());
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  util::Rng rng(404);
+  const std::vector<double> ratios = {0.0, 0.05, 0.10, 0.15, 0.20};
+  for (double ratio : ratios) {
+    const std::vector<std::vector<int>> hybrid = ds.HybridTrain(ratio, &rng);
+    auto ratio_str = util::FormatDouble(ratio * 100, 0) + "%";
+
+    const eval::TransDasRun run = eval::RunTransDas(
+        ds, config.model, config.training, config.detection, hybrid);
+    table->AddRow({config.name, ratio_str, "Trans-DAS",
+                   util::FormatDouble(run.metrics.f1, 5)});
+    std::printf("  ratio %-4s Trans-DAS       F1 %.5f\n", ratio_str.c_str(),
+                run.metrics.f1);
+
+    if (!include_baselines) continue;
+    for (const std::string& name : eval::BaselineNames()) {
+      auto detector = eval::MakeBaseline(name, config, ds);
+      const eval::EvalResult r =
+          eval::RunBaseline(detector.get(), ds, hybrid);
+      table->AddRow({config.name, ratio_str, name,
+                     util::FormatDouble(r.f1, 5)});
+      std::printf("  ratio %-4s %-15s F1 %.5f\n", ratio_str.c_str(),
+                  name.c_str(), r.f1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Figure 8: robustness to abnormal training data (0-20%)",
+                scale);
+  util::TablePrinter table({"Scenario", "Anomaly%", "Method", "F1"});
+  // (a)+(c): Scenario-I with all methods; (b)+(d): Scenario-II likewise.
+  RunScenario(bench::SweepSized(eval::ScenarioIConfig(scale), scale),
+              /*include_baselines=*/true, &table);
+  RunScenario(bench::SweepSized(eval::ScenarioIIConfig(scale), scale),
+              /*include_baselines=*/true, &table);
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "paper:    Trans-DAS declines slowly (about -0.13 in Scenario-I and\n"
+      "          -0.08 in Scenario-II at 20%% poisoning) and keeps the\n"
+      "          highest F1 in most cases; Mazzawi collapses under any\n"
+      "          poisoning; DeepLog and USAD lose ~0.09-0.10 on average.\n");
+  return 0;
+}

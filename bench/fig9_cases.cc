@@ -1,0 +1,90 @@
+// Reproduces paper Figure 9: the two real-world production incidents UCAD
+// surfaced — (a) a reward-farming danmu bot, (b) a maliciously repackaged
+// location app — replayed against trained UCAD instances.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ucad.h"
+#include "workload/cases.h"
+#include "workload/commenting.h"
+#include "workload/location.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+core::UcadOptions OptionsFor(const eval::ScenarioConfig& config) {
+  core::UcadOptions options;
+  options.model = config.model;
+  options.training = config.training;
+  options.detection = config.detection;
+  options.filter = eval::DatasetOptions::DefaultFilterOptions();
+  return options;
+}
+
+void Report(const char* which, const workload::CaseStudy& cs,
+            const core::Ucad& ucad) {
+  std::printf("\n--- case %s: %s ---\n%s\n", which, cs.name.c_str(),
+              cs.description.c_str());
+  const core::UcadDetection normal = ucad.Detect(cs.normal);
+  const core::UcadDetection suspicious = ucad.Detect(cs.suspicious);
+  std::printf("normal session    : %s\n",
+              normal.abnormal() ? "FLAGGED (false positive)" : "clean");
+  std::printf("suspicious session: %s",
+              suspicious.abnormal() ? "FLAGGED" : "missed");
+  if (suspicious.verdict.abnormal) {
+    std::printf(" at operations:");
+    for (int pos : suspicious.verdict.AbnormalPositions()) {
+      std::printf(" #%d", pos + 1);
+    }
+  }
+  std::printf("\nexpected finding  : %s\n", cs.expected_finding.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Figure 9: real-world case studies", scale);
+  util::Rng rng(909);
+
+  // (a) Commenting scenario: the danmu bot.
+  {
+    eval::ScenarioConfig config =
+        bench::SweepSized(eval::ScenarioIConfig(scale), scale);
+    workload::SessionGenerator generator(config.spec);
+    core::Ucad ucad(OptionsFor(config),
+                    prep::MakeDefaultPolicyEngine(
+                        config.spec.users, config.spec.addresses,
+                        config.spec.business_start_hour,
+                        config.spec.business_end_hour));
+    const util::Status st = ucad.Train(generator.GenerateNormalBatch(
+        config.dataset.normal_sessions, &rng));
+    UCAD_CHECK(st.ok()) << st.ToString();
+    Report("9a", workload::MakeDanmuBotCase(generator, &rng), ucad);
+  }
+
+  // (b) Location scenario: the repackaged app.
+  {
+    eval::ScenarioConfig config =
+        bench::SweepSized(eval::ScenarioIIConfig(scale), scale);
+    workload::SessionGenerator generator(config.spec);
+    core::Ucad ucad(OptionsFor(config),
+                    prep::MakeDefaultPolicyEngine(
+                        config.spec.users, config.spec.addresses,
+                        config.spec.business_start_hour,
+                        config.spec.business_end_hour));
+    const util::Status st = ucad.Train(generator.GenerateNormalBatch(
+        config.dataset.normal_sessions, &rng));
+    UCAD_CHECK(st.ok()) << st.ToString();
+    Report("9b", workload::MakeRepackagedAppCase(generator, &rng), ucad);
+  }
+
+  std::printf(
+      "\npaper: in both incidents the DBAs confirmed the anomalies after\n"
+      "UCAD flagged the deviating operations (the bot's post/like without\n"
+      "opening the panel; the repackaged app's high-frequency location\n"
+      "inserts).\n");
+  return 0;
+}

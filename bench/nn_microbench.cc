@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the substrate kernels on the
+// training/detection hot paths: matmul, softmax, a full attention block,
+// one Trans-DAS training step, and preprocessing primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/tape.h"
+#include "nn/tensor.h"
+#include "prep/ngram.h"
+#include "sql/statement.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor out(n, n);
+  for (auto _ : state) {
+    nn::MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::VarId a = tape.Constant(nn::Tensor::Randn(n, n, 1.0f, &rng));
+    benchmark::DoNotOptimize(tape.value(tape.SoftmaxRows(a)).data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(50)->Arg(100);
+
+void BM_TransDasForward(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  const int h = static_cast<int>(state.range(1));
+  transdas::TransDasConfig config;
+  config.vocab_size = 256;
+  config.window = L;
+  config.hidden_dim = h;
+  config.num_heads = std::max(1, h / 8);
+  config.num_blocks = 3;
+  util::Rng rng(3);
+  transdas::TransDasModel model(config, &rng);
+  std::vector<int> window(L);
+  for (int i = 0; i < L; ++i) window[i] = 1 + (i % 200);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::VarId out = model.Forward(&tape, window, false, nullptr);
+    benchmark::DoNotOptimize(tape.value(out).data());
+  }
+}
+BENCHMARK(BM_TransDasForward)->Args({30, 16})->Args({50, 32})->Args({100, 64});
+
+void BM_TransDasTrainStep(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  transdas::TransDasConfig config;
+  config.vocab_size = 128;
+  config.window = L;
+  config.hidden_dim = 32;
+  config.num_heads = 4;
+  config.num_blocks = 3;
+  util::Rng rng(4);
+  transdas::TransDasModel model(config, &rng);
+  transdas::TrainOptions options;
+  options.epochs = 1;
+  transdas::TransDasTrainer trainer(&model, options);
+  std::vector<int> session(2 * L);
+  for (size_t i = 0; i < session.size(); ++i) {
+    session[i] = 1 + static_cast<int>(i % 100);
+  }
+  for (auto _ : state) {
+    trainer.Train({session});
+  }
+}
+BENCHMARK(BM_TransDasTrainStep)->Arg(30)->Arg(50);
+
+void BM_StatementAbstraction(benchmark::State& state) {
+  const std::string sql =
+      "INSERT INTO t_cell_fp_3 (pnci, gridId, fps) VALUES (101, 102, 103), "
+      "(104, 105, 106), (107, 108, 109), (110, 111, 112)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::AbstractLiterals(sql));
+  }
+}
+BENCHMARK(BM_StatementAbstraction);
+
+void BM_NgramJaccard(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  std::vector<int> a(len), b(len);
+  for (int i = 0; i < len; ++i) {
+    a[i] = static_cast<int>(rng.UniformU64(64));
+    b[i] = static_cast<int>(rng.UniformU64(64));
+  }
+  prep::NgramProfile pa(a, 2), pb(b, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pa.Jaccard(pb));
+  }
+}
+BENCHMARK(BM_NgramJaccard)->Arg(30)->Arg(130);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Reproduces paper Table 6: transferability of UCAD to system-log anomaly
+// detection (HDFS / BGL / Thunderbird-like datasets) against LogCluster
+// and DeepLog. Paper parameters: L=10, g=0.5, h=64.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/deeplog.h"
+#include "baselines/logcluster.h"
+#include "bench/bench_common.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "workload/syslog.h"
+
+namespace {
+
+using namespace ucad;  // NOLINT
+
+eval::BinaryMetrics RunUcad(const workload::LogDataset& ds,
+                            eval::Scale scale) {
+  transdas::TransDasConfig config;
+  config.vocab_size = ds.vocab_size;
+  config.window = 10;               // paper: L=10
+  config.hidden_dim = scale == eval::Scale::kPaper ? 64 : 32;  // paper: h=64
+  config.num_heads = 4;
+  config.num_blocks = scale == eval::Scale::kPaper ? 6 : 3;
+  util::Rng rng(101);
+  transdas::TransDasModel model(config, &rng);
+  transdas::TrainOptions training;
+  training.epochs = scale == eval::Scale::kSmoke ? 1 : 8;
+  training.negative_samples = 4;
+  training.margin = 0.5f;           // paper: g=0.5
+  training.window_stride = 4;
+  transdas::TransDasTrainer trainer(&model, training);
+  trainer.Train(ds.train);
+  // The paper's Table 6 setting fixes L=10, g=0.5, h=64 but leaves p
+  // unspecified; p=9 mirrors DeepLog's top-9 acceptance.
+  transdas::TransDasDetector detector(
+      &model, transdas::DetectorOptions{.top_p = 9});
+  return eval::EvaluateBinary(
+      [&detector](const std::vector<int>& s) {
+        return detector.DetectSession(s).abnormal;
+      },
+      ds.test_sessions, ds.test_labels);
+}
+
+eval::BinaryMetrics RunBaselineBinary(baselines::SessionDetector* detector,
+                                      const workload::LogDataset& ds) {
+  detector->Train(ds.train);
+  return eval::EvaluateBinary(
+      [detector](const std::vector<int>& s) {
+        return detector->IsAbnormal(s);
+      },
+      ds.test_sessions, ds.test_labels);
+}
+
+void AddRows(util::TablePrinter* table, const std::string& dataset,
+             const eval::BinaryMetrics& lc, const eval::BinaryMetrics& dl,
+             const eval::BinaryMetrics& ours) {
+  auto f = [](double v) { return util::FormatDouble(v, 5); };
+  table->AddRow({dataset, "Precision", f(lc.precision), f(dl.precision),
+                 f(ours.precision)});
+  table->AddRow({"", "Recall", f(lc.recall), f(dl.recall), f(ours.recall)});
+  table->AddRow({"", "F1-score", f(lc.f1), f(dl.f1), f(ours.f1)});
+}
+
+}  // namespace
+
+int main() {
+  const eval::Scale scale = eval::ScaleFromEnv();
+  bench::Banner("Table 6: transfer to system-log anomaly detection", scale);
+
+  workload::SyslogOptions options;
+  if (scale == eval::Scale::kSmoke) {
+    options.train_sessions = 60;
+    options.normal_test_sessions = 40;
+    options.abnormal_test_sessions = 15;
+  } else if (scale == eval::Scale::kPaper) {
+    options.train_sessions = 2000;
+    options.normal_test_sessions = 1000;
+    options.abnormal_test_sessions = 300;
+  }
+
+  util::Rng rng(7);
+  std::vector<workload::LogDataset> datasets = {
+      workload::MakeHdfsLikeDataset(options, &rng),
+      workload::MakeBglLikeDataset(options, &rng),
+      workload::MakeThunderbirdLikeDataset(options, &rng),
+  };
+
+  util::TablePrinter table(
+      {"Dataset", "Metric", "LogCluster", "DeepLog", "Ours"});
+  for (const workload::LogDataset& ds : datasets) {
+    std::printf("running %s (vocab %d, %zu train sessions)...\n",
+                ds.name.c_str(), ds.vocab_size, ds.train.size());
+    baselines::LogCluster logcluster(ds.vocab_size,
+                                     baselines::LogCluster::Options{});
+    baselines::DeepLog::Options dl_options;
+    dl_options.epochs = scale == eval::Scale::kSmoke ? 1 : 2;
+    dl_options.stride = 2;
+    baselines::DeepLog deeplog(ds.vocab_size, dl_options);
+    AddRows(&table, ds.name, RunBaselineBinary(&logcluster, ds),
+            RunBaselineBinary(&deeplog, ds), RunUcad(ds, scale));
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "paper:    HDFS  P/R/F1: 0.87371/0.74109/0.80195 (LogCluster), "
+      "0.87022/0.96073/0.91324 (DeepLog), 0.84248/0.97213/0.90267 (Ours)\n"
+      "          BGL   P/R/F1: 0.95463/0.64012/0.76636, "
+      "0.89741/0.82783/0.86122, 0.90449/0.95823/0.93063\n"
+      "          Thund P/R/F1: 0.98280/0.42782/0.59614, "
+      "0.77421/1.00000/0.87273, 0.89080/1.00000/0.94225\n"
+      "          (Ours: highest recall everywhere; LogCluster: highest "
+      "precision)\n");
+  return 0;
+}

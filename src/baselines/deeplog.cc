@@ -1,0 +1,133 @@
+#include "baselines/deeplog.h"
+
+#include <algorithm>
+
+#include "nn/tape.h"
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+DeepLog::DeepLog(int vocab, const Options& options)
+    : vocab_(vocab), options_(options), init_rng_(options.seed) {
+  UCAD_CHECK_GT(vocab_, 1);
+  embedding_ = std::make_unique<nn::Embedding>(vocab_, options_.embed_dim,
+                                               &init_rng_);
+  lstm_ = std::make_unique<nn::LstmCell>(options_.embed_dim,
+                                         options_.hidden_dim, &init_rng_);
+  output_ =
+      std::make_unique<nn::Linear>(options_.hidden_dim, vocab_, &init_rng_);
+}
+
+nn::VarId DeepLog::ForwardLogits(nn::Tape* tape,
+                                 const std::vector<int>& window) {
+  nn::VarId embeds = embedding_->Forward(tape, window);
+  nn::LstmCell::State state = lstm_->InitialState(tape);
+  for (size_t t = 0; t < window.size(); ++t) {
+    nn::VarId x = tape->Row(embeds, static_cast<int>(t));
+    state = lstm_->Step(tape, x, state);
+  }
+  return output_->Forward(tape, state.h);  // [1 x vocab]
+}
+
+void DeepLog::Train(const std::vector<std::vector<int>>& sessions) {
+  std::vector<nn::Parameter*> params = embedding_->Params();
+  for (nn::Parameter* p : lstm_->Params()) params.push_back(p);
+  for (nn::Parameter* p : output_->Params()) params.push_back(p);
+  nn::Adam optimizer(params, options_.learning_rate);
+
+  // (context window, next key) pairs.
+  struct Sample {
+    std::vector<int> window;
+    int target;
+  };
+  std::vector<Sample> samples;
+  for (const auto& session : sessions) {
+    for (size_t t = 1; t < session.size();
+         t += static_cast<size_t>(options_.stride)) {
+      Sample s;
+      s.window.assign(options_.window, 0);
+      const size_t take = std::min<size_t>(options_.window, t);
+      for (size_t i = 0; i < take; ++i) {
+        s.window[options_.window - take + i] = session[t - take + i];
+      }
+      s.target = session[t];
+      samples.push_back(std::move(s));
+    }
+  }
+  UCAD_CHECK(!samples.empty());
+
+  util::Rng rng(options_.seed + 1);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&samples);
+    for (const Sample& s : samples) {
+      nn::Tape tape;
+      nn::VarId logits = ForwardLogits(&tape, s.window);
+      nn::VarId loss = tape.SoftmaxCrossEntropy(logits, {s.target});
+      tape.Backward(loss);
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+}
+
+namespace {
+
+/// Out-of-range keys map to k0 (padding) so corrupt inputs cannot reach
+/// the embedding gather.
+int Sanitize(int key, int vocab) { return key >= 0 && key < vocab ? key : 0; }
+
+}  // namespace
+
+int DeepLog::RankNext(const std::vector<int>& context, int next_key) const {
+  if (next_key < 0 || next_key >= vocab_) return vocab_ + 1;
+  std::vector<int> window(options_.window, 0);
+  const size_t take =
+      std::min<size_t>(options_.window, context.size());
+  for (size_t i = 0; i < take; ++i) {
+    window[options_.window - take + i] =
+        Sanitize(context[context.size() - take + i], vocab_);
+  }
+  nn::Tape tape;
+  // const_cast: ForwardLogits only reads parameters; the tape is local.
+  nn::VarId logits =
+      const_cast<DeepLog*>(this)->ForwardLogits(&tape, window);
+  const nn::Tensor& row = tape.value(logits);
+  const float score = row.at(0, next_key);
+  int rank = 1;
+  for (int k = 1; k < vocab_; ++k) {
+    if (k != next_key && row.at(0, k) > score) ++rank;
+  }
+  return rank;
+}
+
+bool DeepLog::IsAbnormal(const std::vector<int>& session) const {
+  if (session.size() < 2) return false;
+  // Streaming evaluation: one LSTM pass over the session, scoring the next
+  // key at every step (equivalent to the windowed formulation but without
+  // re-running the recurrence per operation).
+  DeepLog* self = const_cast<DeepLog*>(this);
+  std::vector<int> sanitized;
+  sanitized.reserve(session.size());
+  for (int key : session) sanitized.push_back(Sanitize(key, vocab_));
+  nn::Tape tape;
+  nn::VarId embeds =
+      self->embedding_->Forward(&tape, sanitized);
+  nn::LstmCell::State state = self->lstm_->InitialState(&tape);
+  for (size_t t = 0; t + 1 < session.size(); ++t) {
+    nn::VarId x = tape.Row(embeds, static_cast<int>(t));
+    state = self->lstm_->Step(&tape, x, state);
+    nn::VarId logits = self->output_->Forward(&tape, state.h);
+    const nn::Tensor& row = tape.value(logits);
+    const int next = session[t + 1];
+    if (next <= 0 || next >= vocab_) return true;
+    const float score = row.at(0, next);
+    int rank = 1;
+    for (int k = 1; k < vocab_ && rank <= options_.top_g; ++k) {
+      if (k != next && row.at(0, k) > score) ++rank;
+    }
+    if (rank > options_.top_g) return true;
+  }
+  return false;
+}
+
+}  // namespace ucad::baselines

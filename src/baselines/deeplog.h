@@ -1,0 +1,59 @@
+#ifndef UCAD_BASELINES_DEEPLOG_H_
+#define UCAD_BASELINES_DEEPLOG_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/session_detector.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace ucad::baselines {
+
+/// DeepLog (Du et al., CCS 2017 [21]): an LSTM language model over key
+/// sequences. For each position it predicts a distribution over the next
+/// key from the preceding window; an operation whose observed key is not
+/// among the top-g candidates is an anomaly, and any anomalous operation
+/// flags the session. Heavy reliance on operation *order* is exactly the
+/// property the paper contrasts against (high FPR under heterogeneous
+/// access patterns).
+class DeepLog : public SessionDetector {
+ public:
+  struct Options {
+    int window = 10;
+    int embed_dim = 24;
+    int hidden_dim = 64;
+    /// Observed key must rank within the top-g predictions to be normal.
+    int top_g = 9;
+    int epochs = 3;
+    float learning_rate = 3e-3f;
+    /// Stride between training windows.
+    int stride = 1;
+    uint64_t seed = 17;
+  };
+
+  DeepLog(int vocab, const Options& options);
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "DeepLog"; }
+
+  /// Rank (1 = most likely) of `next_key` after `context`.
+  int RankNext(const std::vector<int>& context, int next_key) const;
+
+ private:
+  /// Runs the LSTM over `window` keys; returns logits over the vocabulary.
+  nn::VarId ForwardLogits(nn::Tape* tape, const std::vector<int>& window);
+
+  int vocab_;
+  Options options_;
+  util::Rng init_rng_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_DEEPLOG_H_

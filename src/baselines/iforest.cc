@@ -1,0 +1,143 @@
+#include "baselines/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+namespace {
+
+/// Average path length of an unsuccessful BST search over n points —
+/// the normalizer c(n) of the iForest paper.
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+}  // namespace
+
+struct IsolationForest::Node {
+  int feature = -1;      // -1 marks a leaf
+  double split = 0.0;
+  int size = 0;          // points reaching a leaf
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+};
+
+namespace {
+
+std::unique_ptr<IsolationForest::Node> BuildTreeImpl(
+    const std::vector<const std::vector<double>*>& points, int depth,
+    int max_depth, util::Rng* rng);
+
+}  // namespace
+
+IsolationForest::IsolationForest(int vocab, const Options& options)
+    : vocab_(vocab), options_(options) {
+  UCAD_CHECK_GT(vocab_, 0);
+  UCAD_CHECK_GT(options_.num_trees, 0);
+}
+
+IsolationForest::~IsolationForest() = default;
+
+namespace {
+
+std::unique_ptr<IsolationForest::Node> BuildTreeImpl(
+    const std::vector<const std::vector<double>*>& points, int depth,
+    int max_depth, util::Rng* rng) {
+  auto node = std::make_unique<IsolationForest::Node>();
+  node->size = static_cast<int>(points.size());
+  if (points.size() <= 1 || depth >= max_depth) return node;
+  const int dims = static_cast<int>(points[0]->size());
+  // Pick a feature with spread; give up after a few attempts (constant
+  // region).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int feature = static_cast<int>(rng->UniformU64(dims));
+    double lo = (*points[0])[feature], hi = lo;
+    for (const auto* p : points) {
+      lo = std::min(lo, (*p)[feature]);
+      hi = std::max(hi, (*p)[feature]);
+    }
+    if (hi <= lo) continue;
+    const double split = rng->UniformDouble(lo, hi);
+    std::vector<const std::vector<double>*> left, right;
+    for (const auto* p : points) {
+      ((*p)[feature] < split ? left : right).push_back(p);
+    }
+    if (left.empty() || right.empty()) continue;
+    node->feature = feature;
+    node->split = split;
+    node->left = BuildTreeImpl(left, depth + 1, max_depth, rng);
+    node->right = BuildTreeImpl(right, depth + 1, max_depth, rng);
+    return node;
+  }
+  return node;  // leaf: no separating split found
+}
+
+double PathLength(const IsolationForest::Node* node,
+                  const std::vector<double>& x, int depth) {
+  if (node->feature < 0) {
+    return depth + AveragePathLength(node->size);
+  }
+  const IsolationForest::Node* child =
+      x[node->feature] < node->split ? node->left.get() : node->right.get();
+  return PathLength(child, x, depth + 1);
+}
+
+}  // namespace
+
+void IsolationForest::Train(const std::vector<std::vector<int>>& sessions) {
+  UCAD_CHECK(!sessions.empty());
+  std::vector<std::vector<double>> features;
+  features.reserve(sessions.size());
+  for (const auto& s : sessions) features.push_back(CountVector(s, vocab_));
+
+  util::Rng rng(options_.seed);
+  const int psi =
+      std::min<int>(options_.subsample, static_cast<int>(features.size()));
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
+  expected_path_ = AveragePathLength(psi);
+
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    const std::vector<size_t> sample =
+        rng.SampleWithoutReplacement(features.size(), psi);
+    std::vector<const std::vector<double>*> points;
+    points.reserve(sample.size());
+    for (size_t i : sample) points.push_back(&features[i]);
+    trees_.push_back(BuildTreeImpl(points, 0, max_depth, &rng));
+  }
+
+  // Threshold at the contamination quantile of training scores.
+  std::vector<double> scores;
+  scores.reserve(features.size());
+  for (const auto& fjs : features) scores.push_back(ScoreVector(fjs));
+  std::sort(scores.begin(), scores.end());
+  const size_t idx = static_cast<size_t>(
+      (1.0 - options_.contamination) * (scores.size() - 1));
+  threshold_ = scores[idx];
+}
+
+double IsolationForest::ScoreVector(const std::vector<double>& x) const {
+  UCAD_CHECK(!trees_.empty()) << "Train() must be called first";
+  double mean_path = 0.0;
+  for (const auto& tree : trees_) mean_path += PathLength(tree.get(), x, 0);
+  mean_path /= trees_.size();
+  if (expected_path_ <= 0.0) return 0.5;
+  return std::pow(2.0, -mean_path / expected_path_);
+}
+
+double IsolationForest::Score(const std::vector<int>& session) const {
+  return ScoreVector(CountVector(session, vocab_));
+}
+
+bool IsolationForest::IsAbnormal(const std::vector<int>& session) const {
+  return Score(session) > threshold_;
+}
+
+}  // namespace ucad::baselines

@@ -1,0 +1,53 @@
+#ifndef UCAD_BASELINES_IFOREST_H_
+#define UCAD_BASELINES_IFOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/session_detector.h"
+#include "util/rng.h"
+
+namespace ucad::baselines {
+
+/// Isolation Forest (Liu, Ting & Zhou 2008 [48]) over session count
+/// vectors. Anomalies are isolated by shorter average path lengths in
+/// randomly built partition trees.
+class IsolationForest : public SessionDetector {
+ public:
+  struct Options {
+    int num_trees = 100;
+    /// Subsample size per tree (clamped to the training-set size).
+    int subsample = 256;
+    /// Training-score quantile used as the decision threshold (plays the
+    /// role of the sklearn `contamination` parameter).
+    double contamination = 0.1;
+    uint64_t seed = 11;
+  };
+
+  IsolationForest(int vocab, const Options& options);
+  ~IsolationForest() override;
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "iForest"; }
+
+  /// Raw anomaly score in (0, 1); larger = more anomalous.
+  double Score(const std::vector<int>& session) const;
+  double threshold() const { return threshold_; }
+
+  /// Tree node (public so the builder helpers can name it).
+  struct Node;
+
+ private:
+  double ScoreVector(const std::vector<double>& features) const;
+
+  int vocab_;
+  Options options_;
+  std::vector<std::unique_ptr<Node>> trees_;
+  double expected_path_ = 1.0;
+  double threshold_ = 0.5;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_IFOREST_H_

@@ -1,0 +1,80 @@
+#include "baselines/logcluster.h"
+
+#include <algorithm>
+#include <map>
+
+#include "prep/dbscan.h"
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+LogCluster::LogCluster(int vocab, const Options& options)
+    : vocab_(vocab), options_(options) {
+  UCAD_CHECK_GT(vocab_, 0);
+}
+
+void LogCluster::Train(const std::vector<std::vector<int>>& sessions) {
+  UCAD_CHECK(!sessions.empty());
+  std::vector<std::vector<double>> features;
+  features.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    std::vector<double> v = CountVector(s, vocab_);
+    L2Normalize(&v);
+    features.push_back(std::move(v));
+  }
+
+  prep::DbscanOptions dbscan_options;
+  dbscan_options.eps = options_.dbscan_eps;
+  dbscan_options.min_points = options_.dbscan_min_points;
+  const prep::DbscanResult clustering = prep::Dbscan(
+      features.size(),
+      [&features](size_t i, size_t j) {
+        return EuclideanDistance(features[i], features[j]);
+      },
+      dbscan_options);
+
+  std::map<int, std::vector<size_t>> members;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (clustering.labels[i] != prep::DbscanResult::kNoise) {
+      members[clustering.labels[i]].push_back(i);
+    }
+  }
+  // Degenerate fallback: everything in one cluster.
+  if (members.empty()) {
+    members[0].reserve(features.size());
+    for (size_t i = 0; i < features.size(); ++i) members[0].push_back(i);
+  }
+
+  centroids_.clear();
+  radii_.clear();
+  for (const auto& [label, idx] : members) {
+    std::vector<double> centroid(vocab_, 0.0);
+    for (size_t i : idx) {
+      for (int d = 0; d < vocab_; ++d) centroid[d] += features[i][d];
+    }
+    for (double& c : centroid) c /= idx.size();
+    double radius = 0.0;
+    for (size_t i : idx) {
+      radius = std::max(radius, EuclideanDistance(centroid, features[i]));
+    }
+    centroids_.push_back(std::move(centroid));
+    radii_.push_back(std::max(radius, 1e-3) * options_.slack);
+  }
+}
+
+double LogCluster::Score(const std::vector<int>& session) const {
+  UCAD_CHECK(!centroids_.empty()) << "Train() must be called first";
+  std::vector<double> v = CountVector(session, vocab_);
+  L2Normalize(&v);
+  double best = 1e30;
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    best = std::min(best, EuclideanDistance(centroids_[c], v) / radii_[c]);
+  }
+  return best;
+}
+
+bool LogCluster::IsAbnormal(const std::vector<int>& session) const {
+  return Score(session) > 1.0;
+}
+
+}  // namespace ucad::baselines

@@ -1,0 +1,43 @@
+#ifndef UCAD_BASELINES_LOGCLUSTER_H_
+#define UCAD_BASELINES_LOGCLUSTER_H_
+
+#include <vector>
+
+#include "baselines/session_detector.h"
+
+namespace ucad::baselines {
+
+/// LogCluster (Lin et al., ICSE 2016 [46]): clusters normal sessions and
+/// flags a test session when it is far from every learned cluster
+/// representative. Representatives are centroids of normalized count
+/// vectors clustered with DBSCAN over cosine-like (Euclidean on the unit
+/// sphere) distance; the decision radius per cluster is the maximum
+/// training member distance plus slack.
+class LogCluster : public SessionDetector {
+ public:
+  struct Options {
+    double dbscan_eps = 0.35;
+    int dbscan_min_points = 3;
+    double slack = 1.2;
+  };
+
+  LogCluster(int vocab, const Options& options);
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "LogCluster"; }
+
+  /// Distance to the nearest cluster representative, normalized by that
+  /// cluster's radius (> 1 means abnormal).
+  double Score(const std::vector<int>& session) const;
+
+ private:
+  int vocab_;
+  Options options_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<double> radii_;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_LOGCLUSTER_H_

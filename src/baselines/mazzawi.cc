@@ -1,0 +1,116 @@
+#include "baselines/mazzawi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+MazzawiDetector::MazzawiDetector(int vocab,
+                                 const std::vector<int>& key_commands,
+                                 const Options& options)
+    : vocab_(vocab), key_commands_(key_commands), options_(options) {
+  UCAD_CHECK_GT(vocab_, 0);
+  UCAD_CHECK_EQ(static_cast<int>(key_commands_.size()), vocab_);
+}
+
+std::vector<double> MazzawiDetector::Features(
+    const std::vector<int>& session) const {
+  const double n = std::max<size_t>(1, session.size());
+  double cmd[5] = {0, 0, 0, 0, 0};
+  double rarity = 0.0;
+  int max_run = 0, run = 0, prev = -1;
+  std::unordered_set<int> distinct;
+  for (int key : session) {
+    const int c = (key >= 0 && key < vocab_) ? key_commands_[key] : 4;
+    cmd[std::clamp(c, 0, 4)] += 1.0;
+    rarity += (key >= 0 && key < vocab_) ? key_log_freq_[key]
+                                         : key_log_freq_.empty() ? 0.0
+                                                                 : 12.0;
+    if (key == prev) {
+      ++run;
+    } else {
+      run = 1;
+      prev = key;
+    }
+    max_run = std::max(max_run, run);
+    distinct.insert(key);
+  }
+  return {
+      std::log(n),                                // volume
+      cmd[0] / n, cmd[1] / n, cmd[2] / n, cmd[3] / n,  // command mix
+      rarity / n,                                 // mean key rarity
+      static_cast<double>(max_run),               // longest repetition
+      static_cast<double>(distinct.size()) / n,   // distinct ratio
+  };
+}
+
+void MazzawiDetector::Train(const std::vector<std::vector<int>>& sessions) {
+  UCAD_CHECK(!sessions.empty());
+  // Global key frequencies -> rarity.
+  std::vector<double> counts(vocab_, 0.0);
+  double total = 0.0;
+  for (const auto& s : sessions) {
+    for (int key : s) {
+      if (key >= 0 && key < vocab_) {
+        counts[key] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  key_log_freq_.assign(vocab_, 0.0);
+  for (int k = 0; k < vocab_; ++k) {
+    const double p = (counts[k] + 0.5) / (total + 0.5 * vocab_);
+    key_log_freq_[k] = -std::log(p);
+  }
+
+  // Per-feature Gaussians.
+  std::vector<std::vector<double>> feats;
+  feats.reserve(sessions.size());
+  for (const auto& s : sessions) feats.push_back(Features(s));
+  const size_t dims = feats[0].size();
+  feature_mean_.assign(dims, 0.0);
+  feature_std_.assign(dims, 0.0);
+  for (const auto& fv : feats) {
+    for (size_t d = 0; d < dims; ++d) feature_mean_[d] += fv[d];
+  }
+  for (size_t d = 0; d < dims; ++d) feature_mean_[d] /= feats.size();
+  for (const auto& fv : feats) {
+    for (size_t d = 0; d < dims; ++d) {
+      const double diff = fv[d] - feature_mean_[d];
+      feature_std_[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    feature_std_[d] = std::sqrt(feature_std_[d] / feats.size());
+    if (feature_std_[d] < 1e-6) feature_std_[d] = 1e-6;
+  }
+
+  // Threshold from the training-score distribution.
+  std::vector<double> scores;
+  scores.reserve(sessions.size());
+  for (const auto& s : sessions) scores.push_back(Score(s));
+  std::sort(scores.begin(), scores.end());
+  const size_t idx = static_cast<size_t>(
+      options_.quantile * (scores.size() - 1));
+  threshold_ = scores[idx] * options_.slack;
+}
+
+double MazzawiDetector::Score(const std::vector<int>& session) const {
+  UCAD_CHECK(!feature_mean_.empty()) << "Train() must be called first";
+  const std::vector<double> fv = Features(session);
+  double worst = 0.0;
+  for (size_t d = 0; d < fv.size(); ++d) {
+    worst = std::max(worst,
+                     std::abs(fv[d] - feature_mean_[d]) / feature_std_[d]);
+  }
+  return worst;
+}
+
+bool MazzawiDetector::IsAbnormal(const std::vector<int>& session) const {
+  return Score(session) > threshold_;
+}
+
+}  // namespace ucad::baselines

@@ -1,0 +1,51 @@
+#ifndef UCAD_BASELINES_MAZZAWI_H_
+#define UCAD_BASELINES_MAZZAWI_H_
+
+#include <vector>
+
+#include "baselines/session_detector.h"
+
+namespace ucad::baselines {
+
+/// Statistical behavioral-patterning detector in the spirit of Mazzawi et
+/// al., ICDE 2017 [52]: each session is profiled by a small vector of
+/// behavioral statistics (volume, command mix, key rarity, repetition);
+/// per-feature Gaussians are fit on normal sessions and a session is
+/// flagged when any feature deviates beyond a z-score threshold calibrated
+/// on the training data. Like the original, it captures *point* anomalies
+/// in behavior statistics but carries no sequence semantics.
+class MazzawiDetector : public SessionDetector {
+ public:
+  struct Options {
+    /// Training-score quantile defining the threshold.
+    double quantile = 0.995;
+    /// Multiplicative slack above the quantile.
+    double slack = 1.15;
+  };
+
+  MazzawiDetector(int vocab,
+                  const std::vector<int>& key_commands,  // 0=sel,1=ins,2=upd,3=del,4=other per key
+                  const Options& options);
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "Mazzawi et al."; }
+
+  /// Max per-feature |z| score of a session.
+  double Score(const std::vector<int>& session) const;
+
+ private:
+  std::vector<double> Features(const std::vector<int>& session) const;
+
+  int vocab_;
+  std::vector<int> key_commands_;
+  Options options_;
+  std::vector<double> key_log_freq_;  // -log p(key) from training
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_MAZZAWI_H_

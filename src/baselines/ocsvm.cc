@@ -1,0 +1,122 @@
+#include "baselines/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+OneClassSvm::OneClassSvm(int vocab, const Options& options)
+    : vocab_(vocab), options_(options) {
+  UCAD_CHECK_GT(vocab_, 0);
+  UCAD_CHECK(options_.nu > 0.0 && options_.nu <= 1.0);
+}
+
+double OneClassSvm::Kernel(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  const double d = EuclideanDistance(a, b);
+  return std::exp(-options_.gamma * d * d);
+}
+
+void OneClassSvm::Train(const std::vector<std::vector<int>>& sessions) {
+  UCAD_CHECK(!sessions.empty());
+  const int l = static_cast<int>(sessions.size());
+  support_.clear();
+  support_.reserve(l);
+  for (const auto& s : sessions) {
+    std::vector<double> v = CountVector(s, vocab_);
+    L2Normalize(&v);
+    support_.push_back(std::move(v));
+  }
+
+  // Kernel matrix (l is a few hundred to a few thousand sessions).
+  std::vector<std::vector<double>> K(l, std::vector<double>(l));
+  for (int i = 0; i < l; ++i) {
+    for (int j = i; j < l; ++j) {
+      K[i][j] = K[j][i] = Kernel(support_[i], support_[j]);
+    }
+  }
+
+  const double upper = 1.0 / (options_.nu * l);
+  alpha_.assign(l, 1.0 / l);  // feasible start: Σα = 1, 0 ≤ α ≤ upper
+  // Gradient of ½αᵀQα is g_i = Σ_j α_j K_ij.
+  std::vector<double> grad(l, 0.0);
+  for (int i = 0; i < l; ++i) {
+    double g = 0.0;
+    for (int j = 0; j < l; ++j) g += alpha_[j] * K[i][j];
+    grad[i] = g;
+  }
+
+  for (int sweep = 0; sweep < options_.max_sweeps; ++sweep) {
+    double max_step = 0.0;
+    for (int i = 0; i < l; ++i) {
+      // Pair i with the coordinate of most-violating gradient difference.
+      int j = -1;
+      double best = 0.0;
+      for (int c = 0; c < l; ++c) {
+        if (c == i) continue;
+        const double diff = grad[i] - grad[c];
+        // Moving mass from the higher-gradient to the lower-gradient
+        // coordinate decreases the objective.
+        if (std::abs(diff) > best) {
+          best = std::abs(diff);
+          j = c;
+        }
+      }
+      if (j < 0) continue;
+      const double denom = K[i][i] + K[j][j] - 2.0 * K[i][j];
+      if (denom <= 1e-12) continue;
+      // Unconstrained optimal transfer t: α_i -= t, α_j += t.
+      double t = (grad[i] - grad[j]) / denom;
+      // Box constraints.
+      t = std::min(t, alpha_[i]);                 // α_i ≥ 0
+      t = std::min(t, upper - alpha_[j]);         // α_j ≤ upper
+      t = std::max(t, alpha_[i] - upper);         // α_i ≤ upper
+      t = std::max(t, -alpha_[j]);                // α_j ≥ 0
+      if (std::abs(t) < options_.tolerance) continue;
+      alpha_[i] -= t;
+      alpha_[j] += t;
+      for (int c = 0; c < l; ++c) grad[c] += t * (K[j][c] - K[i][c]);
+      max_step = std::max(max_step, std::abs(t));
+    }
+    if (max_step < options_.tolerance) break;
+  }
+
+  // ρ = decision value at an unbounded support vector (0 < α < upper);
+  // fall back to the mean over support vectors.
+  double rho_sum = 0.0;
+  int rho_count = 0;
+  for (int i = 0; i < l; ++i) {
+    if (alpha_[i] > 1e-8 && alpha_[i] < upper - 1e-8) {
+      rho_sum += grad[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count == 0) {
+    for (int i = 0; i < l; ++i) {
+      if (alpha_[i] > 1e-8) {
+        rho_sum += grad[i];
+        ++rho_count;
+      }
+    }
+  }
+  rho_ = rho_count > 0 ? rho_sum / rho_count : 0.0;
+}
+
+double OneClassSvm::Decision(const std::vector<int>& session) const {
+  UCAD_CHECK(!support_.empty()) << "Train() must be called first";
+  std::vector<double> x = CountVector(session, vocab_);
+  L2Normalize(&x);
+  double f = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    if (alpha_[i] > 1e-10) f += alpha_[i] * Kernel(support_[i], x);
+  }
+  return f - rho_;
+}
+
+bool OneClassSvm::IsAbnormal(const std::vector<int>& session) const {
+  return Decision(session) < 0.0;
+}
+
+}  // namespace ucad::baselines

@@ -1,0 +1,50 @@
+#ifndef UCAD_BASELINES_OCSVM_H_
+#define UCAD_BASELINES_OCSVM_H_
+
+#include <vector>
+
+#include "baselines/session_detector.h"
+
+namespace ucad::baselines {
+
+/// One-class SVM (Schölkopf et al. 2001 [67]) with an RBF kernel over
+/// L2-normalized session count vectors. The dual problem
+///   min ½ αᵀQα  s.t. 0 ≤ αᵢ ≤ 1/(νl), Σαᵢ = 1
+/// is solved by SMO-style pairwise coordinate descent; the decision
+/// function is f(x) = Σᵢ αᵢ k(xᵢ, x) − ρ, with x abnormal when f(x) < 0.
+class OneClassSvm : public SessionDetector {
+ public:
+  struct Options {
+    /// Upper bound on the outlier fraction / lower bound on the support
+    /// vector fraction.
+    double nu = 0.05;
+    /// RBF kernel width k(x,y) = exp(-gamma ||x-y||²).
+    double gamma = 2.0;
+    /// SMO sweeps over all pairs.
+    int max_sweeps = 60;
+    double tolerance = 1e-6;
+  };
+
+  OneClassSvm(int vocab, const Options& options);
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "OneClassSVM"; }
+
+  /// Signed decision value; negative = abnormal.
+  double Decision(const std::vector<int>& session) const;
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  int vocab_;
+  Options options_;
+  std::vector<std::vector<double>> support_;  // training features
+  std::vector<double> alpha_;
+  double rho_ = 0.0;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_OCSVM_H_

@@ -1,0 +1,36 @@
+#include "baselines/session_detector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+std::vector<double> CountVector(const std::vector<int>& session, int vocab) {
+  std::vector<double> counts(vocab, 0.0);
+  for (int key : session) {
+    if (key >= 0 && key < vocab) counts[key] += 1.0;
+  }
+  return counts;
+}
+
+void L2Normalize(std::vector<double>* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm <= 0.0) return;
+  for (double& x : *v) x /= norm;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  UCAD_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace ucad::baselines

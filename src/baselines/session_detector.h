@@ -1,0 +1,41 @@
+#ifndef UCAD_BASELINES_SESSION_DETECTOR_H_
+#define UCAD_BASELINES_SESSION_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+namespace ucad::baselines {
+
+/// Common interface of the unsupervised baseline detectors (§6.1): train on
+/// normal key sessions only, then classify test sessions. All baselines
+/// operate at session granularity (the paper's comparison granularity).
+class SessionDetector {
+ public:
+  virtual ~SessionDetector() = default;
+
+  /// Fits the detector to normal sessions (keys in [0, vocab)).
+  virtual void Train(const std::vector<std::vector<int>>& sessions) = 0;
+
+  /// True when the session is classified abnormal.
+  virtual bool IsAbnormal(const std::vector<int>& session) const = 0;
+
+  /// Display name for result tables.
+  virtual std::string name() const = 0;
+};
+
+/// Session -> per-key count vector of dimension `vocab` (the featurization
+/// the paper applies for the non-sequence baselines: "profile each session
+/// as a vector of n dimensions and count the appearances of each
+/// operation").
+std::vector<double> CountVector(const std::vector<int>& session, int vocab);
+
+/// L2-normalizes a vector in place (no-op on the zero vector).
+void L2Normalize(std::vector<double>* v);
+
+/// Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_SESSION_DETECTOR_H_

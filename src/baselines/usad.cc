@@ -1,0 +1,164 @@
+#include "baselines/usad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/tape.h"
+#include "util/logging.h"
+
+namespace ucad::baselines {
+
+namespace {
+
+nn::Tensor RowTensor(const std::vector<double>& v) {
+  nn::Tensor t(1, static_cast<int>(v.size()));
+  for (size_t i = 0; i < v.size(); ++i) {
+    t.at(0, static_cast<int>(i)) = static_cast<float>(v[i]);
+  }
+  return t;
+}
+
+}  // namespace
+
+Usad::Usad(int vocab, const Options& options)
+    : vocab_(vocab), options_(options), init_rng_(options.seed) {
+  UCAD_CHECK_GT(vocab_, 0);
+  encoder_ =
+      std::make_unique<nn::Linear>(vocab_, options_.latent_dim, &init_rng_);
+  decoder1_ =
+      std::make_unique<nn::Linear>(options_.latent_dim, vocab_, &init_rng_);
+  decoder2_ =
+      std::make_unique<nn::Linear>(options_.latent_dim, vocab_, &init_rng_);
+}
+
+std::vector<std::vector<double>> Usad::WindowVectors(
+    const std::vector<int>& session, int stride) const {
+  std::vector<std::vector<double>> out;
+  if (session.empty()) return out;
+  const int w = options_.window;
+  const int n = static_cast<int>(session.size());
+  for (int start = 0; start == 0 || start + w <= n; start += stride) {
+    const int end = std::min(n, start + w);
+    std::vector<int> slice(session.begin() + start, session.begin() + end);
+    std::vector<double> counts = CountVector(slice, vocab_);
+    // Normalize by window length so short tails are comparable.
+    for (double& c : counts) c /= std::max(1, end - start);
+    out.push_back(std::move(counts));
+    if (end == n) break;
+  }
+  return out;
+}
+
+void Usad::Train(const std::vector<std::vector<int>>& sessions) {
+  std::vector<std::vector<double>> windows;
+  for (const auto& s : sessions) {
+    for (auto& w : WindowVectors(s, options_.stride)) {
+      windows.push_back(std::move(w));
+    }
+  }
+  UCAD_CHECK(!windows.empty());
+
+  // AE1 path trains E + D1, AE2 path trains E + D2; both optimizers share
+  // the encoder, mirroring the two-objective adversarial scheme.
+  std::vector<nn::Parameter*> params1 = encoder_->Params();
+  for (nn::Parameter* p : decoder1_->Params()) params1.push_back(p);
+  std::vector<nn::Parameter*> params2 = encoder_->Params();
+  for (nn::Parameter* p : decoder2_->Params()) params2.push_back(p);
+  nn::Adam opt1(params1, options_.learning_rate);
+  nn::Adam opt2(params2, options_.learning_rate);
+
+  util::Rng rng(options_.seed + 1);
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    rng.Shuffle(&windows);
+    // The original schedule drives the adversarial weight to 1 - 1/t; we
+    // cap it at 1/2 so D2 stays anchored to reconstructing real windows
+    // (otherwise it degenerates to a constant-output error maximizer on
+    // single-sample updates).
+    const float inv_t = std::max(0.5f, 1.0f / static_cast<float>(epoch));
+    for (const auto& w : windows) {
+      const nn::Tensor input = RowTensor(w);
+      // Phase 1: minimize L1 over {E, D1}.
+      {
+        nn::Tape tape;
+        nn::VarId x = tape.Constant(input);
+        nn::VarId z = tape.Tanh(encoder_->Forward(&tape, x));
+        nn::VarId ae1 = tape.Sigmoid(decoder1_->Forward(&tape, z));
+        nn::VarId z2 = tape.Tanh(encoder_->Forward(&tape, ae1));
+        nn::VarId ae2ae1 = tape.Sigmoid(decoder2_->Forward(&tape, z2));
+        nn::VarId d1 = tape.Sub(x, ae1);
+        nn::VarId d2 = tape.Sub(x, ae2ae1);
+        nn::VarId loss = tape.Add(
+            tape.Scale(tape.MeanAll(tape.Mul(d1, d1)), inv_t),
+            tape.Scale(tape.MeanAll(tape.Mul(d2, d2)), 1.0f - inv_t));
+        tape.Backward(loss);
+        // Discard the D2 gradients from this phase (the shared encoder's
+        // gradients must survive for opt1).
+        for (nn::Parameter* p : decoder2_->Params()) p->ZeroGrad();
+        opt1.ClipGradNorm(5.0f);
+        opt1.Step();
+      }
+      // Phase 2: minimize L2 over {E, D2} (maximize the adversarial term
+      // against AE1's reconstruction).
+      {
+        nn::Tape tape;
+        nn::VarId x = tape.Constant(input);
+        nn::VarId z = tape.Tanh(encoder_->Forward(&tape, x));
+        nn::VarId ae2 = tape.Sigmoid(decoder2_->Forward(&tape, z));
+        nn::VarId ae1 = tape.Sigmoid(decoder1_->Forward(&tape, z));
+        nn::VarId z2 = tape.Tanh(encoder_->Forward(&tape, ae1));
+        nn::VarId ae2ae1 = tape.Sigmoid(decoder2_->Forward(&tape, z2));
+        nn::VarId d2 = tape.Sub(x, ae2);
+        nn::VarId dadv = tape.Sub(x, ae2ae1);
+        nn::VarId loss = tape.Sub(
+            tape.Scale(tape.MeanAll(tape.Mul(d2, d2)), inv_t),
+            tape.Scale(tape.MeanAll(tape.Mul(dadv, dadv)), 1.0f - inv_t));
+        tape.Backward(loss);
+        // GAN-style stabilization: the adversarial phase updates D2 only.
+        // Letting the shared encoder chase the negative term collapses it
+        // to a constant representation (observed on wide vocabularies).
+        for (nn::Parameter* p : decoder1_->Params()) p->ZeroGrad();
+        for (nn::Parameter* p : encoder_->Params()) p->ZeroGrad();
+        opt2.ClipGradNorm(5.0f);
+        opt2.Step();
+      }
+    }
+  }
+
+  // Threshold on training window scores.
+  std::vector<double> scores;
+  for (const auto& w : windows) scores.push_back(WindowScore(w));
+  std::sort(scores.begin(), scores.end());
+  const size_t idx = static_cast<size_t>(
+      options_.quantile * (scores.size() - 1));
+  threshold_ = scores[idx] * options_.slack;
+}
+
+double Usad::WindowScore(const std::vector<double>& w) const {
+  nn::Tape tape;
+  Usad* self = const_cast<Usad*>(this);
+  nn::VarId x = tape.Constant(RowTensor(w));
+  nn::VarId z = tape.Tanh(self->encoder_->Forward(&tape, x));
+  nn::VarId ae1 = tape.Sigmoid(self->decoder1_->Forward(&tape, z));
+  nn::VarId z2 = tape.Tanh(self->encoder_->Forward(&tape, ae1));
+  nn::VarId ae2ae1 = tape.Sigmoid(self->decoder2_->Forward(&tape, z2));
+  nn::VarId d1 = tape.Sub(x, ae1);
+  nn::VarId d2 = tape.Sub(x, ae2ae1);
+  const double e1 = tape.value(tape.MeanAll(tape.Mul(d1, d1))).at(0, 0);
+  const double e2 = tape.value(tape.MeanAll(tape.Mul(d2, d2))).at(0, 0);
+  return options_.alpha * e1 + options_.beta * e2;
+}
+
+double Usad::Score(const std::vector<int>& session) const {
+  double worst = 0.0;
+  for (const auto& w : WindowVectors(session, options_.window)) {
+    worst = std::max(worst, WindowScore(w));
+  }
+  return worst;
+}
+
+bool Usad::IsAbnormal(const std::vector<int>& session) const {
+  return Score(session) > threshold_;
+}
+
+}  // namespace ucad::baselines

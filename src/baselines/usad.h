@@ -1,0 +1,67 @@
+#ifndef UCAD_BASELINES_USAD_H_
+#define UCAD_BASELINES_USAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/session_detector.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace ucad::baselines {
+
+/// USAD (Audibert et al., KDD 2020 [11]): two autoencoders AE1 = D1∘E and
+/// AE2 = D2∘E sharing an encoder, trained adversarially —
+///   L1 = (1/t)·||W - AE1(W)||² + (1 - 1/t)·||W - AE2(AE1(W))||²
+///   L2 = (1/t)·||W - AE2(W)||² - (1 - 1/t)·||W - AE2(AE1(W))||²
+/// over sliding-window feature vectors (decoder outputs are sigmoid-
+/// bounded, as in the original, to keep the adversarial phase stable).
+/// The anomaly score is
+///   α·||W - AE1(W)||² + β·||W - AE2(AE1(W))||².
+/// Windows here are key-count vectors over `window` consecutive operations;
+/// a session's score is its worst window, thresholded on a training
+/// quantile.
+class Usad : public SessionDetector {
+ public:
+  struct Options {
+    int window = 10;
+    int latent_dim = 16;
+    int epochs = 12;
+    float learning_rate = 2e-3f;
+    double alpha = 0.5;
+    double beta = 0.5;
+    /// Threshold = this quantile of training window scores, times slack.
+    double quantile = 0.99;
+    double slack = 1.3;
+    int stride = 5;
+    uint64_t seed = 23;
+  };
+
+  Usad(int vocab, const Options& options);
+
+  void Train(const std::vector<std::vector<int>>& sessions) override;
+  bool IsAbnormal(const std::vector<int>& session) const override;
+  std::string name() const override { return "USAD"; }
+
+  /// Worst window score of a session.
+  double Score(const std::vector<int>& session) const;
+  double threshold() const { return threshold_; }
+
+ private:
+  std::vector<std::vector<double>> WindowVectors(
+      const std::vector<int>& session, int stride) const;
+  double WindowScore(const std::vector<double>& w) const;
+
+  int vocab_;
+  Options options_;
+  util::Rng init_rng_;
+  // Shared encoder, two decoders.
+  std::unique_ptr<nn::Linear> encoder_;
+  std::unique_ptr<nn::Linear> decoder1_;
+  std::unique_ptr<nn::Linear> decoder2_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace ucad::baselines
+
+#endif  // UCAD_BASELINES_USAD_H_

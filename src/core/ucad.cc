@@ -1,0 +1,77 @@
+#include "core/ucad.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ucad::core {
+
+Ucad::Ucad(const UcadOptions& options, prep::PolicyEngine policies)
+    : options_(options),
+      preprocessor_(std::move(policies), options.filter),
+      rng_(options.seed) {}
+
+util::Status Ucad::Train(const std::vector<sql::RawSession>& log) {
+  if (log.empty()) {
+    return util::Status::InvalidArgument("training log is empty");
+  }
+  std::vector<sql::KeySession> purified =
+      preprocessor_.PrepareTrainingData(log, &rng_);
+  if (purified.empty()) {
+    return util::Status::FailedPrecondition(
+        "preprocessing removed every session; relax the filter options");
+  }
+  std::vector<std::vector<int>> sessions;
+  sessions.reserve(purified.size());
+  for (const auto& s : purified) sessions.push_back(s.keys);
+
+  transdas::TransDasConfig model_config = options_.model;
+  model_config.vocab_size = preprocessor_.vocabulary().size();
+  if (model_config.vocab_size < 2) {
+    return util::Status::FailedPrecondition(
+        "vocabulary has no statement keys");
+  }
+  model_ = std::make_unique<transdas::TransDasModel>(model_config, &rng_);
+  trainer_ =
+      std::make_unique<transdas::TransDasTrainer>(model_.get(),
+                                                  options_.training);
+  trainer_->Train(sessions);
+  detector_ = std::make_unique<transdas::TransDasDetector>(
+      model_.get(), options_.detection);
+  return util::Status::Ok();
+}
+
+UcadDetection Ucad::Detect(const sql::RawSession& session) const {
+  UCAD_CHECK(trained()) << "Detect() before Train()";
+  UcadDetection result;
+  bool known_attack = false;
+  const sql::KeySession keys =
+      preprocessor_.PrepareActiveSession(session, &known_attack);
+  result.known_attack = known_attack;
+  if (known_attack) {
+    result.violated_policy =
+        preprocessor_.policy_engine().FirstViolation(session);
+    return result;
+  }
+  result.verdict = detector_->DetectSession(keys.keys);
+  return result;
+}
+
+util::Status Ucad::FineTune(const std::vector<sql::RawSession>& verified) {
+  if (!trained()) {
+    return util::Status::FailedPrecondition("FineTune() before Train()");
+  }
+  if (verified.empty()) {
+    return util::Status::InvalidArgument("no verified sessions");
+  }
+  std::vector<std::vector<int>> sessions;
+  sessions.reserve(verified.size());
+  for (const auto& raw : verified) {
+    sessions.push_back(
+        sql::TokenizeSessionFrozen(raw, preprocessor_.vocabulary()).keys);
+  }
+  trainer_->FineTune(sessions);
+  return util::Status::Ok();
+}
+
+}  // namespace ucad::core

@@ -1,0 +1,111 @@
+#ifndef UCAD_CORE_UCAD_H_
+#define UCAD_CORE_UCAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prep/preprocessor.h"
+#include "sql/session.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ucad::core {
+
+/// Top-level configuration of a UCAD instance.
+struct UcadOptions {
+  /// Trans-DAS architecture (vocab_size is derived from the training log).
+  transdas::TransDasConfig model;
+  /// Offline training options (§5.2).
+  transdas::TrainOptions training;
+  /// Online top-p detection options (§5.3).
+  transdas::DetectorOptions detection;
+  /// Clustering-based noise removal options (§5.1). The default coarsens
+  /// profiles to (table, command) groups with a wide DBSCAN radius, which
+  /// keeps the bulk of a heterogeneous normal log (raw-key Jaccard
+  /// distances collapse on wide vocabularies).
+  prep::SessionFilterOptions filter = DefaultFilter();
+  /// Seed for model initialization and preprocessing randomness.
+  uint64_t seed = 1;
+
+  static prep::SessionFilterOptions DefaultFilter() {
+    prep::SessionFilterOptions f;
+    f.coarsen_by_table_command = true;
+    f.dbscan.eps = 0.7;
+    f.dbscan.min_points = 3;
+    f.oversample_factor = 4.0;
+    f.small_cluster_ratio = 0.2;
+    f.short_session_ratio = 0.35;
+    return f;
+  }
+};
+
+/// Result of screening one active session.
+struct UcadDetection {
+  /// True when an access-control policy rejected the session outright
+  /// (known attack pattern, filtered before the model runs — §3).
+  bool known_attack = false;
+  /// Name of the violated policy when known_attack is true.
+  std::string violated_policy;
+  /// Trans-DAS verdict (valid when !known_attack).
+  transdas::SessionVerdict verdict;
+
+  /// True when the session should be escalated to a domain expert.
+  bool abnormal() const { return known_attack || verdict.abnormal; }
+};
+
+/// The complete UCAD system (§3): a preprocessing module (tokenization,
+/// access-control screening, clustering-based noise removal) plus an
+/// anomaly detection module (Trans-DAS trained unsupervised on purified
+/// normal sessions; top-p contextual-intent matching online).
+///
+/// Typical usage:
+///   core::Ucad ucad(options, std::move(policies));
+///   UCAD_CHECK(ucad.Train(audit_log).ok());
+///   UcadDetection d = ucad.Detect(active_session);
+///   if (d.abnormal()) Escalate(d);
+class Ucad {
+ public:
+  /// `policies` is the extensible ABAC rule set applied in both stages.
+  Ucad(const UcadOptions& options, prep::PolicyEngine policies);
+
+  Ucad(const Ucad&) = delete;
+  Ucad& operator=(const Ucad&) = delete;
+
+  /// Offline stage: preprocesses the raw audit log (assumed normal user
+  /// traffic, possibly noisy) and trains Trans-DAS on the purified
+  /// sessions. Returns InvalidArgument on an empty log and
+  /// FailedPrecondition when preprocessing removes every session.
+  util::Status Train(const std::vector<sql::RawSession>& log);
+
+  /// Online stage: screens one active session. Must be called after a
+  /// successful Train().
+  UcadDetection Detect(const sql::RawSession& session) const;
+
+  /// Fine-tunes the model on expert-verified normal sessions (concept
+  /// drift, §5.2). Returns FailedPrecondition before Train().
+  util::Status FineTune(const std::vector<sql::RawSession>& verified);
+
+  /// True once Train() has succeeded.
+  bool trained() const { return model_ != nullptr; }
+
+  const prep::Preprocessor& preprocessor() const { return preprocessor_; }
+  transdas::TransDasModel* model() { return model_.get(); }
+  const UcadOptions& options() const { return options_; }
+
+ private:
+  UcadOptions options_;
+  prep::Preprocessor preprocessor_;
+  util::Rng rng_;
+  std::unique_ptr<transdas::TransDasModel> model_;
+  std::unique_ptr<transdas::TransDasTrainer> trainer_;
+  std::unique_ptr<transdas::TransDasDetector> detector_;
+};
+
+}  // namespace ucad::core
+
+#endif  // UCAD_CORE_UCAD_H_

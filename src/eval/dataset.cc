@@ -1,0 +1,145 @@
+#include "eval/dataset.h"
+
+#include <utility>
+
+#include "prep/preprocessor.h"
+#include "util/logging.h"
+#include "workload/anomaly.h"
+
+namespace ucad::eval {
+
+std::vector<LabeledSet> ScenarioDataset::TestSets() const {
+  return {
+      {sql::SessionLabel::kNormal, v1},
+      {sql::SessionLabel::kNormalSwapped, v2},
+      {sql::SessionLabel::kNormalReduced, v3},
+      {sql::SessionLabel::kPrivilegeAbuse, a1},
+      {sql::SessionLabel::kCredentialTheft, a2},
+      {sql::SessionLabel::kMisoperation, a3},
+  };
+}
+
+std::vector<std::vector<int>> ScenarioDataset::HybridTrain(
+    double ratio, util::Rng* rng) const {
+  std::vector<std::vector<int>> out = train;
+  std::vector<const std::vector<std::vector<int>>*> pools = {&a1, &a2, &a3};
+  const int count = static_cast<int>(train.size() * ratio + 0.5);
+  for (int i = 0; i < count; ++i) {
+    const auto* pool = pools[rng->UniformU64(pools.size())];
+    if (pool->empty()) continue;
+    out.push_back((*pool)[rng->UniformU64(pool->size())]);
+  }
+  rng->Shuffle(&out);
+  return out;
+}
+
+ScenarioDataset BuildScenarioDataset(const workload::ScenarioSpec& spec,
+                                     const DatasetOptions& options) {
+  UCAD_CHECK_GE(options.normal_sessions, 10);
+  util::Rng rng(options.seed);
+  workload::SessionGenerator generator(spec);
+  workload::AnomalySynthesizer synthesizer(&generator);
+
+  // Raw audit log: normal sessions plus (optionally) noisy ones that the
+  // access-control policies must filter.
+  std::vector<sql::RawSession> log =
+      generator.GenerateNormalBatch(options.normal_sessions, &rng);
+  const int train_count = static_cast<int>(log.size() * 0.8);
+  std::vector<sql::RawSession> train_raw(log.begin(),
+                                         log.begin() + train_count);
+  std::vector<sql::RawSession> test_raw(log.begin() + train_count, log.end());
+  for (int i = 0; i < options.noisy_sessions; ++i) {
+    const auto kind = static_cast<workload::NoiseKind>(rng.UniformU64(4));
+    train_raw.push_back(generator.GenerateNoisy(kind, &rng));
+  }
+  rng.Shuffle(&train_raw);
+
+  // Preprocess the training split: policies + vocabulary + clustering.
+  prep::PolicyEngine engine = prep::MakeDefaultPolicyEngine(
+      spec.users, spec.addresses, spec.business_start_hour,
+      spec.business_end_hour);
+  prep::SessionFilterOptions filter_options = options.filter;
+  if (!options.run_session_filter) {
+    // Effectively disable pruning while keeping the code path exercised.
+    filter_options.small_cluster_ratio = 0.0;
+    filter_options.short_session_ratio = 0.0;
+    filter_options.oversample_factor = 1e9;
+    filter_options.dbscan.eps = 1.0;
+    filter_options.dbscan.min_points = 1;
+  }
+  prep::Preprocessor preprocessor(std::move(engine), filter_options);
+
+  ScenarioDataset ds;
+  ds.scenario_name = spec.name;
+  std::vector<sql::KeySession> purified =
+      preprocessor.PrepareTrainingData(train_raw, &rng);
+  UCAD_CHECK(!purified.empty()) << "preprocessing removed every session";
+  double total_len = 0.0;
+  for (const auto& session : purified) {
+    ds.train.push_back(session.keys);
+    total_len += session.keys.size();
+  }
+  ds.avg_train_length = total_len / purified.size();
+  ds.vocab = preprocessor.vocabulary();
+
+  // Optional augmentation (§7): swap/remove mutations of training sessions
+  // are themselves normal, so adding them enlarges the normal manifold the
+  // model learns. Mutations need the generator's swap/removable metadata,
+  // so they are derived from the raw sessions and tokenized frozen.
+  if (options.augment_per_session > 0) {
+    for (const sql::RawSession& raw : train_raw) {
+      // Skip the raw-log sessions the policy engine rejected.
+      if (!preprocessor.policy_engine().Admits(raw)) continue;
+      for (int a = 0; a < options.augment_per_session; ++a) {
+        const sql::RawSession mutated =
+            rng.Bernoulli(0.5) ? synthesizer.PartialSwap(raw, &rng)
+                               : synthesizer.PartialRemove(raw, &rng);
+        ds.train.push_back(
+            sql::TokenizeSessionFrozen(mutated, ds.vocab).keys);
+      }
+    }
+  }
+  ds.key_commands.reserve(ds.vocab.size());
+  for (int k = 0; k < ds.vocab.size(); ++k) {
+    switch (ds.vocab.CommandOf(k)) {
+      case sql::CommandType::kSelect:
+        ds.key_commands.push_back(0);
+        break;
+      case sql::CommandType::kInsert:
+        ds.key_commands.push_back(1);
+        break;
+      case sql::CommandType::kUpdate:
+        ds.key_commands.push_back(2);
+        break;
+      case sql::CommandType::kDelete:
+        ds.key_commands.push_back(3);
+        break;
+      case sql::CommandType::kOther:
+        ds.key_commands.push_back(4);
+        break;
+    }
+  }
+
+  // Testing sets. V1 = held-out normal; V2/V3 mutations of V1; A1/A2
+  // derived from V1; A3 synthesized from rare operations. |Ai| = |V1|.
+  auto tokenize = [&ds](const sql::RawSession& raw) {
+    return sql::TokenizeSessionFrozen(raw, ds.vocab).keys;
+  };
+  double avg_test_len = 0.0;
+  for (const sql::RawSession& raw : test_raw) {
+    ds.v1.push_back(tokenize(raw));
+    avg_test_len += raw.operations.size();
+    ds.v2.push_back(tokenize(synthesizer.PartialSwap(raw, &rng)));
+    ds.v3.push_back(tokenize(synthesizer.PartialRemove(raw, &rng)));
+    ds.a1.push_back(tokenize(synthesizer.PrivilegeAbuse(raw, &rng)));
+    ds.a2.push_back(tokenize(synthesizer.CredentialStealing(raw, &rng)));
+  }
+  avg_test_len /= std::max<size_t>(1, test_raw.size());
+  for (size_t i = 0; i < test_raw.size(); ++i) {
+    ds.a3.push_back(tokenize(synthesizer.Misoperation(
+        static_cast<int>(avg_test_len), &rng)));
+  }
+  return ds;
+}
+
+}  // namespace ucad::eval

@@ -1,0 +1,81 @@
+#ifndef UCAD_EVAL_DATASET_H_
+#define UCAD_EVAL_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "prep/session_filter.h"
+#include "sql/session.h"
+#include "sql/vocabulary.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace ucad::eval {
+
+/// Sizing of a generated scenario dataset (paper Table 1 / §6.1: the
+/// purified normal sessions split 8:2 into training T and testing V1; V2,
+/// V3 derive from V1; A1-A3 are synthesized with |Ai| = |V1|).
+struct DatasetOptions {
+  int normal_sessions = 400;   // before the 8:2 split
+  /// Noisy sessions mixed into the raw log (exercises the preprocessing
+  /// module; they are filtered before training).
+  int noisy_sessions = 0;
+  uint64_t seed = 42;
+  /// Run the clustering-based noise filter on the training split.
+  bool run_session_filter = true;
+  /// Data augmentation (paper §7, future work): add this many swap/remove
+  /// mutations of each training session to the purified training set,
+  /// teaching the model that interchangeable orderings are normal.
+  int augment_per_session = 0;
+  /// Clustering knobs. Generated sessions mix heterogeneous tasks, so the
+  /// profiles of two normal sessions overlap only partially — the
+  /// neighborhood radius is wider than for near-duplicate logs.
+  prep::SessionFilterOptions filter = DefaultFilterOptions();
+
+  static prep::SessionFilterOptions DefaultFilterOptions() {
+    prep::SessionFilterOptions f;
+    f.coarsen_by_table_command = true;
+    f.dbscan.eps = 0.7;
+    f.dbscan.min_points = 3;
+    f.oversample_factor = 4.0;
+    f.small_cluster_ratio = 0.2;
+    f.short_session_ratio = 0.35;
+    return f;
+  }
+};
+
+/// A fully materialized scenario dataset: frozen vocabulary, purified
+/// training sessions, and the six testing sets — everything as key
+/// sequences.
+struct ScenarioDataset {
+  std::string scenario_name;
+  sql::Vocabulary vocab;
+  /// 0=select,1=insert,2=update,3=delete,4=other per key (Mazzawi features
+  /// and Table 1 statistics).
+  std::vector<int> key_commands;
+
+  std::vector<std::vector<int>> train;  // T (purified)
+  std::vector<std::vector<int>> v1, v2, v3, a1, a2, a3;
+
+  /// Average training-session length (drives the choice of L).
+  double avg_train_length = 0.0;
+
+  /// The six labeled testing sets in paper order.
+  std::vector<LabeledSet> TestSets() const;
+
+  /// Training set poisoned with `ratio` * |train| abnormal sessions drawn
+  /// from A1∪A2∪A3 (robustness study, §6.5).
+  std::vector<std::vector<int>> HybridTrain(double ratio,
+                                            util::Rng* rng) const;
+};
+
+/// Generates, preprocesses, and tokenizes a complete dataset from a
+/// scenario spec.
+ScenarioDataset BuildScenarioDataset(const workload::ScenarioSpec& spec,
+                                     const DatasetOptions& options);
+
+}  // namespace ucad::eval
+
+#endif  // UCAD_EVAL_DATASET_H_

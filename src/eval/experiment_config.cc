@@ -1,0 +1,147 @@
+#include "eval/experiment_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ucad::eval {
+
+Scale ScaleFromEnv() {
+  const char* value = std::getenv("UCAD_SCALE");
+  if (value == nullptr) return Scale::kRepro;
+  if (std::strcmp(value, "smoke") == 0) return Scale::kSmoke;
+  if (std::strcmp(value, "paper") == 0) return Scale::kPaper;
+  return Scale::kRepro;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kRepro:
+      return "repro";
+    case Scale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+ScenarioConfig ScenarioIConfig(Scale scale) {
+  ScenarioConfig c;
+  c.name = "Scenario-I (commenting)";
+
+  workload::CommentingOptions wl;
+  c.dataset.seed = 42;
+  // Paper model defaults for Scenario-I: L=30, p=5, g=0.5, h=10, m=2, B=6.
+  c.model.window = 30;
+  c.model.hidden_dim = 10;
+  c.model.num_heads = 2;
+  c.model.num_blocks = 6;
+  c.detection.top_p = 5;
+  c.training.margin = 0.5f;
+  c.training.learning_rate = 3e-3f;
+  c.training.window_stride = 8;
+
+  switch (scale) {
+    case Scale::kSmoke:
+      wl.min_tasks = 2;
+      wl.max_tasks = 4;
+      c.dataset.normal_sessions = 60;
+      c.model.window = 12;
+      c.model.hidden_dim = 8;
+      c.model.num_blocks = 2;
+      c.training.epochs = 2;
+      c.deeplog.epochs = 1;
+      c.usad.epochs = 2;
+      break;
+    case Scale::kRepro:
+      c.dataset.normal_sessions = 440;  // ~354 train / ~88 test, as Table 1
+      c.training.epochs = 120;
+      c.training.negative_samples = 4;
+      // The paper selects p per scenario by validation (Fig. 7 peaks at
+      // its dataset's operating point); the repro workload's peak sits one
+      // notch higher.
+      c.detection.top_p = 6;
+      c.deeplog.epochs = 2;
+      c.deeplog.stride = 2;
+      break;
+    case Scale::kPaper:
+      c.dataset.normal_sessions = 443;
+      c.training.epochs = 200;
+      c.training.negative_samples = 4;
+      c.deeplog.epochs = 4;
+      break;
+  }
+  c.spec = workload::MakeCommentingScenario(wl);
+  return c;
+}
+
+ScenarioConfig ScenarioIIConfig(Scale scale) {
+  ScenarioConfig c;
+  c.name = "Scenario-II (location)";
+
+  workload::LocationOptions wl;
+  c.dataset.seed = 43;
+  // Paper model defaults for Scenario-II: L=100, p=10, g=0.5, h=64, m=8,
+  // B=6 over 3722 training sessions; the repro scale shrinks the session
+  // count, vocabulary density, window, and depth proportionally (see
+  // EXPERIMENTS.md) while keeping every comparison relative.
+  c.detection.top_p = 10;
+  c.training.margin = 0.5f;
+  c.training.learning_rate = 3e-3f;
+
+  switch (scale) {
+    case Scale::kSmoke:
+      wl.select_variants = 3;
+      wl.insert_variants = 3;
+      wl.picn_insert_variants = 2;
+      wl.update_variants = 3;
+      wl.min_tasks = 2;
+      wl.max_tasks = 4;
+      c.dataset.normal_sessions = 60;
+      c.model.window = 16;
+      c.model.hidden_dim = 16;
+      c.model.num_heads = 2;
+      c.model.num_blocks = 2;
+      c.training.epochs = 2;
+      c.training.window_stride = 16;
+      c.deeplog.epochs = 1;
+      c.deeplog.stride = 4;
+      c.usad.epochs = 2;
+      break;
+    case Scale::kRepro:
+      wl.select_variants = 8;
+      wl.insert_variants = 10;
+      wl.picn_insert_variants = 4;
+      wl.update_variants = 12;
+      wl.min_tasks = 4;
+      wl.max_tasks = 7;
+      c.dataset.normal_sessions = 500;  // ~400 train / ~100 test
+      c.model.window = 50;
+      c.model.hidden_dim = 32;
+      c.model.num_heads = 4;
+      c.model.num_blocks = 3;
+      c.training.epochs = 60;
+      c.training.negative_samples = 8;
+      c.training.window_stride = 25;
+      c.deeplog.epochs = 2;
+      c.deeplog.stride = 4;
+      c.usad.stride = 5;
+      break;
+    case Scale::kPaper:
+      c.dataset.normal_sessions = 4650;  // ~3722 train, as Table 1
+      c.model.window = 100;
+      c.model.hidden_dim = 64;
+      c.model.num_heads = 8;
+      c.model.num_blocks = 6;
+      c.training.epochs = 30;
+      c.training.negative_samples = 4;
+      c.training.window_stride = 50;
+      c.deeplog.epochs = 3;
+      c.deeplog.stride = 4;
+      break;
+  }
+  c.spec = workload::MakeLocationScenario(wl);
+  return c;
+}
+
+}  // namespace ucad::eval

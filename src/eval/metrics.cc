@@ -1,0 +1,66 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace ucad::eval {
+
+double EvalResult::Rate(sql::SessionLabel label) const {
+  auto it = per_set_rate.find(label);
+  return it == per_set_rate.end() ? 0.0 : it->second;
+}
+
+EvalResult Evaluate(const SessionClassifier& classifier,
+                    const std::vector<LabeledSet>& sets) {
+  EvalResult result;
+  for (const LabeledSet& set : sets) {
+    const bool abnormal_set = sql::IsAbnormalLabel(set.label);
+    int flagged = 0;
+    for (const auto& session : set.sessions) {
+      if (classifier(session)) ++flagged;
+    }
+    const int n = static_cast<int>(set.sessions.size());
+    if (abnormal_set) {
+      result.true_positives += flagged;
+      result.false_negatives += n - flagged;
+      result.per_set_rate[set.label] =
+          n == 0 ? 0.0 : static_cast<double>(n - flagged) / n;  // FNR
+    } else {
+      result.false_positives += flagged;
+      result.true_negatives += n - flagged;
+      result.per_set_rate[set.label] =
+          n == 0 ? 0.0 : static_cast<double>(flagged) / n;  // FPR
+    }
+  }
+  const int tp = result.true_positives;
+  const int fp = result.false_positives;
+  const int fn = result.false_negatives;
+  result.precision = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  result.recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  result.f1 = result.precision + result.recall == 0.0
+                  ? 0.0
+                  : 2.0 * result.precision * result.recall /
+                        (result.precision + result.recall);
+  return result;
+}
+
+BinaryMetrics EvaluateBinary(const SessionClassifier& classifier,
+                             const std::vector<std::vector<int>>& sessions,
+                             const std::vector<bool>& labels) {
+  UCAD_CHECK_EQ(sessions.size(), labels.size());
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const bool flagged = classifier(sessions[i]);
+    if (flagged && labels[i]) ++tp;
+    if (flagged && !labels[i]) ++fp;
+    if (!flagged && labels[i]) ++fn;
+  }
+  BinaryMetrics m;
+  m.precision = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  m.recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  m.f1 = m.precision + m.recall == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace ucad::eval

@@ -1,0 +1,58 @@
+#ifndef UCAD_EVAL_METRICS_H_
+#define UCAD_EVAL_METRICS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/session.h"
+
+namespace ucad::eval {
+
+/// One labeled testing set (V1/V2/V3/A1/A2/A3) of key sessions.
+struct LabeledSet {
+  sql::SessionLabel label;
+  std::vector<std::vector<int>> sessions;
+};
+
+/// Session-granularity detection metrics over the six testing sets
+/// (paper §6.1): per-normal-set FPR, per-abnormal-set FNR, and the
+/// combined precision / recall / F1 (abnormal = positive).
+struct EvalResult {
+  /// FPR for normal sets, FNR for abnormal sets, keyed by label.
+  std::map<sql::SessionLabel, double> per_set_rate;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+
+  /// Rate for one set (0 when the set was not evaluated).
+  double Rate(sql::SessionLabel label) const;
+};
+
+/// Classifier signature: true = session flagged abnormal.
+using SessionClassifier = std::function<bool(const std::vector<int>&)>;
+
+/// Runs `classifier` over every set and aggregates the paper's metrics.
+EvalResult Evaluate(const SessionClassifier& classifier,
+                    const std::vector<LabeledSet>& sets);
+
+/// Precision / recall / F1 over plain binary labels (used by the
+/// transferability study, Table 6).
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+BinaryMetrics EvaluateBinary(const SessionClassifier& classifier,
+                             const std::vector<std::vector<int>>& sessions,
+                             const std::vector<bool>& labels);
+
+}  // namespace ucad::eval
+
+#endif  // UCAD_EVAL_METRICS_H_

@@ -1,0 +1,80 @@
+#include "eval/runner.h"
+
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "util/logging.h"
+
+namespace ucad::eval {
+
+double TransDasRun::MeanEpochSeconds() const {
+  if (epochs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : epochs) total += e.seconds;
+  return total / epochs.size();
+}
+
+TransDasRun RunTransDas(const ScenarioDataset& ds,
+                        transdas::TransDasConfig model_config,
+                        const transdas::TrainOptions& train_options,
+                        const transdas::DetectorOptions& detector_options,
+                        const std::vector<std::vector<int>>& train,
+                        uint64_t model_seed) {
+  model_config.vocab_size = ds.vocab.size();
+  util::Rng rng(model_seed);
+  transdas::TransDasModel model(model_config, &rng);
+  transdas::TransDasTrainer trainer(&model, train_options);
+  TransDasRun run;
+  run.epochs = trainer.Train(train);
+  transdas::TransDasDetector detector(&model, detector_options);
+  run.metrics = Evaluate(
+      [&detector](const std::vector<int>& session) {
+        return detector.DetectSession(session).abnormal;
+      },
+      ds.TestSets());
+  return run;
+}
+
+std::vector<std::string> BaselineNames() {
+  return {"OneClassSVM", "iForest", "Mazzawi et al.", "DeepLog", "USAD"};
+}
+
+std::unique_ptr<baselines::SessionDetector> MakeBaseline(
+    const std::string& name, const ScenarioConfig& config,
+    const ScenarioDataset& ds) {
+  const int vocab = ds.vocab.size();
+  if (name == "OneClassSVM") {
+    return std::make_unique<baselines::OneClassSvm>(vocab, config.ocsvm);
+  }
+  if (name == "iForest") {
+    return std::make_unique<baselines::IsolationForest>(vocab,
+                                                        config.iforest);
+  }
+  if (name == "Mazzawi et al.") {
+    return std::make_unique<baselines::MazzawiDetector>(
+        vocab, ds.key_commands, config.mazzawi);
+  }
+  if (name == "DeepLog") {
+    return std::make_unique<baselines::DeepLog>(vocab, config.deeplog);
+  }
+  if (name == "USAD") {
+    return std::make_unique<baselines::Usad>(vocab, config.usad);
+  }
+  if (name == "LogCluster") {
+    return std::make_unique<baselines::LogCluster>(vocab, config.logcluster);
+  }
+  UCAD_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+EvalResult RunBaseline(baselines::SessionDetector* detector,
+                       const ScenarioDataset& ds,
+                       const std::vector<std::vector<int>>& train) {
+  detector->Train(train);
+  return Evaluate(
+      [detector](const std::vector<int>& session) {
+        return detector->IsAbnormal(session);
+      },
+      ds.TestSets());
+}
+
+}  // namespace ucad::eval

@@ -1,0 +1,53 @@
+#ifndef UCAD_EVAL_RUNNER_H_
+#define UCAD_EVAL_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/session_detector.h"
+#include "eval/dataset.h"
+#include "eval/experiment_config.h"
+#include "eval/metrics.h"
+#include "transdas/config.h"
+#include "transdas/trainer.h"
+
+namespace ucad::eval {
+
+/// Outcome of training + evaluating one Trans-DAS (or variant) model.
+struct TransDasRun {
+  EvalResult metrics;
+  std::vector<transdas::EpochStats> epochs;
+
+  /// Mean training seconds per epoch (Tables 4/5).
+  double MeanEpochSeconds() const;
+};
+
+/// Trains a Trans-DAS with the given configs on `train` (pass
+/// ds.train or a hybrid set) and evaluates it on ds.TestSets().
+/// model_config.vocab_size is overwritten from the dataset vocabulary.
+TransDasRun RunTransDas(const ScenarioDataset& ds,
+                        transdas::TransDasConfig model_config,
+                        const transdas::TrainOptions& train_options,
+                        const transdas::DetectorOptions& detector_options,
+                        const std::vector<std::vector<int>>& train,
+                        uint64_t model_seed = 1234);
+
+/// The five baseline names in the paper's Table 2 row order.
+std::vector<std::string> BaselineNames();
+
+/// Instantiates a baseline by name ("OneClassSVM", "iForest",
+/// "Mazzawi et al.", "DeepLog", "USAD", "LogCluster") configured from
+/// `config` for the dataset's vocabulary.
+std::unique_ptr<baselines::SessionDetector> MakeBaseline(
+    const std::string& name, const ScenarioConfig& config,
+    const ScenarioDataset& ds);
+
+/// Trains a baseline on `train` and evaluates it on ds.TestSets().
+EvalResult RunBaseline(baselines::SessionDetector* detector,
+                       const ScenarioDataset& ds,
+                       const std::vector<std::vector<int>>& train);
+
+}  // namespace ucad::eval
+
+#endif  // UCAD_EVAL_RUNNER_H_

@@ -1,0 +1,45 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ucad::nn {
+
+GradCheckResult CheckGradients(
+    const std::function<double()>& loss_with_backward,
+    const std::function<double()>& loss_only,
+    const std::vector<Parameter*>& params, float epsilon) {
+  for (Parameter* p : params) p->ZeroGrad();
+  (void)loss_with_backward();
+
+  // Snapshot analytic gradients, then perturb each entry.
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad());
+
+  GradCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& w = params[pi]->value();
+    for (size_t j = 0; j < w.size(); ++j) {
+      const float saved = w.data()[j];
+      w.data()[j] = saved + epsilon;
+      const double plus = loss_only();
+      w.data()[j] = saved - epsilon;
+      const double minus = loss_only();
+      w.data()[j] = saved;
+      const float numeric =
+          static_cast<float>((plus - minus) / (2.0 * epsilon));
+      const float a = analytic[pi].data()[j];
+      const float abs_err = std::abs(a - numeric);
+      const float rel_err =
+          abs_err / std::max(1e-3f, std::abs(a) + std::abs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      ++result.entries;
+    }
+  }
+  for (Parameter* p : params) p->ZeroGrad();
+  return result;
+}
+
+}  // namespace ucad::nn

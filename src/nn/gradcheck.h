@@ -1,0 +1,35 @@
+#ifndef UCAD_NN_GRADCHECK_H_
+#define UCAD_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace ucad::nn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  /// Largest absolute difference between analytic and numeric gradients.
+  float max_abs_error = 0.0f;
+  /// Largest relative error max(|a-n| / max(1e-3, |a|+|n|)).
+  float max_rel_error = 0.0f;
+  /// Number of parameter entries compared.
+  size_t entries = 0;
+};
+
+/// Verifies analytic gradients of `loss_fn` w.r.t. `params` against central
+/// finite differences. `loss_fn` must build a fresh graph each call, reading
+/// parameter values at call time, and return the scalar loss value.
+///
+/// The analytic gradient is obtained by calling `loss_fn` once in "grad"
+/// mode: the caller's closure should run Backward itself and leave gradients
+/// accumulated in the parameters.
+GradCheckResult CheckGradients(
+    const std::function<double()>& loss_with_backward,
+    const std::function<double()>& loss_only,
+    const std::vector<Parameter*>& params, float epsilon = 1e-3f);
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_GRADCHECK_H_

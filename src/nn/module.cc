@@ -1,0 +1,87 @@
+#include "nn/module.h"
+
+#include <utility>
+
+namespace ucad::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng* rng)
+    : weight_(Tensor::XavierUniform(in_features, out_features, rng)),
+      bias_(Tensor::Zeros(1, out_features)) {}
+
+VarId Linear::Forward(Tape* tape, VarId x) {
+  VarId w = tape->Param(&weight_);
+  VarId b = tape->Param(&bias_);
+  return tape->AddRowVector(tape->MatMul(x, w), b);
+}
+
+std::vector<Parameter*> Linear::Params() { return {&weight_, &bias_}; }
+
+Embedding::Embedding(int vocab_size, int dim, util::Rng* rng,
+                     int padding_index)
+    : table_(Tensor::Randn(vocab_size, dim, 0.1f, rng)),
+      padding_index_(padding_index) {
+  UCAD_CHECK(padding_index >= 0 && padding_index < vocab_size);
+  FreezePaddingRow();
+}
+
+VarId Embedding::Forward(Tape* tape, std::vector<int> keys) {
+  VarId table = tape->Param(&table_);
+  return tape->EmbeddingGather(table, std::move(keys));
+}
+
+VarId Embedding::Table(Tape* tape) { return tape->Param(&table_); }
+
+void Embedding::FreezePaddingRow() {
+  float* row = table_.value().row(padding_index_);
+  for (int c = 0; c < table_.value().cols(); ++c) row[c] = 0.0f;
+}
+
+std::vector<Parameter*> Embedding::Params() { return {&table_}; }
+
+LayerNorm::LayerNorm(int dim)
+    : gain_(Tensor::Full(1, dim, 1.0f)), bias_(Tensor::Zeros(1, dim)) {}
+
+VarId LayerNorm::Forward(Tape* tape, VarId x) {
+  VarId g = tape->Param(&gain_);
+  VarId b = tape->Param(&bias_);
+  return tape->LayerNormRows(x, g, b);
+}
+
+std::vector<Parameter*> LayerNorm::Params() { return {&gain_, &bias_}; }
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, util::Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      weight_(Tensor::XavierUniform(input_dim + hidden_dim, 4 * hidden_dim,
+                                    rng)),
+      bias_(Tensor::Zeros(1, 4 * hidden_dim)) {
+  // Forget-gate bias of 1 is the standard trick for gradient flow early in
+  // training.
+  for (int c = hidden_dim; c < 2 * hidden_dim; ++c) {
+    bias_.value().at(0, c) = 1.0f;
+  }
+}
+
+LstmCell::State LstmCell::InitialState(Tape* tape) const {
+  return State{tape->Constant(Tensor::Zeros(1, hidden_dim_)),
+               tape->Constant(Tensor::Zeros(1, hidden_dim_))};
+}
+
+LstmCell::State LstmCell::Step(Tape* tape, VarId x, const State& prev) {
+  UCAD_CHECK_EQ(tape->value(x).cols(), input_dim_);
+  VarId xh = tape->ConcatCols({x, prev.h});
+  VarId w = tape->Param(&weight_);
+  VarId b = tape->Param(&bias_);
+  VarId gates = tape->AddRowVector(tape->MatMul(xh, w), b);
+  VarId i = tape->Sigmoid(tape->SliceCols(gates, 0, hidden_dim_));
+  VarId f = tape->Sigmoid(tape->SliceCols(gates, hidden_dim_, hidden_dim_));
+  VarId g = tape->Tanh(tape->SliceCols(gates, 2 * hidden_dim_, hidden_dim_));
+  VarId o = tape->Sigmoid(tape->SliceCols(gates, 3 * hidden_dim_, hidden_dim_));
+  VarId c = tape->Add(tape->Mul(f, prev.c), tape->Mul(i, g));
+  VarId h = tape->Mul(o, tape->Tanh(c));
+  return State{h, c};
+}
+
+std::vector<Parameter*> LstmCell::Params() { return {&weight_, &bias_}; }
+
+}  // namespace ucad::nn

@@ -1,0 +1,111 @@
+#ifndef UCAD_NN_MODULE_H_
+#define UCAD_NN_MODULE_H_
+
+#include <vector>
+
+#include "nn/tape.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+
+/// Fully-connected layer: y = x W + b, x is [m x in], W is [in x out].
+class Linear {
+ public:
+  /// Xavier-uniform weight init, zero bias.
+  Linear(int in_features, int out_features, util::Rng* rng);
+
+  /// Applies the layer on the tape.
+  VarId Forward(Tape* tape, VarId x);
+
+  /// Trainable parameters (weight, bias).
+  std::vector<Parameter*> Params();
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+};
+
+/// Embedding table [vocab x dim]. Row `padding_index` (key k0, reserved for
+/// padding and unseen operations — paper §4.2) is pinned to the zero vector:
+/// it is zeroed at construction and re-zeroed by FreezePaddingRow() which
+/// optimizers call after each step.
+class Embedding {
+ public:
+  Embedding(int vocab_size, int dim, util::Rng* rng, int padding_index = 0);
+
+  /// Gathers embeddings for `keys` -> [|keys| x dim].
+  VarId Forward(Tape* tape, std::vector<int> keys);
+
+  /// Places the table on the tape (for similarity computations against all
+  /// keys, paper Eq. 10).
+  VarId Table(Tape* tape);
+
+  /// Re-zeroes the padding row (call after optimizer updates).
+  void FreezePaddingRow();
+
+  std::vector<Parameter*> Params();
+
+  Parameter& table() { return table_; }
+  int vocab_size() const { return table_.value().rows(); }
+  int dim() const { return table_.value().cols(); }
+  int padding_index() const { return padding_index_; }
+
+ private:
+  Parameter table_;
+  int padding_index_;
+};
+
+/// Layer normalization over feature rows with learnable gain/bias
+/// (paper Eq. 6).
+class LayerNorm {
+ public:
+  explicit LayerNorm(int dim);
+
+  VarId Forward(Tape* tape, VarId x);
+
+  std::vector<Parameter*> Params();
+
+  Parameter& gain() { return gain_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter gain_;
+  Parameter bias_;
+};
+
+/// Single LSTM cell (used by the DeepLog baseline). Gate layout follows the
+/// standard formulation: i, f, g, o packed into one [in+hidden x 4*hidden]
+/// weight.
+class LstmCell {
+ public:
+  LstmCell(int input_dim, int hidden_dim, util::Rng* rng);
+
+  struct State {
+    VarId h;  // [1 x hidden]
+    VarId c;  // [1 x hidden]
+  };
+
+  /// Zero-initialized recurrent state.
+  State InitialState(Tape* tape) const;
+
+  /// One step: consumes x ([1 x input_dim]) and the previous state.
+  State Step(Tape* tape, VarId x, const State& prev);
+
+  std::vector<Parameter*> Params();
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Parameter weight_;  // [(input+hidden) x 4*hidden]
+  Parameter bias_;    // [1 x 4*hidden]
+};
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_MODULE_H_

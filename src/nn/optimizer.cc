@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ucad::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  if (max_norm <= 0.0f) return;
+  double total = 0.0;
+  for (Parameter* p : params_) total += p->grad().SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm) return;
+  const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+  for (Parameter* p : params_) p->grad().Scale(scale);
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value().rows(), p->value().cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& w = p->value();
+    Tensor& g = p->grad();
+    if (weight_decay_ > 0.0f) g.AddScaled(w, weight_decay_);
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      v.Scale(momentum_);
+      v.AddInPlace(g);
+      w.AddScaled(v, -lr_);
+    } else {
+      w.AddScaled(g, -lr_);
+    }
+    g.SetZero();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& w = p->value();
+    Tensor& g = p->grad();
+    if (weight_decay_ > 0.0f) g.AddScaled(w, weight_decay_);
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (size_t j = 0; j < w.size(); ++j) {
+      const float gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * gj * gj;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      w.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    g.SetZero();
+  }
+}
+
+}  // namespace ucad::nn

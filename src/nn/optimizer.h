@@ -1,0 +1,81 @@
+#ifndef UCAD_NN_OPTIMIZER_H_
+#define UCAD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tape.h"
+#include "nn/tensor.h"
+
+namespace ucad::nn {
+
+/// Abstract optimizer over a fixed set of parameters. Step() consumes the
+/// accumulated gradients and clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void Step() = 0;
+
+  /// Clears accumulated gradients without updating.
+  void ZeroGrad();
+
+  /// Clips gradients to a global L2 norm (0 disables). Call before Step().
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional momentum and decoupled L2 weight decay. With
+/// weight decay > 0 this realizes the ||θ||₂ term of the paper's loss
+/// (Eq. 11): for SGD, L2-in-the-loss and weight decay are equivalent.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional L2 weight decay added to the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_OPTIMIZER_H_

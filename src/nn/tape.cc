@@ -1,0 +1,637 @@
+#include "nn/tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+namespace ucad::nn {
+
+VarId Tape::NewNode(Tensor value, std::function<void()> backward) {
+  nodes_.push_back(Node{std::move(value), Tensor(), std::move(backward),
+                        /*param=*/nullptr});
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+Tensor& Tape::MutableGrad(VarId v) {
+  EnsureGrad(v);
+  return nodes_[v].grad;
+}
+
+void Tape::EnsureGrad(VarId v) {
+  Node& node = nodes_[v];
+  if (!node.grad.SameShape(node.value)) {
+    node.grad = Tensor(node.value.rows(), node.value.cols());
+  }
+}
+
+const Tensor& Tape::value(VarId v) const {
+  UCAD_DCHECK(v >= 0 && v < static_cast<VarId>(nodes_.size()));
+  return nodes_[v].value;
+}
+
+const Tensor& Tape::grad(VarId v) const {
+  UCAD_DCHECK(v >= 0 && v < static_cast<VarId>(nodes_.size()));
+  return nodes_[v].grad;
+}
+
+VarId Tape::Constant(Tensor value) { return NewNode(std::move(value)); }
+
+VarId Tape::Leaf(Tensor value) { return NewNode(std::move(value)); }
+
+VarId Tape::Param(Parameter* param) {
+  VarId v = NewNode(param->value());
+  nodes_[v].param = param;
+  return v;
+}
+
+VarId Tape::Add(VarId a, VarId b) {
+  UCAD_CHECK(value(a).SameShape(value(b)));
+  Tensor out = value(a);
+  out.AddInPlace(value(b));
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, b]() {
+    MutableGrad(a).AddInPlace(grad(v));
+    MutableGrad(b).AddInPlace(grad(v));
+  };
+  return v;
+}
+
+VarId Tape::Sub(VarId a, VarId b) {
+  UCAD_CHECK(value(a).SameShape(value(b)));
+  Tensor out = value(a);
+  out.AddScaled(value(b), -1.0f);
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, b]() {
+    MutableGrad(a).AddInPlace(grad(v));
+    MutableGrad(b).AddScaled(grad(v), -1.0f);
+  };
+  return v;
+}
+
+VarId Tape::Mul(VarId a, VarId b) {
+  UCAD_CHECK(value(a).SameShape(value(b)));
+  const Tensor& va = value(a);
+  const Tensor& vb = value(b);
+  Tensor out(va.rows(), va.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = va.data()[i] * vb.data()[i];
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, b]() {
+    const Tensor& g = grad(v);
+    const Tensor& va2 = value(a);
+    const Tensor& vb2 = value(b);
+    Tensor& ga = MutableGrad(a);
+    Tensor& gb = MutableGrad(b);
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * vb2.data()[i];
+      gb.data()[i] += g.data()[i] * va2.data()[i];
+    }
+  };
+  return v;
+}
+
+VarId Tape::AddRowVector(VarId a, VarId bias) {
+  const Tensor& va = value(a);
+  const Tensor& vb = value(bias);
+  UCAD_CHECK_EQ(vb.rows(), 1);
+  UCAD_CHECK_EQ(vb.cols(), va.cols());
+  Tensor out = va;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) orow[c] += vb.at(0, c);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, bias]() {
+    const Tensor& g = grad(v);
+    MutableGrad(a).AddInPlace(g);
+    Tensor& gb = MutableGrad(bias);
+    for (int r = 0; r < g.rows(); ++r) {
+      const float* grow = g.row(r);
+      for (int c = 0; c < g.cols(); ++c) gb.at(0, c) += grow[c];
+    }
+  };
+  return v;
+}
+
+VarId Tape::MulRowVector(VarId a, VarId scale) {
+  const Tensor& va = value(a);
+  const Tensor& vs = value(scale);
+  UCAD_CHECK_EQ(vs.rows(), 1);
+  UCAD_CHECK_EQ(vs.cols(), va.cols());
+  Tensor out = va;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) orow[c] *= vs.at(0, c);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, scale]() {
+    const Tensor& g = grad(v);
+    const Tensor& va2 = value(a);
+    const Tensor& vs2 = value(scale);
+    Tensor& ga = MutableGrad(a);
+    Tensor& gs = MutableGrad(scale);
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        ga.at(r, c) += g.at(r, c) * vs2.at(0, c);
+        gs.at(0, c) += g.at(r, c) * va2.at(r, c);
+      }
+    }
+  };
+  return v;
+}
+
+VarId Tape::Scale(VarId a, float c) {
+  Tensor out = value(a);
+  out.Scale(c);
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, c]() {
+    MutableGrad(a).AddScaled(grad(v), c);
+  };
+  return v;
+}
+
+VarId Tape::AddScalar(VarId a, float c) {
+  Tensor out = value(a);
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += c;
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    MutableGrad(a).AddInPlace(grad(v));
+  };
+  return v;
+}
+
+VarId Tape::Relu(VarId a) {
+  Tensor out = value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0f, out.data()[i]);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const Tensor& g = grad(v);
+    const Tensor& va = value(a);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (va.data()[i] > 0.0f) ga.data()[i] += g.data()[i];
+    }
+  };
+  return v;
+}
+
+namespace {
+
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace
+
+VarId Tape::Sigmoid(VarId a) {
+  Tensor out = value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = StableSigmoid(out.data()[i]);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const Tensor& g = grad(v);
+    const Tensor& y = value(v);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float s = y.data()[i];
+      ga.data()[i] += g.data()[i] * s * (1.0f - s);
+    }
+  };
+  return v;
+}
+
+VarId Tape::Tanh(VarId a) {
+  Tensor out = value(a);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const Tensor& g = grad(v);
+    const Tensor& y = value(v);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float t = y.data()[i];
+      ga.data()[i] += g.data()[i] * (1.0f - t * t);
+    }
+  };
+  return v;
+}
+
+VarId Tape::LogSigmoid(VarId a) {
+  // log sigmoid(x) = -softplus(-x) = -(log(1 + exp(-x))); stable split.
+  const Tensor& va = value(a);
+  Tensor out(va.rows(), va.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float x = va.data()[i];
+    out.data()[i] =
+        x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    // d/dx log sigmoid(x) = 1 - sigmoid(x).
+    const Tensor& g = grad(v);
+    const Tensor& va2 = value(a);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * (1.0f - StableSigmoid(va2.data()[i]));
+    }
+  };
+  return v;
+}
+
+VarId Tape::MatMul(VarId a, VarId b) {
+  const Tensor& va = value(a);
+  const Tensor& vb = value(b);
+  Tensor out(va.rows(), vb.cols());
+  nn::MatMul(va, vb, &out);
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, b]() {
+    const Tensor& g = grad(v);
+    // dA += dOut * B^T ; dB += A^T * dOut.
+    MatMulTransposeBAccum(g, value(b), &MutableGrad(a));
+    MatMulTransposeAAccum(value(a), g, &MutableGrad(b));
+  };
+  return v;
+}
+
+VarId Tape::Transpose(VarId a) {
+  const Tensor& va = value(a);
+  Tensor out(va.cols(), va.rows());
+  for (int r = 0; r < va.rows(); ++r) {
+    for (int c = 0; c < va.cols(); ++c) out.at(c, r) = va.at(r, c);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const Tensor& g = grad(v);
+    Tensor& ga = MutableGrad(a);
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) ga.at(c, r) += g.at(r, c);
+    }
+  };
+  return v;
+}
+
+VarId Tape::SliceCols(VarId a, int start, int len) {
+  const Tensor& va = value(a);
+  UCAD_CHECK_GE(start, 0);
+  UCAD_CHECK_LE(start + len, va.cols());
+  Tensor out(va.rows(), len);
+  for (int r = 0; r < va.rows(); ++r) {
+    for (int c = 0; c < len; ++c) out.at(r, c) = va.at(r, start + c);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, start, len]() {
+    const Tensor& g = grad(v);
+    Tensor& ga = MutableGrad(a);
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < len; ++c) ga.at(r, start + c) += g.at(r, c);
+    }
+  };
+  return v;
+}
+
+VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
+  UCAD_CHECK(!parts.empty());
+  const int rows = value(parts[0]).rows();
+  int total_cols = 0;
+  for (VarId p : parts) {
+    UCAD_CHECK_EQ(value(p).rows(), rows);
+    total_cols += value(p).cols();
+  }
+  Tensor out(rows, total_cols);
+  int offset = 0;
+  for (VarId p : parts) {
+    const Tensor& vp = value(p);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < vp.cols(); ++c) out.at(r, offset + c) = vp.at(r, c);
+    }
+    offset += vp.cols();
+  }
+  VarId v = NewNode(std::move(out));
+  std::vector<VarId> parts_copy = parts;
+  nodes_[v].backward = [this, v, parts_copy]() {
+    const Tensor& g = grad(v);
+    int off = 0;
+    for (VarId p : parts_copy) {
+      Tensor& gp = MutableGrad(p);
+      for (int r = 0; r < gp.rows(); ++r) {
+        for (int c = 0; c < gp.cols(); ++c) gp.at(r, c) += g.at(r, off + c);
+      }
+      off += gp.cols();
+    }
+  };
+  return v;
+}
+
+VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
+  UCAD_CHECK(!parts.empty());
+  const int cols = value(parts[0]).cols();
+  int total_rows = 0;
+  for (VarId p : parts) {
+    UCAD_CHECK_EQ(value(p).cols(), cols);
+    total_rows += value(p).rows();
+  }
+  Tensor out(total_rows, cols);
+  int offset = 0;
+  for (VarId p : parts) {
+    const Tensor& vp = value(p);
+    for (int r = 0; r < vp.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.at(offset + r, c) = vp.at(r, c);
+    }
+    offset += vp.rows();
+  }
+  VarId v = NewNode(std::move(out));
+  std::vector<VarId> parts_copy = parts;
+  nodes_[v].backward = [this, v, parts_copy]() {
+    const Tensor& g = grad(v);
+    int off = 0;
+    for (VarId p : parts_copy) {
+      Tensor& gp = MutableGrad(p);
+      for (int r = 0; r < gp.rows(); ++r) {
+        for (int c = 0; c < gp.cols(); ++c) gp.at(r, c) += g.at(off + r, c);
+      }
+      off += gp.rows();
+    }
+  };
+  return v;
+}
+
+VarId Tape::Row(VarId a, int r) {
+  const Tensor& va = value(a);
+  UCAD_CHECK(r >= 0 && r < va.rows());
+  Tensor out(1, va.cols());
+  for (int c = 0; c < va.cols(); ++c) out.at(0, c) = va.at(r, c);
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, r]() {
+    const Tensor& g = grad(v);
+    Tensor& ga = MutableGrad(a);
+    for (int c = 0; c < g.cols(); ++c) ga.at(r, c) += g.at(0, c);
+  };
+  return v;
+}
+
+VarId Tape::SumRows(VarId a) {
+  const Tensor& va = value(a);
+  Tensor out(va.rows(), 1);
+  for (int r = 0; r < va.rows(); ++r) {
+    double s = 0.0;
+    for (int c = 0; c < va.cols(); ++c) s += va.at(r, c);
+    out.at(r, 0) = static_cast<float>(s);
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const Tensor& g = grad(v);
+    Tensor& ga = MutableGrad(a);
+    for (int r = 0; r < ga.rows(); ++r) {
+      const float gr = g.at(r, 0);
+      for (int c = 0; c < ga.cols(); ++c) ga.at(r, c) += gr;
+    }
+  };
+  return v;
+}
+
+VarId Tape::SumAll(VarId a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = value(a).Sum();
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    const float g = grad(v).at(0, 0);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+  };
+  return v;
+}
+
+VarId Tape::MeanAll(VarId a) {
+  const size_t n = value(a).size();
+  UCAD_CHECK_GT(n, 0u);
+  return Scale(SumAll(a), 1.0f / static_cast<float>(n));
+}
+
+VarId Tape::SoftmaxRows(VarId a) {
+  const Tensor& va = value(a);
+  Tensor out(va.rows(), va.cols());
+  for (int r = 0; r < va.rows(); ++r) {
+    const float* in = va.row(r);
+    float* o = out.row(r);
+    float max_v = in[0];
+    for (int c = 1; c < va.cols(); ++c) max_v = std::max(max_v, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < va.cols(); ++c) {
+      o[c] = std::exp(in[c] - max_v);
+      sum += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < va.cols(); ++c) o[c] *= inv;
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a]() {
+    // dx = (dy - rowdot(dy, y)) ⊙ y.
+    const Tensor& g = grad(v);
+    const Tensor& y = value(v);
+    Tensor& ga = MutableGrad(a);
+    for (int r = 0; r < y.rows(); ++r) {
+      double dot = 0.0;
+      for (int c = 0; c < y.cols(); ++c) {
+        dot += static_cast<double>(g.at(r, c)) * y.at(r, c);
+      }
+      for (int c = 0; c < y.cols(); ++c) {
+        ga.at(r, c) +=
+            (g.at(r, c) - static_cast<float>(dot)) * y.at(r, c);
+      }
+    }
+  };
+  return v;
+}
+
+VarId Tape::LayerNormRows(VarId x, VarId gain, VarId bias, float eps) {
+  const Tensor& vx = value(x);
+  const Tensor& vg = value(gain);
+  const Tensor& vb = value(bias);
+  UCAD_CHECK_EQ(vg.rows(), 1);
+  UCAD_CHECK_EQ(vb.rows(), 1);
+  UCAD_CHECK_EQ(vg.cols(), vx.cols());
+  UCAD_CHECK_EQ(vb.cols(), vx.cols());
+  const int n = vx.cols();
+  Tensor out(vx.rows(), n);
+  // Cache normalized activations and inverse stddev for the backward pass.
+  auto xhat = std::make_shared<Tensor>(vx.rows(), n);
+  auto inv_std = std::make_shared<std::vector<float>>(vx.rows());
+  for (int r = 0; r < vx.rows(); ++r) {
+    const float* in = vx.row(r);
+    double mean = 0.0;
+    for (int c = 0; c < n; ++c) mean += in[c];
+    mean /= n;
+    double var = 0.0;
+    for (int c = 0; c < n; ++c) {
+      const double d = in[c] - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[r] = istd;
+    for (int c = 0; c < n; ++c) {
+      const float xh = (in[c] - static_cast<float>(mean)) * istd;
+      xhat->at(r, c) = xh;
+      out.at(r, c) = vg.at(0, c) * xh + vb.at(0, c);
+    }
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, x, gain, bias, xhat, inv_std]() {
+    const Tensor& g = grad(v);
+    const Tensor& vg2 = value(gain);
+    Tensor& gx = MutableGrad(x);
+    Tensor& gg = MutableGrad(gain);
+    Tensor& gb = MutableGrad(bias);
+    const int n = g.cols();
+    for (int r = 0; r < g.rows(); ++r) {
+      // a = gain ⊙ dy; dx = istd * (a - mean(a) - xhat * mean(a ⊙ xhat)).
+      double mean_a = 0.0, mean_ax = 0.0;
+      for (int c = 0; c < n; ++c) {
+        const float a_c = vg2.at(0, c) * g.at(r, c);
+        mean_a += a_c;
+        mean_ax += static_cast<double>(a_c) * xhat->at(r, c);
+      }
+      mean_a /= n;
+      mean_ax /= n;
+      const float istd = (*inv_std)[r];
+      for (int c = 0; c < n; ++c) {
+        const float a_c = vg2.at(0, c) * g.at(r, c);
+        gx.at(r, c) += istd * (a_c - static_cast<float>(mean_a) -
+                               xhat->at(r, c) * static_cast<float>(mean_ax));
+        gg.at(0, c) += g.at(r, c) * xhat->at(r, c);
+        gb.at(0, c) += g.at(r, c);
+      }
+    }
+  };
+  return v;
+}
+
+VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
+  if (!training || rate <= 0.0f) {
+    // Identity node keeps graph structure uniform between modes.
+    Tensor out = value(a);
+    VarId v = NewNode(std::move(out));
+    nodes_[v].backward = [this, v, a]() {
+      MutableGrad(a).AddInPlace(grad(v));
+    };
+    return v;
+  }
+  UCAD_CHECK_LT(rate, 1.0f);
+  UCAD_CHECK(rng != nullptr);
+  const Tensor& va = value(a);
+  auto mask = std::make_shared<Tensor>(va.rows(), va.cols());
+  const float keep_scale = 1.0f / (1.0f - rate);
+  Tensor out(va.rows(), va.cols());
+  for (size_t i = 0; i < va.size(); ++i) {
+    const float m = rng->Bernoulli(rate) ? 0.0f : keep_scale;
+    mask->data()[i] = m;
+    out.data()[i] = va.data()[i] * m;
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, a, mask]() {
+    const Tensor& g = grad(v);
+    Tensor& ga = MutableGrad(a);
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * mask->data()[i];
+    }
+  };
+  return v;
+}
+
+VarId Tape::EmbeddingGather(VarId table, std::vector<int> indices) {
+  const Tensor& vt = value(table);
+  Tensor out(static_cast<int>(indices.size()), vt.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    UCAD_CHECK(idx >= 0 && idx < vt.rows());
+    for (int c = 0; c < vt.cols(); ++c) {
+      out.at(static_cast<int>(i), c) = vt.at(idx, c);
+    }
+  }
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, table, indices = std::move(indices)]() {
+    const Tensor& g = grad(v);
+    Tensor& gt = MutableGrad(table);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      for (int c = 0; c < g.cols(); ++c) {
+        gt.at(indices[i], c) += g.at(static_cast<int>(i), c);
+      }
+    }
+  };
+  return v;
+}
+
+VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
+  const Tensor& vl = value(logits);
+  UCAD_CHECK_EQ(static_cast<int>(targets.size()), vl.rows());
+  const int m = vl.rows(), n = vl.cols();
+  auto probs = std::make_shared<Tensor>(m, n);
+  double loss = 0.0;
+  for (int r = 0; r < m; ++r) {
+    const float* in = vl.row(r);
+    float* p = probs->row(r);
+    float max_v = in[0];
+    for (int c = 1; c < n; ++c) max_v = std::max(max_v, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < n; ++c) {
+      p[c] = std::exp(in[c] - max_v);
+      sum += p[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < n; ++c) p[c] *= inv;
+    const int t = targets[r];
+    UCAD_CHECK(t >= 0 && t < n);
+    loss -= std::log(std::max(1e-12f, p[t]));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / m);
+  VarId v = NewNode(std::move(out));
+  nodes_[v].backward = [this, v, logits, probs,
+                        targets = std::move(targets)]() {
+    const float g = grad(v).at(0, 0);
+    Tensor& gl = MutableGrad(logits);
+    const int m2 = gl.rows(), n2 = gl.cols();
+    const float scale = g / static_cast<float>(m2);
+    for (int r = 0; r < m2; ++r) {
+      for (int c = 0; c < n2; ++c) {
+        float delta = probs->at(r, c);
+        if (c == targets[r]) delta -= 1.0f;
+        gl.at(r, c) += scale * delta;
+      }
+    }
+  };
+  return v;
+}
+
+void Tape::Backward(VarId root) {
+  UCAD_CHECK(root >= 0 && root < static_cast<VarId>(nodes_.size()));
+  UCAD_CHECK_EQ(nodes_[root].value.rows(), 1);
+  UCAD_CHECK_EQ(nodes_[root].value.cols(), 1);
+  EnsureGrad(root);
+  nodes_[root].grad.Fill(1.0f);
+  // Nodes are recorded in topological order: reverse iteration is valid.
+  for (VarId v = root; v >= 0; --v) {
+    Node& node = nodes_[v];
+    if (!node.grad.SameShape(node.value)) continue;  // grad never touched
+    if (node.backward) node.backward();
+  }
+  for (Node& node : nodes_) {
+    if (node.param != nullptr && node.grad.SameShape(node.value)) {
+      node.param->grad().AddInPlace(node.grad);
+    }
+  }
+}
+
+}  // namespace ucad::nn

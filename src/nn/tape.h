@@ -1,0 +1,166 @@
+#ifndef UCAD_NN_TAPE_H_
+#define UCAD_NN_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+
+/// Handle to a node on a Tape.
+using VarId = int;
+
+/// A trainable tensor that persists across training steps. Gradients
+/// accumulate into grad() when a Tape referencing the parameter runs
+/// Backward(); optimizers consume and clear them.
+class Parameter {
+ public:
+  /// Empty parameter (0x0); assign a real one before use.
+  Parameter() = default;
+
+  /// Wraps an initial value; the gradient starts at zero with same shape.
+  explicit Parameter(Tensor value)
+      : value_(std::move(value)), grad_(value_.rows(), value_.cols()) {}
+
+  Tensor& value() { return value_; }
+  const Tensor& value() const { return value_; }
+  Tensor& grad() { return grad_; }
+  const Tensor& grad() const { return grad_; }
+
+  /// Clears the accumulated gradient.
+  void ZeroGrad() { grad_.SetZero(); }
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+};
+
+/// Reverse-mode automatic differentiation tape. A fresh Tape is built per
+/// training step: leaf nodes are created from constants or Parameters, ops
+/// append nodes recording their backward functions, and Backward() runs the
+/// chain rule from a scalar root, accumulating parameter gradients.
+///
+/// All ops are 2D; see individual methods for shape contracts. The tape is
+/// not thread-safe and not copyable.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ---- Leaves ----
+
+  /// Non-differentiable input (gradients are still propagated *through*
+  /// downstream ops but not into this node's producers — it has none).
+  VarId Constant(Tensor value);
+
+  /// Differentiable leaf whose gradient can be inspected after Backward().
+  VarId Leaf(Tensor value);
+
+  /// Leaf bound to a Parameter: after Backward(), the node's gradient is
+  /// added into `param->grad()`. The value is copied at call time.
+  VarId Param(Parameter* param);
+
+  // ---- Elementwise / arithmetic ----
+
+  /// a + b (same shape).
+  VarId Add(VarId a, VarId b);
+  /// a - b (same shape).
+  VarId Sub(VarId a, VarId b);
+  /// a ⊙ b (same shape).
+  VarId Mul(VarId a, VarId b);
+  /// a + row-broadcast bias; bias is [1 x n], a is [m x n].
+  VarId AddRowVector(VarId a, VarId bias);
+  /// a ⊙ row-broadcast scale; scale is [1 x n], a is [m x n].
+  VarId MulRowVector(VarId a, VarId scale);
+  /// c * a.
+  VarId Scale(VarId a, float c);
+  /// a + c (elementwise).
+  VarId AddScalar(VarId a, float c);
+  /// max(a, 0).
+  VarId Relu(VarId a);
+  /// 1 / (1 + exp(-a)).
+  VarId Sigmoid(VarId a);
+  /// tanh(a).
+  VarId Tanh(VarId a);
+  /// log(sigmoid(a)), computed stably as -softplus(-a).
+  VarId LogSigmoid(VarId a);
+
+  // ---- Linear algebra / shape ----
+
+  /// [m x k] * [k x n] -> [m x n].
+  VarId MatMul(VarId a, VarId b);
+  /// a^T.
+  VarId Transpose(VarId a);
+  /// Columns [start, start+len) of a.
+  VarId SliceCols(VarId a, int start, int len);
+  /// Horizontal concatenation (equal row counts).
+  VarId ConcatCols(const std::vector<VarId>& parts);
+  /// Vertical concatenation (equal column counts).
+  VarId ConcatRows(const std::vector<VarId>& parts);
+  /// Row r of a as [1 x n].
+  VarId Row(VarId a, int r);
+
+  // ---- Reductions ----
+
+  /// Row sums: [m x n] -> [m x 1].
+  VarId SumRows(VarId a);
+  /// Sum of all entries -> [1 x 1].
+  VarId SumAll(VarId a);
+  /// Mean of all entries -> [1 x 1].
+  VarId MeanAll(VarId a);
+
+  // ---- Structured ops ----
+
+  /// Row-wise softmax.
+  VarId SoftmaxRows(VarId a);
+
+  /// Row-wise layer normalization with learnable gain/bias ([1 x n] each):
+  /// y = gain ⊙ (x - mean) / sqrt(var + eps) + bias   (paper Eq. 6).
+  VarId LayerNormRows(VarId x, VarId gain, VarId bias, float eps = 1e-5f);
+
+  /// Inverted dropout: scales kept entries by 1/(1-rate) during training;
+  /// identity in inference mode or when rate == 0.
+  VarId Dropout(VarId a, float rate, bool training, util::Rng* rng);
+
+  /// Gathers rows of `table` ([V x h]) at `indices` -> [|indices| x h].
+  /// Backward scatter-adds into the table gradient.
+  VarId EmbeddingGather(VarId table, std::vector<int> indices);
+
+  /// Mean softmax cross-entropy over rows: logits [m x V], targets[i] in
+  /// [0, V). Returns [1 x 1]. Fused for numerical stability.
+  VarId SoftmaxCrossEntropy(VarId logits, std::vector<int> targets);
+
+  // ---- Execution ----
+
+  /// Runs reverse-mode differentiation from `root` (must be [1 x 1]) and
+  /// accumulates gradients into every bound Parameter.
+  void Backward(VarId root);
+
+  /// Node value / gradient access. Gradients are valid after Backward().
+  const Tensor& value(VarId v) const;
+  const Tensor& grad(VarId v) const;
+
+  /// Number of nodes recorded so far.
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // allocated lazily during Backward
+    std::function<void()> backward;  // may be empty (leaves/constants)
+    Parameter* param = nullptr;
+  };
+
+  VarId NewNode(Tensor value, std::function<void()> backward = nullptr);
+  Tensor& MutableGrad(VarId v);
+  void EnsureGrad(VarId v);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_TAPE_H_

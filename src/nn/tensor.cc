@@ -1,0 +1,142 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ucad::nn {
+
+Tensor Tensor::Full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(int rows, int cols, float stddev, util::Rng* rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int fan_in, int fan_out, util::Rng* rng) {
+  Tensor t(fan_in, fan_out);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+  return t;
+}
+
+void Tensor::SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  UCAD_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaled(const Tensor& other, float scale) {
+  UCAD_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Tensor::DebugString(int max_entries) const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "] {";
+  for (size_t i = 0; i < data_.size() && i < static_cast<size_t>(max_entries);
+       ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (data_.size() > static_cast<size_t>(max_entries)) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  out->SetZero();
+  MatMulAccum(a, b, out);
+}
+
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  UCAD_CHECK_EQ(a.cols(), b.rows());
+  UCAD_CHECK_EQ(out->rows(), a.rows());
+  UCAD_CHECK_EQ(out->cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj loop order: streams through b and out rows contiguously.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  UCAD_CHECK_EQ(a.rows(), b.rows());
+  UCAD_CHECK_EQ(out->rows(), a.cols());
+  UCAD_CHECK_EQ(out->cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->row(i);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeBAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  UCAD_CHECK_EQ(a.cols(), b.cols());
+  UCAD_CHECK_EQ(out->rows(), a.rows());
+  UCAD_CHECK_EQ(out->cols(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double dot = 0.0;
+      for (int p = 0; p < k; ++p) dot += static_cast<double>(arow[p]) * brow[p];
+      orow[j] += static_cast<float>(dot);
+    }
+  }
+}
+
+}  // namespace ucad::nn

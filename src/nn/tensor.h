@@ -1,0 +1,109 @@
+#ifndef UCAD_NN_TENSOR_H_
+#define UCAD_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+
+/// Dense row-major float matrix. The NN substrate is 2D-centric: vectors are
+/// represented as [1 x n] or [n x 1] matrices, sequences of embeddings as
+/// [L x h]. Small by design — models in this library have at most a few
+/// hundred thousand parameters.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized tensor of the given shape.
+  Tensor(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    UCAD_CHECK_GE(rows, 0);
+    UCAD_CHECK_GE(cols, 0);
+  }
+
+  /// Tensor with explicit contents (row-major, size must match).
+  Tensor(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    UCAD_CHECK_EQ(data_.size(), static_cast<size_t>(rows) * cols);
+  }
+
+  /// Factory helpers.
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor Full(int rows, int cols, float value);
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor Randn(int rows, int cols, float stddev, util::Rng* rng);
+  /// Xavier/Glorot uniform initialization for a [fan_in x fan_out] weight.
+  static Tensor XavierUniform(int fan_in, int fan_out, util::Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(int r, int c) {
+    UCAD_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    UCAD_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Sets every entry to zero.
+  void SetZero();
+  /// Sets every entry to `value`.
+  void Fill(float value);
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this += scale * other (same shape).
+  void AddScaled(const Tensor& other, float scale);
+  /// this *= scale.
+  void Scale(float scale);
+
+  /// Sum of all entries.
+  float Sum() const;
+  /// Sum of squared entries.
+  float SquaredNorm() const;
+  /// Largest absolute entry (0 for empty tensors).
+  float MaxAbs() const;
+
+  /// "[r x c] {a, b, ...}" — truncated preview for logging/tests.
+  std::string DebugString(int max_entries = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b for [m x k] x [k x n]. `out` must be preallocated [m x n];
+/// its previous contents are overwritten.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a * b (accumulating variant).
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a^T * b for a [k x m], b [k x n], out [m x n].
+void MatMulTransposeAAccum(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a * b^T for a [m x k], b [n x k], out [m x n].
+void MatMulTransposeBAccum(const Tensor& a, const Tensor& b, Tensor* out);
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_TENSOR_H_

@@ -1,0 +1,120 @@
+#include "prep/access_control.h"
+
+#include <utility>
+
+#include "sql/statement.h"
+#include "util/logging.h"
+
+namespace ucad::prep {
+
+void KnownUserAddressPolicy::Allow(const std::string& user,
+                                   const std::string& address) {
+  allowed_[user].insert(address);
+}
+
+bool KnownUserAddressPolicy::Violates(const sql::RawSession& session) const {
+  auto it = allowed_.find(session.attrs.user);
+  if (it == allowed_.end()) return true;
+  return it->second.find(session.attrs.client_address) == it->second.end();
+}
+
+std::string KnownUserAddressPolicy::Describe() const {
+  return "known-user-address";
+}
+
+AccessHoursPolicy::AccessHoursPolicy(int start_hour, int end_hour)
+    : start_hour_(start_hour), end_hour_(end_hour) {
+  UCAD_CHECK(start_hour >= 0 && start_hour < 24);
+  UCAD_CHECK(end_hour > start_hour && end_hour <= 24);
+}
+
+bool AccessHoursPolicy::Violates(const sql::RawSession& session) const {
+  const int hour =
+      static_cast<int>((session.attrs.start_time_s % 86400) / 3600);
+  return hour < start_hour_ || hour >= end_hour_;
+}
+
+std::string AccessHoursPolicy::Describe() const { return "access-hours"; }
+
+ForbiddenTablePolicy::ForbiddenTablePolicy(std::vector<std::string> tables) {
+  for (auto& t : tables) tables_.insert(std::move(t));
+}
+
+bool ForbiddenTablePolicy::Violates(const sql::RawSession& session) const {
+  for (const auto& op : session.operations) {
+    if (tables_.count(sql::ExtractTable(op.sql)) > 0) return true;
+  }
+  return false;
+}
+
+std::string ForbiddenTablePolicy::Describe() const {
+  return "forbidden-table";
+}
+
+MaxOpIntervalPolicy::MaxOpIntervalPolicy(int64_t max_gap_s)
+    : max_gap_s_(max_gap_s) {
+  UCAD_CHECK_GT(max_gap_s, 0);
+}
+
+bool MaxOpIntervalPolicy::Violates(const sql::RawSession& session) const {
+  for (size_t i = 1; i < session.operations.size(); ++i) {
+    const int64_t gap = session.operations[i].time_offset_s -
+                        session.operations[i - 1].time_offset_s;
+    if (gap > max_gap_s_) return true;
+  }
+  return false;
+}
+
+std::string MaxOpIntervalPolicy::Describe() const {
+  return "max-op-interval";
+}
+
+void PolicyEngine::AddPolicy(std::unique_ptr<AccessPolicy> policy) {
+  policies_.push_back(std::move(policy));
+}
+
+bool PolicyEngine::Admits(const sql::RawSession& session) const {
+  for (const auto& policy : policies_) {
+    if (policy->Violates(session)) return false;
+  }
+  return true;
+}
+
+std::string PolicyEngine::FirstViolation(
+    const sql::RawSession& session) const {
+  for (const auto& policy : policies_) {
+    if (policy->Violates(session)) return policy->Describe();
+  }
+  return "";
+}
+
+void PolicyEngine::Filter(const std::vector<sql::RawSession>& log,
+                          std::vector<sql::RawSession>* admitted,
+                          std::vector<sql::RawSession>* rejected) const {
+  for (const sql::RawSession& session : log) {
+    if (Admits(session)) {
+      admitted->push_back(session);
+    } else {
+      rejected->push_back(session);
+    }
+  }
+}
+
+PolicyEngine MakeDefaultPolicyEngine(
+    const std::vector<std::string>& users,
+    const std::vector<std::string>& addresses, int start_hour, int end_hour) {
+  UCAD_CHECK_EQ(users.size(), addresses.size());
+  PolicyEngine engine;
+  auto bindings = std::make_unique<KnownUserAddressPolicy>();
+  for (size_t i = 0; i < users.size(); ++i) {
+    bindings->Allow(users[i], addresses[i]);
+  }
+  engine.AddPolicy(std::move(bindings));
+  engine.AddPolicy(std::make_unique<AccessHoursPolicy>(start_hour, end_hour));
+  engine.AddPolicy(std::make_unique<ForbiddenTablePolicy>(
+      std::vector<std::string>{"t_credentials", "t_secrets"}));
+  engine.AddPolicy(std::make_unique<MaxOpIntervalPolicy>(1800));
+  return engine;
+}
+
+}  // namespace ucad::prep

@@ -1,0 +1,114 @@
+#ifndef UCAD_PREP_ACCESS_CONTROL_H_
+#define UCAD_PREP_ACCESS_CONTROL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sql/session.h"
+
+namespace ucad::prep {
+
+/// One attribute-based access-control rule (paper §5.1: identity, address,
+/// time, target table, and inter-operation interval attributes). A session
+/// violating any rule is filtered as a known attack pattern.
+class AccessPolicy {
+ public:
+  virtual ~AccessPolicy() = default;
+
+  /// True iff the session violates this policy.
+  virtual bool Violates(const sql::RawSession& session) const = 0;
+
+  /// Human-readable rule description.
+  virtual std::string Describe() const = 0;
+};
+
+/// Grants access only to known (user, client address) pairs — an unknown
+/// address is a typical anomaly characteristic [6].
+class KnownUserAddressPolicy : public AccessPolicy {
+ public:
+  /// Registers a legitimate binding.
+  void Allow(const std::string& user, const std::string& address);
+
+  bool Violates(const sql::RawSession& session) const override;
+  std::string Describe() const override;
+
+ private:
+  std::unordered_map<std::string, std::unordered_set<std::string>> allowed_;
+};
+
+/// Grants access only inside the [start_hour, end_hour) local-time window.
+class AccessHoursPolicy : public AccessPolicy {
+ public:
+  AccessHoursPolicy(int start_hour, int end_hour);
+
+  bool Violates(const sql::RawSession& session) const override;
+  std::string Describe() const override;
+
+ private:
+  int start_hour_;
+  int end_hour_;
+};
+
+/// Denies any session touching one of the listed tables.
+class ForbiddenTablePolicy : public AccessPolicy {
+ public:
+  explicit ForbiddenTablePolicy(std::vector<std::string> tables);
+
+  bool Violates(const sql::RawSession& session) const override;
+  std::string Describe() const override;
+
+ private:
+  std::unordered_set<std::string> tables_;
+};
+
+/// Denies sessions whose consecutive operations are separated by more than
+/// `max_gap_s` seconds (interactive sessions have bounded think time).
+class MaxOpIntervalPolicy : public AccessPolicy {
+ public:
+  explicit MaxOpIntervalPolicy(int64_t max_gap_s);
+
+  bool Violates(const sql::RawSession& session) const override;
+  std::string Describe() const override;
+
+ private:
+  int64_t max_gap_s_;
+};
+
+/// An extensible set of policies (new rules can be added to filter more
+/// known attack patterns, per the paper).
+class PolicyEngine {
+ public:
+  /// Adds a rule; the engine owns it.
+  void AddPolicy(std::unique_ptr<AccessPolicy> policy);
+
+  /// True iff the session violates no policy.
+  bool Admits(const sql::RawSession& session) const;
+
+  /// Name of the first violated policy, or "" when admitted.
+  std::string FirstViolation(const sql::RawSession& session) const;
+
+  /// Splits a raw log into admitted and rejected sessions.
+  void Filter(const std::vector<sql::RawSession>& log,
+              std::vector<sql::RawSession>* admitted,
+              std::vector<sql::RawSession>* rejected) const;
+
+  size_t size() const { return policies_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<AccessPolicy>> policies_;
+};
+
+/// Builds the default engine for a generated scenario: known user/address
+/// bindings from the spec's population, business-hours window, a forbidden
+/// credential table, and a 30-minute inter-op cap.
+PolicyEngine MakeDefaultPolicyEngine(
+    const std::vector<std::string>& users,
+    const std::vector<std::string>& addresses, int start_hour, int end_hour);
+
+}  // namespace ucad::prep
+
+#endif  // UCAD_PREP_ACCESS_CONTROL_H_

@@ -1,0 +1,62 @@
+#include "prep/dbscan.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace ucad::prep {
+
+DbscanResult Dbscan(size_t n,
+                    const std::function<double(size_t, size_t)>& distance,
+                    const DbscanOptions& options) {
+  UCAD_CHECK_GE(options.min_points, 1);
+  DbscanResult result;
+  result.labels.assign(n, DbscanResult::kNoise);
+  if (n == 0) return result;
+
+  // Precompute neighbor lists (O(n^2) metric evaluations).
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    neighbors[i].push_back(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      if (distance(i, j) <= options.eps) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+
+  std::vector<bool> visited(n, false);
+  int next_cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    if (static_cast<int>(neighbors[i].size()) < options.min_points) {
+      continue;  // noise unless later absorbed as a border point
+    }
+    const int cluster = next_cluster++;
+    result.labels[i] = cluster;
+    std::deque<size_t> frontier(neighbors[i].begin(), neighbors[i].end());
+    while (!frontier.empty()) {
+      const size_t p = frontier.front();
+      frontier.pop_front();
+      if (result.labels[p] == DbscanResult::kNoise) {
+        result.labels[p] = cluster;  // border point
+      }
+      if (visited[p]) continue;
+      visited[p] = true;
+      result.labels[p] = cluster;
+      if (static_cast<int>(neighbors[p].size()) >= options.min_points) {
+        for (size_t q : neighbors[p]) {
+          if (!visited[q] || result.labels[q] == DbscanResult::kNoise) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace ucad::prep

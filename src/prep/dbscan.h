@@ -1,0 +1,38 @@
+#ifndef UCAD_PREP_DBSCAN_H_
+#define UCAD_PREP_DBSCAN_H_
+
+#include <functional>
+#include <vector>
+
+namespace ucad::prep {
+
+/// DBSCAN configuration.
+struct DbscanOptions {
+  /// Neighborhood radius in distance units.
+  double eps = 0.4;
+  /// Minimum neighborhood size (including the point itself) for a core
+  /// point.
+  int min_points = 3;
+};
+
+/// Result of a DBSCAN run.
+struct DbscanResult {
+  /// Cluster id per point; kNoise (-1) marks noise points.
+  std::vector<int> labels;
+  /// Number of clusters found.
+  int num_clusters = 0;
+
+  static constexpr int kNoise = -1;
+};
+
+/// Density-based clustering over an abstract metric: `distance(i, j)` must
+/// be symmetric with distance(i, i) == 0. O(n^2) distance evaluations
+/// (pairwise Jaccard over session profiles, paper §5.1). Discovers clusters
+/// of arbitrary shape; points reachable from no core point are noise.
+DbscanResult Dbscan(size_t n,
+                    const std::function<double(size_t, size_t)>& distance,
+                    const DbscanOptions& options);
+
+}  // namespace ucad::prep
+
+#endif  // UCAD_PREP_DBSCAN_H_

@@ -1,0 +1,56 @@
+#include "prep/ngram.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ucad::prep {
+
+namespace {
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // splitmix64-style mixing.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL + value;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+NgramProfile::NgramProfile(const std::vector<int>& keys, int max_n) {
+  UCAD_CHECK_GE(max_n, 1);
+  grams_.reserve(keys.size() * max_n);
+  for (int n = 1; n <= max_n; ++n) {
+    if (static_cast<int>(keys.size()) < n) break;
+    for (size_t i = 0; i + n <= keys.size(); ++i) {
+      uint64_t h = static_cast<uint64_t>(n) * 0x100000001B3ULL;
+      for (int j = 0; j < n; ++j) {
+        h = HashCombine(h, static_cast<uint64_t>(keys[i + j]));
+      }
+      grams_.push_back(h);
+    }
+  }
+  std::sort(grams_.begin(), grams_.end());
+  grams_.erase(std::unique(grams_.begin(), grams_.end()), grams_.end());
+}
+
+double NgramProfile::Jaccard(const NgramProfile& other) const {
+  if (grams_.empty() && other.grams_.empty()) return 1.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < grams_.size() && j < other.grams_.size()) {
+    if (grams_[i] == other.grams_[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (grams_[i] < other.grams_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = grams_.size() + other.grams_.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+}  // namespace ucad::prep

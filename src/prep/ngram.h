@@ -1,0 +1,37 @@
+#ifndef UCAD_PREP_NGRAM_H_
+#define UCAD_PREP_NGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ucad::prep {
+
+/// A session profile: the sorted, deduplicated set of hashed n-grams of its
+/// key sequence (paper §5.1 profiles sessions by n-gram features and
+/// compares them with the Jaccard index).
+class NgramProfile {
+ public:
+  /// Builds the profile from a key sequence using all n-gram orders in
+  /// [1, max_n]. max_n >= 1.
+  NgramProfile(const std::vector<int>& keys, int max_n);
+
+  /// Number of distinct n-grams.
+  size_t size() const { return grams_.size(); }
+
+  /// Jaccard similarity |A ∩ B| / |A ∪ B| in [0, 1]; two empty profiles
+  /// have similarity 1.
+  double Jaccard(const NgramProfile& other) const;
+
+  /// Jaccard distance = 1 - similarity.
+  double Distance(const NgramProfile& other) const {
+    return 1.0 - Jaccard(other);
+  }
+
+ private:
+  std::vector<uint64_t> grams_;  // sorted unique
+};
+
+}  // namespace ucad::prep
+
+#endif  // UCAD_PREP_NGRAM_H_

@@ -1,0 +1,66 @@
+#include "prep/preprocessor.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ucad::prep {
+
+namespace {
+
+/// Key -> (table, command)-group mapping derived from a frozen vocabulary.
+std::function<int(int)> MakeTableCommandMap(const sql::Vocabulary& vocab) {
+  auto groups = std::make_shared<std::vector<int>>(vocab.size(), 0);
+  std::map<std::pair<std::string, int>, int> index;
+  for (int key = 1; key < vocab.size(); ++key) {
+    const auto group_key = std::make_pair(
+        vocab.TableOf(key), static_cast<int>(vocab.CommandOf(key)));
+    auto it = index.find(group_key);
+    if (it == index.end()) {
+      it = index.emplace(group_key, static_cast<int>(index.size()) + 1).first;
+    }
+    (*groups)[key] = it->second;
+  }
+  return [groups](int key) {
+    return key >= 0 && key < static_cast<int>(groups->size()) ? (*groups)[key]
+                                                              : 0;
+  };
+}
+
+}  // namespace
+
+Preprocessor::Preprocessor(PolicyEngine engine,
+                           SessionFilterOptions filter_options)
+    : engine_(std::move(engine)), filter_options_(filter_options) {}
+
+std::vector<sql::KeySession> Preprocessor::PrepareTrainingData(
+    const std::vector<sql::RawSession>& log, util::Rng* rng) {
+  // (1) Enforce access-control policies: drop known attack patterns.
+  std::vector<sql::RawSession> admitted;
+  std::vector<sql::RawSession> rejected;
+  engine_.Filter(log, &admitted, &rejected);
+  rejected_by_policy_ = static_cast<int>(rejected.size());
+
+  // (2) Tokenize, growing the vocabulary.
+  std::vector<sql::KeySession> tokenized =
+      sql::TokenizeSessions(admitted, &vocab_, /*assign_new=*/true);
+  vocab_.Freeze();
+
+  // (3) Clustering-based noise removal and balancing.
+  SessionFilterOptions filter = filter_options_;
+  if (filter.coarsen_by_table_command && !filter.profile_key_map) {
+    filter.profile_key_map = MakeTableCommandMap(vocab_);
+  }
+  return FilterSessions(tokenized, filter, rng, &filter_stats_);
+}
+
+sql::KeySession Preprocessor::PrepareActiveSession(
+    const sql::RawSession& session, bool* known_attack) const {
+  if (known_attack != nullptr) {
+    *known_attack = !engine_.Admits(session);
+  }
+  return sql::TokenizeSessionFrozen(session, vocab_);
+}
+
+}  // namespace ucad::prep

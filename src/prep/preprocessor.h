@@ -1,0 +1,54 @@
+#ifndef UCAD_PREP_PREPROCESSOR_H_
+#define UCAD_PREP_PREPROCESSOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "prep/access_control.h"
+#include "prep/session_filter.h"
+#include "sql/session.h"
+#include "sql/vocabulary.h"
+#include "util/rng.h"
+
+namespace ucad::prep {
+
+/// The UCAD preprocessing module (§5.1). Offline it builds the statement
+/// vocabulary, filters known attack patterns with access-control policies,
+/// and removes noisy sessions by clustering; online it tokenizes active
+/// sessions against the frozen vocabulary and screens them against the same
+/// policies.
+class Preprocessor {
+ public:
+  /// `engine` is moved in; filter options select the clustering knobs.
+  Preprocessor(PolicyEngine engine, SessionFilterOptions filter_options);
+
+  /// Offline stage: raw audit log -> purified tokenized training sessions.
+  /// Builds (grows) the vocabulary, then freezes it for detection.
+  std::vector<sql::KeySession> PrepareTrainingData(
+      const std::vector<sql::RawSession>& log, util::Rng* rng);
+
+  /// Online stage: tokenizes one active session with the frozen
+  /// vocabulary. Sets `*known_attack` when an access policy rejects it
+  /// (filtered before the model runs).
+  sql::KeySession PrepareActiveSession(const sql::RawSession& session,
+                                       bool* known_attack) const;
+
+  const sql::Vocabulary& vocabulary() const { return vocab_; }
+  sql::Vocabulary* mutable_vocabulary() { return &vocab_; }
+  const SessionFilterStats& last_filter_stats() const {
+    return filter_stats_;
+  }
+  int rejected_by_policy() const { return rejected_by_policy_; }
+  const PolicyEngine& policy_engine() const { return engine_; }
+
+ private:
+  PolicyEngine engine_;
+  SessionFilterOptions filter_options_;
+  sql::Vocabulary vocab_;
+  SessionFilterStats filter_stats_;
+  int rejected_by_policy_ = 0;
+};
+
+}  // namespace ucad::prep
+
+#endif  // UCAD_PREP_PREPROCESSOR_H_

@@ -1,0 +1,124 @@
+#include "prep/session_filter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "prep/ngram.h"
+#include "util/logging.h"
+
+namespace ucad::prep {
+
+namespace {
+
+/// Median of a non-empty vector (copies; inputs are small).
+template <typename T>
+T Median(std::vector<T> values) {
+  UCAD_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+std::vector<sql::KeySession> FilterSessions(
+    const std::vector<sql::KeySession>& sessions,
+    const SessionFilterOptions& options, util::Rng* rng,
+    SessionFilterStats* stats) {
+  SessionFilterStats local_stats;
+  SessionFilterStats& s = stats != nullptr ? *stats : local_stats;
+  s = SessionFilterStats();
+  s.input_sessions = static_cast<int>(sessions.size());
+  if (sessions.empty()) return {};
+
+  // (1) Cluster by Jaccard distance over n-gram profiles.
+  std::vector<NgramProfile> profiles;
+  profiles.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    if (options.profile_key_map) {
+      std::vector<int> coarse;
+      coarse.reserve(session.keys.size());
+      for (int key : session.keys) {
+        coarse.push_back(options.profile_key_map(key));
+      }
+      profiles.emplace_back(coarse, options.ngram_order);
+    } else {
+      profiles.emplace_back(session.keys, options.ngram_order);
+    }
+  }
+  const DbscanResult clustering = Dbscan(
+      sessions.size(),
+      [&profiles](size_t i, size_t j) {
+        return profiles[i].Distance(profiles[j]);
+      },
+      options.dbscan);
+  s.clusters = clustering.num_clusters;
+
+  std::map<int, std::vector<size_t>> members;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const int label = clustering.labels[i];
+    if (label == DbscanResult::kNoise) {
+      ++s.removed_noise_points;
+      continue;
+    }
+    members[label].push_back(i);
+  }
+  if (members.empty()) {
+    s.output_sessions = 0;
+    return {};
+  }
+
+  std::vector<int> cluster_sizes;
+  cluster_sizes.reserve(members.size());
+  for (const auto& [label, idx] : members) {
+    cluster_sizes.push_back(static_cast<int>(idx.size()));
+  }
+  const int median_size = Median(cluster_sizes);
+
+  std::vector<size_t> kept;
+  for (auto& [label, idx] : members) {
+    // (2) Balance: under-sample clusters far above the median size.
+    const int cap = std::max(
+        1, static_cast<int>(median_size * options.oversample_factor));
+    std::vector<size_t> cluster_kept = idx;
+    if (static_cast<int>(cluster_kept.size()) > cap) {
+      const std::vector<size_t> sample =
+          rng->SampleWithoutReplacement(cluster_kept.size(), cap);
+      std::vector<size_t> sampled;
+      sampled.reserve(sample.size());
+      for (size_t pos : sample) sampled.push_back(cluster_kept[pos]);
+      s.removed_by_undersampling +=
+          static_cast<int>(cluster_kept.size() - sampled.size());
+      cluster_kept = std::move(sampled);
+    }
+    // (3) Drop clusters whose (post-balancing) size is far below median.
+    if (static_cast<double>(idx.size()) <
+        options.small_cluster_ratio * median_size) {
+      s.removed_small_clusters += static_cast<int>(cluster_kept.size());
+      continue;
+    }
+    // (4) Drop sessions much shorter than the cluster's median length.
+    std::vector<int> lengths;
+    lengths.reserve(cluster_kept.size());
+    for (size_t i : cluster_kept) {
+      lengths.push_back(static_cast<int>(sessions[i].keys.size()));
+    }
+    const int median_len = Median(lengths);
+    for (size_t i : cluster_kept) {
+      if (static_cast<double>(sessions[i].keys.size()) <
+          options.short_session_ratio * median_len) {
+        ++s.removed_short_sessions;
+        continue;
+      }
+      kept.push_back(i);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+
+  std::vector<sql::KeySession> out;
+  out.reserve(kept.size());
+  for (size_t i : kept) out.push_back(sessions[i]);
+  s.output_sessions = static_cast<int>(out.size());
+  return out;
+}
+
+}  // namespace ucad::prep

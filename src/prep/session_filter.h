@@ -1,0 +1,64 @@
+#ifndef UCAD_PREP_SESSION_FILTER_H_
+#define UCAD_PREP_SESSION_FILTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "prep/dbscan.h"
+#include "sql/session.h"
+#include "util/rng.h"
+
+namespace ucad::prep {
+
+/// Knobs for the clustering-based noise removal of §5.1.
+struct SessionFilterOptions {
+  /// n-gram order used for session profiles.
+  int ngram_order = 2;
+  /// Optional coarsening applied to keys before profiling (e.g. mapping a
+  /// statement key to its (table, command) group). High-cardinality
+  /// vocabularies make raw-key Jaccard similarities vanish — two sessions
+  /// doing the same work rarely reuse the exact same templates — so
+  /// clustering of *behavior* should compare coarser tokens. Identity when
+  /// unset.
+  std::function<int(int)> profile_key_map;
+  /// When true (and profile_key_map is unset), the Preprocessor derives a
+  /// (table, command)-group coarsening from its vocabulary before
+  /// filtering.
+  bool coarsen_by_table_command = false;
+  /// DBSCAN parameters over Jaccard distance.
+  DbscanOptions dbscan;
+  /// Clusters smaller than `small_cluster_ratio * median cluster size` are
+  /// removed (their access patterns are rare).
+  double small_cluster_ratio = 0.25;
+  /// Sessions shorter than `short_session_ratio * median session length of
+  /// their cluster` are removed (too short to reveal intent).
+  double short_session_ratio = 0.5;
+  /// Clusters larger than `oversample_factor * median` are randomly
+  /// under-sampled down to that bound (pattern balancing).
+  double oversample_factor = 2.0;
+};
+
+/// Per-stage accounting of the filter.
+struct SessionFilterStats {
+  int input_sessions = 0;
+  int clusters = 0;
+  int removed_noise_points = 0;       // DBSCAN noise
+  int removed_small_clusters = 0;     // rare patterns
+  int removed_by_undersampling = 0;   // balancing
+  int removed_short_sessions = 0;     // ambiguous semantics
+  int output_sessions = 0;
+};
+
+/// Applies the paper's clustering pipeline to tokenized sessions:
+/// (1) profile sessions with n-grams and cluster by Jaccard distance with
+/// DBSCAN; (2) under-sample clusters far above the median size; (3) drop
+/// clusters far below the median size; (4) drop sessions much shorter than
+/// their cluster's median length. Returns the purified training sessions.
+std::vector<sql::KeySession> FilterSessions(
+    const std::vector<sql::KeySession>& sessions,
+    const SessionFilterOptions& options, util::Rng* rng,
+    SessionFilterStats* stats = nullptr);
+
+}  // namespace ucad::prep
+
+#endif  // UCAD_PREP_SESSION_FILTER_H_

@@ -1,0 +1,96 @@
+#include "sql/log_reader.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ucad::sql {
+
+util::Result<std::vector<RawSession>> ReadSessionLog(std::istream& is) {
+  std::vector<RawSession> sessions;
+  RawSession current;
+  bool open = false;
+  int line_number = 0;
+
+  auto flush = [&]() {
+    if (open && !current.operations.empty()) {
+      sessions.push_back(std::move(current));
+    }
+    current = RawSession();
+    open = false;
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      flush();  // blank line / comment terminates the current session
+      continue;
+    }
+    const std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() < 4) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected user<TAB>address<TAB>time<TAB>sql");
+    }
+    char* end = nullptr;
+    const long long timestamp = std::strtoll(fields[2].c_str(), &end, 10);
+    if (end == fields[2].c_str() || *end != '\0') {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": bad timestamp '" +
+          fields[2] + "'");
+    }
+    // Re-join in case the SQL itself contains tabs.
+    std::string sql = fields[3];
+    for (size_t f = 4; f < fields.size(); ++f) sql += "\t" + fields[f];
+    if (util::Trim(sql).empty()) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": empty SQL");
+    }
+
+    const bool same_session = open && current.attrs.user == fields[0] &&
+                              current.attrs.client_address == fields[1];
+    if (!same_session) flush();
+    if (!open) {
+      current.attrs.user = fields[0];
+      current.attrs.client_address = fields[1];
+      current.attrs.start_time_s = timestamp;
+      open = true;
+    }
+    OperationRecord op;
+    op.sql = std::move(sql);
+    op.time_offset_s = timestamp - current.attrs.start_time_s;
+    if (op.time_offset_s < 0) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": timestamps must be non-decreasing within a session");
+    }
+    current.operations.push_back(std::move(op));
+  }
+  flush();
+  return sessions;
+}
+
+util::Result<std::vector<RawSession>> ReadSessionLogFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return util::Status::NotFound("cannot open " + path);
+  }
+  return ReadSessionLog(is);
+}
+
+void WriteSessionLog(const std::vector<RawSession>& sessions,
+                     std::ostream& os) {
+  for (const RawSession& session : sessions) {
+    os << "# session\n";
+    for (const OperationRecord& op : session.operations) {
+      os << session.attrs.user << '\t' << session.attrs.client_address
+         << '\t' << session.attrs.start_time_s + op.time_offset_s << '\t'
+         << op.sql << '\n';
+    }
+  }
+}
+
+}  // namespace ucad::sql

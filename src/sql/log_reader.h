@@ -1,0 +1,40 @@
+#ifndef UCAD_SQL_LOG_READER_H_
+#define UCAD_SQL_LOG_READER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sql/session.h"
+#include "util/status.h"
+
+namespace ucad::sql {
+
+/// Plain-text audit-log format, one operation per line:
+///
+///   user <TAB> client_address <TAB> unix_time_seconds <TAB> SQL text
+///
+/// Consecutive lines with the same (user, address) belong to one session
+/// until a blank line or a `# session` separator; lines starting with '#'
+/// are comments. This is the interchange format consumed by the
+/// `ucad_cli` tool.
+///
+/// Example:
+///   # session
+///   user1\t10.0.0.11\t1767250800\tSELECT * FROM t_video WHERE vid=7
+///   user1\t10.0.0.11\t1767250807\tINSERT INTO danmu_display(...) ...
+///
+/// Returns InvalidArgument with a line number on malformed input.
+util::Result<std::vector<RawSession>> ReadSessionLog(std::istream& is);
+
+/// Reads the format from a file (NotFound if unreadable).
+util::Result<std::vector<RawSession>> ReadSessionLogFile(
+    const std::string& path);
+
+/// Writes sessions in the same format (inverse of ReadSessionLog).
+void WriteSessionLog(const std::vector<RawSession>& sessions,
+                     std::ostream& os);
+
+}  // namespace ucad::sql
+
+#endif  // UCAD_SQL_LOG_READER_H_

@@ -1,0 +1,79 @@
+#include "sql/session.h"
+
+namespace ucad::sql {
+
+bool IsAbnormalLabel(SessionLabel label) {
+  switch (label) {
+    case SessionLabel::kNormal:
+    case SessionLabel::kNormalSwapped:
+    case SessionLabel::kNormalReduced:
+      return false;
+    case SessionLabel::kPrivilegeAbuse:
+    case SessionLabel::kCredentialTheft:
+    case SessionLabel::kMisoperation:
+      return true;
+  }
+  return false;
+}
+
+const char* SessionLabelName(SessionLabel label) {
+  switch (label) {
+    case SessionLabel::kNormal:
+      return "V1";
+    case SessionLabel::kNormalSwapped:
+      return "V2";
+    case SessionLabel::kNormalReduced:
+      return "V3";
+    case SessionLabel::kPrivilegeAbuse:
+      return "A1";
+    case SessionLabel::kCredentialTheft:
+      return "A2";
+    case SessionLabel::kMisoperation:
+      return "A3";
+  }
+  return "?";
+}
+
+KeySession TokenizeSession(const RawSession& raw, Vocabulary* vocab,
+                           bool assign_new) {
+  KeySession out;
+  out.attrs = raw.attrs;
+  out.label = raw.label;
+  out.keys.reserve(raw.operations.size());
+  out.time_offsets_s.reserve(raw.operations.size());
+  for (const OperationRecord& op : raw.operations) {
+    const Statement stmt = ParseStatement(op.sql);
+    const Key key = assign_new ? vocab->GetOrAssign(stmt)
+                               : vocab->Lookup(stmt.template_text);
+    out.keys.push_back(key);
+    out.time_offsets_s.push_back(op.time_offset_s);
+  }
+  return out;
+}
+
+KeySession TokenizeSessionFrozen(const RawSession& raw,
+                                 const Vocabulary& vocab) {
+  KeySession out;
+  out.attrs = raw.attrs;
+  out.label = raw.label;
+  out.keys.reserve(raw.operations.size());
+  out.time_offsets_s.reserve(raw.operations.size());
+  for (const OperationRecord& op : raw.operations) {
+    const Statement stmt = ParseStatement(op.sql);
+    out.keys.push_back(vocab.Lookup(stmt.template_text));
+    out.time_offsets_s.push_back(op.time_offset_s);
+  }
+  return out;
+}
+
+std::vector<KeySession> TokenizeSessions(const std::vector<RawSession>& raw,
+                                         Vocabulary* vocab, bool assign_new) {
+  std::vector<KeySession> out;
+  out.reserve(raw.size());
+  for (const RawSession& session : raw) {
+    out.push_back(TokenizeSession(session, vocab, assign_new));
+  }
+  return out;
+}
+
+}  // namespace ucad::sql

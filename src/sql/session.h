@@ -1,0 +1,89 @@
+#ifndef UCAD_SQL_SESSION_H_
+#define UCAD_SQL_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/statement.h"
+#include "sql/vocabulary.h"
+
+namespace ucad::sql {
+
+/// Ground-truth label classes used by the evaluation harness. Normal
+/// variants (V2/V3) and anomaly families (A1-A3) follow paper §6.1.
+enum class SessionLabel {
+  kNormal,            // V1: held-out real (generated) sessions
+  kNormalSwapped,     // V2: partially swapped
+  kNormalReduced,     // V3: partially removed
+  kPrivilegeAbuse,    // A1
+  kCredentialTheft,   // A2
+  kMisoperation,      // A3
+};
+
+/// True for the three abnormal families.
+bool IsAbnormalLabel(SessionLabel label);
+
+/// Short display name ("V1", "A2", ...).
+const char* SessionLabelName(SessionLabel label);
+
+/// Per-operation metadata emitted by the workload generators.
+struct OperationRecord {
+  /// Raw SQL text.
+  std::string sql;
+  /// Seconds since session start at which the operation executed.
+  int64_t time_offset_s = 0;
+  /// Operations sharing a non-negative swap group are interchangeable
+  /// within the session (candidates for the V2 "partial swap" mutation).
+  int swap_group = -1;
+  /// True when removing the operation preserves the session goal
+  /// (candidates for the V3 "partial remove" mutation).
+  bool removable = false;
+  /// Ground truth: true when the op was injected by an anomaly synthesizer.
+  bool injected = false;
+};
+
+/// User/context attributes recorded with each session (used by the
+/// attribute-based access-control policies, paper §5.1).
+struct SessionAttributes {
+  std::string user;
+  std::string client_address;
+  /// Seconds since epoch at session start.
+  int64_t start_time_s = 0;
+};
+
+/// One user session as recorded in the (simulated) database audit log.
+struct RawSession {
+  SessionAttributes attrs;
+  std::vector<OperationRecord> operations;
+  SessionLabel label = SessionLabel::kNormal;
+};
+
+/// A tokenized session: the operation key sequence plus carried-over
+/// attributes and label.
+struct KeySession {
+  SessionAttributes attrs;
+  std::vector<Key> keys;
+  /// Per-key time offsets (parallel to `keys`).
+  std::vector<int64_t> time_offsets_s;
+  SessionLabel label = SessionLabel::kNormal;
+};
+
+/// Tokenizes a raw session against `vocab`. When `assign_new` is true the
+/// vocabulary grows (training stage); otherwise unknown templates map to k0
+/// (detection stage).
+KeySession TokenizeSession(const RawSession& raw, Vocabulary* vocab,
+                           bool assign_new);
+
+/// Tokenizes a batch of sessions.
+std::vector<KeySession> TokenizeSessions(const std::vector<RawSession>& raw,
+                                         Vocabulary* vocab, bool assign_new);
+
+/// Tokenizes against a frozen (read-only) vocabulary: unknown templates map
+/// to k0.
+KeySession TokenizeSessionFrozen(const RawSession& raw,
+                                 const Vocabulary& vocab);
+
+}  // namespace ucad::sql
+
+#endif  // UCAD_SQL_SESSION_H_

@@ -1,0 +1,134 @@
+#include "sql/statement.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace ucad::sql {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+const char* CommandTypeName(CommandType type) {
+  switch (type) {
+    case CommandType::kSelect:
+      return "select";
+    case CommandType::kInsert:
+      return "insert";
+    case CommandType::kUpdate:
+      return "update";
+    case CommandType::kDelete:
+      return "delete";
+    case CommandType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string AbstractLiterals(std::string_view raw_sql) {
+  std::string out;
+  out.reserve(raw_sql.size());
+  int next_placeholder = 1;
+  size_t i = 0;
+  auto emit_placeholder = [&]() {
+    out += '$';
+    out += std::to_string(next_placeholder++);
+  };
+  while (i < raw_sql.size()) {
+    const char c = raw_sql[i];
+    if (c == '\'' || c == '"') {
+      // Quoted string literal; supports '' escaping inside single quotes.
+      const char quote = c;
+      ++i;
+      while (i < raw_sql.size()) {
+        if (raw_sql[i] == quote) {
+          if (i + 1 < raw_sql.size() && raw_sql[i + 1] == quote) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      emit_placeholder();
+      continue;
+    }
+    // A digit run is a literal unless it continues an identifier or an
+    // existing "$n" placeholder (which keeps abstraction idempotent).
+    if (IsDigit(c) &&
+        (out.empty() || (!IsIdentChar(out.back()) && out.back() != '$'))) {
+      // Numeric literal (integer or decimal) not part of an identifier.
+      while (i < raw_sql.size() && (IsDigit(raw_sql[i]) || raw_sql[i] == '.')) {
+        ++i;
+      }
+      emit_placeholder();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      // Collapse whitespace runs to one space.
+      if (!out.empty() && out.back() != ' ') out += ' ';
+      ++i;
+      continue;
+    }
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    ++i;
+  }
+  // Trim a trailing space.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+CommandType ClassifyCommand(std::string_view sql) {
+  const std::string lowered = util::ToLower(util::Trim(sql));
+  if (util::StartsWith(lowered, "select")) return CommandType::kSelect;
+  if (util::StartsWith(lowered, "insert")) return CommandType::kInsert;
+  if (util::StartsWith(lowered, "update")) return CommandType::kUpdate;
+  if (util::StartsWith(lowered, "delete")) return CommandType::kDelete;
+  return CommandType::kOther;
+}
+
+std::string ExtractTable(std::string_view sql) {
+  const std::string lowered = util::ToLower(sql);
+  const std::vector<std::string> tokens = util::SplitWhitespace(lowered);
+  auto clean = [](std::string token) {
+    // Strip a trailing '(' chunk and punctuation, e.g. "t(a,b)" -> "t".
+    size_t paren = token.find('(');
+    if (paren != std::string::npos) token = token.substr(0, paren);
+    while (!token.empty() &&
+           !IsIdentChar(token.back())) {
+      token.pop_back();
+    }
+    return token;
+  };
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t == "from" || t == "into") return clean(tokens[i + 1]);
+    if (t == "update" && i == 0) return clean(tokens[i + 1]);
+  }
+  // "insert t values ..." without INTO.
+  if (!tokens.empty() && tokens[0] == "insert" && tokens.size() > 1 &&
+      tokens[1] != "into") {
+    return clean(tokens[1]);
+  }
+  return "";
+}
+
+Statement ParseStatement(std::string_view raw_sql) {
+  Statement stmt;
+  stmt.raw = std::string(raw_sql);
+  stmt.template_text = AbstractLiterals(raw_sql);
+  stmt.command = ClassifyCommand(raw_sql);
+  stmt.table = ExtractTable(raw_sql);
+  return stmt;
+}
+
+}  // namespace ucad::sql

@@ -1,0 +1,55 @@
+#ifndef UCAD_SQL_STATEMENT_H_
+#define UCAD_SQL_STATEMENT_H_
+
+#include <string>
+#include <string_view>
+
+namespace ucad::sql {
+
+/// SQL command categories tracked by UCAD (paper Table 1 groups keys by
+/// select / insert / update / delete).
+enum class CommandType {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kOther,
+};
+
+/// Short lowercase name ("select", ...) for a command type.
+const char* CommandTypeName(CommandType type);
+
+/// A single parsed data-access operation.
+struct Statement {
+  /// The raw SQL text as recorded in the log.
+  std::string raw;
+  /// Literal-abstracted template, e.g.
+  /// "update t_content set count=$1 where danmukey=$2" (paper §5.1).
+  std::string template_text;
+  /// Parsed command category.
+  CommandType command = CommandType::kOther;
+  /// Primary target table ("" when none could be extracted).
+  std::string table;
+};
+
+/// Replaces every literal (quoted string or numeric constant) in `raw_sql`
+/// with "$1", "$2", ... in order of appearance, lower-cases keywords and
+/// identifiers, and collapses whitespace. Identifiers — including column
+/// names — are preserved so that statements differing only in a column name
+/// map to distinct templates (the paper's fine-grained tokenization
+/// requirement, §5.1).
+std::string AbstractLiterals(std::string_view raw_sql);
+
+/// Full parse: abstraction + command classification + table extraction.
+Statement ParseStatement(std::string_view raw_sql);
+
+/// Classifies the leading keyword.
+CommandType ClassifyCommand(std::string_view sql);
+
+/// Extracts the primary table name (after FROM / INTO / UPDATE / DELETE
+/// FROM); empty if not found.
+std::string ExtractTable(std::string_view sql);
+
+}  // namespace ucad::sql
+
+#endif  // UCAD_SQL_STATEMENT_H_

@@ -1,0 +1,73 @@
+#include "sql/vocabulary.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ucad::sql {
+
+Vocabulary::Vocabulary() {
+  // Key 0: reserved for padding / unknown.
+  entries_.push_back(Entry{"<pad>", CommandType::kOther, ""});
+}
+
+Key Vocabulary::GetOrAssign(const Statement& statement) {
+  auto it = index_.find(statement.template_text);
+  if (it != index_.end()) return it->second;
+  UCAD_CHECK(!frozen_) << "GetOrAssign on a frozen vocabulary; use Lookup";
+  const Key key = static_cast<Key>(entries_.size());
+  entries_.push_back(
+      Entry{statement.template_text, statement.command, statement.table});
+  index_.emplace(statement.template_text, key);
+  return key;
+}
+
+Key Vocabulary::AppendEntry(std::string template_text, CommandType command,
+                            std::string table) {
+  UCAD_CHECK(!frozen_) << "AppendEntry on a frozen vocabulary";
+  UCAD_CHECK(index_.find(template_text) == index_.end())
+      << "duplicate template: " << template_text;
+  const Key key = static_cast<Key>(entries_.size());
+  index_.emplace(template_text, key);
+  entries_.push_back(Entry{std::move(template_text), command,
+                           std::move(table)});
+  return key;
+}
+
+Key Vocabulary::Lookup(std::string_view template_text) const {
+  auto it = index_.find(std::string(template_text));
+  return it == index_.end() ? kPaddingKey : it->second;
+}
+
+const std::string& Vocabulary::TemplateOf(Key key) const {
+  UCAD_CHECK(key >= 0 && key < size());
+  return entries_[key].template_text;
+}
+
+CommandType Vocabulary::CommandOf(Key key) const {
+  UCAD_CHECK(key >= 0 && key < size());
+  return entries_[key].command;
+}
+
+const std::string& Vocabulary::TableOf(Key key) const {
+  UCAD_CHECK(key >= 0 && key < size());
+  return entries_[key].table;
+}
+
+int Vocabulary::CountCommand(CommandType type) const {
+  int count = 0;
+  for (size_t k = 1; k < entries_.size(); ++k) {
+    if (entries_[k].command == type) ++count;
+  }
+  return count;
+}
+
+int Vocabulary::CountTables() const {
+  std::unordered_set<std::string> tables;
+  for (size_t k = 1; k < entries_.size(); ++k) {
+    if (!entries_[k].table.empty()) tables.insert(entries_[k].table);
+  }
+  return static_cast<int>(tables.size());
+}
+
+}  // namespace ucad::sql

@@ -1,0 +1,74 @@
+#ifndef UCAD_SQL_VOCABULARY_H_
+#define UCAD_SQL_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/statement.h"
+
+namespace ucad::sql {
+
+/// Statement key: a small integer identifying one abstracted SQL template.
+/// Key 0 (k0) is reserved for padding and templates first seen during
+/// detection (paper §5.1).
+using Key = int;
+
+/// Reserved padding / unknown key.
+inline constexpr Key kPaddingKey = 0;
+
+/// Bidirectional map between abstracted statement templates and keys.
+/// During offline training the vocabulary grows (GetOrAssign); before online
+/// detection it is frozen (Freeze), after which unseen templates map to k0.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  /// Returns the key for `template_text`, assigning the next free key when
+  /// unseen. Aborts if called after Freeze().
+  Key GetOrAssign(const Statement& statement);
+
+  /// Returns the key for `template_text`, or kPaddingKey when unseen.
+  Key Lookup(std::string_view template_text) const;
+
+  /// Appends an entry with explicit metadata (deserialization path); the
+  /// assigned key is the previous size(). Aborts when frozen or when the
+  /// template already exists.
+  Key AppendEntry(std::string template_text, CommandType command,
+                  std::string table);
+
+  /// Stops vocabulary growth; subsequent unseen templates map to k0.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Number of keys including k0.
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  /// Template / metadata for an assigned key. Key must be in [0, size()).
+  const std::string& TemplateOf(Key key) const;
+  CommandType CommandOf(Key key) const;
+  const std::string& TableOf(Key key) const;
+
+  /// Number of keys (excluding k0) with the given command type
+  /// (paper Table 1 "#Keys" breakdown).
+  int CountCommand(CommandType type) const;
+
+  /// Number of distinct tables over all assigned keys (paper Table 1).
+  int CountTables() const;
+
+ private:
+  struct Entry {
+    std::string template_text;
+    CommandType command;
+    std::string table;
+  };
+
+  bool frozen_ = false;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, Key> index_;
+};
+
+}  // namespace ucad::sql
+
+#endif  // UCAD_SQL_VOCABULARY_H_

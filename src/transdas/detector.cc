@@ -1,0 +1,159 @@
+#include "transdas/detector.h"
+
+#include <algorithm>
+
+#include "nn/tape.h"
+#include "util/logging.h"
+
+namespace ucad::transdas {
+
+std::vector<int> SessionVerdict::AbnormalPositions() const {
+  std::vector<int> out;
+  for (const OperationVerdict& op : operations) {
+    if (op.abnormal) out.push_back(op.position);
+  }
+  return out;
+}
+
+TransDasDetector::TransDasDetector(TransDasModel* model,
+                                   const DetectorOptions& options)
+    : model_(model), options_(options) {
+  UCAD_CHECK(model_ != nullptr);
+  UCAD_CHECK_GE(options_.top_p, 1);
+}
+
+int TransDasDetector::RankOfKey(const nn::Tensor& logits, int row,
+                                int key) const {
+  // Unknown templates (k0) never match normal intent: worst possible rank.
+  if (key <= 0 || key >= logits.cols()) return logits.cols() + 1;
+  const float score = logits.at(row, key);
+  int rank = 1;
+  // Keys are ranked by similarity; k0 (padding) is excluded from the list.
+  for (int k = 1; k < logits.cols(); ++k) {
+    if (k != key && logits.at(row, k) > score) ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+/// Maps keys outside [0, vocab) to k0 so a corrupted or newer-vocabulary
+/// session cannot crash the embedding gather; such keys still rank worst.
+int Sanitize(int key, int vocab) { return key >= 0 && key < vocab ? key : 0; }
+
+}  // namespace
+
+int TransDasDetector::RankNextOperation(const std::vector<int>& preceding,
+                                        int next_key) const {
+  const int L = model_->config().window;
+  const int vocab = model_->config().vocab_size;
+  std::vector<int> window(L, 0);
+  const int take = std::min<int>(L, static_cast<int>(preceding.size()));
+  for (int i = 0; i < take; ++i) {
+    window[L - take + i] =
+        Sanitize(preceding[preceding.size() - take + i], vocab);
+  }
+  nn::Tape tape;
+  nn::VarId outputs =
+      model_->Forward(&tape, window, /*training=*/false, nullptr);
+  nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
+  // The last output position carries the contextual intent of the next
+  // operation (§5.3).
+  return RankOfKey(tape.value(logits), L - 1, next_key);
+}
+
+std::vector<TransDasDetector::Candidate> TransDasDetector::ExplainOperation(
+    const std::vector<int>& keys, int position, int top_k) const {
+  UCAD_CHECK(position >= 1 && position < static_cast<int>(keys.size()));
+  const int L = model_->config().window;
+  const int vocab = model_->config().vocab_size;
+  // Same window placement as the streaming scorer: the preceding sequence
+  // ends at `position`-1 and fills the window from the right.
+  std::vector<int> window(L, 0);
+  const int take = std::min(L, position);
+  for (int i = 0; i < take; ++i) {
+    window[L - take + i] = Sanitize(keys[position - take + i], vocab);
+  }
+  nn::Tape tape;
+  nn::VarId outputs =
+      model_->Forward(&tape, window, /*training=*/false, nullptr);
+  nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
+  const nn::Tensor& row = tape.value(logits);
+  std::vector<Candidate> candidates;
+  candidates.reserve(vocab - 1);
+  for (int k = 1; k < vocab; ++k) {
+    candidates.push_back(Candidate{k, row.at(L - 1, k)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  if (static_cast<int>(candidates.size()) > top_k) {
+    candidates.resize(top_k);
+  }
+  return candidates;
+}
+
+SessionVerdict TransDasDetector::DetectSession(
+    const std::vector<int>& keys) const {
+  SessionVerdict verdict;
+  if (keys.size() < 2) return verdict;
+  const int L = model_->config().window;
+  const int n = static_cast<int>(keys.size());
+
+  if (!options_.batched) {
+    for (int t = 1; t < n; ++t) {
+      std::vector<int> preceding(keys.begin(), keys.begin() + t);
+      OperationVerdict op;
+      op.position = t;
+      op.rank = RankNextOperation(preceding, keys[t]);
+      op.abnormal = op.rank > options_.top_p;
+      if (op.abnormal) verdict.abnormal = true;
+      verdict.operations.push_back(op);
+    }
+    return verdict;
+  }
+
+  // Batched mode: one forward pass scores a window of L consecutive
+  // operations (output position i carries the intent of input position
+  // i+1, exactly the training alignment). Windows advance by L.
+  const int vocab = model_->config().vocab_size;
+  std::vector<int> padded(L, 0);  // L leading pads so op 1..L-1 get context
+  padded.reserve(L + keys.size());
+  for (int key : keys) padded.push_back(Sanitize(key, vocab));
+  std::vector<bool> scored(n, false);
+  // Window starting at padded index w scores session positions
+  // [w+1-L, w] (targets padded[w+1..w+L]). Advance so every position in
+  // [1, n) is scored exactly once; the tail window is clamped inside the
+  // sequence and may re-visit already-scored positions.
+  int next = 1;
+  while (next < n) {
+    const int w = std::min(next + L - 1, n - 1);
+    std::vector<int> input(padded.begin() + w, padded.begin() + w + L);
+    nn::Tape tape;
+    nn::VarId outputs =
+        model_->Forward(&tape, input, /*training=*/false, nullptr);
+    nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
+    const nn::Tensor& scores = tape.value(logits);
+    for (int i = 0; i < L; ++i) {
+      const int session_pos = w + i + 1 - L;  // target of output i
+      if (session_pos < 1 || session_pos >= n) continue;
+      if (scored[session_pos]) continue;
+      scored[session_pos] = true;
+      OperationVerdict op;
+      op.position = session_pos;
+      op.rank = RankOfKey(scores, i, keys[session_pos]);
+      op.abnormal = op.rank > options_.top_p;
+      if (op.abnormal) verdict.abnormal = true;
+      verdict.operations.push_back(op);
+    }
+    next = w + 1;
+  }
+  std::sort(verdict.operations.begin(), verdict.operations.end(),
+            [](const OperationVerdict& a, const OperationVerdict& b) {
+              return a.position < b.position;
+            });
+  return verdict;
+}
+
+}  // namespace ucad::transdas

@@ -1,0 +1,75 @@
+#ifndef UCAD_TRANSDAS_DETECTOR_H_
+#define UCAD_TRANSDAS_DETECTOR_H_
+
+#include <vector>
+
+#include "transdas/config.h"
+#include "transdas/model.h"
+
+namespace ucad::transdas {
+
+/// Per-operation detection outcome.
+struct OperationVerdict {
+  /// Index of the operation within the session.
+  int position = 0;
+  /// Rank (1 = best) of the observed key among all keys by similarity to
+  /// the predicted contextual intent; vocab_size+1 for unknown keys.
+  int rank = 0;
+  /// True when rank > top_p (or the key was unknown).
+  bool abnormal = false;
+};
+
+/// Session-level detection result.
+struct SessionVerdict {
+  bool abnormal = false;
+  /// Verdicts for every scored operation (operation 0 has no context and is
+  /// never scored).
+  std::vector<OperationVerdict> operations;
+
+  /// Positions of abnormal operations.
+  std::vector<int> AbnormalPositions() const;
+};
+
+/// Online detector (§5.3): scores each operation of an active session by
+/// whether its similarity to the Trans-DAS-predicted contextual intent
+/// ranks within the top-p over all keys; the first miss flags the session.
+class TransDasDetector {
+ public:
+  /// The model must be trained and must outlive the detector.
+  TransDasDetector(TransDasModel* model, const DetectorOptions& options);
+
+  /// Scores a full session.
+  SessionVerdict DetectSession(const std::vector<int>& keys) const;
+
+  /// Scores only the latest operation given its preceding keys (the
+  /// paper's streaming formulation): returns the rank of `next_key`.
+  int RankNextOperation(const std::vector<int>& preceding,
+                        int next_key) const;
+
+  /// One expected-operation candidate in an explanation.
+  struct Candidate {
+    int key = 0;
+    /// Similarity to the predicted contextual intent (Eq. 10 logit).
+    float score = 0.0f;
+  };
+
+  /// Explains a verdict for the operation at `position` of `keys`: the
+  /// top-k keys the contextual intent actually expected there, best first.
+  /// Useful for the expert-triage stage (§5.3): "the context predicted
+  /// these operations; the session performed something else".
+  std::vector<Candidate> ExplainOperation(const std::vector<int>& keys,
+                                          int position, int top_k = 5) const;
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  /// Rank of `key` within a row of all-key logits (row = output position).
+  int RankOfKey(const nn::Tensor& logits, int row, int key) const;
+
+  TransDasModel* model_;
+  DetectorOptions options_;
+};
+
+}  // namespace ucad::transdas
+
+#endif  // UCAD_TRANSDAS_DETECTOR_H_

@@ -1,0 +1,144 @@
+#include "transdas/model.h"
+
+#include <cmath>
+
+#include "sql/vocabulary.h"
+#include "util/logging.h"
+
+namespace ucad::transdas {
+
+namespace {
+constexpr float kMaskValue = -1e9f;
+}  // namespace
+
+TransDasModel::TransDasModel(const TransDasConfig& config, util::Rng* rng)
+    : config_(config) {
+  UCAD_CHECK_GT(config_.vocab_size, 1);
+  UCAD_CHECK_GT(config_.window, 0);
+  UCAD_CHECK_GT(config_.hidden_dim, 0);
+  UCAD_CHECK_GT(config_.num_heads, 0);
+  UCAD_CHECK_EQ(config_.hidden_dim % config_.num_heads, 0)
+      << "num_heads must divide hidden_dim";
+  UCAD_CHECK_GT(config_.num_blocks, 0);
+
+  embedding_ = std::make_unique<nn::Embedding>(
+      config_.vocab_size, config_.hidden_dim, rng, sql::kPaddingKey);
+  if (config_.use_position_embedding) {
+    position_embedding_ = std::make_unique<nn::Parameter>(
+        nn::Tensor::Randn(config_.window, config_.hidden_dim, 0.1f, rng));
+  }
+  const int h = config_.hidden_dim;
+  const int head_dim = h / config_.num_heads;
+  blocks_.reserve(config_.num_blocks);
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    Block block;
+    block.heads.reserve(config_.num_heads);
+    for (int m = 0; m < config_.num_heads; ++m) {
+      block.heads.push_back(
+          Head{nn::Parameter(nn::Tensor::XavierUniform(h, head_dim, rng)),
+               nn::Parameter(nn::Tensor::XavierUniform(h, head_dim, rng)),
+               nn::Parameter(nn::Tensor::XavierUniform(h, head_dim, rng))});
+    }
+    block.wo = nn::Parameter(nn::Tensor::XavierUniform(h, h, rng));
+    block.ln_attention = std::make_unique<nn::LayerNorm>(h);
+    block.w1 = nn::Parameter(nn::Tensor::XavierUniform(h, h, rng));
+    block.b1 = nn::Parameter(nn::Tensor::Zeros(1, h));
+    block.w2 = nn::Parameter(nn::Tensor::XavierUniform(h, h, rng));
+    block.b2 = nn::Parameter(nn::Tensor::Zeros(1, h));
+    block.ln_ffn = std::make_unique<nn::LayerNorm>(h);
+    blocks_.push_back(std::move(block));
+  }
+  mask_ = BuildMask();
+}
+
+nn::Tensor TransDasModel::BuildMask() const {
+  const int L = config_.window;
+  nn::Tensor mask(L, L);
+  switch (config_.mask_mode) {
+    case MaskMode::kNone:
+      break;
+    case MaskMode::kCausal:
+      for (int i = 0; i < L; ++i) {
+        for (int j = i + 1; j < L; ++j) mask.at(i, j) = kMaskValue;
+      }
+      break;
+    case MaskMode::kBidirectionalSkipNext:
+      // Disconnect Q_i from K_{i+1}: the output at position i must not see
+      // the operation it predicts (input i+1); everything else stays
+      // bidirectionally connected.
+      for (int i = 0; i + 1 < L; ++i) mask.at(i, i + 1) = kMaskValue;
+      break;
+  }
+  return mask;
+}
+
+nn::VarId TransDasModel::Forward(
+    nn::Tape* tape, const std::vector<int>& window, bool training,
+    util::Rng* dropout_rng, std::vector<nn::VarId>* first_block_attention) {
+  UCAD_CHECK_EQ(static_cast<int>(window.size()), config_.window);
+  nn::VarId x = embedding_->Forward(tape, window);
+  if (position_embedding_ != nullptr) {
+    x = tape->Add(x, tape->Param(position_embedding_.get()));
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.hidden_dim));
+  const nn::VarId mask = tape->Constant(mask_);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    Block& block = blocks_[b];
+    // Multi-head attention with masking.
+    std::vector<nn::VarId> head_outputs;
+    head_outputs.reserve(block.heads.size());
+    for (Head& head : block.heads) {
+      const nn::VarId q = tape->MatMul(x, tape->Param(&head.wq));
+      const nn::VarId k = tape->MatMul(x, tape->Param(&head.wk));
+      const nn::VarId v = tape->MatMul(x, tape->Param(&head.wv));
+      nn::VarId scores =
+          tape->Scale(tape->MatMul(q, tape->Transpose(k)), scale);
+      scores = tape->Add(scores, mask);
+      const nn::VarId attention = tape->SoftmaxRows(scores);
+      if (b == 0 && first_block_attention != nullptr) {
+        first_block_attention->push_back(attention);
+      }
+      head_outputs.push_back(tape->MatMul(attention, v));
+    }
+    nn::VarId mh =
+        tape->MatMul(tape->ConcatCols(head_outputs), tape->Param(&block.wo));
+    mh = tape->Dropout(mh, config_.dropout, training, dropout_rng);
+    x = block.ln_attention->Forward(tape, tape->Add(x, mh));
+    // Point-wise feed-forward (Eq. 7) with the same regularization.
+    nn::VarId ff = tape->Relu(tape->AddRowVector(
+        tape->MatMul(x, tape->Param(&block.w1)), tape->Param(&block.b1)));
+    ff = tape->AddRowVector(tape->MatMul(ff, tape->Param(&block.w2)),
+                            tape->Param(&block.b2));
+    ff = tape->Dropout(ff, config_.dropout, training, dropout_rng);
+    x = block.ln_ffn->Forward(tape, tape->Add(x, ff));
+  }
+  return x;
+}
+
+nn::VarId TransDasModel::AllKeyLogits(nn::Tape* tape, nn::VarId outputs) {
+  return tape->MatMul(outputs, tape->Transpose(embedding_->Table(tape)));
+}
+
+std::vector<nn::Parameter*> TransDasModel::Params() {
+  std::vector<nn::Parameter*> params = embedding_->Params();
+  if (position_embedding_ != nullptr) {
+    params.push_back(position_embedding_.get());
+  }
+  for (Block& block : blocks_) {
+    for (Head& head : block.heads) {
+      params.push_back(&head.wq);
+      params.push_back(&head.wk);
+      params.push_back(&head.wv);
+    }
+    params.push_back(&block.wo);
+    for (nn::Parameter* p : block.ln_attention->Params()) params.push_back(p);
+    params.push_back(&block.w1);
+    params.push_back(&block.b1);
+    params.push_back(&block.w2);
+    params.push_back(&block.b2);
+    for (nn::Parameter* p : block.ln_ffn->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace ucad::transdas

@@ -1,0 +1,79 @@
+#ifndef UCAD_TRANSDAS_MODEL_H_
+#define UCAD_TRANSDAS_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tape.h"
+#include "transdas/config.h"
+#include "util/rng.h"
+
+namespace ucad::transdas {
+
+/// The Trans-DAS network (§4): an order-free embedding layer followed by B
+/// stacked attention blocks, each a multi-head self-attention layer with
+/// the skip-next bidirectional mask plus a point-wise feed-forward layer,
+/// both wrapped in residual + layer-norm + dropout regularization (Eq. 5).
+///
+/// The same class also instantiates the ablation variants of Table 3 via
+/// TransDasConfig (position embedding on/off, mask mode).
+class TransDasModel {
+ public:
+  TransDasModel(const TransDasConfig& config, util::Rng* rng);
+
+  TransDasModel(const TransDasModel&) = delete;
+  TransDasModel& operator=(const TransDasModel&) = delete;
+
+  /// Builds the forward graph for one window of `config.window` keys and
+  /// returns the last block's output O^(B), a [L x h] node. When
+  /// `first_block_attention` is non-null it receives the VarIds of the
+  /// first block's per-head attention matrices ([L x L] each, Figure 6).
+  nn::VarId Forward(nn::Tape* tape, const std::vector<int>& window,
+                    bool training, util::Rng* dropout_rng,
+                    std::vector<nn::VarId>* first_block_attention = nullptr);
+
+  /// Similarity logits of each output position against every key:
+  /// logits = O M^T, a [L x vocab] node (Eq. 10 before the sigmoid).
+  nn::VarId AllKeyLogits(nn::Tape* tape, nn::VarId outputs);
+
+  /// All trainable parameters.
+  std::vector<nn::Parameter*> Params();
+
+  /// Pins the k0 embedding row back to zero; call after optimizer steps.
+  void FreezePaddingRow() { embedding_->FreezePaddingRow(); }
+
+  const TransDasConfig& config() const { return config_; }
+  nn::Embedding& embedding() { return *embedding_; }
+
+ private:
+  struct Head {
+    nn::Parameter wq;  // [h x h/m]
+    nn::Parameter wk;
+    nn::Parameter wv;
+  };
+  struct Block {
+    std::vector<Head> heads;
+    nn::Parameter wo;  // [h x h]
+    std::unique_ptr<nn::LayerNorm> ln_attention;
+    nn::Parameter w1;  // FFN [h x h]
+    nn::Parameter b1;  // [1 x h]
+    nn::Parameter w2;  // [h x h]
+    nn::Parameter b2;  // [1 x h]
+    std::unique_ptr<nn::LayerNorm> ln_ffn;
+  };
+
+  /// The additive attention mask for the configured mode ([L x L] with 0 /
+  /// -inf entries), built once.
+  nn::Tensor BuildMask() const;
+
+  TransDasConfig config_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::Parameter> position_embedding_;  // null unless enabled
+  std::vector<Block> blocks_;
+  nn::Tensor mask_;
+};
+
+}  // namespace ucad::transdas
+
+#endif  // UCAD_TRANSDAS_MODEL_H_

@@ -1,0 +1,169 @@
+#include "transdas/serialization.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/logging.h"
+
+namespace ucad::transdas {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x55434144;  // "UCAD"
+constexpr uint32_t kVersion = 1;
+
+util::Status WriteVocabulary(const sql::Vocabulary& vocab,
+                             std::ostream& os) {
+  util::WriteU32(os, static_cast<uint32_t>(vocab.size()));
+  // Key 0 is implicit (<pad>); serialize keys 1..size-1.
+  for (int key = 1; key < vocab.size(); ++key) {
+    util::WriteString(os, vocab.TemplateOf(key));
+    util::WriteI32(os, static_cast<int32_t>(vocab.CommandOf(key)));
+    util::WriteString(os, vocab.TableOf(key));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ReadVocabulary(std::istream& is, sql::Vocabulary* vocab) {
+  uint32_t size = 0;
+  UCAD_RETURN_IF_ERROR(util::ReadU32(is, &size));
+  if (size == 0 || size > (1u << 24)) {
+    return util::Status::InvalidArgument("implausible vocabulary size");
+  }
+  for (uint32_t key = 1; key < size; ++key) {
+    std::string template_text, table;
+    int32_t command = 0;
+    UCAD_RETURN_IF_ERROR(util::ReadString(is, &template_text));
+    UCAD_RETURN_IF_ERROR(util::ReadI32(is, &command));
+    UCAD_RETURN_IF_ERROR(util::ReadString(is, &table));
+    if (command < 0 ||
+        command > static_cast<int32_t>(sql::CommandType::kOther)) {
+      return util::Status::InvalidArgument("bad command type");
+    }
+    vocab->AppendEntry(std::move(template_text),
+                       static_cast<sql::CommandType>(command),
+                       std::move(table));
+  }
+  vocab->Freeze();
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveModel(TransDasModel* model, const sql::Vocabulary& vocab,
+                       std::ostream& os) {
+  const TransDasConfig& config = model->config();
+  if (config.vocab_size != vocab.size()) {
+    return util::Status::InvalidArgument(
+        "model vocab_size does not match the vocabulary");
+  }
+  util::WriteU32(os, kMagic);
+  util::WriteU32(os, kVersion);
+  util::WriteI32(os, config.vocab_size);
+  util::WriteI32(os, config.window);
+  util::WriteI32(os, config.hidden_dim);
+  util::WriteI32(os, config.num_heads);
+  util::WriteI32(os, config.num_blocks);
+  util::WriteF32(os, config.dropout);
+  util::WriteI32(os, config.use_position_embedding ? 1 : 0);
+  util::WriteI32(os, static_cast<int32_t>(config.mask_mode));
+
+  const std::vector<nn::Parameter*> params = model->Params();
+  util::WriteU32(os, static_cast<uint32_t>(params.size()));
+  for (nn::Parameter* p : params) {
+    util::WriteI32(os, p->value().rows());
+    util::WriteI32(os, p->value().cols());
+    std::vector<float> data(p->value().data(),
+                            p->value().data() + p->value().size());
+    util::WriteFloatVector(os, data);
+  }
+  UCAD_RETURN_IF_ERROR(WriteVocabulary(vocab, os));
+  if (!os.good()) return util::Status::Internal("stream write failed");
+  return util::Status::Ok();
+}
+
+util::Status SaveModelToFile(TransDasModel* model,
+                             const sql::Vocabulary& vocab,
+                             const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.is_open()) {
+    return util::Status::NotFound("cannot open " + path + " for writing");
+  }
+  return SaveModel(model, vocab, os);
+}
+
+util::Result<ModelBundle> LoadModel(std::istream& is) {
+  uint32_t magic = 0, version = 0;
+  UCAD_RETURN_IF_ERROR(util::ReadU32(is, &magic));
+  if (magic != kMagic) {
+    return util::Status::InvalidArgument("not a UCAD model file");
+  }
+  UCAD_RETURN_IF_ERROR(util::ReadU32(is, &version));
+  if (version != kVersion) {
+    return util::Status::InvalidArgument("unsupported model version " +
+                                         std::to_string(version));
+  }
+  TransDasConfig config;
+  int32_t position_flag = 0, mask_mode = 0;
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &config.vocab_size));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &config.window));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &config.hidden_dim));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &config.num_heads));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &config.num_blocks));
+  UCAD_RETURN_IF_ERROR(util::ReadF32(is, &config.dropout));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &position_flag));
+  UCAD_RETURN_IF_ERROR(util::ReadI32(is, &mask_mode));
+  config.use_position_embedding = position_flag != 0;
+  if (mask_mode < 0 ||
+      mask_mode > static_cast<int32_t>(MaskMode::kBidirectionalSkipNext)) {
+    return util::Status::InvalidArgument("bad mask mode");
+  }
+  config.mask_mode = static_cast<MaskMode>(mask_mode);
+  if (config.vocab_size < 2 || config.window < 1 || config.hidden_dim < 1 ||
+      config.num_heads < 1 || config.num_blocks < 1 ||
+      config.hidden_dim % config.num_heads != 0) {
+    return util::Status::InvalidArgument("implausible model config");
+  }
+
+  util::Rng rng(1);  // initialization is immediately overwritten
+  ModelBundle bundle;
+  bundle.model = std::make_unique<TransDasModel>(config, &rng);
+  const std::vector<nn::Parameter*> params = bundle.model->Params();
+  uint32_t param_count = 0;
+  UCAD_RETURN_IF_ERROR(util::ReadU32(is, &param_count));
+  if (param_count != params.size()) {
+    return util::Status::InvalidArgument("parameter count mismatch");
+  }
+  for (nn::Parameter* p : params) {
+    int32_t rows = 0, cols = 0;
+    UCAD_RETURN_IF_ERROR(util::ReadI32(is, &rows));
+    UCAD_RETURN_IF_ERROR(util::ReadI32(is, &cols));
+    if (rows != p->value().rows() || cols != p->value().cols()) {
+      return util::Status::InvalidArgument("parameter shape mismatch");
+    }
+    std::vector<float> data;
+    UCAD_RETURN_IF_ERROR(util::ReadFloatVector(is, &data));
+    if (data.size() != p->value().size()) {
+      return util::Status::InvalidArgument("parameter size mismatch");
+    }
+    std::copy(data.begin(), data.end(), p->value().data());
+  }
+  UCAD_RETURN_IF_ERROR(ReadVocabulary(is, &bundle.vocabulary));
+  if (bundle.vocabulary.size() != config.vocab_size) {
+    return util::Status::InvalidArgument(
+        "vocabulary size does not match model config");
+  }
+  return bundle;
+}
+
+util::Result<ModelBundle> LoadModelFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    return util::Status::NotFound("cannot open " + path);
+  }
+  return LoadModel(is);
+}
+
+}  // namespace ucad::transdas

@@ -1,0 +1,43 @@
+#ifndef UCAD_TRANSDAS_SERIALIZATION_H_
+#define UCAD_TRANSDAS_SERIALIZATION_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sql/vocabulary.h"
+#include "transdas/model.h"
+#include "util/status.h"
+
+namespace ucad::transdas {
+
+/// A deserialized detection bundle: the model plus the frozen statement
+/// vocabulary it was trained against.
+struct ModelBundle {
+  std::unique_ptr<TransDasModel> model;
+  sql::Vocabulary vocabulary;
+};
+
+/// Serializes a trained model and its vocabulary into a self-describing
+/// binary stream (config, every parameter tensor, every statement
+/// template). The stream can be reloaded with LoadModel to resume
+/// detection or fine-tuning in a later process.
+util::Status SaveModel(TransDasModel* model, const sql::Vocabulary& vocab,
+                       std::ostream& os);
+
+/// Convenience wrapper writing to a file.
+util::Status SaveModelToFile(TransDasModel* model,
+                             const sql::Vocabulary& vocab,
+                             const std::string& path);
+
+/// Reconstructs a model bundle from a stream produced by SaveModel.
+/// Returns InvalidArgument / OutOfRange on malformed input.
+util::Result<ModelBundle> LoadModel(std::istream& is);
+
+/// Convenience wrapper reading from a file (NotFound if unreadable).
+util::Result<ModelBundle> LoadModelFromFile(const std::string& path);
+
+}  // namespace ucad::transdas
+
+#endif  // UCAD_TRANSDAS_SERIALIZATION_H_

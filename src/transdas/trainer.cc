@@ -1,0 +1,175 @@
+#include "transdas/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ucad::transdas {
+
+std::vector<TrainingWindow> MakeWindows(
+    const std::vector<std::vector<int>>& sessions, int window, int stride) {
+  UCAD_CHECK_GT(window, 0);
+  UCAD_CHECK_GT(stride, 0);
+  std::vector<TrainingWindow> out;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    std::vector<int> keys = sessions[s];
+    if (static_cast<int>(keys.size()) < window + 1) {
+      // Left-pad short sessions with k0 so that the session tail is the
+      // prediction target.
+      std::vector<int> padded(window + 1 - keys.size(), 0);
+      padded.insert(padded.end(), keys.begin(), keys.end());
+      keys = std::move(padded);
+    }
+    for (size_t start = 0; start + window + 1 <= keys.size();
+         start += stride) {
+      TrainingWindow tw;
+      tw.input.assign(keys.begin() + start, keys.begin() + start + window);
+      tw.target.assign(keys.begin() + start + 1,
+                       keys.begin() + start + window + 1);
+      tw.session_index = static_cast<int>(s);
+      out.push_back(std::move(tw));
+    }
+  }
+  return out;
+}
+
+TransDasTrainer::TransDasTrainer(TransDasModel* model,
+                                 const TrainOptions& options)
+    : model_(model),
+      options_(options),
+      optimizer_(model->Params(), options.learning_rate, 0.9f, 0.999f, 1e-8f,
+                 options.weight_decay),
+      rng_(options.seed) {
+  UCAD_CHECK(model_ != nullptr);
+}
+
+nn::VarId TransDasTrainer::WindowLoss(
+    nn::Tape* tape, const TrainingWindow& window,
+    const std::vector<std::vector<int>>& session_key_sets,
+    const std::vector<double>& negative_weights, util::Rng* rng) {
+  const int L = model_->config().window;
+  nn::VarId outputs =
+      model_->Forward(tape, window.input, /*training=*/true, rng);
+  // Desired-key similarities: z+ = sigmoid(O_i · M(x_target_i)), Eq. 10.
+  nn::VarId table = model_->embedding().Table(tape);
+  nn::VarId pos_embed = tape->EmbeddingGather(table, window.target);
+  nn::VarId pos_dot = tape->SumRows(tape->Mul(outputs, pos_embed));  // [L x 1]
+  // One-class cross-entropy: -log z+ == -log sigmoid(dot), stable form.
+  nn::VarId ce = tape->Scale(tape->SumAll(tape->LogSigmoid(pos_dot)), -1.0f);
+  nn::VarId loss = ce;
+  if (options_.use_triplet) {
+    // Negative sampling: undesired keys never appear in the source session.
+    const std::vector<int>& exclude = session_key_sets[window.session_index];
+    const std::unordered_set<int> excluded(exclude.begin(), exclude.end());
+    const int vocab = model_->config().vocab_size;
+    for (int ns = 0; ns < options_.negative_samples; ++ns) {
+      std::vector<int> negatives(L);
+      for (int i = 0; i < L; ++i) {
+        // Negative keys follow the word2vec unigram^0.75 distribution [27]:
+        // frequent keys are sampled (and pushed down) more often, which
+        // keeps the inner-product ranking calibrated across the frequency
+        // spectrum.
+        int key;
+        int attempts = 0;
+        do {
+          key = 1 + static_cast<int>(rng->Categorical(negative_weights));
+        } while (excluded.count(key) > 0 && ++attempts < 64);
+        if (key <= 0 || key >= vocab) key = 1;
+        negatives[i] = key;
+      }
+      nn::VarId neg_embed = tape->EmbeddingGather(table, negatives);
+      nn::VarId neg_dot = tape->SumRows(tape->Mul(outputs, neg_embed));
+      // Triplet: max(z- - z+ + g, 0) with z = sigmoid(dot).
+      nn::VarId z_pos = tape->Sigmoid(pos_dot);
+      nn::VarId z_neg = tape->Sigmoid(neg_dot);
+      nn::VarId hinge = tape->Relu(
+          tape->AddScalar(tape->Sub(z_neg, z_pos), options_.margin));
+      loss = tape->Add(loss, tape->SumAll(hinge));
+    }
+  }
+  // Mean over positions keeps gradient magnitudes comparable across L
+  // (Tables 4/5 sweep L).
+  return tape->Scale(loss, 1.0f / static_cast<float>(L));
+}
+
+std::vector<EpochStats> TransDasTrainer::RunEpochs(
+    const std::vector<std::vector<int>>& sessions, int epochs, float lr) {
+  std::vector<TrainingWindow> windows = MakeWindows(
+      sessions, model_->config().window, options_.window_stride);
+  UCAD_CHECK(!windows.empty()) << "no training windows";
+
+  // Distinct keys per session, for negative sampling.
+  std::vector<std::vector<int>> session_key_sets;
+  session_key_sets.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    std::vector<int> keys = s;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    session_key_sets.push_back(std::move(keys));
+  }
+
+  // Negative-sampling distribution over keys 1..V-1: unigram^0.75 with
+  // add-one smoothing so every key can be drawn.
+  const int vocab = model_->config().vocab_size;
+  std::vector<double> negative_weights(vocab - 1, 0.0);
+  for (const auto& s : sessions) {
+    for (int key : s) {
+      if (key >= 1 && key < vocab) negative_weights[key - 1] += 1.0;
+    }
+  }
+  for (double& w : negative_weights) w = std::pow(w + 1.0, 0.75);
+
+  std::vector<EpochStats> stats;
+  stats.reserve(epochs);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (options_.cosine_decay && epochs > 1) {
+      const double progress = static_cast<double>(epoch) / (epochs - 1);
+      const double scale =
+          options_.lr_floor +
+          (1.0 - options_.lr_floor) * 0.5 * (1.0 + std::cos(3.14159265 * progress));
+      optimizer_.set_lr(static_cast<float>(lr * scale));
+    } else {
+      optimizer_.set_lr(lr);
+    }
+    util::Timer timer;
+    rng_.Shuffle(&windows);
+    double total_loss = 0.0;
+    for (const TrainingWindow& window : windows) {
+      nn::Tape tape;
+      nn::VarId loss = WindowLoss(&tape, window, session_key_sets,
+                                  negative_weights, &rng_);
+      total_loss += tape.value(loss).at(0, 0);
+      tape.Backward(loss);
+      optimizer_.ClipGradNorm(options_.grad_clip);
+      optimizer_.Step();
+      model_->FreezePaddingRow();
+    }
+    EpochStats es;
+    es.windows = static_cast<int>(windows.size());
+    es.mean_loss = total_loss / windows.size();
+    es.seconds = timer.ElapsedSeconds();
+    if (options_.verbose) {
+      UCAD_LOG(INFO) << "epoch " << epoch + 1 << "/" << epochs << " loss "
+                     << es.mean_loss << " (" << es.windows << " windows, "
+                     << es.seconds << "s)";
+    }
+    stats.push_back(es);
+  }
+  return stats;
+}
+
+std::vector<EpochStats> TransDasTrainer::Train(
+    const std::vector<std::vector<int>>& sessions) {
+  return RunEpochs(sessions, options_.epochs, options_.learning_rate);
+}
+
+std::vector<EpochStats> TransDasTrainer::FineTune(
+    const std::vector<std::vector<int>>& sessions, int epochs,
+    float lr_scale) {
+  return RunEpochs(sessions, epochs, options_.learning_rate * lr_scale);
+}
+
+}  // namespace ucad::transdas

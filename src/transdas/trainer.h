@@ -1,0 +1,76 @@
+#ifndef UCAD_TRANSDAS_TRAINER_H_
+#define UCAD_TRANSDAS_TRAINER_H_
+
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "transdas/config.h"
+#include "transdas/model.h"
+
+namespace ucad::transdas {
+
+/// One training window: the model input and its forward-shifted target
+/// (paper Figure 4), plus the set of keys appearing in the source session
+/// (for negative sampling, which draws keys *not* in the session).
+struct TrainingWindow {
+  std::vector<int> input;    // length L
+  std::vector<int> target;   // length L (input shifted by one)
+  int session_index = 0;     // which session produced the window
+};
+
+/// Slices tokenized sessions into sliding windows of `window` keys with
+/// the given stride. Sessions shorter than window+1 are left-padded with
+/// k0. Every session yields at least one window.
+std::vector<TrainingWindow> MakeWindows(
+    const std::vector<std::vector<int>>& sessions, int window, int stride);
+
+/// Per-epoch training statistics (Tables 4 and 5 report time per epoch).
+struct EpochStats {
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+  int windows = 0;
+};
+
+/// Offline trainer for Trans-DAS (§5.2): unsupervised next-sequence
+/// prediction with the combined triplet + one-class cross-entropy + L2
+/// objective (Eq. 11), negative sampling for the undesired keys, and a
+/// fine-tuning entry point for concept drift.
+class TransDasTrainer {
+ public:
+  /// The model must outlive the trainer.
+  TransDasTrainer(TransDasModel* model, const TrainOptions& options);
+
+  /// Trains on the purified normal sessions; returns per-epoch stats.
+  std::vector<EpochStats> Train(
+      const std::vector<std::vector<int>>& sessions);
+
+  /// Fine-tunes on newly verified normal sessions (concept drift, §5.2):
+  /// a shorter run at a reduced learning rate that retains prior knowledge
+  /// instead of retraining from scratch.
+  std::vector<EpochStats> FineTune(
+      const std::vector<std::vector<int>>& sessions, int epochs = 2,
+      float lr_scale = 0.1f);
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  /// Builds the loss graph for one window; returns the scalar loss node.
+  /// `negative_weights[k-1]` is the (unnormalized) probability of drawing
+  /// key k as a negative sample (word2vec unigram^0.75 [27]).
+  nn::VarId WindowLoss(nn::Tape* tape, const TrainingWindow& window,
+                       const std::vector<std::vector<int>>& session_key_sets,
+                       const std::vector<double>& negative_weights,
+                       util::Rng* rng);
+
+  std::vector<EpochStats> RunEpochs(
+      const std::vector<std::vector<int>>& sessions, int epochs, float lr);
+
+  TransDasModel* model_;
+  TrainOptions options_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+};
+
+}  // namespace ucad::transdas
+
+#endif  // UCAD_TRANSDAS_TRAINER_H_

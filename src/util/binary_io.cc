@@ -1,0 +1,83 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+namespace ucad::util {
+
+namespace {
+
+template <typename T>
+void WriteRaw(std::ostream& os, T value) {
+  // The library targets little-endian hosts; a static_assert documents the
+  // assumption rather than paying for byte swaps.
+  static_assert(sizeof(T) <= 8);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadRaw(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!is.good() && !is.eof()) {
+    return Status::Internal("stream read error");
+  }
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    return Status::OutOfRange("truncated input");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteU32(std::ostream& os, uint32_t value) { WriteRaw(os, value); }
+void WriteI32(std::ostream& os, int32_t value) { WriteRaw(os, value); }
+void WriteF32(std::ostream& os, float value) { WriteRaw(os, value); }
+
+void WriteString(std::ostream& os, const std::string& value) {
+  WriteU32(os, static_cast<uint32_t>(value.size()));
+  os.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void WriteFloatVector(std::ostream& os, const std::vector<float>& values) {
+  WriteU32(os, static_cast<uint32_t>(values.size()));
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(float)));
+}
+
+Status ReadU32(std::istream& is, uint32_t* value) {
+  return ReadRaw(is, value);
+}
+Status ReadI32(std::istream& is, int32_t* value) { return ReadRaw(is, value); }
+Status ReadF32(std::istream& is, float* value) { return ReadRaw(is, value); }
+
+Status ReadString(std::istream& is, std::string* value, uint32_t max_len) {
+  uint32_t len = 0;
+  UCAD_RETURN_IF_ERROR(ReadU32(is, &len));
+  if (len > max_len) {
+    return Status::OutOfRange("string length " + std::to_string(len) +
+                              " exceeds cap");
+  }
+  value->resize(len);
+  is.read(value->data(), len);
+  if (is.gcount() != static_cast<std::streamsize>(len)) {
+    return Status::OutOfRange("truncated string");
+  }
+  return Status::Ok();
+}
+
+Status ReadFloatVector(std::istream& is, std::vector<float>* values,
+                       uint32_t max_len) {
+  uint32_t len = 0;
+  UCAD_RETURN_IF_ERROR(ReadU32(is, &len));
+  if (len > max_len) {
+    return Status::OutOfRange("float vector length exceeds cap");
+  }
+  values->resize(len);
+  is.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(len * sizeof(float)));
+  if (is.gcount() != static_cast<std::streamsize>(len * sizeof(float))) {
+    return Status::OutOfRange("truncated float vector");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ucad::util

@@ -1,0 +1,35 @@
+#ifndef UCAD_UTIL_BINARY_IO_H_
+#define UCAD_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::util {
+
+/// Little-endian binary primitives for model/vocabulary serialization.
+/// Writers never fail (stream state is checked by the caller at the end);
+/// readers return Status on truncated or malformed input.
+
+void WriteU32(std::ostream& os, uint32_t value);
+void WriteI32(std::ostream& os, int32_t value);
+void WriteF32(std::ostream& os, float value);
+void WriteString(std::ostream& os, const std::string& value);
+void WriteFloatVector(std::ostream& os, const std::vector<float>& values);
+
+Status ReadU32(std::istream& is, uint32_t* value);
+Status ReadI32(std::istream& is, int32_t* value);
+Status ReadF32(std::istream& is, float* value);
+/// Strings are capped at `max_len` to reject corrupt length prefixes.
+Status ReadString(std::istream& is, std::string* value,
+                  uint32_t max_len = 1 << 20);
+Status ReadFloatVector(std::istream& is, std::vector<float>* values,
+                       uint32_t max_len = 1 << 28);
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_BINARY_IO_H_

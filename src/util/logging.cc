@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace ucad::util {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal), enabled_(fatal || level >= GetLogLevel()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal
+}  // namespace ucad::util

@@ -1,0 +1,90 @@
+#ifndef UCAD_UTIL_LOGGING_H_
+#define UCAD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ucad::util {
+
+/// Severity levels for UCAD_LOG.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is printed (default: kInfo).
+void SetLogLevel(LogLevel level);
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-accumulating log line; flushes to stderr on destruction.
+/// When `fatal` is true the destructor aborts the process (CHECK failure).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Severity aliases consumed by the UCAD_LOG macro.
+namespace log_severity {
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARNING = LogLevel::kWarning;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+}  // namespace log_severity
+
+}  // namespace ucad::util
+
+/// Leveled logging: UCAD_LOG(INFO) << "message";
+#define UCAD_LOG(severity)                                              \
+  ::ucad::util::internal::LogMessage(                                   \
+      ::ucad::util::log_severity::severity, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for programming
+/// errors (invariant violations), not for recoverable failures.
+#define UCAD_CHECK(condition)                                           \
+  for (bool _ucad_ok = static_cast<bool>(condition); !_ucad_ok;         \
+       _ucad_ok = true)                                                 \
+  ::ucad::util::internal::LogMessage(::ucad::util::LogLevel::kError,    \
+                                     __FILE__, __LINE__, /*fatal=*/true) \
+      .stream()                                                         \
+      << "Check failed: " #condition " "
+
+#define UCAD_CHECK_EQ(a, b) UCAD_CHECK((a) == (b))
+#define UCAD_CHECK_NE(a, b) UCAD_CHECK((a) != (b))
+#define UCAD_CHECK_LT(a, b) UCAD_CHECK((a) < (b))
+#define UCAD_CHECK_LE(a, b) UCAD_CHECK((a) <= (b))
+#define UCAD_CHECK_GT(a, b) UCAD_CHECK((a) > (b))
+#define UCAD_CHECK_GE(a, b) UCAD_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define UCAD_DCHECK(condition) UCAD_CHECK(condition)
+#else
+#define UCAD_DCHECK(condition) \
+  while (false) ::ucad::util::internal::NullStream()
+#endif
+
+#endif  // UCAD_UTIL_LOGGING_H_

@@ -1,0 +1,126 @@
+#ifndef UCAD_UTIL_STATUS_H_
+#define UCAD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace ucad::util {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// RocksDB-style status object: fallible library APIs return Status (or
+/// Result<T>) instead of throwing. Ok() is the success value; every error
+/// carries a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Named constructors for each error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category (kOk for success).
+  StatusCode code() const { return code_; }
+  /// The error message (empty for success).
+  const std::string& message() const { return message_; }
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Dereferencing a Result that holds an error aborts the process, so call
+/// sites either check ok() or accept crash-on-bug semantics (CHECK idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    UCAD_CHECK(!std::get<Status>(value_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(value_);
+  }
+
+  /// The value; aborts if this Result holds an error.
+  const T& value() const& {
+    UCAD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    UCAD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    UCAD_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace ucad::util
+
+/// Propagates a non-OK Status from the current function.
+#define UCAD_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::ucad::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // UCAD_UTIL_STATUS_H_

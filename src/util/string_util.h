@@ -1,0 +1,36 @@
+#ifndef UCAD_UTIL_STRING_UTIL_H_
+#define UCAD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ucad::util {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits `input` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+/// True iff `input` begins with `prefix` (case-sensitive).
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// True iff `input` ends with `suffix` (case-sensitive).
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_STRING_UTIL_H_

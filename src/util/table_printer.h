@@ -1,0 +1,43 @@
+#ifndef UCAD_UTIL_TABLE_PRINTER_H_
+#define UCAD_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ucad::util {
+
+/// Column-aligned console table used by the benchmark harnesses to print
+/// paper-style result tables.
+///
+/// Usage:
+///   TablePrinter t({"Method", "F1"});
+///   t.AddRow({"Ours", "0.98168"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; its size must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: appends a row of already-formatted cells, converting
+  /// doubles with 5-digit precision (the paper's convention).
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 5);
+
+  /// Renders the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,32 @@
+#ifndef UCAD_UTIL_TIMER_H_
+#define UCAD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ucad::util {
+
+/// Wall-clock stopwatch used to report per-epoch training times
+/// (paper Tables 4 and 5).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_TIMER_H_

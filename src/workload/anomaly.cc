@@ -1,0 +1,173 @@
+#include "workload/anomaly.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ucad::workload {
+
+namespace {
+
+/// Re-sequences time offsets so they stay monotonically increasing after
+/// structural edits.
+void FixupTimes(sql::RawSession* session, util::Rng* rng) {
+  int64_t offset = 0;
+  for (auto& op : session->operations) {
+    op.time_offset_s = offset;
+    offset += rng->UniformInt(1, 20);
+  }
+}
+
+/// Inserts `op` at a random position of `session` (never before index 0 so
+/// an authentication-style prologue is preserved).
+void InsertAtRandomPosition(sql::RawSession* session, sql::OperationRecord op,
+                            util::Rng* rng) {
+  const size_t n = session->operations.size();
+  const size_t pos = n == 0 ? 0 : 1 + rng->UniformU64(n);
+  session->operations.insert(session->operations.begin() + pos,
+                             std::move(op));
+}
+
+}  // namespace
+
+AnomalySynthesizer::AnomalySynthesizer(const SessionGenerator* generator)
+    : generator_(generator) {
+  UCAD_CHECK(generator_ != nullptr);
+}
+
+sql::RawSession AnomalySynthesizer::PartialSwap(const sql::RawSession& base,
+                                                util::Rng* rng) const {
+  sql::RawSession out = base;
+  out.label = sql::SessionLabel::kNormalSwapped;
+  // Positions per swap group.
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < out.operations.size(); ++i) {
+    const int g = out.operations[i].swap_group;
+    if (g >= 0) groups[g].push_back(i);
+  }
+  bool swapped_any = false;
+  for (auto& [group, positions] : groups) {
+    if (positions.size() < 2) continue;
+    // Permute the operations among their positions (times stay in place).
+    std::vector<size_t> perm = positions;
+    rng->Shuffle(&perm);
+    std::vector<sql::OperationRecord> tmp;
+    tmp.reserve(positions.size());
+    for (size_t p : perm) tmp.push_back(out.operations[p]);
+    for (size_t j = 0; j < positions.size(); ++j) {
+      const int64_t keep_time = out.operations[positions[j]].time_offset_s;
+      out.operations[positions[j]] = tmp[j];
+      out.operations[positions[j]].time_offset_s = keep_time;
+      if (tmp[j].sql != base.operations[positions[j]].sql) swapped_any = true;
+    }
+  }
+  // Degenerate sessions without interchangeable pairs are returned as-is
+  // (still a valid normal session).
+  (void)swapped_any;
+  return out;
+}
+
+sql::RawSession AnomalySynthesizer::PartialRemove(const sql::RawSession& base,
+                                                  util::Rng* rng) const {
+  sql::RawSession out;
+  out.attrs = base.attrs;
+  out.label = sql::SessionLabel::kNormalReduced;
+  for (const auto& op : base.operations) {
+    if (op.removable && rng->Bernoulli(0.7)) continue;
+    out.operations.push_back(op);
+  }
+  return out;
+}
+
+sql::RawSession AnomalySynthesizer::PrivilegeAbuse(const sql::RawSession& base,
+                                                   util::Rng* rng) const {
+  sql::RawSession out = base;
+  out.label = sql::SessionLabel::kPrivilegeAbuse;
+  const int n = static_cast<int>(base.operations.size());
+  const int extra = std::max(4, n / 3 + rng->UniformInt(0, n / 4 + 1));
+  const bool repeated_mode = rng->Bernoulli(0.5);
+  std::string repeated_sql = generator_->RealizeRandom(
+      sql::CommandType::kSelect, rng);
+  for (int i = 0; i < extra; ++i) {
+    sql::OperationRecord op;
+    op.sql = repeated_mode
+                 ? repeated_sql
+                 : generator_->RealizeRandom(sql::CommandType::kSelect, rng);
+    op.injected = true;
+    if (rng->Bernoulli(0.5)) {
+      InsertAtRandomPosition(&out, std::move(op), rng);
+    } else {
+      out.operations.push_back(std::move(op));
+    }
+  }
+  FixupTimes(&out, rng);
+  return out;
+}
+
+sql::RawSession AnomalySynthesizer::CredentialStealing(
+    const sql::RawSession& base, util::Rng* rng,
+    double max_injection_ratio) const {
+  sql::RawSession out = base;
+  out.label = sql::SessionLabel::kCredentialTheft;
+  const int n = static_cast<int>(base.operations.size());
+  const int budget =
+      std::max(1, static_cast<int>(n * max_injection_ratio) - 1);
+  const int count = rng->UniformInt(1, budget);
+  for (int i = 0; i < count; ++i) {
+    sql::OperationRecord op;
+    // The first injected op is the stealthy delete; the rest are irrelevant
+    // (but individually legitimate) operations.
+    op.sql = i == 0 ? generator_->RealizeInjection(rng)
+                    : generator_->RealizeAny(rng);
+    op.injected = true;
+    InsertAtRandomPosition(&out, std::move(op), rng);
+  }
+  FixupTimes(&out, rng);
+  return out;
+}
+
+sql::RawSession AnomalySynthesizer::Misoperation(int approx_length,
+                                                 util::Rng* rng) const {
+  sql::RawSession out;
+  // A confused operator still connects from a legitimate context.
+  const auto& spec = generator_->spec();
+  const size_t user_index = rng->UniformU64(spec.users.size());
+  out.attrs.user = spec.users[user_index];
+  out.attrs.client_address = spec.addresses[user_index];
+  out.attrs.start_time_s = 1767225600 + rng->UniformInt(0, 364) * 86400 +
+                           rng->UniformInt(9, 18) * 3600;
+  out.label = sql::SessionLabel::kMisoperation;
+  const int length = std::max(4, approx_length / 2 +
+                                     rng->UniformInt(0, approx_length / 2));
+  for (int i = 0; i < length; ++i) {
+    sql::OperationRecord op;
+    const std::string rare = generator_->RealizeRare(rng);
+    op.sql = (!rare.empty() && rng->Bernoulli(0.7))
+                 ? rare
+                 : generator_->RealizeAny(rng);
+    op.injected = true;
+    out.operations.push_back(std::move(op));
+  }
+  FixupTimes(&out, rng);
+  return out;
+}
+
+std::vector<sql::RawSession> MixHybridTraining(
+    const std::vector<sql::RawSession>& normals,
+    const std::vector<sql::RawSession>& anomalies, double anomaly_ratio,
+    util::Rng* rng) {
+  std::vector<sql::RawSession> out = normals;
+  if (!anomalies.empty() && anomaly_ratio > 0) {
+    const int count =
+        static_cast<int>(normals.size() * anomaly_ratio + 0.5);
+    for (int i = 0; i < count; ++i) {
+      out.push_back(anomalies[rng->UniformU64(anomalies.size())]);
+    }
+  }
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace ucad::workload

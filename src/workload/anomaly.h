@@ -1,0 +1,63 @@
+#ifndef UCAD_WORKLOAD_ANOMALY_H_
+#define UCAD_WORKLOAD_ANOMALY_H_
+
+#include <vector>
+
+#include "sql/session.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace ucad::workload {
+
+/// Synthesizers for the paper's testing datasets (§6.1): two normal
+/// mutations (V2 partial swap, V3 partial remove) and three anomaly
+/// families (A1 privilege abuse, A2 credential stealing, A3 misoperations).
+/// All take a generated normal session (and the generator, for operation
+/// pools) and return a new labeled session.
+class AnomalySynthesizer {
+ public:
+  /// `generator` must outlive the synthesizer.
+  explicit AnomalySynthesizer(const SessionGenerator* generator);
+
+  /// V2: randomly permutes operations inside interchangeable swap groups.
+  /// The session goal is preserved by construction (only generator-marked
+  /// interchangeable operations move).
+  sql::RawSession PartialSwap(const sql::RawSession& base,
+                              util::Rng* rng) const;
+
+  /// V3: removes a random subset of generator-marked removable operations
+  /// (repeated reads), preserving the session goal.
+  sql::RawSession PartialRemove(const sql::RawSession& base,
+                                util::Rng* rng) const;
+
+  /// A1: combines repeatedly or randomly chosen select operations with a
+  /// normal session — bulk data retrieval violating business rules.
+  sql::RawSession PrivilegeAbuse(const sql::RawSession& base,
+                                 util::Rng* rng) const;
+
+  /// A2: stealthily inserts delete and other irrelevant operations into a
+  /// normal session; the injected volume stays below `max_injection_ratio`
+  /// (default 10%, per the paper).
+  sql::RawSession CredentialStealing(const sql::RawSession& base,
+                                     util::Rng* rng,
+                                     double max_injection_ratio = 0.10) const;
+
+  /// A3: random combination of rarely performed (but legitimate)
+  /// operations — a logically inconsistent session.
+  sql::RawSession Misoperation(int approx_length, util::Rng* rng) const;
+
+ private:
+  const SessionGenerator* generator_;
+};
+
+/// Builds a hybrid (poisoned) training set: normal sessions plus
+/// `anomaly_ratio` * |normals| abnormal sessions drawn uniformly from
+/// `anomalies`, shuffled (paper §6.5).
+std::vector<sql::RawSession> MixHybridTraining(
+    const std::vector<sql::RawSession>& normals,
+    const std::vector<sql::RawSession>& anomalies, double anomaly_ratio,
+    util::Rng* rng);
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_ANOMALY_H_

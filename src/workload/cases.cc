@@ -1,0 +1,108 @@
+#include "workload/cases.h"
+
+#include <utility>
+
+namespace ucad::workload {
+
+namespace {
+
+void Append(sql::RawSession* session, std::string sql, bool injected = false) {
+  sql::OperationRecord op;
+  op.sql = std::move(sql);
+  op.time_offset_s = session->operations.empty()
+                         ? 0
+                         : session->operations.back().time_offset_s + 3;
+  op.injected = injected;
+  session->operations.push_back(std::move(op));
+}
+
+sql::SessionAttributes LegitimateAttrs(const SessionGenerator& generator,
+                                       util::Rng* rng) {
+  const auto& spec = generator.spec();
+  const size_t i = rng->UniformU64(spec.users.size());
+  sql::SessionAttributes attrs;
+  attrs.user = spec.users[i];
+  attrs.client_address = spec.addresses[i];
+  attrs.start_time_s = 1767225600 + 12 * 3600;  // 12:00 noon (the bot's hour)
+  return attrs;
+}
+
+}  // namespace
+
+CaseStudy MakeDanmuBotCase(const SessionGenerator& generator,
+                           util::Rng* rng) {
+  CaseStudy cs;
+  cs.name = "danmu-bot";
+  cs.description =
+      "A bot impersonates a legitimate client to post a danmu (bullet-screen "
+      "comment) and immediately like it, collecting daily rewards. It never "
+      "opens the danmu panel, so the post is not preceded by the danmu reads "
+      "every real client performs (Figure 9a).";
+  cs.expected_finding =
+      "The insert-danmu / insert-like pair without preceding danmu reads "
+      "deviates from the contextual intent of a watch session.";
+
+  // Normal client: open video, read danmus (panel open), post, verify, like.
+  cs.normal.attrs = LegitimateAttrs(generator, rng);
+  Append(&cs.normal, generator.RealizeByName("sel_video", rng));
+  Append(&cs.normal, generator.RealizeByName("sel_danmu", rng));
+  Append(&cs.normal, generator.RealizeByName("sel_content", rng));
+  Append(&cs.normal, generator.RealizeByName("ins_danmu", rng));
+  Append(&cs.normal, generator.RealizeByName("upd_content", rng));
+  Append(&cs.normal, generator.RealizeByName("sel_danmu", rng));
+  Append(&cs.normal, generator.RealizeByName("ins_like", rng));
+  Append(&cs.normal, generator.RealizeByName("sel_like", rng));
+
+  // Bot: fetch videos it never commented on, then immediately post + like an
+  // *invisible* danmu — no panel reads in between.
+  cs.suspicious.attrs = LegitimateAttrs(generator, rng);
+  Append(&cs.suspicious, generator.RealizeByName("sel_video", rng));
+  Append(&cs.suspicious, generator.RealizeByName("sel_user", rng));
+  Append(&cs.suspicious, generator.RealizeByName("ins_danmu", rng),
+         /*injected=*/true);
+  Append(&cs.suspicious, generator.RealizeByName("ins_like", rng),
+         /*injected=*/true);
+  Append(&cs.suspicious, generator.RealizeByName("sel_video", rng));
+  Append(&cs.suspicious, generator.RealizeByName("ins_danmu", rng),
+         /*injected=*/true);
+  Append(&cs.suspicious, generator.RealizeByName("ins_like", rng),
+         /*injected=*/true);
+  cs.suspicious.label = sql::SessionLabel::kCredentialTheft;
+  return cs;
+}
+
+CaseStudy MakeRepackagedAppCase(const SessionGenerator& generator,
+                                util::Rng* rng) {
+  CaseStudy cs;
+  cs.name = "repackaged-app";
+  cs.description =
+      "A maliciously repackaged app steals the authentication credential of "
+      "a normal app on the same device and reports manipulated location "
+      "data: many consecutive loc_rm inserts in a short period (Figure 9b).";
+  cs.expected_finding =
+      "Consecutive high-frequency inserts into loc_rm deviate from the "
+      "report-then-read intent of legitimate location sessions.";
+
+  // Normal app: authenticate (the 61+512 combo), report once, read back,
+  // mirror for offline use.
+  cs.normal.attrs = LegitimateAttrs(generator, rng);
+  Append(&cs.normal, generator.RealizeByName("sel_auth", rng));
+  Append(&cs.normal, generator.RealizeByName("upd_auth", rng));
+  Append(&cs.normal, generator.RealizeByName("ins_loc_rm", rng));
+  Append(&cs.normal, generator.RealizeByName("sel_loc_rm", rng));
+  Append(&cs.normal, generator.RealizeByName("ins_loc_rmf", rng));
+
+  // Repackaged app: authenticates with the stolen credential, then floods
+  // manipulated positions.
+  cs.suspicious.attrs = LegitimateAttrs(generator, rng);
+  Append(&cs.suspicious, generator.RealizeByName("sel_auth", rng));
+  Append(&cs.suspicious, generator.RealizeByName("upd_auth", rng));
+  for (int i = 0; i < 10; ++i) {
+    Append(&cs.suspicious, generator.RealizeByName("ins_loc_rm", rng),
+           /*injected=*/true);
+  }
+  cs.suspicious.label = sql::SessionLabel::kCredentialTheft;
+  return cs;
+}
+
+}  // namespace ucad::workload

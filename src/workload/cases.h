@@ -1,0 +1,39 @@
+#ifndef UCAD_WORKLOAD_CASES_H_
+#define UCAD_WORKLOAD_CASES_H_
+
+#include <string>
+
+#include "sql/session.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace ucad::workload {
+
+/// A scripted pair of sessions reproducing one of the paper's Figure 9
+/// production incidents: one legitimate session and one suspicious session
+/// that UCAD should flag.
+struct CaseStudy {
+  std::string name;
+  std::string description;
+  sql::RawSession normal;
+  sql::RawSession suspicious;
+  /// Human explanation of which operations are anomalous and why.
+  std::string expected_finding;
+};
+
+/// Figure 9(a): a bot impersonates a client to post danmu comments for
+/// daily rewards — it posts and likes a comment without ever opening the
+/// danmu panel (no preceding danmu reads). Requires the commenting
+/// scenario's generator.
+CaseStudy MakeDanmuBotCase(const SessionGenerator& generator, util::Rng* rng);
+
+/// Figure 9(b): a maliciously repackaged app steals another app's
+/// credential and reports manipulated locations — consecutive inserts into
+/// loc_rm at an abnormally high frequency. Requires the location scenario's
+/// generator.
+CaseStudy MakeRepackagedAppCase(const SessionGenerator& generator,
+                                util::Rng* rng);
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_CASES_H_

@@ -1,0 +1,227 @@
+#include "workload/commenting.h"
+
+#include <string>
+
+namespace ucad::workload {
+
+namespace {
+
+std::string RandId(util::Rng* rng) {
+  return std::to_string(rng->UniformInt(1, 99999));
+}
+
+/// Builds a fixed-shape family (one variant) whose SQL text embeds `count`
+/// literal values at the positions marked by '@' in `pattern`.
+OpFamily FixedFamily(std::string name, sql::CommandType command,
+                     std::string table, std::string pattern,
+                     bool rare = false) {
+  OpFamily family;
+  family.name = std::move(name);
+  family.command = command;
+  family.table = std::move(table);
+  family.shape_variants = {1};
+  family.rare = rare;
+  family.realize = [pattern = std::move(pattern)](int /*shape*/,
+                                                  util::Rng* rng) {
+    std::string out;
+    out.reserve(pattern.size() + 16);
+    for (char c : pattern) {
+      if (c == '@') {
+        out += RandId(rng);
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  return family;
+}
+
+}  // namespace
+
+ScenarioSpec MakeCommentingScenario(const CommentingOptions& options) {
+  ScenarioSpec spec;
+  spec.name = "commenting";
+  spec.min_tasks = options.min_tasks;
+  spec.max_tasks = options.max_tasks;
+  spec.users = {"user1", "user2", "user3", "user4", "user5", "user6"};
+  spec.addresses = {"10.0.0.11", "10.0.0.12", "10.0.0.13",
+                    "10.0.0.14", "10.0.0.15", "10.0.0.16"};
+
+  auto& f = spec.families;
+  // --- 7 select families ---
+  const int kSelVideo = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_video", sql::CommandType::kSelect, "t_video",
+                          "SELECT * FROM t_video WHERE vid=@"));
+  const int kSelDanmu = static_cast<int>(f.size());
+  f.push_back(FixedFamily(
+      "sel_danmu", sql::CommandType::kSelect, "danmu_display",
+      "SELECT text, ts FROM danmu_display WHERE vid=@ AND ts>@"));
+  const int kSelContent = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_content", sql::CommandType::kSelect,
+                          "t_content",
+                          "SELECT count FROM t_content WHERE danmuKey=@"));
+  const int kSelUser = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_user", sql::CommandType::kSelect, "t_user",
+                          "SELECT uid, name FROM t_user WHERE uid=@"));
+  const int kSelLike = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_like", sql::CommandType::kSelect, "t_like",
+                          "SELECT cnt FROM t_like WHERE danmuKey=@"));
+  const int kSelStat = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_stat", sql::CommandType::kSelect, "t_stat",
+                          "SELECT * FROM t_stat WHERE day=@"));
+  const int kSelRmMac = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_rm_mac", sql::CommandType::kSelect, "t_rm_mac",
+                          "SELECT * FROM t_rm_mac WHERE mac=@"));
+
+  // --- 4 insert families ---
+  const int kInsDanmu = static_cast<int>(f.size());
+  f.push_back(FixedFamily(
+      "ins_danmu", sql::CommandType::kInsert, "danmu_display",
+      "INSERT INTO danmu_display(vid, uid, text, ts) VALUES (@, @, '@', @)"));
+  const int kInsLike = static_cast<int>(f.size());
+  f.push_back(FixedFamily("ins_like", sql::CommandType::kInsert, "t_like",
+                          "INSERT INTO t_like(danmuKey, uid) VALUES (@, @)"));
+  const int kInsContent = static_cast<int>(f.size());
+  f.push_back(
+      FixedFamily("ins_content", sql::CommandType::kInsert, "t_content",
+                  "INSERT INTO t_content(danmuKey, count) VALUES (@, @)"));
+  const int kInsRmMac = static_cast<int>(f.size());
+  f.push_back(FixedFamily(
+      "ins_rm_mac", sql::CommandType::kInsert, "t_rm_mac",
+      "INSERT INTO t_rm_mac(mac, reason) VALUES ('@', '@')", /*rare=*/true));
+
+  // --- 4 update families ---
+  const int kUpdContent = static_cast<int>(f.size());
+  f.push_back(
+      FixedFamily("upd_content", sql::CommandType::kUpdate, "t_content",
+                  "UPDATE t_content SET count=@ WHERE danmuKey=@"));
+  const int kUpdStat = static_cast<int>(f.size());
+  f.push_back(FixedFamily("upd_stat", sql::CommandType::kUpdate, "t_stat",
+                          "UPDATE t_stat SET views=@ WHERE day=@"));
+  const int kUpdUser = static_cast<int>(f.size());
+  f.push_back(FixedFamily("upd_user", sql::CommandType::kUpdate, "t_user",
+                          "UPDATE t_user SET last_seen=@ WHERE uid=@"));
+  const int kUpdVideo = static_cast<int>(f.size());
+  f.push_back(FixedFamily("upd_video", sql::CommandType::kUpdate, "t_video",
+                          "UPDATE t_video SET hot=@ WHERE vid=@"));
+
+  // --- 5 delete families ---
+  const int kDelDanmu = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_danmu", sql::CommandType::kDelete,
+                          "danmu_display",
+                          "DELETE FROM danmu_display WHERE danmuKey=@"));
+  const int kDelLike = static_cast<int>(f.size());
+  f.push_back(
+      FixedFamily("del_like", sql::CommandType::kDelete, "t_like",
+                  "DELETE FROM t_like WHERE danmuKey=@ AND uid=@"));
+  const int kDelRmMacNormal = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_rm_mac_normal", sql::CommandType::kDelete,
+                          "t_rm_mac",
+                          "DELETE FROM t_rm_mac WHERE normal_mac='@'",
+                          /*rare=*/true));
+  const int kDelRmMacAbnormal = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_rm_mac_abnormal", sql::CommandType::kDelete,
+                          "t_rm_mac",
+                          "DELETE FROM t_rm_mac WHERE abnormal_mac='@'",
+                          /*rare=*/true));
+  const int kDelStat = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_stat", sql::CommandType::kDelete, "t_stat",
+                          "DELETE FROM t_stat WHERE day<@", /*rare=*/true));
+
+  // --- Tasks ---
+  // Watch: open a video and page through its comments (selects repeat and
+  // are removable; comment/like reads are interchangeable).
+  {
+    TaskSpec task;
+    task.name = "watch";
+    task.weight = 3.0;
+    task.steps = {
+        TaskStep{{kSelVideo}, 1, 1, false, -1},
+        TaskStep{{kSelDanmu}, 1, 4, true, 0},
+        TaskStep{{kSelContent}, 1, 2, true, 0},
+        TaskStep{{kSelLike}, 1, 1, false, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Post: insert a comment, create or bump its counter record, verify.
+  {
+    TaskSpec task;
+    task.name = "post";
+    task.weight = 3.0;
+    task.steps = {
+        TaskStep{{kSelVideo}, 1, 1, false, -1},
+        TaskStep{{kInsDanmu}, 1, 1, false, -1},
+        TaskStep{{kUpdContent, kInsContent}, 1, 1, false, 1},
+        TaskStep{{kSelDanmu}, 1, 1, false, 1},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Like: read then record a like.
+  {
+    TaskSpec task;
+    task.name = "like";
+    task.weight = 2.0;
+    task.steps = {
+        TaskStep{{kSelDanmu}, 1, 1, false, -1},
+        TaskStep{{kInsLike}, 1, 1, false, 0},
+        TaskStep{{kSelLike}, 1, 1, false, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Moderate: ban a client MAC and clean its comments (rare admin flow;
+  // keeps the rare delete/insert families in the training vocabulary).
+  {
+    TaskSpec task;
+    task.name = "moderate";
+    task.weight = 0.5;
+    task.steps = {
+        TaskStep{{kSelRmMac}, 1, 1, false, -1},
+        TaskStep{{kInsRmMac}, 1, 1, false, 2},
+        TaskStep{{kDelRmMacNormal, kDelRmMacAbnormal}, 1, 1, false, 2},
+        TaskStep{{kDelDanmu}, 1, 2, false, 2},
+        TaskStep{{kDelLike}, 1, 1, false, 2},
+        TaskStep{{kUpdStat}, 1, 1, false, -1},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Maintenance: nightly statistics upkeep (rare).
+  {
+    TaskSpec task;
+    task.name = "maintenance";
+    task.weight = 0.4;
+    task.steps = {
+        TaskStep{{kSelStat}, 1, 2, true, -1},
+        TaskStep{{kUpdStat}, 1, 1, false, 3},
+        TaskStep{{kUpdVideo}, 1, 1, false, 3},
+        TaskStep{{kDelStat}, 1, 1, false, -1},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Account upkeep.
+  {
+    TaskSpec task;
+    task.name = "account";
+    task.weight = 1.0;
+    task.steps = {
+        TaskStep{{kSelUser}, 1, 1, false, 0},
+        TaskStep{{kUpdUser}, 1, 1, false, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  spec.interleave_prob = 0.15;
+  // User intents chain sequentially (watch -> like -> post -> watch ...):
+  // rows/cols follow the task order above
+  // {watch, post, like, moderate, maintenance, account}.
+  spec.task_transitions = {
+      {0.25, 0.25, 0.40, 0.02, 0.02, 0.06},  // after watch
+      {0.50, 0.15, 0.25, 0.02, 0.03, 0.05},  // after post
+      {0.55, 0.25, 0.10, 0.02, 0.03, 0.05},  // after like
+      {0.30, 0.05, 0.05, 0.30, 0.30, 0.00},  // after moderate
+      {0.40, 0.05, 0.05, 0.20, 0.25, 0.05},  // after maintenance
+      {0.60, 0.20, 0.20, 0.00, 0.00, 0.00},  // after account
+  };
+  return spec;
+}
+
+}  // namespace ucad::workload

@@ -1,0 +1,25 @@
+#ifndef UCAD_WORKLOAD_COMMENTING_H_
+#define UCAD_WORKLOAD_COMMENTING_H_
+
+#include "workload/scenario.h"
+
+namespace ucad::workload {
+
+/// Options controlling the generated Scenario-I workload size. Defaults
+/// match the paper's Table 1 statistics (avg session length 24, 20 keys
+/// {7 select, 4 insert, 4 update, 5 delete}, 7 tables).
+struct CommentingOptions {
+  /// Number of tasks per session (drives the average session length).
+  int min_tasks = 3;
+  int max_tasks = 6;
+};
+
+/// Scenario-I: an online video commenting ("danmu") application. Users
+/// watch videos, post/like/moderate comments; operations are dominated by
+/// insert/update/delete traffic (paper §6.1).
+ScenarioSpec MakeCommentingScenario(
+    const CommentingOptions& options = CommentingOptions());
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_COMMENTING_H_

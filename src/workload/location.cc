@@ -1,0 +1,320 @@
+#include "workload/location.h"
+
+#include <cmath>
+#include <string>
+
+namespace ucad::workload {
+
+namespace {
+
+std::string RandId(util::Rng* rng) {
+  return std::to_string(rng->UniformInt(1, 99999));
+}
+
+/// Peaked (Zipf-like) weight for the v-th shape variant: applications use
+/// a few statement shapes most of the time with a long tail.
+double ZipfWeight(int v) { return 1.0 / std::pow(1.0 + v, 2.2); }
+
+/// "($a, $b, ...)" value tuple with `arity` random literals.
+std::string ValueTuple(int arity, util::Rng* rng) {
+  std::string out = "(";
+  for (int i = 0; i < arity; ++i) {
+    if (i > 0) out += ", ";
+    out += RandId(rng);
+  }
+  out += ")";
+  return out;
+}
+
+/// Comma-separated list of `count` random literals.
+std::string ValueList(int count, util::Rng* rng) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ", ";
+    out += RandId(rng);
+  }
+  return out;
+}
+
+/// SELECT with a variable-length IN list (Figure 6 statement form).
+OpFamily SelectFpFamily(const std::string& table, int variants) {
+  OpFamily family;
+  family.name = "sel_" + table;
+  family.command = sql::CommandType::kSelect;
+  family.table = table;
+  family.shape_variants.clear();
+  for (int v = 0; v < variants; ++v) {
+    family.shape_variants.push_back(2 + v);
+    family.shape_weights.push_back(ZipfWeight(v));
+  }
+  family.realize = [table](int shape, util::Rng* rng) {
+    return "SELECT * FROM " + table + " WHERE pnci=" + RandId(rng) +
+           " and gridId IN (" + ValueList(shape, rng) + ")";
+  };
+  return family;
+}
+
+/// Multi-row INSERT with a variable row count (Figure 6 statement form).
+OpFamily InsertRowsFamily(const std::string& table, const std::string& cols,
+                          int arity, int variants) {
+  OpFamily family;
+  family.name = "ins_" + table;
+  family.command = sql::CommandType::kInsert;
+  family.table = table;
+  family.shape_variants.clear();
+  for (int v = 0; v < variants; ++v) {
+    family.shape_variants.push_back(1 + v);
+    family.shape_weights.push_back(ZipfWeight(v));
+  }
+  family.realize = [table, cols, arity](int shape, util::Rng* rng) {
+    std::string out = "INSERT INTO " + table + "(" + cols + ") VALUES ";
+    for (int r = 0; r < shape; ++r) {
+      if (r > 0) out += ", ";
+      out += ValueTuple(arity, rng);
+    }
+    return out;
+  };
+  return family;
+}
+
+/// UPDATE with a variable-length IN list in the predicate.
+OpFamily UpdateInFamily(const std::string& table, int variants) {
+  OpFamily family;
+  family.name = "upd_" + table;
+  family.command = sql::CommandType::kUpdate;
+  family.table = table;
+  family.shape_variants.clear();
+  for (int v = 0; v < variants; ++v) {
+    family.shape_variants.push_back(1 + v);
+    family.shape_weights.push_back(ZipfWeight(v));
+  }
+  family.realize = [table](int shape, util::Rng* rng) {
+    return "UPDATE " + table + " SET pi=" + RandId(rng) +
+           ", cn=" + RandId(rng) + " WHERE pnci IN (" +
+           ValueList(shape, rng) + ")";
+  };
+  return family;
+}
+
+/// Single fixed-shape family; '@' marks a random literal.
+OpFamily FixedFamily(std::string name, sql::CommandType command,
+                     std::string table, std::string pattern,
+                     bool rare = false) {
+  OpFamily family;
+  family.name = std::move(name);
+  family.command = command;
+  family.table = std::move(table);
+  family.shape_variants = {1};
+  family.rare = rare;
+  family.realize = [pattern = std::move(pattern)](int /*shape*/,
+                                                  util::Rng* rng) {
+    std::string out;
+    out.reserve(pattern.size() + 16);
+    for (char c : pattern) {
+      if (c == '@') {
+        out += RandId(rng);
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  return family;
+}
+
+}  // namespace
+
+ScenarioSpec MakeLocationScenario(const LocationOptions& options) {
+  ScenarioSpec spec;
+  spec.name = "location";
+  spec.min_tasks = options.min_tasks;
+  spec.max_tasks = options.max_tasks;
+  spec.users = {"app_nav",  "app_maps",  "app_fit",  "app_ride",
+                "app_food", "app_photo", "app_social", "app_weather"};
+  spec.addresses = {"10.1.0.21", "10.1.0.22", "10.1.0.23", "10.1.0.24",
+                    "10.1.0.25", "10.1.0.26", "10.1.0.27", "10.1.0.28"};
+
+  auto& f = spec.families;
+  constexpr int kNumFpTables = 9;
+  constexpr int kNumPicnTables = 3;
+
+  // Fingerprint tables: per-table select / insert families.
+  std::vector<int> sel_fp, ins_fp;
+  for (int t = 1; t <= kNumFpTables; ++t) {
+    const std::string table = "t_cell_fp_" + std::to_string(t);
+    sel_fp.push_back(static_cast<int>(f.size()));
+    f.push_back(SelectFpFamily(table, options.select_variants));
+    ins_fp.push_back(static_cast<int>(f.size()));
+    f.push_back(InsertRowsFamily(table, "pnci, gridId, fps", 3,
+                                 options.insert_variants));
+  }
+  // PICN tables: select / insert / update families.
+  std::vector<int> sel_picn, ins_picn, upd_picn;
+  for (int t = 1; t <= kNumPicnTables; ++t) {
+    const std::string table = "t_cell_picn_" + std::to_string(t);
+    sel_picn.push_back(static_cast<int>(f.size()));
+    f.push_back(FixedFamily("sel_" + table, sql::CommandType::kSelect, table,
+                            "SELECT * FROM " + table + " WHERE pnci=@"));
+    ins_picn.push_back(static_cast<int>(f.size()));
+    f.push_back(InsertRowsFamily(table, "pnci, pi, cn", 3,
+                                 options.picn_insert_variants));
+    upd_picn.push_back(static_cast<int>(f.size()));
+    f.push_back(UpdateInFamily(table, options.update_variants));
+  }
+  // Location report / auth / offline tables.
+  const int kSelAuth = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_auth", sql::CommandType::kSelect, "t_auth",
+                          "SELECT token FROM t_auth WHERE app=@"));
+  const int kUpdAuth = static_cast<int>(f.size());
+  f.push_back(FixedFamily("upd_auth", sql::CommandType::kUpdate, "t_auth",
+                          "UPDATE t_auth SET last=@ WHERE app=@"));
+  const int kInsLocRm = static_cast<int>(f.size());
+  f.push_back(FixedFamily(
+      "ins_loc_rm", sql::CommandType::kInsert, "loc_rm",
+      "INSERT INTO loc_rm(dev, lat, lon, ts) VALUES (@, @, @, @)"));
+  const int kSelLocRm = static_cast<int>(f.size());
+  f.push_back(FixedFamily("sel_loc_rm", sql::CommandType::kSelect, "loc_rm",
+                          "SELECT lat, lon FROM loc_rm WHERE dev=@"));
+  const int kInsLocRmf = static_cast<int>(f.size());
+  f.push_back(FixedFamily(
+      "ins_loc_rmf", sql::CommandType::kInsert, "loc_rmf",
+      "INSERT INTO loc_rmf(dev, lat, lon, ts) VALUES (@, @, @, @)"));
+  // The scenario's 4 delete families; all rare (Table 1: only 4 delete
+  // keys in Scenario-II).
+  const int kDelLocRmf = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_loc_rmf", sql::CommandType::kDelete,
+                          "loc_rmf", "DELETE FROM loc_rmf WHERE ts<@",
+                          /*rare=*/true));
+  const int kDelLocRm = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_loc_rm", sql::CommandType::kDelete, "loc_rm",
+                          "DELETE FROM loc_rm WHERE ts<@", /*rare=*/true));
+  const int kDelFp = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_fp", sql::CommandType::kDelete, "t_cell_fp_1",
+                          "DELETE FROM t_cell_fp_1 WHERE pnci=@",
+                          /*rare=*/true));
+  const int kDelPicn = static_cast<int>(f.size());
+  f.push_back(FixedFamily("del_picn", sql::CommandType::kDelete,
+                          "t_cell_picn_1",
+                          "DELETE FROM t_cell_picn_1 WHERE pnci=@",
+                          /*rare=*/true));
+
+  // --- Tasks ---
+  // Location report: authenticate (61+512 combo of Figure 9b), record the
+  // device position, read back, mirror for offline access.
+  {
+    TaskSpec task;
+    task.name = "report_location";
+    task.weight = 3.0;
+    task.steps = {
+        TaskStep{{kSelAuth}, 1, 1, false, -1},
+        TaskStep{{kUpdAuth}, 1, 1, false, -1},
+        TaskStep{{kInsLocRm}, 2, 5, false, -1},
+        TaskStep{{kSelLocRm}, 1, 2, false, 0},
+        TaskStep{{kInsLocRmf}, 1, 2, false, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Per-table fingerprint maintenance: insert new fingerprints then verify
+  // (insert/select of the *same* table, as in Figure 6's session).
+  for (int t = 0; t < kNumFpTables; ++t) {
+    TaskSpec task;
+    task.name = "fp_update_" + std::to_string(t + 1);
+    task.weight = 1.2;
+    task.steps = {
+        TaskStep{{ins_fp[t]}, 4, 10, false, 0},
+        TaskStep{{sel_fp[t]}, 3, 8, true, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Per-table PICN maintenance.
+  for (int t = 0; t < kNumPicnTables; ++t) {
+    TaskSpec task;
+    task.name = "picn_update_" + std::to_string(t + 1);
+    task.weight = 0.8;
+    task.steps = {
+        TaskStep{{ins_picn[t]}, 2, 5, false, 0},
+        TaskStep{{sel_picn[t]}, 1, 3, true, 0},
+        TaskStep{{upd_picn[t]}, 2, 5, false, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Cross-table query: consecutive selects over different fingerprint
+  // tables — the paper's canonical interchangeable/removable example.
+  {
+    TaskSpec task;
+    task.name = "query_fp";
+    task.weight = 2.5;
+    task.steps = {
+        TaskStep{sel_fp, 2, 5, true, 0},
+        TaskStep{sel_fp, 2, 5, true, 0},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Offline sync: read recent positions, mirror them, expire old mirrors.
+  {
+    TaskSpec task;
+    task.name = "offline_sync";
+    task.weight = 0.7;
+    task.steps = {
+        TaskStep{{kSelLocRm}, 1, 3, true, -1},
+        TaskStep{{kInsLocRmf}, 1, 3, false, -1},
+        TaskStep{{kDelLocRmf}, 1, 1, false, -1},
+    };
+    spec.tasks.push_back(task);
+  }
+  // Rare admin cleanup: keeps the remaining delete keys in the vocabulary.
+  {
+    TaskSpec task;
+    task.name = "cleanup";
+    task.weight = 0.25;
+    task.steps = {
+        TaskStep{{kSelLocRm}, 1, 1, false, -1},
+        TaskStep{{kDelLocRm}, 1, 1, false, 1},
+        TaskStep{{kDelFp}, 1, 1, false, 1},
+        TaskStep{{kDelPicn}, 1, 1, false, 1},
+    };
+    spec.tasks.push_back(task);
+  }
+  spec.interleave_prob = 0.35;
+  // Task chaining: location reports repeat; fingerprint maintenance walks
+  // the tables in order (fp_update_k -> fp_update_{k+1}); queries and
+  // offline syncs follow reports. Rows/cols follow the task order above:
+  // {report, fp_1..fp_9, picn_1..picn_3, query, offline, cleanup}.
+  const int num_tasks = static_cast<int>(spec.tasks.size());
+  spec.task_transitions.assign(num_tasks, std::vector<double>(num_tasks, 0.01));
+  auto& tr = spec.task_transitions;
+  const int kReport = 0, kFp0 = 1, kPicn0 = 10, kQuery = 13, kOffline = 14,
+            kCleanup = 15;
+  // After a report: mostly another report or a query, sometimes offline.
+  tr[kReport][kReport] = 0.40;
+  tr[kReport][kQuery] = 0.25;
+  tr[kReport][kOffline] = 0.10;
+  tr[kReport][kFp0] = 0.15;
+  tr[kReport][kPicn0] = 0.05;
+  // Fingerprint maintenance walks tables in order, then queries.
+  for (int t = 0; t < 9; ++t) {
+    tr[kFp0 + t][kFp0 + (t + 1) % 9] = 0.55;
+    tr[kFp0 + t][kQuery] = 0.20;
+    tr[kFp0 + t][kReport] = 0.10;
+    tr[kFp0 + t][kPicn0 + t % 3] = 0.08;
+  }
+  for (int t = 0; t < 3; ++t) {
+    tr[kPicn0 + t][kPicn0 + (t + 1) % 3] = 0.45;
+    tr[kPicn0 + t][kFp0 + 3 * t] = 0.20;
+    tr[kPicn0 + t][kReport] = 0.15;
+    tr[kPicn0 + t][kQuery] = 0.10;
+  }
+  tr[kQuery][kReport] = 0.40;
+  tr[kQuery][kQuery] = 0.25;
+  tr[kQuery][kFp0] = 0.15;
+  tr[kQuery][kOffline] = 0.10;
+  tr[kOffline][kReport] = 0.50;
+  tr[kOffline][kQuery] = 0.25;
+  tr[kOffline][kOffline] = 0.10;
+  tr[kCleanup][kReport] = 0.40;
+  tr[kCleanup][kCleanup] = 0.20;
+  tr[kCleanup][kQuery] = 0.25;
+  return spec;
+}
+
+}  // namespace ucad::workload

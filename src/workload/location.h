@@ -1,0 +1,32 @@
+#ifndef UCAD_WORKLOAD_LOCATION_H_
+#define UCAD_WORKLOAD_LOCATION_H_
+
+#include "workload/scenario.h"
+
+namespace ucad::workload {
+
+/// Options controlling Scenario-II workload size. The *_variants knobs set
+/// how many shape variants (IN-list lengths / multi-row INSERT row counts)
+/// each statement family exposes; each variant becomes one statement key
+/// after abstraction. Paper-scale defaults approximate Table 1's key
+/// breakdown (238 select / 351 insert / 146 update / 4 delete over 15
+/// tables); pass smaller values for a reduced repro-scale vocabulary.
+struct LocationOptions {
+  int select_variants = 26;       // per fp table (9 tables)
+  int insert_variants = 35;       // per fp table
+  int picn_insert_variants = 11;  // per picn table (3 tables)
+  int update_variants = 48;       // per picn table
+  /// Number of tasks per session (drives the average session length).
+  int min_tasks = 8;
+  int max_tasks = 16;
+};
+
+/// Scenario-II: a mobile location service. Apps authenticate, report device
+/// locations, and maintain per-cell radio fingerprint tables; traffic is
+/// dominated by select/insert with very few deletes (paper §6.1, Figure 6).
+ScenarioSpec MakeLocationScenario(
+    const LocationOptions& options = LocationOptions());
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_LOCATION_H_

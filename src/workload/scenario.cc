@@ -1,0 +1,299 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ucad::workload {
+
+namespace {
+
+constexpr int64_t kSecondsPerDay = 24 * 3600;
+// Arbitrary but fixed epoch origin for generated timestamps (2026-01-01).
+constexpr int64_t kEpochOrigin = 1767225600;
+
+/// Draws a shape variant: by shape_weights when present, else uniform.
+int DrawShapeImpl(const OpFamily& family, util::Rng* rng) {
+  if (!family.shape_weights.empty()) {
+    UCAD_CHECK_EQ(family.shape_weights.size(), family.shape_variants.size());
+    return family.shape_variants[rng->Categorical(family.shape_weights)];
+  }
+  return family.shape_variants[rng->UniformU64(family.shape_variants.size())];
+}
+
+}  // namespace
+
+SessionGenerator::SessionGenerator(ScenarioSpec spec) : spec_(std::move(spec)) {
+  UCAD_CHECK(!spec_.families.empty());
+  UCAD_CHECK(!spec_.tasks.empty());
+  UCAD_CHECK(!spec_.users.empty());
+  UCAD_CHECK_EQ(spec_.users.size(), spec_.addresses.size());
+  for (size_t i = 0; i < spec_.families.size(); ++i) {
+    const OpFamily& family = spec_.families[i];
+    UCAD_CHECK(!family.shape_variants.empty())
+        << "family " << family.name << " has no shape variants";
+    UCAD_CHECK(static_cast<bool>(family.realize))
+        << "family " << family.name << " has no realize function";
+    if (family.rare) {
+      rare_families_.push_back(static_cast<int>(i));
+      if (family.command == sql::CommandType::kDelete) {
+        rare_delete_families_.push_back(static_cast<int>(i));
+      }
+    }
+    if (family.command == sql::CommandType::kDelete) {
+      delete_families_.push_back(static_cast<int>(i));
+    }
+  }
+  // Deterministic per-user shape assignment (stable across generators built
+  // from the same spec).
+  util::Rng shape_rng(0xC0FFEEULL + spec_.users.size() * 131 +
+                      spec_.families.size());
+  user_shapes_.resize(spec_.users.size());
+  for (auto& shapes : user_shapes_) {
+    shapes.reserve(spec_.families.size());
+    for (const OpFamily& family : spec_.families) {
+      shapes.push_back(DrawShapeImpl(family, &shape_rng));
+    }
+  }
+}
+
+std::string SessionGenerator::RealizeFamily(const OpFamily& family,
+                                            util::Rng* rng) const {
+  return family.realize(DrawShapeImpl(family, rng), rng);
+}
+
+void SessionGenerator::EmitTask(const TaskSpec& task, util::Rng* rng,
+                                std::vector<EmittedOp>* out,
+                                int* next_swap_group,
+                                const std::vector<int>& user_shapes) const {
+  // Map the task's local swap groups to globally unique ids, then shuffle
+  // the order of the steps inside each group (heterogeneous user behavior).
+  std::vector<int> order(task.steps.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Collect positions per local swap group and permute them.
+  std::vector<std::pair<int, std::vector<int>>> groups;  // (local id, positions)
+  for (size_t i = 0; i < task.steps.size(); ++i) {
+    const int g = task.steps[i].swap_group;
+    if (g < 0) continue;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [g](const auto& e) { return e.first == g; });
+    if (it == groups.end()) {
+      groups.push_back({g, {static_cast<int>(i)}});
+    } else {
+      it->second.push_back(static_cast<int>(i));
+    }
+  }
+  for (auto& [local_id, positions] : groups) {
+    std::vector<int> shuffled = positions;
+    rng->Shuffle(&shuffled);
+    for (size_t j = 0; j < positions.size(); ++j) {
+      order[positions[j]] = shuffled[j];
+    }
+  }
+  // Assign global swap-group ids for this task instance.
+  std::vector<int> global_group(task.steps.size(), -1);
+  for (auto& [local_id, positions] : groups) {
+    const int gid = (*next_swap_group)++;
+    for (int pos : positions) global_group[pos] = gid;
+  }
+  for (int step_index : order) {
+    const TaskStep& step = task.steps[step_index];
+    UCAD_CHECK(!step.family_choices.empty());
+    const int family_index = step.family_choices[rng->UniformU64(
+        step.family_choices.size())];
+    UCAD_CHECK(family_index >= 0 &&
+               family_index < static_cast<int>(spec_.families.size()));
+    const OpFamily& family = spec_.families[family_index];
+    const int repeats = rng->UniformInt(step.min_repeat, step.max_repeat);
+    // The statement shape is sticky per user (see user_shapes_).
+    const int shape = user_shapes[family_index];
+    for (int r = 0; r < repeats; ++r) {
+      EmittedOp op;
+      op.sql = family.realize(shape, rng);
+      op.swap_group = global_group[step_index];
+      op.removable = step.removable && r > 0;
+      out->push_back(std::move(op));
+    }
+  }
+}
+
+sql::RawSession SessionGenerator::AssembleSession(
+    const std::vector<EmittedOp>& ops, util::Rng* rng,
+    size_t user_index) const {
+  sql::RawSession session;
+  session.attrs.user = spec_.users[user_index];
+  session.attrs.client_address = spec_.addresses[user_index];
+  const int day = rng->UniformInt(0, 364);
+  const int hour =
+      rng->UniformInt(spec_.business_start_hour, spec_.business_end_hour - 1);
+  const int minute = rng->UniformInt(0, 59);
+  session.attrs.start_time_s =
+      kEpochOrigin + day * kSecondsPerDay + hour * 3600 + minute * 60;
+  int64_t offset = 0;
+  session.operations.reserve(ops.size());
+  for (const EmittedOp& op : ops) {
+    sql::OperationRecord record;
+    record.sql = op.sql;
+    record.time_offset_s = offset;
+    record.swap_group = op.swap_group;
+    record.removable = op.removable;
+    session.operations.push_back(std::move(record));
+    offset += rng->UniformInt(spec_.min_op_gap_s, spec_.max_op_gap_s);
+  }
+  return session;
+}
+
+sql::RawSession SessionGenerator::GenerateNormal(util::Rng* rng) const {
+  std::vector<double> weights;
+  weights.reserve(spec_.tasks.size());
+  for (const TaskSpec& t : spec_.tasks) weights.push_back(t.weight);
+  const bool markov =
+      spec_.task_transitions.size() == spec_.tasks.size();
+  const int task_count = rng->UniformInt(spec_.min_tasks, spec_.max_tasks);
+  int next_swap_group = 0;
+  size_t task_index = rng->Categorical(weights);
+  // The session's user determines its sticky statement shapes; draw the
+  // user first so AssembleSession and EmitTask agree.
+  const size_t user_index = rng->UniformU64(spec_.users.size());
+  std::vector<std::vector<EmittedOp>> tasks;
+  tasks.reserve(task_count);
+  for (int t = 0; t < task_count; ++t) {
+    std::vector<EmittedOp> task_ops;
+    EmitTask(spec_.tasks[task_index], rng, &task_ops, &next_swap_group,
+             user_shapes_[user_index]);
+    tasks.push_back(std::move(task_ops));
+    task_index = markov
+                     ? rng->Categorical(spec_.task_transitions[task_index])
+                     : rng->Categorical(weights);
+  }
+  // Concurrent-intent interleaving: adjacent tasks may riffle-merge (each
+  // keeps its internal order), producing heterogeneous exact orderings
+  // from identical operation multisets.
+  std::vector<EmittedOp> ops;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (t + 1 < tasks.size() && rng->Bernoulli(spec_.interleave_prob)) {
+      std::vector<EmittedOp>& a = tasks[t];
+      std::vector<EmittedOp>& b = tasks[t + 1];
+      size_t ia = 0, ib = 0;
+      while (ia < a.size() || ib < b.size()) {
+        const double p_a =
+            static_cast<double>(a.size() - ia) /
+            ((a.size() - ia) + (b.size() - ib));
+        if (ia < a.size() && (ib >= b.size() || rng->UniformDouble() < p_a)) {
+          ops.push_back(std::move(a[ia++]));
+        } else {
+          ops.push_back(std::move(b[ib++]));
+        }
+      }
+      ++t;  // consumed both tasks
+    } else {
+      for (EmittedOp& op : tasks[t]) ops.push_back(std::move(op));
+    }
+  }
+  return AssembleSession(ops, rng, user_index);
+}
+
+std::vector<sql::RawSession> SessionGenerator::GenerateNormalBatch(
+    int count, util::Rng* rng) const {
+  std::vector<sql::RawSession> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(GenerateNormal(rng));
+  return out;
+}
+
+sql::RawSession SessionGenerator::GenerateNoisy(NoiseKind kind,
+                                                util::Rng* rng) const {
+  sql::RawSession session = GenerateNormal(rng);
+  switch (kind) {
+    case NoiseKind::kUnknownAddress:
+      session.attrs.client_address =
+          "203.0.113." + std::to_string(rng->UniformInt(1, 254));
+      break;
+    case NoiseKind::kOffHours: {
+      // Rewind to 03:00 on the same day.
+      const int64_t day_start =
+          session.attrs.start_time_s -
+          (session.attrs.start_time_s - kEpochOrigin) % kSecondsPerDay;
+      session.attrs.start_time_s = day_start + 3 * 3600;
+      break;
+    }
+    case NoiseKind::kForbiddenTable: {
+      sql::OperationRecord record;
+      record.sql = "SELECT * FROM t_credentials WHERE uid=" +
+                   std::to_string(rng->UniformInt(1, 9999));
+      record.time_offset_s =
+          session.operations.empty()
+              ? 0
+              : session.operations.back().time_offset_s + 5;
+      session.operations.push_back(std::move(record));
+      break;
+    }
+    case NoiseKind::kHugeGaps: {
+      int64_t offset = 0;
+      for (auto& op : session.operations) {
+        op.time_offset_s = offset;
+        offset += 3600 + rng->UniformInt(0, 1800);
+      }
+      break;
+    }
+  }
+  return session;
+}
+
+std::string SessionGenerator::RealizeRandom(sql::CommandType command,
+                                            util::Rng* rng) const {
+  std::vector<int> candidates;
+  for (size_t i = 0; i < spec_.families.size(); ++i) {
+    if (spec_.families[i].command == command) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  if (candidates.empty()) return "";
+  const OpFamily& family =
+      spec_.families[candidates[rng->UniformU64(candidates.size())]];
+  return RealizeFamily(family, rng);
+}
+
+std::string SessionGenerator::RealizeAny(util::Rng* rng) const {
+  const OpFamily& family =
+      spec_.families[rng->UniformU64(spec_.families.size())];
+  return RealizeFamily(family, rng);
+}
+
+std::string SessionGenerator::RealizeByName(const std::string& name,
+                                            util::Rng* rng, int shape) const {
+  for (const OpFamily& family : spec_.families) {
+    if (family.name != name) continue;
+    if (shape < 0) return RealizeFamily(family, rng);
+    return family.realize(shape, rng);
+  }
+  UCAD_CHECK(false) << "unknown op family: " << name;
+  return "";
+}
+
+std::string SessionGenerator::RealizeRare(util::Rng* rng) const {
+  if (rare_families_.empty()) return "";
+  const OpFamily& family =
+      spec_.families[rare_families_[rng->UniformU64(rare_families_.size())]];
+  return RealizeFamily(family, rng);
+}
+
+std::string SessionGenerator::RealizeInjection(util::Rng* rng) const {
+  const std::vector<int>* pool = nullptr;
+  if (!rare_delete_families_.empty()) {
+    pool = &rare_delete_families_;
+  } else if (!rare_families_.empty()) {
+    pool = &rare_families_;
+  } else if (!delete_families_.empty()) {
+    pool = &delete_families_;
+  }
+  if (pool == nullptr) return RealizeAny(rng);
+  const OpFamily& family =
+      spec_.families[(*pool)[rng->UniformU64(pool->size())]];
+  return RealizeFamily(family, rng);
+}
+
+}  // namespace ucad::workload

@@ -1,0 +1,171 @@
+#ifndef UCAD_WORKLOAD_SCENARIO_H_
+#define UCAD_WORKLOAD_SCENARIO_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/session.h"
+#include "sql/statement.h"
+#include "util/rng.h"
+
+namespace ucad::workload {
+
+/// A family of SQL statements sharing one textual form. Each family carries
+/// a fixed list of *shape variants* (family-specific sizes such as IN-list
+/// lengths or multi-row INSERT row counts); after literal abstraction each
+/// (family, variant) pair yields one stable statement key. This mirrors how
+/// the paper's Scenario-II reaches 593 keys over 15 tables (Figure 6 shows
+/// the same SELECT with different IN-list lengths mapping to distinct keys).
+struct OpFamily {
+  /// Identifier for debugging and task wiring.
+  std::string name;
+  sql::CommandType command = sql::CommandType::kOther;
+  std::string table;
+  /// Allowed shape sizes; Realize receives one of these.
+  std::vector<int> shape_variants = {1};
+  /// Sampling weights over shape_variants (uniform when empty). Real
+  /// applications issue a few statement shapes most of the time (the same
+  /// batch size, the same IN-list length) with a long tail — a peaked
+  /// (e.g. Zipf) weighting reproduces that.
+  std::vector<double> shape_weights;
+  /// Produces raw SQL with randomized literal values for a given shape.
+  std::function<std::string(int shape, util::Rng* rng)> realize;
+  /// Rare families feed the A3 (misoperation) pool and appear in normal
+  /// traffic only through low-weight tasks.
+  bool rare = false;
+};
+
+/// One step of a task: pick one candidate family, repeat it 1..n times.
+struct TaskStep {
+  /// Indices into ScenarioSpec::families; one is drawn uniformly.
+  std::vector<int> family_choices;
+  int min_repeat = 1;
+  int max_repeat = 1;
+  /// When true, repeats beyond the first are marked removable (V3 pool).
+  bool removable = false;
+  /// Steps of a task sharing a non-negative swap_group execute in
+  /// user-dependent order (shuffled at generation) and their emitted ops are
+  /// mutually interchangeable (V2 pool).
+  int swap_group = -1;
+};
+
+/// A unit of user intent (e.g. "post a comment", "update fingerprints").
+struct TaskSpec {
+  std::string name;
+  /// Relative sampling weight.
+  double weight = 1.0;
+  std::vector<TaskStep> steps;
+};
+
+/// Complete description of an application scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<OpFamily> families;
+  std::vector<TaskSpec> tasks;
+  /// Optional first-order Markov chain over tasks: task_transitions[i][j]
+  /// is the unnormalized probability of task j following task i. When
+  /// empty, tasks are drawn i.i.d. from their weights. User intents are
+  /// strongly sequential in practice (watch -> like -> post), which is what
+  /// makes the "contextual intent" of the next operation learnable at all.
+  std::vector<std::vector<double>> task_transitions;
+  /// Probability that two consecutive tasks are interleaved (their
+  /// operations riffle-merged, each task's internal order preserved).
+  /// Humans multitask: the same intents produce wildly different exact
+  /// orderings, which is the heterogeneity that breaks order-conditioned
+  /// models (paper §1 challenge 2) while leaving the operation multiset —
+  /// what Trans-DAS conditions on — unchanged.
+  double interleave_prob = 0.0;
+  /// Sessions contain a uniform number of tasks in [min_tasks, max_tasks].
+  int min_tasks = 2;
+  int max_tasks = 5;
+  /// Legitimate (user, home address) population.
+  std::vector<std::string> users;
+  std::vector<std::string> addresses;  // parallel to users
+  /// Normal access window (local hours) and inter-op gap in seconds.
+  int business_start_hour = 8;
+  int business_end_hour = 20;
+  int min_op_gap_s = 1;
+  int max_op_gap_s = 20;
+};
+
+/// The kinds of noisy sessions GenerateNoisy can produce; each violates one
+/// attribute-based access-control dimension (paper §5.1).
+enum class NoiseKind {
+  kUnknownAddress,
+  kOffHours,
+  kForbiddenTable,
+  kHugeGaps,
+};
+
+/// Samples sessions from a ScenarioSpec's task grammar.
+class SessionGenerator {
+ public:
+  explicit SessionGenerator(ScenarioSpec spec);
+
+  /// A normal user session: tasks drawn by weight, interchangeable steps
+  /// shuffled, attributes drawn from the legitimate population.
+  sql::RawSession GenerateNormal(util::Rng* rng) const;
+
+  /// A batch of normal sessions.
+  std::vector<sql::RawSession> GenerateNormalBatch(int count,
+                                                   util::Rng* rng) const;
+
+  /// A session violating one ABAC dimension (for preprocessing tests).
+  sql::RawSession GenerateNoisy(NoiseKind kind, util::Rng* rng) const;
+
+  /// Realized SQL for a random family of the given command type.
+  /// Returns an empty string when the scenario has no such family.
+  std::string RealizeRandom(sql::CommandType command, util::Rng* rng) const;
+
+  /// Realized SQL drawn uniformly from all families.
+  std::string RealizeAny(util::Rng* rng) const;
+
+  /// Realized SQL for the family with the given name (aborts if unknown).
+  /// `shape` selects a specific variant; -1 draws one at random.
+  std::string RealizeByName(const std::string& name, util::Rng* rng,
+                            int shape = -1) const;
+
+  /// Realized SQL from the rare-family pool (A3 source); empty if none.
+  std::string RealizeRare(util::Rng* rng) const;
+
+  /// Realized SQL suited for stealthy injection (A2): rare deletes when the
+  /// scenario has them, otherwise rare families, otherwise deletes.
+  std::string RealizeInjection(util::Rng* rng) const;
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  struct EmittedOp {
+    std::string sql;
+    int swap_group;
+    bool removable;
+  };
+
+  /// Emits one task instance (shuffling interchangeable steps).
+  /// `user_shapes` pins the shape used for each family (per-user sticky).
+  void EmitTask(const TaskSpec& task, util::Rng* rng,
+                std::vector<EmittedOp>* out, int* next_swap_group,
+                const std::vector<int>& user_shapes) const;
+
+  std::string RealizeFamily(const OpFamily& family, util::Rng* rng) const;
+
+  sql::RawSession AssembleSession(const std::vector<EmittedOp>& ops,
+                                  util::Rng* rng, size_t user_index) const;
+
+  ScenarioSpec spec_;
+  /// Per-user sticky shape choice per family: user_shapes_[u][f] is the
+  /// shape user u always uses for family f. Applications issue stable
+  /// statement shapes across runs, which is what makes a several-hundred-
+  /// key vocabulary learnable at all: each materialized (family, shape)
+  /// key recurs across all of its user's sessions.
+  std::vector<std::vector<int>> user_shapes_;
+  std::vector<int> rare_families_;
+  std::vector<int> rare_delete_families_;
+  std::vector<int> delete_families_;
+};
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,219 @@
+#include "workload/syslog.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ucad::workload {
+
+namespace {
+
+// ---- HDFS-like event keys ----
+constexpr int kHdfsAllocate = 1;
+constexpr int kHdfsReceiving = 2;
+constexpr int kHdfsReceived = 3;
+constexpr int kHdfsResponder = 4;
+constexpr int kHdfsVerify = 5;
+constexpr int kHdfsClose = 6;
+constexpr int kHdfsServe = 7;
+constexpr int kHdfsRead = 8;
+constexpr int kHdfsDelete = 9;
+// Anomaly-only exception events.
+constexpr int kHdfsExceptionBase = 20;
+constexpr int kHdfsExceptionCount = 5;
+constexpr int kHdfsVocab = 26;
+
+std::vector<int> HdfsNormalSession(util::Rng* rng) {
+  std::vector<int> s;
+  s.push_back(kHdfsAllocate);
+  // Three replicas; their receive/ack triples may interleave slightly.
+  std::vector<std::vector<int>> replicas(3);
+  for (auto& r : replicas) {
+    r = {kHdfsReceiving, kHdfsReceived, kHdfsResponder};
+  }
+  // Interleave by repeatedly draining a random non-empty replica queue.
+  std::vector<size_t> heads(3, 0);
+  int remaining = 9;
+  while (remaining > 0) {
+    size_t pick = rng->UniformU64(3);
+    if (heads[pick] >= replicas[pick].size()) continue;
+    // Mostly drain in order (rigid application behavior), occasionally
+    // switch replicas mid-triple.
+    do {
+      s.push_back(replicas[pick][heads[pick]++]);
+      --remaining;
+    } while (heads[pick] < replicas[pick].size() && rng->Bernoulli(0.8));
+  }
+  const int verifies = rng->UniformInt(0, 2);
+  for (int i = 0; i < verifies; ++i) s.push_back(kHdfsVerify);
+  const int reads = rng->UniformInt(0, 3);
+  for (int i = 0; i < reads; ++i) {
+    s.push_back(kHdfsServe);
+    s.push_back(kHdfsRead);
+  }
+  s.push_back(kHdfsClose);
+  return s;
+}
+
+std::vector<int> HdfsAbnormalSession(util::Rng* rng) {
+  std::vector<int> s = HdfsNormalSession(rng);
+  switch (rng->UniformU64(3)) {
+    case 0: {
+      // Exception events appear mid-session.
+      const int count = rng->UniformInt(1, 3);
+      for (int i = 0; i < count; ++i) {
+        const int key =
+            kHdfsExceptionBase + rng->UniformInt(0, kHdfsExceptionCount - 1);
+        const size_t pos = 1 + rng->UniformU64(s.size() - 1);
+        s.insert(s.begin() + pos, key);
+      }
+      break;
+    }
+    case 1: {
+      // A replica ack never arrives: drop a 'received' event.
+      auto it = std::find(s.begin(), s.end(), kHdfsReceived);
+      if (it != s.end()) s.erase(it);
+      // And the responder retries abnormally often.
+      for (int i = 0; i < 4; ++i) {
+        s.insert(s.begin() + 1 + rng->UniformU64(s.size() - 1),
+                 kHdfsResponder);
+      }
+      break;
+    }
+    default: {
+      // Spurious deletes after close.
+      const int count = rng->UniformInt(2, 4);
+      for (int i = 0; i < count; ++i) s.push_back(kHdfsDelete);
+      break;
+    }
+  }
+  return s;
+}
+
+// ---- Phased-stream generator (BGL / Thunderbird shape) ----
+
+struct PhasedStreamConfig {
+  std::string name;
+  int phases = 4;
+  int keys_per_phase = 5;
+  int error_keys = 6;
+  int window = 40;
+  int phase_len_min = 6;
+  int phase_len_max = 14;
+  /// Probability of emitting an out-of-order key inside a phase.
+  double jitter = 0.05;
+  /// Length of an anomaly burst.
+  int burst_min = 6;
+  int burst_max = 16;
+};
+
+/// Emits a stream of `length` keys from cycling phases. Phase p uses keys
+/// [1 + p*keys_per_phase, 1 + (p+1)*keys_per_phase) in rotating order.
+std::vector<int> PhasedStream(const PhasedStreamConfig& cfg, int length,
+                              util::Rng* rng) {
+  std::vector<int> out;
+  out.reserve(length);
+  int phase = rng->UniformInt(0, cfg.phases - 1);
+  while (static_cast<int>(out.size()) < length) {
+    const int base = 1 + phase * cfg.keys_per_phase;
+    const int span = rng->UniformInt(cfg.phase_len_min, cfg.phase_len_max);
+    for (int i = 0; i < span && static_cast<int>(out.size()) < length; ++i) {
+      if (rng->Bernoulli(cfg.jitter)) {
+        out.push_back(base + rng->UniformInt(0, cfg.keys_per_phase - 1));
+      } else {
+        out.push_back(base + i % cfg.keys_per_phase);
+      }
+    }
+    phase = (phase + 1) % cfg.phases;
+  }
+  return out;
+}
+
+LogDataset MakePhasedDataset(const PhasedStreamConfig& cfg,
+                             const SyslogOptions& options, util::Rng* rng) {
+  LogDataset ds;
+  ds.name = cfg.name;
+  const int error_base = 1 + cfg.phases * cfg.keys_per_phase;
+  ds.vocab_size = error_base + cfg.error_keys;
+
+  auto windows_from_stream = [&](const std::vector<int>& stream) {
+    std::vector<std::vector<int>> windows;
+    for (size_t start = 0; start + cfg.window <= stream.size();
+         start += cfg.window) {
+      windows.emplace_back(stream.begin() + start,
+                           stream.begin() + start + cfg.window);
+    }
+    return windows;
+  };
+
+  // Training stream: purely normal.
+  const int train_len = options.train_sessions * cfg.window;
+  ds.train = windows_from_stream(PhasedStream(cfg, train_len, rng));
+
+  // Normal test windows.
+  const int normal_len = options.normal_test_sessions * cfg.window;
+  for (auto& w : windows_from_stream(PhasedStream(cfg, normal_len, rng))) {
+    ds.test_sessions.push_back(std::move(w));
+    ds.test_labels.push_back(false);
+  }
+  // Abnormal test windows: normal background with an error burst.
+  for (int i = 0; i < options.abnormal_test_sessions; ++i) {
+    std::vector<int> w = PhasedStream(cfg, cfg.window, rng);
+    const int burst = rng->UniformInt(cfg.burst_min, cfg.burst_max);
+    const int start = rng->UniformInt(0, cfg.window - burst);
+    for (int j = 0; j < burst; ++j) {
+      w[start + j] = error_base + rng->UniformInt(0, cfg.error_keys - 1);
+    }
+    ds.test_sessions.push_back(std::move(w));
+    ds.test_labels.push_back(true);
+  }
+  return ds;
+}
+
+}  // namespace
+
+LogDataset MakeHdfsLikeDataset(const SyslogOptions& options, util::Rng* rng) {
+  LogDataset ds;
+  ds.name = "hdfs-like";
+  ds.vocab_size = kHdfsVocab;
+  ds.train.reserve(options.train_sessions);
+  for (int i = 0; i < options.train_sessions; ++i) {
+    ds.train.push_back(HdfsNormalSession(rng));
+  }
+  for (int i = 0; i < options.normal_test_sessions; ++i) {
+    ds.test_sessions.push_back(HdfsNormalSession(rng));
+    ds.test_labels.push_back(false);
+  }
+  for (int i = 0; i < options.abnormal_test_sessions; ++i) {
+    ds.test_sessions.push_back(HdfsAbnormalSession(rng));
+    ds.test_labels.push_back(true);
+  }
+  return ds;
+}
+
+LogDataset MakeBglLikeDataset(const SyslogOptions& options, util::Rng* rng) {
+  PhasedStreamConfig cfg;
+  cfg.name = "bgl-like";
+  cfg.phases = 5;
+  cfg.keys_per_phase = 6;
+  cfg.error_keys = 8;
+  cfg.window = 40;
+  cfg.jitter = 0.02;
+  return MakePhasedDataset(cfg, options, rng);
+}
+
+LogDataset MakeThunderbirdLikeDataset(const SyslogOptions& options,
+                                      util::Rng* rng) {
+  PhasedStreamConfig cfg;
+  cfg.name = "thunderbird-like";
+  cfg.phases = 8;
+  cfg.keys_per_phase = 12;
+  cfg.error_keys = 10;
+  cfg.window = 50;
+  cfg.jitter = 0.015;
+  cfg.burst_min = 12;
+  cfg.burst_max = 25;
+  return MakePhasedDataset(cfg, options, rng);
+}
+
+}  // namespace ucad::workload

@@ -1,0 +1,54 @@
+#ifndef UCAD_WORKLOAD_SYSLOG_H_
+#define UCAD_WORKLOAD_SYSLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ucad::workload {
+
+/// A system-log anomaly-detection dataset in already-tokenized form:
+/// sessions are sequences of integer event keys (key 0 reserved for
+/// padding). These substitute for the public HDFS / BGL / Thunderbird
+/// traces in the paper's transferability study (Table 6). Unlike human
+/// database sessions, application logs follow rigid orderings — the
+/// generators control exactly that property, which is what Table 6's
+/// precision/recall trade-off hinges on.
+struct LogDataset {
+  std::string name;
+  /// Keys are in [0, vocab_size); anomaly-only keys are included.
+  int vocab_size = 0;
+  /// Normal sessions for training.
+  std::vector<std::vector<int>> train;
+  /// Test sessions with ground-truth labels (true = abnormal).
+  std::vector<std::vector<int>> test_sessions;
+  std::vector<bool> test_labels;
+};
+
+/// Sizing knobs shared by the three generators.
+struct SyslogOptions {
+  int train_sessions = 300;
+  int normal_test_sessions = 200;
+  int abnormal_test_sessions = 60;
+};
+
+/// HDFS-like: per-block lifecycle sessions (allocate → per-replica
+/// receive/ack → optional verification → close). Anomalies are exception
+/// events, missing replica acks, and spurious deletes.
+LogDataset MakeHdfsLikeDataset(const SyslogOptions& options, util::Rng* rng);
+
+/// BGL-like: supercomputer node log stream cut into fixed windows; phases
+/// (boot / compute / io) cycle with rigid intra-phase order. Anomalies are
+/// hardware-error bursts.
+LogDataset MakeBglLikeDataset(const SyslogOptions& options, util::Rng* rng);
+
+/// Thunderbird-like: larger vocabulary stream, also windowed; anomalies are
+/// sustained failure bursts (every abnormal window is saturated with error
+/// keys, which is why recall 1.0 is attainable — as in the paper).
+LogDataset MakeThunderbirdLikeDataset(const SyslogOptions& options,
+                                      util::Rng* rng);
+
+}  // namespace ucad::workload
+
+#endif  // UCAD_WORKLOAD_SYSLOG_H_

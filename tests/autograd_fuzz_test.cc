@@ -1,0 +1,95 @@
+// Autograd fuzzing: random operation chains are built from a seed and
+// their analytic gradients are verified against central finite
+// differences. This complements the per-op checks in tape_test.cc by
+// exercising arbitrary compositions (including diamond-shaped reuse).
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.h"
+#include "nn/tape.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+namespace {
+
+/// Builds a random scalar-valued graph over `p` (3x4) with `depth` random
+/// unary/binary transformations. All ops are smooth or piecewise-smooth;
+/// inputs are kept away from kinks by the value ranges used.
+VarId BuildRandomGraph(Tape* tape, VarId p, uint64_t seed, int depth) {
+  util::Rng rng(seed);
+  VarId current = p;
+  VarId other = p;
+  for (int d = 0; d < depth; ++d) {
+    switch (rng.UniformU64(8)) {
+      case 0:
+        current = tape->Scale(current, 0.5f + 0.1f * (d % 3));
+        break;
+      case 1:
+        current = tape->AddScalar(current, 0.25f);
+        break;
+      case 2:
+        current = tape->Sigmoid(current);
+        break;
+      case 3:
+        current = tape->Tanh(current);
+        break;
+      case 4:
+        current = tape->Add(current, other);
+        break;
+      case 5:
+        current = tape->Mul(current, tape->Sigmoid(other));
+        break;
+      case 6:
+        current = tape->SoftmaxRows(current);
+        break;
+      default:
+        // Diamond: remember this node and merge it back later.
+        other = current;
+        break;
+    }
+  }
+  // Attention-like tail: [3x4] x [4x3] -> softmax -> weighted sum.
+  VarId scores = tape->MatMul(current, tape->Transpose(p));
+  VarId attention = tape->SoftmaxRows(scores);
+  VarId mixed = tape->MatMul(attention, current);
+  return tape->MeanAll(tape->Mul(mixed, mixed));
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzzTest, RandomGraphGradientsMatchFiniteDifferences) {
+  util::Rng init(GetParam() * 31 + 7);
+  Parameter param(Tensor::Randn(3, 4, 0.6f, &init));
+  const int depth = 4 + static_cast<int>(GetParam() % 5);
+
+  auto loss_only = [&]() -> double {
+    Tape tape;
+    VarId p = tape.Param(&param);
+    VarId loss = BuildRandomGraph(&tape, p, GetParam(), depth);
+    return tape.value(loss).at(0, 0);
+  };
+  auto loss_backward = [&]() -> double {
+    Tape tape;
+    VarId p = tape.Param(&param);
+    VarId loss = BuildRandomGraph(&tape, p, GetParam(), depth);
+    tape.Backward(loss);
+    return tape.value(loss).at(0, 0);
+  };
+  const GradCheckResult result =
+      CheckGradients(loss_backward, loss_only, {&param});
+  EXPECT_GT(result.entries, 0u);
+  EXPECT_LT(result.max_rel_error, 6e-2f)
+      << "seed " << GetParam() << " depth " << depth
+      << " abs=" << result.max_abs_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u, 144u, 233u));
+
+}  // namespace
+}  // namespace ucad::nn

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/ucad.h"
+#include "util/rng.h"
+#include "workload/anomaly.h"
+#include "workload/cases.h"
+#include "workload/commenting.h"
+
+namespace ucad::core {
+namespace {
+
+UcadOptions SmokeOptions() {
+  UcadOptions options;
+  options.model.window = 12;
+  options.model.hidden_dim = 12;
+  options.model.num_heads = 2;
+  options.model.num_blocks = 2;
+  options.training.epochs = 14;
+  options.detection.top_p = 7;
+  // Permissive clustering so the small smoke log survives.
+  options.filter.dbscan.eps = 0.95;
+  options.filter.dbscan.min_points = 2;
+  options.filter.small_cluster_ratio = 0.0;
+  options.filter.short_session_ratio = 0.0;
+  return options;
+}
+
+class UcadTest : public ::testing::Test {
+ protected:
+  UcadTest()
+      : spec_(workload::MakeCommentingScenario()),
+        generator_(spec_),
+        synthesizer_(&generator_),
+        rng_(77) {}
+
+  prep::PolicyEngine MakePolicies() const {
+    return prep::MakeDefaultPolicyEngine(spec_.users, spec_.addresses,
+                                         spec_.business_start_hour,
+                                         spec_.business_end_hour);
+  }
+
+  workload::ScenarioSpec spec_;
+  workload::SessionGenerator generator_;
+  workload::AnomalySynthesizer synthesizer_;
+  util::Rng rng_;
+};
+
+TEST_F(UcadTest, TrainRejectsEmptyLog) {
+  Ucad ucad(SmokeOptions(), MakePolicies());
+  const util::Status status = ucad.Train({});
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ucad.trained());
+}
+
+TEST_F(UcadTest, EndToEndTrainDetectFineTune) {
+  Ucad ucad(SmokeOptions(), MakePolicies());
+  ASSERT_TRUE(ucad.Train(generator_.GenerateNormalBatch(80, &rng_)).ok());
+  ASSERT_TRUE(ucad.trained());
+
+  // A clean session should not be escalated (allow occasional FP).
+  int clean_flags = 0;
+  for (int i = 0; i < 10; ++i) {
+    const UcadDetection d = ucad.Detect(generator_.GenerateNormal(&rng_));
+    EXPECT_FALSE(d.known_attack);
+    clean_flags += d.abnormal() ? 1 : 0;
+  }
+  EXPECT_LE(clean_flags, 5);
+
+  // A policy-violating session is a known attack (model never runs).
+  const UcadDetection noisy = ucad.Detect(generator_.GenerateNoisy(
+      workload::NoiseKind::kUnknownAddress, &rng_));
+  EXPECT_TRUE(noisy.known_attack);
+  EXPECT_EQ(noisy.violated_policy, "known-user-address");
+  EXPECT_TRUE(noisy.abnormal());
+
+  // A stealthy A2 session should usually be flagged.
+  int theft_flags = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto theft = synthesizer_.CredentialStealing(
+        generator_.GenerateNormal(&rng_), &rng_);
+    theft_flags += ucad.Detect(theft).abnormal() ? 1 : 0;
+  }
+  EXPECT_GE(theft_flags, 5);
+
+  // Fine-tuning on verified normals keeps the system usable.
+  ASSERT_TRUE(
+      ucad.FineTune(generator_.GenerateNormalBatch(10, &rng_)).ok());
+  const UcadDetection after = ucad.Detect(generator_.GenerateNormal(&rng_));
+  EXPECT_FALSE(after.known_attack);
+}
+
+TEST_F(UcadTest, FineTuneBeforeTrainFails) {
+  Ucad ucad(SmokeOptions(), MakePolicies());
+  const util::Status status =
+      ucad.FineTune(generator_.GenerateNormalBatch(2, &rng_));
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UcadTest, DanmuBotCaseStudyFlagged) {
+  Ucad ucad(SmokeOptions(), MakePolicies());
+  ASSERT_TRUE(ucad.Train(generator_.GenerateNormalBatch(80, &rng_)).ok());
+  const workload::CaseStudy cs =
+      workload::MakeDanmuBotCase(generator_, &rng_);
+  EXPECT_TRUE(ucad.Detect(cs.suspicious).abnormal())
+      << "bot session should be flagged: " << cs.expected_finding;
+}
+
+}  // namespace
+}  // namespace ucad::core

@@ -1,0 +1,163 @@
+// Cross-module integration tests: the transfer pipeline on system logs,
+// poisoned-training robustness, and failure injection at module seams.
+
+#include <gtest/gtest.h>
+
+#include "baselines/deeplog.h"
+#include "baselines/logcluster.h"
+#include "eval/dataset.h"
+#include "eval/experiment_config.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "util/rng.h"
+#include "workload/syslog.h"
+
+namespace ucad {
+namespace {
+
+// ---------- Transfer pipeline (Table 6 path) ----------
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() {
+    util::Rng rng(3);
+    workload::SyslogOptions options;
+    options.train_sessions = 120;
+    options.normal_test_sessions = 60;
+    options.abnormal_test_sessions = 30;
+    ds_ = workload::MakeHdfsLikeDataset(options, &rng);
+  }
+
+  workload::LogDataset ds_;
+};
+
+TEST_F(TransferTest, TransDasDetectsLogAnomalies) {
+  transdas::TransDasConfig config;
+  config.vocab_size = ds_.vocab_size;
+  config.window = 10;   // paper Table 6: L=10
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 2;
+  util::Rng rng(4);
+  transdas::TransDasModel model(config, &rng);
+  transdas::TrainOptions training;
+  training.epochs = 6;
+  training.negative_samples = 4;
+  training.window_stride = 4;
+  transdas::TransDasTrainer trainer(&model, training);
+  trainer.Train(ds_.train);
+  transdas::TransDasDetector detector(
+      &model, transdas::DetectorOptions{.top_p = 5});
+  const eval::BinaryMetrics m = eval::EvaluateBinary(
+      [&detector](const std::vector<int>& s) {
+        return detector.DetectSession(s).abnormal;
+      },
+      ds_.test_sessions, ds_.test_labels);
+  EXPECT_GT(m.recall, 0.8) << "UCAD should recall nearly every log anomaly";
+  EXPECT_GT(m.f1, 0.6);
+}
+
+TEST_F(TransferTest, BaselinesRunOnLogDatasets) {
+  baselines::LogCluster logcluster(ds_.vocab_size,
+                                   baselines::LogCluster::Options{});
+  logcluster.Train(ds_.train);
+  baselines::DeepLog::Options dl;
+  dl.epochs = 1;
+  dl.stride = 2;
+  baselines::DeepLog deeplog(ds_.vocab_size, dl);
+  deeplog.Train(ds_.train);
+  for (auto* detector :
+       std::initializer_list<baselines::SessionDetector*>{&logcluster,
+                                                          &deeplog}) {
+    const eval::BinaryMetrics m = eval::EvaluateBinary(
+        [detector](const std::vector<int>& s) {
+          return detector->IsAbnormal(s);
+        },
+        ds_.test_sessions, ds_.test_labels);
+    EXPECT_GT(m.recall, 0.3) << detector->name();
+  }
+}
+
+// ---------- Poisoned-training robustness (Figure 8 path) ----------
+
+TEST(RobustnessTest, ModeratePoisoningDegradesGracefully) {
+  eval::ScenarioConfig config = eval::ScenarioIConfig(eval::Scale::kSmoke);
+  config.training.epochs = 8;
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  util::Rng rng(5);
+  const eval::TransDasRun clean = eval::RunTransDas(
+      ds, config.model, config.training, config.detection, ds.train);
+  const eval::TransDasRun poisoned = eval::RunTransDas(
+      ds, config.model, config.training, config.detection,
+      ds.HybridTrain(0.2, &rng));
+  // 20% poisoning must not collapse detection to zero; allow wide noise in
+  // the smoke regime but require the model to stay functional.
+  EXPECT_GT(poisoned.metrics.recall, 0.3);
+  EXPECT_GT(clean.metrics.f1, 0.0);
+}
+
+// ---------- Failure injection at module seams ----------
+
+TEST(FailureInjectionTest, DetectorsHandleDegenerateSessions) {
+  transdas::TransDasConfig config;
+  config.vocab_size = 8;
+  config.window = 6;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  util::Rng rng(6);
+  transdas::TransDasModel model(config, &rng);
+  transdas::TrainOptions training;
+  training.epochs = 1;
+  transdas::TransDasTrainer trainer(&model, training);
+  trainer.Train({{1, 2, 3, 4, 5, 6, 7, 1, 2}});
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  EXPECT_FALSE(detector.DetectSession({}).abnormal);
+  EXPECT_FALSE(detector.DetectSession({1}).abnormal);
+  // Out-of-range keys are treated as unknown (abnormal), not a crash.
+  const auto verdict = detector.DetectSession({1, 99, 2});
+  EXPECT_TRUE(verdict.abnormal);
+  // All-padding sessions are scored without crashing.
+  (void)detector.DetectSession({0, 0, 0, 0});
+}
+
+TEST(FailureInjectionTest, BaselinesHandleDegenerateSessions) {
+  util::Rng rng(7);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 30; ++i) train.push_back({1, 2, 3, 4, 1, 2, 3, 4});
+  baselines::DeepLog::Options dl;
+  dl.epochs = 1;
+  baselines::DeepLog deeplog(8, dl);
+  deeplog.Train(train);
+  EXPECT_FALSE(deeplog.IsAbnormal({}));
+  EXPECT_FALSE(deeplog.IsAbnormal({1}));
+  EXPECT_TRUE(deeplog.IsAbnormal({1, 99}));  // out-of-vocab key
+
+  baselines::LogCluster lc(8, baselines::LogCluster::Options{});
+  lc.Train(train);
+  (void)lc.IsAbnormal({});  // must not crash
+}
+
+// ---------- End-to-end determinism ----------
+
+TEST(DeterminismTest, FullPipelineIsReproducible) {
+  eval::ScenarioConfig config = eval::ScenarioIConfig(eval::Scale::kSmoke);
+  config.training.epochs = 3;
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  const eval::TransDasRun a = eval::RunTransDas(
+      ds, config.model, config.training, config.detection, ds.train);
+  const eval::TransDasRun b = eval::RunTransDas(
+      ds, config.model, config.training, config.detection, ds.train);
+  EXPECT_DOUBLE_EQ(a.metrics.f1, b.metrics.f1);
+  EXPECT_DOUBLE_EQ(a.metrics.precision, b.metrics.precision);
+  EXPECT_EQ(a.metrics.true_positives, b.metrics.true_positives);
+}
+
+}  // namespace
+}  // namespace ucad

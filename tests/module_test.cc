@@ -1,0 +1,200 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/tape.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  util::Rng rng(1);
+  Linear layer(3, 2, &rng);
+  layer.bias().value().at(0, 1) = 5.0f;
+  Tape tape;
+  VarId x = tape.Constant(Tensor(4, 3));
+  VarId y = layer.Forward(&tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 4);
+  EXPECT_EQ(tape.value(y).cols(), 2);
+  // Zero input -> output equals bias.
+  EXPECT_FLOAT_EQ(tape.value(y).at(2, 1), 5.0f);
+}
+
+TEST(LinearTest, LearnsLinearMap) {
+  // Fit y = 2x - 1 with SGD.
+  util::Rng rng(2);
+  Linear layer(1, 1, &rng);
+  Sgd opt(layer.Params(), 0.1f);
+  for (int step = 0; step < 400; ++step) {
+    const float x = static_cast<float>(rng.UniformDouble(-1, 1));
+    const float target = 2.0f * x - 1.0f;
+    Tape tape;
+    VarId vx = tape.Constant(Tensor(1, 1, {x}));
+    VarId pred = layer.Forward(&tape, vx);
+    VarId diff = tape.Sub(pred, tape.Constant(Tensor(1, 1, {target})));
+    tape.Backward(tape.SumAll(tape.Mul(diff, diff)));
+    opt.Step();
+  }
+  EXPECT_NEAR(layer.weight().value().at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(layer.bias().value().at(0, 0), -1.0f, 0.05f);
+}
+
+TEST(EmbeddingTest, PaddingRowStaysZero) {
+  util::Rng rng(3);
+  Embedding embedding(5, 4, &rng);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(embedding.table().value().at(0, c), 0.0f);
+  }
+  // Perturb then re-freeze.
+  embedding.table().value().at(0, 2) = 1.0f;
+  embedding.FreezePaddingRow();
+  EXPECT_EQ(embedding.table().value().at(0, 2), 0.0f);
+}
+
+TEST(EmbeddingTest, GathersConfiguredRows) {
+  util::Rng rng(4);
+  Embedding embedding(4, 2, &rng);
+  embedding.table().value().at(2, 0) = 7.0f;
+  Tape tape;
+  VarId out = embedding.Forward(&tape, {2, 2, 0});
+  EXPECT_FLOAT_EQ(tape.value(out).at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(tape.value(out).at(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(tape.value(out).at(2, 0), 0.0f);  // padding
+}
+
+TEST(LayerNormModuleTest, GradCheck) {
+  util::Rng rng(5);
+  LayerNorm ln(6);
+  // Break the degenerate case gain=1, bias=0 in which sum(y^2) is
+  // constant in x (normalized rows have fixed norm).
+  ln.gain().value() = Tensor::Randn(1, 6, 0.5f, &rng);
+  ln.bias().value() = Tensor::Randn(1, 6, 0.5f, &rng);
+  Parameter x(Tensor::Randn(2, 6, 1.0f, &rng));
+  auto build = [&](Tape* tape) {
+    VarId vx = tape->Param(&x);
+    VarId y = ln.Forward(tape, vx);
+    return tape->SumAll(tape->Mul(y, y));
+  };
+  auto loss_value = [&]() {
+    Tape tape;
+    return static_cast<double>(tape.value(build(&tape)).at(0, 0));
+  };
+  auto loss_backward = [&]() {
+    Tape tape;
+    VarId loss = build(&tape);
+    tape.Backward(loss);
+    return static_cast<double>(tape.value(loss).at(0, 0));
+  };
+  std::vector<Parameter*> params = {&x};
+  for (Parameter* p : ln.Params()) params.push_back(p);
+  const GradCheckResult result =
+      CheckGradients(loss_backward, loss_value, params);
+  EXPECT_LT(result.max_rel_error, 5e-2f);
+}
+
+TEST(LstmTest, StateShapesAndDeterminism) {
+  util::Rng rng(6);
+  LstmCell lstm(3, 8, &rng);
+  Tape tape;
+  LstmCell::State state = lstm.InitialState(&tape);
+  VarId x = tape.Constant(Tensor(1, 3, {0.5f, -0.2f, 0.1f}));
+  state = lstm.Step(&tape, x, state);
+  EXPECT_EQ(tape.value(state.h).cols(), 8);
+  EXPECT_EQ(tape.value(state.c).cols(), 8);
+  // Outputs bounded by tanh/sigmoid structure.
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_LT(std::abs(tape.value(state.h).at(0, c)), 1.0f);
+  }
+}
+
+TEST(LstmTest, LearnsToMemorizeFirstInput) {
+  // Task: output sign of the first input after 4 steps.
+  util::Rng rng(7);
+  LstmCell lstm(1, 8, &rng);
+  Linear readout(8, 1, &rng);
+  std::vector<Parameter*> params = lstm.Params();
+  for (Parameter* p : readout.Params()) params.push_back(p);
+  Adam opt(params, 1e-2f);
+  double final_loss = 1.0;
+  for (int step = 0; step < 500; ++step) {
+    const float first = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    Tape tape;
+    LstmCell::State state = lstm.InitialState(&tape);
+    for (int t = 0; t < 4; ++t) {
+      const float value =
+          t == 0 ? first : static_cast<float>(rng.UniformDouble(-0.2, 0.2));
+      state = lstm.Step(&tape, tape.Constant(Tensor(1, 1, {value})), state);
+    }
+    VarId pred = readout.Forward(&tape, state.h);
+    VarId diff = tape.Sub(pred, tape.Constant(Tensor(1, 1, {first})));
+    VarId loss = tape.SumAll(tape.Mul(diff, diff));
+    final_loss = tape.value(loss).at(0, 0);
+    tape.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 0.2);
+}
+
+TEST(SgdTest, MomentumAcceleratesOnQuadratic) {
+  // Minimize f(w) = w^2 from w=10.
+  Parameter w(Tensor(1, 1, {10.0f}));
+  Sgd opt({&w}, 0.05f, 0.9f);
+  for (int i = 0; i < 100; ++i) {
+    Tape tape;
+    VarId v = tape.Param(&w);
+    tape.Backward(tape.SumAll(tape.Mul(v, v)));
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 0.0f, 0.05f);
+}
+
+TEST(SgdTest, WeightDecayShrinksUnusedWeights) {
+  Parameter w(Tensor(1, 1, {4.0f}));
+  Sgd opt({&w}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  for (int i = 0; i < 50; ++i) {
+    // Zero task gradient: only decay applies.
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(w.value().at(0, 0)), 0.5f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter w(Tensor(1, 2, {5.0f, -7.0f}));
+  Adam opt({&w}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    Tape tape;
+    VarId v = tape.Param(&w);
+    tape.Backward(tape.SumAll(tape.Mul(v, v)));
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 0.0f, 0.05f);
+  EXPECT_NEAR(w.value().at(0, 1), 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Parameter w(Tensor(1, 2, {0.0f, 0.0f}));
+  w.grad().at(0, 0) = 30.0f;
+  w.grad().at(0, 1) = 40.0f;  // norm 50
+  Sgd opt({&w}, 1.0f);
+  opt.ClipGradNorm(5.0f);
+  const float norm = std::sqrt(w.grad().SquaredNorm());
+  EXPECT_NEAR(norm, 5.0f, 1e-3f);
+  // Direction preserved.
+  EXPECT_NEAR(w.grad().at(0, 0) / w.grad().at(0, 1), 0.75f, 1e-4f);
+}
+
+TEST(OptimizerTest, StepClearsGradients) {
+  Parameter w(Tensor(1, 1, {1.0f}));
+  w.grad().at(0, 0) = 2.0f;
+  Adam opt({&w}, 0.01f);
+  opt.Step();
+  EXPECT_EQ(w.grad().at(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace ucad::nn

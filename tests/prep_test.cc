@@ -1,0 +1,359 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "prep/access_control.h"
+#include "prep/dbscan.h"
+#include "prep/ngram.h"
+#include "prep/preprocessor.h"
+#include "prep/session_filter.h"
+#include "util/rng.h"
+#include "workload/commenting.h"
+#include "workload/location.h"
+
+namespace ucad::prep {
+namespace {
+
+// ---------- NgramProfile / Jaccard ----------
+
+TEST(NgramTest, IdenticalSequencesSimilarityOne) {
+  NgramProfile a({1, 2, 3, 4}, 2);
+  NgramProfile b({1, 2, 3, 4}, 2);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Distance(b), 0.0);
+}
+
+TEST(NgramTest, DisjointSequencesSimilarityZero) {
+  NgramProfile a({1, 2, 3}, 2);
+  NgramProfile b({7, 8, 9}, 2);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.0);
+}
+
+TEST(NgramTest, SymmetricAndBounded) {
+  NgramProfile a({1, 2, 3, 1, 2}, 3);
+  NgramProfile b({2, 3, 1, 2, 4}, 3);
+  const double ab = a.Jaccard(b);
+  EXPECT_DOUBLE_EQ(ab, b.Jaccard(a));
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+TEST(NgramTest, SharedPrefixMoreSimilarThanDisjoint) {
+  NgramProfile base({1, 2, 3, 4, 5}, 2);
+  NgramProfile close({1, 2, 3, 4, 6}, 2);
+  NgramProfile far({9, 8, 7, 6, 5}, 2);
+  EXPECT_GT(base.Jaccard(close), base.Jaccard(far));
+}
+
+TEST(NgramTest, EmptyProfiles) {
+  NgramProfile a({}, 2);
+  NgramProfile b({}, 2);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0);
+  NgramProfile c({1}, 2);
+  EXPECT_DOUBLE_EQ(a.Jaccard(c), 0.0);
+}
+
+// ---------- DBSCAN ----------
+
+double PointDistance(const std::vector<double>& xs, size_t i, size_t j) {
+  return std::abs(xs[i] - xs[j]);
+}
+
+TEST(DbscanTest, FindsTwoBlobsAndNoise) {
+  // Two 1-D blobs around 0 and 10, one outlier at 100.
+  std::vector<double> xs = {0.0, 0.1, 0.2, 0.15, 10.0, 10.1, 10.2, 100.0};
+  DbscanOptions options;
+  options.eps = 0.5;
+  options.min_points = 2;
+  const DbscanResult result = Dbscan(
+      xs.size(), [&xs](size_t i, size_t j) { return PointDistance(xs, i, j); },
+      options);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.labels[0], result.labels[3]);
+  EXPECT_EQ(result.labels[4], result.labels[6]);
+  EXPECT_NE(result.labels[0], result.labels[4]);
+  EXPECT_EQ(result.labels[7], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, ChainExpandsThroughCorePoints) {
+  // A chain of points each within eps of the next forms one cluster.
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back(i * 0.4);
+  DbscanOptions options;
+  options.eps = 0.5;
+  options.min_points = 2;
+  const DbscanResult result = Dbscan(
+      xs.size(), [&xs](size_t i, size_t j) { return PointDistance(xs, i, j); },
+      options);
+  EXPECT_EQ(result.num_clusters, 1);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanTest, MinPointsPreventsTinyClusters) {
+  std::vector<double> xs = {0.0, 0.1, 50.0};
+  DbscanOptions options;
+  options.eps = 0.5;
+  options.min_points = 3;
+  const DbscanResult result = Dbscan(
+      xs.size(), [&xs](size_t i, size_t j) { return PointDistance(xs, i, j); },
+      options);
+  EXPECT_EQ(result.num_clusters, 0);
+  for (int label : result.labels) EXPECT_EQ(label, DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const DbscanResult result =
+      Dbscan(0, [](size_t, size_t) { return 0.0; }, DbscanOptions());
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+// ---------- Access control ----------
+
+sql::RawSession SessionWith(const std::string& user,
+                            const std::string& address, int hour) {
+  sql::RawSession s;
+  s.attrs.user = user;
+  s.attrs.client_address = address;
+  s.attrs.start_time_s = 1767225600 + hour * 3600;
+  sql::OperationRecord op;
+  op.sql = "SELECT * FROM t WHERE x=1";
+  op.time_offset_s = 0;
+  s.operations.push_back(op);
+  return s;
+}
+
+TEST(AccessControlTest, KnownUserAddress) {
+  KnownUserAddressPolicy policy;
+  policy.Allow("alice", "10.0.0.1");
+  EXPECT_FALSE(policy.Violates(SessionWith("alice", "10.0.0.1", 10)));
+  EXPECT_TRUE(policy.Violates(SessionWith("alice", "8.8.8.8", 10)));
+  EXPECT_TRUE(policy.Violates(SessionWith("mallory", "10.0.0.1", 10)));
+}
+
+TEST(AccessControlTest, AccessHours) {
+  AccessHoursPolicy policy(8, 20);
+  EXPECT_FALSE(policy.Violates(SessionWith("u", "a", 8)));
+  EXPECT_FALSE(policy.Violates(SessionWith("u", "a", 19)));
+  EXPECT_TRUE(policy.Violates(SessionWith("u", "a", 3)));
+  EXPECT_TRUE(policy.Violates(SessionWith("u", "a", 20)));
+}
+
+TEST(AccessControlTest, ForbiddenTable) {
+  ForbiddenTablePolicy policy({"t_credentials"});
+  sql::RawSession ok = SessionWith("u", "a", 10);
+  EXPECT_FALSE(policy.Violates(ok));
+  sql::OperationRecord op;
+  op.sql = "SELECT * FROM t_credentials WHERE uid=7";
+  ok.operations.push_back(op);
+  EXPECT_TRUE(policy.Violates(ok));
+}
+
+TEST(AccessControlTest, MaxOpInterval) {
+  MaxOpIntervalPolicy policy(100);
+  sql::RawSession s = SessionWith("u", "a", 10);
+  sql::OperationRecord op;
+  op.sql = "SELECT 1";
+  op.time_offset_s = 50;
+  s.operations.push_back(op);
+  EXPECT_FALSE(policy.Violates(s));
+  s.operations.back().time_offset_s = 500;
+  EXPECT_TRUE(policy.Violates(s));
+}
+
+TEST(PolicyEngineTest, AdmitsAndRejects) {
+  PolicyEngine engine;
+  auto users = std::make_unique<KnownUserAddressPolicy>();
+  users->Allow("alice", "10.0.0.1");
+  engine.AddPolicy(std::move(users));
+  engine.AddPolicy(std::make_unique<AccessHoursPolicy>(8, 20));
+  EXPECT_TRUE(engine.Admits(SessionWith("alice", "10.0.0.1", 10)));
+  EXPECT_FALSE(engine.Admits(SessionWith("alice", "10.0.0.1", 2)));
+  EXPECT_EQ(engine.FirstViolation(SessionWith("bob", "10.0.0.1", 10)),
+            "known-user-address");
+  EXPECT_EQ(engine.FirstViolation(SessionWith("alice", "10.0.0.1", 2)),
+            "access-hours");
+
+  std::vector<sql::RawSession> admitted, rejected;
+  engine.Filter({SessionWith("alice", "10.0.0.1", 10),
+                 SessionWith("bob", "1.2.3.4", 10)},
+                &admitted, &rejected);
+  EXPECT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(rejected.size(), 1u);
+}
+
+// ---------- Session filter ----------
+
+sql::KeySession KeysOf(std::vector<int> keys) {
+  sql::KeySession s;
+  s.keys = std::move(keys);
+  return s;
+}
+
+TEST(SessionFilterTest, RemovesOutlierPattern) {
+  // 12 sessions of pattern A, 12 of pattern B, 1 weird outlier.
+  std::vector<sql::KeySession> sessions;
+  util::Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    sessions.push_back(KeysOf({1, 2, 3, 4, 1, 2, 3, 4}));
+    sessions.push_back(KeysOf({5, 6, 7, 8, 5, 6, 7, 8}));
+  }
+  sessions.push_back(KeysOf({9, 9, 9, 9, 9, 9, 9, 9}));
+  SessionFilterOptions options;
+  options.dbscan.eps = 0.3;
+  options.dbscan.min_points = 3;
+  SessionFilterStats stats;
+  const auto kept = FilterSessions(sessions, options, &rng, &stats);
+  EXPECT_EQ(stats.input_sessions, 25);
+  EXPECT_EQ(stats.clusters, 2);
+  EXPECT_EQ(stats.removed_noise_points, 1);
+  for (const auto& s : kept) {
+    EXPECT_NE(s.keys[0], 9);
+  }
+}
+
+TEST(SessionFilterTest, UnderSamplesDominantCluster) {
+  // Three clusters sized 60/10/10: the median is 10, so the dominant
+  // pattern must be under-sampled to oversample_factor * 10.
+  std::vector<sql::KeySession> sessions;
+  util::Rng rng(6);
+  for (int i = 0; i < 60; ++i) sessions.push_back(KeysOf({1, 2, 3, 1, 2, 3}));
+  for (int i = 0; i < 10; ++i) sessions.push_back(KeysOf({5, 6, 7, 5, 6, 7}));
+  for (int i = 0; i < 10; ++i) sessions.push_back(KeysOf({8, 9, 8, 9, 8, 9}));
+  SessionFilterOptions options;
+  options.dbscan.eps = 0.3;
+  options.dbscan.min_points = 3;
+  options.oversample_factor = 2.0;
+  SessionFilterStats stats;
+  const auto kept = FilterSessions(sessions, options, &rng, &stats);
+  EXPECT_EQ(stats.removed_by_undersampling, 40);
+  int big = 0, small = 0;
+  for (const auto& s : kept) (s.keys[0] == 1 ? big : small) += 1;
+  EXPECT_EQ(big, 20);
+  EXPECT_EQ(small, 20);
+}
+
+TEST(SessionFilterTest, DropsShortSessions) {
+  std::vector<sql::KeySession> sessions;
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    sessions.push_back(KeysOf({1, 2, 3, 4, 1, 2, 3, 4, 1, 2}));
+  }
+  sessions.push_back(KeysOf({1, 2}));  // same pattern but far too short
+  SessionFilterOptions options;
+  options.dbscan.eps = 0.8;
+  options.dbscan.min_points = 2;
+  options.short_session_ratio = 0.5;
+  SessionFilterStats stats;
+  const auto kept = FilterSessions(sessions, options, &rng, &stats);
+  EXPECT_EQ(stats.removed_short_sessions, 1);
+  for (const auto& s : kept) EXPECT_GT(s.keys.size(), 2u);
+}
+
+TEST(SessionFilterTest, EmptyInput) {
+  util::Rng rng(8);
+  SessionFilterStats stats;
+  const auto kept =
+      FilterSessions({}, SessionFilterOptions(), &rng, &stats);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(stats.input_sessions, 0);
+}
+
+// ---------- Preprocessor end-to-end ----------
+
+TEST(PreprocessorTest, EndToEndOnGeneratedLog) {
+  const workload::ScenarioSpec spec = workload::MakeCommentingScenario();
+  workload::SessionGenerator generator(spec);
+  util::Rng rng(11);
+  std::vector<sql::RawSession> log = generator.GenerateNormalBatch(60, &rng);
+  log.push_back(generator.GenerateNoisy(workload::NoiseKind::kUnknownAddress,
+                                        &rng));
+  log.push_back(
+      generator.GenerateNoisy(workload::NoiseKind::kOffHours, &rng));
+
+  PolicyEngine engine = MakeDefaultPolicyEngine(
+      spec.users, spec.addresses, spec.business_start_hour,
+      spec.business_end_hour);
+  SessionFilterOptions filter;
+  filter.dbscan.eps = 0.95;  // permissive: keep most generated sessions
+  filter.dbscan.min_points = 2;
+  Preprocessor prep(std::move(engine), filter);
+  const auto purified = prep.PrepareTrainingData(log, &rng);
+
+  EXPECT_EQ(prep.rejected_by_policy(), 2);
+  EXPECT_GT(purified.size(), 20u);
+  EXPECT_TRUE(prep.vocabulary().frozen());
+  EXPECT_GT(prep.vocabulary().size(), 10);
+
+  // Active-session path: a clean session is admitted and tokenized.
+  bool known_attack = true;
+  const sql::KeySession active = prep.PrepareActiveSession(
+      generator.GenerateNormal(&rng), &known_attack);
+  EXPECT_FALSE(known_attack);
+  EXPECT_FALSE(active.keys.empty());
+
+  // A policy-violating session is flagged before the model.
+  prep.PrepareActiveSession(
+      generator.GenerateNoisy(workload::NoiseKind::kUnknownAddress, &rng),
+      &known_attack);
+  EXPECT_TRUE(known_attack);
+}
+
+}  // namespace
+}  // namespace ucad::prep
+
+namespace ucad::prep {
+namespace {
+
+TEST(PreprocessorTest, CoarsenedProfilesKeepWideVocabularies) {
+  // With hundreds of statement keys, raw-key Jaccard distances collapse to
+  // ~1 and DBSCAN marks everything noise; the (table, command) coarsening
+  // must keep the bulk of a normal log.
+  workload::LocationOptions wl;
+  wl.select_variants = 8;
+  wl.insert_variants = 8;
+  wl.picn_insert_variants = 3;
+  wl.update_variants = 8;
+  const workload::ScenarioSpec spec = workload::MakeLocationScenario(wl);
+  workload::SessionGenerator generator(spec);
+  util::Rng rng(21);
+  const auto log = generator.GenerateNormalBatch(80, &rng);
+
+  SessionFilterOptions coarse;
+  coarse.coarsen_by_table_command = true;
+  coarse.dbscan.eps = 0.7;
+  coarse.dbscan.min_points = 3;
+  Preprocessor prep_coarse(
+      MakeDefaultPolicyEngine(spec.users, spec.addresses,
+                              spec.business_start_hour,
+                              spec.business_end_hour),
+      coarse);
+  const auto kept = prep_coarse.PrepareTrainingData(log, &rng);
+  EXPECT_GT(kept.size(), 50u)
+      << "coarsened clustering should keep most normal sessions";
+}
+
+TEST(SessionFilterTest, ProfileKeyMapIsApplied) {
+  // With a map collapsing all keys to one group, every session looks
+  // identical -> a single cluster, nothing removed as noise.
+  std::vector<sql::KeySession> sessions;
+  for (int i = 0; i < 10; ++i) {
+    sql::KeySession s;
+    for (int j = 0; j < 8; ++j) s.keys.push_back(1 + (i * 13 + j * 7) % 40);
+    sessions.push_back(std::move(s));
+  }
+  SessionFilterOptions options;
+  options.dbscan.eps = 0.2;
+  options.dbscan.min_points = 2;
+  options.profile_key_map = [](int) { return 1; };
+  util::Rng rng(4);
+  SessionFilterStats stats;
+  const auto kept = FilterSessions(sessions, options, &rng, &stats);
+  EXPECT_EQ(stats.clusters, 1);
+  EXPECT_EQ(stats.removed_noise_points, 0);
+  EXPECT_EQ(kept.size(), sessions.size());
+}
+
+}  // namespace
+}  // namespace ucad::prep

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+#include "sql/statement.h"
+#include "sql/vocabulary.h"
+
+namespace ucad::sql {
+namespace {
+
+// ---------- Literal abstraction ----------
+
+TEST(AbstractLiteralsTest, PaperExample) {
+  EXPECT_EQ(
+      AbstractLiterals("Update T_content set count=23 where danmuKey=94"),
+      "update t_content set count=$1 where danmukey=$2");
+}
+
+TEST(AbstractLiteralsTest, QuotedStrings) {
+  EXPECT_EQ(AbstractLiterals("INSERT INTO t(name) VALUES ('alice')"),
+            "insert into t(name) values ($1)");
+  EXPECT_EQ(AbstractLiterals("SELECT * FROM t WHERE a='x''y'"),
+            "select * from t where a=$1");
+  EXPECT_EQ(AbstractLiterals("SELECT * FROM t WHERE a=\"z\""),
+            "select * from t where a=$1");
+}
+
+TEST(AbstractLiteralsTest, DecimalsAndMultipleLiterals) {
+  EXPECT_EQ(AbstractLiterals("SELECT * FROM t WHERE lat=1.5 AND lon=2.25"),
+            "select * from t where lat=$1 and lon=$2");
+}
+
+TEST(AbstractLiteralsTest, DigitsInsideIdentifiersKept) {
+  EXPECT_EQ(AbstractLiterals("SELECT * FROM t_cell_fp_9 WHERE pnci=42"),
+            "select * from t_cell_fp_9 where pnci=$1");
+}
+
+TEST(AbstractLiteralsTest, WhitespaceCollapsed) {
+  EXPECT_EQ(AbstractLiterals("SELECT  *\n FROM   t  "),
+            "select * from t");
+}
+
+TEST(AbstractLiteralsTest, FineGrainedColumnDifferencePreserved) {
+  // The paper's motivating pair: literally similar, semantically distinct.
+  const std::string a =
+      AbstractLiterals("delete from t_mac where normal_mac=1");
+  const std::string b =
+      AbstractLiterals("delete from t_mac where abnormal_mac=1");
+  EXPECT_NE(a, b);
+}
+
+TEST(AbstractLiteralsTest, Idempotent) {
+  const std::string once =
+      AbstractLiterals("UPDATE t SET a=3 WHERE b='x' AND c=9");
+  // Placeholders contain digits, but '$' precedes them so a second pass
+  // must not re-abstract.
+  EXPECT_EQ(AbstractLiterals(once), once);
+}
+
+// ---------- Command classification / table extraction ----------
+
+TEST(ClassifyCommandTest, AllCategories) {
+  EXPECT_EQ(ClassifyCommand("SELECT 1"), CommandType::kSelect);
+  EXPECT_EQ(ClassifyCommand("  insert into t values (1)"),
+            CommandType::kInsert);
+  EXPECT_EQ(ClassifyCommand("Update t set a=1"), CommandType::kUpdate);
+  EXPECT_EQ(ClassifyCommand("DELETE FROM t"), CommandType::kDelete);
+  EXPECT_EQ(ClassifyCommand("SHOW TABLES"), CommandType::kOther);
+}
+
+TEST(ExtractTableTest, CommonForms) {
+  EXPECT_EQ(ExtractTable("SELECT * FROM t_video WHERE vid=1"), "t_video");
+  EXPECT_EQ(ExtractTable("INSERT INTO t_like(danmuKey, uid) VALUES (1,2)"),
+            "t_like");
+  EXPECT_EQ(ExtractTable("UPDATE t_stat SET views=2 WHERE day=3"), "t_stat");
+  EXPECT_EQ(ExtractTable("DELETE FROM danmu_display WHERE danmuKey=1"),
+            "danmu_display");
+  EXPECT_EQ(ExtractTable("SHOW TABLES"), "");
+}
+
+TEST(ParseStatementTest, FullParse) {
+  const Statement s =
+      ParseStatement("DELETE FROM t_rm_mac WHERE abnormal_mac='aa:bb'");
+  EXPECT_EQ(s.command, CommandType::kDelete);
+  EXPECT_EQ(s.table, "t_rm_mac");
+  EXPECT_EQ(s.template_text,
+            "delete from t_rm_mac where abnormal_mac=$1");
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, AssignsSequentialKeysFromOne) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), 1);  // k0 preallocated
+  const Statement a = ParseStatement("SELECT * FROM t WHERE x=1");
+  const Statement b = ParseStatement("SELECT * FROM t WHERE y=1");
+  EXPECT_EQ(vocab.GetOrAssign(a), 1);
+  EXPECT_EQ(vocab.GetOrAssign(b), 2);
+  EXPECT_EQ(vocab.GetOrAssign(a), 1);  // stable
+  EXPECT_EQ(vocab.size(), 3);
+}
+
+TEST(VocabularyTest, SameTemplateDifferentLiteralsSameKey) {
+  Vocabulary vocab;
+  const Key k1 = vocab.GetOrAssign(ParseStatement("SELECT * FROM t WHERE x=1"));
+  const Key k2 =
+      vocab.GetOrAssign(ParseStatement("SELECT * FROM t WHERE x=999"));
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(VocabularyTest, FrozenLookupMapsUnknownToPadding) {
+  Vocabulary vocab;
+  vocab.GetOrAssign(ParseStatement("SELECT * FROM t WHERE x=1"));
+  vocab.Freeze();
+  EXPECT_EQ(vocab.Lookup("select * from t where x=$1"), 1);
+  EXPECT_EQ(vocab.Lookup("select * from unknown where x=$1"), kPaddingKey);
+}
+
+TEST(VocabularyTest, CountsCommandsAndTables) {
+  Vocabulary vocab;
+  vocab.GetOrAssign(ParseStatement("SELECT * FROM a WHERE x=1"));
+  vocab.GetOrAssign(ParseStatement("SELECT * FROM b WHERE x=1"));
+  vocab.GetOrAssign(ParseStatement("DELETE FROM a WHERE x=1"));
+  EXPECT_EQ(vocab.CountCommand(CommandType::kSelect), 2);
+  EXPECT_EQ(vocab.CountCommand(CommandType::kDelete), 1);
+  EXPECT_EQ(vocab.CountCommand(CommandType::kInsert), 0);
+  EXPECT_EQ(vocab.CountTables(), 2);
+}
+
+TEST(VocabularyTest, MetadataAccessors) {
+  Vocabulary vocab;
+  const Key k = vocab.GetOrAssign(ParseStatement("UPDATE t SET a=1"));
+  EXPECT_EQ(vocab.CommandOf(k), CommandType::kUpdate);
+  EXPECT_EQ(vocab.TableOf(k), "t");
+  EXPECT_EQ(vocab.TemplateOf(k), "update t set a=$1");
+  EXPECT_EQ(vocab.TemplateOf(kPaddingKey), "<pad>");
+}
+
+// ---------- Session tokenization ----------
+
+RawSession MakeRawSession() {
+  RawSession raw;
+  raw.attrs.user = "user1";
+  for (const char* sql :
+       {"SELECT * FROM t WHERE x=1", "INSERT INTO t(a) VALUES (2)",
+        "SELECT * FROM t WHERE x=5"}) {
+    OperationRecord op;
+    op.sql = sql;
+    raw.operations.push_back(op);
+  }
+  return raw;
+}
+
+TEST(SessionTest, TokenizeGrowsVocabulary) {
+  Vocabulary vocab;
+  const KeySession keys = TokenizeSession(MakeRawSession(), &vocab, true);
+  ASSERT_EQ(keys.keys.size(), 3u);
+  EXPECT_EQ(keys.keys[0], 1);
+  EXPECT_EQ(keys.keys[1], 2);
+  EXPECT_EQ(keys.keys[2], 1);  // same template as op 0
+  EXPECT_EQ(keys.attrs.user, "user1");
+}
+
+TEST(SessionTest, FrozenTokenizeMapsUnknownToPadding) {
+  Vocabulary vocab;
+  TokenizeSession(MakeRawSession(), &vocab, true);
+  vocab.Freeze();
+  RawSession other = MakeRawSession();
+  other.operations[1].sql = "DELETE FROM elsewhere WHERE z=1";
+  const KeySession keys = TokenizeSessionFrozen(other, vocab);
+  EXPECT_EQ(keys.keys[0], 1);
+  EXPECT_EQ(keys.keys[1], kPaddingKey);
+}
+
+TEST(SessionLabelTest, AbnormalPartition) {
+  EXPECT_FALSE(IsAbnormalLabel(SessionLabel::kNormal));
+  EXPECT_FALSE(IsAbnormalLabel(SessionLabel::kNormalSwapped));
+  EXPECT_FALSE(IsAbnormalLabel(SessionLabel::kNormalReduced));
+  EXPECT_TRUE(IsAbnormalLabel(SessionLabel::kPrivilegeAbuse));
+  EXPECT_TRUE(IsAbnormalLabel(SessionLabel::kCredentialTheft));
+  EXPECT_TRUE(IsAbnormalLabel(SessionLabel::kMisoperation));
+  EXPECT_STREQ(SessionLabelName(SessionLabel::kCredentialTheft), "A2");
+}
+
+}  // namespace
+}  // namespace ucad::sql
+
+namespace ucad::sql {
+namespace {
+
+// ---------- Abstraction property tests over generated SQL ----------
+
+TEST(AbstractLiteralsPropertyTest, IdempotentOnArbitraryStatements) {
+  const char* statements[] = {
+      "SELECT * FROM t_cell_fp_9 WHERE pnci=1 and gridId IN (2, 3, 36)",
+      "INSERT INTO t_cell_fp_3 (pnci, gridId, fps) VALUES (1, 2, 3), "
+      "(4, 5, 6)",
+      "UPDATE t SET a='it''s', b=2.5 WHERE c=\"q\"",
+      "DELETE FROM x WHERE ts<1700000000",
+      "select 1",
+      "",
+  };
+  for (const char* raw : statements) {
+    const std::string once = AbstractLiterals(raw);
+    EXPECT_EQ(AbstractLiterals(once), once) << raw;
+  }
+}
+
+TEST(AbstractLiteralsPropertyTest, PlaceholdersAreSequential) {
+  const std::string t = AbstractLiterals(
+      "INSERT INTO t(a,b,c,d) VALUES (10, 'x', 2.5, \"y\")");
+  EXPECT_NE(t.find("$1"), std::string::npos);
+  EXPECT_NE(t.find("$2"), std::string::npos);
+  EXPECT_NE(t.find("$3"), std::string::npos);
+  EXPECT_NE(t.find("$4"), std::string::npos);
+  EXPECT_EQ(t.find("$5"), std::string::npos);
+}
+
+TEST(ExtractTableTest, EdgeCases) {
+  // Table name directly followed by a column list.
+  EXPECT_EQ(ExtractTable("INSERT INTO t_like(danmuKey) VALUES (1)"),
+            "t_like");
+  // Lower/upper case mix.
+  EXPECT_EQ(ExtractTable("Select * From MyTable Where x=1"), "mytable");
+  // Trailing punctuation.
+  EXPECT_EQ(ExtractTable("DELETE FROM t;"), "t");
+  // Missing target.
+  EXPECT_EQ(ExtractTable(""), "");
+  EXPECT_EQ(ExtractTable("SELECT 1"), "");
+}
+
+TEST(VocabularyPropertyTest, KeysAreDenseAndStableUnderReinsertion) {
+  Vocabulary vocab;
+  std::vector<Key> keys;
+  const char* stmts[] = {
+      "SELECT * FROM a WHERE x=1", "SELECT * FROM b WHERE x=1",
+      "INSERT INTO a(x) VALUES (1)", "DELETE FROM a WHERE x=1",
+  };
+  for (const char* s : stmts) {
+    keys.push_back(vocab.GetOrAssign(ParseStatement(s)));
+  }
+  // Dense: 1..n.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<Key>(i + 1));
+  }
+  // Stable under arbitrary re-insertion order (including new literals).
+  EXPECT_EQ(vocab.GetOrAssign(ParseStatement("DELETE FROM a WHERE x=77")),
+            keys[3]);
+  EXPECT_EQ(vocab.GetOrAssign(ParseStatement("SELECT * FROM a WHERE x=9")),
+            keys[0]);
+}
+
+}  // namespace
+}  // namespace ucad::sql
+
+#include <sstream>
+
+#include "sql/log_reader.h"
+
+namespace ucad::sql {
+namespace {
+
+// ---------- Text audit-log reader ----------
+
+constexpr char kLog[] =
+    "# session\n"
+    "user1\t10.0.0.11\t1767250800\tSELECT * FROM t WHERE x=1\n"
+    "user1\t10.0.0.11\t1767250807\tINSERT INTO t(a) VALUES (2)\n"
+    "\n"
+    "user2\t10.0.0.12\t1767250900\tDELETE FROM t WHERE x=3\n";
+
+TEST(LogReaderTest, ParsesSessionsAndOffsets) {
+  std::istringstream is(kLog);
+  auto sessions = ReadSessionLog(is);
+  ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+  ASSERT_EQ(sessions->size(), 2u);
+  const RawSession& first = (*sessions)[0];
+  EXPECT_EQ(first.attrs.user, "user1");
+  EXPECT_EQ(first.attrs.client_address, "10.0.0.11");
+  EXPECT_EQ(first.attrs.start_time_s, 1767250800);
+  ASSERT_EQ(first.operations.size(), 2u);
+  EXPECT_EQ(first.operations[1].time_offset_s, 7);
+  EXPECT_EQ((*sessions)[1].attrs.user, "user2");
+}
+
+TEST(LogReaderTest, UserChangeStartsNewSession) {
+  std::istringstream is(
+      "a\tx\t100\tSELECT 1\n"
+      "b\tx\t105\tSELECT 2\n");
+  auto sessions = ReadSessionLog(is);
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ(sessions->size(), 2u);
+}
+
+TEST(LogReaderTest, MalformedLineReportsLineNumber) {
+  std::istringstream is("only two\tfields\n");
+  auto sessions = ReadSessionLog(is);
+  ASSERT_FALSE(sessions.ok());
+  EXPECT_NE(sessions.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LogReaderTest, BadTimestampRejected) {
+  std::istringstream is("u\ta\tnot-a-number\tSELECT 1\n");
+  auto sessions = ReadSessionLog(is);
+  ASSERT_FALSE(sessions.ok());
+  EXPECT_NE(sessions.status().message().find("timestamp"),
+            std::string::npos);
+}
+
+TEST(LogReaderTest, DecreasingTimestampRejected) {
+  std::istringstream is(
+      "u\ta\t200\tSELECT 1\n"
+      "u\ta\t100\tSELECT 2\n");
+  auto sessions = ReadSessionLog(is);
+  EXPECT_FALSE(sessions.ok());
+}
+
+TEST(LogReaderTest, SqlWithTabsIsRejoined) {
+  std::istringstream is("u\ta\t100\tSELECT\t*\tFROM t\n");
+  auto sessions = ReadSessionLog(is);
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ((*sessions)[0].operations[0].sql, "SELECT\t*\tFROM t");
+}
+
+TEST(LogReaderTest, WriteReadRoundTrip) {
+  std::istringstream is(kLog);
+  auto sessions = ReadSessionLog(is);
+  ASSERT_TRUE(sessions.ok());
+  std::ostringstream os;
+  WriteSessionLog(*sessions, os);
+  std::istringstream is2(os.str());
+  auto reparsed = ReadSessionLog(is2);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), sessions->size());
+  for (size_t i = 0; i < sessions->size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].attrs.user, (*sessions)[i].attrs.user);
+    ASSERT_EQ((*reparsed)[i].operations.size(),
+              (*sessions)[i].operations.size());
+    for (size_t j = 0; j < (*sessions)[i].operations.size(); ++j) {
+      EXPECT_EQ((*reparsed)[i].operations[j].sql,
+                (*sessions)[i].operations[j].sql);
+    }
+  }
+}
+
+TEST(LogReaderTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadSessionLogFile("/no/such/file.log").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ucad::sql

@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ucad::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12u);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, ExplicitData) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t = Tensor::Full(2, 3, 2.0f);
+  t.Scale(1.5f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 3.0f);
+  t.SetZero();
+  EXPECT_FLOAT_EQ(t.Sum(), 0.0f);
+}
+
+TEST(TensorTest, AddInPlaceAndScaled) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 22.0f);
+  a.AddScaled(b, -1.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 2.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t(2, 2, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.SquaredNorm(), 30.0f);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  util::Rng rng(3);
+  Tensor t = Tensor::Randn(100, 100, 0.5f, &rng);
+  double mean = 0.0, var = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) mean += t.data()[i];
+  mean /= t.size();
+  for (size_t i = 0; i < t.size(); ++i) {
+    var += (t.data()[i] - mean) * (t.data()[i] - mean);
+  }
+  var /= t.size();
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(TensorTest, XavierBounds) {
+  util::Rng rng(4);
+  Tensor t = Tensor::XavierUniform(30, 50, &rng);
+  const float bound = std::sqrt(6.0f / 80.0f);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), bound);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor out(2, 2);
+  MatMul(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, AccumAddsOntoExisting) {
+  Tensor a(1, 2, {1, 1});
+  Tensor b(2, 1, {2, 3});
+  Tensor out = Tensor::Full(1, 1, 10.0f);
+  MatMulAccum(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 15.0f);
+}
+
+TEST(MatMulTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  util::Rng rng(5);
+  Tensor a = Tensor::Randn(4, 3, 1.0f, &rng);
+  Tensor b = Tensor::Randn(4, 5, 1.0f, &rng);
+  // a^T * b via helper.
+  Tensor out1(3, 5);
+  MatMulTransposeAAccum(a, b, &out1);
+  // Explicit transpose then MatMul.
+  Tensor at(3, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Tensor out2(3, 5);
+  MatMul(at, b, &out2);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(out1.at(r, c), out2.at(r, c), 1e-4f);
+    }
+  }
+
+  // a * b2^T via helper.
+  Tensor b2 = Tensor::Randn(5, 3, 1.0f, &rng);
+  Tensor out3(4, 5);
+  MatMulTransposeBAccum(a, b2, &out3);
+  Tensor b2t(3, 5);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 3; ++c) b2t.at(c, r) = b2.at(r, c);
+  }
+  Tensor out4(4, 5);
+  MatMul(a, b2t, &out4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(out3.at(r, c), out4.at(r, c), 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucad::nn

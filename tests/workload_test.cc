@@ -1,0 +1,478 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sql/statement.h"
+#include "sql/vocabulary.h"
+#include "workload/anomaly.h"
+#include "workload/cases.h"
+#include "workload/commenting.h"
+#include "workload/location.h"
+#include "workload/scenario.h"
+#include "workload/syslog.h"
+
+namespace ucad::workload {
+namespace {
+
+// ---------- Scenario generation ----------
+
+class ScenarioGenerationTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  ScenarioSpec MakeSpec() const {
+    if (std::string(GetParam()) == "commenting") {
+      return MakeCommentingScenario();
+    }
+    LocationOptions small;
+    small.select_variants = 4;
+    small.insert_variants = 4;
+    small.picn_insert_variants = 2;
+    small.update_variants = 4;
+    small.min_tasks = 3;
+    small.max_tasks = 6;
+    return MakeLocationScenario(small);
+  }
+};
+
+TEST_P(ScenarioGenerationTest, SessionsNonEmptyAndAttributed) {
+  const ScenarioSpec spec = MakeSpec();
+  SessionGenerator generator(spec);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const sql::RawSession s = generator.GenerateNormal(&rng);
+    EXPECT_GT(s.operations.size(), 2u);
+    EXPECT_FALSE(s.attrs.user.empty());
+    EXPECT_FALSE(s.attrs.client_address.empty());
+    EXPECT_EQ(s.label, sql::SessionLabel::kNormal);
+    // Times monotonically non-decreasing.
+    for (size_t j = 1; j < s.operations.size(); ++j) {
+      EXPECT_GE(s.operations[j].time_offset_s,
+                s.operations[j - 1].time_offset_s);
+    }
+  }
+}
+
+TEST_P(ScenarioGenerationTest, AttributesComeFromPopulation) {
+  const ScenarioSpec spec = MakeSpec();
+  SessionGenerator generator(spec);
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const sql::RawSession s = generator.GenerateNormal(&rng);
+    auto it = std::find(spec.users.begin(), spec.users.end(), s.attrs.user);
+    ASSERT_NE(it, spec.users.end());
+    const size_t idx = it - spec.users.begin();
+    EXPECT_EQ(s.attrs.client_address, spec.addresses[idx]);
+  }
+}
+
+TEST_P(ScenarioGenerationTest, DeterministicForSeed) {
+  const ScenarioSpec spec = MakeSpec();
+  SessionGenerator generator(spec);
+  util::Rng rng1(77), rng2(77);
+  const sql::RawSession a = generator.GenerateNormal(&rng1);
+  const sql::RawSession b = generator.GenerateNormal(&rng2);
+  ASSERT_EQ(a.operations.size(), b.operations.size());
+  for (size_t i = 0; i < a.operations.size(); ++i) {
+    EXPECT_EQ(a.operations[i].sql, b.operations[i].sql);
+  }
+}
+
+TEST_P(ScenarioGenerationTest, VocabularyIsBoundedAndStable) {
+  const ScenarioSpec spec = MakeSpec();
+  SessionGenerator generator(spec);
+  util::Rng rng(3);
+  sql::Vocabulary vocab;
+  for (int i = 0; i < 150; ++i) {
+    const sql::RawSession s = generator.GenerateNormal(&rng);
+    for (const auto& op : s.operations) {
+      vocab.GetOrAssign(sql::ParseStatement(op.sql));
+    }
+  }
+  // Upper bound: sum of shape variants over all families.
+  int bound = 1;
+  for (const auto& family : spec.families) {
+    bound += static_cast<int>(family.shape_variants.size());
+  }
+  EXPECT_LE(vocab.size(), bound);
+  EXPECT_GT(vocab.size(), 5);
+}
+
+TEST_P(ScenarioGenerationTest, NoisySessionsViolateExactlyTheirDimension) {
+  const ScenarioSpec spec = MakeSpec();
+  SessionGenerator generator(spec);
+  util::Rng rng(4);
+  const sql::RawSession unknown_addr =
+      generator.GenerateNoisy(NoiseKind::kUnknownAddress, &rng);
+  EXPECT_EQ(std::find(spec.addresses.begin(), spec.addresses.end(),
+                      unknown_addr.attrs.client_address),
+            spec.addresses.end());
+
+  const sql::RawSession off_hours =
+      generator.GenerateNoisy(NoiseKind::kOffHours, &rng);
+  EXPECT_EQ((off_hours.attrs.start_time_s % 86400) / 3600, 3);
+
+  const sql::RawSession forbidden =
+      generator.GenerateNoisy(NoiseKind::kForbiddenTable, &rng);
+  bool touches = false;
+  for (const auto& op : forbidden.operations) {
+    touches |= sql::ExtractTable(op.sql) == "t_credentials";
+  }
+  EXPECT_TRUE(touches);
+
+  const sql::RawSession gaps =
+      generator.GenerateNoisy(NoiseKind::kHugeGaps, &rng);
+  ASSERT_GE(gaps.operations.size(), 2u);
+  EXPECT_GE(gaps.operations[1].time_offset_s -
+                gaps.operations[0].time_offset_s,
+            3600);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ScenarioGenerationTest,
+                         ::testing::Values("commenting", "location"));
+
+TEST(CommentingScenarioTest, KeyBreakdownMatchesTable1) {
+  SessionGenerator generator(MakeCommentingScenario());
+  util::Rng rng(5);
+  sql::Vocabulary vocab;
+  for (int i = 0; i < 600; ++i) {
+    for (const auto& op : generator.GenerateNormal(&rng).operations) {
+      vocab.GetOrAssign(sql::ParseStatement(op.sql));
+    }
+  }
+  // Paper Table 1 Scenario-I: 20 keys = 7 select, 4 insert, 4 update,
+  // 5 delete over 7 tables.
+  EXPECT_EQ(vocab.CountCommand(sql::CommandType::kSelect), 7);
+  EXPECT_EQ(vocab.CountCommand(sql::CommandType::kInsert), 4);
+  EXPECT_EQ(vocab.CountCommand(sql::CommandType::kUpdate), 4);
+  EXPECT_LE(vocab.CountCommand(sql::CommandType::kDelete), 5);
+  EXPECT_GE(vocab.CountCommand(sql::CommandType::kDelete), 4);
+  EXPECT_EQ(vocab.CountTables(), 7);
+}
+
+TEST(LocationScenarioTest, SelectInsertDominateDeletesRare) {
+  LocationOptions opts;
+  opts.select_variants = 6;
+  opts.insert_variants = 6;
+  opts.picn_insert_variants = 3;
+  opts.update_variants = 6;
+  SessionGenerator generator(MakeLocationScenario(opts));
+  util::Rng rng(6);
+  std::map<sql::CommandType, int> ops;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& op : generator.GenerateNormal(&rng).operations) {
+      ++ops[sql::ClassifyCommand(op.sql)];
+    }
+  }
+  EXPECT_GT(ops[sql::CommandType::kSelect], ops[sql::CommandType::kDelete]);
+  EXPECT_GT(ops[sql::CommandType::kInsert], ops[sql::CommandType::kDelete]);
+  // Deletes occur but are rare (4 rare keys, Table 1).
+  EXPECT_LT(ops[sql::CommandType::kDelete] * 20,
+            ops[sql::CommandType::kSelect] + ops[sql::CommandType::kInsert]);
+}
+
+// ---------- Anomaly synthesizers ----------
+
+class AnomalyTest : public ::testing::Test {
+ protected:
+  AnomalyTest()
+      : spec_(MakeCommentingScenario()),
+        generator_(spec_),
+        synthesizer_(&generator_),
+        rng_(9) {}
+
+  ScenarioSpec spec_;
+  SessionGenerator generator_;
+  AnomalySynthesizer synthesizer_;
+  util::Rng rng_;
+};
+
+TEST_F(AnomalyTest, PartialSwapPreservesMultiset) {
+  for (int i = 0; i < 10; ++i) {
+    const sql::RawSession base = generator_.GenerateNormal(&rng_);
+    const sql::RawSession swapped = synthesizer_.PartialSwap(base, &rng_);
+    EXPECT_EQ(swapped.label, sql::SessionLabel::kNormalSwapped);
+    ASSERT_EQ(swapped.operations.size(), base.operations.size());
+    std::multiset<std::string> a, b;
+    for (const auto& op : base.operations) a.insert(op.sql);
+    for (const auto& op : swapped.operations) b.insert(op.sql);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(AnomalyTest, PartialSwapOnlyMovesSwapGroupMembers) {
+  const sql::RawSession base = generator_.GenerateNormal(&rng_);
+  const sql::RawSession swapped = synthesizer_.PartialSwap(base, &rng_);
+  for (size_t i = 0; i < base.operations.size(); ++i) {
+    if (base.operations[i].swap_group < 0) {
+      EXPECT_EQ(swapped.operations[i].sql, base.operations[i].sql)
+          << "non-interchangeable op moved at " << i;
+    }
+  }
+}
+
+TEST_F(AnomalyTest, PartialRemoveOnlyDropsRemovable) {
+  for (int i = 0; i < 10; ++i) {
+    const sql::RawSession base = generator_.GenerateNormal(&rng_);
+    const sql::RawSession reduced = synthesizer_.PartialRemove(base, &rng_);
+    EXPECT_EQ(reduced.label, sql::SessionLabel::kNormalReduced);
+    EXPECT_LE(reduced.operations.size(), base.operations.size());
+    // Every non-removable op survives, in order.
+    std::vector<std::string> expected;
+    for (const auto& op : base.operations) {
+      if (!op.removable) expected.push_back(op.sql);
+    }
+    std::vector<std::string> kept_required;
+    for (const auto& op : reduced.operations) {
+      if (!op.removable) kept_required.push_back(op.sql);
+    }
+    EXPECT_EQ(kept_required, expected);
+  }
+}
+
+TEST_F(AnomalyTest, PrivilegeAbuseAddsSelects) {
+  const sql::RawSession base = generator_.GenerateNormal(&rng_);
+  const sql::RawSession abuse = synthesizer_.PrivilegeAbuse(base, &rng_);
+  EXPECT_EQ(abuse.label, sql::SessionLabel::kPrivilegeAbuse);
+  EXPECT_GT(abuse.operations.size(), base.operations.size());
+  int injected = 0;
+  for (const auto& op : abuse.operations) {
+    if (op.injected) {
+      ++injected;
+      EXPECT_EQ(sql::ClassifyCommand(op.sql), sql::CommandType::kSelect);
+    }
+  }
+  EXPECT_GE(injected, 4);
+}
+
+TEST_F(AnomalyTest, CredentialStealingStaysBelowTenPercent) {
+  for (int i = 0; i < 20; ++i) {
+    const sql::RawSession base = generator_.GenerateNormal(&rng_);
+    const sql::RawSession theft =
+        synthesizer_.CredentialStealing(base, &rng_);
+    EXPECT_EQ(theft.label, sql::SessionLabel::kCredentialTheft);
+    const size_t injected =
+        theft.operations.size() - base.operations.size();
+    EXPECT_GE(injected, 1u);
+    EXPECT_LE(injected,
+              std::max<size_t>(1, base.operations.size() / 10));
+  }
+}
+
+TEST_F(AnomalyTest, MisoperationUsesMostlyRareOps) {
+  const sql::RawSession mis = synthesizer_.Misoperation(24, &rng_);
+  EXPECT_EQ(mis.label, sql::SessionLabel::kMisoperation);
+  EXPECT_GE(mis.operations.size(), 4u);
+  for (const auto& op : mis.operations) EXPECT_TRUE(op.injected);
+}
+
+TEST_F(AnomalyTest, HybridMixerAddsRequestedRatio) {
+  std::vector<sql::RawSession> normals(
+      20, generator_.GenerateNormal(&rng_));
+  std::vector<sql::RawSession> anomalies = {
+      synthesizer_.Misoperation(10, &rng_)};
+  const auto mixed = MixHybridTraining(normals, anomalies, 0.2, &rng_);
+  EXPECT_EQ(mixed.size(), 24u);
+  int abnormal = 0;
+  for (const auto& s : mixed) {
+    abnormal += sql::IsAbnormalLabel(s.label) ? 1 : 0;
+  }
+  EXPECT_EQ(abnormal, 4);
+}
+
+// ---------- Syslog datasets ----------
+
+class SyslogTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyslogTest, ShapesAndLabels) {
+  util::Rng rng(13);
+  SyslogOptions opts;
+  opts.train_sessions = 40;
+  opts.normal_test_sessions = 20;
+  opts.abnormal_test_sessions = 10;
+  LogDataset ds;
+  switch (GetParam()) {
+    case 0:
+      ds = MakeHdfsLikeDataset(opts, &rng);
+      break;
+    case 1:
+      ds = MakeBglLikeDataset(opts, &rng);
+      break;
+    default:
+      ds = MakeThunderbirdLikeDataset(opts, &rng);
+      break;
+  }
+  EXPECT_GE(static_cast<int>(ds.train.size()), 30);
+  EXPECT_EQ(ds.test_sessions.size(), ds.test_labels.size());
+  int abnormal = 0;
+  for (bool label : ds.test_labels) abnormal += label ? 1 : 0;
+  EXPECT_EQ(abnormal, 10);
+  // All keys in range; training keys never include the anomaly-only tail.
+  for (const auto& s : ds.train) {
+    for (int k : s) {
+      EXPECT_GT(k, 0);
+      EXPECT_LT(k, ds.vocab_size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SyslogTest, ::testing::Values(0, 1, 2));
+
+TEST(SyslogTest2, TrainKeysDisjointFromAnomalyBurstKeys) {
+  util::Rng rng(14);
+  SyslogOptions opts;
+  opts.train_sessions = 30;
+  opts.normal_test_sessions = 10;
+  opts.abnormal_test_sessions = 10;
+  const LogDataset ds = MakeBglLikeDataset(opts, &rng);
+  std::set<int> train_keys;
+  for (const auto& s : ds.train) train_keys.insert(s.begin(), s.end());
+  // Abnormal windows contain at least one key never seen in training.
+  for (size_t i = 0; i < ds.test_sessions.size(); ++i) {
+    if (!ds.test_labels[i]) continue;
+    bool has_unseen = false;
+    for (int k : ds.test_sessions[i]) {
+      has_unseen |= train_keys.count(k) == 0;
+    }
+    EXPECT_TRUE(has_unseen);
+  }
+}
+
+// ---------- Case studies ----------
+
+TEST(CaseStudyTest, DanmuBotCaseIsWellFormed) {
+  SessionGenerator generator(MakeCommentingScenario());
+  util::Rng rng(15);
+  const CaseStudy cs = MakeDanmuBotCase(generator, &rng);
+  EXPECT_FALSE(cs.description.empty());
+  EXPECT_GE(cs.normal.operations.size(), 5u);
+  EXPECT_GE(cs.suspicious.operations.size(), 5u);
+  EXPECT_EQ(cs.normal.label, sql::SessionLabel::kNormal);
+  EXPECT_TRUE(sql::IsAbnormalLabel(cs.suspicious.label));
+  int injected = 0;
+  for (const auto& op : cs.suspicious.operations) injected += op.injected;
+  EXPECT_GE(injected, 2);
+}
+
+TEST(CaseStudyTest, RepackagedAppCaseFloodsInserts) {
+  LocationOptions small;
+  small.select_variants = 3;
+  small.insert_variants = 3;
+  small.picn_insert_variants = 2;
+  small.update_variants = 3;
+  SessionGenerator generator(MakeLocationScenario(small));
+  util::Rng rng(16);
+  const CaseStudy cs = MakeRepackagedAppCase(generator, &rng);
+  int consecutive_inserts = 0, best = 0;
+  for (const auto& op : cs.suspicious.operations) {
+    if (sql::ClassifyCommand(op.sql) == sql::CommandType::kInsert) {
+      best = std::max(best, ++consecutive_inserts);
+    } else {
+      consecutive_inserts = 0;
+    }
+  }
+  EXPECT_GE(best, 8);
+}
+
+}  // namespace
+}  // namespace ucad::workload
+
+namespace ucad::workload {
+namespace {
+
+// ---------- Statement-shape and task-chain mechanisms ----------
+
+TEST(StickyShapeTest, SameUserReusesTemplatesAcrossSessions) {
+  // One user's sessions draw each family's statements from a single shape,
+  // so the set of templates a user emits for a family is a singleton.
+  LocationOptions opts;
+  opts.select_variants = 6;
+  opts.insert_variants = 6;
+  opts.picn_insert_variants = 3;
+  opts.update_variants = 6;
+  SessionGenerator generator(MakeLocationScenario(opts));
+  util::Rng rng(71);
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      templates_by_user_table;
+  for (int i = 0; i < 60; ++i) {
+    const sql::RawSession s = generator.GenerateNormal(&rng);
+    for (const auto& op : s.operations) {
+      const sql::Statement stmt = sql::ParseStatement(op.sql);
+      if (stmt.command != sql::CommandType::kInsert) continue;
+      if (stmt.table.rfind("t_cell_fp_", 0) != 0) continue;
+      templates_by_user_table[s.attrs.user][stmt.table].insert(
+          stmt.template_text);
+    }
+  }
+  int checked = 0;
+  for (const auto& [user, tables] : templates_by_user_table) {
+    for (const auto& [table, templates] : tables) {
+      EXPECT_EQ(templates.size(), 1u)
+          << user << " uses multiple shapes on " << table;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(ZipfShapeTest, HeadVariantDominates) {
+  LocationOptions opts;
+  opts.select_variants = 8;
+  opts.insert_variants = 8;
+  opts.picn_insert_variants = 3;
+  opts.update_variants = 8;
+  const ScenarioSpec spec = MakeLocationScenario(opts);
+  // The fp-select families carry Zipf weights: w0 must dominate.
+  bool found = false;
+  for (const auto& family : spec.families) {
+    if (family.shape_weights.empty()) continue;
+    found = true;
+    ASSERT_EQ(family.shape_weights.size(), family.shape_variants.size());
+    for (size_t v = 1; v < family.shape_weights.size(); ++v) {
+      EXPECT_GT(family.shape_weights[0], family.shape_weights[v]);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MarkovTaskTest, TransitionsShapeTaskSequences) {
+  // In the commenting scenario, "like" is followed by "watch" with
+  // probability 0.55 but by "moderate" with only 0.02; over many sessions
+  // the like->watch bigram must dominate like->moderate.
+  const ScenarioSpec spec = MakeCommentingScenario();
+  ASSERT_EQ(spec.task_transitions.size(), spec.tasks.size());
+  for (const auto& row : spec.task_transitions) {
+    ASSERT_EQ(row.size(), spec.tasks.size());
+    double total = 0.0;
+    for (double w : row) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+  // Behavioral check: sessions starting a "like" (sel_danmu, ins_like,
+  // sel_like) transition into watch-like reads far more often than into
+  // moderation deletes.
+  SessionGenerator generator(spec);
+  util::Rng rng(72);
+  int after_like_select = 0, after_like_delete = 0;
+  for (int i = 0; i < 200; ++i) {
+    const sql::RawSession s = generator.GenerateNormal(&rng);
+    for (size_t j = 2; j + 1 < s.operations.size(); ++j) {
+      const sql::Statement cur = sql::ParseStatement(s.operations[j].sql);
+      if (cur.table != "t_like" ||
+          cur.command != sql::CommandType::kSelect) {
+        continue;
+      }
+      const sql::Statement next =
+          sql::ParseStatement(s.operations[j + 1].sql);
+      if (next.command == sql::CommandType::kSelect) ++after_like_select;
+      if (next.command == sql::CommandType::kDelete) ++after_like_delete;
+    }
+  }
+  EXPECT_GT(after_like_select, 4 * (after_like_delete + 1));
+}
+
+}  // namespace
+}  // namespace ucad::workload
