@@ -1,24 +1,72 @@
 #ifndef UCAD_BENCH_BENCH_COMMON_H_
 #define UCAD_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "eval/dataset.h"
 #include "eval/experiment_config.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
 namespace ucad::bench {
 
-/// Prints the standard bench banner: which experiment, which scale.
+namespace internal {
+
+inline std::string& MetricsSnapshotName() {
+  static std::string name;
+  return name;
+}
+
+inline void DumpMetricsAtExit() {
+  const std::string& name = MetricsSnapshotName();
+  if (name.empty()) return;
+  const std::string path = "bench_" + name + ".json";
+  const util::Status st = obs::DefaultMetrics().WriteJsonlFile(path);
+  if (st.ok()) {
+    std::printf("metrics snapshot: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
+}
+
+/// "Table 2: comparison" -> "table_2_comparison".
+inline std::string SlugifyTitle(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+}  // namespace internal
+
+/// Prints the standard bench banner: which experiment, which scale. Also
+/// registers an exit hook that dumps the metrics registry to
+/// `bench_<slug(title)>.json` next to the printed table, so run records
+/// (loss terms, per-method timings, latency histograms) are collected
+/// machine-readably alongside every reproduction table. Set
+/// UCAD_BENCH_METRICS=0 to suppress the snapshot.
 inline void Banner(const std::string& title, eval::Scale scale) {
   std::printf("==================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("scale: %s (set UCAD_SCALE=smoke|repro|paper)\n",
               eval::ScaleName(scale));
   std::printf("==================================================\n");
+  const char* env = std::getenv("UCAD_BENCH_METRICS");
+  if (env != nullptr && std::string(env) == "0") return;
+  const bool first = internal::MetricsSnapshotName().empty();
+  internal::MetricsSnapshotName() = internal::SlugifyTitle(title);
+  if (first) std::atexit(internal::DumpMetricsAtExit);
 }
 
 /// Formats an EvalResult as the paper's Table 2 row:

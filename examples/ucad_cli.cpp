@@ -4,6 +4,12 @@
 //   ucad_cli gen-demo <log-file>            # write a synthetic demo log
 //   ucad_cli train <log-file> <model-file> [epochs]
 //   ucad_cli detect <model-file> <log-file> [top_p]
+//   ucad_cli quickstart [dir] [epochs]      # gen-demo + train + detect
+//
+// Observability flags (accepted by every command, in any position):
+//   --metrics-out <file>   dump the metrics registry as JSONL on exit
+//   --trace-out <file>     enable tracing; write Chrome trace_event JSON
+//                          (open in chrome://tracing or ui.perfetto.dev)
 //
 // Log format: one operation per line,
 //   user<TAB>address<TAB>unix_time<TAB>SQL
@@ -13,7 +19,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/log_reader.h"
 #include "transdas/detector.h"
 #include "transdas/serialization.h"
@@ -130,31 +139,104 @@ int Detect(const std::string& model_path, const std::string& log_path,
   return 0;
 }
 
+/// End-to-end demo in one process: synthesize a log, train on it, screen
+/// it. Exercises every instrumented path, so a --metrics-out snapshot from
+/// this command carries trainer, detector, and nn metrics together.
+int Quickstart(const std::string& dir, int epochs) {
+  const std::string log_path = dir + "/ucad_demo.log";
+  const std::string model_path = dir + "/ucad_demo.model";
+  int rc = GenDemo(log_path);
+  if (rc == 0) rc = Train(log_path, model_path, epochs);
+  if (rc == 0) rc = Detect(model_path, log_path, 6);
+  return rc;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  ucad_cli gen-demo <log-file>\n"
                "  ucad_cli train <log-file> <model-file> [epochs=80]\n"
-               "  ucad_cli detect <model-file> <log-file> [top_p=6]\n");
+               "  ucad_cli detect <model-file> <log-file> [top_p=6]\n"
+               "  ucad_cli quickstart [dir=.] [epochs=20]\n"
+               "observability flags (any command, any position):\n"
+               "  --metrics-out <file>  write a JSONL metrics snapshot on "
+               "exit\n"
+               "  --trace-out <file>    record trace spans; write Chrome "
+               "trace_event JSON\n"
+               "                        (open in chrome://tracing or "
+               "ui.perfetto.dev)\n");
+}
+
+/// Dumps the metrics registry / trace buffer to the paths requested via
+/// --metrics-out / --trace-out (empty = not requested).
+int WriteObservability(const std::string& metrics_out,
+                       const std::string& trace_out) {
+  int rc = 0;
+  if (!metrics_out.empty()) {
+    const util::Status st =
+        obs::DefaultMetrics().WriteJsonlFile(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    const util::Status st = obs::WriteChromeTraceFile(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("trace (%zu spans) written to %s\n",
+                  obs::TraceEventCount(), trace_out.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  // Extract the observability flags first; the positional command-line is
+  // whatever remains.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
+
+  int rc = 2;
+  const std::string command = args.empty() ? "" : args[0];
+  if (command == "gen-demo" && args.size() >= 2) {
+    rc = GenDemo(args[1]);
+  } else if (command == "train" && args.size() >= 3) {
+    rc = Train(args[1], args[2],
+               args.size() > 3 ? std::atoi(args[3].c_str()) : 80);
+  } else if (command == "detect" && args.size() >= 3) {
+    rc = Detect(args[1], args[2],
+                args.size() > 3 ? std::atoi(args[3].c_str()) : 6);
+  } else if (command == "quickstart") {
+    rc = Quickstart(args.size() > 1 ? args[1] : ".",
+                    args.size() > 2 ? std::atoi(args[2].c_str()) : 20);
+  } else {
     Usage();
     return 2;
   }
-  const std::string command = argv[1];
-  if (command == "gen-demo") {
-    return GenDemo(argv[2]);
-  }
-  if (command == "train" && argc >= 4) {
-    return Train(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 80);
-  }
-  if (command == "detect" && argc >= 4) {
-    return Detect(argv[2], argv[3], argc > 4 ? std::atoi(argv[4]) : 6);
-  }
-  Usage();
-  return 2;
+  const int obs_rc = WriteObservability(metrics_out, trace_out);
+  return rc != 0 ? rc : obs_rc;
 }

@@ -1,8 +1,11 @@
 #include "eval/runner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "transdas/detector.h"
 #include "transdas/model.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace ucad::eval {
 
@@ -13,24 +16,49 @@ double TransDasRun::MeanEpochSeconds() const {
   return total / epochs.size();
 }
 
+namespace {
+
+/// Per-method eval wall-clock, labelled so all methods of one run land in
+/// the same snapshot ("eval/train_seconds{method=DeepLog}", ...).
+void RecordMethodTiming(const std::string& method, double train_seconds,
+                        double detect_seconds) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  const obs::Labels labels = {{"method", method}};
+  reg.GetGauge("eval/train_seconds", labels)->Set(train_seconds);
+  reg.GetGauge("eval/detect_seconds", labels)->Set(detect_seconds);
+  reg.GetCounter("eval/runs_total", labels)->Increment();
+}
+
+}  // namespace
+
 TransDasRun RunTransDas(const ScenarioDataset& ds,
                         transdas::TransDasConfig model_config,
                         const transdas::TrainOptions& train_options,
                         const transdas::DetectorOptions& detector_options,
                         const std::vector<std::vector<int>>& train,
                         uint64_t model_seed) {
+  UCAD_TRACE_SPAN("eval/run_transdas");
   model_config.vocab_size = ds.vocab.size();
   util::Rng rng(model_seed);
   transdas::TransDasModel model(model_config, &rng);
   transdas::TransDasTrainer trainer(&model, train_options);
   TransDasRun run;
+  util::Timer train_timer;
   run.epochs = trainer.Train(train);
+  const double train_seconds = train_timer.ElapsedSeconds();
   transdas::TransDasDetector detector(&model, detector_options);
-  run.metrics = Evaluate(
-      [&detector](const std::vector<int>& session) {
-        return detector.DetectSession(session).abnormal;
-      },
-      ds.TestSets());
+  util::Timer detect_timer;
+  {
+    UCAD_TRACE_SPAN("eval/detect");
+    run.metrics = Evaluate(
+        [&detector](const std::vector<int>& session) {
+          return detector.DetectSession(session).abnormal;
+        },
+        ds.TestSets());
+  }
+  RecordMethodTiming("TransDAS", train_seconds,
+                     detect_timer.ElapsedSeconds());
   return run;
 }
 
@@ -69,12 +97,26 @@ std::unique_ptr<baselines::SessionDetector> MakeBaseline(
 EvalResult RunBaseline(baselines::SessionDetector* detector,
                        const ScenarioDataset& ds,
                        const std::vector<std::vector<int>>& train) {
-  detector->Train(train);
-  return Evaluate(
-      [detector](const std::vector<int>& session) {
-        return detector->IsAbnormal(session);
-      },
-      ds.TestSets());
+  UCAD_TRACE_SPAN("eval/run_baseline");
+  util::Timer train_timer;
+  {
+    UCAD_TRACE_SPAN("eval/train");
+    detector->Train(train);
+  }
+  const double train_seconds = train_timer.ElapsedSeconds();
+  util::Timer detect_timer;
+  EvalResult result;
+  {
+    UCAD_TRACE_SPAN("eval/detect");
+    result = Evaluate(
+        [detector](const std::vector<int>& session) {
+          return detector->IsAbnormal(session);
+        },
+        ds.TestSets());
+  }
+  RecordMethodTiming(detector->name(), train_seconds,
+                     detect_timer.ElapsedSeconds());
+  return result;
 }
 
 }  // namespace ucad::eval

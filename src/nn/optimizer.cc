@@ -10,14 +10,19 @@ void Optimizer::ZeroGrad() {
   for (Parameter* p : params_) p->ZeroGrad();
 }
 
-void Optimizer::ClipGradNorm(float max_norm) {
-  if (max_norm <= 0.0f) return;
+double Optimizer::GradNorm() const {
   double total = 0.0;
-  for (Parameter* p : params_) total += p->grad().SquaredNorm();
-  const double norm = std::sqrt(total);
-  if (norm <= max_norm) return;
+  for (const Parameter* p : params_) total += p->grad().SquaredNorm();
+  return std::sqrt(total);
+}
+
+double Optimizer::ClipGradNorm(float max_norm) {
+  if (max_norm <= 0.0f) return 0.0;
+  const double norm = GradNorm();
+  if (norm <= max_norm) return norm;
   const float scale = static_cast<float>(max_norm / (norm + 1e-12));
   for (Parameter* p : params_) p->grad().Scale(scale);
+  return norm;
 }
 
 Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,

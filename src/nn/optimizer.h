@@ -25,8 +25,13 @@ class Optimizer {
   /// Clears accumulated gradients without updating.
   void ZeroGrad();
 
+  /// Global L2 norm of the accumulated gradients (training-health signal).
+  double GradNorm() const;
+
   /// Clips gradients to a global L2 norm (0 disables). Call before Step().
-  void ClipGradNorm(float max_norm);
+  /// Returns the pre-clip global norm (0 when clipping is disabled), so
+  /// callers logging gradient health don't pay a second pass.
+  double ClipGradNorm(float max_norm);
 
   const std::vector<Parameter*>& params() const { return params_; }
 

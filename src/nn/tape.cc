@@ -5,6 +5,10 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace ucad::nn {
 
 VarId Tape::NewNode(Tensor value, std::function<void()> backward) {
@@ -619,6 +623,9 @@ void Tape::Backward(VarId root) {
   UCAD_CHECK(root >= 0 && root < static_cast<VarId>(nodes_.size()));
   UCAD_CHECK_EQ(nodes_[root].value.rows(), 1);
   UCAD_CHECK_EQ(nodes_[root].value.cols(), 1);
+  UCAD_TRACE_SPAN("nn/backward");
+  const bool metrics = obs::MetricsEnabled();
+  util::Timer timer;
   EnsureGrad(root);
   nodes_[root].grad.Fill(1.0f);
   // Nodes are recorded in topological order: reverse iteration is valid.
@@ -631,6 +638,14 @@ void Tape::Backward(VarId root) {
     if (node.param != nullptr && node.grad.SameShape(node.value)) {
       node.param->grad().AddInPlace(node.grad);
     }
+  }
+  if (metrics) {
+    obs::MetricsRegistry& reg = obs::DefaultMetrics();
+    reg.GetCounter("nn/backward_total")->Increment();
+    // Per-tape node count flushed once per Backward keeps the per-op
+    // recording path free of atomics.
+    reg.GetCounter("nn/tape_ops_total")->Increment(nodes_.size());
+    reg.GetHistogram("nn/backward_ms")->Observe(timer.ElapsedMillis());
   }
 }
 

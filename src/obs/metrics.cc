@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ucad::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (pre-C++20 libstdc++ lacks the
+/// native floating-point overload on some toolchains).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Compact JSON number: integers print without a fraction, everything else
+/// with enough digits to round-trip a double.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<int64_t>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(labels[i].first) + "\":\"" +
+           JsonEscape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  UCAD_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  UCAD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be increasing";
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1us .. 100s when observing milliseconds, in a 1-2.5-5 ladder.
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 2e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                     bounds_.begin();  // bounds_.size() == overflow
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  UCAD_DCHECK(i < bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::OverflowCount() const {
+  return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= target && in_bucket > 0) {
+      // Interpolate within [lower, bounds_[i]].
+      const double lower = i == 0 ? std::min(Min(), bounds_[0]) : bounds_[i - 1];
+      const double frac =
+          (target - static_cast<double>(cumulative)) / in_bucket;
+      const double hi = std::min(bounds_[i], Max());
+      const double lo = std::max(lower, Min());
+      return lo + std::clamp(frac, 0.0, 1.0) * std::max(0.0, hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return Max();  // target rank lives in the overflow bucket
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) key += "\x1f" + k + "\x1e" + v;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->labels = std::move(sorted);
+    it = entries_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, labels);
+  UCAD_CHECK(!e->gauge && !e->histogram)
+      << "metric '" << name << "' already registered with another type";
+  if (!e->counter) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, labels);
+  UCAD_CHECK(!e->counter && !e->histogram)
+      << "metric '" << name << "' already registered with another type";
+  if (!e->gauge) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreate(name, labels);
+  UCAD_CHECK(!e->counter && !e->gauge)
+      << "metric '" << name << "' already registered with another type";
+  if (!e->histogram) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    e->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e->histogram.get();
+}
+
+size_t MetricsRegistry::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, e] : entries_) {
+    os << "{\"name\":\"" << JsonEscape(e->name) << "\",\"labels\":"
+       << LabelsJson(e->labels);
+    if (e->counter) {
+      os << ",\"type\":\"counter\",\"value\":" << e->counter->Value();
+    } else if (e->gauge) {
+      os << ",\"type\":\"gauge\",\"value\":" << JsonNumber(e->gauge->Value());
+    } else if (e->histogram) {
+      const Histogram& h = *e->histogram;
+      os << ",\"type\":\"histogram\",\"count\":" << h.Count()
+         << ",\"sum\":" << JsonNumber(h.Sum())
+         << ",\"min\":" << JsonNumber(h.Min())
+         << ",\"max\":" << JsonNumber(h.Max())
+         << ",\"mean\":" << JsonNumber(h.Mean())
+         << ",\"p50\":" << JsonNumber(h.Percentile(0.50))
+         << ",\"p90\":" << JsonNumber(h.Percentile(0.90))
+         << ",\"p99\":" << JsonNumber(h.Percentile(0.99)) << ",\"buckets\":[";
+      // Non-empty finite buckets only: default ladders are wide and mostly
+      // zero, and snapshots should stay grep-able.
+      bool first = true;
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        const uint64_t c = h.BucketCount(i);
+        if (c == 0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << "{\"le\":" << JsonNumber(h.bounds()[i]) << ",\"count\":" << c
+           << "}";
+      }
+      if (h.OverflowCount() > 0) {
+        if (!first) os << ",";
+        os << "{\"le\":\"+inf\",\"count\":" << h.OverflowCount() << "}";
+      }
+      os << "]";
+    } else {
+      os << ",\"type\":\"unset\"";
+    }
+    os << "}\n";
+  }
+}
+
+util::Status MetricsRegistry::WriteJsonlFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return util::Status::NotFound("cannot open metrics output: " + path);
+  }
+  WriteJsonl(os);
+  os.flush();
+  if (!os.good()) {
+    return util::Status::Internal("short write to metrics output: " + path);
+  }
+  return util::Status::Ok();
+}
+
+MetricsRegistry& DefaultMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace ucad::obs

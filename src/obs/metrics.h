@@ -1,0 +1,159 @@
+#ifndef UCAD_OBS_METRICS_H_
+#define UCAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Label dimensions attached to a metric instance ("eval/train_seconds"
+/// with {method=DeepLog} and {method=USAD} are two distinct series).
+/// Kept sorted-by-key inside the registry so label order at the call site
+/// does not matter.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (events, items processed). Thread-safe;
+/// increments are relaxed atomics, so concurrent writers never block.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (a rate, a loss, a queue depth).
+/// Thread-safe: Set/Value are atomic loads/stores.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with percentile estimation. Observations land in
+/// the first bucket whose upper bound is >= the value; one implicit
+/// +inf overflow bucket catches the rest. Thread-safe: per-bucket counts
+/// are relaxed atomics and sum/min/max use CAS loops, so Observe() never
+/// takes a lock.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds of the finite buckets, in
+  /// strictly increasing order.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  /// Estimated value at quantile q in [0, 1], linearly interpolated inside
+  /// the bucket that contains the target rank. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in finite bucket i (parallel to bounds()).
+  uint64_t BucketCount(size_t i) const;
+  /// Count of observations above the last finite bound.
+  uint64_t OverflowCount() const;
+
+  /// Default latency-style bounds: 1us .. ~100s in a 1-2.5-5 ladder
+  /// (interpreted in whatever unit the caller observes, typically ms).
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Process-wide registry of named metrics. GetCounter/GetGauge/GetHistogram
+/// create on first use and return a stable pointer afterwards (instances
+/// are never deleted while the registry lives), so call sites may cache the
+/// pointer and skip the registry lock on the hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is consulted only on first creation of the series.
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          std::vector<double> bounds = {});
+
+  /// Writes one JSON object per line per metric series (JSONL), sorted by
+  /// name so snapshots diff cleanly. Histograms include count/sum/min/max,
+  /// p50/p90/p99, and the per-bucket cumulative counts.
+  void WriteJsonl(std::ostream& os) const;
+  util::Status WriteJsonlFile(const std::string& path) const;
+
+  /// Number of distinct metric series currently registered.
+  size_t Size() const;
+
+  /// Drops every registered series (tests and bench isolation).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  // Keyed by name + serialized sorted labels; map keeps export ordering
+  // deterministic.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+/// The process-wide default registry used by all built-in instrumentation.
+MetricsRegistry& DefaultMetrics();
+
+/// Global switch consulted by hot-path instrumentation (nn::Tape, the
+/// detector scoring loop). Collection is on by default; disabling reduces
+/// the hooks to a single relaxed atomic load.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_METRICS_H_

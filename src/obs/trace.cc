@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  int64_t start_us;
+  int64_t dur_us;
+  uint32_t tid;
+};
+
+// Global span buffer. Spans are coarse (epochs, sessions, backward passes),
+// so a mutex-guarded vector is plenty; the disabled fast path never touches
+// it. Bounded so a forgotten long-running trace cannot exhaust memory.
+constexpr size_t kMaxTraceEvents = 1u << 20;
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  bool warned_full = false;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void RecordSpan(const char* name, int64_t start_us, int64_t dur_us) {
+  TraceState& state = State();
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.events.size() >= kMaxTraceEvents) {
+    state.warned_full = true;
+    return;
+  }
+  state.events.push_back(TraceEvent{name, start_us, dur_us, tid});
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // pin the epoch before the first span
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void RecordTraceSpan(const char* name, int64_t start_us, int64_t dur_us) {
+  internal::RecordSpan(name, start_us, dur_us);
+}
+
+size_t TraceEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events.size();
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+  state.warned_full = false;
+}
+
+void WriteChromeTrace(std::ostream& os) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < state.events.size(); ++i) {
+    const TraceEvent& e = state.events[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":\"" << JsonEscape(e.name)
+       << "\",\"ph\":\"X\",\"cat\":\"ucad\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"";
+  if (state.warned_full) {
+    os << ",\"otherData\":{\"truncated\":\"event buffer full\"}";
+  }
+  os << "}\n";
+}
+
+util::Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return util::Status::NotFound("cannot open trace output: " + path);
+  }
+  WriteChromeTrace(os);
+  os.flush();
+  if (!os.good()) {
+    return util::Status::Internal("short write to trace output: " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,84 @@
+#ifndef UCAD_OBS_TRACE_H_
+#define UCAD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Tracing is off by default; spans then cost one relaxed atomic load.
+/// Enable at startup (e.g. from a --trace-out flag) before the traced
+/// region runs.
+void SetTraceEnabled(bool enabled);
+bool TraceEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+
+/// Records one completed span (Chrome trace_event "X" phase). `name` must
+/// outlive the process trace buffer — pass string literals.
+void RecordSpan(const char* name, int64_t start_us, int64_t dur_us);
+
+/// Microseconds on the steady clock, relative to process trace epoch.
+int64_t TraceNowUs();
+}  // namespace internal
+
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII wall-clock span: records [construction, destruction) under `name`
+/// on the current thread. Spans nest naturally (epoch > step > backward)
+/// and render as a flame graph in chrome://tracing / Perfetto. `name` must
+/// be a string literal (it is stored by pointer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_us_ = internal::TraceNowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_us_,
+                           internal::TraceNowUs() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null when tracing was off at entry
+  int64_t start_us_ = 0;
+};
+
+/// Manually record a completed span (for events timed by other means).
+void RecordTraceSpan(const char* name, int64_t start_us, int64_t dur_us);
+
+/// Number of spans currently buffered.
+size_t TraceEventCount();
+
+/// Discards all buffered spans.
+void ClearTrace();
+
+/// Writes the buffered spans as Chrome trace_event JSON
+/// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+void WriteChromeTrace(std::ostream& os);
+util::Status WriteChromeTraceFile(const std::string& path);
+
+}  // namespace ucad::obs
+
+/// Opens a named RAII span covering the rest of the enclosing scope:
+///   UCAD_TRACE_SPAN("trainer/epoch");
+#define UCAD_TRACE_SPAN(name) \
+  ::ucad::obs::TraceSpan UCAD_TRACE_CONCAT_(_ucad_trace_span_, __LINE__)(name)
+#define UCAD_TRACE_CONCAT_(a, b) UCAD_TRACE_CONCAT2_(a, b)
+#define UCAD_TRACE_CONCAT2_(a, b) a##b
+
+#endif  // UCAD_OBS_TRACE_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "nn/tape.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace ucad::transdas {
 
@@ -94,8 +97,32 @@ std::vector<TransDasDetector::Candidate> TransDasDetector::ExplainOperation(
   return candidates;
 }
 
+namespace {
+
+/// Flushes per-session scoring observations into the default registry:
+/// end-to-end latency, session/operation counts, and a running anomaly
+/// rate (sessions flagged / sessions scored since process start).
+void RecordDetectMetrics(const SessionVerdict& verdict, double latency_ms) {
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  reg.GetHistogram("detector/score_latency_ms")->Observe(latency_ms);
+  obs::Counter* sessions = reg.GetCounter("detector/sessions_total");
+  obs::Counter* abnormal = reg.GetCounter("detector/abnormal_sessions_total");
+  sessions->Increment();
+  if (verdict.abnormal) abnormal->Increment();
+  reg.GetCounter("detector/operations_total")
+      ->Increment(verdict.operations.size());
+  reg.GetGauge("detector/anomaly_rate")
+      ->Set(static_cast<double>(abnormal->Value()) /
+            static_cast<double>(sessions->Value()));
+}
+
+}  // namespace
+
 SessionVerdict TransDasDetector::DetectSession(
     const std::vector<int>& keys) const {
+  UCAD_TRACE_SPAN("detector/session");
+  const bool metrics = obs::MetricsEnabled();
+  util::Timer timer;
   SessionVerdict verdict;
   if (keys.size() < 2) return verdict;
   const int L = model_->config().window;
@@ -111,6 +138,7 @@ SessionVerdict TransDasDetector::DetectSession(
       if (op.abnormal) verdict.abnormal = true;
       verdict.operations.push_back(op);
     }
+    if (metrics) RecordDetectMetrics(verdict, timer.ElapsedMillis());
     return verdict;
   }
 
@@ -153,6 +181,7 @@ SessionVerdict TransDasDetector::DetectSession(
             [](const OperationVerdict& a, const OperationVerdict& b) {
               return a.position < b.position;
             });
+  if (metrics) RecordDetectMetrics(verdict, timer.ElapsedMillis());
   return verdict;
 }
 

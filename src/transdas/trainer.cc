@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -46,7 +48,7 @@ TransDasTrainer::TransDasTrainer(TransDasModel* model,
   UCAD_CHECK(model_ != nullptr);
 }
 
-nn::VarId TransDasTrainer::WindowLoss(
+TransDasTrainer::LossNodes TransDasTrainer::WindowLoss(
     nn::Tape* tape, const TrainingWindow& window,
     const std::vector<std::vector<int>>& session_key_sets,
     const std::vector<double>& negative_weights, util::Rng* rng) {
@@ -59,7 +61,7 @@ nn::VarId TransDasTrainer::WindowLoss(
   nn::VarId pos_dot = tape->SumRows(tape->Mul(outputs, pos_embed));  // [L x 1]
   // One-class cross-entropy: -log z+ == -log sigmoid(dot), stable form.
   nn::VarId ce = tape->Scale(tape->SumAll(tape->LogSigmoid(pos_dot)), -1.0f);
-  nn::VarId loss = ce;
+  nn::VarId triplet = -1;
   if (options_.use_triplet) {
     // Negative sampling: undesired keys never appear in the source session.
     const std::vector<int>& exclude = session_key_sets[window.session_index];
@@ -87,12 +89,19 @@ nn::VarId TransDasTrainer::WindowLoss(
       nn::VarId z_neg = tape->Sigmoid(neg_dot);
       nn::VarId hinge = tape->Relu(
           tape->AddScalar(tape->Sub(z_neg, z_pos), options_.margin));
-      loss = tape->Add(loss, tape->SumAll(hinge));
+      nn::VarId term = tape->SumAll(hinge);
+      triplet = (triplet < 0) ? term : tape->Add(triplet, term);
     }
   }
   // Mean over positions keeps gradient magnitudes comparable across L
   // (Tables 4/5 sweep L).
-  return tape->Scale(loss, 1.0f / static_cast<float>(L));
+  const float inv_l = 1.0f / static_cast<float>(L);
+  LossNodes nodes;
+  nodes.ce = tape->Scale(ce, inv_l);
+  nodes.triplet = (triplet < 0) ? -1 : tape->Scale(triplet, inv_l);
+  nodes.total = (nodes.triplet < 0) ? nodes.ce
+                                    : tape->Add(nodes.ce, nodes.triplet);
+  return nodes;
 }
 
 std::vector<EpochStats> TransDasTrainer::RunEpochs(
@@ -134,27 +143,59 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
     } else {
       optimizer_.set_lr(lr);
     }
+    UCAD_TRACE_SPAN("trainer/epoch");
     util::Timer timer;
     rng_.Shuffle(&windows);
     double total_loss = 0.0;
+    double total_ce = 0.0;
+    double total_triplet = 0.0;
+    double total_grad_norm = 0.0;
     for (const TrainingWindow& window : windows) {
+      UCAD_TRACE_SPAN("trainer/step");
       nn::Tape tape;
-      nn::VarId loss = WindowLoss(&tape, window, session_key_sets,
+      LossNodes loss = WindowLoss(&tape, window, session_key_sets,
                                   negative_weights, &rng_);
-      total_loss += tape.value(loss).at(0, 0);
-      tape.Backward(loss);
-      optimizer_.ClipGradNorm(options_.grad_clip);
+      total_loss += tape.value(loss.total).at(0, 0);
+      total_ce += tape.value(loss.ce).at(0, 0);
+      if (loss.triplet >= 0) total_triplet += tape.value(loss.triplet).at(0, 0);
+      tape.Backward(loss.total);
+      total_grad_norm += options_.grad_clip > 0.0f
+                             ? optimizer_.ClipGradNorm(options_.grad_clip)
+                             : optimizer_.GradNorm();
       optimizer_.Step();
       model_->FreezePaddingRow();
     }
     EpochStats es;
     es.windows = static_cast<int>(windows.size());
     es.mean_loss = total_loss / windows.size();
+    es.ce_loss = total_ce / windows.size();
+    es.triplet_loss = total_triplet / windows.size();
+    es.grad_norm = total_grad_norm / windows.size();
+    double param_sq_norm = 0.0;
+    for (const nn::Parameter* p : optimizer_.params()) {
+      param_sq_norm += p->value().SquaredNorm();
+    }
+    es.l2_penalty = 0.5 * options_.weight_decay * param_sq_norm;
     es.seconds = timer.ElapsedSeconds();
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry& reg = obs::DefaultMetrics();
+      reg.GetGauge("trainer/epoch_loss_total")->Set(es.mean_loss);
+      reg.GetGauge("trainer/epoch_loss_ce")->Set(es.ce_loss);
+      reg.GetGauge("trainer/epoch_loss_triplet")->Set(es.triplet_loss);
+      reg.GetGauge("trainer/epoch_loss_l2")->Set(es.l2_penalty);
+      reg.GetGauge("trainer/grad_norm")->Set(es.grad_norm);
+      reg.GetGauge("trainer/windows_per_sec")->Set(es.WindowsPerSecond());
+      reg.GetCounter("trainer/epochs_total")->Increment();
+      reg.GetCounter("trainer/windows_total")->Increment(windows.size());
+      reg.GetHistogram("trainer/epoch_seconds")->Observe(es.seconds);
+    }
     if (options_.verbose) {
       UCAD_LOG(INFO) << "epoch " << epoch + 1 << "/" << epochs << " loss "
-                     << es.mean_loss << " (" << es.windows << " windows, "
-                     << es.seconds << "s)";
+                     << es.mean_loss << " (ce " << es.ce_loss << ", triplet "
+                     << es.triplet_loss << ", l2 " << es.l2_penalty
+                     << ", |grad| " << es.grad_norm << "; " << es.windows
+                     << " windows, " << es.seconds << "s, "
+                     << es.WindowsPerSecond() << " win/s)";
     }
     stats.push_back(es);
   }
@@ -163,12 +204,14 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
 
 std::vector<EpochStats> TransDasTrainer::Train(
     const std::vector<std::vector<int>>& sessions) {
+  UCAD_TRACE_SPAN("trainer/train");
   return RunEpochs(sessions, options_.epochs, options_.learning_rate);
 }
 
 std::vector<EpochStats> TransDasTrainer::FineTune(
     const std::vector<std::vector<int>>& sessions, int epochs,
     float lr_scale) {
+  UCAD_TRACE_SPAN("trainer/finetune");
   return RunEpochs(sessions, epochs, options_.learning_rate * lr_scale);
 }
 

@@ -25,10 +25,27 @@ std::vector<TrainingWindow> MakeWindows(
     const std::vector<std::vector<int>>& sessions, int window, int stride);
 
 /// Per-epoch training statistics (Tables 4 and 5 report time per epoch).
+/// The combined loss (Eq. 11) is also broken into its terms so divergence
+/// of one component is visible: mean_loss = ce_loss + triplet_loss, with
+/// the L2 term realized as weight decay and reported as l2_penalty.
 struct EpochStats {
   double mean_loss = 0.0;
+  /// Mean one-class cross-entropy component per window.
+  double ce_loss = 0.0;
+  /// Mean triplet (hinge) component per window; 0 when use_triplet is off.
+  double triplet_loss = 0.0;
+  /// (weight_decay / 2) * ||θ||² at epoch end — the Eq. 11 L2 term as
+  /// realized by decoupled weight decay.
+  double l2_penalty = 0.0;
+  /// Mean pre-clip global gradient L2 norm over the epoch's steps.
+  double grad_norm = 0.0;
   double seconds = 0.0;
   int windows = 0;
+
+  /// Training throughput (windows processed per wall-clock second).
+  double WindowsPerSecond() const {
+    return seconds > 0.0 ? windows / seconds : 0.0;
+  }
 };
 
 /// Offline trainer for Trans-DAS (§5.2): unsupervised next-sequence
@@ -54,10 +71,18 @@ class TransDasTrainer {
   const TrainOptions& options() const { return options_; }
 
  private:
-  /// Builds the loss graph for one window; returns the scalar loss node.
+  /// Scalar nodes of one window's loss graph: total = ce + triplet (each
+  /// already scaled by 1/L). `triplet` is -1 when the triplet term is off.
+  struct LossNodes {
+    nn::VarId total;
+    nn::VarId ce;
+    nn::VarId triplet;
+  };
+
+  /// Builds the loss graph for one window; returns the scalar loss nodes.
   /// `negative_weights[k-1]` is the (unnormalized) probability of drawing
   /// key k as a negative sample (word2vec unigram^0.75 [27]).
-  nn::VarId WindowLoss(nn::Tape* tape, const TrainingWindow& window,
+  LossNodes WindowLoss(nn::Tape* tape, const TrainingWindow& window,
                        const std::vector<std::vector<int>>& session_key_sets,
                        const std::vector<double>& negative_weights,
                        util::Rng* rng);

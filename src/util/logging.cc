@@ -1,13 +1,24 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 
 namespace ucad::util {
 
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Small, stable per-thread id for log prefixes (std::this_thread::get_id
+/// prints as an opaque pointer-sized number; a dense counter is readable).
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,15 +49,32 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level), fatal_(fatal), enabled_(fatal || level >= GetLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":" << line
-            << "] ";
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now.time_since_epoch())
+                            .count() %
+                        1000;
+    std::tm tm_buf{};
+    localtime_r(&secs, &tm_buf);
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%02d%02d %02d:%02d:%02d.%03d",
+                  tm_buf.tm_mon + 1, tm_buf.tm_mday, tm_buf.tm_hour,
+                  tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+    stream_ << "[" << LevelName(level_) << " " << stamp << " t"
+            << LogThreadId() << " " << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str() << std::flush;
+    // One fwrite per line: stdio locks the stream around the whole call, so
+    // concurrent threads emit whole lines instead of interleaved fragments
+    // (streaming chunks through std::cerr sheds that atomicity).
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) std::abort();
 }

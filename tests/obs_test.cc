@@ -1,0 +1,496 @@
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ucad::obs {
+namespace {
+
+// ---------- Minimal JSON well-formedness checker ----------
+//
+// Recursive-descent validator (no DOM): enough to prove the JSONL and
+// Chrome-trace exports are parseable by a real JSON parser, without
+// adding a dependency.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          if (pos_ + 4 >= s_.size()) return false;
+          for (int i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               s_[pos_ - 1]));
+  }
+
+  bool Literal(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":\"x\\n\"}}"));
+  EXPECT_TRUE(IsValidJson("[]"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("{'a':1}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1} extra"));
+}
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test/events");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, SameNameSameInstance) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("test/x"), reg.GetCounter("test/x"));
+  EXPECT_NE(reg.GetCounter("test/x"), reg.GetCounter("test/y"));
+  EXPECT_EQ(reg.Size(), 2u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("test/level");
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  g->Add(0.25);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.75);
+  g->Set(-3.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -3.0);
+}
+
+// ---------- Labels ----------
+
+TEST(LabelsTest, DistinctLabelValuesAreDistinctSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("runs", {{"method", "DeepLog"}});
+  Counter* b = reg.GetCounter("runs", {{"method", "USAD"}});
+  EXPECT_NE(a, b);
+  a->Increment();
+  EXPECT_EQ(a->Value(), 1u);
+  EXPECT_EQ(b->Value(), 0u);
+}
+
+TEST(LabelsTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("runs", {{"x", "1"}, {"y", "2"}});
+  Counter* b = reg.GetCounter("runs", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.Size(), 1u);
+}
+
+TEST(LabelsTest, LabeledAndUnlabeledAreDistinct) {
+  MetricsRegistry reg;
+  EXPECT_NE(reg.GetCounter("runs"), reg.GetCounter("runs", {{"m", "a"}}));
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 555.5 / 4);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.OverflowCount(), 1u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndBracketed) {
+  Histogram h(Histogram::DefaultLatencyBounds());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.1);  // 0.1 .. 100
+  const double p50 = h.Percentile(0.50);
+  const double p90 = h.Percentile(0.90);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, h.Min());
+  EXPECT_LE(p99, h.Max());
+  // True p50 is ~50: the fixed 1-2.5-5 ladder puts it in the (25, 50]
+  // bucket; interpolation should land the estimate in a sane range.
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 60.0);
+  EXPECT_GT(p99, 50.0);
+}
+
+TEST(HistogramTest, PercentileOfUniformValue) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Observe(3.0);
+  // All mass in one bucket; min == max == 3 pins the interpolation.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 3.0);
+}
+
+// ---------- Concurrency ----------
+
+TEST(ConcurrencyTest, CountersFromManyThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg]() {
+      // Each thread resolves the series itself: exercises the registry
+      // lock as well as the counter atomics.
+      Counter* c = reg.GetCounter("test/concurrent");
+      Histogram* h = reg.GetHistogram("test/latency", {}, {1.0, 10.0});
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        h->Observe(i % 20);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("test/concurrent")->Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("test/latency")->Count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ConcurrencyTest, RegistryCreationRace) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<Counter*> seen[kThreads];
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t]() {
+      seen[t].store(reg.GetCounter("test/raced", {{"k", "v"}}));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].load(), seen[0].load());
+  }
+  EXPECT_EQ(reg.Size(), 1u);
+}
+
+// ---------- JSONL export ----------
+
+TEST(JsonlExportTest, EveryLineParsesAndCarriesExpectedFields) {
+  MetricsRegistry reg;
+  reg.GetCounter("app/events", {{"kind", "write\"quoted\""}})->Increment(7);
+  reg.GetGauge("app/ratio")->Set(0.25);
+  Histogram* h = reg.GetHistogram("app/latency_ms");
+  h->Observe(0.5);
+  h->Observe(3.0);
+
+  std::ostringstream os;
+  reg.WriteJsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_TRUE(IsValidJson(line)) << "invalid JSONL line: " << line;
+    if (line.find("\"type\":\"counter\"") != std::string::npos) {
+      saw_counter = true;
+      EXPECT_NE(line.find("\"value\":7"), std::string::npos);
+      EXPECT_NE(line.find("write\\\"quoted\\\""), std::string::npos);
+    }
+    if (line.find("\"type\":\"gauge\"") != std::string::npos) {
+      saw_gauge = true;
+      EXPECT_NE(line.find("0.25"), std::string::npos);
+    }
+    if (line.find("\"type\":\"histogram\"") != std::string::npos) {
+      saw_histogram = true;
+      EXPECT_NE(line.find("\"count\":2"), std::string::npos);
+      EXPECT_NE(line.find("\"p50\""), std::string::npos);
+      EXPECT_NE(line.find("\"buckets\""), std::string::npos);
+    }
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(JsonlExportTest, ClearEmptiesRegistry) {
+  MetricsRegistry reg;
+  reg.GetCounter("x")->Increment();
+  reg.Clear();
+  EXPECT_EQ(reg.Size(), 0u);
+  std::ostringstream os;
+  reg.WriteJsonl(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// ---------- Trace spans ----------
+
+/// Serializes tests that toggle the global trace state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearTrace();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  SetTraceEnabled(false);
+  { UCAD_TRACE_SPAN("unseen"); }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansAreRecorded) {
+  {
+    UCAD_TRACE_SPAN("outer");
+    {
+      UCAD_TRACE_SPAN("inner");
+    }
+    { UCAD_TRACE_SPAN("inner2"); }
+  }
+  EXPECT_EQ(TraceEventCount(), 3u);
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Inner spans complete (and are recorded) before the outer span.
+  const size_t outer = json.find("\"outer\"");
+  const size_t inner = json.find("\"inner\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  EXPECT_LT(inner, outer);
+}
+
+TEST_F(TraceTest, SpanHalfOpenAtDisableStillSafe) {
+  // A span constructed while tracing is on records even if tracing is
+  // turned off mid-span (name_ was latched); one constructed while off
+  // records nothing even if tracing turns on before destruction.
+  {
+    UCAD_TRACE_SPAN("latched");
+    SetTraceEnabled(false);
+  }
+  EXPECT_EQ(TraceEventCount(), 1u);
+  {
+    UCAD_TRACE_SPAN("missed");
+    SetTraceEnabled(true);
+  }
+  EXPECT_EQ(TraceEventCount(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceShapeAndThreads) {
+  { UCAD_TRACE_SPAN("main_thread"); }
+  std::thread t([]() { UCAD_TRACE_SPAN("worker_thread"); });
+  t.join();
+  EXPECT_EQ(TraceEventCount(), 2u);
+
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // The two spans ran on different threads and must carry different tids.
+  const size_t first_tid = json.find("\"tid\":");
+  const size_t second_tid = json.find("\"tid\":", first_tid + 1);
+  ASSERT_NE(second_tid, std::string::npos);
+  EXPECT_NE(json.substr(first_tid, json.find(',', first_tid) - first_tid),
+            json.substr(second_tid, json.find(',', second_tid) - second_tid));
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([]() {
+      for (int i = 0; i < kSpans; ++i) {
+        UCAD_TRACE_SPAN("stress");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(TraceEventCount(), static_cast<size_t>(kThreads) * kSpans);
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  EXPECT_TRUE(IsValidJson(os.str()));
+}
+
+// ---------- Global toggles ----------
+
+TEST(MetricsEnabledTest, ToggleRoundTrips) {
+  EXPECT_TRUE(MetricsEnabled());  // default on
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <set>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -12,6 +15,40 @@
 
 namespace ucad::util {
 namespace {
+
+// ---------- Logging ----------
+
+TEST(LoggingTest, ConcurrentLogLinesDoNotInterleave) {
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t]() {
+        for (int i = 0; i < kLines; ++i) {
+          UCAD_LOG(INFO) << "thread=" << t << " line=" << i << " end";
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  std::istringstream is(captured);
+  std::string line;
+  int count = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++count;
+    // Each line is written with a single fwrite, so it must be whole:
+    // prefix [INFO <stamp> t<id> file:line] and the full message.
+    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << "shredded line: " << line;
+    EXPECT_NE(line.find("util_test.cc"), std::string::npos) << line;
+    EXPECT_NE(line.find(" t"), std::string::npos) << line;
+    EXPECT_EQ(line.substr(line.size() - 4), " end") << "torn line: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
 
 // ---------- Status / Result ----------
 
