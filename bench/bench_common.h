@@ -9,6 +9,9 @@
 #include "eval/dataset.h"
 #include "eval/experiment_config.h"
 #include "eval/metrics.h"
+#include "nn/tape.h"
+#include "nn/tensor.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -22,15 +25,35 @@ inline std::string& MetricsSnapshotName() {
   return name;
 }
 
+/// Manifest anchored at Banner time so wall_seconds covers the whole bench.
+inline obs::RunManifest& BenchManifest() {
+  static obs::RunManifest manifest;
+  return manifest;
+}
+
 inline void DumpMetricsAtExit() {
   const std::string& name = MetricsSnapshotName();
   if (name.empty()) return;
+  // Fold allocator + profiler state into the registry before snapshotting so
+  // both the JSONL file and the manifest carry them.
+  nn::PublishTensorMemMetrics();
+  nn::TapeProfiler::ExportTo(&obs::DefaultMetrics());
   const std::string path = "bench_" + name + ".json";
   const util::Status st = obs::DefaultMetrics().WriteJsonlFile(path);
   if (st.ok()) {
     std::printf("metrics snapshot: %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
+  obs::RunManifest& manifest = BenchManifest();
+  manifest.AddNote("peak_live_tensor_bytes",
+                   std::to_string(nn::TensorMemStats().peak_live_bytes));
+  const std::string run_path = "bench_" + name + ".run.json";
+  const util::Status mst = manifest.WriteFile(run_path);
+  if (mst.ok()) {
+    std::printf("run manifest: %s\n", run_path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", mst.ToString().c_str());
   }
 }
 
@@ -66,6 +89,9 @@ inline void Banner(const std::string& title, eval::Scale scale) {
   if (env != nullptr && std::string(env) == "0") return;
   const bool first = internal::MetricsSnapshotName().empty();
   internal::MetricsSnapshotName() = internal::SlugifyTitle(title);
+  internal::BenchManifest()
+      .SetTool("bench/" + internal::MetricsSnapshotName())
+      .AddNote("scale", eval::ScaleName(scale));
   if (first) std::atexit(internal::DumpMetricsAtExit);
 }
 

@@ -10,6 +10,10 @@
 //   --metrics-out <file>   dump the metrics registry as JSONL on exit
 //   --trace-out <file>     enable tracing; write Chrome trace_event JSON
 //                          (open in chrome://tracing or ui.perfetto.dev)
+//   --profile              per-op autograd profile table + tensor memory
+//                          accounting, printed on exit
+//   --manifest-out <file>  write a run manifest (run.json) with provenance,
+//                          resource usage, and the final metrics snapshot
 //
 // Log format: one operation per line,
 //   user<TAB>address<TAB>unix_time<TAB>SQL
@@ -21,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "nn/tape.h"
+#include "nn/tensor.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/log_reader.h"
@@ -33,9 +40,17 @@ using namespace ucad;  // NOLINT
 
 namespace {
 
+/// Set while --manifest-out is active so the command handlers can record
+/// their seeds/configs into the run manifest.
+obs::RunManifest* g_manifest = nullptr;
+
 int GenDemo(const std::string& path) {
+  constexpr uint64_t kGenSeed = 99;
   workload::SessionGenerator generator(workload::MakeCommentingScenario());
-  util::Rng rng(99);
+  util::Rng rng(kGenSeed);
+  if (g_manifest != nullptr) {
+    g_manifest->AddNote("gen_demo_seed", std::to_string(kGenSeed));
+  }
   const auto sessions = generator.GenerateNormalBatch(200, &rng);
   std::ofstream os(path);
   if (!os.is_open()) {
@@ -76,7 +91,18 @@ int Train(const std::string& log_path, const std::string& model_path,
   config.hidden_dim = 16;
   config.num_heads = 2;
   config.num_blocks = 3;
-  util::Rng rng(7);
+  constexpr uint64_t kModelSeed = 7;
+  if (g_manifest != nullptr) {
+    g_manifest->SetSeed(kModelSeed);
+    g_manifest->SetConfigText(
+        "vocab=" + std::to_string(config.vocab_size) +
+        ";window=" + std::to_string(config.window) +
+        ";hidden=" + std::to_string(config.hidden_dim) +
+        ";heads=" + std::to_string(config.num_heads) +
+        ";blocks=" + std::to_string(config.num_blocks) +
+        ";epochs=" + std::to_string(epochs));
+  }
+  util::Rng rng(kModelSeed);
   transdas::TransDasModel model(config, &rng);
   transdas::TrainOptions training;
   training.epochs = epochs;
@@ -164,13 +190,25 @@ void Usage() {
                "  --trace-out <file>    record trace spans; write Chrome "
                "trace_event JSON\n"
                "                        (open in chrome://tracing or "
-               "ui.perfetto.dev)\n");
+               "ui.perfetto.dev)\n"
+               "  --profile             per-op autograd profile (fwd/bwd "
+               "time, FLOPs, bytes)\n"
+               "                        + tensor memory accounting; table "
+               "printed on exit\n"
+               "  --manifest-out <file> write a run manifest: git SHA, "
+               "build flags, seed,\n"
+               "                        config hash, hardware, peak RSS, "
+               "final metrics\n");
 }
 
-/// Dumps the metrics registry / trace buffer to the paths requested via
-/// --metrics-out / --trace-out (empty = not requested).
+/// Dumps the metrics registry / trace buffer / run manifest to the paths
+/// requested via --metrics-out / --trace-out / --manifest-out (empty = not
+/// requested). `manifest` must already hold the final registry state — the
+/// profiler/memory exports happen in main() before this runs.
 int WriteObservability(const std::string& metrics_out,
-                       const std::string& trace_out) {
+                       const std::string& trace_out,
+                       const std::string& manifest_out,
+                       const obs::RunManifest& manifest) {
   int rc = 0;
   if (!metrics_out.empty()) {
     const util::Status st =
@@ -192,6 +230,15 @@ int WriteObservability(const std::string& metrics_out,
                   obs::TraceEventCount(), trace_out.c_str());
     }
   }
+  if (!manifest_out.empty()) {
+    const util::Status st = manifest.WriteFile(manifest_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("run manifest written to %s\n", manifest_out.c_str());
+    }
+  }
   return rc;
 }
 
@@ -202,15 +249,24 @@ int main(int argc, char** argv) {
   // whatever remains.
   std::string metrics_out;
   std::string trace_out;
+  std::string manifest_out;
+  bool profile = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (arg == "--metrics-out" || arg == "--trace-out" ||
+        arg == "--manifest-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
         return 2;
       }
-      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+      std::string& out = arg == "--metrics-out"
+                             ? metrics_out
+                             : (arg == "--trace-out" ? trace_out
+                                                     : manifest_out);
+      out = argv[++i];
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -219,6 +275,13 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  if (profile) {
+    nn::TapeProfiler::SetEnabled(true);
+    nn::SetTensorMemTrackingEnabled(true);
+  }
+  obs::RunManifest manifest("ucad_cli");
+  manifest.SetCommandLine(argc, argv);
+  g_manifest = &manifest;
 
   int rc = 2;
   const std::string command = args.empty() ? "" : args[0];
@@ -237,6 +300,17 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  const int obs_rc = WriteObservability(metrics_out, trace_out);
+  if (profile) {
+    std::printf("%s", nn::TapeProfiler::FormatTable().c_str());
+    nn::TapeProfiler::ExportTo(&obs::DefaultMetrics());
+  }
+  // Fold allocator state into the registry (zeros when tracking is off) so
+  // snapshots and the manifest both carry it.
+  nn::PublishTensorMemMetrics();
+  manifest.AddNote("peak_live_tensor_bytes",
+                   std::to_string(nn::TensorMemStats().peak_live_bytes));
+  const int obs_rc =
+      WriteObservability(metrics_out, trace_out, manifest_out, manifest);
+  g_manifest = nullptr;
   return rc != 0 ? rc : obs_rc;
 }

@@ -1,5 +1,8 @@
 #include "eval/runner.h"
 
+#include <cctype>
+
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "transdas/detector.h"
@@ -18,8 +21,25 @@ double TransDasRun::MeanEpochSeconds() const {
 
 namespace {
 
+/// Metric-name-safe method slug: "Mazzawi et al." -> "mazzawi_et_al".
+std::string MethodSlug(const std::string& method) {
+  std::string slug;
+  for (char c : method) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
 /// Per-method eval wall-clock, labelled so all methods of one run land in
-/// the same snapshot ("eval/train_seconds{method=DeepLog}", ...).
+/// the same snapshot ("eval/train_seconds{method=DeepLog}", ...). The
+/// slug-named histograms ("eval/deeplog/train_ms") are what bench_compare
+/// gates on: histogram `min` across repeated runs is the noise-robust
+/// statistic, where a gauge would only keep the last sample.
 void RecordMethodTiming(const std::string& method, double train_seconds,
                         double detect_seconds) {
   if (!obs::MetricsEnabled()) return;
@@ -28,6 +48,14 @@ void RecordMethodTiming(const std::string& method, double train_seconds,
   reg.GetGauge("eval/train_seconds", labels)->Set(train_seconds);
   reg.GetGauge("eval/detect_seconds", labels)->Set(detect_seconds);
   reg.GetCounter("eval/runs_total", labels)->Increment();
+  const std::string slug = MethodSlug(method);
+  reg.GetHistogram("eval/" + slug + "/train_ms")->Observe(train_seconds * 1e3);
+  reg.GetHistogram("eval/" + slug + "/detect_ms")
+      ->Observe(detect_seconds * 1e3);
+  // Phase-boundary RSS high-water mark: training a method is the natural
+  // allocation peak, so refreshing here makes run.json attribution useful.
+  reg.GetGauge("proc/peak_rss_bytes")
+      ->Set(static_cast<double>(obs::PeakRssBytes()));
 }
 
 }  // namespace

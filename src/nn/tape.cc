@@ -1,19 +1,250 @@
 #include "nn/tape.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/table_printer.h"
 #include "util/timer.h"
 
 namespace ucad::nn {
 
-VarId Tape::NewNode(Tensor value, std::function<void()> backward) {
+namespace {
+
+constexpr size_t kNumOpKinds = static_cast<size_t>(OpKind::kCount);
+
+/// Relaxed-atomic accumulators, one slot per OpKind. Never destroyed.
+struct OpAccum {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> backward_calls{0};
+  std::atomic<int64_t> forward_ns{0};
+  std::atomic<int64_t> backward_ns{0};
+  std::atomic<uint64_t> flops{0};
+  std::atomic<uint64_t> bytes{0};
+};
+
+OpAccum g_op_accums[kNumOpKinds];
+
+int64_t ProfNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII forward-pass timer for one op. Latches the enabled flag at entry so
+/// a mid-op toggle cannot record a garbage duration.
+class OpScope {
+ public:
+  explicit OpScope(OpKind kind) {
+    if (TapeProfiler::Enabled()) {
+      kind_ = kind;
+      active_ = true;
+      start_ns_ = ProfNowNs();
+    }
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// Estimated forward FLOPs / bytes touched; call before scope exit.
+  void SetCost(uint64_t flops, uint64_t bytes) {
+    flops_ = flops;
+    bytes_ = bytes;
+  }
+
+  ~OpScope() {
+    if (active_) {
+      TapeProfiler::RecordForward(kind_, ProfNowNs() - start_ns_, flops_,
+                                  bytes_);
+    }
+  }
+
+ private:
+  OpKind kind_ = OpKind::kCount;
+  bool active_ = false;
+  int64_t start_ns_ = 0;
+  uint64_t flops_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// sizeof(float) as uint64 so byte estimates don't overflow int.
+constexpr uint64_t kF = sizeof(float);
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+std::string FormatDouble2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConstant:
+      return "constant";
+    case OpKind::kLeaf:
+      return "leaf";
+    case OpKind::kParam:
+      return "param";
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kSub:
+      return "sub";
+    case OpKind::kMul:
+      return "mul";
+    case OpKind::kAddRowVector:
+      return "add_row_vector";
+    case OpKind::kMulRowVector:
+      return "mul_row_vector";
+    case OpKind::kScale:
+      return "scale";
+    case OpKind::kAddScalar:
+      return "add_scalar";
+    case OpKind::kRelu:
+      return "relu";
+    case OpKind::kSigmoid:
+      return "sigmoid";
+    case OpKind::kTanh:
+      return "tanh";
+    case OpKind::kLogSigmoid:
+      return "log_sigmoid";
+    case OpKind::kMatMul:
+      return "matmul";
+    case OpKind::kTranspose:
+      return "transpose";
+    case OpKind::kSliceCols:
+      return "slice_cols";
+    case OpKind::kConcatCols:
+      return "concat_cols";
+    case OpKind::kConcatRows:
+      return "concat_rows";
+    case OpKind::kRow:
+      return "row";
+    case OpKind::kSumRows:
+      return "sum_rows";
+    case OpKind::kSumAll:
+      return "sum_all";
+    case OpKind::kSoftmaxRows:
+      return "softmax_rows";
+    case OpKind::kLayerNormRows:
+      return "layer_norm_rows";
+    case OpKind::kDropout:
+      return "dropout";
+    case OpKind::kEmbeddingGather:
+      return "embedding_gather";
+    case OpKind::kSoftmaxCrossEntropy:
+      return "softmax_cross_entropy";
+    case OpKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::atomic<bool> TapeProfiler::enabled_{false};
+
+void TapeProfiler::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TapeProfiler::Reset() {
+  for (OpAccum& a : g_op_accums) {
+    a.calls.store(0, std::memory_order_relaxed);
+    a.backward_calls.store(0, std::memory_order_relaxed);
+    a.forward_ns.store(0, std::memory_order_relaxed);
+    a.backward_ns.store(0, std::memory_order_relaxed);
+    a.flops.store(0, std::memory_order_relaxed);
+    a.bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TapeProfiler::RecordForward(OpKind kind, int64_t dur_ns, uint64_t flops,
+                                 uint64_t bytes) {
+  OpAccum& a = g_op_accums[static_cast<size_t>(kind)];
+  a.calls.fetch_add(1, std::memory_order_relaxed);
+  a.forward_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  a.flops.fetch_add(flops, std::memory_order_relaxed);
+  a.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void TapeProfiler::RecordBackward(OpKind kind, int64_t dur_ns) {
+  OpAccum& a = g_op_accums[static_cast<size_t>(kind)];
+  a.backward_calls.fetch_add(1, std::memory_order_relaxed);
+  a.backward_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+}
+
+std::vector<OpProfile> TapeProfiler::Snapshot() {
+  std::vector<OpProfile> rows;
+  for (size_t k = 0; k < kNumOpKinds; ++k) {
+    const OpAccum& a = g_op_accums[k];
+    OpProfile row;
+    row.kind = static_cast<OpKind>(k);
+    row.name = OpKindName(row.kind);
+    row.calls = a.calls.load(std::memory_order_relaxed);
+    row.backward_calls = a.backward_calls.load(std::memory_order_relaxed);
+    row.forward_ms = a.forward_ns.load(std::memory_order_relaxed) * 1e-6;
+    row.backward_ms = a.backward_ns.load(std::memory_order_relaxed) * 1e-6;
+    row.flops = a.flops.load(std::memory_order_relaxed);
+    row.bytes = a.bytes.load(std::memory_order_relaxed);
+    if (row.calls == 0 && row.backward_calls == 0) continue;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const OpProfile& x, const OpProfile& y) {
+    return x.TotalMs() > y.TotalMs();
+  });
+  return rows;
+}
+
+std::string TapeProfiler::FormatTable() {
+  const std::vector<OpProfile> rows = Snapshot();
+  if (rows.empty()) return "";
+  double grand_total_ms = 0.0;
+  for (const OpProfile& r : rows) grand_total_ms += r.TotalMs();
+  util::TablePrinter table(
+      {"op", "calls", "fwd ms", "bwd ms", "total ms", "%", "MFLOP", "GFLOP/s",
+       "MB"});
+  for (const OpProfile& r : rows) {
+    const double pct =
+        grand_total_ms > 0.0 ? 100.0 * r.TotalMs() / grand_total_ms : 0.0;
+    const double mflop = static_cast<double>(r.flops) * 1e-6;
+    const double gflops =
+        r.forward_ms > 0.0
+            ? static_cast<double>(r.flops) / (r.forward_ms * 1e-3) * 1e-9
+            : 0.0;
+    table.AddRow({r.name, std::to_string(r.calls), FormatMs(r.forward_ms),
+                  FormatMs(r.backward_ms), FormatMs(r.TotalMs()),
+                  FormatDouble2(pct), FormatDouble2(mflop),
+                  FormatDouble2(gflops),
+                  FormatDouble2(static_cast<double>(r.bytes) / (1 << 20))});
+  }
+  return table.ToString();
+}
+
+void TapeProfiler::ExportTo(obs::MetricsRegistry* registry) {
+  for (const OpProfile& r : Snapshot()) {
+    const obs::Labels labels = {{"op", r.name}};
+    registry->GetCounter("nn/op/calls", labels)->Increment(r.calls);
+    registry->GetCounter("nn/op/backward_calls", labels)
+        ->Increment(r.backward_calls);
+    registry->GetGauge("nn/op/forward_ms", labels)->Set(r.forward_ms);
+    registry->GetGauge("nn/op/backward_ms", labels)->Set(r.backward_ms);
+    registry->GetCounter("nn/op/flops", labels)->Increment(r.flops);
+    registry->GetCounter("nn/op/bytes", labels)->Increment(r.bytes);
+  }
+}
+
+VarId Tape::NewNode(OpKind kind, Tensor value, std::function<void()> backward) {
   nodes_.push_back(Node{std::move(value), Tensor(), std::move(backward),
-                        /*param=*/nullptr});
+                        /*param=*/nullptr, kind});
   return static_cast<VarId>(nodes_.size() - 1);
 }
 
@@ -39,21 +270,29 @@ const Tensor& Tape::grad(VarId v) const {
   return nodes_[v].grad;
 }
 
-VarId Tape::Constant(Tensor value) { return NewNode(std::move(value)); }
+VarId Tape::Constant(Tensor value) {
+  return NewNode(OpKind::kConstant, std::move(value));
+}
 
-VarId Tape::Leaf(Tensor value) { return NewNode(std::move(value)); }
+VarId Tape::Leaf(Tensor value) {
+  return NewNode(OpKind::kLeaf, std::move(value));
+}
 
 VarId Tape::Param(Parameter* param) {
-  VarId v = NewNode(param->value());
+  OpScope prof(OpKind::kParam);
+  prof.SetCost(0, 2 * kF * param->value().size());
+  VarId v = NewNode(OpKind::kParam, param->value());
   nodes_[v].param = param;
   return v;
 }
 
 VarId Tape::Add(VarId a, VarId b) {
+  OpScope prof(OpKind::kAdd);
   UCAD_CHECK(value(a).SameShape(value(b)));
   Tensor out = value(a);
   out.AddInPlace(value(b));
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 3 * kF * out.size());
+  VarId v = NewNode(OpKind::kAdd, std::move(out));
   nodes_[v].backward = [this, v, a, b]() {
     MutableGrad(a).AddInPlace(grad(v));
     MutableGrad(b).AddInPlace(grad(v));
@@ -62,10 +301,12 @@ VarId Tape::Add(VarId a, VarId b) {
 }
 
 VarId Tape::Sub(VarId a, VarId b) {
+  OpScope prof(OpKind::kSub);
   UCAD_CHECK(value(a).SameShape(value(b)));
   Tensor out = value(a);
   out.AddScaled(value(b), -1.0f);
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 3 * kF * out.size());
+  VarId v = NewNode(OpKind::kSub, std::move(out));
   nodes_[v].backward = [this, v, a, b]() {
     MutableGrad(a).AddInPlace(grad(v));
     MutableGrad(b).AddScaled(grad(v), -1.0f);
@@ -74,6 +315,7 @@ VarId Tape::Sub(VarId a, VarId b) {
 }
 
 VarId Tape::Mul(VarId a, VarId b) {
+  OpScope prof(OpKind::kMul);
   UCAD_CHECK(value(a).SameShape(value(b)));
   const Tensor& va = value(a);
   const Tensor& vb = value(b);
@@ -81,7 +323,8 @@ VarId Tape::Mul(VarId a, VarId b) {
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = va.data()[i] * vb.data()[i];
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 3 * kF * out.size());
+  VarId v = NewNode(OpKind::kMul, std::move(out));
   nodes_[v].backward = [this, v, a, b]() {
     const Tensor& g = grad(v);
     const Tensor& va2 = value(a);
@@ -97,6 +340,7 @@ VarId Tape::Mul(VarId a, VarId b) {
 }
 
 VarId Tape::AddRowVector(VarId a, VarId bias) {
+  OpScope prof(OpKind::kAddRowVector);
   const Tensor& va = value(a);
   const Tensor& vb = value(bias);
   UCAD_CHECK_EQ(vb.rows(), 1);
@@ -106,7 +350,8 @@ VarId Tape::AddRowVector(VarId a, VarId bias) {
     float* orow = out.row(r);
     for (int c = 0; c < out.cols(); ++c) orow[c] += vb.at(0, c);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kAddRowVector, std::move(out));
   nodes_[v].backward = [this, v, a, bias]() {
     const Tensor& g = grad(v);
     MutableGrad(a).AddInPlace(g);
@@ -120,6 +365,7 @@ VarId Tape::AddRowVector(VarId a, VarId bias) {
 }
 
 VarId Tape::MulRowVector(VarId a, VarId scale) {
+  OpScope prof(OpKind::kMulRowVector);
   const Tensor& va = value(a);
   const Tensor& vs = value(scale);
   UCAD_CHECK_EQ(vs.rows(), 1);
@@ -129,7 +375,8 @@ VarId Tape::MulRowVector(VarId a, VarId scale) {
     float* orow = out.row(r);
     for (int c = 0; c < out.cols(); ++c) orow[c] *= vs.at(0, c);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kMulRowVector, std::move(out));
   nodes_[v].backward = [this, v, a, scale]() {
     const Tensor& g = grad(v);
     const Tensor& va2 = value(a);
@@ -147,9 +394,11 @@ VarId Tape::MulRowVector(VarId a, VarId scale) {
 }
 
 VarId Tape::Scale(VarId a, float c) {
+  OpScope prof(OpKind::kScale);
   Tensor out = value(a);
   out.Scale(c);
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kScale, std::move(out));
   nodes_[v].backward = [this, v, a, c]() {
     MutableGrad(a).AddScaled(grad(v), c);
   };
@@ -157,9 +406,11 @@ VarId Tape::Scale(VarId a, float c) {
 }
 
 VarId Tape::AddScalar(VarId a, float c) {
+  OpScope prof(OpKind::kAddScalar);
   Tensor out = value(a);
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] += c;
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kAddScalar, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     MutableGrad(a).AddInPlace(grad(v));
   };
@@ -167,11 +418,13 @@ VarId Tape::AddScalar(VarId a, float c) {
 }
 
 VarId Tape::Relu(VarId a) {
+  OpScope prof(OpKind::kRelu);
   Tensor out = value(a);
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = std::max(0.0f, out.data()[i]);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kRelu, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const Tensor& g = grad(v);
     const Tensor& va = value(a);
@@ -197,11 +450,13 @@ float StableSigmoid(float x) {
 }  // namespace
 
 VarId Tape::Sigmoid(VarId a) {
+  OpScope prof(OpKind::kSigmoid);
   Tensor out = value(a);
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = StableSigmoid(out.data()[i]);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(4 * out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kSigmoid, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const Tensor& g = grad(v);
     const Tensor& y = value(v);
@@ -215,11 +470,13 @@ VarId Tape::Sigmoid(VarId a) {
 }
 
 VarId Tape::Tanh(VarId a) {
+  OpScope prof(OpKind::kTanh);
   Tensor out = value(a);
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = std::tanh(out.data()[i]);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(4 * out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kTanh, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const Tensor& g = grad(v);
     const Tensor& y = value(v);
@@ -233,6 +490,7 @@ VarId Tape::Tanh(VarId a) {
 }
 
 VarId Tape::LogSigmoid(VarId a) {
+  OpScope prof(OpKind::kLogSigmoid);
   // log sigmoid(x) = -softplus(-x) = -(log(1 + exp(-x))); stable split.
   const Tensor& va = value(a);
   Tensor out(va.rows(), va.cols());
@@ -241,7 +499,8 @@ VarId Tape::LogSigmoid(VarId a) {
     out.data()[i] =
         x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(4 * out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kLogSigmoid, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     // d/dx log sigmoid(x) = 1 - sigmoid(x).
     const Tensor& g = grad(v);
@@ -255,11 +514,14 @@ VarId Tape::LogSigmoid(VarId a) {
 }
 
 VarId Tape::MatMul(VarId a, VarId b) {
+  OpScope prof(OpKind::kMatMul);
   const Tensor& va = value(a);
   const Tensor& vb = value(b);
   Tensor out(va.rows(), vb.cols());
   nn::MatMul(va, vb, &out);
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(2ull * va.rows() * va.cols() * vb.cols(),
+               kF * (va.size() + vb.size() + out.size()));
+  VarId v = NewNode(OpKind::kMatMul, std::move(out));
   nodes_[v].backward = [this, v, a, b]() {
     const Tensor& g = grad(v);
     // dA += dOut * B^T ; dB += A^T * dOut.
@@ -270,12 +532,14 @@ VarId Tape::MatMul(VarId a, VarId b) {
 }
 
 VarId Tape::Transpose(VarId a) {
+  OpScope prof(OpKind::kTranspose);
   const Tensor& va = value(a);
   Tensor out(va.cols(), va.rows());
   for (int r = 0; r < va.rows(); ++r) {
     for (int c = 0; c < va.cols(); ++c) out.at(c, r) = va.at(r, c);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kTranspose, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const Tensor& g = grad(v);
     Tensor& ga = MutableGrad(a);
@@ -287,6 +551,7 @@ VarId Tape::Transpose(VarId a) {
 }
 
 VarId Tape::SliceCols(VarId a, int start, int len) {
+  OpScope prof(OpKind::kSliceCols);
   const Tensor& va = value(a);
   UCAD_CHECK_GE(start, 0);
   UCAD_CHECK_LE(start + len, va.cols());
@@ -294,7 +559,8 @@ VarId Tape::SliceCols(VarId a, int start, int len) {
   for (int r = 0; r < va.rows(); ++r) {
     for (int c = 0; c < len; ++c) out.at(r, c) = va.at(r, start + c);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kSliceCols, std::move(out));
   nodes_[v].backward = [this, v, a, start, len]() {
     const Tensor& g = grad(v);
     Tensor& ga = MutableGrad(a);
@@ -306,6 +572,7 @@ VarId Tape::SliceCols(VarId a, int start, int len) {
 }
 
 VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
+  OpScope prof(OpKind::kConcatCols);
   UCAD_CHECK(!parts.empty());
   const int rows = value(parts[0]).rows();
   int total_cols = 0;
@@ -322,7 +589,8 @@ VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
     }
     offset += vp.cols();
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kConcatCols, std::move(out));
   std::vector<VarId> parts_copy = parts;
   nodes_[v].backward = [this, v, parts_copy]() {
     const Tensor& g = grad(v);
@@ -339,6 +607,7 @@ VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
 }
 
 VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
+  OpScope prof(OpKind::kConcatRows);
   UCAD_CHECK(!parts.empty());
   const int cols = value(parts[0]).cols();
   int total_rows = 0;
@@ -355,7 +624,8 @@ VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
     }
     offset += vp.rows();
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kConcatRows, std::move(out));
   std::vector<VarId> parts_copy = parts;
   nodes_[v].backward = [this, v, parts_copy]() {
     const Tensor& g = grad(v);
@@ -372,11 +642,13 @@ VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
 }
 
 VarId Tape::Row(VarId a, int r) {
+  OpScope prof(OpKind::kRow);
   const Tensor& va = value(a);
   UCAD_CHECK(r >= 0 && r < va.rows());
   Tensor out(1, va.cols());
   for (int c = 0; c < va.cols(); ++c) out.at(0, c) = va.at(r, c);
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kRow, std::move(out));
   nodes_[v].backward = [this, v, a, r]() {
     const Tensor& g = grad(v);
     Tensor& ga = MutableGrad(a);
@@ -386,6 +658,7 @@ VarId Tape::Row(VarId a, int r) {
 }
 
 VarId Tape::SumRows(VarId a) {
+  OpScope prof(OpKind::kSumRows);
   const Tensor& va = value(a);
   Tensor out(va.rows(), 1);
   for (int r = 0; r < va.rows(); ++r) {
@@ -393,7 +666,8 @@ VarId Tape::SumRows(VarId a) {
     for (int c = 0; c < va.cols(); ++c) s += va.at(r, c);
     out.at(r, 0) = static_cast<float>(s);
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(va.size(), kF * (va.size() + out.size()));
+  VarId v = NewNode(OpKind::kSumRows, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const Tensor& g = grad(v);
     Tensor& ga = MutableGrad(a);
@@ -406,9 +680,11 @@ VarId Tape::SumRows(VarId a) {
 }
 
 VarId Tape::SumAll(VarId a) {
+  OpScope prof(OpKind::kSumAll);
   Tensor out(1, 1);
   out.at(0, 0) = value(a).Sum();
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(value(a).size(), kF * value(a).size());
+  VarId v = NewNode(OpKind::kSumAll, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     const float g = grad(v).at(0, 0);
     Tensor& ga = MutableGrad(a);
@@ -424,6 +700,7 @@ VarId Tape::MeanAll(VarId a) {
 }
 
 VarId Tape::SoftmaxRows(VarId a) {
+  OpScope prof(OpKind::kSoftmaxRows);
   const Tensor& va = value(a);
   Tensor out(va.rows(), va.cols());
   for (int r = 0; r < va.rows(); ++r) {
@@ -439,7 +716,8 @@ VarId Tape::SoftmaxRows(VarId a) {
     const float inv = static_cast<float>(1.0 / sum);
     for (int c = 0; c < va.cols(); ++c) o[c] *= inv;
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(5 * out.size(), 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kSoftmaxRows, std::move(out));
   nodes_[v].backward = [this, v, a]() {
     // dx = (dy - rowdot(dy, y)) ⊙ y.
     const Tensor& g = grad(v);
@@ -460,6 +738,7 @@ VarId Tape::SoftmaxRows(VarId a) {
 }
 
 VarId Tape::LayerNormRows(VarId x, VarId gain, VarId bias, float eps) {
+  OpScope prof(OpKind::kLayerNormRows);
   const Tensor& vx = value(x);
   const Tensor& vg = value(gain);
   const Tensor& vb = value(bias);
@@ -491,7 +770,8 @@ VarId Tape::LayerNormRows(VarId x, VarId gain, VarId bias, float eps) {
       out.at(r, c) = vg.at(0, c) * xh + vb.at(0, c);
     }
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(8 * out.size(), 3 * kF * out.size());
+  VarId v = NewNode(OpKind::kLayerNormRows, std::move(out));
   nodes_[v].backward = [this, v, x, gain, bias, xhat, inv_std]() {
     const Tensor& g = grad(v);
     const Tensor& vg2 = value(gain);
@@ -523,10 +803,12 @@ VarId Tape::LayerNormRows(VarId x, VarId gain, VarId bias, float eps) {
 }
 
 VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
+  OpScope prof(OpKind::kDropout);
   if (!training || rate <= 0.0f) {
     // Identity node keeps graph structure uniform between modes.
     Tensor out = value(a);
-    VarId v = NewNode(std::move(out));
+    prof.SetCost(0, 2 * kF * out.size());
+    VarId v = NewNode(OpKind::kDropout, std::move(out));
     nodes_[v].backward = [this, v, a]() {
       MutableGrad(a).AddInPlace(grad(v));
     };
@@ -543,7 +825,8 @@ VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
     mask->data()[i] = m;
     out.data()[i] = va.data()[i] * m;
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(out.size(), 3 * kF * out.size());
+  VarId v = NewNode(OpKind::kDropout, std::move(out));
   nodes_[v].backward = [this, v, a, mask]() {
     const Tensor& g = grad(v);
     Tensor& ga = MutableGrad(a);
@@ -555,6 +838,7 @@ VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
 }
 
 VarId Tape::EmbeddingGather(VarId table, std::vector<int> indices) {
+  OpScope prof(OpKind::kEmbeddingGather);
   const Tensor& vt = value(table);
   Tensor out(static_cast<int>(indices.size()), vt.cols());
   for (size_t i = 0; i < indices.size(); ++i) {
@@ -564,7 +848,8 @@ VarId Tape::EmbeddingGather(VarId table, std::vector<int> indices) {
       out.at(static_cast<int>(i), c) = vt.at(idx, c);
     }
   }
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(0, 2 * kF * out.size());
+  VarId v = NewNode(OpKind::kEmbeddingGather, std::move(out));
   nodes_[v].backward = [this, v, table, indices = std::move(indices)]() {
     const Tensor& g = grad(v);
     Tensor& gt = MutableGrad(table);
@@ -578,6 +863,7 @@ VarId Tape::EmbeddingGather(VarId table, std::vector<int> indices) {
 }
 
 VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
+  OpScope prof(OpKind::kSoftmaxCrossEntropy);
   const Tensor& vl = value(logits);
   UCAD_CHECK_EQ(static_cast<int>(targets.size()), vl.rows());
   const int m = vl.rows(), n = vl.cols();
@@ -601,7 +887,8 @@ VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
   }
   Tensor out(1, 1);
   out.at(0, 0) = static_cast<float>(loss / m);
-  VarId v = NewNode(std::move(out));
+  prof.SetCost(5ull * m * n, 2 * kF * static_cast<uint64_t>(m) * n);
+  VarId v = NewNode(OpKind::kSoftmaxCrossEntropy, std::move(out));
   nodes_[v].backward = [this, v, logits, probs,
                         targets = std::move(targets)]() {
     const float g = grad(v).at(0, 0);
@@ -625,6 +912,7 @@ void Tape::Backward(VarId root) {
   UCAD_CHECK_EQ(nodes_[root].value.cols(), 1);
   UCAD_TRACE_SPAN("nn/backward");
   const bool metrics = obs::MetricsEnabled();
+  const bool profiling = TapeProfiler::Enabled();
   util::Timer timer;
   EnsureGrad(root);
   nodes_[root].grad.Fill(1.0f);
@@ -632,7 +920,14 @@ void Tape::Backward(VarId root) {
   for (VarId v = root; v >= 0; --v) {
     Node& node = nodes_[v];
     if (!node.grad.SameShape(node.value)) continue;  // grad never touched
-    if (node.backward) node.backward();
+    if (!node.backward) continue;
+    if (profiling) {
+      const int64_t t0 = ProfNowNs();
+      node.backward();
+      TapeProfiler::RecordBackward(node.kind, ProfNowNs() - t0);
+    } else {
+      node.backward();
+    }
   }
   for (Node& node : nodes_) {
     if (node.param != nullptr && node.grad.SameShape(node.value)) {
@@ -642,9 +937,19 @@ void Tape::Backward(VarId root) {
   if (metrics) {
     obs::MetricsRegistry& reg = obs::DefaultMetrics();
     reg.GetCounter("nn/backward_total")->Increment();
-    // Per-tape node count flushed once per Backward keeps the per-op
-    // recording path free of atomics.
+    // Aggregate series kept for backward compatibility with PR-1 dashboards;
+    // the labeled series below break the same count down per op kind.
     reg.GetCounter("nn/tape_ops_total")->Increment(nodes_.size());
+    uint64_t per_kind[kNumOpKinds] = {};
+    for (const Node& node : nodes_) {
+      ++per_kind[static_cast<size_t>(node.kind)];
+    }
+    for (size_t k = 0; k < kNumOpKinds; ++k) {
+      if (per_kind[k] == 0) continue;
+      reg.GetCounter("nn/tape_ops_total",
+                     {{"op", OpKindName(static_cast<OpKind>(k))}})
+          ->Increment(per_kind[k]);
+    }
     reg.GetHistogram("nn/backward_ms")->Observe(timer.ElapsedMillis());
   }
 }

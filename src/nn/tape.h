@@ -1,16 +1,108 @@
 #ifndef UCAD_NN_TAPE_H_
 #define UCAD_NN_TAPE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "nn/tensor.h"
 #include "util/rng.h"
 
+namespace ucad::obs {
+class MetricsRegistry;
+}  // namespace ucad::obs
+
 namespace ucad::nn {
 
 /// Handle to a node on a Tape.
 using VarId = int;
+
+/// Kind tag recorded on every tape node; keys the per-op profiler and the
+/// per-op-kind metric labels. kCount is a sentinel, never recorded.
+enum class OpKind : uint8_t {
+  kConstant,
+  kLeaf,
+  kParam,
+  kAdd,
+  kSub,
+  kMul,
+  kAddRowVector,
+  kMulRowVector,
+  kScale,
+  kAddScalar,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kLogSigmoid,
+  kMatMul,
+  kTranspose,
+  kSliceCols,
+  kConcatCols,
+  kConcatRows,
+  kRow,
+  kSumRows,
+  kSumAll,
+  kSoftmaxRows,
+  kLayerNormRows,
+  kDropout,
+  kEmbeddingGather,
+  kSoftmaxCrossEntropy,
+  kCount,
+};
+
+/// Stable lowercase identifier ("matmul", "softmax_rows", ...) used for
+/// metric labels and the profile table.
+const char* OpKindName(OpKind kind);
+
+/// One aggregated row of the per-op profile.
+struct OpProfile {
+  OpKind kind = OpKind::kCount;
+  const char* name = "";
+  uint64_t calls = 0;           ///< forward executions
+  uint64_t backward_calls = 0;  ///< backward closure executions
+  double forward_ms = 0.0;
+  double backward_ms = 0.0;
+  uint64_t flops = 0;  ///< estimated forward FLOPs (2mkn for matmul, ...)
+  uint64_t bytes = 0;  ///< estimated bytes touched by the forward pass
+  double TotalMs() const { return forward_ms + backward_ms; }
+};
+
+/// Process-wide per-op profiler in the style of torch.autograd.profiler:
+/// aggregates forward/backward wall time, call counts, and estimated
+/// FLOPs/bytes per OpKind. Off by default — a disabled op costs one relaxed
+/// atomic load; enabling adds two steady_clock reads per op execution.
+/// Thread-safe (relaxed atomic accumulators).
+class TapeProfiler {
+ public:
+  static void SetEnabled(bool enabled);
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every accumulator (does not change the enabled flag).
+  static void Reset();
+
+  static void RecordForward(OpKind kind, int64_t dur_ns, uint64_t flops,
+                            uint64_t bytes);
+  static void RecordBackward(OpKind kind, int64_t dur_ns);
+
+  /// Rows with at least one call, sorted by total (fwd+bwd) time descending.
+  static std::vector<OpProfile> Snapshot();
+
+  /// Column-aligned profile table (op, calls, fwd/bwd/total ms, % of total,
+  /// MFLOP, GFLOP/s, MB). Empty-string when nothing was recorded.
+  static std::string FormatTable();
+
+  /// Publishes the snapshot into `registry` as per-op labeled series:
+  /// nn/op/calls{op=...}, nn/op/forward_ms{op=...}, nn/op/backward_ms{op=...},
+  /// nn/op/flops{op=...}, nn/op/bytes{op=...}.
+  static void ExportTo(obs::MetricsRegistry* registry);
+
+ private:
+  static std::atomic<bool> enabled_;
+};
 
 /// A trainable tensor that persists across training steps. Gradients
 /// accumulate into grad() when a Tape referencing the parameter runs
@@ -152,9 +244,11 @@ class Tape {
     Tensor grad;  // allocated lazily during Backward
     std::function<void()> backward;  // may be empty (leaves/constants)
     Parameter* param = nullptr;
+    OpKind kind = OpKind::kConstant;  // keys profiling + per-op metrics
   };
 
-  VarId NewNode(Tensor value, std::function<void()> backward = nullptr);
+  VarId NewNode(OpKind kind, Tensor value,
+                std::function<void()> backward = nullptr);
   Tensor& MutableGrad(VarId v);
   void EnsureGrad(VarId v);
 

@@ -4,7 +4,80 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace ucad::nn {
+
+namespace internal {
+
+std::atomic<bool> g_tensor_mem_tracking{false};
+
+namespace {
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_live_bytes{0};
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes_total{0};
+}  // namespace
+
+void RecordTensorAlloc(int64_t bytes) {
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes_total.fetch_add(static_cast<uint64_t>(bytes),
+                                std::memory_order_relaxed);
+  int64_t peak = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_live_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordTensorFree(int64_t bytes) {
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void SetTensorMemTrackingEnabled(bool enabled) {
+  internal::g_tensor_mem_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+TensorMemSnapshot TensorMemStats() {
+  using namespace internal;  // NOLINT
+  TensorMemSnapshot snap;
+  snap.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  snap.peak_live_bytes = g_peak_live_bytes.load(std::memory_order_relaxed);
+  snap.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  snap.alloc_bytes_total =
+      g_alloc_bytes_total.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ResetTensorMemStats() {
+  using namespace internal;  // NOLINT
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes_total.store(0, std::memory_order_relaxed);
+  // Live tensors are still out there; re-seed the peak from them rather
+  // than zero so it never reads below the current footprint.
+  g_peak_live_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+void PublishTensorMemMetrics() {
+  const TensorMemSnapshot snap = TensorMemStats();
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  reg.GetGauge("nn/tensor/live_bytes")
+      ->Set(static_cast<double>(snap.live_bytes));
+  reg.GetGauge("nn/tensor/peak_live_bytes")
+      ->Set(static_cast<double>(snap.peak_live_bytes));
+  obs::Counter* allocs = reg.GetCounter("nn/tensor/allocs_total");
+  if (snap.alloc_count > allocs->Value()) {
+    allocs->Increment(snap.alloc_count - allocs->Value());
+  }
+  obs::Counter* alloc_bytes = reg.GetCounter("nn/tensor/alloc_bytes_total");
+  if (snap.alloc_bytes_total > alloc_bytes->Value()) {
+    alloc_bytes->Increment(snap.alloc_bytes_total - alloc_bytes->Value());
+  }
+}
 
 Tensor Tensor::Full(int rows, int cols, float value) {
   Tensor t(rows, cols);

@@ -1,7 +1,9 @@
 #ifndef UCAD_NN_TENSOR_H_
 #define UCAD_NN_TENSOR_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,42 @@
 #include "util/rng.h"
 
 namespace ucad::nn {
+
+/// Point-in-time view of the process-wide tensor memory accounting.
+struct TensorMemSnapshot {
+  int64_t live_bytes = 0;        ///< bytes held by currently-alive tensors
+  int64_t peak_live_bytes = 0;   ///< high-water mark of live_bytes
+  uint64_t alloc_count = 0;      ///< tensors that allocated storage
+  uint64_t alloc_bytes_total = 0;  ///< cumulative bytes ever allocated
+};
+
+/// Tensor memory accounting is off by default; when disabled each tensor
+/// construction costs one relaxed atomic load. When enabled, every tensor
+/// records its payload size at construction and releases it at destruction,
+/// so live/peak bytes stay balanced even across enable/disable toggles
+/// (a tensor only "frees" what it recorded at allocation).
+void SetTensorMemTrackingEnabled(bool enabled);
+bool TensorMemTrackingEnabled();
+
+TensorMemSnapshot TensorMemStats();
+
+/// Zeroes counters and resets the peak to the current live byte count.
+void ResetTensorMemStats();
+
+/// Publishes the snapshot into the default metrics registry:
+/// nn/tensor/live_bytes + nn/tensor/peak_live_bytes (gauges),
+/// nn/tensor/allocs_total + nn/tensor/alloc_bytes_total (counters).
+void PublishTensorMemMetrics();
+
+namespace internal {
+extern std::atomic<bool> g_tensor_mem_tracking;
+void RecordTensorAlloc(int64_t bytes);
+void RecordTensorFree(int64_t bytes);
+}  // namespace internal
+
+inline bool TensorMemTrackingEnabled() {
+  return internal::g_tensor_mem_tracking.load(std::memory_order_relaxed);
+}
 
 /// Dense row-major float matrix. The NN substrate is 2D-centric: vectors are
 /// represented as [1 x n] or [n x 1] matrices, sequences of embeddings as
@@ -25,13 +63,55 @@ class Tensor {
         data_(static_cast<size_t>(rows) * cols, 0.0f) {
     UCAD_CHECK_GE(rows, 0);
     UCAD_CHECK_GE(cols, 0);
+    TrackAlloc();
   }
 
   /// Tensor with explicit contents (row-major, size must match).
   Tensor(int rows, int cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     UCAD_CHECK_EQ(data_.size(), static_cast<size_t>(rows) * cols);
+    TrackAlloc();
   }
+
+  // Explicit copy/move so the memory accounting stays balanced: a move
+  // transfers the recorded bytes, a copy records its own.
+  Tensor(const Tensor& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    TrackAlloc();
+  }
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_),
+        data_(std::move(other.data_)), tracked_bytes_(other.tracked_bytes_) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+    other.tracked_bytes_ = 0;
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      TrackFree();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      TrackAlloc();
+    }
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      TrackFree();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = std::move(other.data_);
+      tracked_bytes_ = other.tracked_bytes_;
+      other.rows_ = 0;
+      other.cols_ = 0;
+      other.data_.clear();
+      other.tracked_bytes_ = 0;
+    }
+    return *this;
+  }
+  ~Tensor() { TrackFree(); }
 
   /// Factory helpers.
   static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
@@ -86,9 +166,24 @@ class Tensor {
   std::string DebugString(int max_entries = 8) const;
 
  private:
+  /// Records this tensor's payload in the process accounting; only bytes
+  /// recorded here are released by TrackFree, so a disable/enable toggle
+  /// mid-lifetime cannot unbalance the live counter.
+  void TrackAlloc() {
+    if (!TensorMemTrackingEnabled() || data_.empty()) return;
+    tracked_bytes_ = static_cast<int64_t>(data_.size() * sizeof(float));
+    internal::RecordTensorAlloc(tracked_bytes_);
+  }
+  void TrackFree() {
+    if (tracked_bytes_ == 0) return;
+    internal::RecordTensorFree(tracked_bytes_);
+    tracked_bytes_ = 0;
+  }
+
   int rows_;
   int cols_;
   std::vector<float> data_;
+  int64_t tracked_bytes_ = 0;
 };
 
 /// out = a * b for [m x k] x [k x n]. `out` must be preallocated [m x n];

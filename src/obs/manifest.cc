@@ -1,0 +1,201 @@
+#include "obs/manifest.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+#ifndef UCAD_GIT_SHA
+#define UCAD_GIT_SHA "unknown"
+#endif
+#ifndef UCAD_BUILD_TYPE
+#define UCAD_BUILD_TYPE "unknown"
+#endif
+#ifndef UCAD_COMPILER
+#define UCAD_COMPILER "unknown"
+#endif
+#ifndef UCAD_BUILD_FLAGS
+#define UCAD_BUILD_FLAGS ""
+#endif
+
+namespace ucad::obs {
+
+std::string BuildGitSha() { return UCAD_GIT_SHA; }
+std::string BuildType() { return UCAD_BUILD_TYPE; }
+std::string BuildCompiler() { return UCAD_COMPILER; }
+std::string BuildFlags() { return UCAD_BUILD_FLAGS; }
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (bytes on macOS, where this would
+  // over-report 1024x; all supported builds are Linux).
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
+double ProcessCpuSeconds() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  auto seconds = [](const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + tv.tv_usec * 1e-6;
+  };
+  return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+uint64_t Fnv1aHash64(const std::string& s) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+namespace {
+
+int CacheLineBytes() {
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  const long v = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (v > 0) return static_cast<int>(v);
+#endif
+  return 64;
+}
+
+int PageBytes() {
+  const long v = sysconf(_SC_PAGESIZE);
+  return v > 0 ? static_cast<int>(v) : 4096;
+}
+
+std::string JsonStr(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string HexHash(uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+  return buf;
+}
+
+}  // namespace
+
+RunManifest::RunManifest(std::string tool)
+    : tool_(std::move(tool)), start_(std::chrono::steady_clock::now()) {
+  start_unix_ms_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+}
+
+RunManifest& RunManifest::SetTool(std::string tool) {
+  tool_ = std::move(tool);
+  return *this;
+}
+
+RunManifest& RunManifest::SetCommandLine(int argc, char** argv) {
+  argv_.assign(argv, argv + argc);
+  return *this;
+}
+
+RunManifest& RunManifest::SetCommandLine(std::vector<std::string> args) {
+  argv_ = std::move(args);
+  return *this;
+}
+
+RunManifest& RunManifest::SetSeed(uint64_t seed) {
+  has_seed_ = true;
+  seed_ = seed;
+  return *this;
+}
+
+RunManifest& RunManifest::SetConfigHash(uint64_t hash) {
+  has_config_hash_ = true;
+  config_hash_ = hash;
+  return *this;
+}
+
+RunManifest& RunManifest::SetConfigText(const std::string& config_text) {
+  return SetConfigHash(Fnv1aHash64(config_text));
+}
+
+RunManifest& RunManifest::AddNote(const std::string& key,
+                                  const std::string& value) {
+  notes_.emplace_back(key, value);
+  return *this;
+}
+
+void RunManifest::Write(std::ostream& os) const {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"tool\": " << JsonStr(tool_) << ",\n";
+  os << "  \"argv\": [";
+  for (size_t i = 0; i < argv_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << JsonStr(argv_[i]);
+  }
+  os << "],\n";
+  os << "  \"git_sha\": " << JsonStr(BuildGitSha()) << ",\n";
+  os << "  \"build_type\": " << JsonStr(BuildType()) << ",\n";
+  os << "  \"compiler\": " << JsonStr(BuildCompiler()) << ",\n";
+  os << "  \"build_flags\": " << JsonStr(BuildFlags()) << ",\n";
+  if (has_seed_) os << "  \"seed\": " << seed_ << ",\n";
+  if (has_config_hash_) {
+    os << "  \"config_hash\": " << JsonStr(HexHash(config_hash_)) << ",\n";
+  }
+  os << "  \"hardware\": {\"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
+     << ", \"cache_line_bytes\": " << CacheLineBytes()
+     << ", \"page_bytes\": " << PageBytes() << "},\n";
+  os << "  \"start_unix_ms\": " << start_unix_ms_ << ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", wall_seconds);
+  os << "  \"wall_seconds\": " << buf << ",\n";
+  std::snprintf(buf, sizeof(buf), "%.6f", ProcessCpuSeconds());
+  os << "  \"cpu_seconds\": " << buf << ",\n";
+  os << "  \"peak_rss_bytes\": " << PeakRssBytes() << ",\n";
+  os << "  \"notes\": {";
+  for (size_t i = 0; i < notes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << JsonStr(notes_[i].first) << ": " << JsonStr(notes_[i].second);
+  }
+  os << "},\n";
+  // The final registry snapshot, one series per array element (the same
+  // objects WriteJsonl emits one-per-line).
+  os << "  \"metrics\": [";
+  std::ostringstream metrics;
+  DefaultMetrics().WriteJsonl(metrics);
+  std::istringstream lines(metrics.str());
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!first) os << ",";
+    os << "\n    " << line;
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "]\n";
+  os << "}\n";
+}
+
+util::Status RunManifest::WriteFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return util::Status::NotFound("cannot open manifest output: " + path);
+  }
+  Write(os);
+  os.flush();
+  if (!os.good()) {
+    return util::Status::Internal("short write to manifest output: " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,72 @@
+#ifndef UCAD_OBS_MANIFEST_H_
+#define UCAD_OBS_MANIFEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Git SHA the binary was configured against ("unknown" outside a checkout).
+/// Captured at CMake configure time, so it can lag an incremental rebuild.
+std::string BuildGitSha();
+/// CMAKE_BUILD_TYPE the binary was configured with.
+std::string BuildType();
+/// Compiler id + version string ("GNU 12.2.0").
+std::string BuildCompiler();
+/// Extra compile flags baked into the build ("-O3 -march=native ...").
+std::string BuildFlags();
+
+/// Process peak resident set size in bytes (getrusage ru_maxrss); 0 when
+/// unavailable.
+int64_t PeakRssBytes();
+/// User + system CPU seconds consumed by the process so far.
+double ProcessCpuSeconds();
+
+/// FNV-1a 64-bit hash; used for stable config fingerprints.
+uint64_t Fnv1aHash64(const std::string& s);
+
+/// Run manifest: one JSON document per run (conventionally run.json)
+/// recording provenance (git SHA, build type/flags, config hash, seed,
+/// command line), hardware info, resource usage (wall/cpu seconds, peak
+/// RSS), and the final DefaultMetrics snapshot. Construct at process start
+/// (the constructor anchors the wall clock), fill in fields, and call
+/// WriteFile at exit — finish-time stats are captured at write time.
+class RunManifest {
+ public:
+  RunManifest() : RunManifest("unknown") {}
+  explicit RunManifest(std::string tool);
+
+  RunManifest& SetTool(std::string tool);
+  RunManifest& SetCommandLine(int argc, char** argv);
+  RunManifest& SetCommandLine(std::vector<std::string> args);
+  RunManifest& SetSeed(uint64_t seed);
+  RunManifest& SetConfigHash(uint64_t hash);
+  /// Convenience: SetConfigHash(Fnv1aHash64(config_text)).
+  RunManifest& SetConfigText(const std::string& config_text);
+  /// Free-form string extras rendered under "notes".
+  RunManifest& AddNote(const std::string& key, const std::string& value);
+
+  void Write(std::ostream& os) const;
+  util::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::vector<std::string> argv_;
+  bool has_seed_ = false;
+  uint64_t seed_ = 0;
+  bool has_config_hash_ = false;
+  uint64_t config_hash_ = 0;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t start_unix_ms_ = 0;
+};
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_MANIFEST_H_

@@ -166,6 +166,11 @@ double Histogram::Percentile(double q) const {
   const uint64_t n = Count();
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Edge quantiles answer from the exact extremes rather than bucket
+  // interpolation: q=0 must not report a bucket edge above the smallest
+  // observation, and q=1 must not undershoot the largest.
+  if (q == 0.0) return Min();
+  if (q == 1.0) return Max();
   const double target = q * static_cast<double>(n);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < bounds_.size(); ++i) {

@@ -1,0 +1,469 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ucad::obs {
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view of the input.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  util::Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    UCAD_RETURN_IF_ERROR(ParseValue(&v));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  util::Status ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Type::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Type::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  util::Status ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return util::Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      UCAD_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (Peek() != ':') return Error("expected ':' in object");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      UCAD_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return util::Status::Ok();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  util::Status ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return util::Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      UCAD_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return util::Status::Ok();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  util::Status ParseString(std::string* out) {
+    if (Peek() != '"') return Error("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return util::Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Error("unterminated escape");
+        const char esc = s_[pos_];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return Error("bad \\u escape");
+              }
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(h))
+                          ? h - '0'
+                          : std::tolower(h) - 'a' + 10);
+            }
+            pos_ += 4;
+            // Metrics names are ASCII; map non-ASCII escapes to '?' rather
+            // than implementing full UTF-8 encoding.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        ++pos_;
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  util::Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return util::Status::Ok();
+  }
+
+  util::Status ParseLiteral(const std::string& lit, JsonValue* out,
+                            JsonValue::Type type, bool bool_value) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) {
+      return Error("bad literal");
+    }
+    pos_ += lit.size();
+    out->type = type;
+    out->bool_value = bool_value;
+    return util::Status::Ok();
+  }
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        what + " at offset " + std::to_string(pos_));
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// "name{k=v,k2=v2}" series key from a parsed metric object.
+std::string SeriesKey(const JsonValue& metric) {
+  const JsonValue* name = metric.Find("name");
+  std::string key =
+      name != nullptr && name->type == JsonValue::Type::kString
+          ? name->string_value
+          : "?";
+  const JsonValue* labels = metric.Find("labels");
+  if (labels != nullptr && !labels->object.empty()) {
+    key += "{";
+    for (size_t i = 0; i < labels->object.size(); ++i) {
+      if (i > 0) key += ",";
+      key += labels->object[i].first + "=" +
+             labels->object[i].second.string_value;
+    }
+    key += "}";
+  }
+  return key;
+}
+
+util::Status AddMetricObject(const JsonValue& obj, Snapshot* out) {
+  if (obj.type != JsonValue::Type::kObject) {
+    return util::Status::InvalidArgument("metric entry is not an object");
+  }
+  MetricSample sample;
+  const JsonValue* name = obj.Find("name");
+  if (name == nullptr || name->type != JsonValue::Type::kString) {
+    return util::Status::InvalidArgument("metric entry lacks a name");
+  }
+  sample.name = name->string_value;
+  sample.series = SeriesKey(obj);
+  const JsonValue* type = obj.Find("type");
+  sample.type = type != nullptr ? type->string_value : "";
+  auto num = [&obj](const char* key) {
+    const JsonValue* v = obj.Find(key);
+    return v != nullptr ? v->NumberOr(0.0) : 0.0;
+  };
+  sample.value = num("value");
+  sample.count = num("count");
+  sample.sum = num("sum");
+  sample.min = num("min");
+  sample.max = num("max");
+  sample.mean = num("mean");
+  sample.p50 = num("p50");
+  sample.p90 = num("p90");
+  sample.p99 = num("p99");
+  (*out)[sample.series] = std::move(sample);
+  return util::Status::Ok();
+}
+
+std::string FormatStat(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(double fallback) const {
+  return type == Type::kNumber ? number : fallback;
+}
+
+util::Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+double MetricSample::Statistic() const {
+  return type == "histogram" ? min : value;
+}
+
+util::Result<Snapshot> ParseSnapshot(const std::string& text) {
+  Snapshot out;
+  // A run manifest is a single JSON object with a "metrics" array; a JSONL
+  // snapshot is one object per line. Distinguish by trying the whole
+  // document first.
+  util::Result<JsonValue> whole = ParseJson(text);
+  if (whole.ok() && whole->type == JsonValue::Type::kObject &&
+      whole->Find("metrics") != nullptr) {
+    const JsonValue* metrics = whole->Find("metrics");
+    if (metrics->type != JsonValue::Type::kArray) {
+      return util::Status::InvalidArgument("manifest 'metrics' is not an array");
+    }
+    for (const JsonValue& m : metrics->array) {
+      UCAD_RETURN_IF_ERROR(AddMetricObject(m, &out));
+    }
+    return out;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    util::Result<JsonValue> obj = ParseJson(line);
+    if (!obj.ok()) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(lineno) + ": " + obj.status().message());
+    }
+    UCAD_RETURN_IF_ERROR(AddMetricObject(*obj, &out));
+  }
+  return out;
+}
+
+util::Result<Snapshot> LoadSnapshotFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return util::Status::NotFound("cannot open snapshot: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  util::Result<Snapshot> snap = ParseSnapshot(buffer.str());
+  if (!snap.ok()) {
+    return util::Status::InvalidArgument(path + ": " +
+                                         snap.status().message());
+  }
+  return snap;
+}
+
+MetricClass ClassifyMetric(const std::string& name, const std::string& type) {
+  auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_ms") || ends_with("_us") || ends_with("_ns") ||
+      ends_with("_seconds") || ends_with("_sec") ||
+      name.find("latency") != std::string::npos) {
+    return MetricClass::kTiming;
+  }
+  if (type == "counter") return MetricClass::kCount;
+  return MetricClass::kOther;
+}
+
+Snapshot MergeMinOfN(const std::vector<Snapshot>& runs) {
+  Snapshot merged;
+  for (const Snapshot& run : runs) {
+    for (const auto& [series, sample] : run) {
+      auto it = merged.find(series);
+      if (it == merged.end()) {
+        merged.emplace(series, sample);
+        continue;
+      }
+      if (ClassifyMetric(sample.name, sample.type) == MetricClass::kTiming &&
+          sample.Statistic() < it->second.Statistic()) {
+        it->second = sample;
+      }
+    }
+  }
+  return merged;
+}
+
+CompareReport CompareSnapshots(const Snapshot& baseline,
+                               const Snapshot& candidate,
+                               const CompareOptions& options) {
+  CompareReport report;
+  for (const auto& [series, base] : baseline) {
+    auto it = candidate.find(series);
+    if (it == candidate.end()) {
+      report.missing_in_candidate.push_back(series);
+      continue;
+    }
+    const MetricSample& cand = it->second;
+    ++report.compared;
+    const double b = base.Statistic();
+    const double c = cand.Statistic();
+    MetricDiff diff{series, b, c, b != 0.0 ? (c - b) / b : 0.0};
+    switch (ClassifyMetric(base.name, base.type)) {
+      case MetricClass::kTiming: {
+        // Timings are compared in the unit they were observed; apply the
+        // millisecond floor scaled to that unit.
+        double floor = options.abs_floor_ms;
+        if (base.name.size() >= 8 &&
+            base.name.compare(base.name.size() - 8, 8, "_seconds") == 0) {
+          floor *= 1e-3;
+        } else if (base.name.size() >= 3 &&
+                   base.name.compare(base.name.size() - 3, 3, "_us") == 0) {
+          floor *= 1e3;
+        }
+        if (c > b * (1.0 + options.rel_tolerance) && c - b > floor) {
+          report.regressions.push_back(diff);
+        } else if (c < b * (1.0 - options.rel_tolerance) && b - c > floor) {
+          report.improvements.push_back(diff);
+        }
+        break;
+      }
+      case MetricClass::kCount:
+        if (options.check_counters && b != c) {
+          report.regressions.push_back(diff);
+        }
+        break;
+      case MetricClass::kOther:
+        break;
+    }
+  }
+  for (const auto& [series, sample] : candidate) {
+    (void)sample;
+    if (baseline.find(series) == baseline.end()) {
+      report.missing_in_baseline.push_back(series);
+    }
+  }
+  return report;
+}
+
+std::string CompareReport::Format(const CompareOptions& options) const {
+  std::ostringstream os;
+  os << "compared " << compared << " series (tolerance +"
+     << static_cast<int>(options.rel_tolerance * 100) << "%, floor "
+     << options.abs_floor_ms << "ms)\n";
+  for (const MetricDiff& d : regressions) {
+    os << "  REGRESSION " << d.series << ": " << FormatStat(d.baseline)
+       << " -> " << FormatStat(d.candidate) << " ("
+       << (d.rel_change >= 0 ? "+" : "")
+       << FormatStat(d.rel_change * 100.0) << "%)\n";
+  }
+  for (const MetricDiff& d : improvements) {
+    os << "  improvement " << d.series << ": " << FormatStat(d.baseline)
+       << " -> " << FormatStat(d.candidate) << " ("
+       << FormatStat(d.rel_change * 100.0) << "%)\n";
+  }
+  for (const std::string& s : missing_in_candidate) {
+    os << (options.fail_on_missing ? "  MISSING " : "  missing in candidate: ")
+       << s << "\n";
+  }
+  for (const std::string& s : missing_in_baseline) {
+    os << "  new in candidate: " << s << "\n";
+  }
+  if (regressions.empty() &&
+      (missing_in_candidate.empty() || !options.fail_on_missing)) {
+    os << "  no regressions\n";
+  }
+  return os.str();
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,117 @@
+#ifndef UCAD_OBS_SNAPSHOT_H_
+#define UCAD_OBS_SNAPSHOT_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Minimal parse-only JSON document model: enough to read metrics snapshots
+/// (JSONL) and run manifests without an external dependency.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// number when kNumber, else `fallback`.
+  double NumberOr(double fallback) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+util::Result<JsonValue> ParseJson(const std::string& text);
+
+/// One metric series loaded from a snapshot.
+struct MetricSample {
+  std::string name;    ///< bare metric name
+  std::string series;  ///< name{k=v,...} — unique key within a snapshot
+  std::string type;    ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;  ///< counter/gauge value
+  // Histogram summary fields (zero for counters/gauges).
+  double count = 0.0, sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+
+  /// The value compared by bench_compare: histograms use `min` (the
+  /// noise-robust min-of-N statistic within a run), counters/gauges use
+  /// `value`.
+  double Statistic() const;
+};
+
+/// A full snapshot, keyed by MetricSample::series.
+using Snapshot = std::map<std::string, MetricSample>;
+
+/// Loads a registry snapshot from either format we emit: a JSONL metrics
+/// file (one object per line) or a run manifest (JSON object with a
+/// "metrics" array).
+util::Result<Snapshot> LoadSnapshotFile(const std::string& path);
+util::Result<Snapshot> ParseSnapshot(const std::string& text);
+
+/// Per-series min-of-N merge across repeated runs: timing-class series keep
+/// the minimum statistic observed (noise-robust), everything else keeps the
+/// first occurrence.
+Snapshot MergeMinOfN(const std::vector<Snapshot>& runs);
+
+/// How a metric is gated during comparison.
+enum class MetricClass {
+  kTiming,  ///< wall-time-like — gated with relative tolerance
+  kCount,   ///< counters — structural, reported but not gated by default
+  kOther,   ///< quality metrics etc. — informational only
+};
+
+/// Timing when the bare name ends in _ms/_us/_ns/_seconds or mentions
+/// latency; kCount for counters; kOther otherwise.
+MetricClass ClassifyMetric(const std::string& name, const std::string& type);
+
+struct CompareOptions {
+  /// Allowed relative growth for timing metrics (0.25 = +25%).
+  double rel_tolerance = 0.25;
+  /// Absolute growth below this many milliseconds is never a regression —
+  /// keeps micro-timings from tripping the gate on scheduler noise.
+  double abs_floor_ms = 0.5;
+  /// Treat baseline series missing from the candidate as failures.
+  bool fail_on_missing = false;
+  /// Gate counters on exact equality (off by default: counts legitimately
+  /// change with workload shape).
+  bool check_counters = false;
+};
+
+struct MetricDiff {
+  std::string series;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / baseline; 0 when baseline is 0.
+  double rel_change = 0.0;
+};
+
+struct CompareReport {
+  std::vector<MetricDiff> regressions;   ///< gate failures
+  std::vector<MetricDiff> improvements;  ///< timing drops beyond tolerance
+  std::vector<std::string> missing_in_candidate;
+  std::vector<std::string> missing_in_baseline;
+  int compared = 0;
+
+  bool Ok(const CompareOptions& options) const {
+    return regressions.empty() &&
+           (!options.fail_on_missing || missing_in_candidate.empty());
+  }
+  /// Human-readable multi-line report (empty diff => "no regressions").
+  std::string Format(const CompareOptions& options) const;
+};
+
+/// Diffs candidate against baseline under the given thresholds.
+CompareReport CompareSnapshots(const Snapshot& baseline,
+                               const Snapshot& candidate,
+                               const CompareOptions& options);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_SNAPSHOT_H_

@@ -6,6 +6,7 @@
 #include "eval/experiment_config.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ucad::eval {
@@ -185,6 +186,36 @@ TEST(RunnerTest, BaselinesConstructAndRun) {
     EXPECT_GE(r.recall, 0.0) << name;
     EXPECT_LE(r.f1, 1.0) << name;
   }
+}
+
+TEST(RunnerTest, EmitsPerMethodTimingHistograms) {
+  ScenarioConfig config = ScenarioIConfig(Scale::kSmoke);
+  const ScenarioDataset ds =
+      BuildScenarioDataset(config.spec, config.dataset);
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  const uint64_t transdas_before =
+      reg.GetHistogram("eval/transdas/train_ms")->Count();
+  const uint64_t iforest_before =
+      reg.GetHistogram("eval/iforest/detect_ms")->Count();
+
+  config.training.epochs = 1;
+  RunTransDas(ds, config.model, config.training, config.detection, ds.train);
+  auto iforest = MakeBaseline("iForest", config, ds);
+  RunBaseline(iforest.get(), ds, ds.train);
+
+  // bench_compare gates on these histogram series: one observation per run,
+  // `min` as the noise-robust statistic.
+  EXPECT_EQ(reg.GetHistogram("eval/transdas/train_ms")->Count(),
+            transdas_before + 1);
+  EXPECT_GT(reg.GetHistogram("eval/transdas/train_ms")->Max(), 0.0);
+  EXPECT_EQ(reg.GetHistogram("eval/transdas/detect_ms")->Count(),
+            transdas_before + 1);
+  EXPECT_EQ(reg.GetHistogram("eval/iforest/train_ms")->Count(),
+            iforest_before + 1);
+  EXPECT_EQ(reg.GetHistogram("eval/iforest/detect_ms")->Count(),
+            iforest_before + 1);
+  // Training refreshes the process peak-RSS gauge.
+  EXPECT_GT(reg.GetGauge("proc/peak_rss_bytes")->Value(), 0.0);
 }
 
 }  // namespace

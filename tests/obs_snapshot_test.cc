@@ -1,0 +1,232 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace ucad::obs {
+namespace {
+
+// ---------- JSON parser ----------
+
+TEST(ParseJsonTest, ParsesScalarsArraysObjects) {
+  auto v = ParseJson(R"({"a": [1, 2.5, -3e2], "b": {"c": "x\n"}, "d": true,
+                         "e": null})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type, JsonValue::Type::kObject);
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const JsonValue* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->Find("c")->string_value, "x\n");
+  EXPECT_TRUE(v->Find("d")->bool_value);
+  EXPECT_EQ(v->Find("e")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(ParseJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{'a':1}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+// ---------- Snapshot loading ----------
+
+/// JSONL fixture mimicking a bench_<slug>.json / --metrics-out dump.
+std::string DemoJsonl(double epoch_min) {
+  std::ostringstream os;
+  os << R"({"name":"nn/tape_ops_total","labels":{},"type":"counter","value":42})"
+     << "\n";
+  os << R"({"name":"eval/train_seconds","labels":{"method":"DeepLog"},"type":"gauge","value":1.5})"
+     << "\n";
+  os << R"({"name":"trainer/epoch_ms","labels":{},"type":"histogram",)"
+     << R"("count":3,"sum":9.0,"min":)" << epoch_min
+     << R"(,"max":4.0,"mean":3.0,"p50":3.0,"p90":3.9,"p99":4.0,"buckets":[]})"
+     << "\n";
+  return os.str();
+}
+
+TEST(ParseSnapshotTest, LoadsJsonlSeries) {
+  auto snap = ParseSnapshot(DemoJsonl(2.0));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 3u);
+  ASSERT_TRUE(snap->count("nn/tape_ops_total"));
+  EXPECT_DOUBLE_EQ(snap->at("nn/tape_ops_total").Statistic(), 42.0);
+  // Labels become part of the series key.
+  ASSERT_TRUE(snap->count("eval/train_seconds{method=DeepLog}"));
+  // Histograms compare on `min`, not mean or sum.
+  ASSERT_TRUE(snap->count("trainer/epoch_ms"));
+  EXPECT_DOUBLE_EQ(snap->at("trainer/epoch_ms").Statistic(), 2.0);
+}
+
+TEST(ParseSnapshotTest, LoadsMetricsArrayFromManifest) {
+  // A manifest is one JSON object with the registry snapshot under
+  // "metrics"; ParseSnapshot must accept it interchangeably with JSONL.
+  RunManifest manifest("unit_test");
+  manifest.SetSeed(7);
+  std::ostringstream os;
+  MetricsRegistry& reg = DefaultMetrics();
+  reg.GetCounter("snapshot_test/manifest_counter")->Increment(5);
+  manifest.Write(os);
+  auto snap = ParseSnapshot(os.str());
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(snap->count("snapshot_test/manifest_counter"));
+  EXPECT_DOUBLE_EQ(snap->at("snapshot_test/manifest_counter").value, 5.0);
+}
+
+TEST(ParseSnapshotTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSnapshot("not json at all\n").ok());
+}
+
+// ---------- Manifest document ----------
+
+TEST(RunManifestTest, WritesValidJsonWithProvenance) {
+  RunManifest manifest("unit_test");
+  manifest.SetCommandLine({"unit_test", "--flag"});
+  manifest.SetSeed(1234);
+  manifest.SetConfigText("epochs=4;hidden=16");
+  manifest.AddNote("peak_live_tensor_bytes", "40000");
+  std::ostringstream os;
+  manifest.Write(os);
+  auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("tool")->string_value, "unit_test");
+  EXPECT_FALSE(doc->Find("git_sha")->string_value.empty());
+  EXPECT_DOUBLE_EQ(doc->Find("seed")->number, 1234.0);
+  EXPECT_NE(doc->Find("config_hash"), nullptr);
+  ASSERT_NE(doc->Find("hardware"), nullptr);
+  EXPECT_GT(doc->Find("hardware")->Find("hardware_concurrency")->number, 0.0);
+  EXPECT_GE(doc->Find("peak_rss_bytes")->number, 0.0);
+  EXPECT_GE(doc->Find("wall_seconds")->number, 0.0);
+  ASSERT_NE(doc->Find("notes"), nullptr);
+  EXPECT_EQ(doc->Find("notes")->Find("peak_live_tensor_bytes")->string_value,
+            "40000");
+  EXPECT_EQ(doc->Find("metrics")->type, JsonValue::Type::kArray);
+}
+
+TEST(RunManifestTest, ConfigHashIsStable) {
+  EXPECT_EQ(Fnv1aHash64("epochs=4"), Fnv1aHash64("epochs=4"));
+  EXPECT_NE(Fnv1aHash64("epochs=4"), Fnv1aHash64("epochs=5"));
+}
+
+// ---------- Classification / merge ----------
+
+TEST(ClassifyMetricTest, TimingSuffixesAndCounters) {
+  EXPECT_EQ(ClassifyMetric("trainer/epoch_ms", "histogram"),
+            MetricClass::kTiming);
+  EXPECT_EQ(ClassifyMetric("eval/train_seconds", "gauge"),
+            MetricClass::kTiming);
+  EXPECT_EQ(ClassifyMetric("detector/score_latency_ms", "histogram"),
+            MetricClass::kTiming);
+  EXPECT_EQ(ClassifyMetric("nn/tape_ops_total", "counter"),
+            MetricClass::kCount);
+  EXPECT_EQ(ClassifyMetric("eval/f1", "gauge"), MetricClass::kOther);
+}
+
+TEST(MergeMinOfNTest, KeepsMinimumTimingAcrossRuns) {
+  auto run1 = ParseSnapshot(DemoJsonl(3.0));
+  auto run2 = ParseSnapshot(DemoJsonl(1.5));
+  auto run3 = ParseSnapshot(DemoJsonl(2.5));
+  ASSERT_TRUE(run1.ok() && run2.ok() && run3.ok());
+  const Snapshot merged = MergeMinOfN({*run1, *run2, *run3});
+  EXPECT_DOUBLE_EQ(merged.at("trainer/epoch_ms").Statistic(), 1.5);
+  // Non-timing series keep their first-run value.
+  EXPECT_DOUBLE_EQ(merged.at("nn/tape_ops_total").Statistic(), 42.0);
+}
+
+// ---------- Comparison gate ----------
+
+TEST(CompareSnapshotsTest, IdenticalSnapshotsPass) {
+  auto snap = ParseSnapshot(DemoJsonl(2.0));
+  ASSERT_TRUE(snap.ok());
+  const CompareOptions options;
+  const CompareReport report = CompareSnapshots(*snap, *snap, options);
+  EXPECT_TRUE(report.Ok(options));
+  EXPECT_TRUE(report.regressions.empty());
+  EXPECT_EQ(report.compared, 3);
+  EXPECT_NE(report.Format(options).find("no regressions"),
+            std::string::npos);
+}
+
+TEST(CompareSnapshotsTest, TimingRegressionBeyondToleranceFails) {
+  auto baseline = ParseSnapshot(DemoJsonl(2.0));
+  auto candidate = ParseSnapshot(DemoJsonl(4.0));  // 2x slower epoch min
+  ASSERT_TRUE(baseline.ok() && candidate.ok());
+  const CompareOptions options;  // +25% tolerance, 0.5ms floor
+  const CompareReport report =
+      CompareSnapshots(*baseline, *candidate, options);
+  EXPECT_FALSE(report.Ok(options));
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].series, "trainer/epoch_ms");
+  EXPECT_NEAR(report.regressions[0].rel_change, 1.0, 1e-9);
+  const std::string text = report.Format(options);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("trainer/epoch_ms"), std::string::npos);
+}
+
+TEST(CompareSnapshotsTest, AbsFloorSuppressesMicroRegressions) {
+  // 0.1ms -> 0.3ms is +200% but only +0.2ms: below the floor, not a
+  // regression. This is what keeps scheduler noise out of the CI gate.
+  auto baseline = ParseSnapshot(DemoJsonl(0.1));
+  auto candidate = ParseSnapshot(DemoJsonl(0.3));
+  ASSERT_TRUE(baseline.ok() && candidate.ok());
+  const CompareOptions options;
+  EXPECT_TRUE(CompareSnapshots(*baseline, *candidate, options).Ok(options));
+  CompareOptions tight = options;
+  tight.abs_floor_ms = 0.05;
+  EXPECT_FALSE(CompareSnapshots(*baseline, *candidate, tight).Ok(tight));
+}
+
+TEST(CompareSnapshotsTest, ImprovementsReportedNotFailed) {
+  auto baseline = ParseSnapshot(DemoJsonl(4.0));
+  auto candidate = ParseSnapshot(DemoJsonl(2.0));
+  ASSERT_TRUE(baseline.ok() && candidate.ok());
+  const CompareOptions options;
+  const CompareReport report =
+      CompareSnapshots(*baseline, *candidate, options);
+  EXPECT_TRUE(report.Ok(options));
+  ASSERT_EQ(report.improvements.size(), 1u);
+  EXPECT_EQ(report.improvements[0].series, "trainer/epoch_ms");
+}
+
+TEST(CompareSnapshotsTest, MissingSeriesGatedByOption) {
+  auto baseline = ParseSnapshot(DemoJsonl(2.0));
+  ASSERT_TRUE(baseline.ok());
+  Snapshot candidate = *baseline;
+  candidate.erase("trainer/epoch_ms");
+  CompareOptions options;
+  CompareReport report = CompareSnapshots(*baseline, candidate, options);
+  EXPECT_TRUE(report.Ok(options));  // informational by default
+  ASSERT_EQ(report.missing_in_candidate.size(), 1u);
+  options.fail_on_missing = true;
+  report = CompareSnapshots(*baseline, candidate, options);
+  EXPECT_FALSE(report.Ok(options));
+}
+
+TEST(CompareSnapshotsTest, CountersGatedOnlyWhenRequested) {
+  auto baseline = ParseSnapshot(DemoJsonl(2.0));
+  auto candidate = ParseSnapshot(DemoJsonl(2.0));
+  ASSERT_TRUE(baseline.ok() && candidate.ok());
+  candidate->at("nn/tape_ops_total").value = 43.0;  // count drifted
+  CompareOptions options;
+  EXPECT_TRUE(CompareSnapshots(*baseline, *candidate, options).Ok(options));
+  options.check_counters = true;
+  const CompareReport report =
+      CompareSnapshots(*baseline, *candidate, options);
+  EXPECT_FALSE(report.Ok(options));
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].series, "nn/tape_ops_total");
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -290,6 +290,35 @@ TEST(HistogramTest, PercentileOfUniformValue) {
   EXPECT_DOUBLE_EQ(h.Percentile(0.99), 3.0);
 }
 
+TEST(HistogramTest, PercentileEdgeQuantiles) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.7);
+  h.Observe(5.0);
+  h.Observe(42.0);
+  // q=0 must answer the exact smallest observation — not a bucket lower
+  // bound above it — and q=1 the exact largest.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 42.0);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeQ) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.3), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.3), 0.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.7), h.Percentile(1.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.7), 8.0);
+}
+
+TEST(HistogramTest, PercentileSingleObservation) {
+  Histogram h({1.0, 10.0});
+  h.Observe(3.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 3.0) << "q=" << q;
+  }
+}
+
 // ---------- Concurrency ----------
 
 TEST(ConcurrencyTest, CountersFromManyThreads) {

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,7 @@
 
 #include "nn/gradcheck.h"
 #include "nn/tape.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ucad::nn {
@@ -408,6 +410,106 @@ TEST(TapeBackwardTest, ParamGradsAccumulateAcrossTapes) {
     tape.Backward(tape.SumAll(v));
   }
   EXPECT_NEAR(p.grad().at(0, 0), 3.0f, 1e-5f);
+}
+
+// ---------- Per-op profiler ----------
+
+/// Serializes tests that toggle the process-wide profiler.
+class TapeProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TapeProfiler::SetEnabled(true);
+    TapeProfiler::Reset();
+  }
+  void TearDown() override {
+    TapeProfiler::SetEnabled(false);
+    TapeProfiler::Reset();
+  }
+
+  /// One matmul forward+backward: [4x5] @ [5x6].
+  static void RunMatMulGraph() {
+    Tape tape;
+    VarId a = tape.Leaf(Tensor(4, 5, std::vector<float>(20, 0.5f)));
+    VarId b = tape.Leaf(Tensor(5, 6, std::vector<float>(30, 0.25f)));
+    tape.Backward(tape.SumAll(tape.MatMul(a, b)));
+  }
+
+  static const OpProfile* FindOp(const std::vector<OpProfile>& rows,
+                                 OpKind kind) {
+    for (const OpProfile& row : rows) {
+      if (row.kind == kind) return &row;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TapeProfilerTest, DisabledRecordsNothing) {
+  TapeProfiler::SetEnabled(false);
+  RunMatMulGraph();
+  EXPECT_TRUE(TapeProfiler::Snapshot().empty());
+  EXPECT_TRUE(TapeProfiler::FormatTable().empty());
+}
+
+TEST_F(TapeProfilerTest, RecordsCallsTimeAndMatMulFlops) {
+  RunMatMulGraph();
+  const std::vector<OpProfile> rows = TapeProfiler::Snapshot();
+  const OpProfile* mm = FindOp(rows, OpKind::kMatMul);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_STREQ(mm->name, "matmul");
+  EXPECT_EQ(mm->calls, 1u);
+  EXPECT_EQ(mm->backward_calls, 1u);
+  EXPECT_EQ(mm->flops, 2ull * 4 * 5 * 6);  // 2mkn
+  EXPECT_GT(mm->bytes, 0u);
+  EXPECT_GE(mm->forward_ms, 0.0);
+  EXPECT_GE(mm->backward_ms, 0.0);
+  // SumAll ran too, and the snapshot is sorted by total time descending.
+  EXPECT_NE(FindOp(rows, OpKind::kSumAll), nullptr);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].TotalMs(), rows[i].TotalMs());
+  }
+}
+
+TEST_F(TapeProfilerTest, ResetClearsAndTableMentionsOps) {
+  RunMatMulGraph();
+  const std::string table = TapeProfiler::FormatTable();
+  EXPECT_NE(table.find("matmul"), std::string::npos);
+  EXPECT_NE(table.find("sum_all"), std::string::npos);
+  TapeProfiler::Reset();
+  EXPECT_TRUE(TapeProfiler::Snapshot().empty());
+}
+
+TEST_F(TapeProfilerTest, ExportToPublishesPerOpSeries) {
+  RunMatMulGraph();
+  obs::MetricsRegistry reg;
+  TapeProfiler::ExportTo(&reg);
+  EXPECT_EQ(reg.GetCounter("nn/op/calls", {{"op", "matmul"}})->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("nn/op/flops", {{"op", "matmul"}})->Value(),
+            2ull * 4 * 5 * 6);
+}
+
+TEST_F(TapeProfilerTest, PerOpTapeCountersRoundTripThroughJsonl) {
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  const uint64_t agg_before = reg.GetCounter("nn/tape_ops_total")->Value();
+  const uint64_t mm_before =
+      reg.GetCounter("nn/tape_ops_total", {{"op", "matmul"}})->Value();
+  RunMatMulGraph();
+  // Graph: 2 leaves + matmul + sum_all = 4 nodes; exactly one matmul.
+  EXPECT_EQ(reg.GetCounter("nn/tape_ops_total")->Value(), agg_before + 4);
+  EXPECT_EQ(reg.GetCounter("nn/tape_ops_total", {{"op", "matmul"}})->Value(),
+            mm_before + 1);
+  // The labeled series must survive JSONL export with its label attached.
+  std::ostringstream os;
+  reg.WriteJsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (line.find("\"nn/tape_ops_total\"") == std::string::npos) continue;
+    if (line.find("\"op\":\"matmul\"") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("\"type\":\"counter\""), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << "no labeled nn/tape_ops_total{op=matmul} line";
 }
 
 }  // namespace

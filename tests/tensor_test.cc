@@ -1,8 +1,11 @@
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "nn/tensor.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ucad::nn {
@@ -127,6 +130,73 @@ TEST(MatMulTest, TransposeVariantsAgreeWithExplicitTranspose) {
       EXPECT_NEAR(out3.at(r, c), out4.at(r, c), 1e-4f);
     }
   }
+}
+
+// ---------- Memory accounting ----------
+
+/// Serializes tests that toggle the process-wide allocation tracker.
+class TensorMemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTensorMemTrackingEnabled(true);
+    ResetTensorMemStats();
+  }
+  void TearDown() override {
+    SetTensorMemTrackingEnabled(false);
+    ResetTensorMemStats();
+  }
+};
+
+TEST_F(TensorMemTest, LiveAndPeakTrackScopes) {
+  const int64_t base_live = TensorMemStats().live_bytes;
+  {
+    Tensor a(100, 100);  // 40 KB
+    const TensorMemSnapshot during = TensorMemStats();
+    EXPECT_EQ(during.live_bytes, base_live + 40000);
+    EXPECT_GE(during.peak_live_bytes, base_live + 40000);
+    EXPECT_GE(during.alloc_count, 1u);
+  }
+  const TensorMemSnapshot after = TensorMemStats();
+  EXPECT_EQ(after.live_bytes, base_live);           // freed on scope exit
+  EXPECT_GE(after.peak_live_bytes, base_live + 40000);  // peak persists
+}
+
+TEST_F(TensorMemTest, CopyCountsMoveDoesNot) {
+  Tensor a(10, 10);  // 400 B
+  const TensorMemSnapshot before = TensorMemStats();
+  Tensor copied = a;  // new allocation
+  EXPECT_EQ(TensorMemStats().live_bytes, before.live_bytes + 400);
+  Tensor moved = std::move(copied);  // ownership transfer, no new bytes
+  EXPECT_EQ(TensorMemStats().live_bytes, before.live_bytes + 400);
+}
+
+TEST_F(TensorMemTest, BalancedAcrossEnableToggle) {
+  Tensor tracked(10, 10);
+  SetTensorMemTrackingEnabled(false);
+  const int64_t live_with_tracked = TensorMemStats().live_bytes;
+  {
+    Tensor untracked(50, 50);  // allocated while tracking is off
+    EXPECT_EQ(TensorMemStats().live_bytes, live_with_tracked);
+  }
+  SetTensorMemTrackingEnabled(true);
+  // The untracked tensor's destruction must not underflow the gauge, and
+  // destroying the tracked tensor releases exactly what it recorded.
+  EXPECT_EQ(TensorMemStats().live_bytes, live_with_tracked);
+}
+
+TEST_F(TensorMemTest, AssignmentReleasesOldAllocation) {
+  Tensor a(10, 10);                     // 400 B
+  const int64_t base = TensorMemStats().live_bytes;
+  a = Tensor(20, 20);                   // 1600 B replaces 400 B
+  EXPECT_EQ(TensorMemStats().live_bytes, base - 400 + 1600);
+}
+
+TEST_F(TensorMemTest, PublishExportsGaugesAndCounters) {
+  Tensor a(100, 100);
+  PublishTensorMemMetrics();
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  EXPECT_GE(reg.GetGauge("nn/tensor/peak_live_bytes")->Value(), 40000.0);
+  EXPECT_GE(reg.GetCounter("nn/tensor/allocs_total")->Value(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+// Diffs two bench/metrics snapshots (bench_<slug>.json JSONL files or
+// run.json manifests) with noise-aware thresholds and exits non-zero on
+// regression. Pass several candidate files from repeated runs to gate on
+// the min-of-N statistic instead of a single noisy sample.
+//
+//   bench_compare baseline.json candidate.json
+//   bench_compare baseline.json run1.json run2.json run3.json --tol 0.3
+//
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+
+using namespace ucad;  // NOLINT
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare [options] <baseline.json> <candidate.json>...\n"
+      "\n"
+      "Compares metric snapshots (JSONL from --metrics-out / bench_<slug>.json,\n"
+      "or run.json manifests). Multiple candidate files are merged min-of-N\n"
+      "per timing metric before the comparison, so rerunning a bench N times\n"
+      "gates on its best (least noisy) sample.\n"
+      "\n"
+      "options:\n"
+      "  --tol <frac>         allowed relative growth for timing metrics\n"
+      "                       (default 0.25 = +25%%)\n"
+      "  --abs-floor-ms <ms>  absolute growth below this is never a\n"
+      "                       regression (default 0.5)\n"
+      "  --fail-on-missing    baseline series absent from the candidate fail\n"
+      "  --check-counters     counters must match exactly\n"
+      "  -q, --quiet          print only regressions\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::CompareOptions options;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" || arg == "--abs-floor-ms") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        return 2;
+      }
+      const double v = std::atof(argv[++i]);
+      (arg == "--tol" ? options.rel_tolerance : options.abs_floor_ms) = v;
+    } else if (arg == "--fail-on-missing") {
+      options.fail_on_missing = true;
+    } else if (arg == "--check-counters") {
+      options.check_counters = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() < 2) {
+    Usage();
+    return 2;
+  }
+
+  util::Result<obs::Snapshot> baseline = obs::LoadSnapshotFile(files[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<obs::Snapshot> candidates;
+  for (size_t i = 1; i < files.size(); ++i) {
+    util::Result<obs::Snapshot> snap = obs::LoadSnapshotFile(files[i]);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+      return 2;
+    }
+    candidates.push_back(std::move(*snap));
+  }
+  const obs::Snapshot candidate = obs::MergeMinOfN(candidates);
+
+  const obs::CompareReport report =
+      obs::CompareSnapshots(*baseline, candidate, options);
+  if (!quiet || !report.Ok(options)) {
+    std::string extra;
+    if (files.size() > 2) {
+      extra = " (+" + std::to_string(files.size() - 2) + " more, min-of-N)";
+    }
+    std::printf("baseline:  %s\ncandidate: %s%s\n%s", files[0].c_str(),
+                files[1].c_str(), extra.c_str(),
+                report.Format(options).c_str());
+  }
+  return report.Ok(options) ? 0 : 1;
+}
