@@ -4,6 +4,7 @@
 //   ucad_cli gen-demo <log-file>            # write a synthetic demo log
 //   ucad_cli train <log-file> <model-file> [epochs]
 //   ucad_cli detect <model-file> <log-file> [top_p]
+//   ucad_cli monitor <model-file> <log-file> [top_p]  # live drift view
 //   ucad_cli quickstart [dir] [epochs]      # gen-demo + train + detect
 //
 // Observability flags (accepted by every command, in any position):
@@ -14,21 +15,34 @@
 //                          accounting, printed on exit
 //   --manifest-out <file>  write a run manifest (run.json) with provenance,
 //                          resource usage, and the final metrics snapshot
+//   --audit-out <file>     per-verdict forensic audit log (JSONL); inspect
+//                          with tools/audit_inspect
+//   --serve-metrics <port> serve Prometheus /metrics + /healthz on
+//                          127.0.0.1:<port> for the lifetime of the run
+//                          (also enables the streaming drift monitor)
+//   --linger <seconds>     keep the process (and the metrics endpoint)
+//                          alive this long after the command finishes
+//   --drift-window <n>     scored operations per drift window (default 256)
 //
 // Log format: one operation per line,
 //   user<TAB>address<TAB>unix_time<TAB>SQL
 // with blank lines or `# session` separating sessions (sql/log_reader.h).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nn/tape.h"
 #include "nn/tensor.h"
+#include "obs/audit_log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/metrics_server.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "sql/log_reader.h"
 #include "transdas/detector.h"
@@ -123,6 +137,82 @@ int Train(const std::string& log_path, const std::string& model_path,
   return 0;
 }
 
+/// Path of the per-verdict audit log requested via --audit-out (empty =
+/// off). Consumed by the detect/monitor commands.
+std::string g_audit_out;
+
+std::string ConfigText(const transdas::TransDasConfig& config) {
+  return "vocab=" + std::to_string(config.vocab_size) +
+         ";window=" + std::to_string(config.window) +
+         ";hidden=" + std::to_string(config.hidden_dim) +
+         ";heads=" + std::to_string(config.num_heads) +
+         ";blocks=" + std::to_string(config.num_blocks);
+}
+
+/// Hex FNV-1a fingerprint of the model/detector configuration — the same
+/// hash the run manifest records, so audit records and run.json
+/// cross-reference.
+std::string ConfigHashHex(const std::string& config_text) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    obs::Fnv1aHash64(config_text)));
+  return buf;
+}
+
+/// Opens the --audit-out sink, stamping `model_hash` into every record.
+/// Returns null (and prints) on failure.
+std::unique_ptr<obs::AuditLog> OpenAuditLog(const std::string& path,
+                                            const std::string& model_hash) {
+  auto audit = obs::AuditLog::Open(
+      path, obs::AuditLogOptions{.model_hash = model_hash});
+  if (!audit.ok()) {
+    std::fprintf(stderr, "%s\n", audit.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(*audit);
+}
+
+/// Stable audit session id for the i-th session of the log (1-based).
+std::string SessionId(size_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%zu", index + 1);
+  return buf;
+}
+
+/// Appends one forensic record per scored operation of `verdict`.
+/// Expected-candidate explanations (one extra forward pass each) are
+/// computed only for abnormal verdicts.
+void AuditSession(obs::AuditLog* audit,
+                  const transdas::TransDasDetector& detector,
+                  const sql::Vocabulary& vocab,
+                  const sql::RawSession& raw_session,
+                  const std::vector<int>& keys,
+                  const transdas::SessionVerdict& verdict,
+                  const std::string& session_id) {
+  for (const transdas::OperationVerdict& op : verdict.operations) {
+    obs::AuditRecord record;
+    record.session_id = session_id;
+    record.position = op.position;
+    record.key = keys[op.position];
+    record.observed =
+        record.key > 0 && record.key < vocab.size()
+            ? vocab.TemplateOf(record.key)
+            : raw_session.operations[op.position].sql;
+    record.rank = op.rank;
+    record.score = op.score;
+    record.margin = op.margin;
+    record.abnormal = op.abnormal;
+    if (op.abnormal) {
+      for (const auto& cand :
+           detector.ExplainOperation(keys, op.position, 3)) {
+        record.expected.push_back(obs::AuditCandidate{cand.key, cand.score});
+      }
+    }
+    audit->Append(std::move(record));
+  }
+}
+
 int Detect(const std::string& model_path, const std::string& log_path,
            int top_p) {
   auto bundle = transdas::LoadModelFromFile(model_path);
@@ -137,12 +227,24 @@ int Detect(const std::string& model_path, const std::string& log_path,
   }
   transdas::TransDasDetector detector(
       bundle->model.get(), transdas::DetectorOptions{.top_p = top_p});
+  const std::string config_text = ConfigText(bundle->model->config()) +
+                                  ";top_p=" + std::to_string(top_p);
+  if (g_manifest != nullptr) g_manifest->SetConfigText(config_text);
+  std::unique_ptr<obs::AuditLog> audit;
+  if (!g_audit_out.empty()) {
+    audit = OpenAuditLog(g_audit_out, ConfigHashHex(config_text));
+    if (audit == nullptr) return 1;
+  }
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
     const sql::KeySession keys =
         sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
     const transdas::SessionVerdict verdict =
         detector.DetectSession(keys.keys);
+    if (audit != nullptr) {
+      AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
+                   keys.keys, verdict, SessionId(i));
+    }
     if (!verdict.abnormal) continue;
     ++flagged;
     std::printf("session %zu (user %s): ABNORMAL at operations", i + 1,
@@ -162,6 +264,80 @@ int Detect(const std::string& model_path, const std::string& log_path,
     }
   }
   std::printf("%d/%zu sessions flagged\n", flagged, log->size());
+  if (audit != nullptr) {
+    audit->Close();
+    std::printf("audit log: %llu records (%llu dropped) written to %s\n",
+                static_cast<unsigned long long>(audit->appended()),
+                static_cast<unsigned long long>(audit->dropped()),
+                audit->path().c_str());
+  }
+  return 0;
+}
+
+/// Streaming triage view: scores the log session by session with the
+/// detection monitor enabled, printing a drift status line whenever a
+/// window completes. The first window calibrates the reference rank
+/// distribution; later windows report PSI against it.
+int Monitor(const std::string& model_path, const std::string& log_path,
+            int top_p) {
+  auto bundle = transdas::LoadModelFromFile(model_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  auto log = sql::ReadSessionLogFile(log_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  obs::SetDetectionMonitorEnabled(true);
+  obs::DetectionMonitor& monitor = obs::DefaultDetectionMonitor();
+  transdas::TransDasDetector detector(
+      bundle->model.get(), transdas::DetectorOptions{.top_p = top_p});
+  const std::string config_text = ConfigText(bundle->model->config()) +
+                                  ";top_p=" + std::to_string(top_p);
+  if (g_manifest != nullptr) g_manifest->SetConfigText(config_text);
+  std::unique_ptr<obs::AuditLog> audit;
+  if (!g_audit_out.empty()) {
+    audit = OpenAuditLog(g_audit_out, ConfigHashHex(config_text));
+    if (audit == nullptr) return 1;
+  }
+  std::printf("monitoring %zu sessions (drift window %d ops, PSI alert > "
+              "%.2f)\n",
+              log->size(), monitor.options().window,
+              monitor.options().psi_alert);
+  uint64_t last_windows = monitor.WindowsCompleted();
+  int flagged = 0;
+  for (size_t i = 0; i < log->size(); ++i) {
+    const sql::KeySession keys =
+        sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
+    const transdas::SessionVerdict verdict =
+        detector.DetectSession(keys.keys);
+    if (audit != nullptr) {
+      AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
+                   keys.keys, verdict, SessionId(i));
+    }
+    if (verdict.abnormal) {
+      ++flagged;
+      std::printf("session %zu (user %s): ABNORMAL (%zu ops flagged)\n",
+                  i + 1, (*log)[i].attrs.user.c_str(),
+                  verdict.AbnormalPositions().size());
+    }
+    const uint64_t windows = monitor.WindowsCompleted();
+    if (windows != last_windows) {
+      last_windows = windows;
+      std::printf("[drift] %s\n", monitor.StatusLine().c_str());
+    }
+  }
+  std::printf("done: %d/%zu sessions flagged; %s\n", flagged, log->size(),
+              monitor.StatusLine().c_str());
+  if (audit != nullptr) {
+    audit->Close();
+    std::printf("audit log: %llu records (%llu dropped) written to %s\n",
+                static_cast<unsigned long long>(audit->appended()),
+                static_cast<unsigned long long>(audit->dropped()),
+                audit->path().c_str());
+  }
   return 0;
 }
 
@@ -183,6 +359,7 @@ void Usage() {
                "  ucad_cli gen-demo <log-file>\n"
                "  ucad_cli train <log-file> <model-file> [epochs=80]\n"
                "  ucad_cli detect <model-file> <log-file> [top_p=6]\n"
+               "  ucad_cli monitor <model-file> <log-file> [top_p=6]\n"
                "  ucad_cli quickstart [dir=.] [epochs=20]\n"
                "observability flags (any command, any position):\n"
                "  --metrics-out <file>  write a JSONL metrics snapshot on "
@@ -198,7 +375,18 @@ void Usage() {
                "  --manifest-out <file> write a run manifest: git SHA, "
                "build flags, seed,\n"
                "                        config hash, hardware, peak RSS, "
-               "final metrics\n");
+               "final metrics\n"
+               "  --audit-out <file>    per-verdict audit log (JSONL; "
+               "detect/monitor);\n"
+               "                        inspect with tools/audit_inspect\n"
+               "  --serve-metrics <p>   Prometheus /metrics + /healthz on "
+               "127.0.0.1:<p>\n"
+               "                        (0 = ephemeral port; enables the "
+               "drift monitor)\n"
+               "  --linger <seconds>    keep serving /metrics this long "
+               "after the command\n"
+               "  --drift-window <n>    scored ops per drift window "
+               "(default 256)\n");
 }
 
 /// Dumps the metrics registry / trace buffer / run manifest to the paths
@@ -251,20 +439,36 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string manifest_out;
   bool profile = false;
+  int serve_port = -1;  // -1 = endpoint off
+  int linger_seconds = 0;
+  int drift_window = 0;  // 0 = default
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" || arg == "--trace-out" ||
-        arg == "--manifest-out") {
+        arg == "--manifest-out" || arg == "--audit-out" ||
+        arg == "--serve-metrics" || arg == "--linger" ||
+        arg == "--drift-window") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
+        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
       }
-      std::string& out = arg == "--metrics-out"
-                             ? metrics_out
-                             : (arg == "--trace-out" ? trace_out
-                                                     : manifest_out);
-      out = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--metrics-out") {
+        metrics_out = value;
+      } else if (arg == "--trace-out") {
+        trace_out = value;
+      } else if (arg == "--manifest-out") {
+        manifest_out = value;
+      } else if (arg == "--audit-out") {
+        g_audit_out = value;
+      } else if (arg == "--serve-metrics") {
+        serve_port = std::atoi(value.c_str());
+      } else if (arg == "--linger") {
+        linger_seconds = std::atoi(value.c_str());
+      } else {
+        drift_window = std::atoi(value.c_str());
+      }
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -278,6 +482,24 @@ int main(int argc, char** argv) {
   if (profile) {
     nn::TapeProfiler::SetEnabled(true);
     nn::SetTensorMemTrackingEnabled(true);
+  }
+  if (drift_window > 0) {
+    obs::MonitorOptions monitor_options;
+    monitor_options.window = drift_window;
+    obs::SetDefaultMonitorOptions(monitor_options);
+  }
+  obs::MetricsHttpServer server;
+  if (serve_port >= 0) {
+    // A scrape endpoint implies live monitoring: drift/quantile series
+    // should be on whatever Prometheus is watching.
+    obs::SetDetectionMonitorEnabled(true);
+    const util::Status st = server.Start(serve_port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("serving metrics on http://127.0.0.1:%d/metrics\n",
+                server.port());
   }
   obs::RunManifest manifest("ucad_cli");
   manifest.SetCommandLine(argc, argv);
@@ -293,6 +515,9 @@ int main(int argc, char** argv) {
   } else if (command == "detect" && args.size() >= 3) {
     rc = Detect(args[1], args[2],
                 args.size() > 3 ? std::atoi(args[3].c_str()) : 6);
+  } else if (command == "monitor" && args.size() >= 3) {
+    rc = Monitor(args[1], args[2],
+                 args.size() > 3 ? std::atoi(args[3].c_str()) : 6);
   } else if (command == "quickstart") {
     rc = Quickstart(args.size() > 1 ? args[1] : ".",
                     args.size() > 2 ? std::atoi(args[2].c_str()) : 20);
@@ -309,8 +534,16 @@ int main(int argc, char** argv) {
   nn::PublishTensorMemMetrics();
   manifest.AddNote("peak_live_tensor_bytes",
                    std::to_string(nn::TensorMemStats().peak_live_bytes));
+  // Dump before lingering: the linger exists so scrapers can read a
+  // finished run, and killing a lingering process must not lose the files.
   const int obs_rc =
       WriteObservability(metrics_out, trace_out, manifest_out, manifest);
   g_manifest = nullptr;
+  if (server.serving() && linger_seconds > 0) {
+    std::printf("lingering %d s (metrics at http://127.0.0.1:%d/metrics)\n",
+                linger_seconds, server.port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+  }
   return rc != 0 ? rc : obs_rc;
 }

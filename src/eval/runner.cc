@@ -41,7 +41,7 @@ std::string MethodSlug(const std::string& method) {
 /// gates on: histogram `min` across repeated runs is the noise-robust
 /// statistic, where a gauge would only keep the last sample.
 void RecordMethodTiming(const std::string& method, double train_seconds,
-                        double detect_seconds) {
+                        double detect_seconds, const EvalResult& result) {
   if (!obs::MetricsEnabled()) return;
   obs::MetricsRegistry& reg = obs::DefaultMetrics();
   const obs::Labels labels = {{"method", method}};
@@ -52,6 +52,13 @@ void RecordMethodTiming(const std::string& method, double train_seconds,
   reg.GetHistogram("eval/" + slug + "/train_ms")->Observe(train_seconds * 1e3);
   reg.GetHistogram("eval/" + slug + "/detect_ms")
       ->Observe(detect_seconds * 1e3);
+  // Raw confusion counts: precision/recall are derived quantities, and a
+  // dashboard holding tp/fp/fn/tn can recompute them (or any other
+  // statistic) at whatever threshold or aggregation it wants.
+  reg.GetCounter("eval/" + slug + "/tp")->Increment(result.true_positives);
+  reg.GetCounter("eval/" + slug + "/fp")->Increment(result.false_positives);
+  reg.GetCounter("eval/" + slug + "/fn")->Increment(result.false_negatives);
+  reg.GetCounter("eval/" + slug + "/tn")->Increment(result.true_negatives);
   // Phase-boundary RSS high-water mark: training a method is the natural
   // allocation peak, so refreshing here makes run.json attribution useful.
   reg.GetGauge("proc/peak_rss_bytes")
@@ -85,8 +92,8 @@ TransDasRun RunTransDas(const ScenarioDataset& ds,
         },
         ds.TestSets());
   }
-  RecordMethodTiming("TransDAS", train_seconds,
-                     detect_timer.ElapsedSeconds());
+  RecordMethodTiming("TransDAS", train_seconds, detect_timer.ElapsedSeconds(),
+                     run.metrics);
   return run;
 }
 
@@ -143,7 +150,7 @@ EvalResult RunBaseline(baselines::SessionDetector* detector,
         ds.TestSets());
   }
   RecordMethodTiming(detector->name(), train_seconds,
-                     detect_timer.ElapsedSeconds());
+                     detect_timer.ElapsedSeconds(), result);
   return result;
 }
 

@@ -1,0 +1,235 @@
+#include "obs/audit_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace ucad::obs {
+
+namespace {
+
+/// JSON float: enough digits to round-trip a float; non-finite values have
+/// no JSON spelling and become null (only `margin` of unknown-key records
+/// is ever non-finite).
+std::string FloatJson(float v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string AuditRecordToJson(const AuditRecord& record) {
+  std::ostringstream os;
+  os << "{\"session\":\"" << JsonEscape(record.session_id) << "\""
+     << ",\"position\":" << record.position << ",\"key\":" << record.key;
+  if (!record.observed.empty()) {
+    os << ",\"observed\":\"" << JsonEscape(record.observed) << "\"";
+  }
+  os << ",\"rank\":" << record.rank << ",\"score\":" << FloatJson(record.score)
+     << ",\"margin\":" << FloatJson(record.margin)
+     << ",\"abnormal\":" << (record.abnormal ? "true" : "false");
+  if (!record.expected.empty()) {
+    os << ",\"expected\":[";
+    for (size_t i = 0; i < record.expected.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"key\":" << record.expected[i].key
+         << ",\"score\":" << FloatJson(record.expected[i].score) << "}";
+    }
+    os << "]";
+  }
+  os << ",\"wall_ms\":" << record.wall_ms;
+  if (!record.model_hash.empty()) {
+    os << ",\"model_hash\":\"" << JsonEscape(record.model_hash) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+util::Result<AuditRecord> ParseAuditRecord(const std::string& json_line) {
+  util::Result<JsonValue> doc = ParseJson(json_line);
+  if (!doc.ok()) return doc.status();
+  if (doc->type != JsonValue::Type::kObject) {
+    return util::Status::InvalidArgument("audit record is not a JSON object");
+  }
+  const JsonValue* session = doc->Find("session");
+  const JsonValue* rank = doc->Find("rank");
+  if (session == nullptr || session->type != JsonValue::Type::kString ||
+      rank == nullptr || rank->type != JsonValue::Type::kNumber) {
+    return util::Status::InvalidArgument(
+        "audit record missing required fields (session, rank)");
+  }
+  AuditRecord record;
+  record.session_id = session->string_value;
+  record.rank = static_cast<int>(rank->number);
+  auto number = [&doc](const char* name, double fallback) {
+    const JsonValue* v = doc->Find(name);
+    return v != nullptr ? v->NumberOr(fallback) : fallback;
+  };
+  record.position = static_cast<int>(number("position", 0));
+  record.key = static_cast<int>(number("key", 0));
+  // null score/margin (unknown key) parse back as the non-finite sentinel.
+  const JsonValue* score = doc->Find("score");
+  record.score = score != nullptr && score->type == JsonValue::Type::kNumber
+                     ? static_cast<float>(score->number)
+                     : 0.0f;
+  const JsonValue* margin = doc->Find("margin");
+  record.margin = margin != nullptr && margin->type == JsonValue::Type::kNumber
+                      ? static_cast<float>(margin->number)
+                      : -std::numeric_limits<float>::infinity();
+  const JsonValue* abnormal = doc->Find("abnormal");
+  record.abnormal = abnormal != nullptr && abnormal->bool_value;
+  const JsonValue* observed = doc->Find("observed");
+  if (observed != nullptr) record.observed = observed->string_value;
+  record.wall_ms = static_cast<int64_t>(number("wall_ms", 0));
+  const JsonValue* hash = doc->Find("model_hash");
+  if (hash != nullptr) record.model_hash = hash->string_value;
+  const JsonValue* expected = doc->Find("expected");
+  if (expected != nullptr && expected->type == JsonValue::Type::kArray) {
+    for (const JsonValue& cand : expected->array) {
+      AuditCandidate c;
+      const JsonValue* key = cand.Find("key");
+      const JsonValue* cscore = cand.Find("score");
+      c.key = key != nullptr ? static_cast<int>(key->NumberOr(0)) : 0;
+      c.score =
+          cscore != nullptr ? static_cast<float>(cscore->NumberOr(0)) : 0.0f;
+      record.expected.push_back(c);
+    }
+  }
+  return record;
+}
+
+util::Result<std::vector<AuditRecord>> ReadAuditLogFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return util::Status::NotFound("cannot open audit log: " + path);
+  }
+  std::vector<AuditRecord> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    util::Result<AuditRecord> record = ParseAuditRecord(line);
+    if (!record.ok()) {
+      return util::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": " +
+          record.status().message());
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+util::Result<std::unique_ptr<AuditLog>> AuditLog::Open(
+    const std::string& path, AuditLogOptions options) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) {
+    return util::Status::NotFound("cannot open audit log for writing: " +
+                                  path);
+  }
+  return std::unique_ptr<AuditLog>(
+      new AuditLog(path, std::move(os), std::move(options)));
+}
+
+AuditLog::AuditLog(std::string path, std::ofstream os, AuditLogOptions options)
+    : path_(std::move(path)), options_(std::move(options)),
+      os_(std::move(os)) {
+  queue_.reserve(std::min<size_t>(options_.queue_capacity, 1024));
+  writer_ = std::thread(&AuditLog::WriterLoop, this);
+}
+
+AuditLog::~AuditLog() { Close(); }
+
+bool AuditLog::Append(AuditRecord record) {
+  if (record.wall_ms == 0) record.wall_ms = NowUnixMs();
+  if (record.model_hash.empty()) record.model_hash = options_.model_hash;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(std::move(record));
+    ++appended_;
+  }
+  queue_ready_.notify_one();
+  return true;
+}
+
+void AuditLog::WriterLoop() {
+  std::vector<AuditRecord> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;
+      batch.swap(queue_);
+      writer_idle_ = false;
+    }
+    for (const AuditRecord& record : batch) {
+      os_ << AuditRecordToJson(record) << "\n";
+    }
+    os_.flush();
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_idle_ = true;
+    }
+    queue_drained_.notify_all();
+  }
+}
+
+void AuditLog::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_drained_.wait(lock, [this] { return queue_.empty() && writer_idle_; });
+}
+
+void AuditLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !writer_.joinable()) return;
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (os_.is_open()) {
+    os_.flush();
+    os_.close();
+  }
+  // Fold the accept/drop tally into the registry so snapshots carry it.
+  if (MetricsEnabled()) {
+    MetricsRegistry& reg = DefaultMetrics();
+    reg.GetCounter("audit/records_total")->Increment(appended());
+    if (dropped() > 0) {
+      reg.GetCounter("audit/dropped_total")->Increment(dropped());
+    }
+  }
+}
+
+uint64_t AuditLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t AuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,135 @@
+#ifndef UCAD_OBS_AUDIT_LOG_H_
+#define UCAD_OBS_AUDIT_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// One expected-operation candidate recorded alongside a verdict (what the
+/// contextual intent predicted instead of the observed key).
+struct AuditCandidate {
+  int key = 0;
+  float score = 0.0f;
+};
+
+/// One per-verdict forensic record: everything needed to triage "why was
+/// this operation flagged" after the fact, without re-running the model.
+/// Serialized as a single JSONL line (see docs/OBSERVABILITY.md for the
+/// schema).
+struct AuditRecord {
+  /// Caller-assigned session identity (log line range, user, ...).
+  std::string session_id;
+  /// Operation index within the session (operation 0 is never scored).
+  int position = 0;
+  /// Observed key at `position`.
+  int key = 0;
+  /// Optional human-readable form of the observed key (SQL template).
+  std::string observed;
+  /// Rank of the observed key among all keys (1 = best); vocab_size+1
+  /// when the key was unknown to the model.
+  int rank = 0;
+  /// Similarity of the observed key to the predicted contextual intent
+  /// (Eq. 10 logit); 0 for unknown keys, which have no logit.
+  float score = 0.0f;
+  /// score minus the top-p admission cutoff; >= 0 iff the verdict was
+  /// normal. Non-finite (serialized as JSON null) for unknown keys.
+  float margin = 0.0f;
+  bool abnormal = false;
+  /// Top-k keys the contextual intent expected at this position, best
+  /// first (TransDasDetector::ExplainOperation); usually populated only
+  /// for abnormal verdicts to keep the hot path cheap.
+  std::vector<AuditCandidate> expected;
+  /// Wall-clock unix milliseconds; stamped by AuditLog::Append when 0.
+  int64_t wall_ms = 0;
+  /// Model/config fingerprint (hex FNV-1a, same value the run manifest
+  /// records); stamped from AuditLogOptions::model_hash when empty.
+  std::string model_hash;
+};
+
+/// Serializes one record as a single-line JSON object (no trailing
+/// newline). Non-finite score/margin become JSON null.
+std::string AuditRecordToJson(const AuditRecord& record);
+/// Parses one JSONL line back into a record (inverse of ToJson).
+util::Result<AuditRecord> ParseAuditRecord(const std::string& json_line);
+/// Loads a whole audit log; blank lines are skipped, a malformed line is
+/// an error.
+util::Result<std::vector<AuditRecord>> ReadAuditLogFile(
+    const std::string& path);
+
+struct AuditLogOptions {
+  /// Maximum records buffered between the scoring thread and the writer
+  /// thread. Append drops (and counts) records beyond this, so a slow
+  /// disk back-pressures into data loss, never into scoring latency.
+  size_t queue_capacity = 8192;
+  /// Default model/config fingerprint stamped into records that carry
+  /// none.
+  std::string model_hash;
+};
+
+/// Append-only JSONL audit sink with a bounded buffer and a dedicated
+/// writer thread: Append() formats nothing and performs no I/O — it moves
+/// the record into an in-memory queue under a mutex and returns, so the
+/// hot scoring path never blocks on the filesystem. The writer thread
+/// drains the queue in batches. Destruction (or Close) drains what was
+/// accepted and joins the thread.
+class AuditLog {
+ public:
+  /// Opens `path` for writing (truncates). Fails if the file cannot be
+  /// created.
+  static util::Result<std::unique_ptr<AuditLog>> Open(
+      const std::string& path, AuditLogOptions options = {});
+
+  ~AuditLog();
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Enqueues one record (non-blocking). Stamps wall_ms / model_hash when
+  /// unset. Returns false when the buffer was full and the record was
+  /// dropped.
+  bool Append(AuditRecord record);
+
+  /// Blocks until every record accepted so far is on disk (fstream
+  /// flushed).
+  void Flush();
+
+  /// Flush + join the writer thread + close the file. Idempotent; called
+  /// by the destructor.
+  void Close();
+
+  uint64_t appended() const;
+  uint64_t dropped() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  AuditLog(std::string path, std::ofstream os, AuditLogOptions options);
+
+  void WriterLoop();
+
+  const std::string path_;
+  const AuditLogOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_ready_;   // writer waits for work/stop
+  std::condition_variable queue_drained_; // Flush waits for empty queue
+  std::vector<AuditRecord> queue_;
+  bool stopping_ = false;
+  bool writer_idle_ = true;
+  uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;
+
+  std::ofstream os_;  // touched only by the writer thread (and Close)
+  std::thread writer_;
+};
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_AUDIT_LOG_H_

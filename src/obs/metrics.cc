@@ -239,6 +239,15 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return e->histogram.get();
 }
 
+void MetricsRegistry::ForEachSeries(
+    const std::function<void(const SeriesRef&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, e] : entries_) {
+    fn(SeriesRef{e->name, e->labels, e->counter.get(), e->gauge.get(),
+                 e->histogram.get()});
+  }
+}
+
 size_t MetricsRegistry::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

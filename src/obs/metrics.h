@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,22 @@ class MetricsRegistry {
   /// p50/p90/p99, and the per-bucket cumulative counts.
   void WriteJsonl(std::ostream& os) const;
   util::Status WriteJsonlFile(const std::string& path) const;
+
+  /// One registered series, as seen by ForEachSeries. Exactly one of the
+  /// instrument pointers is non-null (none for a name that was registered
+  /// but never typed). References stay valid for the registry's lifetime.
+  struct SeriesRef {
+    const std::string& name;
+    const Labels& labels;  // sorted by key
+    const Counter* counter;
+    const Gauge* gauge;
+    const Histogram* histogram;
+  };
+
+  /// Visits every series in deterministic (name, labels) order while
+  /// holding the registry lock — `fn` must not call back into the
+  /// registry. This is the exporter surface (JSONL, Prometheus text).
+  void ForEachSeries(const std::function<void(const SeriesRef&)>& fn) const;
 
   /// Number of distinct metric series currently registered.
   size_t Size() const;

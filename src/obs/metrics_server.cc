@@ -1,0 +1,151 @@
+#include "obs/metrics_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/prom_text.h"
+#include "util/logging.h"
+
+namespace ucad::obs {
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes; best-effort (a scraper
+/// hanging up mid-response is its problem, not ours).
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Extracts the request path from an HTTP request line ("GET /metrics
+/// HTTP/1.1"); empty when malformed or not a GET.
+std::string RequestPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  return request.substr(start, end - start);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &DefaultMetrics()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+util::Status MetricsHttpServer::Start(int port) {
+  if (serving()) {
+    return util::Status::FailedPrecondition("metrics server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::Internal(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Internal("bind 127.0.0.1:" + std::to_string(port) +
+                                  ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_.store(fd);
+  thread_ = std::thread(&MetricsHttpServer::AcceptLoop, this);
+  return util::Status::Ok();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (true) {
+    const int fd = listen_fd_.load();
+    if (fd < 0) return;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // The listening socket was shut down by Stop() (or an unrecoverable
+      // error): exit the thread either way.
+      return;
+    }
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int client_fd) {
+  // One read is enough for a scrape request line; we never need the body.
+  char buf[2048];
+  const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string path = RequestPath(buf);
+  requests_.fetch_add(1);
+  if (MetricsEnabled()) {
+    registry_->GetCounter("obs/http_requests_total", {{"path", path}})
+        ->Increment();
+  }
+  if (path == "/metrics") {
+    SendAll(client_fd,
+            HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                         PromText(*registry_)));
+  } else if (path == "/healthz") {
+    SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else if (path.empty()) {
+    SendAll(client_fd,
+            HttpResponse(400, "Bad Request", "text/plain", "bad request\n"));
+  } else {
+    SendAll(client_fd,
+            HttpResponse(404, "Not Found", "text/plain", "not found\n"));
+  }
+}
+
+void MetricsHttpServer::Stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // Unblocks the accept() so the thread exits; the fd is closed only
+    // after the join so it cannot be recycled under the accept loop.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (fd >= 0) ::close(fd);
+  port_ = 0;
+}
+
+}  // namespace ucad::obs

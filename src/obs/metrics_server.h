@@ -1,0 +1,61 @@
+#ifndef UCAD_OBS_METRICS_SERVER_H_
+#define UCAD_OBS_METRICS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Minimal single-threaded HTTP/1.0 scrape endpoint on a dedicated
+/// blocking-accept thread. Serves:
+///
+///   GET /metrics  -> Prometheus text exposition of the registry
+///   GET /healthz  -> "ok"
+///
+/// anything else is 404. One request per connection (Connection: close),
+/// which is exactly the Prometheus scrape model — this is deliberately not
+/// a general HTTP server. The accept thread touches the registry only
+/// through its thread-safe read surface, so serving concurrently with
+/// scoring is safe. Opt-in (e.g. `ucad_cli ... --serve-metrics <port>`);
+/// nothing is spawned unless Start() is called.
+class MetricsHttpServer {
+ public:
+  /// Serves `registry` (DefaultMetrics() when null).
+  explicit MetricsHttpServer(MetricsRegistry* registry = nullptr);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts
+  /// the accept thread. Fails if already serving or the bind/listen fails.
+  util::Status Start(int port);
+
+  /// Closes the listening socket and joins the accept thread. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  bool serving() const { return listen_fd_.load() >= 0; }
+  /// The bound port (resolved after Start; 0 when not serving).
+  int port() const { return port_; }
+  /// Requests answered so far (any route).
+  uint64_t requests() const { return requests_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  MetricsRegistry* registry_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_METRICS_SERVER_H_

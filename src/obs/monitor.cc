@@ -1,0 +1,332 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ucad::obs {
+
+namespace internal {
+std::atomic<bool> g_detection_monitor_enabled{false};
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// P² quantile
+// ---------------------------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  UCAD_CHECK(q > 0.0 && q < 1.0) << "P2 quantile must be in (0,1)";
+  increment_[0] = 0.0;
+  increment_[1] = q / 2.0;
+  increment_[2] = q;
+  increment_[3] = (1.0 + q) / 2.0;
+  increment_[4] = 1.0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = i + 1;
+    desired_[i] = 0.0;
+  }
+}
+
+void P2Quantile::Observe(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+  ++count_;
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  // Adjust the three interior markers toward their desired positions,
+  // preferring the piecewise-parabolic (P²) height update and falling back
+  // to linear interpolation when the parabola would break monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          s / span *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Exact small-sample quantile (nearest rank on the sorted prefix).
+  double sorted[5];
+  std::copy(heights_, heights_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  const auto idx = static_cast<size_t>(
+      std::lround(q_ * static_cast<double>(count_ - 1)));
+  return sorted[idx];
+}
+
+// ---------------------------------------------------------------------------
+// Rank buckets + PSI
+// ---------------------------------------------------------------------------
+
+const std::vector<int>& RankBuckets::UpperBounds() {
+  static const std::vector<int>* bounds = new std::vector<int>{
+      1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256};
+  return *bounds;
+}
+
+size_t RankBuckets::Size() { return UpperBounds().size() + 1; }
+
+size_t RankBuckets::BucketOf(int rank) {
+  const std::vector<int>& bounds = UpperBounds();
+  return std::lower_bound(bounds.begin(), bounds.end(), rank) -
+         bounds.begin();  // == bounds.size() for the unbounded tail
+}
+
+std::string RankBuckets::LabelOf(size_t bucket) {
+  const std::vector<int>& bounds = UpperBounds();
+  if (bucket >= bounds.size()) {
+    return ">" + std::to_string(bounds.back());
+  }
+  return "<=" + std::to_string(bounds[bucket]);
+}
+
+double PopulationStabilityIndex(const std::vector<uint64_t>& reference,
+                                const std::vector<uint64_t>& live) {
+  UCAD_CHECK_EQ(reference.size(), live.size());
+  double ref_total = 0.0, live_total = 0.0;
+  for (uint64_t c : reference) ref_total += static_cast<double>(c);
+  for (uint64_t c : live) live_total += static_cast<double>(c);
+  if (ref_total == 0.0 || live_total == 0.0) return 0.0;
+  // Add-half smoothing keeps empty buckets finite without materially
+  // shifting populated ones.
+  const double bins = static_cast<double>(reference.size());
+  double psi = 0.0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const double p_ref = (static_cast<double>(reference[i]) + 0.5) /
+                         (ref_total + 0.5 * bins);
+    const double p_live =
+        (static_cast<double>(live[i]) + 0.5) / (live_total + 0.5 * bins);
+    psi += (p_live - p_ref) * std::log(p_live / p_ref);
+  }
+  return psi;
+}
+
+// ---------------------------------------------------------------------------
+// DetectionMonitor
+// ---------------------------------------------------------------------------
+
+DetectionMonitor::DetectionMonitor(MonitorOptions options,
+                                   MetricsRegistry* registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry : &DefaultMetrics()),
+      rank_p50_(0.5), rank_p90_(0.9), rank_p99_(0.99),
+      score_p50_(0.5), score_p90_(0.9), score_p99_(0.99),
+      latency_p50_(0.5), latency_p90_(0.9), latency_p99_(0.99),
+      window_counts_(RankBuckets::Size(), 0) {
+  UCAD_CHECK_GE(options_.window, 2);
+  const char* qs[3] = {"p50", "p90", "p99"};
+  for (int i = 0; i < 3; ++i) {
+    g_rank_[i] = registry_->GetGauge(std::string("detector/rank/") + qs[i]);
+    g_score_[i] = registry_->GetGauge(std::string("detector/score/") + qs[i]);
+    g_latency_[i] =
+        registry_->GetGauge(std::string("detector/latency/") + qs[i]);
+  }
+  g_psi_ = registry_->GetGauge("detector/drift/psi");
+  g_reference_ready_ = registry_->GetGauge("detector/drift/reference_ready");
+  c_operations_ = registry_->GetCounter("detector/monitor/operations_total");
+  c_windows_ = registry_->GetCounter("detector/drift/windows_total");
+  c_alerts_ = registry_->GetCounter("detector/drift/alerts_total");
+}
+
+void DetectionMonitor::PublishQuantilesLocked() {
+  g_rank_[0]->Set(rank_p50_.Value());
+  g_rank_[1]->Set(rank_p90_.Value());
+  g_rank_[2]->Set(rank_p99_.Value());
+  if (score_p50_.Count() > 0) {
+    g_score_[0]->Set(score_p50_.Value());
+    g_score_[1]->Set(score_p90_.Value());
+    g_score_[2]->Set(score_p99_.Value());
+  }
+}
+
+void DetectionMonitor::ObserveOperation(int rank, double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rank_p50_.Observe(rank);
+  rank_p90_.Observe(rank);
+  rank_p99_.Observe(rank);
+  if (std::isfinite(score)) {
+    score_p50_.Observe(score);
+    score_p90_.Observe(score);
+    score_p99_.Observe(score);
+  }
+  ++window_counts_[RankBuckets::BucketOf(rank)];
+  ++window_fill_;
+  ++operations_;
+  c_operations_->Increment();
+  PublishQuantilesLocked();
+  if (window_fill_ >= options_.window) CompleteWindowLocked();
+}
+
+void DetectionMonitor::CompleteWindowLocked() {
+  ++windows_;
+  c_windows_->Increment();
+  if (reference_.empty() && options_.auto_reference) {
+    // Self-calibration: the first window observed becomes the reference.
+    reference_ = window_counts_;
+    g_reference_ready_->Set(1.0);
+  } else if (!reference_.empty()) {
+    last_psi_ = PopulationStabilityIndex(reference_, window_counts_);
+    g_psi_->Set(last_psi_);
+    if (last_psi_ > options_.psi_alert) {
+      ++alerts_;
+      c_alerts_->Increment();
+    }
+  }
+  std::fill(window_counts_.begin(), window_counts_.end(), 0);
+  window_fill_ = 0;
+}
+
+void DetectionMonitor::ObserveLatency(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_p50_.Observe(ms);
+  latency_p90_.Observe(ms);
+  latency_p99_.Observe(ms);
+  g_latency_[0]->Set(latency_p50_.Value());
+  g_latency_[1]->Set(latency_p90_.Value());
+  g_latency_[2]->Set(latency_p99_.Value());
+}
+
+void DetectionMonitor::SetReferenceRanks(const std::vector<int>& ranks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reference_.assign(RankBuckets::Size(), 0);
+  for (int rank : ranks) ++reference_[RankBuckets::BucketOf(rank)];
+  g_reference_ready_->Set(1.0);
+}
+
+bool DetectionMonitor::HasReference() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !reference_.empty();
+}
+
+double DetectionMonitor::LastPsi() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_psi_;
+}
+
+uint64_t DetectionMonitor::WindowsCompleted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_;
+}
+
+uint64_t DetectionMonitor::Alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_;
+}
+
+uint64_t DetectionMonitor::Operations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operations_;
+}
+
+std::string DetectionMonitor::StatusLine() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu windows=%llu rank_p50=%.1f rank_p99=%.1f "
+                "psi=%.4f alerts=%llu%s",
+                static_cast<unsigned long long>(operations_),
+                static_cast<unsigned long long>(windows_),
+                rank_p50_.Value(), rank_p99_.Value(), last_psi_,
+                static_cast<unsigned long long>(alerts_),
+                reference_.empty() ? " (calibrating)" : "");
+  return buf;
+}
+
+void DetectionMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rank_p50_ = P2Quantile(0.5);
+  rank_p90_ = P2Quantile(0.9);
+  rank_p99_ = P2Quantile(0.99);
+  score_p50_ = P2Quantile(0.5);
+  score_p90_ = P2Quantile(0.9);
+  score_p99_ = P2Quantile(0.99);
+  latency_p50_ = P2Quantile(0.5);
+  latency_p90_ = P2Quantile(0.9);
+  latency_p99_ = P2Quantile(0.99);
+  reference_.clear();
+  std::fill(window_counts_.begin(), window_counts_.end(), 0);
+  window_fill_ = 0;
+  last_psi_ = 0.0;
+  windows_ = 0;
+  alerts_ = 0;
+  operations_ = 0;
+  for (int i = 0; i < 3; ++i) {
+    g_rank_[i]->Set(0.0);
+    g_score_[i]->Set(0.0);
+    g_latency_[i]->Set(0.0);
+  }
+  g_psi_->Set(0.0);
+  g_reference_ready_->Set(0.0);
+}
+
+namespace {
+MonitorOptions& DefaultMonitorOptions() {
+  static MonitorOptions* options = new MonitorOptions();
+  return *options;
+}
+}  // namespace
+
+void SetDefaultMonitorOptions(const MonitorOptions& options) {
+  DefaultMonitorOptions() = options;
+}
+
+DetectionMonitor& DefaultDetectionMonitor() {
+  static DetectionMonitor* monitor =
+      new DetectionMonitor(DefaultMonitorOptions());
+  return *monitor;
+}
+
+void SetDetectionMonitorEnabled(bool enabled) {
+  if (enabled) DefaultDetectionMonitor();  // register the series eagerly
+  internal::g_detection_monitor_enabled.store(enabled,
+                                              std::memory_order_relaxed);
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,176 @@
+#ifndef UCAD_OBS_MONITOR_H_
+#define UCAD_OBS_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+/// Online single-quantile estimator (Jain & Chlamtac's P² algorithm):
+/// tracks an arbitrary quantile with five markers and O(1) memory — no
+/// stored samples, no sort. Accuracy is within a few percent of the exact
+/// empirical quantile for smooth distributions; the first five
+/// observations are exact.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double q);
+
+  void Observe(double value);
+  /// Current estimate; exact while fewer than five observations.
+  double Value() const;
+  uint64_t Count() const { return count_; }
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  double heights_[5];   // marker heights (q[i])
+  double positions_[5]; // actual marker positions (n[i], 1-based)
+  double desired_[5];   // desired marker positions (n'[i])
+  double increment_[5]; // dn'[i] per observation
+};
+
+/// Histogram over detection ranks with fixed, log-spaced buckets shared by
+/// the live window, the reference distribution, and audit-log replay, so
+/// PSI is always computed bucket-by-bucket over the same partition.
+/// Bucket i covers (upper_bound[i-1], upper_bound[i]]; the last bucket is
+/// unbounded (unknown keys land there).
+class RankBuckets {
+ public:
+  static const std::vector<int>& UpperBounds();
+  static size_t Size();
+  /// Index of the bucket holding `rank`.
+  static size_t BucketOf(int rank);
+  /// Human-readable bucket label ("<=4", ">256").
+  static std::string LabelOf(size_t bucket);
+};
+
+/// Population Stability Index between a reference and a live bucket-count
+/// vector (same length): sum over buckets of (p_i - q_i) * ln(p_i / q_i)
+/// with add-half smoothing so empty buckets stay finite. Conventional
+/// reading: < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 significant
+/// drift.
+double PopulationStabilityIndex(const std::vector<uint64_t>& reference,
+                                const std::vector<uint64_t>& live);
+
+struct MonitorOptions {
+  /// Scored operations per drift window. Each full window is compared
+  /// against the reference, then discarded.
+  int window = 256;
+  /// PSI above this increments detector/drift/alerts_total.
+  double psi_alert = 0.25;
+  /// When no reference was set explicitly, adopt the first completed
+  /// window as the reference ("self-calibrating" deployment).
+  bool auto_reference = true;
+};
+
+/// Streaming detection monitor: per-operation rank/score quantile sketches
+/// (P², no stored samples), per-session latency quantiles, and a windowed
+/// rank-distribution drift detector (PSI against a training-time or
+/// first-window reference). Publishes into a MetricsRegistry:
+///
+///   detector/rank/p50|p90|p99        gauges (P² estimates)
+///   detector/score/p50|p90|p99       gauges
+///   detector/latency/p50|p90|p99     gauges (ms, per session)
+///   detector/monitor/operations_total counter
+///   detector/drift/psi               gauge   (last completed window)
+///   detector/drift/windows_total     counter
+///   detector/drift/alerts_total      counter (windows with PSI > alert)
+///   detector/drift/reference_ready   gauge   (0/1)
+///
+/// All series are registered at construction so a scrape endpoint exposes
+/// them (at zero) before the first observation. Thread-safe.
+class DetectionMonitor {
+ public:
+  explicit DetectionMonitor(MonitorOptions options = {},
+                            MetricsRegistry* registry = nullptr);
+
+  /// Feed one scored operation (rank >= 1; score ignored when non-finite).
+  void ObserveOperation(int rank, double score);
+  /// Feed one end-to-end session scoring latency.
+  void ObserveLatency(double ms);
+
+  /// Installs a training-time reference rank distribution (e.g. ranks of
+  /// the training sessions under the trained model). Clears any
+  /// auto-adopted reference.
+  void SetReferenceRanks(const std::vector<int>& ranks);
+  bool HasReference() const;
+
+  double LastPsi() const;
+  uint64_t WindowsCompleted() const;
+  uint64_t Alerts() const;
+  uint64_t Operations() const;
+
+  /// One-line live status ("ops=512 rank_p50=1.0 psi=0.031 alerts=0"),
+  /// for the CLI monitor mode.
+  std::string StatusLine() const;
+
+  /// Drops sketches, windows, reference, and zeroes the published gauges
+  /// (counters keep their registry semantics). Test isolation.
+  void Reset();
+
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  void CompleteWindowLocked();
+  void PublishQuantilesLocked();
+
+  const MonitorOptions options_;
+  MetricsRegistry* registry_;
+
+  mutable std::mutex mu_;
+  P2Quantile rank_p50_, rank_p90_, rank_p99_;
+  P2Quantile score_p50_, score_p90_, score_p99_;
+  P2Quantile latency_p50_, latency_p90_, latency_p99_;
+  std::vector<uint64_t> reference_;
+  std::vector<uint64_t> window_counts_;
+  int window_fill_ = 0;
+  double last_psi_ = 0.0;
+  uint64_t windows_ = 0;
+  uint64_t alerts_ = 0;
+  uint64_t operations_ = 0;
+
+  // Cached registry instruments (stable pointers).
+  Gauge* g_rank_[3];
+  Gauge* g_score_[3];
+  Gauge* g_latency_[3];
+  Gauge* g_psi_;
+  Gauge* g_reference_ready_;
+  Counter* c_operations_;
+  Counter* c_windows_;
+  Counter* c_alerts_;
+};
+
+/// Process-wide monitor fed by TransDasDetector when monitoring is
+/// enabled; publishes into DefaultMetrics(). Constructed on first use (or
+/// when SetDetectionMonitorEnabled(true) runs, so the drift series exist
+/// from enable time).
+DetectionMonitor& DefaultDetectionMonitor();
+
+/// Options the default monitor is constructed with. Only effective before
+/// its first use (e.g. CLI flag parsing); afterwards a no-op.
+void SetDefaultMonitorOptions(const MonitorOptions& options);
+
+/// Detection monitoring is off by default: the detector hot path then pays
+/// a single relaxed atomic load. Enabling also instantiates the default
+/// monitor (registering its series).
+void SetDetectionMonitorEnabled(bool enabled);
+bool DetectionMonitorEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_detection_monitor_enabled;
+}
+
+inline bool DetectionMonitorEnabled() {
+  return internal::g_detection_monitor_enabled.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_MONITOR_H_

@@ -1,0 +1,148 @@
+#include "obs/prom_text.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ucad::obs {
+
+namespace {
+
+bool LegalNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Prometheus sample value: integers render bare, doubles with full
+/// precision, non-finite values in Prometheus spelling (+Inf/-Inf/NaN).
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Renders a label set as {k="v",...}; `extra` appends one more pair
+/// (histograms' le). Empty label set with no extra renders as "".
+std::string LabelBlock(const Labels& labels, const std::string& extra_name,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_name.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += PromLabelName(k) + "=\"" + PromLabelValue(v) + "\"";
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ",";
+    out += extra_name + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out += LegalNameChar(c, out.empty()) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PromLabelName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool legal =
+        std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        (!out.empty() && std::isdigit(static_cast<unsigned char>(c)));
+    out += legal ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void WritePromText(const MetricsRegistry& registry, std::ostream& os) {
+  // Registry order groups every label variant of one name contiguously,
+  // so a TYPE line is emitted exactly once per name at its first series.
+  std::string last_typed;
+  registry.ForEachSeries([&os, &last_typed](
+                             const MetricsRegistry::SeriesRef& series) {
+    const std::string name = PromName(series.name);
+    const char* type = series.counter != nullptr     ? "counter"
+                       : series.gauge != nullptr     ? "gauge"
+                       : series.histogram != nullptr ? "histogram"
+                                                     : nullptr;
+    if (type == nullptr) return;  // registered but never typed
+    if (name != last_typed) {
+      os << "# TYPE " << name << " " << type << "\n";
+      last_typed = name;
+    }
+    if (series.counter != nullptr) {
+      os << name << LabelBlock(series.labels, "", "") << " "
+         << series.counter->Value() << "\n";
+    } else if (series.gauge != nullptr) {
+      os << name << LabelBlock(series.labels, "", "") << " "
+         << PromNumber(series.gauge->Value()) << "\n";
+    } else {
+      const Histogram& h = *series.histogram;
+      // Prometheus buckets are cumulative; ours are per-bucket counts.
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        os << name << "_bucket"
+           << LabelBlock(series.labels, "le", PromNumber(h.bounds()[i]))
+           << " " << cumulative << "\n";
+      }
+      os << name << "_bucket" << LabelBlock(series.labels, "le", "+Inf")
+         << " " << h.Count() << "\n";
+      os << name << "_sum" << LabelBlock(series.labels, "", "") << " "
+         << PromNumber(h.Sum()) << "\n";
+      os << name << "_count" << LabelBlock(series.labels, "", "") << " "
+         << h.Count() << "\n";
+    }
+  });
+}
+
+std::string PromText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  WritePromText(registry, os);
+  return os.str();
+}
+
+}  // namespace ucad::obs

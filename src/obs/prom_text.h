@@ -1,0 +1,36 @@
+#ifndef UCAD_OBS_PROM_TEXT_H_
+#define UCAD_OBS_PROM_TEXT_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+/// Sanitizes a registry metric name into a legal Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal character (the registry's
+/// '/' separators, '-', '.') becomes '_', and a leading digit gets a '_'
+/// prefix. "detector/drift/psi" -> "detector_drift_psi".
+std::string PromName(const std::string& name);
+
+/// Sanitizes a label name ([a-zA-Z_][a-zA-Z0-9_]*).
+std::string PromLabelName(const std::string& name);
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote, and newline.
+std::string PromLabelValue(const std::string& value);
+
+/// Writes the registry in Prometheus text exposition format (version
+/// 0.0.4): one `# TYPE` line per metric name, counters and gauges as
+/// single samples, histograms as cumulative `_bucket{le=...}` samples
+/// plus `_sum` and `_count`. Series order follows the registry's
+/// deterministic ordering.
+void WritePromText(const MetricsRegistry& registry, std::ostream& os);
+
+/// WritePromText into a string (the /metrics response body).
+std::string PromText(const MetricsRegistry& registry);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_PROM_TEXT_H_

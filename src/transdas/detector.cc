@@ -1,9 +1,12 @@
 #include "transdas/detector.h"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 
 #include "nn/tape.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -25,17 +28,43 @@ TransDasDetector::TransDasDetector(TransDasModel* model,
   UCAD_CHECK_GE(options_.top_p, 1);
 }
 
-int TransDasDetector::RankOfKey(const nn::Tensor& logits, int row,
-                                int key) const {
-  // Unknown templates (k0) never match normal intent: worst possible rank.
-  if (key <= 0 || key >= logits.cols()) return logits.cols() + 1;
-  const float score = logits.at(row, key);
-  int rank = 1;
-  // Keys are ranked by similarity; k0 (padding) is excluded from the list.
-  for (int k = 1; k < logits.cols(); ++k) {
-    if (k != key && logits.at(row, k) > score) ++rank;
+void TransDasDetector::ScoreKey(const nn::Tensor& logits, int row, int key,
+                                OperationVerdict* op) const {
+  const int vocab = logits.cols();
+  if (key <= 0 || key >= vocab) {
+    // Unknown templates (k0) never match normal intent: worst possible
+    // rank, no logit to report, unbounded negative margin.
+    op->rank = vocab + 1;
+    op->score = 0.0f;
+    op->margin = -std::numeric_limits<float>::infinity();
+    op->abnormal = true;
+    return;
   }
-  return rank;
+  const float score = logits.at(row, key);
+  // One scan computes both the rank (strictly-greater count) and the
+  // top-p cutoff (p-th largest logit, observed key included) via a small
+  // bounded selection buffer, so rank and margin cannot disagree.
+  const int p = std::min(options_.top_p, vocab - 1);
+  std::vector<float> top;  // min-first heap of the p largest logits
+  top.reserve(p);
+  int rank = 1;
+  for (int k = 1; k < vocab; ++k) {
+    const float v = logits.at(row, k);
+    if (k != key && v > score) ++rank;
+    if (static_cast<int>(top.size()) < p) {
+      top.push_back(v);
+      std::push_heap(top.begin(), top.end(), std::greater<float>());
+    } else if (v > top.front()) {
+      std::pop_heap(top.begin(), top.end(), std::greater<float>());
+      top.back() = v;
+      std::push_heap(top.begin(), top.end(), std::greater<float>());
+    }
+  }
+  const float cutoff = top.empty() ? score : top.front();
+  op->rank = rank;
+  op->score = score;
+  op->margin = score - cutoff;
+  op->abnormal = rank > options_.top_p;
 }
 
 namespace {
@@ -48,6 +77,11 @@ int Sanitize(int key, int vocab) { return key >= 0 && key < vocab ? key : 0; }
 
 int TransDasDetector::RankNextOperation(const std::vector<int>& preceding,
                                         int next_key) const {
+  return ScoreNextOperation(preceding, next_key).rank;
+}
+
+OperationVerdict TransDasDetector::ScoreNextOperation(
+    const std::vector<int>& preceding, int next_key) const {
   const int L = model_->config().window;
   const int vocab = model_->config().vocab_size;
   std::vector<int> window(L, 0);
@@ -62,7 +96,9 @@ int TransDasDetector::RankNextOperation(const std::vector<int>& preceding,
   nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
   // The last output position carries the contextual intent of the next
   // operation (§5.3).
-  return RankOfKey(tape.value(logits), L - 1, next_key);
+  OperationVerdict op;
+  ScoreKey(tape.value(logits), L - 1, next_key, &op);
+  return op;
 }
 
 std::vector<TransDasDetector::Candidate> TransDasDetector::ExplainOperation(
@@ -114,6 +150,15 @@ void RecordDetectMetrics(const SessionVerdict& verdict, double latency_ms) {
   reg.GetGauge("detector/anomaly_rate")
       ->Set(static_cast<double>(abnormal->Value()) /
             static_cast<double>(sessions->Value()));
+  // Streaming forensics (opt-in): per-op rank/score quantile sketches and
+  // the windowed rank-distribution drift detector.
+  if (obs::DetectionMonitorEnabled()) {
+    obs::DetectionMonitor& monitor = obs::DefaultDetectionMonitor();
+    for (const OperationVerdict& op : verdict.operations) {
+      monitor.ObserveOperation(op.rank, op.score);
+    }
+    monitor.ObserveLatency(latency_ms);
+  }
 }
 
 }  // namespace
@@ -131,10 +176,8 @@ SessionVerdict TransDasDetector::DetectSession(
   if (!options_.batched) {
     for (int t = 1; t < n; ++t) {
       std::vector<int> preceding(keys.begin(), keys.begin() + t);
-      OperationVerdict op;
+      OperationVerdict op = ScoreNextOperation(preceding, keys[t]);
       op.position = t;
-      op.rank = RankNextOperation(preceding, keys[t]);
-      op.abnormal = op.rank > options_.top_p;
       if (op.abnormal) verdict.abnormal = true;
       verdict.operations.push_back(op);
     }
@@ -170,8 +213,7 @@ SessionVerdict TransDasDetector::DetectSession(
       scored[session_pos] = true;
       OperationVerdict op;
       op.position = session_pos;
-      op.rank = RankOfKey(scores, i, keys[session_pos]);
-      op.abnormal = op.rank > options_.top_p;
+      ScoreKey(scores, i, keys[session_pos], &op);
       if (op.abnormal) verdict.abnormal = true;
       verdict.operations.push_back(op);
     }

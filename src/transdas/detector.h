@@ -17,6 +17,15 @@ struct OperationVerdict {
   int rank = 0;
   /// True when rank > top_p (or the key was unknown).
   bool abnormal = false;
+  /// Similarity of the observed key to the predicted contextual intent
+  /// (Eq. 10 logit), from the same logits row that produced `rank`; 0 for
+  /// unknown keys, which have no logit.
+  float score = 0.0f;
+  /// `score` minus the top-p admission cutoff (the top_p-th best logit
+  /// over all keys in the same row): >= 0 exactly when rank <= top_p, so
+  /// the margin quantifies how close a verdict was to flipping. -inf for
+  /// unknown keys.
+  float margin = 0.0f;
 };
 
 /// Session-level detection result.
@@ -46,6 +55,13 @@ class TransDasDetector {
   int RankNextOperation(const std::vector<int>& preceding,
                         int next_key) const;
 
+  /// Streaming formulation with the full verdict: rank, similarity score,
+  /// and margin to the top-p cutoff, all from one forward pass. `position`
+  /// is left at 0 (the caller knows it). Agrees verdict-for-verdict with
+  /// non-batched DetectSession.
+  OperationVerdict ScoreNextOperation(const std::vector<int>& preceding,
+                                      int next_key) const;
+
   /// One expected-operation candidate in an explanation.
   struct Candidate {
     int key = 0;
@@ -63,8 +79,11 @@ class TransDasDetector {
   const DetectorOptions& options() const { return options_; }
 
  private:
-  /// Rank of `key` within a row of all-key logits (row = output position).
-  int RankOfKey(const nn::Tensor& logits, int row, int key) const;
+  /// Fills rank/score/margin/abnormal of `op` from one row of all-key
+  /// logits — the single-pass source of truth shared by both detection
+  /// modes and the audit log.
+  void ScoreKey(const nn::Tensor& logits, int row, int key,
+                OperationVerdict* op) const;
 
   TransDasModel* model_;
   DetectorOptions options_;

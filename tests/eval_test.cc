@@ -218,5 +218,38 @@ TEST(RunnerTest, EmitsPerMethodTimingHistograms) {
   EXPECT_GT(reg.GetGauge("proc/peak_rss_bytes")->Value(), 0.0);
 }
 
+TEST(RunnerTest, EmitsConfusionCounters) {
+  ScenarioConfig config = ScenarioIConfig(Scale::kSmoke);
+  const ScenarioDataset ds =
+      BuildScenarioDataset(config.spec, config.dataset);
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  const uint64_t tp_before = reg.GetCounter("eval/iforest/tp")->Value();
+  const uint64_t fp_before = reg.GetCounter("eval/iforest/fp")->Value();
+  const uint64_t fn_before = reg.GetCounter("eval/iforest/fn")->Value();
+  const uint64_t tn_before = reg.GetCounter("eval/iforest/tn")->Value();
+
+  auto iforest = MakeBaseline("iForest", config, ds);
+  const EvalResult result = RunBaseline(iforest.get(), ds, ds.train);
+
+  // The raw confusion counts land in per-method counters so a scrape can
+  // recompute precision/recall without re-running the evaluation.
+  EXPECT_EQ(reg.GetCounter("eval/iforest/tp")->Value() - tp_before,
+            static_cast<uint64_t>(result.true_positives));
+  EXPECT_EQ(reg.GetCounter("eval/iforest/fp")->Value() - fp_before,
+            static_cast<uint64_t>(result.false_positives));
+  EXPECT_EQ(reg.GetCounter("eval/iforest/fn")->Value() - fn_before,
+            static_cast<uint64_t>(result.false_negatives));
+  EXPECT_EQ(reg.GetCounter("eval/iforest/tn")->Value() - tn_before,
+            static_cast<uint64_t>(result.true_negatives));
+  // The four cells partition every labeled test session.
+  size_t test_sessions = 0;
+  for (const auto& set : ds.TestSets()) test_sessions += set.sessions.size();
+  EXPECT_EQ(static_cast<size_t>(result.true_positives +
+                                result.false_positives +
+                                result.false_negatives +
+                                result.true_negatives),
+            test_sessions);
+}
+
 }  // namespace
 }  // namespace ucad::eval

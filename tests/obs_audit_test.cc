@@ -1,0 +1,206 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit_log.h"
+
+namespace ucad::obs {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return testing::TempDir() + "/" + stem;
+}
+
+AuditRecord MakeRecord(int position) {
+  AuditRecord r;
+  r.session_id = "s1";
+  r.position = position;
+  r.key = 7;
+  r.observed = "SELECT * FROM t WHERE id = ?";
+  r.rank = 3;
+  r.score = 1.25f;
+  r.margin = 0.5f;
+  r.abnormal = false;
+  r.wall_ms = 1700000000000 + position;
+  r.model_hash = "deadbeefcafe";
+  return r;
+}
+
+TEST(AuditRecordTest, JsonRoundTrip) {
+  AuditRecord r = MakeRecord(4);
+  r.abnormal = true;
+  r.expected = {{2, 3.5f}, {9, 2.25f}};
+  const std::string line = AuditRecordToJson(r);
+  auto parsed = ParseAuditRecord(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->session_id, r.session_id);
+  EXPECT_EQ(parsed->position, r.position);
+  EXPECT_EQ(parsed->key, r.key);
+  EXPECT_EQ(parsed->observed, r.observed);
+  EXPECT_EQ(parsed->rank, r.rank);
+  EXPECT_FLOAT_EQ(parsed->score, r.score);
+  EXPECT_FLOAT_EQ(parsed->margin, r.margin);
+  EXPECT_EQ(parsed->abnormal, r.abnormal);
+  EXPECT_EQ(parsed->wall_ms, r.wall_ms);
+  EXPECT_EQ(parsed->model_hash, r.model_hash);
+  ASSERT_EQ(parsed->expected.size(), 2u);
+  EXPECT_EQ(parsed->expected[0].key, 2);
+  EXPECT_FLOAT_EQ(parsed->expected[0].score, 3.5f);
+  EXPECT_EQ(parsed->expected[1].key, 9);
+  EXPECT_FLOAT_EQ(parsed->expected[1].score, 2.25f);
+}
+
+TEST(AuditRecordTest, UnknownKeyMarginSerializesAsNull) {
+  AuditRecord r = MakeRecord(1);
+  r.margin = -std::numeric_limits<float>::infinity();
+  r.score = 0.0f;
+  const std::string line = AuditRecordToJson(r);
+  EXPECT_NE(line.find("\"margin\":null"), std::string::npos) << line;
+  auto parsed = ParseAuditRecord(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::isinf(parsed->margin));
+  EXPECT_LT(parsed->margin, 0.0f);
+}
+
+TEST(AuditRecordTest, ObservedTemplateIsEscaped) {
+  AuditRecord r = MakeRecord(1);
+  r.observed = "SELECT \"a\\b\"\nFROM t";
+  auto parsed = ParseAuditRecord(AuditRecordToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->observed, r.observed);
+}
+
+TEST(AuditRecordTest, MalformedLineIsAnError) {
+  EXPECT_FALSE(ParseAuditRecord("{\"session\":").ok());
+  EXPECT_FALSE(ParseAuditRecord("42").ok());
+}
+
+TEST(AuditLogTest, WritesParseableJsonl) {
+  const std::string path = TempPath("audit_basic.jsonl");
+  auto log = AuditLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  const int n = 100;
+  for (int i = 1; i <= n; ++i) {
+    EXPECT_TRUE((*log)->Append(MakeRecord(i)));
+  }
+  (*log)->Close();
+  EXPECT_EQ((*log)->appended(), static_cast<uint64_t>(n));
+  EXPECT_EQ((*log)->dropped(), 0u);
+
+  auto records = ReadAuditLogFile(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ((*records)[i].position, i + 1);  // log order preserved
+  }
+}
+
+TEST(AuditLogTest, StampsWallClockAndModelHashWhenUnset) {
+  const std::string path = TempPath("audit_stamp.jsonl");
+  AuditLogOptions options;
+  options.model_hash = "feedface";
+  auto log = AuditLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  AuditRecord r = MakeRecord(1);
+  r.wall_ms = 0;
+  r.model_hash.clear();
+  ASSERT_TRUE((*log)->Append(r));
+  (*log)->Close();
+  auto records = ReadAuditLogFile(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_GT(records->front().wall_ms, 0);
+  EXPECT_EQ(records->front().model_hash, "feedface");
+}
+
+TEST(AuditLogTest, DropsBeyondQueueCapacityInsteadOfBlocking) {
+  const std::string path = TempPath("audit_drop.jsonl");
+  AuditLogOptions options;
+  options.queue_capacity = 4;
+  auto log = AuditLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  // Appends outrun the writer only transiently; what the contract
+  // guarantees is appended + dropped == offered and nothing ever blocks.
+  const int offered = 10000;
+  for (int i = 1; i <= offered; ++i) (*log)->Append(MakeRecord(i));
+  (*log)->Close();
+  EXPECT_EQ((*log)->appended() + (*log)->dropped(),
+            static_cast<uint64_t>(offered));
+  auto records = ReadAuditLogFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), (*log)->appended());
+}
+
+TEST(AuditLogTest, FlushMakesRecordsVisibleBeforeClose) {
+  const std::string path = TempPath("audit_flush.jsonl");
+  auto log = AuditLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  for (int i = 1; i <= 8; ++i) ASSERT_TRUE((*log)->Append(MakeRecord(i)));
+  (*log)->Flush();
+  auto records = ReadAuditLogFile(path);  // log still open
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 8u);
+  (*log)->Close();
+}
+
+TEST(AuditLogTest, ConcurrentAppendersLoseNothingWithinCapacity) {
+  const std::string path = TempPath("audit_mt.jsonl");
+  AuditLogOptions options;
+  options.queue_capacity = 1 << 16;
+  auto log = AuditLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  const int threads = 4;
+  const int per_thread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        AuditRecord r = MakeRecord(i);
+        r.session_id = "t" + std::to_string(t);
+        (*log)->Append(std::move(r));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  (*log)->Close();
+  auto records = ReadAuditLogFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), static_cast<size_t>(threads * per_thread));
+  EXPECT_EQ((*log)->dropped(), 0u);
+}
+
+TEST(AuditLogTest, OpenFailsOnUnwritablePath) {
+  auto log = AuditLog::Open("/nonexistent-dir/audit.jsonl");
+  EXPECT_FALSE(log.ok());
+}
+
+TEST(AuditLogTest, ReadFileRejectsMalformedLine) {
+  const std::string path = TempPath("audit_bad.jsonl");
+  {
+    std::ofstream os(path);
+    os << AuditRecordToJson(MakeRecord(1)) << "\n";
+    os << "{not json}\n";
+  }
+  EXPECT_FALSE(ReadAuditLogFile(path).ok());
+}
+
+TEST(AuditLogTest, ReadFileSkipsBlankLines) {
+  const std::string path = TempPath("audit_blank.jsonl");
+  {
+    std::ofstream os(path);
+    os << AuditRecordToJson(MakeRecord(1)) << "\n\n";
+    os << AuditRecordToJson(MakeRecord(2)) << "\n";
+  }
+  auto records = ReadAuditLogFile(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+
+namespace ucad::obs {
+namespace {
+
+// ---------- P² quantile sketch ----------
+
+TEST(P2QuantileTest, ExactForFirstFiveObservations) {
+  P2Quantile median(0.5);
+  median.Observe(9.0);
+  median.Observe(1.0);
+  median.Observe(5.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 5.0);
+  median.Observe(3.0);
+  median.Observe(7.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 5.0);
+  EXPECT_EQ(median.Count(), 5u);
+}
+
+TEST(P2QuantileTest, ApproximatesUniformQuantiles) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> uniform(0.0, 100.0);
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = uniform(rng);
+    p50.Observe(v);
+    p90.Observe(v);
+    p99.Observe(v);
+  }
+  EXPECT_NEAR(p50.Value(), 50.0, 2.0);
+  EXPECT_NEAR(p90.Value(), 90.0, 2.0);
+  EXPECT_NEAR(p99.Value(), 99.0, 1.0);
+}
+
+TEST(P2QuantileTest, MonotoneUnderSortedInput) {
+  // Sorted input is the classic degenerate case for marker-based
+  // sketches; the estimate must stay within the observed range.
+  P2Quantile p90(0.9);
+  for (int i = 1; i <= 1000; ++i) p90.Observe(i);
+  EXPECT_GE(p90.Value(), 1.0);
+  EXPECT_LE(p90.Value(), 1000.0);
+  EXPECT_NEAR(p90.Value(), 900.0, 50.0);
+}
+
+// ---------- Rank buckets ----------
+
+TEST(RankBucketsTest, PartitionIsExhaustiveAndOrdered) {
+  const auto& bounds = RankBuckets::UpperBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(RankBuckets::Size(), bounds.size() + 1);  // + unbounded tail
+  // Every rank lands in exactly one bucket and bucket indices are
+  // monotone in rank.
+  size_t prev = 0;
+  for (int rank = 1; rank <= bounds.back() + 10; ++rank) {
+    const size_t b = RankBuckets::BucketOf(rank);
+    ASSERT_LT(b, RankBuckets::Size());
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_EQ(RankBuckets::BucketOf(1), 0u);
+  EXPECT_EQ(RankBuckets::BucketOf(bounds.back() + 1000000),
+            RankBuckets::Size() - 1);
+}
+
+TEST(RankBucketsTest, LabelsNameTheBounds) {
+  EXPECT_EQ(RankBuckets::LabelOf(0),
+            "<=" + std::to_string(RankBuckets::UpperBounds().front()));
+  EXPECT_EQ(RankBuckets::LabelOf(RankBuckets::Size() - 1),
+            ">" + std::to_string(RankBuckets::UpperBounds().back()));
+}
+
+// ---------- PSI ----------
+
+TEST(PsiTest, IdenticalDistributionsScoreNearZero) {
+  std::vector<uint64_t> counts = {50, 30, 15, 5};
+  EXPECT_NEAR(PopulationStabilityIndex(counts, counts), 0.0, 1e-12);
+  // Scaling a distribution does not change its shape.
+  std::vector<uint64_t> scaled = {500, 300, 150, 50};
+  EXPECT_NEAR(PopulationStabilityIndex(counts, scaled), 0.0, 1e-3);
+}
+
+TEST(PsiTest, DisjointDistributionsAlert) {
+  std::vector<uint64_t> reference = {100, 0, 0, 0};
+  std::vector<uint64_t> live = {0, 0, 0, 100};
+  EXPECT_GT(PopulationStabilityIndex(reference, live), 0.25);
+}
+
+TEST(PsiTest, SmoothingKeepsEmptyBucketsFinite) {
+  std::vector<uint64_t> reference = {10, 0, 10, 0};
+  std::vector<uint64_t> live = {0, 10, 0, 10};
+  const double psi = PopulationStabilityIndex(reference, live);
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 0.0);
+}
+
+TEST(PsiTest, ModerateShiftLandsBetweenThresholds) {
+  std::vector<uint64_t> reference = {60, 25, 10, 5};
+  std::vector<uint64_t> live = {50, 30, 13, 7};
+  const double psi = PopulationStabilityIndex(reference, live);
+  EXPECT_GT(psi, 0.0);
+  EXPECT_LT(psi, 0.25);
+}
+
+// ---------- DetectionMonitor ----------
+
+MonitorOptions SmallWindow(int window = 8) {
+  MonitorOptions options;
+  options.window = window;
+  return options;
+}
+
+TEST(DetectionMonitorTest, RegistersSeriesAtConstruction) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(), &registry);
+  bool saw_psi = false, saw_rank_p50 = false, saw_ops = false;
+  registry.ForEachSeries([&](const MetricsRegistry::SeriesRef& s) {
+    saw_psi |= s.name == "detector/drift/psi";
+    saw_rank_p50 |= s.name == "detector/rank/p50";
+    saw_ops |= s.name == "detector/monitor/operations_total";
+  });
+  EXPECT_TRUE(saw_psi);
+  EXPECT_TRUE(saw_rank_p50);
+  EXPECT_TRUE(saw_ops);
+}
+
+TEST(DetectionMonitorTest, AutoAdoptsFirstWindowAsReference) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(8), &registry);
+  EXPECT_FALSE(monitor.HasReference());
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(1, 2.0);
+  EXPECT_TRUE(monitor.HasReference());
+  EXPECT_EQ(monitor.WindowsCompleted(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.LastPsi(), 0.0);  // reference window scores no PSI
+  // Second identical window: PSI stays near zero, no alert.
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(1, 2.0);
+  EXPECT_EQ(monitor.WindowsCompleted(), 2u);
+  EXPECT_NEAR(monitor.LastPsi(), 0.0, 0.05);
+  EXPECT_EQ(monitor.Alerts(), 0u);
+  EXPECT_EQ(monitor.Operations(), 16u);
+}
+
+TEST(DetectionMonitorTest, DriftedWindowRaisesAlert) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(16), &registry);
+  for (int i = 0; i < 16; ++i) monitor.ObserveOperation(1, 2.0);
+  ASSERT_TRUE(monitor.HasReference());
+  // Live window entirely in the unbounded tail: maximal shape change.
+  for (int i = 0; i < 16; ++i) monitor.ObserveOperation(10000, -3.0);
+  EXPECT_GT(monitor.LastPsi(), 0.25);
+  EXPECT_EQ(monitor.Alerts(), 1u);
+  EXPECT_GT(registry.GetGauge("detector/drift/psi")->Value(), 0.25);
+  EXPECT_EQ(registry.GetCounter("detector/drift/alerts_total")->Value(), 1u);
+}
+
+TEST(DetectionMonitorTest, ExplicitReferenceSuppressesAutoAdoption) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(8), &registry);
+  std::vector<int> training_ranks(64, 1);
+  monitor.SetReferenceRanks(training_ranks);
+  EXPECT_TRUE(monitor.HasReference());
+  // First completed window is now compared, not adopted.
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(512, 0.0);
+  EXPECT_EQ(monitor.WindowsCompleted(), 1u);
+  EXPECT_GT(monitor.LastPsi(), 0.25);
+  EXPECT_EQ(monitor.Alerts(), 1u);
+}
+
+TEST(DetectionMonitorTest, PublishesQuantileGauges) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(4), &registry);
+  for (int i = 0; i < 100; ++i) monitor.ObserveOperation(3, 1.5);
+  monitor.ObserveLatency(12.0);
+  EXPECT_NEAR(registry.GetGauge("detector/rank/p50")->Value(), 3.0, 0.5);
+  EXPECT_NEAR(registry.GetGauge("detector/score/p50")->Value(), 1.5, 0.1);
+  EXPECT_GT(registry.GetGauge("detector/latency/p50")->Value(), 0.0);
+  EXPECT_EQ(
+      registry.GetCounter("detector/monitor/operations_total")->Value(),
+      100u);
+}
+
+TEST(DetectionMonitorTest, NonFiniteScoreIsIgnoredByScoreSketch) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(4), &registry);
+  monitor.ObserveOperation(2, 4.0);
+  monitor.ObserveOperation(900, -INFINITY);  // unknown key
+  EXPECT_EQ(monitor.Operations(), 2u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/score/p50")->Value(), 4.0);
+}
+
+TEST(DetectionMonitorTest, StatusLineMentionsLiveCounts) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(4), &registry);
+  for (int i = 0; i < 6; ++i) monitor.ObserveOperation(2, 1.0);
+  const std::string line = monitor.StatusLine();
+  EXPECT_NE(line.find("ops=6"), std::string::npos) << line;
+  EXPECT_NE(line.find("psi="), std::string::npos) << line;
+}
+
+TEST(DetectionMonitorTest, ResetClearsStateAndGauges) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(4), &registry);
+  for (int i = 0; i < 12; ++i) monitor.ObserveOperation(5, 2.0);
+  ASSERT_GT(monitor.Operations(), 0u);
+  monitor.Reset();
+  EXPECT_EQ(monitor.Operations(), 0u);
+  EXPECT_EQ(monitor.WindowsCompleted(), 0u);
+  EXPECT_FALSE(monitor.HasReference());
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/rank/p50")->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/drift/psi")->Value(), 0.0);
+}
+
+TEST(DetectionMonitorTest, EnableFlagDefaultsOffAndToggles) {
+  // The global flag gates the detector hot path; the default must be off.
+  const bool was_enabled = DetectionMonitorEnabled();
+  SetDetectionMonitorEnabled(false);
+  EXPECT_FALSE(DetectionMonitorEnabled());
+  SetDetectionMonitorEnabled(true);
+  EXPECT_TRUE(DetectionMonitorEnabled());
+  SetDetectionMonitorEnabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace ucad::obs

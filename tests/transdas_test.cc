@@ -498,5 +498,82 @@ TEST(ExplainTest, TopKClampsToVocabulary) {
   EXPECT_EQ(candidates.size(), 5u);  // vocab-1 (k0 excluded)
 }
 
+// ---------- Streaming scoring parity + margin invariant ----------
+
+TEST_F(DetectorTest, ScoreNextOperationMatchesStreamingDetectSession) {
+  // The streaming per-operation API must agree position-by-position with
+  // the non-batched session scorer (the batched mode sees bidirectional
+  // context, so it is deliberately excluded from this equivalence).
+  TransDasDetector detector(&model_,
+                            DetectorOptions{.top_p = 4, .batched = false});
+  util::Rng rng(30);
+  auto sessions = GrammarSessions(6, &rng);
+  // Splice in an unknown key and an out-of-context key so the parity
+  // covers abnormal verdicts too.
+  sessions[0].insert(sessions[0].begin() + 3, 11);
+  sessions[1].insert(sessions[1].begin() + 2, 0);
+  for (const auto& session : sessions) {
+    const auto verdict = detector.DetectSession(session);
+    ASSERT_EQ(verdict.operations.size(), session.size() - 1);
+    for (size_t i = 1; i < session.size(); ++i) {
+      const std::vector<int> preceding(session.begin(),
+                                       session.begin() + i);
+      const OperationVerdict op =
+          detector.ScoreNextOperation(preceding, session[i]);
+      const OperationVerdict& expected = verdict.operations[i - 1];
+      EXPECT_EQ(op.rank, expected.rank) << "position " << i;
+      EXPECT_EQ(op.abnormal, expected.abnormal) << "position " << i;
+      EXPECT_EQ(detector.RankNextOperation(preceding, session[i]), op.rank);
+      if (std::isfinite(expected.margin)) {
+        EXPECT_NEAR(op.score, expected.score, 1e-5f) << "position " << i;
+        EXPECT_NEAR(op.margin, expected.margin, 1e-5f) << "position " << i;
+      } else {
+        EXPECT_FALSE(std::isfinite(op.margin));
+      }
+    }
+  }
+}
+
+TEST_F(DetectorTest, MarginSignEncodesTheVerdict) {
+  // margin >= 0 exactly when rank <= top_p: the documented invariant that
+  // lets audit-log consumers recover the verdict from the margin alone.
+  for (int top_p : {1, 2, 4, 8}) {
+    TransDasDetector detector(&model_, DetectorOptions{.top_p = top_p});
+    util::Rng rng(31);
+    for (const auto& session : GrammarSessions(5, &rng)) {
+      for (const auto& op : detector.DetectSession(session).operations) {
+        EXPECT_EQ(op.margin >= 0.0f, op.rank <= top_p)
+            << "top_p=" << top_p << " rank=" << op.rank
+            << " margin=" << op.margin;
+        EXPECT_EQ(op.abnormal, op.margin < 0.0f);
+      }
+    }
+  }
+}
+
+TEST_F(DetectorTest, UnknownKeyHasNullScoreAndNegativeInfiniteMargin) {
+  TransDasDetector detector(&model_, DetectorOptions{.top_p = 4});
+  const OperationVerdict op =
+      detector.ScoreNextOperation({1, 2, 3}, /*next_key=*/0);
+  EXPECT_TRUE(op.abnormal);
+  EXPECT_EQ(op.rank, model_.config().vocab_size + 1);
+  EXPECT_EQ(op.score, 0.0f);
+  EXPECT_TRUE(std::isinf(op.margin));
+  EXPECT_LT(op.margin, 0.0f);
+}
+
+TEST_F(DetectorTest, BatchedModeSharesTheMarginInvariant) {
+  // Batched scoring uses different context but the same single-pass
+  // ScoreKey, so the invariant holds there too.
+  TransDasDetector detector(&model_,
+                            DetectorOptions{.top_p = 3, .batched = true});
+  util::Rng rng(32);
+  for (const auto& session : GrammarSessions(5, &rng)) {
+    for (const auto& op : detector.DetectSession(session).operations) {
+      EXPECT_EQ(op.margin >= 0.0f, op.rank <= 3);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ucad::transdas

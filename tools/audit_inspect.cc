@@ -1,0 +1,217 @@
+// Offline aggregation/replay of a detection audit log (JSONL produced by
+// `ucad_cli detect --audit-out` / `ucad_cli monitor --audit-out`):
+//
+//   audit_inspect <audit.jsonl> [--top N] [--window W]
+//
+// Prints session/verdict totals, the rank distribution (exact quantiles +
+// CDF over the monitor's rank buckets), the top offending keys by abnormal
+// verdict count, and a drift timeline: the records replayed in windows of
+// W, each window's rank histogram PSI'd against the first window — the
+// same statistic the live monitor publishes as detector/drift/psi.
+//
+// Exit codes: 0 ok, 1 usage/IO/parse error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/audit_log.h"
+#include "obs/monitor.h"
+#include "util/table_printer.h"
+
+using namespace ucad;  // NOLINT
+
+namespace {
+
+struct KeyStats {
+  std::string observed;  // last seen template for the key
+  uint64_t total = 0;
+  uint64_t abnormal = 0;
+  int worst_rank = 0;
+};
+
+double ExactQuantile(const std::vector<int>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<size_t>(
+      std::lround(q * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+std::string Fixed(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int top_n = 10;
+  int window = 256;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--top" || arg == "--window") && i + 1 < argc) {
+      const int value = std::atoi(argv[++i]);
+      (arg == "--top" ? top_n : window) = value;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (path.empty() || top_n < 1 || window < 2) {
+    std::fprintf(stderr,
+                 "usage: audit_inspect <audit.jsonl> [--top N] [--window "
+                 "W]\n");
+    return 1;
+  }
+
+  auto records = obs::ReadAuditLogFile(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  if (records->empty()) {
+    std::printf("%s: empty audit log\n", path.c_str());
+    return 0;
+  }
+
+  // ---- Totals --------------------------------------------------------
+  std::map<std::string, bool> sessions;  // id -> any abnormal verdict
+  std::map<int, KeyStats> keys;
+  std::vector<int> ranks;
+  ranks.reserve(records->size());
+  uint64_t abnormal_records = 0;
+  double closest_normal_margin = std::numeric_limits<double>::infinity();
+  int64_t first_ms = records->front().wall_ms;
+  int64_t last_ms = first_ms;
+  for (const obs::AuditRecord& r : *records) {
+    sessions[r.session_id] = sessions[r.session_id] || r.abnormal;
+    KeyStats& ks = keys[r.key];
+    if (!r.observed.empty()) ks.observed = r.observed;
+    ++ks.total;
+    ks.worst_rank = std::max(ks.worst_rank, r.rank);
+    if (r.abnormal) {
+      ++ks.abnormal;
+      ++abnormal_records;
+    } else if (std::isfinite(r.margin)) {
+      closest_normal_margin =
+          std::min(closest_normal_margin, static_cast<double>(r.margin));
+    }
+    ranks.push_back(r.rank);
+    first_ms = std::min(first_ms, r.wall_ms);
+    last_ms = std::max(last_ms, r.wall_ms);
+  }
+  uint64_t abnormal_sessions = 0;
+  for (const auto& [id, abnormal] : sessions) {
+    if (abnormal) ++abnormal_sessions;
+  }
+  std::printf("%s: %zu verdicts over %zu sessions (%.1f s span)\n",
+              path.c_str(), records->size(), sessions.size(),
+              static_cast<double>(last_ms - first_ms) / 1e3);
+  std::printf("  abnormal: %llu verdicts, %llu/%zu sessions",
+              static_cast<unsigned long long>(abnormal_records),
+              static_cast<unsigned long long>(abnormal_sessions),
+              sessions.size());
+  if (!records->front().model_hash.empty()) {
+    std::printf("  (model %s)", records->front().model_hash.c_str());
+  }
+  std::printf("\n");
+  if (std::isfinite(closest_normal_margin)) {
+    std::printf("  closest normal verdict margin: %.4f\n",
+                closest_normal_margin);
+  }
+
+  // ---- Rank distribution --------------------------------------------
+  std::sort(ranks.begin(), ranks.end());
+  std::printf("\nrank quantiles: p50=%g p90=%g p99=%g max=%d\n",
+              ExactQuantile(ranks, 0.50), ExactQuantile(ranks, 0.90),
+              ExactQuantile(ranks, 0.99), ranks.back());
+  std::vector<uint64_t> bucket_counts(obs::RankBuckets::Size(), 0);
+  for (int rank : ranks) ++bucket_counts[obs::RankBuckets::BucketOf(rank)];
+  util::TablePrinter cdf({"rank", "count", "cdf"});
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    if (bucket_counts[b] == 0) continue;
+    cumulative += bucket_counts[b];
+    cdf.AddRow({obs::RankBuckets::LabelOf(b),
+                std::to_string(bucket_counts[b]),
+                Fixed(static_cast<double>(cumulative) /
+                          static_cast<double>(ranks.size()),
+                      4)});
+  }
+  cdf.Print(std::cout);
+
+  // ---- Top offending keys -------------------------------------------
+  std::vector<std::pair<int, KeyStats>> offenders(keys.begin(), keys.end());
+  std::sort(offenders.begin(), offenders.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.abnormal != b.second.abnormal
+                         ? a.second.abnormal > b.second.abnormal
+                         : a.second.worst_rank > b.second.worst_rank;
+            });
+  std::printf("\ntop offending keys (by abnormal verdicts):\n");
+  util::TablePrinter top({"key", "abnormal", "total", "worst rank",
+                          "observed"});
+  int shown = 0;
+  for (const auto& [key, ks] : offenders) {
+    if (ks.abnormal == 0 || shown >= top_n) break;
+    ++shown;
+    std::string observed = ks.observed;
+    if (observed.size() > 48) observed = observed.substr(0, 45) + "...";
+    top.AddRow({std::to_string(key), std::to_string(ks.abnormal),
+                std::to_string(ks.total), std::to_string(ks.worst_rank),
+                observed});
+  }
+  if (shown == 0) {
+    std::printf("  (no abnormal verdicts)\n");
+  } else {
+    top.Print(std::cout);
+  }
+
+  // ---- Drift timeline (replay) --------------------------------------
+  // Windows of `window` records in log order, PSI against the first full
+  // window — the offline mirror of detector/drift/psi.
+  const size_t n_windows = records->size() / static_cast<size_t>(window);
+  if (n_windows >= 2) {
+    std::printf("\ndrift timeline (window=%d, reference=window 0):\n",
+                window);
+    std::vector<uint64_t> reference(obs::RankBuckets::Size(), 0);
+    util::TablePrinter drift({"window", "abnormal rate", "psi", ""});
+    for (size_t w = 0; w < n_windows; ++w) {
+      std::vector<uint64_t> counts(obs::RankBuckets::Size(), 0);
+      uint64_t abnormal_in_window = 0;
+      for (size_t i = w * window; i < (w + 1) * static_cast<size_t>(window);
+           ++i) {
+        const obs::AuditRecord& r = (*records)[i];
+        ++counts[obs::RankBuckets::BucketOf(r.rank)];
+        if (r.abnormal) ++abnormal_in_window;
+      }
+      const double rate =
+          static_cast<double>(abnormal_in_window) / window;
+      if (w == 0) {
+        reference = counts;
+        drift.AddRow({"0", Fixed(rate, 4), "-", "(reference)"});
+        continue;
+      }
+      const double psi = obs::PopulationStabilityIndex(reference, counts);
+      drift.AddRow({std::to_string(w), Fixed(rate, 4), Fixed(psi, 4),
+                    psi > 0.25 ? "ALERT" : (psi > 0.1 ? "shift" : "")});
+    }
+    drift.Print(std::cout);
+  } else {
+    std::printf("\ndrift timeline: not enough records for two windows of "
+                "%d (have %zu)\n",
+                window, records->size());
+  }
+  return 0;
+}
