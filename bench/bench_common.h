@@ -13,6 +13,8 @@
 #include "nn/tensor.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -38,6 +40,7 @@ inline void DumpMetricsAtExit() {
   // both the JSONL file and the manifest carry them.
   nn::PublishTensorMemMetrics();
   nn::TapeProfiler::ExportTo(&obs::DefaultMetrics());
+  obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
   const std::string path = "bench_" + name + ".json";
   const util::Status st = obs::DefaultMetrics().WriteJsonlFile(path);
   if (st.ok()) {
@@ -84,6 +87,7 @@ inline void Banner(const std::string& title, eval::Scale scale) {
   std::printf("%s\n", title.c_str());
   std::printf("scale: %s (set UCAD_SCALE=smoke|repro|paper)\n",
               eval::ScaleName(scale));
+  std::printf("threads: %d (set UCAD_THREADS=n)\n", util::NumThreads());
   std::printf("==================================================\n");
   const char* env = std::getenv("UCAD_BENCH_METRICS");
   if (env != nullptr && std::string(env) == "0") return;

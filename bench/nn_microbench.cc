@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "prep/ngram.h"
@@ -11,6 +14,7 @@
 #include "transdas/model.h"
 #include "transdas/trainer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -28,7 +32,7 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -112,4 +116,25 @@ BENCHMARK(BM_NgramJaccard)->Arg(30)->Arg(130);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN() but strips a --threads[=| ]N flag first, sizing the
+// global pool before any benchmark runs (same effect as UCAD_THREADS; the
+// CI speedup smoke compares --threads 1 vs --threads 4 on one binary).
+int main(int argc, char** argv) {
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      ucad::util::SetNumThreads(std::atoi(arg.c_str() + 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      ucad::util::SetNumThreads(std::atoi(argv[++i]));
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,22 +24,14 @@ void RunScenario(const eval::ScenarioConfig& config,
               ds.train.size(), ds.vocab.size(), timer.ElapsedSeconds());
 
   util::TablePrinter table(bench::MetricsHeader("Method"));
-  for (const std::string& name : eval::BaselineNames()) {
-    util::Timer t;
-    auto detector = eval::MakeBaseline(name, config, ds);
-    const eval::EvalResult r =
-        eval::RunBaseline(detector.get(), ds, ds.train);
-    table.AddRow(bench::MetricsRow(name, r));
-    std::printf("  %-16s done in %.1fs (F1 %.5f)\n", name.c_str(),
-                t.ElapsedSeconds(), r.f1);
-  }
-  {
-    util::Timer t;
-    const eval::TransDasRun run = eval::RunTransDas(
-        ds, config.model, config.training, config.detection, ds.train);
-    table.AddRow(bench::MetricsRow("Ours (UCAD)", run.metrics));
-    std::printf("  %-16s done in %.1fs (F1 %.5f)\n", "Ours (UCAD)",
-                t.ElapsedSeconds(), run.metrics.f1);
+  // All six methods fan out across the pool (serial at UCAD_THREADS=1);
+  // rows come back in the fixed Table 2 order either way.
+  const std::vector<eval::MethodResult> results =
+      eval::RunAllMethods(config, ds);
+  for (const eval::MethodResult& r : results) {
+    table.AddRow(bench::MetricsRow(r.name, r.metrics));
+    std::printf("  %-16s done in %.1fs (F1 %.5f)\n", r.name.c_str(),
+                r.seconds, r.metrics.f1);
   }
   std::printf("\n");
   table.Print(std::cout);

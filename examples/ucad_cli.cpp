@@ -23,6 +23,8 @@
 //   --linger <seconds>     keep the process (and the metrics endpoint)
 //                          alive this long after the command finishes
 //   --drift-window <n>     scored operations per drift window (default 256)
+//   --threads <n>          worker lanes for training/detection (default:
+//                          UCAD_THREADS env, else all cores; 1 = serial)
 //
 // Log format: one operation per line,
 //   user<TAB>address<TAB>unix_time<TAB>SQL
@@ -43,11 +45,13 @@
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
 #include "obs/monitor.h"
+#include "obs/pool_metrics.h"
 #include "obs/trace.h"
 #include "sql/log_reader.h"
 #include "transdas/detector.h"
 #include "transdas/serialization.h"
 #include "transdas/trainer.h"
+#include "util/thread_pool.h"
 #include "workload/commenting.h"
 
 using namespace ucad;  // NOLINT
@@ -386,7 +390,11 @@ void Usage() {
                "  --linger <seconds>    keep serving /metrics this long "
                "after the command\n"
                "  --drift-window <n>    scored ops per drift window "
-               "(default 256)\n");
+               "(default 256)\n"
+               "  --threads <n>         worker lanes for training/detection "
+               "(default:\n"
+               "                        UCAD_THREADS env, else all cores; "
+               "1 = serial)\n");
 }
 
 /// Dumps the metrics registry / trace buffer / run manifest to the paths
@@ -448,7 +456,7 @@ int main(int argc, char** argv) {
     if (arg == "--metrics-out" || arg == "--trace-out" ||
         arg == "--manifest-out" || arg == "--audit-out" ||
         arg == "--serve-metrics" || arg == "--linger" ||
-        arg == "--drift-window") {
+        arg == "--drift-window" || arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
@@ -466,6 +474,8 @@ int main(int argc, char** argv) {
         serve_port = std::atoi(value.c_str());
       } else if (arg == "--linger") {
         linger_seconds = std::atoi(value.c_str());
+      } else if (arg == "--threads") {
+        util::SetNumThreads(std::atoi(value.c_str()));
       } else {
         drift_window = std::atoi(value.c_str());
       }
@@ -532,6 +542,7 @@ int main(int argc, char** argv) {
   // Fold allocator state into the registry (zeros when tracking is off) so
   // snapshots and the manifest both carry it.
   nn::PublishTensorMemMetrics();
+  obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
   manifest.AddNote("peak_live_tensor_bytes",
                    std::to_string(nn::TensorMemStats().peak_live_bytes));
   // Dump before lingering: the linger exists so scrapers can read a

@@ -4,10 +4,12 @@
 
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 #include "obs/trace.h"
 #include "transdas/detector.h"
 #include "transdas/model.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ucad::eval {
@@ -152,6 +154,43 @@ EvalResult RunBaseline(baselines::SessionDetector* detector,
   RecordMethodTiming(detector->name(), train_seconds,
                      detect_timer.ElapsedSeconds(), result);
   return result;
+}
+
+std::vector<MethodResult> RunAllMethods(const ScenarioConfig& config,
+                                        const ScenarioDataset& ds) {
+  UCAD_TRACE_SPAN("eval/run_all_methods");
+  const std::vector<std::string> baselines = BaselineNames();
+  const int64_t num_methods = static_cast<int64_t>(baselines.size()) + 1;
+  std::vector<MethodResult> results(num_methods);
+  // Method index num_methods-1 is Trans-DAS; the rest are baselines in
+  // row order. Each lane writes only its own slot. Note the nested
+  // parallelism inside RunTransDas (minibatch gradients, session scoring)
+  // degrades gracefully: ParallelFor calls from inside a pool lane run
+  // inline, so method-level fan-out always wins the threads.
+  util::ParallelFor(
+      0, num_methods, /*grain=*/1,
+      [&config, &ds, &baselines, &results](int64_t b0, int64_t b1) {
+        for (int64_t m = b0; m < b1; ++m) {
+          MethodResult& out = results[m];
+          util::Timer timer;
+          if (m < static_cast<int64_t>(baselines.size())) {
+            out.name = baselines[m];
+            auto detector = MakeBaseline(out.name, config, ds);
+            out.metrics = RunBaseline(detector.get(), ds, ds.train);
+          } else {
+            out.name = "Ours (UCAD)";
+            const TransDasRun run =
+                RunTransDas(ds, config.model, config.training,
+                            config.detection, ds.train);
+            out.metrics = run.metrics;
+          }
+          out.seconds = timer.ElapsedSeconds();
+        }
+      });
+  if (obs::MetricsEnabled()) {
+    obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
+  }
+  return results;
 }
 
 }  // namespace ucad::eval

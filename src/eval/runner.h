@@ -48,6 +48,22 @@ EvalResult RunBaseline(baselines::SessionDetector* detector,
                        const ScenarioDataset& ds,
                        const std::vector<std::vector<int>>& train);
 
+/// One method's outcome from a RunAllMethods fan-out.
+struct MethodResult {
+  std::string name;    ///< Table 2 row label ("OneClassSVM", "Ours (UCAD)")
+  EvalResult metrics;
+  double seconds = 0.0;  ///< train + detect wall-clock for this method
+};
+
+/// Trains and evaluates every Table 2 method — the five baselines plus
+/// Trans-DAS — on `ds.train`, fanning the methods out across the global
+/// thread pool (util::SetNumThreads / UCAD_THREADS). Each method owns its
+/// detector and model, so lanes share only the read-only dataset; results
+/// come back in the fixed Table 2 row order regardless of which lane
+/// finishes first. With one thread this is exactly the serial method loop.
+std::vector<MethodResult> RunAllMethods(const ScenarioConfig& config,
+                                        const ScenarioDataset& ds);
+
 }  // namespace ucad::eval
 
 #endif  // UCAD_EVAL_RUNNER_H_

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ucad::nn {
@@ -73,6 +74,24 @@ class OpScope {
 
 /// sizeof(float) as uint64 so byte estimates don't overflow int.
 constexpr uint64_t kF = sizeof(float);
+
+/// Elementwise forwards fan out across the pool only above this element
+/// count (per the PR-2 TapeProfiler, smaller activations are dominated by
+/// dispatch overhead); chunks hold at least kElemwiseGrain elements.
+/// Elementwise partitioning is trivially bitwise-deterministic.
+constexpr int64_t kParallelElemwiseMin = int64_t{1} << 16;
+constexpr int64_t kParallelElemwiseGrain = int64_t{1} << 14;
+
+/// Runs fn(i0, i1) over [0, size) — split across the pool when the tensor
+/// is large enough, inline otherwise.
+void ElemwiseFor(int64_t size,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (size >= kParallelElemwiseMin && util::NumThreads() > 1) {
+    util::ParallelFor(0, size, kParallelElemwiseGrain, fn);
+  } else {
+    fn(0, size);
+  }
+}
 
 std::string FormatMs(double ms) {
   char buf[32];
@@ -420,9 +439,11 @@ VarId Tape::AddScalar(VarId a, float c) {
 VarId Tape::Relu(VarId a) {
   OpScope prof(OpKind::kRelu);
   Tensor out = value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::max(0.0f, out.data()[i]);
-  }
+  ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out.data()[i] = std::max(0.0f, out.data()[i]);
+    }
+  });
   prof.SetCost(out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kRelu, std::move(out));
   nodes_[v].backward = [this, v, a]() {
@@ -452,9 +473,11 @@ float StableSigmoid(float x) {
 VarId Tape::Sigmoid(VarId a) {
   OpScope prof(OpKind::kSigmoid);
   Tensor out = value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = StableSigmoid(out.data()[i]);
-  }
+  ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out.data()[i] = StableSigmoid(out.data()[i]);
+    }
+  });
   prof.SetCost(4 * out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kSigmoid, std::move(out));
   nodes_[v].backward = [this, v, a]() {
@@ -472,9 +495,11 @@ VarId Tape::Sigmoid(VarId a) {
 VarId Tape::Tanh(VarId a) {
   OpScope prof(OpKind::kTanh);
   Tensor out = value(a);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out.data()[i] = std::tanh(out.data()[i]);
+    }
+  });
   prof.SetCost(4 * out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kTanh, std::move(out));
   nodes_[v].backward = [this, v, a]() {
@@ -494,11 +519,13 @@ VarId Tape::LogSigmoid(VarId a) {
   // log sigmoid(x) = -softplus(-x) = -(log(1 + exp(-x))); stable split.
   const Tensor& va = value(a);
   Tensor out(va.rows(), va.cols());
-  for (size_t i = 0; i < out.size(); ++i) {
-    const float x = va.data()[i];
-    out.data()[i] =
-        x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
-  }
+  ElemwiseFor(out.size(), [&out, &va](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float x = va.data()[i];
+      out.data()[i] =
+          x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
+    }
+  });
   prof.SetCost(4 * out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kLogSigmoid, std::move(out));
   nodes_[v].backward = [this, v, a]() {
@@ -703,18 +730,29 @@ VarId Tape::SoftmaxRows(VarId a) {
   OpScope prof(OpKind::kSoftmaxRows);
   const Tensor& va = value(a);
   Tensor out(va.rows(), va.cols());
-  for (int r = 0; r < va.rows(); ++r) {
-    const float* in = va.row(r);
-    float* o = out.row(r);
-    float max_v = in[0];
-    for (int c = 1; c < va.cols(); ++c) max_v = std::max(max_v, in[c]);
-    double sum = 0.0;
-    for (int c = 0; c < va.cols(); ++c) {
-      o[c] = std::exp(in[c] - max_v);
-      sum += o[c];
+  auto softmax_rows = [&va, &out](int64_t r0, int64_t r1) {
+    for (int64_t ri = r0; ri < r1; ++ri) {
+      const int r = static_cast<int>(ri);
+      const float* in = va.row(r);
+      float* o = out.row(r);
+      float max_v = in[0];
+      for (int c = 1; c < va.cols(); ++c) max_v = std::max(max_v, in[c]);
+      double sum = 0.0;
+      for (int c = 0; c < va.cols(); ++c) {
+        o[c] = std::exp(in[c] - max_v);
+        sum += o[c];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int c = 0; c < va.cols(); ++c) o[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int c = 0; c < va.cols(); ++c) o[c] *= inv;
+  };
+  if (static_cast<int64_t>(va.size()) >= kParallelElemwiseMin &&
+      va.rows() > 1 && util::NumThreads() > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kParallelElemwiseGrain / va.cols());
+    util::ParallelFor(0, va.rows(), grain, softmax_rows);
+  } else {
+    softmax_rows(0, va.rows());
   }
   prof.SetCost(5 * out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kSoftmaxRows, std::move(out));
@@ -906,7 +944,9 @@ VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
   return v;
 }
 
-void Tape::Backward(VarId root) {
+void Tape::Backward(VarId root) { Backward(root, nullptr); }
+
+void Tape::Backward(VarId root, ParamGradMap* sink) {
   UCAD_CHECK(root >= 0 && root < static_cast<VarId>(nodes_.size()));
   UCAD_CHECK_EQ(nodes_[root].value.rows(), 1);
   UCAD_CHECK_EQ(nodes_[root].value.cols(), 1);
@@ -931,7 +971,15 @@ void Tape::Backward(VarId root) {
   }
   for (Node& node : nodes_) {
     if (node.param != nullptr && node.grad.SameShape(node.value)) {
-      node.param->grad().AddInPlace(node.grad);
+      if (sink == nullptr) {
+        node.param->grad().AddInPlace(node.grad);
+      } else {
+        Tensor& g = (*sink)[node.param];
+        if (!g.SameShape(node.grad)) {
+          g = Tensor(node.grad.rows(), node.grad.cols());
+        }
+        g.AddInPlace(node.grad);
+      }
     }
   }
   if (metrics) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -227,9 +228,20 @@ class Tape {
 
   // ---- Execution ----
 
+  /// Per-Parameter gradient accumulation target for Backward with an
+  /// explicit sink (data-parallel training builds one map per concurrently
+  /// processed window and merges them in a fixed order before the
+  /// optimizer step). Entries are created zero-initialized on first touch.
+  using ParamGradMap = std::unordered_map<Parameter*, Tensor>;
+
   /// Runs reverse-mode differentiation from `root` (must be [1 x 1]) and
   /// accumulates gradients into every bound Parameter.
   void Backward(VarId root);
+
+  /// As Backward(root), but parameter gradients accumulate into `*sink`
+  /// instead of Parameter::grad(), so concurrent tapes over the same model
+  /// never write shared state. Null sink behaves like Backward(root).
+  void Backward(VarId root, ParamGradMap* sink);
 
   /// Node value / gradient access. Gradients are valid after Backward().
   const Tensor& value(VarId v) const;

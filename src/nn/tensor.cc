@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace ucad::nn {
 
@@ -155,6 +157,45 @@ std::string Tensor::DebugString(int max_entries) const {
   return os.str();
 }
 
+namespace {
+
+/// -1 = not yet initialized (first reader consults UCAD_MATMUL_MIN_WORK).
+std::atomic<int64_t> g_matmul_min_work{-1};
+
+int64_t MatMulMinWork() {
+  int64_t v = g_matmul_min_work.load(std::memory_order_relaxed);
+  if (v >= 0) return v;
+  int64_t def = int64_t{1} << 18;  // ~262k MACs ≈ 0.1 ms serial
+  if (const char* env = std::getenv("UCAD_MATMUL_MIN_WORK")) {
+    const long long parsed = std::atoll(env);
+    if (parsed >= 0) def = parsed;
+  }
+  g_matmul_min_work.store(def, std::memory_order_relaxed);
+  return def;
+}
+
+/// True when an [m-row output, m*k*n MACs] kernel should fan out; `grain`
+/// receives the row-chunk size that keeps at least MinWork MACs per chunk.
+bool ShouldParallelize(int m, int64_t work, int64_t per_row,
+                       int64_t* grain) {
+  const int64_t min_work = MatMulMinWork();
+  if (min_work <= 0 || m <= 1 || work < min_work ||
+      util::NumThreads() <= 1) {
+    return false;
+  }
+  *grain = std::max<int64_t>(1, min_work / std::max<int64_t>(1, per_row));
+  return true;
+}
+
+}  // namespace
+
+void SetParallelMatMulMinWork(int64_t min_work) {
+  g_matmul_min_work.store(min_work < 0 ? 0 : min_work,
+                          std::memory_order_relaxed);
+}
+
+int64_t ParallelMatMulMinWork() { return MatMulMinWork(); }
+
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
   out->SetZero();
   MatMulAccum(a, b, out);
@@ -165,16 +206,36 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   UCAD_CHECK_EQ(out->rows(), a.rows());
   UCAD_CHECK_EQ(out->cols(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  // ikj loop order: streams through b and out rows contiguously.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // ikj loop order: streams through b and out rows contiguously. The
+  // depth loop is tiled so a block of b rows stays cache-hot across
+  // several output rows; per output element the accumulation order is
+  // still p ascending, so tiled == untiled bitwise.
+  auto rows = [&a, &b, out, k, n](int64_t r0, int64_t r1) {
+    constexpr int64_t kRowTile = 16;
+    constexpr int kDepthTile = 128;
+    for (int64_t ib = r0; ib < r1; ib += kRowTile) {
+      const int64_t ie = std::min(ib + kRowTile, r1);
+      for (int pb = 0; pb < k; pb += kDepthTile) {
+        const int pe = std::min(pb + kDepthTile, k);
+        for (int64_t i = ib; i < ie; ++i) {
+          const float* arow = a.row(static_cast<int>(i));
+          float* orow = out->row(static_cast<int>(i));
+          for (int p = pb; p < pe; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b.row(p);
+            for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+          }
+        }
+      }
     }
+  };
+  const int64_t work = int64_t{m} * k * n;
+  int64_t grain = 0;
+  if (ShouldParallelize(m, work, int64_t{k} * n, &grain)) {
+    util::ParallelFor(0, m, grain, rows);
+  } else {
+    rows(0, m);
   }
 }
 
@@ -183,6 +244,26 @@ void MatMulTransposeAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   UCAD_CHECK_EQ(out->rows(), a.cols());
   UCAD_CHECK_EQ(out->cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
+  const int64_t work = int64_t{m} * k * n;
+  int64_t grain = 0;
+  if (ShouldParallelize(m, work, int64_t{k} * n, &grain)) {
+    // Output-row partition needs the i loop outermost (each chunk then owns
+    // disjoint out rows). Per element the k products still accumulate in
+    // ascending-p order, exactly as the serial p-outer loop below.
+    util::ParallelFor(0, m, grain, [&a, &b, out, k, n](int64_t r0,
+                                                       int64_t r1) {
+      for (int64_t i = r0; i < r1; ++i) {
+        float* orow = out->row(static_cast<int>(i));
+        for (int p = 0; p < k; ++p) {
+          const float av = a.at(p, static_cast<int>(i));
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+    });
+    return;
+  }
   for (int p = 0; p < k; ++p) {
     const float* arow = a.row(p);
     const float* brow = b.row(p);
@@ -200,15 +281,26 @@ void MatMulTransposeBAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   UCAD_CHECK_EQ(out->rows(), a.rows());
   UCAD_CHECK_EQ(out->cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      double dot = 0.0;
-      for (int p = 0; p < k; ++p) dot += static_cast<double>(arow[p]) * brow[p];
-      orow[j] += static_cast<float>(dot);
+  auto rows = [&a, &b, out, k, n](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = a.row(static_cast<int>(i));
+      float* orow = out->row(static_cast<int>(i));
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b.row(j);
+        double dot = 0.0;
+        for (int p = 0; p < k; ++p) {
+          dot += static_cast<double>(arow[p]) * brow[p];
+        }
+        orow[j] += static_cast<float>(dot);
+      }
     }
+  };
+  const int64_t work = int64_t{m} * k * n;
+  int64_t grain = 0;
+  if (ShouldParallelize(m, work, int64_t{k} * n, &grain)) {
+    util::ParallelFor(0, m, grain, rows);
+  } else {
+    rows(0, m);
   }
 }
 

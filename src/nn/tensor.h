@@ -186,6 +186,16 @@ class Tensor {
   int64_t tracked_bytes_ = 0;
 };
 
+/// Minimum matmul work (multiply-accumulates, m*k*n) before the kernels
+/// fan out across the global thread pool (util::ParallelFor over output
+/// rows). Below the threshold the original serial loops run. Partitioned
+/// execution is bitwise identical to serial: every output element
+/// accumulates its k products in ascending-p order regardless of the
+/// partition, and chunk boundaries never depend on scheduling.
+/// Initialized from UCAD_MATMUL_MIN_WORK when set (default 1<<18).
+void SetParallelMatMulMinWork(int64_t min_work);
+int64_t ParallelMatMulMinWork();
+
 /// out = a * b for [m x k] x [k x n]. `out` must be preallocated [m x n];
 /// its previous contents are overwritten.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out);

@@ -1,0 +1,28 @@
+#include "obs/pool_metrics.h"
+
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace ucad::obs {
+
+void PublishThreadPoolMetrics(MetricsRegistry* registry) {
+  MetricsRegistry& reg = registry != nullptr ? *registry : DefaultMetrics();
+  const util::ThreadPoolStats stats = util::GlobalThreadPool().Stats();
+  reg.GetGauge("pool/num_threads")
+      ->Set(static_cast<double>(util::NumThreads()));
+  Counter* tasks = reg.GetCounter("pool/tasks_total");
+  if (stats.tasks_total > tasks->Value()) {
+    tasks->Increment(stats.tasks_total - tasks->Value());
+  }
+  reg.GetGauge("pool/queue_depth")
+      ->Set(static_cast<double>(stats.queue_depth));
+  reg.GetGauge("pool/max_queue_depth")
+      ->Set(static_cast<double>(stats.max_queue_depth));
+  for (size_t i = 0; i < stats.worker_busy_ns.size(); ++i) {
+    reg.GetGauge("pool/worker_busy_ms", {{"worker", std::to_string(i)}})
+        ->Set(static_cast<double>(stats.worker_busy_ns[i]) / 1e6);
+  }
+}
+
+}  // namespace ucad::obs

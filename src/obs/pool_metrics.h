@@ -1,0 +1,24 @@
+#ifndef UCAD_OBS_POOL_METRICS_H_
+#define UCAD_OBS_POOL_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+/// Publishes the global thread pool's lifetime accounting into `registry`
+/// (default registry when null):
+///
+///   pool/num_threads        gauge   (configured lane count)
+///   pool/tasks_total        counter (chunks executed since process start)
+///   pool/queue_depth        gauge   (jobs in flight at snapshot time)
+///   pool/max_queue_depth    gauge   (high-water mark)
+///   pool/worker_busy_ms{worker=i}  gauge per background worker
+///
+/// The pool lives in util (which obs links against, not the reverse), so
+/// its hot path carries plain atomics and this translation runs only at
+/// publication points: epoch ends, detection batches, bench/CLI exits.
+void PublishThreadPoolMetrics(MetricsRegistry* registry = nullptr);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_POOL_METRICS_H_

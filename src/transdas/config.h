@@ -78,6 +78,14 @@ struct TrainOptions {
   uint64_t seed = 7;
   /// Print per-epoch progress.
   bool verbose = false;
+  /// Windows per optimizer step. 1 reproduces the paper's per-window SGD
+  /// walk exactly (the historical behavior). Above 1 the trainer computes
+  /// the windows' gradients data-parallel across the global thread pool
+  /// (per-window tape + gradient buffer, per-window RNG stream split from
+  /// `seed`), merges them with a fixed-order tree reduction, and applies
+  /// one Adam step on the mean gradient — results are identical at any
+  /// UCAD_THREADS value.
+  int batch_size = 1;
 };
 
 /// Online detection options (§5.3).

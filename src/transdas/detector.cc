@@ -9,6 +9,7 @@
 #include "obs/monitor.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ucad::transdas {
@@ -174,12 +175,25 @@ SessionVerdict TransDasDetector::DetectSession(
   const int n = static_cast<int>(keys.size());
 
   if (!options_.batched) {
-    for (int t = 1; t < n; ++t) {
-      std::vector<int> preceding(keys.begin(), keys.begin() + t);
-      OperationVerdict op = ScoreNextOperation(preceding, keys[t]);
-      op.position = t;
-      if (op.abnormal) verdict.abnormal = true;
-      verdict.operations.push_back(op);
+    // Each position's score depends only on the (read-only) model and the
+    // session prefix, so positions fan out across the pool; every lane
+    // writes its own preallocated verdict slot.
+    verdict.operations.resize(n - 1);
+    util::ParallelFor(1, n, /*grain=*/1, [this, &keys, &verdict](
+                                             int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        std::vector<int> preceding(keys.begin(), keys.begin() + t);
+        OperationVerdict op =
+            ScoreNextOperation(preceding, keys[static_cast<size_t>(t)]);
+        op.position = static_cast<int>(t);
+        verdict.operations[t - 1] = op;
+      }
+    });
+    for (const OperationVerdict& op : verdict.operations) {
+      if (op.abnormal) {
+        verdict.abnormal = true;
+        break;
+      }
     }
     if (metrics) RecordDetectMetrics(verdict, timer.ElapsedMillis());
     return verdict;
@@ -192,37 +206,54 @@ SessionVerdict TransDasDetector::DetectSession(
   std::vector<int> padded(L, 0);  // L leading pads so op 1..L-1 get context
   padded.reserve(L + keys.size());
   for (int key : keys) padded.push_back(Sanitize(key, vocab));
-  std::vector<bool> scored(n, false);
-  // Window starting at padded index w scores session positions
-  // [w+1-L, w] (targets padded[w+1..w+L]). Advance so every position in
-  // [1, n) is scored exactly once; the tail window is clamped inside the
-  // sequence and may re-visit already-scored positions.
+  // Window ending at padded index w scores session positions [lo, w]
+  // (targets padded[w+1..w+L]). Advance so every position in [1, n) is
+  // owned by exactly one window; the tail window is clamped inside the
+  // sequence and simply re-derives — but does not own — earlier positions.
+  struct WindowSpan {
+    int w;   // last padded index covered (window is padded[w .. w+L-1])
+    int lo;  // first session position this window owns
+  };
+  std::vector<WindowSpan> spans;
   int next = 1;
   while (next < n) {
     const int w = std::min(next + L - 1, n - 1);
-    std::vector<int> input(padded.begin() + w, padded.begin() + w + L);
-    nn::Tape tape;
-    nn::VarId outputs =
-        model_->Forward(&tape, input, /*training=*/false, nullptr);
-    nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
-    const nn::Tensor& scores = tape.value(logits);
-    for (int i = 0; i < L; ++i) {
-      const int session_pos = w + i + 1 - L;  // target of output i
-      if (session_pos < 1 || session_pos >= n) continue;
-      if (scored[session_pos]) continue;
-      scored[session_pos] = true;
-      OperationVerdict op;
-      op.position = session_pos;
-      ScoreKey(scores, i, keys[session_pos], &op);
-      if (op.abnormal) verdict.abnormal = true;
-      verdict.operations.push_back(op);
-    }
+    spans.push_back(WindowSpan{w, next});
     next = w + 1;
   }
-  std::sort(verdict.operations.begin(), verdict.operations.end(),
-            [](const OperationVerdict& a, const OperationVerdict& b) {
-              return a.position < b.position;
-            });
+  // The spans own disjoint position ranges, so the forward passes fan out
+  // across the pool with each lane writing disjoint verdict slots. The
+  // window placement is fixed by (n, L) alone — thread count never changes
+  // which window scores a position, so verdicts match the serial walk.
+  verdict.operations.resize(n - 1);
+  util::ParallelFor(
+      0, static_cast<int64_t>(spans.size()), /*grain=*/1,
+      [this, &spans, &padded, &keys, &verdict, L, n](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          const WindowSpan& span = spans[b];
+          std::vector<int> input(padded.begin() + span.w,
+                                 padded.begin() + span.w + L);
+          nn::Tape tape;
+          nn::VarId outputs =
+              model_->Forward(&tape, input, /*training=*/false, nullptr);
+          nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
+          const nn::Tensor& scores = tape.value(logits);
+          for (int i = 0; i < L; ++i) {
+            const int session_pos = span.w + i + 1 - L;  // target of output i
+            if (session_pos < span.lo || session_pos >= n) continue;
+            OperationVerdict op;
+            op.position = session_pos;
+            ScoreKey(scores, i, keys[session_pos], &op);
+            verdict.operations[session_pos - 1] = op;
+          }
+        }
+      });
+  for (const OperationVerdict& op : verdict.operations) {
+    if (op.abnormal) {
+      verdict.abnormal = true;
+      break;
+    }
+  }
   if (metrics) RecordDetectMetrics(verdict, timer.ElapsedMillis());
   return verdict;
 }

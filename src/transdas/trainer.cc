@@ -5,11 +5,33 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/pool_metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ucad::transdas {
+
+namespace {
+
+/// SplitMix64-style mix of (seed, epoch, window ordinal). Data-parallel
+/// training draws each window's dropout and negative samples from its own
+/// stream keyed by the window's position in the epoch's shuffled order, so
+/// the sampled values depend on neither the thread count nor which worker
+/// ran the window.
+uint64_t WindowSeed(uint64_t seed, uint64_t epoch, uint64_t ordinal) {
+  uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (epoch + 1) +
+               0xBF58476D1CE4E5B9ULL * (ordinal + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x != 0 ? x : 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
 
 std::vector<TrainingWindow> MakeWindows(
     const std::vector<std::vector<int>>& sessions, int window, int stride) {
@@ -150,27 +172,97 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
     double total_ce = 0.0;
     double total_triplet = 0.0;
     double total_grad_norm = 0.0;
-    for (const TrainingWindow& window : windows) {
-      UCAD_TRACE_SPAN("trainer/step");
-      nn::Tape tape;
-      LossNodes loss = WindowLoss(&tape, window, session_key_sets,
-                                  negative_weights, &rng_);
-      total_loss += tape.value(loss.total).at(0, 0);
-      total_ce += tape.value(loss.ce).at(0, 0);
-      if (loss.triplet >= 0) total_triplet += tape.value(loss.triplet).at(0, 0);
-      tape.Backward(loss.total);
-      total_grad_norm += options_.grad_clip > 0.0f
-                             ? optimizer_.ClipGradNorm(options_.grad_clip)
-                             : optimizer_.GradNorm();
-      optimizer_.Step();
-      model_->FreezePaddingRow();
+    const int batch = std::max(1, options_.batch_size);
+    int num_steps = 0;
+    if (batch <= 1) {
+      // Historical per-window SGD walk: one shared RNG stream, one Adam
+      // step per window. Kept byte-for-byte so batch_size=1 runs reproduce
+      // every pre-existing checkpoint and test expectation.
+      for (const TrainingWindow& window : windows) {
+        UCAD_TRACE_SPAN("trainer/step");
+        nn::Tape tape;
+        LossNodes loss = WindowLoss(&tape, window, session_key_sets,
+                                    negative_weights, &rng_);
+        total_loss += tape.value(loss.total).at(0, 0);
+        total_ce += tape.value(loss.ce).at(0, 0);
+        if (loss.triplet >= 0)
+          total_triplet += tape.value(loss.triplet).at(0, 0);
+        tape.Backward(loss.total);
+        total_grad_norm += options_.grad_clip > 0.0f
+                               ? optimizer_.ClipGradNorm(options_.grad_clip)
+                               : optimizer_.GradNorm();
+        optimizer_.Step();
+        model_->FreezePaddingRow();
+        ++num_steps;
+      }
+    } else {
+      // Data-parallel minibatches: each window in a batch gets its own
+      // tape, gradient sink, and RNG stream, so concurrent lanes share
+      // only read-only state (model weights, key sets). The merge below is
+      // a fixed-order tree, making the result invariant to UCAD_THREADS.
+      const size_t nw = windows.size();
+      std::vector<double> w_loss(batch), w_ce(batch), w_triplet(batch);
+      std::vector<nn::Tape::ParamGradMap> w_grads(batch);
+      for (size_t start = 0; start < nw; start += batch) {
+        UCAD_TRACE_SPAN("trainer/step");
+        const int bsz = static_cast<int>(std::min<size_t>(batch, nw - start));
+        for (int j = 0; j < bsz; ++j) w_grads[j].clear();
+        util::ParallelFor(0, bsz, 1, [&](int64_t j0, int64_t j1) {
+          for (int64_t j = j0; j < j1; ++j) {
+            const TrainingWindow& window = windows[start + j];
+            util::Rng wrng(WindowSeed(options_.seed,
+                                      static_cast<uint64_t>(epoch),
+                                      start + j));
+            nn::Tape tape;
+            LossNodes loss = WindowLoss(&tape, window, session_key_sets,
+                                        negative_weights, &wrng);
+            w_loss[j] = tape.value(loss.total).at(0, 0);
+            w_ce[j] = tape.value(loss.ce).at(0, 0);
+            w_triplet[j] =
+                loss.triplet >= 0 ? tape.value(loss.triplet).at(0, 0) : 0.0;
+            tape.Backward(loss.total, &w_grads[j]);
+          }
+        });
+        // Pairwise tree reduction in index order: the merge sequence
+        // depends only on bsz, never on worker finish order, and each
+        // parameter's partial sums combine in the same order every run.
+        for (int width = 1; width < bsz; width *= 2) {
+          for (int j = 0; j + width < bsz; j += 2 * width) {
+            for (auto& [param, grad] : w_grads[j + width]) {
+              auto it = w_grads[j].find(param);
+              if (it == w_grads[j].end()) {
+                w_grads[j].emplace(param, std::move(grad));
+              } else {
+                it->second.AddInPlace(grad);
+              }
+            }
+          }
+        }
+        // Mean gradient over the batch, then a single Adam step.
+        const float inv_b = 1.0f / static_cast<float>(bsz);
+        for (nn::Parameter* p : optimizer_.params()) {
+          auto it = w_grads[0].find(p);
+          if (it != w_grads[0].end()) p->grad().AddScaled(it->second, inv_b);
+        }
+        for (int j = 0; j < bsz; ++j) {
+          total_loss += w_loss[j];
+          total_ce += w_ce[j];
+          total_triplet += w_triplet[j];
+        }
+        total_grad_norm += options_.grad_clip > 0.0f
+                               ? optimizer_.ClipGradNorm(options_.grad_clip)
+                               : optimizer_.GradNorm();
+        optimizer_.Step();
+        model_->FreezePaddingRow();
+        ++num_steps;
+      }
     }
     EpochStats es;
     es.windows = static_cast<int>(windows.size());
     es.mean_loss = total_loss / windows.size();
     es.ce_loss = total_ce / windows.size();
     es.triplet_loss = total_triplet / windows.size();
-    es.grad_norm = total_grad_norm / windows.size();
+    es.grad_norm = total_grad_norm / std::max(num_steps, 1);
     double param_sq_norm = 0.0;
     for (const nn::Parameter* p : optimizer_.params()) {
       param_sq_norm += p->value().SquaredNorm();
@@ -188,6 +280,8 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
       reg.GetCounter("trainer/epochs_total")->Increment();
       reg.GetCounter("trainer/windows_total")->Increment(windows.size());
       reg.GetHistogram("trainer/epoch_seconds")->Observe(es.seconds);
+      reg.GetGauge("trainer/batch_size")->Set(batch);
+      obs::PublishThreadPoolMetrics(&reg);
     }
     if (options_.verbose) {
       UCAD_LOG(INFO) << "epoch " << epoch + 1 << "/" << epochs << " loss "

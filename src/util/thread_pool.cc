@@ -1,0 +1,242 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace ucad::util {
+
+namespace {
+
+/// Set while a thread (worker or helping caller) executes ParallelFor
+/// chunks; nested calls then run inline instead of re-entering the queue.
+thread_local bool t_in_parallel_region = false;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("UCAD_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  const int workers = num_threads_ - 1;
+  worker_busy_ns_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    worker_busy_ns_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::RunChunks(Job* job, std::atomic<uint64_t>* busy_ns) {
+  const bool was_in_region = t_in_parallel_region;
+  t_in_parallel_region = true;
+  for (;;) {
+    const int64_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) break;
+    const int64_t chunk_begin = job->begin + c * job->chunk;
+    const int64_t chunk_end = chunk_begin + job->chunk < job->end
+                                  ? chunk_begin + job->chunk
+                                  : job->end;
+    const int64_t t0 = NowNs();
+    try {
+      (*job->body)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (!job->error) job->error = std::current_exception();
+    }
+    if (busy_ns != nullptr) {
+      busy_ns->fetch_add(static_cast<uint64_t>(NowNs() - t0),
+                         std::memory_order_relaxed);
+    }
+    tasks_total_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t done =
+        job->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job->num_chunks) {
+      // Lock before notifying so the waiter cannot miss the wakeup between
+      // its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->done_cv.notify_all();
+    }
+  }
+  t_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  std::atomic<uint64_t>* busy = worker_busy_ns_[worker_index].get();
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = jobs_.front();
+      if (job->next_chunk.load(std::memory_order_relaxed) >=
+          job->num_chunks) {
+        // All chunks already claimed; retire the job and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    RunChunks(job.get(), busy);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t total = end - begin;
+  // Serial fast paths: single lane, nested call from inside a body, or a
+  // range too small to split.
+  if (num_threads_ == 1 || t_in_parallel_region || total <= grain) {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    body(begin, end);
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  // At most one chunk per lane, each at least `grain` iterations. Chunk
+  // boundaries depend only on (begin, end, grain, lanes) — never on
+  // scheduling — which is what keeps partitioned kernels deterministic.
+  int64_t chunks = (total + grain - 1) / grain;
+  if (chunks > num_threads_) chunks = num_threads_;
+  job->chunk = (total + chunks - 1) / chunks;
+  job->num_chunks = (total + job->chunk - 1) / job->chunk;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    jobs_.push_back(job);
+    const int64_t depth = static_cast<int64_t>(jobs_.size());
+    int64_t max_depth = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > max_depth &&
+           !max_queue_depth_.compare_exchange_weak(
+               max_depth, depth, std::memory_order_relaxed)) {
+    }
+  }
+  active_jobs_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  // The caller is a full lane: it works its own job before waiting, so a
+  // pool whose workers are all busy elsewhere still makes progress.
+  RunChunks(job.get(), nullptr);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&job] {
+      return job->done_chunks.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+  }
+  active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    // Retire the job eagerly; workers also retire exhausted fronts, but
+    // this keeps the queue empty when no worker wakes up again soon.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.tasks_total = tasks_total_.load(std::memory_order_relaxed);
+  stats.queue_depth = active_jobs_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.worker_busy_ns.reserve(worker_busy_ns_.size());
+  for (const auto& busy : worker_busy_ns_) {
+    stats.worker_busy_ns.push_back(busy->load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // 0 = not set: use UCAD_THREADS or hardware
+/// Lock-free mirror of the effective lane count, so hot-path "is it even
+/// worth splitting" checks (matmul thresholds) never touch g_pool_mu.
+/// 0 = not resolved yet.
+std::atomic<int> g_num_threads_cache{0};
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    const int n =
+        g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads();
+    g_pool = std::make_unique<ThreadPool>(n);
+    g_num_threads_cache.store(n, std::memory_order_relaxed);
+  }
+  return *g_pool;
+}
+
+void SetNumThreads(int n) {
+  if (n < 1) n = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = n;
+  g_num_threads_cache.store(n, std::memory_order_relaxed);
+  if (g_pool != nullptr && g_pool->num_threads() == n) return;
+  g_pool.reset();  // joins the old workers before the swap
+  g_pool = std::make_unique<ThreadPool>(n);
+}
+
+int NumThreads() {
+  const int cached = g_num_threads_cache.load(std::memory_order_relaxed);
+  if (cached > 0) return cached;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (g_pool != nullptr) return g_pool->num_threads();
+    if (g_requested_threads > 0) return g_requested_threads;
+  }
+  const int n = DefaultNumThreads();
+  g_num_threads_cache.store(n, std::memory_order_relaxed);
+  return n;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain || ThreadPool::InParallelRegion()) {
+    // Too small to split (or nested): skip pool instantiation entirely.
+    body(begin, end);
+    return;
+  }
+  GlobalThreadPool().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace ucad::util

@@ -1,0 +1,124 @@
+#ifndef UCAD_UTIL_THREAD_POOL_H_
+#define UCAD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ucad::util {
+
+/// Point-in-time view of a pool's lifetime accounting, for the obs layer
+/// (pool/tasks_total, pool/queue_depth, per-worker busy time).
+struct ThreadPoolStats {
+  /// Chunks executed (by workers and by callers helping their own jobs).
+  uint64_t tasks_total = 0;
+  /// Jobs currently queued or running.
+  int64_t queue_depth = 0;
+  /// High-water mark of queue_depth.
+  int64_t max_queue_depth = 0;
+  /// Busy nanoseconds per background worker (size = worker count, which is
+  /// num_threads - 1: the calling thread is the remaining lane).
+  std::vector<uint64_t> worker_busy_ns;
+};
+
+/// Fixed-size worker pool executing chunked parallel-for loops. There is no
+/// work stealing: each ParallelFor call becomes one job whose chunks are
+/// claimed from a single shared counter, so chunk-to-data assignment is
+/// static and results never depend on which thread ran which chunk.
+///
+/// Concurrency model:
+///  - `num_threads` is the total lane count; the pool spawns num_threads - 1
+///    background workers and the calling thread works its own job too.
+///  - ParallelFor called from inside a pool-executed body runs serially
+///    inline (nested-submit deadlock guard), so callers may parallelize
+///    freely at every layer and only the outermost level fans out.
+///  - With num_threads == 1 every ParallelFor degrades to a plain loop with
+///    no locking, allocation, or thread touch at all.
+///
+/// Exceptions thrown by the body are captured (first one wins) and rethrown
+/// on the calling thread after all chunks finish.
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers (num_threads < 1 is clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end).
+  /// Chunks hold at least `grain` iterations (grain < 1 is clamped to 1);
+  /// bodies of distinct chunks may run concurrently and must write to
+  /// disjoint data. Returns after every chunk completed.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// True while the current thread is executing a ParallelFor body (worker
+  /// or helping caller); nested ParallelFor calls then run inline.
+  static bool InParallelRegion();
+
+  ThreadPoolStats Stats() const;
+
+ private:
+  struct Job {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t chunk = 1;
+    int64_t num_chunks = 0;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+
+  void WorkerLoop(int worker_index);
+  /// Claims and runs chunks of `job` until none remain; `busy_ns` (may be
+  /// null) accumulates execution time. Returns after the local claims are
+  /// executed (other threads may still be finishing theirs).
+  void RunChunks(Job* job, std::atomic<uint64_t>* busy_ns);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> worker_busy_ns_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> tasks_total_{0};
+  std::atomic<int64_t> active_jobs_{0};
+  std::atomic<int64_t> max_queue_depth_{0};
+};
+
+/// The process-wide pool used by the nn kernels, the trainer, the detector,
+/// and the eval runner. Created on first use with SetNumThreads()'s value,
+/// the UCAD_THREADS environment variable, or hardware_concurrency(), in
+/// that precedence order.
+ThreadPool& GlobalThreadPool();
+
+/// Resizes the global pool (tears down the old one; do not call while any
+/// ParallelFor is in flight). n < 1 is clamped to 1. Overrides UCAD_THREADS.
+void SetNumThreads(int n);
+
+/// Lane count the global pool has (or would be created with).
+int NumThreads();
+
+/// Convenience wrapper over GlobalThreadPool().ParallelFor that skips pool
+/// creation entirely when the range is empty or a single chunk.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,245 @@
+// Locks down the tentpole guarantee of the parallel subsystem: for a fixed
+// seed, training losses, model weights, and detection verdicts are
+// IDENTICAL at any thread count. The kernels partition output rows and
+// accumulate each element in a fixed order, minibatch gradients merge via
+// a fixed-order tree, and per-window RNG streams are split from the seed —
+// so parallel runs are bitwise-equal to serial ones, not merely close.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "transdas/trainer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ucad {
+namespace {
+
+/// Restores single-thread mode even when a test fails mid-way, so later
+/// tests in this binary never inherit a parallel pool unexpectedly.
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { util::SetNumThreads(1); }
+};
+
+// ---------- Kernel-level: parallel == serial, bitwise ----------
+
+nn::Tensor RandomTensor(int rows, int cols, util::Rng* rng) {
+  nn::Tensor t(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      t.at(i, j) = static_cast<float>(rng->Normal(0.0, 1.0));
+    }
+  }
+  return t;
+}
+
+void ExpectBitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a.at(i, j), b.at(i, j)) << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(ParallelKernelTest, MatMulMatchesSerialBitwiseOverRandomShapes) {
+  ThreadGuard guard;
+  util::Rng rng(42);
+  // Force every product through the parallel path regardless of size.
+  nn::SetParallelMatMulMinWork(0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = 1 + static_cast<int>(rng.UniformU64(96));
+    const int k = 1 + static_cast<int>(rng.UniformU64(96));
+    const int n = 1 + static_cast<int>(rng.UniformU64(96));
+    const nn::Tensor a = RandomTensor(m, k, &rng);
+    const nn::Tensor b = RandomTensor(k, n, &rng);
+
+    util::SetNumThreads(1);
+    nn::Tensor serial(m, n);
+    nn::MatMul(a, b, &serial);
+
+    for (int threads : {2, 4, 8}) {
+      util::SetNumThreads(threads);
+      nn::Tensor parallel(m, n);
+      nn::MatMul(a, b, &parallel);
+      ExpectBitwiseEqual(serial, parallel);
+    }
+  }
+  nn::SetParallelMatMulMinWork(int64_t{1} << 18);
+}
+
+TEST(ParallelKernelTest, TransposedMatMulsMatchSerialBitwise) {
+  ThreadGuard guard;
+  util::Rng rng(43);
+  nn::SetParallelMatMulMinWork(0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = 2 + static_cast<int>(rng.UniformU64(64));
+    const int k = 2 + static_cast<int>(rng.UniformU64(64));
+    const int n = 2 + static_cast<int>(rng.UniformU64(64));
+
+    // A^T * B: a is [k x m], out is [m x n].
+    const nn::Tensor at = RandomTensor(k, m, &rng);
+    const nn::Tensor b = RandomTensor(k, n, &rng);
+    util::SetNumThreads(1);
+    nn::Tensor serial_a(m, n);
+    nn::MatMulTransposeAAccum(at, b, &serial_a);
+    util::SetNumThreads(4);
+    nn::Tensor parallel_a(m, n);
+    nn::MatMulTransposeAAccum(at, b, &parallel_a);
+    ExpectBitwiseEqual(serial_a, parallel_a);
+
+    // A * B^T: b is [n x k], out is [m x n].
+    const nn::Tensor a = RandomTensor(m, k, &rng);
+    const nn::Tensor bt = RandomTensor(n, k, &rng);
+    util::SetNumThreads(1);
+    nn::Tensor serial_b(m, n);
+    nn::MatMulTransposeBAccum(a, bt, &serial_b);
+    util::SetNumThreads(4);
+    nn::Tensor parallel_b(m, n);
+    nn::MatMulTransposeBAccum(a, bt, &parallel_b);
+    ExpectBitwiseEqual(serial_b, parallel_b);
+  }
+  nn::SetParallelMatMulMinWork(int64_t{1} << 18);
+}
+
+// ---------- Training + detection: verdicts invariant to threads ----------
+
+transdas::TransDasConfig SmallConfig() {
+  transdas::TransDasConfig config;
+  config.vocab_size = 14;
+  config.window = 8;
+  config.hidden_dim = 12;
+  config.num_heads = 2;
+  config.num_blocks = 2;
+  config.dropout = 0.1f;  // exercises the per-window RNG streams
+  return config;
+}
+
+std::vector<std::vector<int>> GrammarSessions(int count) {
+  // Simple repeating grammar: enough structure for losses to move.
+  std::vector<std::vector<int>> sessions;
+  util::Rng rng(7);
+  for (int s = 0; s < count; ++s) {
+    std::vector<int> keys;
+    const int reps = 3 + static_cast<int>(rng.UniformU64(3));
+    for (int r = 0; r < reps; ++r) {
+      for (int k = 1; k <= 4; ++k) keys.push_back(k);
+      if (rng.UniformU64(2) == 0) keys.push_back(5);
+    }
+    sessions.push_back(std::move(keys));
+  }
+  return sessions;
+}
+
+struct TrainedRun {
+  std::vector<double> losses;
+  std::vector<transdas::SessionVerdict> verdicts;
+};
+
+TrainedRun TrainAndDetect(int threads, int batch_size) {
+  util::SetNumThreads(threads);
+  util::Rng model_rng(1234);
+  transdas::TransDasModel model(SmallConfig(), &model_rng);
+  transdas::TrainOptions options;
+  options.epochs = 3;
+  options.seed = 11;
+  options.batch_size = batch_size;
+  transdas::TransDasTrainer trainer(&model, options);
+  TrainedRun run;
+  for (const transdas::EpochStats& e :
+       trainer.Train(GrammarSessions(12))) {
+    run.losses.push_back(e.mean_loss);
+  }
+  transdas::TransDasDetector detector(&model, transdas::DetectorOptions{});
+  const std::vector<std::vector<int>> probes = {
+      {1, 2, 3, 4, 1, 2, 3, 4, 5},
+      {1, 2, 13, 4, 1, 2, 3, 4},
+      {4, 3, 2, 1, 5, 5, 5},
+  };
+  for (const auto& probe : probes) {
+    run.verdicts.push_back(detector.DetectSession(probe));
+  }
+  return run;
+}
+
+void ExpectSameRun(const TrainedRun& a, const TrainedRun& b) {
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (size_t i = 0; i < a.losses.size(); ++i) {
+    // Identical window partitions + fixed-order reductions: the float ops
+    // happen in the same order, so even the doubles agree exactly. Allow
+    // 1e-10 headroom for any future platform whose libm differs.
+    EXPECT_NEAR(a.losses[i], b.losses[i], 1e-10) << "epoch " << i;
+  }
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (size_t s = 0; s < a.verdicts.size(); ++s) {
+    EXPECT_EQ(a.verdicts[s].abnormal, b.verdicts[s].abnormal);
+    ASSERT_EQ(a.verdicts[s].operations.size(),
+              b.verdicts[s].operations.size());
+    for (size_t i = 0; i < a.verdicts[s].operations.size(); ++i) {
+      const auto& va = a.verdicts[s].operations[i];
+      const auto& vb = b.verdicts[s].operations[i];
+      EXPECT_EQ(va.position, vb.position);
+      EXPECT_EQ(va.rank, vb.rank);
+      EXPECT_EQ(va.abnormal, vb.abnormal);
+      EXPECT_NEAR(va.score, vb.score, 1e-10);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BatchedTrainingInvariantToThreadCount) {
+  ThreadGuard guard;
+  const TrainedRun one = TrainAndDetect(/*threads=*/1, /*batch_size=*/4);
+  const TrainedRun two = TrainAndDetect(/*threads=*/2, /*batch_size=*/4);
+  const TrainedRun eight = TrainAndDetect(/*threads=*/8, /*batch_size=*/4);
+  ExpectSameRun(one, two);
+  ExpectSameRun(one, eight);
+}
+
+TEST(ParallelDeterminismTest, LegacyPerWindowTrainingInvariantToThreadCount) {
+  // batch_size=1 keeps the historical shared-RNG walk; thread count must
+  // still not leak in (kernels and detection are the only parallel parts).
+  ThreadGuard guard;
+  const TrainedRun one = TrainAndDetect(/*threads=*/1, /*batch_size=*/1);
+  const TrainedRun four = TrainAndDetect(/*threads=*/4, /*batch_size=*/1);
+  ExpectSameRun(one, four);
+}
+
+TEST(ParallelDeterminismTest, DetectionVerdictsInvariantToThreadCount) {
+  ThreadGuard guard;
+  util::SetNumThreads(1);
+  util::Rng model_rng(99);
+  transdas::TransDasModel model(SmallConfig(), &model_rng);
+  const std::vector<int> session = {1, 2, 3, 4, 1, 2, 3, 4, 5, 1, 2,
+                                    3, 4, 13, 2, 3, 4, 5, 1, 2};
+  for (bool batched : {true, false}) {
+    transdas::DetectorOptions options;
+    options.batched = batched;
+    transdas::TransDasDetector detector(&model, options);
+    util::SetNumThreads(1);
+    const transdas::SessionVerdict serial = detector.DetectSession(session);
+    util::SetNumThreads(4);
+    const transdas::SessionVerdict parallel =
+        detector.DetectSession(session);
+    ASSERT_EQ(serial.operations.size(), parallel.operations.size());
+    EXPECT_EQ(serial.abnormal, parallel.abnormal);
+    for (size_t i = 0; i < serial.operations.size(); ++i) {
+      EXPECT_EQ(serial.operations[i].position,
+                parallel.operations[i].position);
+      EXPECT_EQ(serial.operations[i].rank, parallel.operations[i].rank);
+      EXPECT_EQ(serial.operations[i].score, parallel.operations[i].score);
+      EXPECT_EQ(serial.operations[i].abnormal,
+                parallel.operations[i].abnormal);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucad
