@@ -9,6 +9,7 @@
 #include "eval/dataset.h"
 #include "eval/experiment_config.h"
 #include "eval/metrics.h"
+#include "nn/infer.h"
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "obs/manifest.h"
@@ -39,6 +40,7 @@ inline void DumpMetricsAtExit() {
   // Fold allocator + profiler state into the registry before snapshotting so
   // both the JSONL file and the manifest carry them.
   nn::PublishTensorMemMetrics();
+  nn::PublishInferMetrics(&obs::DefaultMetrics());
   nn::TapeProfiler::ExportTo(&obs::DefaultMetrics());
   obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
   const std::string path = "bench_" + name + ".json";

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/infer.h"
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "obs/audit_log.h"
@@ -542,6 +543,7 @@ int main(int argc, char** argv) {
   // Fold allocator state into the registry (zeros when tracking is off) so
   // snapshots and the manifest both carry it.
   nn::PublishTensorMemMetrics();
+  nn::PublishInferMetrics(&obs::DefaultMetrics());
   obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
   manifest.AddNote("peak_live_tensor_bytes",
                    std::to_string(nn::TensorMemStats().peak_live_bytes));

@@ -1,0 +1,23 @@
+#ifndef UCAD_NN_PARALLEL_THRESHOLDS_H_
+#define UCAD_NN_PARALLEL_THRESHOLDS_H_
+
+#include <cstdint>
+
+namespace ucad::nn {
+
+/// Shared work thresholds for elementwise / row-partitioned forward kernels.
+/// Both engines — the autograd tape (tape.cc) and the tape-free inference
+/// engine (infer.cc) — dispatch through the global thread pool above exactly
+/// these limits, so a kernel that is parallel on one engine is parallel on
+/// the other and parallel==serial stays bitwise on both (row and element
+/// partitions never change accumulation order).
+///
+/// Elementwise forwards fan out across the pool only above this element
+/// count (per the PR-2 TapeProfiler, smaller activations are dominated by
+/// dispatch overhead); chunks hold at least kParallelElemwiseGrain elements.
+constexpr int64_t kParallelElemwiseMin = int64_t{1} << 16;
+constexpr int64_t kParallelElemwiseGrain = int64_t{1} << 14;
+
+}  // namespace ucad::nn
+
+#endif  // UCAD_NN_PARALLEL_THRESHOLDS_H_

@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "nn/parallel_thresholds.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/table_printer.h"
@@ -74,13 +75,6 @@ class OpScope {
 
 /// sizeof(float) as uint64 so byte estimates don't overflow int.
 constexpr uint64_t kF = sizeof(float);
-
-/// Elementwise forwards fan out across the pool only above this element
-/// count (per the PR-2 TapeProfiler, smaller activations are dominated by
-/// dispatch overhead); chunks hold at least kElemwiseGrain elements.
-/// Elementwise partitioning is trivially bitwise-deterministic.
-constexpr int64_t kParallelElemwiseMin = int64_t{1} << 16;
-constexpr int64_t kParallelElemwiseGrain = int64_t{1} << 14;
 
 /// Runs fn(i0, i1) over [0, size) — split across the pool when the tensor
 /// is large enough, inline otherwise.
@@ -261,6 +255,16 @@ void TapeProfiler::ExportTo(obs::MetricsRegistry* registry) {
   }
 }
 
+namespace {
+
+/// Pool bucket key: one freelist per tensor shape.
+uint64_t ShapeKey(int rows, int cols) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(rows)) << 32) |
+         static_cast<uint32_t>(cols);
+}
+
+}  // namespace
+
 VarId Tape::NewNode(OpKind kind, Tensor value, std::function<void()> backward) {
   nodes_.push_back(Node{std::move(value), Tensor(), std::move(backward),
                         /*param=*/nullptr, kind});
@@ -275,8 +279,52 @@ Tensor& Tape::MutableGrad(VarId v) {
 void Tape::EnsureGrad(VarId v) {
   Node& node = nodes_[v];
   if (!node.grad.SameShape(node.value)) {
-    node.grad = Tensor(node.value.rows(), node.value.cols());
+    node.grad = AcquireTensor(node.value.rows(), node.value.cols(),
+                              /*zero=*/true);
   }
+}
+
+Tensor Tape::AcquireTensor(int rows, int cols, bool zero) {
+  auto it = pool_.find(ShapeKey(rows, cols));
+  if (it == pool_.end() || it->second.empty()) {
+    return Tensor(rows, cols);  // zero-initialized by construction
+  }
+  Tensor t = std::move(it->second.back());
+  it->second.pop_back();
+  if (zero) t.SetZero();
+  return t;
+}
+
+Tensor Tape::AcquireCopy(const Tensor& src) {
+  Tensor t = AcquireTensor(src.rows(), src.cols(), /*zero=*/false);
+  std::copy(src.data(), src.data() + src.size(), t.data());
+  return t;
+}
+
+std::shared_ptr<Tensor> Tape::AcquireShared(int rows, int cols) {
+  // The deleter recycles the storage; pool_ is declared before nodes_, so
+  // it outlives every closure that captured the pointer.
+  return std::shared_ptr<Tensor>(
+      new Tensor(AcquireTensor(rows, cols, /*zero=*/false)),
+      [this](Tensor* t) {
+        ReleaseTensor(std::move(*t));
+        delete t;
+      });
+}
+
+void Tape::ReleaseTensor(Tensor&& t) {
+  if (t.size() == 0) return;
+  pool_[ShapeKey(t.rows(), t.cols())].push_back(std::move(t));
+}
+
+void Tape::Reset() {
+  for (Node& node : nodes_) {
+    node.backward = nullptr;  // frees shared op scratch back into the pool
+    ReleaseTensor(std::move(node.value));
+    ReleaseTensor(std::move(node.grad));
+    node.param = nullptr;
+  }
+  nodes_.clear();  // keeps the node vector's capacity
 }
 
 const Tensor& Tape::value(VarId v) const {
@@ -289,18 +337,18 @@ const Tensor& Tape::grad(VarId v) const {
   return nodes_[v].grad;
 }
 
-VarId Tape::Constant(Tensor value) {
-  return NewNode(OpKind::kConstant, std::move(value));
+VarId Tape::Constant(const Tensor& value) {
+  return NewNode(OpKind::kConstant, AcquireCopy(value));
 }
 
-VarId Tape::Leaf(Tensor value) {
-  return NewNode(OpKind::kLeaf, std::move(value));
+VarId Tape::Leaf(const Tensor& value) {
+  return NewNode(OpKind::kLeaf, AcquireCopy(value));
 }
 
 VarId Tape::Param(Parameter* param) {
   OpScope prof(OpKind::kParam);
   prof.SetCost(0, 2 * kF * param->value().size());
-  VarId v = NewNode(OpKind::kParam, param->value());
+  VarId v = NewNode(OpKind::kParam, AcquireCopy(param->value()));
   nodes_[v].param = param;
   return v;
 }
@@ -308,7 +356,7 @@ VarId Tape::Param(Parameter* param) {
 VarId Tape::Add(VarId a, VarId b) {
   OpScope prof(OpKind::kAdd);
   UCAD_CHECK(value(a).SameShape(value(b)));
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   out.AddInPlace(value(b));
   prof.SetCost(out.size(), 3 * kF * out.size());
   VarId v = NewNode(OpKind::kAdd, std::move(out));
@@ -322,7 +370,7 @@ VarId Tape::Add(VarId a, VarId b) {
 VarId Tape::Sub(VarId a, VarId b) {
   OpScope prof(OpKind::kSub);
   UCAD_CHECK(value(a).SameShape(value(b)));
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   out.AddScaled(value(b), -1.0f);
   prof.SetCost(out.size(), 3 * kF * out.size());
   VarId v = NewNode(OpKind::kSub, std::move(out));
@@ -338,7 +386,7 @@ VarId Tape::Mul(VarId a, VarId b) {
   UCAD_CHECK(value(a).SameShape(value(b)));
   const Tensor& va = value(a);
   const Tensor& vb = value(b);
-  Tensor out(va.rows(), va.cols());
+  Tensor out = AcquireTensor(va.rows(), va.cols(), /*zero=*/false);
   for (size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = va.data()[i] * vb.data()[i];
   }
@@ -364,7 +412,7 @@ VarId Tape::AddRowVector(VarId a, VarId bias) {
   const Tensor& vb = value(bias);
   UCAD_CHECK_EQ(vb.rows(), 1);
   UCAD_CHECK_EQ(vb.cols(), va.cols());
-  Tensor out = va;
+  Tensor out = AcquireCopy(va);
   for (int r = 0; r < out.rows(); ++r) {
     float* orow = out.row(r);
     for (int c = 0; c < out.cols(); ++c) orow[c] += vb.at(0, c);
@@ -389,7 +437,7 @@ VarId Tape::MulRowVector(VarId a, VarId scale) {
   const Tensor& vs = value(scale);
   UCAD_CHECK_EQ(vs.rows(), 1);
   UCAD_CHECK_EQ(vs.cols(), va.cols());
-  Tensor out = va;
+  Tensor out = AcquireCopy(va);
   for (int r = 0; r < out.rows(); ++r) {
     float* orow = out.row(r);
     for (int c = 0; c < out.cols(); ++c) orow[c] *= vs.at(0, c);
@@ -414,7 +462,7 @@ VarId Tape::MulRowVector(VarId a, VarId scale) {
 
 VarId Tape::Scale(VarId a, float c) {
   OpScope prof(OpKind::kScale);
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   out.Scale(c);
   prof.SetCost(out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kScale, std::move(out));
@@ -426,7 +474,7 @@ VarId Tape::Scale(VarId a, float c) {
 
 VarId Tape::AddScalar(VarId a, float c) {
   OpScope prof(OpKind::kAddScalar);
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] += c;
   prof.SetCost(out.size(), 2 * kF * out.size());
   VarId v = NewNode(OpKind::kAddScalar, std::move(out));
@@ -438,7 +486,7 @@ VarId Tape::AddScalar(VarId a, float c) {
 
 VarId Tape::Relu(VarId a) {
   OpScope prof(OpKind::kRelu);
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       out.data()[i] = std::max(0.0f, out.data()[i]);
@@ -472,7 +520,7 @@ float StableSigmoid(float x) {
 
 VarId Tape::Sigmoid(VarId a) {
   OpScope prof(OpKind::kSigmoid);
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       out.data()[i] = StableSigmoid(out.data()[i]);
@@ -494,7 +542,7 @@ VarId Tape::Sigmoid(VarId a) {
 
 VarId Tape::Tanh(VarId a) {
   OpScope prof(OpKind::kTanh);
-  Tensor out = value(a);
+  Tensor out = AcquireCopy(value(a));
   ElemwiseFor(out.size(), [&out](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       out.data()[i] = std::tanh(out.data()[i]);
@@ -518,7 +566,7 @@ VarId Tape::LogSigmoid(VarId a) {
   OpScope prof(OpKind::kLogSigmoid);
   // log sigmoid(x) = -softplus(-x) = -(log(1 + exp(-x))); stable split.
   const Tensor& va = value(a);
-  Tensor out(va.rows(), va.cols());
+  Tensor out = AcquireTensor(va.rows(), va.cols(), /*zero=*/false);
   ElemwiseFor(out.size(), [&out, &va](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float x = va.data()[i];
@@ -544,7 +592,7 @@ VarId Tape::MatMul(VarId a, VarId b) {
   OpScope prof(OpKind::kMatMul);
   const Tensor& va = value(a);
   const Tensor& vb = value(b);
-  Tensor out(va.rows(), vb.cols());
+  Tensor out = AcquireTensor(va.rows(), vb.cols(), /*zero=*/false);
   nn::MatMul(va, vb, &out);
   prof.SetCost(2ull * va.rows() * va.cols() * vb.cols(),
                kF * (va.size() + vb.size() + out.size()));
@@ -561,7 +609,7 @@ VarId Tape::MatMul(VarId a, VarId b) {
 VarId Tape::Transpose(VarId a) {
   OpScope prof(OpKind::kTranspose);
   const Tensor& va = value(a);
-  Tensor out(va.cols(), va.rows());
+  Tensor out = AcquireTensor(va.cols(), va.rows(), /*zero=*/false);
   for (int r = 0; r < va.rows(); ++r) {
     for (int c = 0; c < va.cols(); ++c) out.at(c, r) = va.at(r, c);
   }
@@ -582,7 +630,7 @@ VarId Tape::SliceCols(VarId a, int start, int len) {
   const Tensor& va = value(a);
   UCAD_CHECK_GE(start, 0);
   UCAD_CHECK_LE(start + len, va.cols());
-  Tensor out(va.rows(), len);
+  Tensor out = AcquireTensor(va.rows(), len, /*zero=*/false);
   for (int r = 0; r < va.rows(); ++r) {
     for (int c = 0; c < len; ++c) out.at(r, c) = va.at(r, start + c);
   }
@@ -607,7 +655,7 @@ VarId Tape::ConcatCols(const std::vector<VarId>& parts) {
     UCAD_CHECK_EQ(value(p).rows(), rows);
     total_cols += value(p).cols();
   }
-  Tensor out(rows, total_cols);
+  Tensor out = AcquireTensor(rows, total_cols, /*zero=*/false);
   int offset = 0;
   for (VarId p : parts) {
     const Tensor& vp = value(p);
@@ -642,7 +690,7 @@ VarId Tape::ConcatRows(const std::vector<VarId>& parts) {
     UCAD_CHECK_EQ(value(p).cols(), cols);
     total_rows += value(p).rows();
   }
-  Tensor out(total_rows, cols);
+  Tensor out = AcquireTensor(total_rows, cols, /*zero=*/false);
   int offset = 0;
   for (VarId p : parts) {
     const Tensor& vp = value(p);
@@ -672,7 +720,7 @@ VarId Tape::Row(VarId a, int r) {
   OpScope prof(OpKind::kRow);
   const Tensor& va = value(a);
   UCAD_CHECK(r >= 0 && r < va.rows());
-  Tensor out(1, va.cols());
+  Tensor out = AcquireTensor(1, va.cols(), /*zero=*/false);
   for (int c = 0; c < va.cols(); ++c) out.at(0, c) = va.at(r, c);
   prof.SetCost(0, 2 * kF * out.size());
   VarId v = NewNode(OpKind::kRow, std::move(out));
@@ -687,7 +735,7 @@ VarId Tape::Row(VarId a, int r) {
 VarId Tape::SumRows(VarId a) {
   OpScope prof(OpKind::kSumRows);
   const Tensor& va = value(a);
-  Tensor out(va.rows(), 1);
+  Tensor out = AcquireTensor(va.rows(), 1, /*zero=*/false);
   for (int r = 0; r < va.rows(); ++r) {
     double s = 0.0;
     for (int c = 0; c < va.cols(); ++c) s += va.at(r, c);
@@ -708,7 +756,7 @@ VarId Tape::SumRows(VarId a) {
 
 VarId Tape::SumAll(VarId a) {
   OpScope prof(OpKind::kSumAll);
-  Tensor out(1, 1);
+  Tensor out = AcquireTensor(1, 1, /*zero=*/false);
   out.at(0, 0) = value(a).Sum();
   prof.SetCost(value(a).size(), kF * value(a).size());
   VarId v = NewNode(OpKind::kSumAll, std::move(out));
@@ -729,7 +777,7 @@ VarId Tape::MeanAll(VarId a) {
 VarId Tape::SoftmaxRows(VarId a) {
   OpScope prof(OpKind::kSoftmaxRows);
   const Tensor& va = value(a);
-  Tensor out(va.rows(), va.cols());
+  Tensor out = AcquireTensor(va.rows(), va.cols(), /*zero=*/false);
   auto softmax_rows = [&va, &out](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
       const int r = static_cast<int>(ri);
@@ -785,9 +833,9 @@ VarId Tape::LayerNormRows(VarId x, VarId gain, VarId bias, float eps) {
   UCAD_CHECK_EQ(vg.cols(), vx.cols());
   UCAD_CHECK_EQ(vb.cols(), vx.cols());
   const int n = vx.cols();
-  Tensor out(vx.rows(), n);
+  Tensor out = AcquireTensor(vx.rows(), n, /*zero=*/false);
   // Cache normalized activations and inverse stddev for the backward pass.
-  auto xhat = std::make_shared<Tensor>(vx.rows(), n);
+  auto xhat = AcquireShared(vx.rows(), n);
   auto inv_std = std::make_shared<std::vector<float>>(vx.rows());
   for (int r = 0; r < vx.rows(); ++r) {
     const float* in = vx.row(r);
@@ -844,7 +892,7 @@ VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
   OpScope prof(OpKind::kDropout);
   if (!training || rate <= 0.0f) {
     // Identity node keeps graph structure uniform between modes.
-    Tensor out = value(a);
+    Tensor out = AcquireCopy(value(a));
     prof.SetCost(0, 2 * kF * out.size());
     VarId v = NewNode(OpKind::kDropout, std::move(out));
     nodes_[v].backward = [this, v, a]() {
@@ -855,9 +903,9 @@ VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
   UCAD_CHECK_LT(rate, 1.0f);
   UCAD_CHECK(rng != nullptr);
   const Tensor& va = value(a);
-  auto mask = std::make_shared<Tensor>(va.rows(), va.cols());
+  auto mask = AcquireShared(va.rows(), va.cols());
   const float keep_scale = 1.0f / (1.0f - rate);
-  Tensor out(va.rows(), va.cols());
+  Tensor out = AcquireTensor(va.rows(), va.cols(), /*zero=*/false);
   for (size_t i = 0; i < va.size(); ++i) {
     const float m = rng->Bernoulli(rate) ? 0.0f : keep_scale;
     mask->data()[i] = m;
@@ -878,7 +926,7 @@ VarId Tape::Dropout(VarId a, float rate, bool training, util::Rng* rng) {
 VarId Tape::EmbeddingGather(VarId table, std::vector<int> indices) {
   OpScope prof(OpKind::kEmbeddingGather);
   const Tensor& vt = value(table);
-  Tensor out(static_cast<int>(indices.size()), vt.cols());
+  Tensor out = AcquireTensor(static_cast<int>(indices.size()), vt.cols(), /*zero=*/false);
   for (size_t i = 0; i < indices.size(); ++i) {
     const int idx = indices[i];
     UCAD_CHECK(idx >= 0 && idx < vt.rows());
@@ -905,7 +953,7 @@ VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
   const Tensor& vl = value(logits);
   UCAD_CHECK_EQ(static_cast<int>(targets.size()), vl.rows());
   const int m = vl.rows(), n = vl.cols();
-  auto probs = std::make_shared<Tensor>(m, n);
+  auto probs = AcquireShared(m, n);
   double loss = 0.0;
   for (int r = 0; r < m; ++r) {
     const float* in = vl.row(r);
@@ -923,7 +971,7 @@ VarId Tape::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
     UCAD_CHECK(t >= 0 && t < n);
     loss -= std::log(std::max(1e-12f, p[t]));
   }
-  Tensor out(1, 1);
+  Tensor out = AcquireTensor(1, 1, /*zero=*/false);
   out.at(0, 0) = static_cast<float>(loss / m);
   prof.SetCost(5ull * m * n, 2 * kF * static_cast<uint64_t>(m) * n);
   VarId v = NewNode(OpKind::kSoftmaxCrossEntropy, std::move(out));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -130,10 +131,16 @@ class Parameter {
   Tensor grad_;
 };
 
-/// Reverse-mode automatic differentiation tape. A fresh Tape is built per
+/// Reverse-mode automatic differentiation tape. A Tape is built per
 /// training step: leaf nodes are created from constants or Parameters, ops
 /// append nodes recording their backward functions, and Backward() runs the
 /// chain rule from a scalar root, accumulating parameter gradients.
+///
+/// Tapes are reusable: Reset() clears the recorded graph while retaining
+/// node capacity and recycling every value/gradient/auxiliary tensor through
+/// an internal shape-keyed pool, so a tape that replays the same graph
+/// structure (the trainer's per-window loop) performs zero tensor
+/// allocations at steady state.
 ///
 /// All ops are 2D; see individual methods for shape contracts. The tape is
 /// not thread-safe and not copyable.
@@ -143,14 +150,20 @@ class Tape {
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
+  /// Clears the graph for reuse: drops all nodes and backward closures but
+  /// keeps the node vector's capacity and moves every tensor (values,
+  /// gradients, op scratch buffers) into the internal pool, where the next
+  /// graph's ops reacquire them by shape. Existing VarIds become invalid.
+  void Reset();
+
   // ---- Leaves ----
 
   /// Non-differentiable input (gradients are still propagated *through*
   /// downstream ops but not into this node's producers — it has none).
-  VarId Constant(Tensor value);
+  VarId Constant(const Tensor& value);
 
   /// Differentiable leaf whose gradient can be inspected after Backward().
-  VarId Leaf(Tensor value);
+  VarId Leaf(const Tensor& value);
 
   /// Leaf bound to a Parameter: after Backward(), the node's gradient is
   /// added into `param->grad()`. The value is copied at call time.
@@ -264,6 +277,22 @@ class Tape {
   Tensor& MutableGrad(VarId v);
   void EnsureGrad(VarId v);
 
+  // ---- Tensor recycling (Reset support) ----
+
+  /// Pops a [rows x cols] tensor from the pool (or allocates one). When
+  /// `zero` is set the contents are cleared; otherwise they are unspecified
+  /// and the caller must fully overwrite them.
+  Tensor AcquireTensor(int rows, int cols, bool zero);
+  /// Pooled tensor holding a copy of `src`.
+  Tensor AcquireCopy(const Tensor& src);
+  /// Pooled tensor wrapped so destruction (closure teardown / Reset)
+  /// returns the storage to the pool. Contents unspecified.
+  std::shared_ptr<Tensor> AcquireShared(int rows, int cols);
+  void ReleaseTensor(Tensor&& t);
+
+  /// Declared before nodes_ so it outlives the backward closures, whose
+  /// shared scratch buffers release into the pool on destruction.
+  std::unordered_map<uint64_t, std::vector<Tensor>> pool_;
   std::vector<Node> nodes_;
 };
 

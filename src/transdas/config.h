@@ -98,6 +98,12 @@ struct DetectorOptions {
   /// mode reproduces the paper's per-operation "preceding sequence" scoring
   /// exactly.
   bool batched = true;
+  /// Run forward passes through the recording autograd tape instead of the
+  /// tape-free nn/infer engine. Both produce bitwise-identical logits
+  /// (docs/INFERENCE.md); the tape engine exists as the reference
+  /// implementation and costs graph recording + per-node allocation on
+  /// every window.
+  bool use_tape_engine = false;
 };
 
 }  // namespace ucad::transdas

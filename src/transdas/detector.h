@@ -1,8 +1,12 @@
 #ifndef UCAD_TRANSDAS_DETECTOR_H_
 #define UCAD_TRANSDAS_DETECTOR_H_
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "nn/infer.h"
 #include "transdas/config.h"
 #include "transdas/model.h"
 
@@ -80,13 +84,37 @@ class TransDasDetector {
 
  private:
   /// Fills rank/score/margin/abnormal of `op` from one row of all-key
-  /// logits — the single-pass source of truth shared by both detection
-  /// modes and the audit log.
+  /// logits — delegates to nn::ScoreLogitsRow, the single-pass source of
+  /// truth shared by both detection modes and the audit log.
   void ScoreKey(const nn::Tensor& logits, int row, int key,
                 OperationVerdict* op) const;
 
+  /// Right-aligned detection window: the last min(L, count) keys of
+  /// keys[0..count), sanitized, with k0 left-padding.
+  std::vector<int> BuildWindow(const std::vector<int>& keys, int count) const;
+
+  /// Runs one L-key window through the configured engine and hands the
+  /// [L x vocab] all-key logits to `fn` (valid only during the call). The
+  /// single forward+logits site shared by the streaming scorer, the
+  /// explainer, and batched session detection: the autograd tape when
+  /// options_.use_tape_engine, the tape-free nn/infer engine otherwise.
+  /// `fn` must only read logits rows >= rows_from — the inference engine
+  /// skips the final block's row-wise tail below that row (the tape engine
+  /// always computes the full window, so the rows it hands over agree
+  /// bitwise either way).
+  void WithWindowLogits(const std::vector<int>& input, int rows_from,
+                        const std::function<void(const nn::Tensor&)>& fn) const;
+
+  std::unique_ptr<nn::InferenceContext> AcquireContext() const;
+  void ReleaseContext(std::unique_ptr<nn::InferenceContext> ctx) const;
+
   TransDasModel* model_;
   DetectorOptions options_;
+  /// Free list of inference contexts: scoring lanes lease one per window
+  /// and return it, so workspaces stay warm across windows and sessions
+  /// (zero steady-state allocation). Grows to the peak lane count.
+  mutable std::mutex ctx_mutex_;
+  mutable std::vector<std::unique_ptr<nn::InferenceContext>> ctx_pool_;
 };
 
 }  // namespace ucad::transdas

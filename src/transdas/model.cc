@@ -1,6 +1,7 @@
 #include "transdas/model.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "sql/vocabulary.h"
 #include "util/logging.h"
@@ -117,6 +118,113 @@ nn::VarId TransDasModel::Forward(
 
 nn::VarId TransDasModel::AllKeyLogits(nn::Tape* tape, nn::VarId outputs) {
   return tape->MatMul(outputs, tape->Transpose(embedding_->Table(tape)));
+}
+
+const nn::Tensor& TransDasModel::ForwardInference(
+    nn::InferenceContext* ctx, const std::vector<int>& window, int rows_from) {
+  UCAD_CHECK_EQ(static_cast<int>(window.size()), config_.window);
+  nn::Workspace& ws = ctx->workspace();
+  ws.BeginFrame();
+  const int L = config_.window;
+  const int h = config_.hidden_dim;
+  const int m = config_.num_heads;
+  const int head_dim = h / m;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(h));
+  UCAD_DCHECK(rows_from >= 0 && rows_from < L);
+
+  nn::Tensor* x = ws.Acquire(L, h);
+  nn::GatherRowsKernel(embedding_->table().value(), window, x);
+  if (position_embedding_ != nullptr) {
+    x->AddInPlace(position_embedding_->value());
+  }
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    Block& block = blocks_[b];
+    // Attention output rows feed later blocks through every position, so
+    // only the final block may restrict its query rows; its keys/values
+    // (and every earlier block) still cover the whole window.
+    const int r0 = b + 1 == blocks_.size() ? rows_from : 0;
+    // All heads' Q|K|V projections as one packed [h x 3h] matrix: one wide
+    // matmul instead of 3m narrow ones. Column j of the packed matrix is a
+    // column of some head's weight, so each output element's accumulation
+    // chain is exactly the per-head MatMul's. The column count is rounded
+    // up to a vector-friendly multiple of 8 with zero columns — the pad
+    // outputs are never read, and real columns are untouched by them.
+    const int packed_cols = (3 * h + 7) / 8 * 8;
+    const nn::Tensor& packed = ctx->CachedWeight(
+        &block, weight_version_, h, packed_cols,
+        [this, &block](nn::Tensor* out) {
+          out->SetZero();
+          const int hd = config_.hidden_dim / config_.num_heads;
+          for (size_t hi = 0; hi < block.heads.size(); ++hi) {
+            const Head& head = block.heads[hi];
+            for (int r = 0; r < out->rows(); ++r) {
+              float* orow = out->row(r);
+              const int off = static_cast<int>(hi) * hd;
+              std::memcpy(orow + off, head.wq.value().row(r),
+                          static_cast<size_t>(hd) * sizeof(float));
+              std::memcpy(orow + config_.hidden_dim + off,
+                          head.wk.value().row(r),
+                          static_cast<size_t>(hd) * sizeof(float));
+              std::memcpy(orow + 2 * config_.hidden_dim + off,
+                          head.wv.value().row(r),
+                          static_cast<size_t>(hd) * sizeof(float));
+            }
+          }
+        });
+    nn::Tensor* qkv = ws.Acquire(L, packed_cols);
+    nn::MatMulSliceKernel(*x, 0, h, packed, 0, qkv);
+    // Multi-head attention with masking, one fused softmax per head; each
+    // head's context lands directly in its concat column block.
+    nn::Tensor* concat = ws.Acquire(L, h);
+    for (int hi = 0; hi < m; ++hi) {
+      const int qoff = hi * head_dim;
+      const int koff = h + hi * head_dim;
+      const int voff = 2 * h + hi * head_dim;
+      nn::Tensor* kt = ws.Acquire(head_dim, L);
+      nn::TransposeSliceKernel(*qkv, koff, head_dim, kt);
+      nn::Tensor* scores = ws.Acquire(L, L);
+      // Scale folded into the matmul's epilogue pass; the softmax then sees
+      // pre-scaled scores (scale = 1 skips its identity pass).
+      nn::MatMulSliceKernel(*qkv, qoff, head_dim, *kt, r0, scores, scale);
+      nn::MaskedSoftmaxKernel(scores, 1.0f, mask_, r0);
+      nn::AttnContextKernel(*scores, r0, *qkv, voff, head_dim, qoff, concat);
+    }
+    nn::Tensor* mh = ws.Acquire(L, h);
+    nn::MatMulSliceKernel(*concat, 0, h, block.wo.value(), r0, mh);
+    // Dropout is identity outside training; fold the residual into the norm.
+    nn::Tensor* ln1 = ws.Acquire(L, h);
+    nn::ResidualLayerNormKernel(*x, *mh, block.ln_attention->gain().value(),
+                                block.ln_attention->bias().value(), 1e-5f, ln1,
+                                r0);
+    x = ln1;
+    // Point-wise feed-forward (Eq. 7): bias+relu and bias fused in place.
+    nn::Tensor* ff = ws.Acquire(L, h);
+    nn::MatMulSliceKernel(*x, 0, h, block.w1.value(), r0, ff);
+    nn::BiasReluKernel(ff, block.b1.value(), r0);
+    nn::Tensor* ff2 = ws.Acquire(L, h);
+    nn::MatMulSliceKernel(*ff, 0, h, block.w2.value(), r0, ff2);
+    nn::BiasAddKernel(ff2, block.b2.value(), r0);
+    nn::Tensor* ln2 = ws.Acquire(L, h);
+    nn::ResidualLayerNormKernel(*x, *ff2, block.ln_ffn->gain().value(),
+                                block.ln_ffn->bias().value(), 1e-5f, ln2, r0);
+    x = ln2;
+  }
+  ctx->NoteForward();
+  return *x;
+}
+
+const nn::Tensor& TransDasModel::AllKeyLogitsInference(
+    nn::InferenceContext* ctx, const nn::Tensor& outputs, int rows_from) {
+  // Materialized M^T + the same per-element recipe the tape path's
+  // nn::MatMul runs: the tape's MatMulTransposeBAccum shortcut accumulates
+  // in double, so going through it here would break bitwise parity. The
+  // transpose itself is a pure copy and is cached across windows on the
+  // context.
+  const nn::Tensor& table_t = ctx->TransposedCopy(
+      embedding_->table().value(), weight_version_);
+  nn::Tensor* logits = ctx->workspace().Acquire(outputs.rows(), table_t.cols());
+  nn::MatMulSliceKernel(outputs, 0, outputs.cols(), table_t, rows_from, logits);
+  return *logits;
 }
 
 std::vector<nn::Parameter*> TransDasModel::Params() {

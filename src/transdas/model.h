@@ -1,9 +1,11 @@
 #ifndef UCAD_TRANSDAS_MODEL_H_
 #define UCAD_TRANSDAS_MODEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "nn/infer.h"
 #include "nn/module.h"
 #include "nn/tape.h"
 #include "transdas/config.h"
@@ -37,11 +39,51 @@ class TransDasModel {
   /// logits = O M^T, a [L x vocab] node (Eq. 10 before the sigmoid).
   nn::VarId AllKeyLogits(nn::Tape* tape, nn::VarId outputs);
 
+  /// Tape-free forward for the detection hot path: same math as
+  /// Forward(training=false) through the fused kernels in nn/infer, using
+  /// `ctx`'s workspace instead of tape nodes — no graph recording, no
+  /// gradient bookkeeping, zero allocations at steady state. The returned
+  /// [L x h] tensor lives in the workspace and is valid until the next
+  /// forward on the same context. Bitwise-identical to the tape path on
+  /// every computed row (docs/INFERENCE.md); the tape path remains the
+  /// training/gradcheck reference.
+  ///
+  /// `rows_from` restricts the final block's row-wise tail (attention
+  /// query rows, FFN, layer norms) to output rows >= rows_from: every
+  /// earlier block and the final block's keys/values still see the whole
+  /// window, so computed rows match the full forward bitwise, but rows
+  /// below `rows_from` of the result are unspecified. Callers that only
+  /// score a tail of the window (the detector's clamped spans and the
+  /// streaming scorer) skip the rest of the last block's work.
+  const nn::Tensor& ForwardInference(nn::InferenceContext* ctx,
+                                     const std::vector<int>& window,
+                                     int rows_from = 0);
+
+  /// Tape-free Eq. 10 logits ([L x vocab]) for ForwardInference outputs,
+  /// computed for rows >= rows_from (earlier rows unspecified). The
+  /// transposed embedding table is cached on the context and invalidated
+  /// by weight_version().
+  const nn::Tensor& AllKeyLogitsInference(nn::InferenceContext* ctx,
+                                          const nn::Tensor& outputs,
+                                          int rows_from = 0);
+
   /// All trainable parameters.
   std::vector<nn::Parameter*> Params();
 
   /// Pins the k0 embedding row back to zero; call after optimizer steps.
-  void FreezePaddingRow() { embedding_->FreezePaddingRow(); }
+  /// Also bumps weight_version() so inference-context weight caches rebuild.
+  void FreezePaddingRow() {
+    embedding_->FreezePaddingRow();
+    MarkWeightsUpdated();
+  }
+
+  /// Monotonic counter bumped on every weight mutation; keys the derived
+  /// weight caches held by InferenceContexts.
+  uint64_t weight_version() const { return weight_version_; }
+
+  /// Call after mutating parameters outside the optimizer path (e.g.
+  /// deserialization) so cached derived weights are invalidated.
+  void MarkWeightsUpdated() { ++weight_version_; }
 
   const TransDasConfig& config() const { return config_; }
   nn::Embedding& embedding() { return *embedding_; }
@@ -72,6 +114,7 @@ class TransDasModel {
   std::unique_ptr<nn::Parameter> position_embedding_;  // null unless enabled
   std::vector<Block> blocks_;
   nn::Tensor mask_;
+  uint64_t weight_version_ = 1;
 };
 
 }  // namespace ucad::transdas

@@ -180,14 +180,14 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
       // every pre-existing checkpoint and test expectation.
       for (const TrainingWindow& window : windows) {
         UCAD_TRACE_SPAN("trainer/step");
-        nn::Tape tape;
-        LossNodes loss = WindowLoss(&tape, window, session_key_sets,
+        tape_.Reset();
+        LossNodes loss = WindowLoss(&tape_, window, session_key_sets,
                                     negative_weights, &rng_);
-        total_loss += tape.value(loss.total).at(0, 0);
-        total_ce += tape.value(loss.ce).at(0, 0);
+        total_loss += tape_.value(loss.total).at(0, 0);
+        total_ce += tape_.value(loss.ce).at(0, 0);
         if (loss.triplet >= 0)
-          total_triplet += tape.value(loss.triplet).at(0, 0);
-        tape.Backward(loss.total);
+          total_triplet += tape_.value(loss.triplet).at(0, 0);
+        tape_.Backward(loss.total);
         total_grad_norm += options_.grad_clip > 0.0f
                                ? optimizer_.ClipGradNorm(options_.grad_clip)
                                : optimizer_.GradNorm();
@@ -202,25 +202,46 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
       // a fixed-order tree, making the result invariant to UCAD_THREADS.
       const size_t nw = windows.size();
       std::vector<double> w_loss(batch), w_ce(batch), w_triplet(batch);
-      std::vector<nn::Tape::ParamGradMap> w_grads(batch);
+      if (static_cast<int>(batch_tapes_.size()) < batch) {
+        batch_tapes_.resize(batch);
+      }
+      for (auto& t : batch_tapes_) {
+        if (t == nullptr) t = std::make_unique<nn::Tape>();
+      }
+      if (static_cast<int>(w_grads_.size()) < batch) w_grads_.resize(batch);
       for (size_t start = 0; start < nw; start += batch) {
         UCAD_TRACE_SPAN("trainer/step");
         const int bsz = static_cast<int>(std::min<size_t>(batch, nw - start));
-        for (int j = 0; j < bsz; ++j) w_grads[j].clear();
+        // Pre-seed every lane's sink with a zeroed tensor per parameter
+        // (allocated once, zeroed thereafter): Backward accumulates into
+        // them and the merge below always finds its target, so gradient
+        // storage survives from step to step instead of being reallocated.
+        for (int j = 0; j < bsz; ++j) {
+          for (nn::Parameter* p : optimizer_.params()) {
+            auto it = w_grads_[j].find(p);
+            if (it == w_grads_[j].end()) {
+              w_grads_[j].emplace(
+                  p, nn::Tensor(p->value().rows(), p->value().cols()));
+            } else {
+              it->second.SetZero();
+            }
+          }
+        }
         util::ParallelFor(0, bsz, 1, [&](int64_t j0, int64_t j1) {
           for (int64_t j = j0; j < j1; ++j) {
             const TrainingWindow& window = windows[start + j];
             util::Rng wrng(WindowSeed(options_.seed,
                                       static_cast<uint64_t>(epoch),
                                       start + j));
-            nn::Tape tape;
+            nn::Tape& tape = *batch_tapes_[j];
+            tape.Reset();
             LossNodes loss = WindowLoss(&tape, window, session_key_sets,
                                         negative_weights, &wrng);
             w_loss[j] = tape.value(loss.total).at(0, 0);
             w_ce[j] = tape.value(loss.ce).at(0, 0);
             w_triplet[j] =
                 loss.triplet >= 0 ? tape.value(loss.triplet).at(0, 0) : 0.0;
-            tape.Backward(loss.total, &w_grads[j]);
+            tape.Backward(loss.total, &w_grads_[j]);
           }
         });
         // Pairwise tree reduction in index order: the merge sequence
@@ -228,21 +249,16 @@ std::vector<EpochStats> TransDasTrainer::RunEpochs(
         // parameter's partial sums combine in the same order every run.
         for (int width = 1; width < bsz; width *= 2) {
           for (int j = 0; j + width < bsz; j += 2 * width) {
-            for (auto& [param, grad] : w_grads[j + width]) {
-              auto it = w_grads[j].find(param);
-              if (it == w_grads[j].end()) {
-                w_grads[j].emplace(param, std::move(grad));
-              } else {
-                it->second.AddInPlace(grad);
-              }
+            for (auto& [param, grad] : w_grads_[j + width]) {
+              w_grads_[j].find(param)->second.AddInPlace(grad);
             }
           }
         }
         // Mean gradient over the batch, then a single Adam step.
         const float inv_b = 1.0f / static_cast<float>(bsz);
         for (nn::Parameter* p : optimizer_.params()) {
-          auto it = w_grads[0].find(p);
-          if (it != w_grads[0].end()) p->grad().AddScaled(it->second, inv_b);
+          auto it = w_grads_[0].find(p);
+          if (it != w_grads_[0].end()) p->grad().AddScaled(it->second, inv_b);
         }
         for (int j = 0; j < bsz; ++j) {
           total_loss += w_loss[j];

@@ -1,6 +1,7 @@
 #ifndef UCAD_TRANSDAS_TRAINER_H_
 #define UCAD_TRANSDAS_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/optimizer.h"
@@ -94,6 +95,16 @@ class TransDasTrainer {
   TrainOptions options_;
   nn::Adam optimizer_;
   util::Rng rng_;
+  /// Reused across windows via Tape::Reset(), so the per-window loop stops
+  /// reallocating node storage and tensors once the pool is warm
+  /// (batch_size == 1 path).
+  nn::Tape tape_;
+  /// Per-lane tapes and gradient sinks for the data-parallel path, indexed
+  /// by position-in-batch; persistent for the same reason. The sinks are
+  /// pre-seeded with one zeroed tensor per parameter each step, so the
+  /// fixed-order merge always adds in place and never steals tensors.
+  std::vector<std::unique_ptr<nn::Tape>> batch_tapes_;
+  std::vector<nn::Tape::ParamGradMap> w_grads_;
 };
 
 }  // namespace ucad::transdas

@@ -412,6 +412,99 @@ TEST(TapeBackwardTest, ParamGradsAccumulateAcrossTapes) {
   EXPECT_NEAR(p.grad().at(0, 0), 3.0f, 1e-5f);
 }
 
+// ---------- Reset / tensor recycling ----------
+
+/// A graph touching every pooling path: copies (Relu), fresh buffers
+/// (MatMul, SoftmaxRows), gathers, shared op scratch (LayerNormRows'
+/// normalized activations, SoftmaxCrossEntropy's probabilities, Dropout's
+/// mask), and lazily pooled gradients.
+float BuildGraphAndBackward(Tape* tape, Parameter* table, Parameter* w,
+                            Parameter* gain, Parameter* bias,
+                            util::Rng* rng) {
+  VarId x = tape->EmbeddingGather(tape->Param(table), {0, 2, 1, 3});
+  VarId h = tape->MatMul(x, tape->Param(w));
+  h = tape->LayerNormRows(h, tape->Param(gain), tape->Param(bias));
+  h = tape->Dropout(tape->Relu(h), 0.25f, /*training=*/true, rng);
+  VarId att = tape->SoftmaxRows(h);
+  VarId loss = tape->SoftmaxCrossEntropy(tape->MatMul(att, tape->Transpose(
+                                             tape->Param(table))),
+                                         {1, 2, 3, 0});
+  tape->Backward(loss);
+  return tape->value(loss).at(0, 0);
+}
+
+TEST(TapeResetTest, ReusedTapeMatchesFreshTapesBitwise) {
+  util::Rng init(6);
+  Parameter table(Tensor::Randn(5, 4, 0.5f, &init));
+  Parameter w(Tensor::Randn(4, 4, 0.5f, &init));
+  Parameter gain(Tensor(1, 4, {1.0f, 1.0f, 1.0f, 1.0f}));
+  Parameter bias(Tensor(1, 4));
+  Tape reused;
+  for (int step = 0; step < 5; ++step) {
+    // Identical RNG streams so dropout masks match between the two runs.
+    util::Rng fresh_rng(100 + step);
+    util::Rng reused_rng(100 + step);
+    Tape fresh;
+    const float fresh_loss =
+        BuildGraphAndBackward(&fresh, &table, &w, &gain, &bias, &fresh_rng);
+    const Tensor fresh_table_grad = table.grad();
+    table.ZeroGrad();
+    w.ZeroGrad();
+    gain.ZeroGrad();
+    bias.ZeroGrad();
+    reused.Reset();
+    const float reused_loss =
+        BuildGraphAndBackward(&reused, &table, &w, &gain, &bias, &reused_rng);
+    EXPECT_EQ(fresh_loss, reused_loss);
+    ASSERT_TRUE(fresh_table_grad.SameShape(table.grad()));
+    for (int i = 0; i < fresh_table_grad.rows(); ++i) {
+      for (int j = 0; j < fresh_table_grad.cols(); ++j) {
+        EXPECT_EQ(fresh_table_grad.at(i, j), table.grad().at(i, j));
+      }
+    }
+    table.ZeroGrad();
+    w.ZeroGrad();
+    gain.ZeroGrad();
+    bias.ZeroGrad();
+  }
+}
+
+TEST(TapeResetTest, WarmReplayAllocatesNoTensors) {
+  util::Rng init(7);
+  Parameter table(Tensor::Randn(5, 4, 0.5f, &init));
+  Parameter w(Tensor::Randn(4, 4, 0.5f, &init));
+  Parameter gain(Tensor(1, 4, {1.0f, 1.0f, 1.0f, 1.0f}));
+  Parameter bias(Tensor(1, 4));
+  Tape tape;
+  util::Rng warm_rng(8);
+  BuildGraphAndBackward(&tape, &table, &w, &gain, &bias, &warm_rng);
+  SetTensorMemTrackingEnabled(true);
+  const uint64_t allocs_before = TensorMemStats().alloc_count;
+  for (int step = 0; step < 4; ++step) {
+    util::Rng rng(9 + step);
+    tape.Reset();
+    BuildGraphAndBackward(&tape, &table, &w, &gain, &bias, &rng);
+  }
+  const uint64_t allocs_after = TensorMemStats().alloc_count;
+  SetTensorMemTrackingEnabled(false);
+  EXPECT_EQ(allocs_after, allocs_before)
+      << "replaying the same graph on a Reset tape must hit the pool";
+}
+
+TEST(TapeResetTest, ResetClearsNodesButKeepsTapeUsable) {
+  Tape tape;
+  VarId a = tape.Leaf(Tensor(2, 2, {1.0f, 2.0f, 3.0f, 4.0f}));
+  tape.SumAll(a);
+  EXPECT_EQ(tape.NumNodes(), 2u);
+  tape.Reset();
+  EXPECT_EQ(tape.NumNodes(), 0u);
+  VarId b = tape.Leaf(Tensor(2, 2, {5.0f, 6.0f, 7.0f, 8.0f}));
+  VarId total = tape.SumAll(b);
+  EXPECT_FLOAT_EQ(tape.value(total).at(0, 0), 26.0f);
+  tape.Backward(total);
+  EXPECT_FLOAT_EQ(tape.grad(b).at(0, 0), 1.0f);
+}
+
 // ---------- Per-op profiler ----------
 
 /// Serializes tests that toggle the process-wide profiler.

@@ -1,10 +1,12 @@
 #include <cmath>
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "nn/tensor.h"
 #include "transdas/config.h"
 #include "transdas/detector.h"
 #include "transdas/model.h"
@@ -234,6 +236,29 @@ TEST(TrainerTest, FineTuneRunsAndKeepsModelUsable) {
   TransDasDetector detector(&model, DetectorOptions{.top_p = 4});
   const auto verdict = detector.DetectSession({1, 2, 3, 4, 5, 6, 7, 8});
   EXPECT_FALSE(verdict.operations.empty());
+}
+
+TEST(TrainerTest, SteadyStateTrainingAllocationsGoFlat) {
+  // The per-window loop reuses one tape (or one per batch lane) through
+  // Tape::Reset() and pre-seeded gradient sinks, so once the pools are warm
+  // a further epoch performs zero tensor allocations.
+  for (int batch : {1, 4}) {
+    util::Rng rng(50 + batch);
+    TransDasModel model(SmallConfig(), &rng);
+    TrainOptions options;
+    options.epochs = 1;
+    options.batch_size = batch;
+    TransDasTrainer trainer(&model, options);
+    const auto sessions = GrammarSessions(12, &rng);
+    trainer.Train(sessions);  // warms tape pools, grad sinks, Adam state
+    nn::SetTensorMemTrackingEnabled(true);
+    const uint64_t allocs_before = nn::TensorMemStats().alloc_count;
+    trainer.FineTune(sessions, /*epochs=*/1);
+    const uint64_t allocs_after = nn::TensorMemStats().alloc_count;
+    nn::SetTensorMemTrackingEnabled(false);
+    EXPECT_EQ(allocs_after, allocs_before)
+        << "steady-state allocs not flat at batch_size=" << batch;
+  }
 }
 
 // ---------- Detection ----------
