@@ -20,6 +20,13 @@
 //   --serve-metrics <port> serve Prometheus /metrics + /healthz on
 //                          127.0.0.1:<port> for the lifetime of the run
 //                          (also enables the streaming drift monitor)
+//   --flight-dump-dir <d>  install the fatal-signal handler: on
+//                          SIGSEGV/SIGABRT/SIGBUS write the flight-recorder
+//                          rings, metrics snapshot, and run manifest into
+//                          <d>/crash-<pid>.*; inspect with
+//                          tools/flight_inspect
+//   --flight-out <file>    write the flight-recorder ring dump on normal
+//                          exit (same format as a crash dump)
 //   --linger <seconds>     keep the process (and the metrics endpoint)
 //                          alive this long after the command finishes
 //   --drift-window <n>     scored operations per drift window (default 256)
@@ -30,10 +37,13 @@
 //   user<TAB>address<TAB>unix_time<TAB>SQL
 // with blank lines or `# session` separating sessions (sql/log_reader.h).
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +52,7 @@
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "obs/audit_log.h"
+#include "obs/flight.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
@@ -242,6 +253,8 @@ int Detect(const std::string& model_path, const std::string& log_path,
   }
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
+    // Flight traces recorded during this session carry its audit id.
+    obs::FlightSessionScope flight_scope(SessionId(i));
     const sql::KeySession keys =
         sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
     const transdas::SessionVerdict verdict =
@@ -314,6 +327,7 @@ int Monitor(const std::string& model_path, const std::string& log_path,
   uint64_t last_windows = monitor.WindowsCompleted();
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
+    obs::FlightSessionScope flight_scope(SessionId(i));
     const sql::KeySession keys =
         sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
     const transdas::SessionVerdict verdict =
@@ -388,6 +402,13 @@ void Usage() {
                "127.0.0.1:<p>\n"
                "                        (0 = ephemeral port; enables the "
                "drift monitor)\n"
+               "  --flight-dump-dir <d> on SIGSEGV/SIGABRT/SIGBUS dump "
+               "flight rings,\n"
+               "                        metrics, and manifest to "
+               "<d>/crash-<pid>.*\n"
+               "  --flight-out <file>   write the flight-recorder ring dump "
+               "on exit;\n"
+               "                        inspect with tools/flight_inspect\n"
                "  --linger <seconds>    keep serving /metrics this long "
                "after the command\n"
                "  --drift-window <n>    scored ops per drift window "
@@ -451,13 +472,16 @@ int main(int argc, char** argv) {
   int serve_port = -1;  // -1 = endpoint off
   int linger_seconds = 0;
   int drift_window = 0;  // 0 = default
+  std::string flight_dump_dir;
+  std::string flight_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" || arg == "--trace-out" ||
         arg == "--manifest-out" || arg == "--audit-out" ||
         arg == "--serve-metrics" || arg == "--linger" ||
-        arg == "--drift-window" || arg == "--threads") {
+        arg == "--drift-window" || arg == "--threads" ||
+        arg == "--flight-dump-dir" || arg == "--flight-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
@@ -477,6 +501,10 @@ int main(int argc, char** argv) {
         linger_seconds = std::atoi(value.c_str());
       } else if (arg == "--threads") {
         util::SetNumThreads(std::atoi(value.c_str()));
+      } else if (arg == "--flight-dump-dir") {
+        flight_dump_dir = value;
+      } else if (arg == "--flight-out") {
+        flight_out = value;
       } else {
         drift_window = std::atoi(value.c_str());
       }
@@ -515,6 +543,20 @@ int main(int argc, char** argv) {
   obs::RunManifest manifest("ucad_cli");
   manifest.SetCommandLine(argc, argv);
   g_manifest = &manifest;
+  if (!flight_dump_dir.empty()) {
+    // Crash forensics: the handler flushes the flight rings, the metrics
+    // snapshot, and this manifest rendering (provenance as of startup).
+    std::ostringstream manifest_text;
+    manifest.Write(manifest_text);
+    const util::Status st = obs::InstallFlightCrashHandler(
+        flight_dump_dir, manifest_text.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("flight crash handler installed (dumps to %s/crash-%d.*)\n",
+                flight_dump_dir.c_str(), static_cast<int>(getpid()));
+  }
 
   int rc = 2;
   const std::string command = args.empty() ? "" : args[0];
@@ -547,6 +589,18 @@ int main(int argc, char** argv) {
   obs::PublishThreadPoolMetrics(&obs::DefaultMetrics());
   manifest.AddNote("peak_live_tensor_bytes",
                    std::to_string(nn::TensorMemStats().peak_live_bytes));
+  if (!flight_out.empty()) {
+    const util::Status st =
+        obs::FlightRecorder::Default().WriteDumpFile(flight_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    } else {
+      std::printf("flight dump (%llu windows recorded) written to %s\n",
+                  static_cast<unsigned long long>(
+                      obs::FlightRecorder::Default().RecordsTotal()),
+                  flight_out.c_str());
+    }
+  }
   // Dump before lingering: the linger exists so scrapers can read a
   // finished run, and killing a lingering process must not lose the files.
   const int obs_rc =

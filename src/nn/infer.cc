@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "nn/parallel_thresholds.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -464,6 +465,7 @@ RowScore ScoreLogitsRow(const float* logits, int vocab, int key, int top_p) {
     out.score = 0.0f;
     out.margin = -std::numeric_limits<float>::infinity();
     out.abnormal = true;
+    obs::FlightStageBoundary(obs::FlightStage::kScore);
     return out;
   }
   const float score = logits[key];
@@ -498,6 +500,7 @@ RowScore ScoreLogitsRow(const float* logits, int vocab, int key, int top_p) {
   out.score = score;
   out.margin = score - cutoff;
   out.abnormal = rank > top_p;
+  obs::FlightStageBoundary(obs::FlightStage::kScore);
   return out;
 }
 

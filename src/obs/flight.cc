@@ -1,0 +1,682 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.h"
+#include "obs/monitor.h"
+#include "util/thread_pool.h"
+
+namespace ucad::obs {
+
+namespace internal {
+std::atomic<bool> g_flight_enabled{true};
+}  // namespace internal
+
+void SetFlightRecorderEnabled(bool enabled) {
+  internal::g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const char* FlightStageName(int stage) {
+  static constexpr const char* kNames[kFlightStageCount] = {
+      "context_acquire", "embed", "attention", "ffn",
+      "logits",          "score", "verdict"};
+  return (stage >= 0 && stage < kFlightStageCount) ? kNames[stage]
+                                                   : "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Ring storage
+// ---------------------------------------------------------------------------
+
+/// One ring slot: the commit word is 0 while a write is in flight and the
+/// trace's seq once committed, so lock-free readers (and the offline dump
+/// parser) can reject torn slots by checking commit != 0 && commit == seq.
+struct FlightSlot {
+  std::atomic<uint64_t> commit{0};
+  WindowTrace trace;
+};
+static_assert(sizeof(FlightSlot) == sizeof(uint64_t) + sizeof(WindowTrace),
+              "dump format copies slots raw");
+
+/// A power-of-two ring of slots with a single writer: the owning thread
+/// for per-thread lanes, retain_mu_ holders for the retained ring. `next`
+/// is therefore plain (never read cross-thread).
+struct FlightRecorder::Lane {
+  explicit Lane(size_t capacity)
+      : mask(capacity - 1), slots(new FlightSlot[capacity]) {}
+  const uint64_t mask;
+  std::unique_ptr<FlightSlot[]> slots;
+  uint64_t next = 0;
+
+  void Push(const WindowTrace& trace) {
+    FlightSlot& slot = slots[next & mask];
+    slot.commit.store(0, std::memory_order_release);
+    slot.trace = trace;
+    slot.commit.store(trace.seq, std::memory_order_release);
+    ++next;
+  }
+};
+
+namespace {
+
+size_t RoundUpPow2(int v) {
+  size_t p = 2;
+  while (p < static_cast<size_t>(v)) p <<= 1;
+  return p;
+}
+
+FlightOptions SanitizeOptions(FlightOptions o) {
+  o.lane_capacity = std::max(o.lane_capacity, 2);
+  o.max_lanes = std::max(o.max_lanes, 1);
+  o.retained_capacity = std::max(o.retained_capacity, 2);
+  o.slow_quantile = std::clamp(o.slow_quantile, 0.01, 0.999);
+  o.slow_warmup = std::max<uint64_t>(o.slow_warmup, 5);
+  return o;
+}
+
+std::atomic<uint64_t> g_recorder_instances{1};
+std::atomic<uint64_t> g_flight_session{0};
+
+/// Per-thread trace under construction. One per thread, shared across
+/// recorder instances: (owner, owner_id) detects a switch (or a recorder
+/// recreated at the same address) and re-acquires the lane. `lane` is a
+/// FlightRecorder::Lane*, typed void* because Lane is private.
+struct ThreadScratch {
+  const void* owner = nullptr;
+  uint64_t owner_id = 0;
+  void* lane = nullptr;
+  bool active = false;
+  WindowTrace trace;
+  std::chrono::steady_clock::time_point begin;
+  std::chrono::steady_clock::time_point last;
+};
+thread_local ThreadScratch t_flight;
+
+float MsSince(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<float, std::milli>(to - from).count();
+}
+
+int64_t WallUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool WriteFully(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::FlightRecorder(FlightOptions options,
+                               MetricsRegistry* registry)
+    : options_(SanitizeOptions(options)),
+      instance_id_(
+          g_recorder_instances.fetch_add(1, std::memory_order_relaxed)),
+      registry_(registry != nullptr ? registry : &DefaultMetrics()),
+      lanes_(new std::atomic<Lane*>[options_.max_lanes]),
+      retained_(new Lane(RoundUpPow2(options_.retained_capacity))),
+      slow_sketch_(std::make_unique<P2Quantile>(options_.slow_quantile)) {
+  for (int i = 0; i < options_.max_lanes; ++i) {
+    lanes_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kFlightStageCount; ++i) {
+    h_stage_[i] = registry_->GetHistogram(
+        std::string("detector/stage/") + FlightStageName(i) + "_ms", {},
+        Histogram::FineLatencyBounds());
+  }
+  h_total_ = registry_->GetHistogram("detector/window_total_ms", {},
+                                     Histogram::FineLatencyBounds());
+  c_records_ = registry_->GetCounter("flight/records_total");
+  c_promoted_ = registry_->GetCounter("flight/promoted_total");
+  c_dropped_ = registry_->GetCounter("flight/dropped_total");
+}
+
+FlightRecorder::~FlightRecorder() {
+  const int count = lane_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    delete lanes_[i].load(std::memory_order_relaxed);
+  }
+}
+
+FlightRecorder::Lane* FlightRecorder::AcquireLane() {
+  std::lock_guard<std::mutex> lock(lane_mu_);
+  const int count = lane_count_.load(std::memory_order_relaxed);
+  if (count >= options_.max_lanes) return nullptr;
+  Lane* lane = new Lane(RoundUpPow2(options_.lane_capacity));
+  lanes_[count].store(lane, std::memory_order_release);
+  lane_count_.store(count + 1, std::memory_order_release);
+  return lane;
+}
+
+void FlightRecorder::Begin(uint64_t session_hash, int position) {
+  ThreadScratch& s = t_flight;
+  if (!FlightRecorderEnabled()) {
+    s.active = false;
+    return;
+  }
+  if (s.owner != this || s.owner_id != instance_id_) {
+    s.owner = this;
+    s.owner_id = instance_id_;
+    s.lane = AcquireLane();
+  }
+  s.trace = WindowTrace{};
+  s.trace.session_hash = session_hash;
+  s.trace.position = position;
+  s.trace.queue_depth = static_cast<int32_t>(util::GlobalQueueDepth());
+  s.active = true;
+  s.begin = s.last = std::chrono::steady_clock::now();
+}
+
+void FlightStageBoundary(FlightStage stage) {
+  ThreadScratch& s = t_flight;
+  if (!s.active) return;
+  const auto now = std::chrono::steady_clock::now();
+  s.trace.stage_ms[static_cast<int>(stage)] += MsSince(s.last, now);
+  s.last = now;
+}
+
+void FlightRecorder::Abandon() {
+  ThreadScratch& s = t_flight;
+  if (s.owner == this && s.owner_id == instance_id_) s.active = false;
+}
+
+void FlightRecorder::End(int rank, float score, float margin, bool abnormal) {
+  ThreadScratch& s = t_flight;
+  if (!s.active || s.owner != this || s.owner_id != instance_id_) return;
+  s.active = false;
+  const auto now = std::chrono::steady_clock::now();
+  WindowTrace& t = s.trace;
+  // Residual attribution: whatever ran since the last boundary (verdict
+  // write, audit append) belongs to the verdict stage, so the stage times
+  // sum to total_ms by construction.
+  t.stage_ms[static_cast<int>(FlightStage::kVerdict)] += MsSince(s.last, now);
+  t.total_ms = MsSince(s.begin, now);
+  t.wall_ms = WallUnixMs();
+  t.rank = rank;
+  t.score = score;
+  t.margin = margin;
+  t.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  uint32_t flags = 0;
+  if (abnormal) flags |= kFlightAbnormal;
+  if (DetectionMonitorEnabled() &&
+      DefaultDetectionMonitor().DriftAlertActive()) {
+    flags |= kFlightDrift;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sketch_mu_);
+    slow_sketch_->Observe(t.total_ms);
+    if (slow_sketch_->Count() >= options_.slow_warmup) {
+      const double threshold = slow_sketch_->Value();
+      slow_threshold_ms_.store(threshold, std::memory_order_relaxed);
+      if (t.total_ms >= threshold) flags |= kFlightSlow;
+    }
+  }
+  t.flags = flags;
+
+  if (MetricsEnabled()) {
+    for (int i = 0; i < kFlightStageCount; ++i) {
+      h_stage_[i]->Observe(t.stage_ms[i]);
+    }
+    h_total_->Observe(t.total_ms);
+    c_records_->Increment();
+  }
+
+  if (s.lane != nullptr) {
+    static_cast<Lane*>(s.lane)->Push(t);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsEnabled()) c_dropped_->Increment();
+  }
+
+  if (flags != 0) Promote(t);
+
+  // Keep the crash handler's pre-rendered metrics snapshot loosely fresh
+  // (free when no handler is installed).
+  if ((t.seq & 0xFFF) == 0) RefreshCrashMetricsSnapshot();
+}
+
+void FlightRecorder::Promote(const WindowTrace& trace) {
+  promoted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retain_mu_);
+    retained_->Push(trace);
+  }
+  if (!MetricsEnabled()) return;
+  c_promoted_->Increment();
+  char session[24];
+  std::snprintf(session, sizeof(session), "s%016llx",
+                static_cast<unsigned long long>(trace.session_hash));
+  h_total_->RecordExemplar(
+      trace.total_ms,
+      {{"seq", std::to_string(trace.seq)},
+       {"session", session},
+       {"position", std::to_string(trace.position)}});
+}
+
+void FlightRecorder::CollectRing(const Lane& lane,
+                                 std::vector<WindowTrace>* out) const {
+  for (size_t i = 0; i <= lane.mask; ++i) {
+    const FlightSlot& slot = lane.slots[i];
+    const uint64_t before = slot.commit.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    WindowTrace copy = slot.trace;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t after = slot.commit.load(std::memory_order_relaxed);
+    if (after != before || copy.seq != before) continue;  // torn: re-written
+    out->push_back(copy);
+  }
+}
+
+std::vector<WindowTrace> FlightRecorder::Snapshot() const {
+  std::vector<WindowTrace> out;
+  const int count = lane_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    CollectRing(*lanes_[i].load(std::memory_order_acquire), &out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WindowTrace& a, const WindowTrace& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<WindowTrace> FlightRecorder::Retained() const {
+  std::vector<WindowTrace> out;
+  CollectRing(*retained_, &out);
+  std::sort(out.begin(), out.end(),
+            [](const WindowTrace& a, const WindowTrace& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+uint64_t FlightRecorder::RecordsTotal() const {
+  return seq_.load(std::memory_order_relaxed);
+}
+uint64_t FlightRecorder::PromotedTotal() const {
+  return promoted_.load(std::memory_order_relaxed);
+}
+uint64_t FlightRecorder::DroppedTotal() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+double FlightRecorder::SlowThresholdMs() const {
+  return slow_threshold_ms_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Reset() {
+  const int count = lane_count_.load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) {
+    Lane* lane = lanes_[i].load(std::memory_order_acquire);
+    for (size_t s = 0; s <= lane->mask; ++s) {
+      lane->slots[s].commit.store(0, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(retain_mu_);
+    for (size_t s = 0; s <= retained_->mask; ++s) {
+      retained_->slots[s].commit.store(0, std::memory_order_relaxed);
+    }
+    retained_->next = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sketch_mu_);
+    slow_sketch_ = std::make_unique<P2Quantile>(options_.slow_quantile);
+  }
+  slow_threshold_ms_.store(0.0, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  promoted_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+// ---------------------------------------------------------------------------
+// Free-function hot path + session scope
+// ---------------------------------------------------------------------------
+
+void FlightBegin(int position) {
+  if (!FlightRecorderEnabled()) {
+    t_flight.active = false;
+    return;
+  }
+  FlightRecorder::Default().Begin(CurrentFlightSession(), position);
+}
+
+void FlightEnd(int rank, float score, float margin, bool abnormal) {
+  if (!t_flight.active) return;
+  FlightRecorder::Default().End(rank, score, margin, abnormal);
+}
+
+uint64_t CurrentFlightSession() {
+  return g_flight_session.load(std::memory_order_relaxed);
+}
+
+FlightSessionScope::FlightSessionScope(const std::string& session_id)
+    : FlightSessionScope(Fnv1aHash64(session_id)) {}
+
+FlightSessionScope::FlightSessionScope(uint64_t session_hash)
+    : previous_(g_flight_session.exchange(session_hash,
+                                          std::memory_order_relaxed)) {}
+
+FlightSessionScope::~FlightSessionScope() {
+  g_flight_session.store(previous_, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Binary dump format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kDumpMagic[8] = {'U', 'C', 'A', 'D', 'F', 'L', 'T', '1'};
+
+struct FlightDumpHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t signal;
+  uint32_t slot_bytes;
+  uint32_t trace_bytes;
+  uint32_t stage_count;
+  uint32_t lane_capacity;  // power-of-two slots per lane
+  uint32_t lane_count;
+  uint32_t retained_capacity;
+  uint64_t records_total;
+  uint64_t promoted_total;
+  uint64_t dropped_total;
+  double slow_threshold_ms;
+};
+static_assert(std::is_trivially_copyable_v<FlightDumpHeader>);
+static_assert(sizeof(FlightDumpHeader) == 72);
+
+/// Parses one raw slot region of `count` slots, keeping committed ones.
+void ParseSlots(const char* data, size_t count,
+                std::vector<WindowTrace>* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const char* slot = data + i * sizeof(FlightSlot);
+    uint64_t commit = 0;
+    std::memcpy(&commit, slot, sizeof(commit));
+    if (commit == 0) continue;
+    WindowTrace trace;
+    std::memcpy(&trace, slot + sizeof(commit), sizeof(trace));
+    if (trace.seq != commit) continue;  // torn at dump time
+    out->push_back(trace);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const WindowTrace& a, const WindowTrace& b) {
+              return a.seq < b.seq;
+            });
+}
+
+}  // namespace
+
+util::Status FlightRecorder::WriteDump(int fd, uint32_t signal) const {
+  // Async-signal-safe: write(2) only, short-string Status messages (SSO),
+  // raw memory copies of the slot arrays (torn slots are rejected by the
+  // parser via the commit protocol).
+  FlightDumpHeader header{};
+  std::memcpy(header.magic, kDumpMagic, sizeof(kDumpMagic));
+  header.version = 1;
+  header.signal = signal;
+  header.slot_bytes = static_cast<uint32_t>(sizeof(FlightSlot));
+  header.trace_bytes = static_cast<uint32_t>(sizeof(WindowTrace));
+  header.stage_count = static_cast<uint32_t>(kFlightStageCount);
+  header.lane_capacity =
+      static_cast<uint32_t>(RoundUpPow2(options_.lane_capacity));
+  const int lane_count = lane_count_.load(std::memory_order_acquire);
+  header.lane_count = static_cast<uint32_t>(lane_count);
+  header.retained_capacity =
+      static_cast<uint32_t>(retained_->mask + 1);
+  header.records_total = RecordsTotal();
+  header.promoted_total = PromotedTotal();
+  header.dropped_total = DroppedTotal();
+  header.slow_threshold_ms = SlowThresholdMs();
+  if (!WriteFully(fd, &header, sizeof(header))) {
+    return util::Status::Internal("write failed");
+  }
+  const size_t lane_bytes =
+      sizeof(FlightSlot) * static_cast<size_t>(header.lane_capacity);
+  for (int i = 0; i < lane_count; ++i) {
+    const Lane* lane = lanes_[i].load(std::memory_order_acquire);
+    if (!WriteFully(fd, lane->slots.get(), lane_bytes)) {
+      return util::Status::Internal("write failed");
+    }
+  }
+  const size_t retained_bytes =
+      sizeof(FlightSlot) * static_cast<size_t>(header.retained_capacity);
+  if (!WriteFully(fd, retained_->slots.get(), retained_bytes)) {
+    return util::Status::Internal("write failed");
+  }
+  return util::Status::Ok();
+}
+
+util::Status FlightRecorder::WriteDumpFile(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open flight dump output: " + path);
+  }
+  const util::Status status = WriteDump(fd, /*signal=*/0);
+  ::close(fd);
+  return status;
+}
+
+util::Result<FlightDump> ReadFlightDumpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return util::Status::NotFound("cannot open flight dump: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (data.size() < sizeof(FlightDumpHeader)) {
+    return util::Status::InvalidArgument("flight dump truncated: " + path);
+  }
+  FlightDumpHeader header;
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (std::memcmp(header.magic, kDumpMagic, sizeof(kDumpMagic)) != 0) {
+    return util::Status::InvalidArgument("not a flight dump: " + path);
+  }
+  if (header.version != 1 || header.slot_bytes != sizeof(FlightSlot) ||
+      header.trace_bytes != sizeof(WindowTrace) ||
+      header.stage_count != static_cast<uint32_t>(kFlightStageCount)) {
+    return util::Status::InvalidArgument(
+        "flight dump layout mismatch (version/record size): " + path);
+  }
+  const size_t ring_slots = static_cast<size_t>(header.lane_count) *
+                            static_cast<size_t>(header.lane_capacity);
+  const size_t total_slots =
+      ring_slots + static_cast<size_t>(header.retained_capacity);
+  if (data.size() < sizeof(header) + total_slots * sizeof(FlightSlot)) {
+    return util::Status::InvalidArgument("flight dump truncated: " + path);
+  }
+  FlightDump dump;
+  dump.version = header.version;
+  dump.signal = header.signal;
+  dump.stage_count = header.stage_count;
+  dump.records_total = header.records_total;
+  dump.promoted_total = header.promoted_total;
+  dump.dropped_total = header.dropped_total;
+  dump.slow_threshold_ms = header.slow_threshold_ms;
+  ParseSlots(data.data() + sizeof(header), ring_slots, &dump.records);
+  ParseSlots(data.data() + sizeof(header) + ring_slots * sizeof(FlightSlot),
+             header.retained_capacity, &dump.retained);
+  return dump;
+}
+
+// ---------------------------------------------------------------------------
+// Crash forensics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS};
+constexpr int kNumCrashSignals = 3;
+
+/// Everything the fatal-signal handler touches, pre-rendered at install /
+/// refresh time so the handler itself does no formatting beyond decimal
+/// pids and no allocation at all.
+struct CrashState {
+  std::atomic<bool> installed{false};
+  std::atomic<bool> dumping{false};
+  char dir[512] = {};
+  char manifest[16 * 1024] = {};
+  size_t manifest_len = 0;
+  char metrics[256 * 1024] = {};
+  std::atomic<size_t> metrics_len{0};
+  struct sigaction previous[kNumCrashSignals] = {};
+  FlightRecorder* recorder = nullptr;
+};
+CrashState g_crash;
+
+// Async-signal-safe string building into a bounded buffer (no snprintf —
+// not on the POSIX async-signal-safe list).
+size_t AppendStr(char* dst, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos + 1 < cap) dst[pos++] = *s++;
+  dst[pos] = '\0';
+  return pos;
+}
+
+size_t AppendU64(char* dst, size_t cap, size_t pos, uint64_t v) {
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos + 1 < cap) dst[pos++] = digits[--n];
+  dst[pos] = '\0';
+  return pos;
+}
+
+/// Writes one crash artifact `<dir>/crash-<pid>.<suffix>` from a memory
+/// region; silently gives up on any failure (we are crashing).
+void WriteCrashFile(const char* suffix, const void* data, size_t size) {
+  char path[640];
+  size_t pos = AppendStr(path, sizeof(path), 0, g_crash.dir);
+  pos = AppendStr(path, sizeof(path), pos, "/crash-");
+  pos = AppendU64(path, sizeof(path), pos, static_cast<uint64_t>(::getpid()));
+  pos = AppendStr(path, sizeof(path), pos, ".");
+  AppendStr(path, sizeof(path), pos, suffix);
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  if (data != nullptr && size > 0) WriteFully(fd, data, size);
+  ::close(fd);
+}
+
+void RestoreCrashDispositions() {
+  for (int i = 0; i < kNumCrashSignals; ++i) {
+    struct sigaction dfl;
+    std::memset(&dfl, 0, sizeof(dfl));
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(kCrashSignals[i], &dfl, nullptr);
+  }
+}
+
+void FlightCrashHandler(int sig) {
+  // Second fatal signal (possibly from another thread, or from the dump
+  // itself): skip straight to the default disposition.
+  if (!g_crash.dumping.exchange(true)) {
+    ::mkdir(g_crash.dir, 0755);  // EEXIST is fine
+    char path[640];
+    size_t pos = AppendStr(path, sizeof(path), 0, g_crash.dir);
+    pos = AppendStr(path, sizeof(path), pos, "/crash-");
+    pos = AppendU64(path, sizeof(path), pos,
+                    static_cast<uint64_t>(::getpid()));
+    AppendStr(path, sizeof(path), pos, ".flight");
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      (void)g_crash.recorder->WriteDump(fd, static_cast<uint32_t>(sig));
+      ::close(fd);
+    }
+    WriteCrashFile("manifest.json", g_crash.manifest, g_crash.manifest_len);
+    WriteCrashFile("metrics.jsonl", g_crash.metrics,
+                   g_crash.metrics_len.load(std::memory_order_acquire));
+  }
+  RestoreCrashDispositions();
+  ::raise(sig);
+}
+
+}  // namespace
+
+void RefreshCrashMetricsSnapshot() {
+  if (!g_crash.installed.load(std::memory_order_acquire)) return;
+  std::ostringstream os;
+  DefaultMetrics().WriteJsonl(os);
+  const std::string text = os.str();
+  const size_t n = std::min(text.size(), sizeof(g_crash.metrics) - 1);
+  // Publish length 0 while copying so a concurrent crash never writes a
+  // half-updated buffer (it writes an empty one instead).
+  g_crash.metrics_len.store(0, std::memory_order_release);
+  std::memcpy(g_crash.metrics, text.data(), n);
+  g_crash.metrics[n] = '\0';
+  g_crash.metrics_len.store(n, std::memory_order_release);
+}
+
+util::Status InstallFlightCrashHandler(const std::string& dump_dir,
+                                       const std::string& manifest_text) {
+  if (dump_dir.empty() || dump_dir.size() >= sizeof(g_crash.dir)) {
+    return util::Status::InvalidArgument(
+        "flight dump dir empty or longer than 511 bytes: " + dump_dir);
+  }
+  std::memcpy(g_crash.dir, dump_dir.c_str(), dump_dir.size() + 1);
+  g_crash.manifest_len =
+      std::min(manifest_text.size(), sizeof(g_crash.manifest) - 1);
+  std::memcpy(g_crash.manifest, manifest_text.data(), g_crash.manifest_len);
+  g_crash.manifest[g_crash.manifest_len] = '\0';
+  g_crash.recorder = &FlightRecorder::Default();
+  g_crash.dumping.store(false, std::memory_order_relaxed);
+  if (!g_crash.installed.exchange(true, std::memory_order_acq_rel)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = FlightCrashHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int i = 0; i < kNumCrashSignals; ++i) {
+      if (::sigaction(kCrashSignals[i], &sa, &g_crash.previous[i]) != 0) {
+        g_crash.installed.store(false, std::memory_order_release);
+        return util::Status::Internal("sigaction failed installing handler");
+      }
+    }
+  }
+  RefreshCrashMetricsSnapshot();
+  return util::Status::Ok();
+}
+
+void UninstallFlightCrashHandler() {
+  if (!g_crash.installed.exchange(false, std::memory_order_acq_rel)) return;
+  for (int i = 0; i < kNumCrashSignals; ++i) {
+    ::sigaction(kCrashSignals[i], &g_crash.previous[i], nullptr);
+  }
+  g_crash.dumping.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,286 @@
+#ifndef UCAD_OBS_FLIGHT_H_
+#define UCAD_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ucad::obs {
+
+/// Pipeline stages of one scored window, in execution order. Each stage's
+/// wall time is attributed by FlightStageBoundary ("everything since the
+/// previous boundary belongs to the stage that just finished"), so the
+/// per-stage times of a trace always sum to its total.
+enum class FlightStage : int {
+  /// Window construction + inference-context pool lease (or tape setup).
+  kContextAcquire = 0,
+  /// Embedding-row gather + position embedding add.
+  kEmbed,
+  /// Per-block attention (packed QKV matmul, per-head softmax/context,
+  /// output projection, residual layer norm), summed over blocks.
+  kAttention,
+  /// Per-block feed-forward (w1/relu/w2 + residual norm), summed.
+  kFfn,
+  /// Final-row all-key logits matmul.
+  kLogits,
+  /// Eq. 10 rank/score/margin scan over the logits row(s).
+  kScore,
+  /// Verdict-slot write + end-of-window bookkeeping (End's residual).
+  kVerdict,
+};
+inline constexpr int kFlightStageCount = 7;
+
+/// Stable snake_case stage name ("context_acquire", "embed", ...); used in
+/// metric names (detector/stage/<name>_ms) and flight_inspect tables.
+const char* FlightStageName(int stage);
+
+/// WindowTrace::flags bits: why a trace was promoted to the retained
+/// detail buffer (0 = not promoted, aged out of the ring normally).
+inline constexpr uint32_t kFlightAbnormal = 1u << 0;  // abnormal verdict
+inline constexpr uint32_t kFlightDrift = 1u << 1;     // drift alert active
+inline constexpr uint32_t kFlightSlow = 1u << 2;      // top latency quantile
+
+/// One scored window's flight record: fixed-size, trivially copyable, so
+/// ring slots can be dumped raw from a fatal-signal handler and parsed
+/// offline. 80 bytes; the on-disk format (FlightDumpHeader) records the
+/// size so a parser can reject a layout it does not understand.
+struct WindowTrace {
+  /// Global 1-based completion order (also the ring-slot commit word).
+  uint64_t seq = 0;
+  /// FNV-1a hash of the caller-scoped session id (0 = no session scope);
+  /// hash the audit log's session_id to cross-reference.
+  uint64_t session_hash = 0;
+  /// Wall-clock unix milliseconds at completion.
+  int64_t wall_ms = 0;
+  /// Per-stage wall time, ms (indexed by FlightStage).
+  float stage_ms[kFlightStageCount] = {};
+  /// Begin..End wall time, ms (== sum of stage_ms up to fp rounding).
+  float total_ms = 0.0f;
+  /// First session position this window scored.
+  int32_t position = 0;
+  /// Worst (largest) rank scored in the window.
+  int32_t rank = 0;
+  /// Score/margin of the worst-ranked operation.
+  float score = 0.0f;
+  float margin = 0.0f;
+  /// Thread-pool jobs in flight when the window began (queue depth at
+  /// dequeue; 0 when the global pool was never created).
+  int32_t queue_depth = 0;
+  /// kFlightAbnormal | kFlightDrift | kFlightSlow promotion bits.
+  uint32_t flags = 0;
+};
+static_assert(std::is_trivially_copyable_v<WindowTrace>);
+static_assert(sizeof(WindowTrace) == 80, "dump format depends on layout");
+
+struct FlightOptions {
+  /// Traces per lane ring (rounded up to a power of two). A lane belongs
+  /// to one writer thread, so pushes are wait-free plain stores.
+  int lane_capacity = 1024;
+  /// Max writer threads with their own lane; threads beyond this drop
+  /// their traces (counted) rather than contend.
+  int max_lanes = 64;
+  /// Promoted-trace detail ring (tail-sampled records kept past ring
+  /// age-out).
+  int retained_capacity = 256;
+  /// Latency quantile above which a window is promoted as "slow" (P²
+  /// estimate over total_ms).
+  double slow_quantile = 0.95;
+  /// Windows observed before the latency promotion engages (the P²
+  /// estimate is meaningless on a handful of samples).
+  uint64_t slow_warmup = 128;
+};
+
+struct FlightDump;
+
+/// Always-on, low-overhead flight recorder: every scored window leaves one
+/// WindowTrace in a per-thread lock-free ring. Normal windows age out as
+/// the ring wraps; anomalous, drift-flagged, or top-latency-quantile
+/// windows are promoted to a retained detail ring and exported as
+/// histogram exemplars. The rings use a per-slot commit-sequence protocol
+/// (commit=0 while a write is in flight, then the trace's seq), so readers
+/// — Snapshot(), the binary dump writer, and the fatal-signal handler —
+/// never need a lock and tolerate torn slots.
+///
+/// Hot-path cost per window: ~11 steady_clock reads (one per stage
+/// boundary), one 80-byte slot write, 8 histogram observes, and one
+/// short mutex for the P² latency sketch.
+class FlightRecorder {
+ public:
+  /// Publishes detector/stage/<stage>_ms + detector/window_total_ms
+  /// histograms and flight/* counters into `registry` (DefaultMetrics()
+  /// when null).
+  explicit FlightRecorder(FlightOptions options = {},
+                          MetricsRegistry* registry = nullptr);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Opens a trace for the current thread (replacing any unfinished one).
+  /// No-op while the recorder is disabled. `session_hash` conventionally
+  /// comes from CurrentFlightSession().
+  void Begin(uint64_t session_hash, int position);
+  /// Completes the current thread's trace: stamps the worst verdict,
+  /// decides promotion, pushes the ring slot, and observes the stage/total
+  /// histograms. No-op when no trace is active.
+  void End(int rank, float score, float margin, bool abnormal);
+  /// Drops the current thread's trace without recording (error paths).
+  void Abandon();
+
+  /// Validated copies of every committed ring record, seq-ascending.
+  /// Concurrent writers may wrap slots mid-read; torn slots are skipped.
+  std::vector<WindowTrace> Snapshot() const;
+  /// Validated copies of the promoted detail ring, seq-ascending.
+  std::vector<WindowTrace> Retained() const;
+
+  uint64_t RecordsTotal() const;
+  uint64_t PromotedTotal() const;
+  uint64_t DroppedTotal() const;
+  /// Current "slow window" promotion threshold, ms (0 until warmup).
+  double SlowThresholdMs() const;
+
+  /// Writes the binary dump (header + raw ring slots + retained ring) to
+  /// `fd` using only write(2) — async-signal-safe, so the fatal-signal
+  /// handler shares this path. `signal` is recorded in the header (0 for
+  /// a normal dump).
+  util::Status WriteDump(int fd, uint32_t signal = 0) const;
+  util::Status WriteDumpFile(const std::string& path) const;
+
+  /// Drops all ring/retained records and the latency sketch (counters and
+  /// published histograms keep their registry semantics). Test isolation.
+  void Reset();
+
+  const FlightOptions& options() const { return options_; }
+
+  /// The process-wide recorder the detector records into. Constructed on
+  /// first use; never destroyed.
+  static FlightRecorder& Default();
+
+ private:
+  struct Lane;
+  friend void FlightStageBoundary(FlightStage stage);
+
+  Lane* AcquireLane();
+  void Promote(const WindowTrace& trace);
+  void CollectRing(const Lane& lane, std::vector<WindowTrace>* out) const;
+
+  const FlightOptions options_;
+  const uint64_t instance_id_;
+  MetricsRegistry* registry_;
+
+  std::mutex lane_mu_;  // serializes lane allocation only
+  std::unique_ptr<std::atomic<Lane*>[]> lanes_;  // options_.max_lanes slots
+  std::atomic<int> lane_count_{0};
+
+  std::mutex retain_mu_;  // serializes retained-ring writers
+  std::unique_ptr<Lane> retained_;
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> promoted_{0};
+  std::atomic<double> slow_threshold_ms_{0.0};
+
+  std::mutex sketch_mu_;
+  std::unique_ptr<class P2Quantile> slow_sketch_;
+
+  // Cached registry instruments (stable pointers).
+  Histogram* h_stage_[kFlightStageCount];
+  Histogram* h_total_;
+  Counter* c_records_;
+  Counter* c_promoted_;
+  Counter* c_dropped_;
+};
+
+/// Attributes the time since the previous boundary (or Begin) to `stage`
+/// on the current thread's open trace; no-op when none is active, so
+/// instrumented kernels cost one thread-local load outside a trace.
+void FlightStageBoundary(FlightStage stage);
+
+/// Begin/End on the default recorder, stamping CurrentFlightSession().
+void FlightBegin(int position);
+void FlightEnd(int rank, float score, float margin, bool abnormal);
+
+/// Recording is on by default; disabling reduces Begin (and with it every
+/// boundary) to a relaxed atomic load. Open traces are abandoned.
+void SetFlightRecorderEnabled(bool enabled);
+bool FlightRecorderEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_flight_enabled;
+}
+
+inline bool FlightRecorderEnabled() {
+  return internal::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII session identity for traces recorded while in scope (process-wide;
+/// the CLI scores sessions sequentially, so one scope at a time). Stores
+/// Fnv1aHash64(session_id); nesting restores the outer value.
+class FlightSessionScope {
+ public:
+  explicit FlightSessionScope(const std::string& session_id);
+  explicit FlightSessionScope(uint64_t session_hash);
+  ~FlightSessionScope();
+  FlightSessionScope(const FlightSessionScope&) = delete;
+  FlightSessionScope& operator=(const FlightSessionScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// Session hash traces opened now would carry (0 = no scope active).
+uint64_t CurrentFlightSession();
+
+// ---------------------------------------------------------------------------
+// Crash forensics
+// ---------------------------------------------------------------------------
+
+/// Installs a SIGSEGV/SIGABRT/SIGBUS handler that writes, into `dump_dir`
+/// (created if missing):
+///
+///   crash-<pid>.flight         binary ring dump (ReadFlightDumpFile)
+///   crash-<pid>.manifest.json  `manifest_text`, captured at install time
+///   crash-<pid>.metrics.jsonl  metrics snapshot, refreshed every few
+///                              thousand windows (may lag the crash)
+///
+/// then restores the default disposition and re-raises, so exit status and
+/// core-dump behavior are unchanged. The handler touches only
+/// pre-rendered buffers and the lock-free rings (async-signal-safe).
+/// Idempotent per process; the second call just updates dir + manifest.
+util::Status InstallFlightCrashHandler(const std::string& dump_dir,
+                                       const std::string& manifest_text);
+/// Restores the signal dispositions saved by Install (test hygiene).
+void UninstallFlightCrashHandler();
+/// Re-renders the pre-serialized metrics snapshot the crash handler
+/// writes. Called automatically every few thousand End()s while the
+/// handler is installed; exposed for tests and pre-crash checkpoints.
+void RefreshCrashMetricsSnapshot();
+
+/// Parsed flight dump.
+struct FlightDump {
+  uint32_t version = 0;
+  /// Signal that triggered the dump (0 = manual WriteDump).
+  uint32_t signal = 0;
+  uint32_t stage_count = 0;
+  uint64_t records_total = 0;
+  uint64_t promoted_total = 0;
+  uint64_t dropped_total = 0;
+  double slow_threshold_ms = 0.0;
+  /// Committed ring records, seq-ascending (the last N windows).
+  std::vector<WindowTrace> records;
+  /// Promoted detail-ring records, seq-ascending.
+  std::vector<WindowTrace> retained;
+};
+
+util::Result<FlightDump> ReadFlightDumpFile(const std::string& path);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_FLIGHT_H_

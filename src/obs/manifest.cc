@@ -58,6 +58,28 @@ uint64_t Fnv1aHash64(const std::string& s) {
 }
 
 namespace {
+/// Anchored once during static initialization — close enough to process
+/// start for an uptime gauge.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+void PublishBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &DefaultMetrics();
+  registry
+      ->GetGauge("obs/build_info",
+                 {{"git_sha", BuildGitSha()}, {"build_type", BuildType()}})
+      ->Set(1.0);
+  registry->GetGauge("proc/uptime_seconds")->Set(ProcessUptimeSeconds());
+}
+
+namespace {
 
 int CacheLineBytes() {
 #ifdef _SC_LEVEL1_DCACHE_LINESIZE

@@ -31,6 +31,22 @@ double ProcessCpuSeconds();
 /// FNV-1a 64-bit hash; used for stable config fingerprints.
 uint64_t Fnv1aHash64(const std::string& s);
 
+/// Seconds since this process started (steady clock, anchored by a
+/// static initializer, so it is meaningful from main() onward).
+double ProcessUptimeSeconds();
+
+class MetricsRegistry;
+
+/// Registers the self-identification series every scrape should carry:
+///
+///   obs/build_info{build_type=...,git_sha=...}  constant gauge, value 1
+///   proc/uptime_seconds                         gauge, set at call time
+///
+/// Idempotent (the registry dedupes by name+labels); callers that serve
+/// /metrics should refresh proc/uptime_seconds per scrape — the
+/// MetricsHttpServer does this automatically.
+void PublishBuildInfo(MetricsRegistry* registry);
+
 /// Run manifest: one JSON document per run (conventionally run.json)
 /// recording provenance (git SHA, build type/flags, config hash, seed,
 /// command line), hardware info, resource usage (wall/cpu seconds, peak

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -128,6 +129,17 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+std::vector<double> Histogram::FineLatencyBounds() {
+  // 100ns .. 100s when observing milliseconds, ~10 buckets per decade.
+  static const double kLadder[] = {1.0,  1.25, 1.6, 2.0, 2.5,
+                                   3.15, 4.0,  5.0, 6.3, 8.0};
+  std::vector<double> bounds;
+  for (double decade = 1e-4; decade < 2e5; decade *= 10.0) {
+    for (const double step : kLadder) bounds.push_back(decade * step);
+  }
+  return bounds;
+}
+
 void Histogram::Observe(double value) {
   const size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
                      bounds_.begin();  // bounds_.size() == overflow
@@ -136,6 +148,29 @@ void Histogram::Observe(double value) {
   AtomicAdd(&sum_, value);
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+}
+
+void Histogram::RecordExemplar(double value, const Labels& labels) {
+  const size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                     bounds_.begin();
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(bounds_.size() + 1);
+  Exemplar& slot = exemplars_[idx];
+  slot.value = value;
+  slot.unix_ms = now_ms;
+  slot.labels = labels;
+}
+
+bool Histogram::LatestExemplar(size_t i, Exemplar* out) const {
+  UCAD_DCHECK(i <= bounds_.size());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (i >= exemplars_.size() || exemplars_[i].unix_ms == 0) return false;
+  *out = exemplars_[i];
+  return true;
 }
 
 double Histogram::Min() const {

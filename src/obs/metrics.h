@@ -47,6 +47,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// A concrete observation attached to a histogram bucket (OpenMetrics
+/// exemplar): the value, when it happened, and trace labels that lead back
+/// to the thing that produced it (e.g. a flight-recorder seq + session).
+struct Exemplar {
+  double value = 0.0;
+  /// Wall-clock unix milliseconds at record time (0 = slot unset).
+  int64_t unix_ms = 0;
+  Labels labels;
+};
+
 /// Fixed-bucket histogram with percentile estimation. Observations land in
 /// the first bucket whose upper bound is >= the value; one implicit
 /// +inf overflow bucket catches the rest. Thread-safe: per-bucket counts
@@ -76,9 +86,26 @@ class Histogram {
   /// Count of observations above the last finite bound.
   uint64_t OverflowCount() const;
 
+  /// Attaches `value` (with trace labels and the current wall clock) as
+  /// the latest exemplar of the bucket that would hold it. Does NOT count
+  /// as an observation — callers Observe() every value and RecordExemplar()
+  /// only the interesting ones (tail-sampled). Takes a mutex; keep it off
+  /// unconditional hot paths.
+  void RecordExemplar(double value, const Labels& labels);
+  /// Latest exemplar of bucket i (i == bounds().size() is the overflow
+  /// bucket). False when that bucket never received one.
+  bool LatestExemplar(size_t i, Exemplar* out) const;
+
   /// Default latency-style bounds: 1us .. ~100s in a 1-2.5-5 ladder
   /// (interpreted in whatever unit the caller observes, typically ms).
   static std::vector<double> DefaultLatencyBounds();
+
+  /// Fine latency bounds: 100ns .. ~100s with ~10 log-spaced buckets per
+  /// decade. For series whose Percentile estimates feed arithmetic (the
+  /// flight recorder's stage-attribution contract sums per-stage p50s
+  /// against the score-latency p50), where the 1-2.5-5 ladder's
+  /// within-bucket interpolation error would dominate the comparison.
+  static std::vector<double> FineLatencyBounds();
 
  private:
   std::vector<double> bounds_;
@@ -87,6 +114,11 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;
+
+  mutable std::mutex exemplar_mu_;
+  /// Lazily sized to bounds_.size() + 1 on first RecordExemplar, so
+  /// histograms that never sample exemplars pay nothing.
+  std::vector<Exemplar> exemplars_;
 };
 
 /// Process-wide registry of named metrics. GetCounter/GetGauge/GetHistogram

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/manifest.h"
 #include "obs/prom_text.h"
 #include "util/logging.h"
 
@@ -15,16 +16,23 @@ namespace ucad::obs {
 
 namespace {
 
-/// Writes the whole buffer, retrying short writes; best-effort (a scraper
-/// hanging up mid-response is its problem, not ours).
-void SendAll(int fd, const std::string& data) {
+/// Writes the whole buffer, retrying short writes and EINTR. Returns false
+/// as soon as send() reports the peer is gone (0) or a hard error —
+/// best-effort (a scraper hanging up mid-response is its problem, not
+/// ours), but the loop must never spin on a dead socket.
+bool SendAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<size_t>(n);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
   }
+  return true;
 }
 
 std::string HttpResponse(int code, const char* reason,
@@ -59,6 +67,10 @@ util::Status MetricsHttpServer::Start(int port) {
   if (serving()) {
     return util::Status::FailedPrecondition("metrics server already running");
   }
+  // Every scrape self-identifies: obs/build_info carries the binary's
+  // provenance labels and proc/uptime_seconds is refreshed per scrape.
+  PublishBuildInfo(registry_);
+  uptime_gauge_ = registry_->GetGauge("proc/uptime_seconds");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return util::Status::Internal(std::string("socket: ") +
@@ -122,6 +134,7 @@ void MetricsHttpServer::HandleConnection(int client_fd) {
         ->Increment();
   }
   if (path == "/metrics") {
+    if (uptime_gauge_ != nullptr) uptime_gauge_->Set(ProcessUptimeSeconds());
     SendAll(client_fd,
             HttpResponse(200, "OK", "text/plain; version=0.0.4",
                          PromText(*registry_)));

@@ -50,6 +50,8 @@ class MetricsHttpServer {
   void HandleConnection(int client_fd);
 
   MetricsRegistry* registry_;
+  /// proc/uptime_seconds, refreshed per /metrics scrape (set by Start).
+  Gauge* uptime_gauge_ = nullptr;
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<uint64_t> requests_{0};

@@ -214,6 +214,8 @@ void DetectionMonitor::CompleteWindowLocked() {
   } else if (!reference_.empty()) {
     last_psi_ = PopulationStabilityIndex(reference_, window_counts_);
     g_psi_->Set(last_psi_);
+    drift_alert_.store(last_psi_ > options_.psi_alert,
+                       std::memory_order_relaxed);
     if (last_psi_ > options_.psi_alert) {
       ++alerts_;
       c_alerts_->Increment();
@@ -294,6 +296,7 @@ void DetectionMonitor::Reset() {
   std::fill(window_counts_.begin(), window_counts_.end(), 0);
   window_fill_ = 0;
   last_psi_ = 0.0;
+  drift_alert_.store(false, std::memory_order_relaxed);
   windows_ = 0;
   alerts_ = 0;
   operations_ = 0;

@@ -106,6 +106,13 @@ class DetectionMonitor {
   uint64_t Alerts() const;
   uint64_t Operations() const;
 
+  /// True while the most recent completed drift window exceeded the PSI
+  /// alert threshold. Lock-free (relaxed atomic), so hot-path consumers —
+  /// the flight recorder's promotion decision — can poll it per window.
+  bool DriftAlertActive() const {
+    return drift_alert_.load(std::memory_order_relaxed);
+  }
+
   /// One-line live status ("ops=512 rank_p50=1.0 psi=0.031 alerts=0"),
   /// for the CLI monitor mode.
   std::string StatusLine() const;
@@ -131,6 +138,7 @@ class DetectionMonitor {
   std::vector<uint64_t> window_counts_;
   int window_fill_ = 0;
   double last_psi_ = 0.0;
+  std::atomic<bool> drift_alert_{false};
   uint64_t windows_ = 0;
   uint64_t alerts_ = 0;
   uint64_t operations_ = 0;

@@ -51,6 +51,19 @@ std::string LabelBlock(const Labels& labels, const std::string& extra_name,
   return out;
 }
 
+/// OpenMetrics-style exemplar suffix for a _bucket line:
+/// " # {k=\"v\",...} value timestamp_seconds". Plain Prometheus 0.0.4
+/// scrapers that reject it should be pointed at a non-exemplar view; our
+/// own consumers (CI smoke, flight_inspect cross-references) parse it.
+std::string ExemplarSuffix(const Exemplar& ex) {
+  std::string out = " # ";
+  std::string labels = LabelBlock(ex.labels, "", "");
+  out += labels.empty() ? "{}" : labels;
+  out += " " + PromNumber(ex.value) + " " +
+         PromNumber(static_cast<double>(ex.unix_ms) / 1e3);
+  return out;
+}
+
 }  // namespace
 
 std::string PromName(const std::string& name) {
@@ -122,15 +135,22 @@ void WritePromText(const MetricsRegistry& registry, std::ostream& os) {
     } else {
       const Histogram& h = *series.histogram;
       // Prometheus buckets are cumulative; ours are per-bucket counts.
+      // Buckets with a recorded exemplar carry it as an OpenMetrics-style
+      // " # {labels} value ts" suffix.
+      Exemplar ex;
       uint64_t cumulative = 0;
       for (size_t i = 0; i < h.bounds().size(); ++i) {
         cumulative += h.BucketCount(i);
         os << name << "_bucket"
            << LabelBlock(series.labels, "le", PromNumber(h.bounds()[i]))
-           << " " << cumulative << "\n";
+           << " " << cumulative;
+        if (h.LatestExemplar(i, &ex)) os << ExemplarSuffix(ex);
+        os << "\n";
       }
       os << name << "_bucket" << LabelBlock(series.labels, "le", "+Inf")
-         << " " << h.Count() << "\n";
+         << " " << h.Count();
+      if (h.LatestExemplar(h.bounds().size(), &ex)) os << ExemplarSuffix(ex);
+      os << "\n";
       os << name << "_sum" << LabelBlock(series.labels, "", "") << " "
          << PromNumber(h.Sum()) << "\n";
       os << name << "_count" << LabelBlock(series.labels, "", "") << " "

@@ -5,6 +5,7 @@
 
 #include "nn/infer.h"
 #include "nn/tape.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/trace.h"
@@ -82,13 +83,18 @@ void TransDasDetector::WithWindowLogits(
     const std::function<void(const nn::Tensor&)>& fn) const {
   if (options_.use_tape_engine) {
     nn::Tape tape;
+    obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
     nn::VarId outputs =
         model_->Forward(&tape, input, /*training=*/false, nullptr);
     nn::VarId logits = model_->AllKeyLogits(&tape, outputs);
+    // The tape engine has no per-stage hooks: the whole graph build +
+    // forward lands in the logits stage of the flight trace.
+    obs::FlightStageBoundary(obs::FlightStage::kLogits);
     fn(tape.value(logits));
     return;
   }
   std::unique_ptr<nn::InferenceContext> ctx = AcquireContext();
+  obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
   const nn::Tensor& outputs =
       model_->ForwardInference(ctx.get(), input, rows_from);
   fn(model_->AllKeyLogitsInference(ctx.get(), outputs, rows_from));
@@ -102,6 +108,7 @@ int TransDasDetector::RankNextOperation(const std::vector<int>& preceding,
 
 OperationVerdict TransDasDetector::ScoreNextOperation(
     const std::vector<int>& preceding, int next_key) const {
+  obs::FlightBegin(static_cast<int>(preceding.size()));
   const int L = model_->config().window;
   const std::vector<int> window =
       BuildWindow(preceding, static_cast<int>(preceding.size()));
@@ -112,6 +119,7 @@ OperationVerdict TransDasDetector::ScoreNextOperation(
                          [&](const nn::Tensor& logits) {
                            ScoreKey(logits, L - 1, next_key, &op);
                          });
+  obs::FlightEnd(op.rank, op.score, op.margin, op.abnormal);
   return op;
 }
 
@@ -151,8 +159,14 @@ namespace {
 void RecordDetectMetrics(const SessionVerdict& verdict, double setup_ms,
                          double score_ms) {
   obs::MetricsRegistry& reg = obs::DefaultMetrics();
-  reg.GetHistogram("detector/setup_latency_ms")->Observe(setup_ms);
-  reg.GetHistogram("detector/score_latency_ms")->Observe(score_ms);
+  // Fine buckets: the flight recorder's stage p50s are reconciled against
+  // score_latency_ms p50, so both sides need low interpolation error.
+  reg.GetHistogram("detector/setup_latency_ms", {},
+                   obs::Histogram::FineLatencyBounds())
+      ->Observe(setup_ms);
+  reg.GetHistogram("detector/score_latency_ms", {},
+                   obs::Histogram::FineLatencyBounds())
+      ->Observe(score_ms);
   obs::Counter* sessions = reg.GetCounter("detector/sessions_total");
   obs::Counter* abnormal = reg.GetCounter("detector/abnormal_sessions_total");
   sessions->Increment();
@@ -247,6 +261,7 @@ SessionVerdict TransDasDetector::DetectSession(
       [this, &spans, &padded, &keys, &verdict, L, n](int64_t b0, int64_t b1) {
         for (int64_t b = b0; b < b1; ++b) {
           const WindowSpan& span = spans[b];
+          obs::FlightBegin(span.lo);
           std::vector<int> input(padded.begin() + span.w,
                                  padded.begin() + span.w + L);
           // Output row i scores session position w + i + 1 - L, so the rows
@@ -254,6 +269,11 @@ SessionVerdict TransDasDetector::DetectSession(
           // clamped tail windows (and short sessions) skip the re-derived
           // prefix entirely in the inference engine.
           const int rows_from = span.lo + L - 1 - span.w;
+          // The flight trace summarizes the window by its worst-ranked
+          // operation (the one an investigator drills into first).
+          OperationVerdict worst;
+          worst.rank = -1;
+          bool any_abnormal = false;
           WithWindowLogits(input, rows_from, [&](const nn::Tensor& scores) {
             for (int i = 0; i < L; ++i) {
               const int session_pos = span.w + i + 1 - L;  // target of output i
@@ -261,9 +281,12 @@ SessionVerdict TransDasDetector::DetectSession(
               OperationVerdict op;
               op.position = session_pos;
               ScoreKey(scores, i, keys[session_pos], &op);
+              if (op.abnormal) any_abnormal = true;
+              if (op.rank > worst.rank) worst = op;
               verdict.operations[session_pos - 1] = op;
             }
           });
+          obs::FlightEnd(worst.rank, worst.score, worst.margin, any_abnormal);
         }
       });
   for (const OperationVerdict& op : verdict.operations) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/flight.h"
 #include "sql/vocabulary.h"
 #include "util/logging.h"
 
@@ -137,6 +138,7 @@ const nn::Tensor& TransDasModel::ForwardInference(
   if (position_embedding_ != nullptr) {
     x->AddInPlace(position_embedding_->value());
   }
+  obs::FlightStageBoundary(obs::FlightStage::kEmbed);
   for (size_t b = 0; b < blocks_.size(); ++b) {
     Block& block = blocks_[b];
     // Attention output rows feed later blocks through every position, so
@@ -197,6 +199,7 @@ const nn::Tensor& TransDasModel::ForwardInference(
                                 block.ln_attention->bias().value(), 1e-5f, ln1,
                                 r0);
     x = ln1;
+    obs::FlightStageBoundary(obs::FlightStage::kAttention);
     // Point-wise feed-forward (Eq. 7): bias+relu and bias fused in place.
     nn::Tensor* ff = ws.Acquire(L, h);
     nn::MatMulSliceKernel(*x, 0, h, block.w1.value(), r0, ff);
@@ -208,6 +211,7 @@ const nn::Tensor& TransDasModel::ForwardInference(
     nn::ResidualLayerNormKernel(*x, *ff2, block.ln_ffn->gain().value(),
                                 block.ln_ffn->bias().value(), 1e-5f, ln2, r0);
     x = ln2;
+    obs::FlightStageBoundary(obs::FlightStage::kFfn);
   }
   ctx->NoteForward();
   return *x;
@@ -224,6 +228,7 @@ const nn::Tensor& TransDasModel::AllKeyLogitsInference(
       embedding_->table().value(), weight_version_);
   nn::Tensor* logits = ctx->workspace().Acquire(outputs.rows(), table_t.cols());
   nn::MatMulSliceKernel(outputs, 0, outputs.cols(), table_t, rows_from, logits);
+  obs::FlightStageBoundary(obs::FlightStage::kLogits);
   return *logits;
 }
 

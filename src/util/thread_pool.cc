@@ -190,6 +190,11 @@ int g_requested_threads = 0;  // 0 = not set: use UCAD_THREADS or hardware
 /// worth splitting" checks (matmul thresholds) never touch g_pool_mu.
 /// 0 = not resolved yet.
 std::atomic<int> g_num_threads_cache{0};
+/// Lock-free mirror of g_pool's address, so GlobalQueueDepth() — sampled
+/// once per scored window by the flight recorder — never touches
+/// g_pool_mu and never instantiates a pool as a side effect. Updated
+/// under g_pool_mu whenever g_pool changes.
+std::atomic<ThreadPool*> g_pool_raw{nullptr};
 
 }  // namespace
 
@@ -200,6 +205,7 @@ ThreadPool& GlobalThreadPool() {
         g_requested_threads > 0 ? g_requested_threads : DefaultNumThreads();
     g_pool = std::make_unique<ThreadPool>(n);
     g_num_threads_cache.store(n, std::memory_order_relaxed);
+    g_pool_raw.store(g_pool.get(), std::memory_order_release);
   }
   return *g_pool;
 }
@@ -210,8 +216,15 @@ void SetNumThreads(int n) {
   g_requested_threads = n;
   g_num_threads_cache.store(n, std::memory_order_relaxed);
   if (g_pool != nullptr && g_pool->num_threads() == n) return;
+  g_pool_raw.store(nullptr, std::memory_order_release);
   g_pool.reset();  // joins the old workers before the swap
   g_pool = std::make_unique<ThreadPool>(n);
+  g_pool_raw.store(g_pool.get(), std::memory_order_release);
+}
+
+int64_t GlobalQueueDepth() {
+  ThreadPool* pool = g_pool_raw.load(std::memory_order_acquire);
+  return pool == nullptr ? 0 : pool->QueueDepth();
 }
 
 int NumThreads() {

@@ -65,6 +65,12 @@ class ThreadPool {
   /// or helping caller); nested ParallelFor calls then run inline.
   static bool InParallelRegion();
 
+  /// Jobs currently queued or running (ThreadPoolStats::queue_depth
+  /// without the full snapshot): one relaxed atomic load.
+  int64_t QueueDepth() const {
+    return active_jobs_.load(std::memory_order_relaxed);
+  }
+
   ThreadPoolStats Stats() const;
 
  private:
@@ -113,6 +119,11 @@ void SetNumThreads(int n);
 
 /// Lane count the global pool has (or would be created with).
 int NumThreads();
+
+/// Queue depth of the global pool, or 0 when it was never created.
+/// Lock-free and never instantiates the pool, so per-window samplers (the
+/// flight recorder) can call it unconditionally.
+int64_t GlobalQueueDepth();
 
 /// Convenience wrapper over GlobalThreadPool().ParallelFor that skips pool
 /// creation entirely when the range is empty or a single chunk.

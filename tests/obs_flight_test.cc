@@ -1,0 +1,374 @@
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/prom_text.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ucad::obs {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return testing::TempDir() + "/" + stem;
+}
+
+void SpinMs(double ms) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<int64_t>(ms * 1e3));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// One fully-stamped window trace on `recorder` (every stage boundary
+/// crossed), totalling roughly `slow_ms` of wall time when nonzero.
+void RecordWindow(FlightRecorder* recorder, int position, int rank,
+                  bool abnormal, double slow_ms = 0.0) {
+  recorder->Begin(CurrentFlightSession(), position);
+  FlightStageBoundary(FlightStage::kContextAcquire);
+  FlightStageBoundary(FlightStage::kEmbed);
+  FlightStageBoundary(FlightStage::kAttention);
+  if (slow_ms > 0.0) SpinMs(slow_ms);
+  FlightStageBoundary(FlightStage::kFfn);
+  FlightStageBoundary(FlightStage::kLogits);
+  FlightStageBoundary(FlightStage::kScore);
+  recorder->End(rank, /*score=*/1.5f, /*margin=*/0.25f, abnormal);
+}
+
+// ---------- Record layout + stage names ----------
+
+TEST(WindowTraceTest, LayoutIsDumpStable) {
+  // The binary dump format (and the crash handler) depend on this layout;
+  // the static_asserts in flight.h are the real gate, this documents it.
+  EXPECT_EQ(sizeof(WindowTrace), 80u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<WindowTrace>);
+  const char* expected[kFlightStageCount] = {
+      "context_acquire", "embed", "attention", "ffn",
+      "logits",          "score", "verdict"};
+  for (int s = 0; s < kFlightStageCount; ++s) {
+    EXPECT_STREQ(FlightStageName(s), expected[s]);
+  }
+  EXPECT_STREQ(FlightStageName(-1), "unknown");
+  EXPECT_STREQ(FlightStageName(kFlightStageCount), "unknown");
+}
+
+// ---------- Recording ----------
+
+TEST(FlightRecorderTest, ManualTraceRoundTrip) {
+  MetricsRegistry registry;
+  FlightOptions options;
+  options.lane_capacity = 16;
+  FlightRecorder recorder(options, &registry);
+  {
+    FlightSessionScope scope(std::string("sess-42"));
+    RecordWindow(&recorder, /*position=*/7, /*rank=*/3, /*abnormal=*/false);
+  }
+  EXPECT_EQ(recorder.RecordsTotal(), 1u);
+  const std::vector<WindowTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const WindowTrace& t = traces[0];
+  EXPECT_EQ(t.seq, 1u);
+  EXPECT_EQ(t.session_hash, Fnv1aHash64("sess-42"));
+  EXPECT_EQ(t.position, 7);
+  EXPECT_EQ(t.rank, 3);
+  EXPECT_FLOAT_EQ(t.score, 1.5f);
+  EXPECT_FLOAT_EQ(t.margin, 0.25f);
+  EXPECT_EQ(t.flags, 0u);
+  EXPECT_GT(t.wall_ms, 0);
+  // Stage attribution is exhaustive by construction: the per-stage times
+  // sum to the trace total (verdict absorbs End's residual).
+  float stage_sum = 0.0f;
+  for (int s = 0; s < kFlightStageCount; ++s) {
+    EXPECT_GE(t.stage_ms[s], 0.0f);
+    stage_sum += t.stage_ms[s];
+  }
+  EXPECT_NEAR(stage_sum, t.total_ms, 1e-3f);
+  // The registry saw one observation per stage histogram + the total.
+  for (int s = 0; s < kFlightStageCount; ++s) {
+    const std::string name =
+        std::string("detector/stage/") + FlightStageName(s) + "_ms";
+    EXPECT_EQ(registry.GetHistogram(name)->Count(), 1u) << name;
+  }
+  EXPECT_EQ(registry.GetHistogram("detector/window_total_ms")->Count(), 1u);
+  EXPECT_EQ(registry.GetCounter("flight/records_total")->Value(), 1u);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsNewestTraces) {
+  MetricsRegistry registry;
+  FlightOptions options;
+  options.lane_capacity = 4;
+  FlightRecorder recorder(options, &registry);
+  for (int i = 0; i < 10; ++i) {
+    RecordWindow(&recorder, /*position=*/i, /*rank=*/1, /*abnormal=*/false);
+  }
+  EXPECT_EQ(recorder.RecordsTotal(), 10u);
+  const std::vector<WindowTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 4u);  // the ring holds the last lane_capacity
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].seq, 7u + i);  // seq-ascending, newest 4 of 10
+  }
+}
+
+TEST(FlightRecorderTest, AbandonDropsOpenTrace) {
+  MetricsRegistry registry;
+  FlightRecorder recorder({}, &registry);
+  recorder.Begin(0, 0);
+  recorder.Abandon();
+  recorder.End(1, 0.0f, 0.0f, false);  // no open trace: must be a no-op
+  EXPECT_EQ(recorder.RecordsTotal(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+// ---------- Tail sampling ----------
+
+TEST(FlightRecorderTest, PromotesAbnormalAndSlowTail) {
+  MetricsRegistry registry;
+  FlightOptions options;
+  options.lane_capacity = 64;
+  options.retained_capacity = 8;
+  options.slow_quantile = 0.9;
+  options.slow_warmup = 16;
+  FlightRecorder recorder(options, &registry);
+  // Normal fast windows first, so the P² sketch warms up on ~0ms totals.
+  // Once warmed, jittery steady-state windows above their own p90 may be
+  // promoted too — that's the sampling policy, not noise to assert away.
+  for (int i = 0; i < 32; ++i) {
+    RecordWindow(&recorder, i, /*rank=*/1, /*abnormal=*/false);
+  }
+  const uint64_t steady_promoted = recorder.PromotedTotal();
+  // An abnormal window is promoted regardless of latency.
+  RecordWindow(&recorder, 100, /*rank=*/40, /*abnormal=*/true);
+  // A window far above the warmed-up latency quantile is promoted as slow.
+  RecordWindow(&recorder, 101, /*rank=*/1, /*abnormal=*/false,
+               /*slow_ms=*/25.0);
+  EXPECT_EQ(recorder.PromotedTotal(), steady_promoted + 2);
+  EXPECT_GT(recorder.SlowThresholdMs(), 0.0);
+  const std::vector<WindowTrace> retained = recorder.Retained();
+  ASSERT_GE(retained.size(), 2u);
+  const WindowTrace& abnormal = retained[retained.size() - 2];
+  const WindowTrace& slow = retained[retained.size() - 1];
+  EXPECT_EQ(abnormal.position, 100);
+  EXPECT_EQ(abnormal.flags & kFlightAbnormal, kFlightAbnormal);
+  EXPECT_EQ(slow.position, 101);
+  EXPECT_EQ(slow.flags & kFlightSlow, kFlightSlow);
+  EXPECT_GE(slow.total_ms, 20.0f);
+}
+
+TEST(FlightRecorderTest, PromotedWindowExportsExemplar) {
+  MetricsRegistry registry;
+  FlightRecorder recorder({}, &registry);
+  {
+    FlightSessionScope scope(std::string("s9"));
+    RecordWindow(&recorder, 3, /*rank=*/50, /*abnormal=*/true);
+  }
+  Exemplar ex;
+  bool found = false;
+  const Histogram* total = registry.GetHistogram("detector/window_total_ms");
+  for (size_t i = 0; i <= total->bounds().size() && !found; ++i) {
+    found = total->LatestExemplar(i, &ex);
+  }
+  ASSERT_TRUE(found);
+  EXPECT_GT(ex.unix_ms, 0);
+  ASSERT_EQ(ex.labels.size(), 3u);  // seq, session, position (sorted)
+  // The exposition carries the exemplar on the matching bucket line.
+  const std::string text = PromText(registry);
+  EXPECT_NE(text.find("_bucket"), std::string::npos);
+  EXPECT_NE(text.find(" # {"), std::string::npos);
+  EXPECT_NE(text.find("seq=\"1\""), std::string::npos);
+}
+
+// ---------- Enable toggle ----------
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  MetricsRegistry registry;
+  FlightRecorder recorder({}, &registry);
+  SetFlightRecorderEnabled(false);
+  RecordWindow(&recorder, 0, 1, true);
+  SetFlightRecorderEnabled(true);
+  EXPECT_EQ(recorder.RecordsTotal(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_TRUE(recorder.Retained().empty());
+  RecordWindow(&recorder, 1, 1, false);
+  EXPECT_EQ(recorder.RecordsTotal(), 1u);
+}
+
+// ---------- Binary dump ----------
+
+TEST(FlightDumpTest, DumpFileRoundTrip) {
+  MetricsRegistry registry;
+  FlightOptions options;
+  options.lane_capacity = 8;
+  FlightRecorder recorder(options, &registry);
+  {
+    FlightSessionScope scope(std::string("dump-session"));
+    for (int i = 0; i < 5; ++i) {
+      RecordWindow(&recorder, i, /*rank=*/i + 1, /*abnormal=*/i == 4);
+    }
+  }
+  const std::string path = TempPath("flight_roundtrip.flight");
+  ASSERT_TRUE(recorder.WriteDumpFile(path).ok());
+  auto dump = ReadFlightDumpFile(path);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump->version, 1u);
+  EXPECT_EQ(dump->signal, 0u);
+  EXPECT_EQ(dump->stage_count, static_cast<uint32_t>(kFlightStageCount));
+  EXPECT_EQ(dump->records_total, 5u);
+  EXPECT_EQ(dump->promoted_total, 1u);
+  ASSERT_EQ(dump->records.size(), 5u);
+  ASSERT_EQ(dump->retained.size(), 1u);
+  EXPECT_EQ(dump->retained[0].position, 4);
+  EXPECT_EQ(dump->retained[0].flags & kFlightAbnormal, kFlightAbnormal);
+  for (size_t i = 0; i < dump->records.size(); ++i) {
+    const WindowTrace& t = dump->records[i];
+    EXPECT_EQ(t.seq, i + 1);
+    EXPECT_EQ(t.session_hash, Fnv1aHash64("dump-session"));
+    EXPECT_EQ(t.rank, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(FlightDumpTest, RejectsForeignFile) {
+  const std::string path = TempPath("flight_bogus.flight");
+  std::ofstream(path) << "this is not a flight dump at all";
+  auto dump = ReadFlightDumpFile(path);
+  EXPECT_FALSE(dump.ok());
+}
+
+// ---------- Crash forensics ----------
+
+TEST(FlightCrashTest, SigsegvProducesParseableDump) {
+  const std::string dir = TempPath("flight_crash_dir");
+  std::filesystem::remove_all(dir);
+  // Populate the default recorder (what the handler dumps) in the parent;
+  // the child inherits rings and handler through fork.
+  FlightRecorder::Default().Reset();
+  {
+    FlightSessionScope scope(std::string("crash-session"));
+    for (int i = 0; i < 4; ++i) {
+      FlightBegin(i);
+      FlightStageBoundary(FlightStage::kScore);
+      FlightEnd(/*rank=*/2, /*score=*/0.5f, /*margin=*/0.1f,
+                /*abnormal=*/false);
+    }
+  }
+  ASSERT_TRUE(InstallFlightCrashHandler(dir, "{\"run_id\":\"crash-test\"}")
+                  .ok());
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: die the way an instrumented production binary would.
+    ::raise(SIGSEGV);
+    ::_exit(0);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  UninstallFlightCrashHandler();
+  // The handler re-raises after dumping, so the exit reason is unchanged.
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string stem = dir + "/crash-" + std::to_string(pid);
+  auto dump = ReadFlightDumpFile(stem + ".flight");
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump->signal, static_cast<uint32_t>(SIGSEGV));
+  ASSERT_EQ(dump->records.size(), 4u);
+  for (size_t i = 0; i < dump->records.size(); ++i) {
+    EXPECT_EQ(dump->records[i].seq, i + 1);
+    EXPECT_EQ(dump->records[i].session_hash, Fnv1aHash64("crash-session"));
+  }
+  std::ifstream manifest(stem + ".manifest.json");
+  ASSERT_TRUE(manifest.good());
+  std::string manifest_text((std::istreambuf_iterator<char>(manifest)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(manifest_text, "{\"run_id\":\"crash-test\"}");
+  // The metrics snapshot is pre-rendered at install time, so it exists
+  // even though the child recorded nothing after the fork.
+  EXPECT_TRUE(std::ifstream(stem + ".metrics.jsonl").good());
+}
+
+// ---------- End-to-end stage attribution through the detector ----------
+
+TEST(FlightAttributionTest, StageP50sSumToScoreLatencyP50) {
+  // Acceptance gate: per-stage p50s must add up to the detector's
+  // score-latency p50 within 15% — otherwise the attribution is lying
+  // about where the time goes.
+  util::SetNumThreads(1);
+  transdas::TransDasConfig config;
+  config.vocab_size = 128;
+  config.window = 16;
+  config.hidden_dim = 32;
+  config.num_heads = 2;
+  config.num_blocks = 3;
+  config.dropout = 0.0f;
+  util::Rng rng(7);
+  transdas::TransDasModel model(config, &rng);
+  transdas::DetectorOptions options;
+  options.batched = false;  // streaming path: one window per operation
+  transdas::TransDasDetector detector(&model, options);
+
+  FlightRecorder::Default().Reset();
+  const auto run_sessions = [&](int count, int base) {
+    for (int s = 0; s < count; ++s) {
+      // Length-2 sessions: exactly one scored window per session, so the
+      // per-session score latency and the per-window total coincide.
+      const std::vector<int> keys = {1 + (s + base) % 100,
+                                     1 + (s + base + 13) % 100};
+      detector.DetectSession(keys);
+    }
+  };
+  // Warm up caches and the lane allocation outside the measured windows.
+  SetMetricsEnabled(false);
+  run_sessions(50, 0);
+  FlightRecorder::Default().Reset();
+  SetMetricsEnabled(true);
+  run_sessions(400, 50);
+
+  MetricsRegistry& reg = DefaultMetrics();
+  const double score_p50 =
+      reg.GetHistogram("detector/score_latency_ms")->Percentile(0.5);
+  ASSERT_GT(score_p50, 0.0);
+  double stage_p50_sum = 0.0;
+  for (int s = 0; s < kFlightStageCount; ++s) {
+    const std::string name =
+        std::string("detector/stage/") + FlightStageName(s) + "_ms";
+    const Histogram* h = reg.GetHistogram(name);
+    // >= because DefaultMetrics is process-wide: other tests in this
+    // binary may have recorded windows when run without a gtest filter.
+    EXPECT_GE(h->Count(), 400u) << name;
+    stage_p50_sum += h->Percentile(0.5);
+  }
+  EXPECT_NEAR(stage_p50_sum, score_p50, 0.15 * score_p50)
+      << "stage p50 sum " << stage_p50_sum << " vs score latency p50 "
+      << score_p50;
+  // Every recorded trace individually attributes all of its wall time.
+  const std::vector<WindowTrace> traces = FlightRecorder::Default().Snapshot();
+  ASSERT_FALSE(traces.empty());
+  for (const WindowTrace& t : traces) {
+    float sum = 0.0f;
+    for (int s = 0; s < kFlightStageCount; ++s) sum += t.stage_ms[s];
+    EXPECT_NEAR(sum, t.total_ms, 1e-2f + 1e-3f * t.total_ms);
+    // The dominant cost of a scored window must be attributed to real
+    // model stages, not the bookkeeping residual.
+    EXPECT_LT(t.stage_ms[static_cast<int>(FlightStage::kVerdict)],
+              0.5f * t.total_ms + 0.05f);
+  }
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -3,10 +3,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -41,6 +44,51 @@ TEST(PromLabelValueTest, EscapesBackslashQuoteNewline) {
   EXPECT_EQ(PromLabelValue("a\\b"), "a\\\\b");
   EXPECT_EQ(PromLabelValue("say \"hi\""), "say \\\"hi\\\"");
   EXPECT_EQ(PromLabelValue("two\nlines"), "two\\nlines");
+}
+
+/// Inverse of PromLabelValue's escaping (what a scraper does when parsing
+/// a label value back out of the exposition).
+std::string PromUnescape(const std::string& escaped) {
+  std::string out;
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      const char next = escaped[++i];
+      out += next == 'n' ? '\n' : next;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+TEST(PromLabelValueTest, EscapingRoundTrips) {
+  const std::vector<std::string> values = {
+      "plain",
+      "back\\slash",
+      "trailing backslash\\",
+      "\\\\double",
+      "quote\"inside\"",
+      "line\none\ntwo",
+      "mix\\\"of\nall\\n three",
+      "utf-8 bytes: caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e",
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& v : values) {
+    const std::string escaped = PromLabelValue(v);
+    // The escaped form must not contain a raw quote or newline (either
+    // would corrupt the sample line)...
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << v;
+    for (size_t i = 0; i < escaped.size(); ++i) {
+      if (escaped[i] == '"') {
+        ASSERT_GT(i, 0u) << v;
+        size_t backslashes = 0;
+        for (size_t j = i; j-- > 0 && escaped[j] == '\\';) ++backslashes;
+        EXPECT_EQ(backslashes % 2, 1u) << "unescaped quote in: " << escaped;
+      }
+    }
+    // ...and unescaping must reproduce the original byte-for-byte.
+    EXPECT_EQ(PromUnescape(escaped), v);
+  }
 }
 
 // ---------- Text exposition ----------
@@ -139,6 +187,31 @@ TEST(PromTextTest, EveryLineIsTypeCommentOrSample) {
   EXPECT_GE(samples, 6);  // counter + gauge + 2 buckets + inf + sum + count
 }
 
+TEST(PromTextTest, DeterministicUnderLabelInsertionOrder) {
+  // Two registries populated with the same series but with label maps
+  // built in opposite orders must render byte-identical expositions —
+  // snapshot diffs and scrape checksums depend on it.
+  MetricsRegistry forward;
+  forward.GetCounter("eval/runs_total", {{"method", "USAD"}, {"arm", "a"}})
+      ->Increment(3);
+  forward.GetGauge("obs/build_info", {{"git_sha", "abc"}, {"build_type", "R"}})
+      ->Set(1.0);
+  MetricsRegistry reverse;
+  reverse.GetGauge("obs/build_info", {{"build_type", "R"}, {"git_sha", "abc"}})
+      ->Set(1.0);
+  reverse.GetCounter("eval/runs_total", {{"arm", "a"}, {"method", "USAD"}})
+      ->Increment(3);
+  const std::string a = PromText(forward);
+  const std::string b = PromText(reverse);
+  EXPECT_EQ(a, b);
+  // Label keys themselves render sorted.
+  EXPECT_NE(a.find("eval_runs_total{arm=\"a\",method=\"USAD\"} 3\n"),
+            std::string::npos)
+      << a;
+  EXPECT_NE(a.find("obs_build_info{build_type=\"R\",git_sha=\"abc\"} 1\n"),
+            std::string::npos);
+}
+
 // ---------- HTTP endpoint ----------
 
 /// One blocking HTTP/1.0 round-trip against 127.0.0.1:`port`.
@@ -227,6 +300,72 @@ TEST(MetricsHttpServerTest, StartTwiceFails) {
   MetricsHttpServer server(&registry);
   ASSERT_TRUE(server.Start(0).ok());
   EXPECT_FALSE(server.Start(0).ok());
+}
+
+TEST(MetricsHttpServerTest, PublishesBuildInfoAndUptime) {
+  MetricsRegistry registry;
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string metrics =
+      HttpGet(server.port(), "GET /metrics HTTP/1.0");
+  // Every scrape self-identifies the binary: a constant-1 info gauge
+  // labeled with the build's provenance, plus a per-scrape uptime gauge.
+  EXPECT_NE(metrics.find("obs_build_info{build_type=\""), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(metrics.find("} 1\n"), std::string::npos);
+  // Uptime advances between scrapes. Anchor at the sample line (the
+  // "# TYPE proc_uptime_seconds gauge" comment also matches a bare find).
+  const auto uptime_sample = [](const std::string& text) {
+    const size_t at = text.find("\nproc_uptime_seconds ");
+    EXPECT_NE(at, std::string::npos) << text;
+    return std::strtod(text.c_str() + at + 21, nullptr);
+  };
+  const double first = uptime_sample(metrics);
+  EXPECT_GT(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double second =
+      uptime_sample(HttpGet(server.port(), "GET /metrics HTTP/1.0"));
+  EXPECT_GT(second, first);
+}
+
+TEST(MetricsHttpServerTest, SurvivesClientClosingMidResponse) {
+  MetricsRegistry registry;
+  // A deliberately huge exposition, so the response cannot fit in the
+  // socket buffers and SendAll must keep writing after the peer is gone.
+  for (int i = 0; i < 20000; ++i) {
+    registry.GetCounter("stress/series_total",
+                        {{"i", std::to_string(i)}})
+        ->Increment();
+  }
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Client 1: request /metrics, then slam the connection shut with an RST
+  // (SO_LINGER, zero timeout) without reading the body.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  const linger hard_close{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+  ::close(fd);  // RST: the server's next send() fails instead of blocking
+
+  // Client 2: the server must shrug off the dead peer and keep serving.
+  // (Regression: a SendAll that retried on send()<=0 would spin forever
+  // in the accept thread and this request would hang.)
+  const std::string health = HttpGet(server.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(health.find("200"), std::string::npos) << health;
+  const std::string metrics =
+      HttpGet(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("stress_series_total"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Offline rendering of a flight-recorder dump (binary file produced by
+// `ucad_cli --flight-out` or the `--flight-dump-dir` crash handler):
+//
+//   flight_inspect <dump.flight> [--slowest N] [--audit audit.jsonl]
+//
+// Prints the dump header (records captured vs. recorded, promoted/dropped
+// counts, the signal for crash dumps, the live slow-window threshold), a
+// per-stage latency attribution table (exact p50/p90/p99/max over the
+// captured windows plus each stage's share of total wall time), the N
+// slowest windows with their full stage breakdown, and the retained
+// (tail-sampled) windows. With --audit, retained windows are cross-
+// referenced against the audit JSONL: the trace's session hash is matched
+// to FNV-1a of each audit record's session_id, recovering the readable
+// session id and SQL template behind an exemplar.
+//
+// Exit codes: 0 ok, 1 usage/IO/parse error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/audit_log.h"
+#include "obs/flight.h"
+#include "obs/manifest.h"
+#include "util/table_printer.h"
+
+using namespace ucad;  // NOLINT
+
+namespace {
+
+double ExactQuantile(std::vector<float> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<size_t>(
+      std::lround(q * static_cast<double>(values.size() - 1)));
+  return values[idx];
+}
+
+std::string Fixed(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string SessionHex(uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "s%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string FlagNames(uint32_t flags) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (flags & obs::kFlightAbnormal) add("abnormal");
+  if (flags & obs::kFlightDrift) add("drift");
+  if (flags & obs::kFlightSlow) add("slow");
+  return out.empty() ? "-" : out;
+}
+
+/// Index over an audit log for exemplar cross-references: trace records
+/// carry only the FNV-1a hash of the session id, so the join key is
+/// (hash(session_id), position).
+struct AuditIndex {
+  std::map<std::pair<uint64_t, int>, const obs::AuditRecord*> by_key;
+  std::map<uint64_t, std::string> session_names;
+
+  void Build(const std::vector<obs::AuditRecord>& records) {
+    for (const obs::AuditRecord& r : records) {
+      const uint64_t h = obs::Fnv1aHash64(r.session_id);
+      session_names.emplace(h, r.session_id);
+      by_key[{h, r.position}] = &r;
+    }
+  }
+};
+
+void PrintWindow(const obs::WindowTrace& t, const AuditIndex* audit) {
+  std::printf("  seq=%llu session=%s position=%d rank=%d score=%.4f "
+              "margin=%.4f queue=%d flags=%s\n",
+              static_cast<unsigned long long>(t.seq),
+              SessionHex(t.session_hash).c_str(), t.position, t.rank,
+              static_cast<double>(t.score), static_cast<double>(t.margin),
+              t.queue_depth, FlagNames(t.flags).c_str());
+  std::printf("    total %.3f ms =", static_cast<double>(t.total_ms));
+  for (int s = 0; s < obs::kFlightStageCount; ++s) {
+    std::printf(" %s %.3f", obs::FlightStageName(s),
+                static_cast<double>(t.stage_ms[s]));
+  }
+  std::printf("\n");
+  if (audit == nullptr) return;
+  const auto it = audit->by_key.find({t.session_hash, t.position});
+  if (it == audit->by_key.end()) {
+    const auto name = audit->session_names.find(t.session_hash);
+    if (name != audit->session_names.end()) {
+      std::printf("    audit: session \"%s\", no record at position %d\n",
+                  name->second.c_str(), t.position);
+    }
+    return;
+  }
+  const obs::AuditRecord& r = *it->second;
+  std::printf("    audit: session \"%s\" key=%d rank=%d%s%s\n",
+              r.session_id.c_str(), r.key, r.rank,
+              r.abnormal ? " ABNORMAL" : "",
+              r.observed.empty() ? "" : (" " + r.observed).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string audit_path;
+  int slowest_n = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--slowest" && i + 1 < argc) {
+      slowest_n = std::atoi(argv[++i]);
+    } else if (arg == "--audit" && i + 1 < argc) {
+      audit_path = argv[++i];
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (path.empty() || slowest_n < 0) {
+    std::fprintf(stderr,
+                 "usage: flight_inspect <dump.flight> [--slowest N] "
+                 "[--audit audit.jsonl]\n");
+    return 1;
+  }
+
+  auto dump_result = obs::ReadFlightDumpFile(path);
+  if (!dump_result.ok()) {
+    std::fprintf(stderr, "%s\n", dump_result.status().ToString().c_str());
+    return 1;
+  }
+  const obs::FlightDump& dump = dump_result.value();
+
+  // The index holds pointers into this vector, so it must outlive `audit`.
+  std::vector<obs::AuditRecord> audit_records;
+  AuditIndex audit;
+  const AuditIndex* audit_ptr = nullptr;
+  if (!audit_path.empty()) {
+    auto records = obs::ReadAuditLogFile(audit_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+      return 1;
+    }
+    audit_records = std::move(records).value();
+    audit.Build(audit_records);
+    audit_ptr = &audit;
+  }
+
+  std::printf("flight dump %s\n", path.c_str());
+  std::printf("  windows recorded %llu, captured in rings %zu, retained %zu\n",
+              static_cast<unsigned long long>(dump.records_total),
+              dump.records.size(), dump.retained.size());
+  std::printf("  promoted %llu, dropped %llu, slow threshold %.3f ms\n",
+              static_cast<unsigned long long>(dump.promoted_total),
+              static_cast<unsigned long long>(dump.dropped_total),
+              dump.slow_threshold_ms);
+  if (dump.signal != 0) {
+    std::printf("  CRASH DUMP: fatal signal %u\n", dump.signal);
+  }
+  if (dump.records.empty() && dump.retained.empty()) {
+    std::printf("  (no committed window traces)\n");
+    return 0;
+  }
+
+  // Stage attribution over every captured trace (ring + retained traces
+  // that are not also in the ring — dedup by seq).
+  std::vector<const obs::WindowTrace*> all;
+  all.reserve(dump.records.size() + dump.retained.size());
+  {
+    std::map<uint64_t, const obs::WindowTrace*> by_seq;
+    for (const obs::WindowTrace& t : dump.records) by_seq.emplace(t.seq, &t);
+    for (const obs::WindowTrace& t : dump.retained) by_seq.emplace(t.seq, &t);
+    for (const auto& [seq, t] : by_seq) all.push_back(t);
+  }
+
+  double grand_total = 0.0;
+  for (const obs::WindowTrace* t : all) grand_total += t->total_ms;
+  util::TablePrinter table(
+      {"stage", "p50_ms", "p90_ms", "p99_ms", "max_ms", "share"});
+  for (int s = 0; s < obs::kFlightStageCount; ++s) {
+    std::vector<float> ms;
+    ms.reserve(all.size());
+    double sum = 0.0;
+    for (const obs::WindowTrace* t : all) {
+      ms.push_back(t->stage_ms[s]);
+      sum += t->stage_ms[s];
+    }
+    const double share = grand_total > 0.0 ? 100.0 * sum / grand_total : 0.0;
+    table.AddRow({obs::FlightStageName(s), Fixed(ExactQuantile(ms, 0.5), 3),
+                  Fixed(ExactQuantile(ms, 0.9), 3),
+                  Fixed(ExactQuantile(ms, 0.99), 3),
+                  Fixed(ExactQuantile(ms, 1.0), 3),
+                  Fixed(share, 1) + "%"});
+  }
+  {
+    std::vector<float> ms;
+    ms.reserve(all.size());
+    for (const obs::WindowTrace* t : all) ms.push_back(t->total_ms);
+    table.AddRow({"total", Fixed(ExactQuantile(ms, 0.5), 3),
+                  Fixed(ExactQuantile(ms, 0.9), 3),
+                  Fixed(ExactQuantile(ms, 0.99), 3),
+                  Fixed(ExactQuantile(ms, 1.0), 3), "100.0%"});
+  }
+  std::printf("\nper-stage latency attribution (%zu windows)\n", all.size());
+  table.Print(std::cout);
+
+  if (slowest_n > 0) {
+    std::vector<const obs::WindowTrace*> slowest = all;
+    std::sort(slowest.begin(), slowest.end(),
+              [](const obs::WindowTrace* a, const obs::WindowTrace* b) {
+                return a->total_ms > b->total_ms;
+              });
+    if (static_cast<size_t>(slowest_n) < slowest.size()) {
+      slowest.resize(static_cast<size_t>(slowest_n));
+    }
+    std::printf("\nslowest %zu windows\n", slowest.size());
+    for (const obs::WindowTrace* t : slowest) PrintWindow(*t, audit_ptr);
+  }
+
+  if (!dump.retained.empty()) {
+    std::printf("\nretained (tail-sampled) windows: %zu\n",
+                dump.retained.size());
+    for (const obs::WindowTrace& t : dump.retained) PrintWindow(t, audit_ptr);
+  }
+  return 0;
+}
