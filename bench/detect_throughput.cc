@@ -4,6 +4,12 @@
 // sessions. Reports windows/sec per engine and the fused/tape speedup, and
 // — when UCAD_BENCH_ASSERT_SPEEDUP is set — exits non-zero if the fused
 // engine falls below that multiple, which is how CI enforces the win.
+// UCAD_BENCH_EXPLAIN=1 additionally runs verdict attribution (attention
+// capture + leave-one-out counterfactuals) for every abnormal verdict,
+// interleaved with scoring exactly as `ucad_cli --explain` does. The
+// attribution work is timed separately and reported, while the verdict
+// slices exclude it — so the same speedup gate proves explanation stays
+// off the verdict hot path even while attribution shares the context pool.
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,11 +50,20 @@ int64_t SessionWindows(size_t session_len, int L) {
 /// lets a load spike land on one engine only and skew the ratio. Each
 /// engine's pass time is the sum of its per-session slices; the reported
 /// figure is the best pass, matching bench_compare's min-of-N convention.
+///
+/// With `explain`, every abnormal verdict is additionally attributed
+/// (attention capture + top-3 leave-one-out counterfactuals) between the
+/// timed slices — the production interleaving of `--explain`, which leases
+/// contexts from the same pool the fused engine scores through. The
+/// attribution time is accumulated into `attrib_ms` and reported, but the
+/// verdict slices exclude it: the speedup gate then proves explanation
+/// stays off the verdict hot path (no pool contention, workspace churn, or
+/// capture-hook overhead leaking into scoring).
 std::pair<EngineResult, EngineResult> RunEngines(
     const transdas::TransDasDetector& tape_engine,
     const transdas::TransDasDetector& fused_engine,
     const std::vector<std::vector<int>>& sessions, int64_t total_windows,
-    int passes) {
+    int passes, bool explain, double* attrib_ms, int64_t* attrib_ops) {
   // One untimed pass per engine warms caches (and, for the fused engine,
   // sizes the context workspaces so the timed passes run at steady state).
   for (const std::vector<int>& keys : sessions) {
@@ -68,9 +83,18 @@ std::pair<EngineResult, EngineResult> RunEngines(
       util::Timer timer;
       tape_engine.DetectSession(keys);
       const double mid = timer.ElapsedMillis();
-      fused_engine.DetectSession(keys);
+      const transdas::SessionVerdict verdict =
+          fused_engine.DetectSession(keys);
+      const double end = timer.ElapsedMillis();
       tape_ms += mid;
-      fused_ms += timer.ElapsedMillis() - mid;
+      fused_ms += end - mid;
+      if (explain) {
+        for (int pos : verdict.AbnormalPositions()) {
+          fused_engine.AttributeOperation(keys, pos, 3);
+          ++*attrib_ops;
+        }
+        *attrib_ms += timer.ElapsedMillis() - end;
+      }
     }
     tape_hist->Observe(tape_ms);
     fused_hist->Observe(fused_ms);
@@ -128,9 +152,19 @@ int main() {
   const transdas::TransDasDetector tape_engine(&model, tape_opts);
   const transdas::TransDasDetector fused_engine(&model, fused_opts);
 
+  const char* explain_env = std::getenv("UCAD_BENCH_EXPLAIN");
+  const bool explain = explain_env != nullptr && *explain_env != '\0' &&
+                       std::string(explain_env) != "0";
+  if (explain) {
+    std::printf("explain mode: abnormal verdicts attributed between timed "
+                "slices\n");
+  }
   const int passes = scale == eval::Scale::kSmoke ? 5 : 8;
+  double attrib_ms = 0.0;
+  int64_t attrib_ops = 0;
   const auto [tape, fused] =
-      RunEngines(tape_engine, fused_engine, sessions, total_windows, passes);
+      RunEngines(tape_engine, fused_engine, sessions, total_windows, passes,
+                 explain, &attrib_ms, &attrib_ops);
   const double speedup = tape.best_pass_ms / fused.best_pass_ms;
   obs::DefaultMetrics()
       .GetGauge("bench/detect/speedup_fused_over_tape")
@@ -143,6 +177,15 @@ int main() {
   }
   table.Print(std::cout);
   std::printf("fused speedup over tape: %.2fx\n", speedup);
+  if (explain && attrib_ops > 0) {
+    obs::DefaultMetrics()
+        .GetGauge("bench/detect/attrib_ms_per_verdict")
+        ->Set(attrib_ms / static_cast<double>(attrib_ops));
+    std::printf("attribution: %lld abnormal verdicts across %d passes, "
+                "%.3f ms each (off the timed verdict slices)\n",
+                static_cast<long long>(attrib_ops), passes,
+                attrib_ms / static_cast<double>(attrib_ops));
+  }
 
   const char* assert_env = std::getenv("UCAD_BENCH_ASSERT_SPEEDUP");
   if (assert_env != nullptr && *assert_env != '\0') {

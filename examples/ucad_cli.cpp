@@ -17,6 +17,12 @@
 //                          resource usage, and the final metrics snapshot
 //   --audit-out <file>     per-verdict forensic audit log (JSONL); inspect
 //                          with tools/audit_inspect
+//   --audit-max-mb <mb>    roll the audit log over to <file>.1 past this size
+//   --explain              attribute abnormal verdicts to their context and
+//                          fold them into incidents; triage with
+//                          tools/incident_report
+//   --incident-top <n>     incidents shown/exported in the rollup (default 5)
+//   --incident-open-sec <s> incidents idle this long count as resolved
 //   --serve-metrics <port> serve Prometheus /metrics + /healthz on
 //                          127.0.0.1:<port> for the lifetime of the run
 //                          (also enables the streaming drift monitor)
@@ -52,7 +58,9 @@
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "obs/audit_log.h"
+#include "obs/explain.h"
 #include "obs/flight.h"
+#include "obs/incident.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
@@ -156,6 +164,26 @@ int Train(const std::string& log_path, const std::string& model_path,
 /// Path of the per-verdict audit log requested via --audit-out (empty =
 /// off). Consumed by the detect/monitor commands.
 std::string g_audit_out;
+/// --audit-max-mb: size cap (MiB) before the audit log rolls over to
+/// <path>.1; 0 = unbounded.
+int g_audit_max_mb = 0;
+/// --explain: attribute each abnormal verdict to its context (attention
+/// mass + leave-one-out counterfactuals) and fold verdicts into incidents.
+/// Off by default — attribution costs extra row forwards per abnormal op.
+bool g_explain = false;
+/// --incident-top: incidents shown in the end-of-run table and exported as
+/// labeled per-incident gauges.
+int g_incident_top = 5;
+/// --incident-open-sec: incidents idle longer than this count as resolved.
+int g_incident_open_sec = 15 * 60;
+/// Active incident aggregator while a detect/monitor run has --explain on.
+obs::IncidentAggregator* g_incident_agg = nullptr;
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string ConfigText(const transdas::TransDasConfig& config) {
   return "vocab=" + std::to_string(config.vocab_size) +
@@ -181,7 +209,10 @@ std::string ConfigHashHex(const std::string& config_text) {
 std::unique_ptr<obs::AuditLog> OpenAuditLog(const std::string& path,
                                             const std::string& model_hash) {
   auto audit = obs::AuditLog::Open(
-      path, obs::AuditLogOptions{.model_hash = model_hash});
+      path,
+      obs::AuditLogOptions{
+          .model_hash = model_hash,
+          .max_bytes = static_cast<uint64_t>(g_audit_max_mb) * 1024 * 1024});
   if (!audit.ok()) {
     std::fprintf(stderr, "%s\n", audit.status().ToString().c_str());
     return nullptr;
@@ -196,9 +227,17 @@ std::string SessionId(size_t index) {
   return buf;
 }
 
-/// Appends one forensic record per scored operation of `verdict`.
-/// Expected-candidate explanations (one extra forward pass each) are
-/// computed only for abnormal verdicts.
+/// Template label for `key`, falling back to "key:<n>" outside the vocab.
+std::string TemplateLabel(const sql::Vocabulary& vocab, int key) {
+  return key > 0 && key < vocab.size() ? vocab.TemplateOf(key)
+                                       : "key:" + std::to_string(key);
+}
+
+/// Appends one forensic record per scored operation of `verdict` (when
+/// `audit` is non-null) and, with --explain, attributes abnormal verdicts
+/// to their context and folds them into the incident aggregator.
+/// Expected-candidate explanations and attribution (one extra row forward
+/// each) are computed only for abnormal verdicts.
 void AuditSession(obs::AuditLog* audit,
                   const transdas::TransDasDetector& detector,
                   const sql::Vocabulary& vocab,
@@ -224,9 +263,45 @@ void AuditSession(obs::AuditLog* audit,
            detector.ExplainOperation(keys, op.position, 3)) {
         record.expected.push_back(obs::AuditCandidate{cand.key, cand.score});
       }
+      if (g_explain) {
+        const transdas::TransDasDetector::VerdictAttribution attribution =
+            detector.AttributeOperation(keys, op.position, 3);
+        std::vector<std::string> context_templates;
+        for (const auto& entry : attribution.contributions) {
+          obs::ExplainContribution c;
+          c.position = entry.session_position;
+          c.key = entry.key;
+          c.tmpl = TemplateLabel(vocab, entry.key);
+          c.attention = entry.attention;
+          c.cf_rank = entry.counterfactual.rank;
+          c.cf_score = entry.counterfactual.score;
+          context_templates.push_back(c.tmpl);
+          record.explain.contributions.push_back(std::move(c));
+        }
+        record.explain.signature = obs::IncidentSignature(
+            record.observed, std::move(context_templates));
+        record.has_explain = true;
+      }
     }
-    audit->Append(std::move(record));
+    if (record.wall_ms == 0) record.wall_ms = NowUnixMs();
+    if (g_incident_agg != nullptr) g_incident_agg->Observe(record);
+    if (audit != nullptr) audit->Append(std::move(record));
   }
+}
+
+/// End-of-run incident rollup: publishes the detector/incidents_* gauges
+/// and prints the triage table (shared with tools/incident_report).
+void ReportIncidents(const obs::IncidentAggregator& incidents) {
+  const int64_t now_ms = NowUnixMs();
+  incidents.PublishMetrics(&obs::DefaultMetrics(), now_ms);
+  std::printf("incidents: %llu open / %llu total (%llu abnormal verdicts "
+              "attributed)\n",
+              static_cast<unsigned long long>(incidents.OpenIncidents(now_ms)),
+              static_cast<unsigned long long>(incidents.IncidentsTotal()),
+              static_cast<unsigned long long>(incidents.VerdictsTotal()));
+  const std::string table =
+      obs::FormatIncidentTable(incidents.Snapshot(), g_incident_top);
+  if (!table.empty()) std::printf("%s", table.c_str());
 }
 
 int Detect(const std::string& model_path, const std::string& log_path,
@@ -251,6 +326,10 @@ int Detect(const std::string& model_path, const std::string& log_path,
     audit = OpenAuditLog(g_audit_out, ConfigHashHex(config_text));
     if (audit == nullptr) return 1;
   }
+  obs::IncidentAggregator incidents(obs::IncidentOptions{
+      .open_window_ms = static_cast<int64_t>(g_incident_open_sec) * 1000,
+      .top_n = g_incident_top});
+  g_incident_agg = g_explain ? &incidents : nullptr;
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
     // Flight traces recorded during this session carry its audit id.
@@ -259,7 +338,7 @@ int Detect(const std::string& model_path, const std::string& log_path,
         sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
     const transdas::SessionVerdict verdict =
         detector.DetectSession(keys.keys);
-    if (audit != nullptr) {
+    if (audit != nullptr || g_explain) {
       AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
                    keys.keys, verdict, SessionId(i));
     }
@@ -282,6 +361,8 @@ int Detect(const std::string& model_path, const std::string& log_path,
     }
   }
   std::printf("%d/%zu sessions flagged\n", flagged, log->size());
+  if (g_explain) ReportIncidents(incidents);
+  g_incident_agg = nullptr;
   if (audit != nullptr) {
     audit->Close();
     std::printf("audit log: %llu records (%llu dropped) written to %s\n",
@@ -324,6 +405,10 @@ int Monitor(const std::string& model_path, const std::string& log_path,
               "%.2f)\n",
               log->size(), monitor.options().window,
               monitor.options().psi_alert);
+  obs::IncidentAggregator incidents(obs::IncidentOptions{
+      .open_window_ms = static_cast<int64_t>(g_incident_open_sec) * 1000,
+      .top_n = g_incident_top});
+  g_incident_agg = g_explain ? &incidents : nullptr;
   uint64_t last_windows = monitor.WindowsCompleted();
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
@@ -332,7 +417,7 @@ int Monitor(const std::string& model_path, const std::string& log_path,
         sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
     const transdas::SessionVerdict verdict =
         detector.DetectSession(keys.keys);
-    if (audit != nullptr) {
+    if (audit != nullptr || g_explain) {
       AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
                    keys.keys, verdict, SessionId(i));
     }
@@ -346,10 +431,17 @@ int Monitor(const std::string& model_path, const std::string& log_path,
     if (windows != last_windows) {
       last_windows = windows;
       std::printf("[drift] %s\n", monitor.StatusLine().c_str());
+      // Live rollup: a scraper watching /metrics sees incident gauges move
+      // at drift-window cadence, not only at process exit.
+      if (g_explain) {
+        incidents.PublishMetrics(&obs::DefaultMetrics(), NowUnixMs());
+      }
     }
   }
   std::printf("done: %d/%zu sessions flagged; %s\n", flagged, log->size(),
               monitor.StatusLine().c_str());
+  if (g_explain) ReportIncidents(incidents);
+  g_incident_agg = nullptr;
   if (audit != nullptr) {
     audit->Close();
     std::printf("audit log: %llu records (%llu dropped) written to %s\n",
@@ -398,6 +490,21 @@ void Usage() {
                "  --audit-out <file>    per-verdict audit log (JSONL; "
                "detect/monitor);\n"
                "                        inspect with tools/audit_inspect\n"
+               "  --audit-max-mb <mb>   roll the audit log over to "
+               "<file>.1 past this\n"
+               "                        size (0 = unbounded, the default)\n"
+               "  --explain             attribute abnormal verdicts to "
+               "their context\n"
+               "                        (attention mass + leave-one-out "
+               "counterfactuals)\n"
+               "                        and roll them up into incidents; "
+               "triage with\n"
+               "                        tools/incident_report\n"
+               "  --incident-top <n>    incidents shown/exported in the "
+               "rollup (default 5)\n"
+               "  --incident-open-sec <s>  incidents idle this long count "
+               "as resolved\n"
+               "                        (default 900)\n"
                "  --serve-metrics <p>   Prometheus /metrics + /healthz on "
                "127.0.0.1:<p>\n"
                "                        (0 = ephemeral port; enables the "
@@ -479,9 +586,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" || arg == "--trace-out" ||
         arg == "--manifest-out" || arg == "--audit-out" ||
-        arg == "--serve-metrics" || arg == "--linger" ||
-        arg == "--drift-window" || arg == "--threads" ||
-        arg == "--flight-dump-dir" || arg == "--flight-out") {
+        arg == "--audit-max-mb" || arg == "--serve-metrics" ||
+        arg == "--linger" || arg == "--drift-window" || arg == "--threads" ||
+        arg == "--flight-dump-dir" || arg == "--flight-out" ||
+        arg == "--incident-top" || arg == "--incident-open-sec") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
@@ -495,6 +603,12 @@ int main(int argc, char** argv) {
         manifest_out = value;
       } else if (arg == "--audit-out") {
         g_audit_out = value;
+      } else if (arg == "--audit-max-mb") {
+        g_audit_max_mb = std::atoi(value.c_str());
+      } else if (arg == "--incident-top") {
+        g_incident_top = std::atoi(value.c_str());
+      } else if (arg == "--incident-open-sec") {
+        g_incident_open_sec = std::atoi(value.c_str());
       } else if (arg == "--serve-metrics") {
         serve_port = std::atoi(value.c_str());
       } else if (arg == "--linger") {
@@ -510,6 +624,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--explain") {
+      g_explain = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;

@@ -134,6 +134,13 @@ void InferenceContext::NoteForward() {
   g_forwards_total.fetch_add(1, std::memory_order_relaxed);
 }
 
+void InferenceContext::RecordAttentionRow(size_t head, const float* row,
+                                          int cols) {
+  if (head == 0) captured_attention_.clear();
+  UCAD_DCHECK(head == captured_attention_.size());
+  captured_attention_.emplace_back(row, row + cols);
+}
+
 void GatherRowsKernel(const Tensor& table, const std::vector<int>& indices,
                       Tensor* out) {
   UCAD_DCHECK(out->rows() == static_cast<int>(indices.size()));

@@ -83,6 +83,31 @@ class InferenceContext {
   /// Called by the engine after each full forward (feeds nn/infer metrics).
   void NoteForward();
 
+  // ---- Verdict-attribution hook ---------------------------------------
+  //
+  // Off by default (one int compare per block on the forward path). When
+  // armed with an output row, ForwardInference copies that row of every
+  // final-block head's post-softmax attention matrix into this context —
+  // a pure read of values the kernels already stored, after they stored
+  // them, so arming the capture cannot perturb bitwise parity and costs
+  // no extra forward. The captured rows answer "which context positions
+  // did the verdict's intent prediction actually attend to".
+
+  /// Arms capture of final-block attention row `row` (>= the forward's
+  /// rows_from) for subsequent forwards on this context; -1 disarms.
+  void SetAttentionCaptureRow(int row) { attention_capture_row_ = row; }
+  int attention_capture_row() const { return attention_capture_row_; }
+
+  /// Called by the model inside the final block: stores `cols` attention
+  /// weights of head `head`. Head 0 resets the capture for the new forward.
+  void RecordAttentionRow(size_t head, const float* row, int cols);
+
+  /// Captured rows of the most recent forward, one [L] vector per head
+  /// (empty when capture was disarmed). Valid until the next forward.
+  const std::vector<std::vector<float>>& captured_attention() const {
+    return captured_attention_;
+  }
+
  private:
   struct CacheEntry {
     uint64_t version = 0;
@@ -91,6 +116,8 @@ class InferenceContext {
 
   Workspace workspace_;
   std::unordered_map<const void*, CacheEntry> weight_cache_;
+  int attention_capture_row_ = -1;
+  std::vector<std::vector<float>> captured_attention_;
 };
 
 // ---- Fused forward kernels -------------------------------------------------

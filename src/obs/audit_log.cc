@@ -52,6 +52,9 @@ std::string AuditRecordToJson(const AuditRecord& record) {
     }
     os << "]";
   }
+  if (record.has_explain) {
+    os << ",\"explain\":" << ExplainBlockToJson(record.explain);
+  }
   os << ",\"wall_ms\":" << record.wall_ms;
   if (!record.model_hash.empty()) {
     os << ",\"model_hash\":\"" << JsonEscape(record.model_hash) << "\"";
@@ -109,6 +112,13 @@ util::Result<AuditRecord> ParseAuditRecord(const std::string& json_line) {
           cscore != nullptr ? static_cast<float>(cscore->NumberOr(0)) : 0.0f;
       record.expected.push_back(c);
     }
+  }
+  const JsonValue* explain = doc->Find("explain");
+  if (explain != nullptr) {
+    util::Result<ExplainBlock> block = ParseExplainBlock(*explain);
+    if (!block.ok()) return block.status();
+    record.explain = std::move(*block);
+    record.has_explain = true;
   }
   return record;
 }
@@ -183,9 +193,12 @@ void AuditLog::WriterLoop() {
       writer_idle_ = false;
     }
     for (const AuditRecord& record : batch) {
-      os_ << AuditRecordToJson(record) << "\n";
+      std::string line = AuditRecordToJson(record);
+      os_ << line << "\n";
+      bytes_written_ += line.size() + 1;
     }
     os_.flush();
+    MaybeRotate();
     batch.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -193,6 +206,18 @@ void AuditLog::WriterLoop() {
     }
     queue_drained_.notify_all();
   }
+}
+
+void AuditLog::MaybeRotate() {
+  if (options_.max_bytes == 0 || bytes_written_ < options_.max_bytes) return;
+  os_.close();
+  // Single-slot rollover: the previous .1 (if any) is replaced. rename()
+  // is atomic on POSIX, so readers always see either the old or new file.
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  os_.open(path_, std::ios::trunc);
+  bytes_written_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rotations_;
 }
 
 void AuditLog::Flush() {
@@ -219,6 +244,9 @@ void AuditLog::Close() {
     if (dropped() > 0) {
       reg.GetCounter("audit/dropped_total")->Increment(dropped());
     }
+    if (rotations() > 0) {
+      reg.GetCounter("audit/rotations_total")->Increment(rotations());
+    }
   }
 }
 
@@ -230,6 +258,11 @@ uint64_t AuditLog::appended() const {
 uint64_t AuditLog::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+uint64_t AuditLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
 }
 
 }  // namespace ucad::obs

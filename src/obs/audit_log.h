@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/explain.h"
 #include "util/status.h"
 
 namespace ucad::obs {
@@ -48,6 +49,12 @@ struct AuditRecord {
   /// first (TransDasDetector::ExplainOperation); usually populated only
   /// for abnormal verdicts to keep the hot path cheap.
   std::vector<AuditCandidate> expected;
+  /// Verdict attribution (top contributing context positions with exact
+  /// leave-one-out counterfactuals, plus the incident signature). Written
+  /// only when has_explain — attribution costs extra row forwards, so it
+  /// is computed for abnormal verdicts only and is off by default.
+  ExplainBlock explain;
+  bool has_explain = false;
   /// Wall-clock unix milliseconds; stamped by AuditLog::Append when 0.
   int64_t wall_ms = 0;
   /// Model/config fingerprint (hex FNV-1a, same value the run manifest
@@ -73,6 +80,13 @@ struct AuditLogOptions {
   /// Default model/config fingerprint stamped into records that carry
   /// none.
   std::string model_hash;
+  /// Size cap in bytes for the live file. 0 disables rotation. When a
+  /// batch write pushes the file past the cap, the writer thread closes
+  /// it, renames it to "<path>.1" (replacing any previous rollover), and
+  /// reopens a fresh <path> — so a long-lived monitor keeps at most two
+  /// files around instead of filling the disk. Checked between batches,
+  /// never mid-record, so both files always hold whole JSONL lines.
+  uint64_t max_bytes = 0;
 };
 
 /// Append-only JSONL audit sink with a bounded buffer and a dedicated
@@ -107,12 +121,17 @@ class AuditLog {
 
   uint64_t appended() const;
   uint64_t dropped() const;
+  /// Number of size-cap rollovers performed (see AuditLogOptions::max_bytes).
+  uint64_t rotations() const;
   const std::string& path() const { return path_; }
 
  private:
   AuditLog(std::string path, std::ofstream os, AuditLogOptions options);
 
   void WriterLoop();
+  /// Writer-thread only: rolls the live file over to <path>.1 when the cap
+  /// is exceeded.
+  void MaybeRotate();
 
   const std::string path_;
   const AuditLogOptions options_;
@@ -125,8 +144,10 @@ class AuditLog {
   bool writer_idle_ = true;
   uint64_t appended_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t rotations_ = 0;
 
   std::ofstream os_;  // touched only by the writer thread (and Close)
+  uint64_t bytes_written_ = 0;  // live-file size; writer thread only
   std::thread writer_;
 };
 

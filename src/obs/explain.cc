@@ -1,0 +1,105 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace ucad::obs {
+
+namespace {
+
+/// Same float spelling the audit log uses: round-trip precision, non-finite
+/// becomes null.
+std::string FloatJson(float v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+}  // namespace
+
+uint64_t IncidentSignature(const std::string& offending,
+                           std::vector<std::string> context_templates) {
+  // Sort the context set so attention-order jitter between windows of the
+  // same incident cannot change the signature; join with a separator that
+  // keeps ("ab","c") distinct from ("a","bc").
+  std::sort(context_templates.begin(), context_templates.end());
+  std::string canon = offending;
+  for (const std::string& tmpl : context_templates) {
+    canon += '\x1f';
+    canon += tmpl;
+  }
+  return Fnv1aHash64(canon);
+}
+
+std::string SignatureHex(uint64_t signature) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(signature));
+  return buf;
+}
+
+std::string ExplainBlockToJson(const ExplainBlock& block) {
+  std::ostringstream os;
+  os << "{\"signature\":\"" << SignatureHex(block.signature) << "\""
+     << ",\"contrib\":[";
+  for (size_t i = 0; i < block.contributions.size(); ++i) {
+    const ExplainContribution& c = block.contributions[i];
+    if (i > 0) os << ",";
+    os << "{\"position\":" << c.position << ",\"key\":" << c.key;
+    if (!c.tmpl.empty()) {
+      os << ",\"template\":\"" << JsonEscape(c.tmpl) << "\"";
+    }
+    os << ",\"attention\":" << FloatJson(c.attention)
+       << ",\"cf_rank\":" << c.cf_rank
+       << ",\"cf_score\":" << FloatJson(c.cf_score) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+util::Result<ExplainBlock> ParseExplainBlock(const JsonValue& value) {
+  if (value.type != JsonValue::Type::kObject) {
+    return util::Status::InvalidArgument("explain block is not a JSON object");
+  }
+  ExplainBlock block;
+  const JsonValue* signature = value.Find("signature");
+  if (signature != nullptr &&
+      signature->type == JsonValue::Type::kString) {
+    block.signature = std::strtoull(signature->string_value.c_str(),
+                                    /*end=*/nullptr, /*base=*/16);
+  }
+  const JsonValue* contrib = value.Find("contrib");
+  if (contrib != nullptr && contrib->type == JsonValue::Type::kArray) {
+    for (const JsonValue& entry : contrib->array) {
+      if (entry.type != JsonValue::Type::kObject) {
+        return util::Status::InvalidArgument(
+            "explain contribution is not a JSON object");
+      }
+      ExplainContribution c;
+      auto number = [&entry](const char* name, double fallback) {
+        const JsonValue* v = entry.Find(name);
+        return v != nullptr ? v->NumberOr(fallback) : fallback;
+      };
+      c.position = static_cast<int>(number("position", 0));
+      c.key = static_cast<int>(number("key", 0));
+      const JsonValue* tmpl = entry.Find("template");
+      if (tmpl != nullptr) c.tmpl = tmpl->string_value;
+      c.attention = static_cast<float>(number("attention", 0));
+      c.cf_rank = static_cast<int>(number("cf_rank", 0));
+      c.cf_score = static_cast<float>(number("cf_score", 0));
+      block.contributions.push_back(std::move(c));
+    }
+  }
+  return block;
+}
+
+}  // namespace ucad::obs

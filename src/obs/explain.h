@@ -1,0 +1,67 @@
+#ifndef UCAD_OBS_EXPLAIN_H_
+#define UCAD_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucad::obs {
+
+struct JsonValue;
+
+/// One context operation's contribution to an abnormal verdict, as recorded
+/// in the audit log's explain block: which preceding operation the model's
+/// intent prediction attended to, and how the verdict would have shifted
+/// had that operation not been there (exact leave-one-out counterfactual).
+struct ExplainContribution {
+  /// Session position of the contributing context operation.
+  int position = 0;
+  /// Key at that position.
+  int key = 0;
+  /// Human-readable form of the key (SQL template); may be empty.
+  std::string tmpl;
+  /// Share of the final block's attention mass spent on this position
+  /// (averaged over heads; shares across the window sum to ~1).
+  float attention = 0.0f;
+  /// Rank of the observed key with this context operation masked to k0.
+  int cf_rank = 0;
+  /// Eq. 10 score of the observed key under the same mask.
+  float cf_score = 0.0f;
+};
+
+/// Per-verdict explanation attached to an AuditRecord: the top-k
+/// contributing context positions (attention-descending) and the incident
+/// signature the verdict folds into.
+struct ExplainBlock {
+  std::vector<ExplainContribution> contributions;
+  /// Stable incident signature: IncidentSignature(offending template,
+  /// top-contributing context templates). 0 = unset.
+  uint64_t signature = 0;
+
+  bool empty() const { return contributions.empty() && signature == 0; }
+};
+
+/// Stable incident signature: FNV-1a over the offending template plus the
+/// *sorted* top-contributing context templates, so per-window jitter in
+/// attention ordering cannot split one incident into many. Two verdicts
+/// share a signature exactly when the same operation was flagged against
+/// the same set of load-bearing context operations.
+uint64_t IncidentSignature(const std::string& offending,
+                           std::vector<std::string> context_templates);
+
+/// 16-hex-digit rendering of a signature (matches the audit JSON field).
+std::string SignatureHex(uint64_t signature);
+
+/// Serializes the block as a JSON object (single line, no newline):
+/// {"signature":"<hex>","contrib":[{"position":..,"key":..,"template":..,
+/// "attention":..,"cf_rank":..,"cf_score":..},...]}.
+std::string ExplainBlockToJson(const ExplainBlock& block);
+
+/// Parses a value previously produced by ExplainBlockToJson.
+util::Result<ExplainBlock> ParseExplainBlock(const JsonValue& value);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_EXPLAIN_H_

@@ -1,0 +1,138 @@
+#include "obs/incident.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/explain.h"
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+IncidentAggregator::IncidentAggregator(IncidentOptions options)
+    : options_(options) {}
+
+bool IncidentAggregator::Observe(const AuditRecord& record) {
+  if (!record.abnormal || !record.has_explain) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++verdicts_total_;
+  Incident& incident = incidents_[record.explain.signature];
+  if (incident.count == 0) {
+    incident.signature = record.explain.signature;
+    incident.offending = !record.observed.empty()
+                             ? record.observed
+                             : "key:" + std::to_string(record.key);
+    for (const ExplainContribution& c : record.explain.contributions) {
+      incident.context.push_back(!c.tmpl.empty()
+                                     ? c.tmpl
+                                     : "key:" + std::to_string(c.key));
+    }
+    // Mirror the signature's canonical form (IncidentSignature sorts).
+    std::sort(incident.context.begin(), incident.context.end());
+    incident.first_seen_ms = record.wall_ms;
+    incident.worst_rank = -1;
+  }
+  ++incident.count;
+  if (record.wall_ms < incident.first_seen_ms) {
+    incident.first_seen_ms = record.wall_ms;
+  }
+  incident.last_seen_ms = std::max(incident.last_seen_ms, record.wall_ms);
+  if (record.rank > incident.worst_rank) {
+    incident.worst_rank = record.rank;
+    incident.worst_score = record.score;
+    incident.exemplar_session = record.session_id;
+    incident.exemplar_position = record.position;
+  }
+  return true;
+}
+
+std::vector<Incident> IncidentAggregator::Snapshot() const {
+  std::vector<Incident> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(incidents_.size());
+    for (const auto& [signature, incident] : incidents_) {
+      out.push_back(incident);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Incident& a, const Incident& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.first_seen_ms < b.first_seen_ms;
+                   });
+  return out;
+}
+
+uint64_t IncidentAggregator::VerdictsTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verdicts_total_;
+}
+
+uint64_t IncidentAggregator::IncidentsTotal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incidents_.size();
+}
+
+uint64_t IncidentAggregator::OpenIncidents(int64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.open_window_ms == 0) return incidents_.size();
+  uint64_t open = 0;
+  for (const auto& [signature, incident] : incidents_) {
+    if (now_ms - incident.last_seen_ms <= options_.open_window_ms) ++open;
+  }
+  return open;
+}
+
+void IncidentAggregator::PublishMetrics(MetricsRegistry* registry,
+                                        int64_t now_ms) const {
+  registry->GetGauge("detector/incidents_total")
+      ->Set(static_cast<double>(IncidentsTotal()));
+  registry->GetGauge("detector/incidents_open")
+      ->Set(static_cast<double>(OpenIncidents(now_ms)));
+  registry->GetGauge("detector/incident_verdicts_total")
+      ->Set(static_cast<double>(VerdictsTotal()));
+  std::vector<Incident> top = Snapshot();
+  if (static_cast<int>(top.size()) > options_.top_n) {
+    top.resize(static_cast<size_t>(options_.top_n));
+  }
+  for (const Incident& incident : top) {
+    const Labels labels = {{"signature", SignatureHex(incident.signature)},
+                           {"offending", incident.offending}};
+    registry->GetGauge("detector/incident/count", labels)
+        ->Set(static_cast<double>(incident.count));
+    registry->GetGauge("detector/incident/worst_rank", labels)
+        ->Set(static_cast<double>(incident.worst_rank));
+    registry->GetGauge("detector/incident/last_seen_ms", labels)
+        ->Set(static_cast<double>(incident.last_seen_ms));
+  }
+}
+
+std::string FormatIncidentTable(const std::vector<Incident>& incidents,
+                                int top_n) {
+  if (incidents.empty()) return "";
+  std::ostringstream os;
+  os << "  signature         count  worst_rank  exemplar          offending\n";
+  int shown = 0;
+  for (const Incident& incident : incidents) {
+    if (top_n > 0 && shown >= top_n) break;
+    ++shown;
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-16s %6llu  %10d  ",
+                  SignatureHex(incident.signature).c_str(),
+                  static_cast<unsigned long long>(incident.count),
+                  incident.worst_rank);
+    os << line;
+    std::string exemplar = incident.exemplar_session + "@" +
+                           std::to_string(incident.exemplar_position);
+    std::snprintf(line, sizeof(line), "%-16s  ", exemplar.c_str());
+    os << line << incident.offending << "\n";
+  }
+  if (top_n > 0 && static_cast<int>(incidents.size()) > top_n) {
+    os << "  ... " << (incidents.size() - static_cast<size_t>(top_n))
+       << " more incident(s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,97 @@
+#ifndef UCAD_OBS_INCIDENT_H_
+#define UCAD_OBS_INCIDENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/audit_log.h"
+
+namespace ucad::obs {
+
+class MetricsRegistry;
+
+struct IncidentOptions {
+  /// Incidents whose last verdict is older than this are reported as
+  /// resolved (no longer "open"). 0 disables the age-out: every incident
+  /// ever seen stays open.
+  int64_t open_window_ms = 15 * 60 * 1000;
+  /// How many incidents (by verdict count, descending) get per-incident
+  /// labeled gauges from PublishMetrics.
+  int top_n = 5;
+};
+
+/// One incident: the rollup of every abnormal verdict sharing a signature
+/// (same offending template flagged against the same set of
+/// top-contributing context templates — see IncidentSignature).
+struct Incident {
+  uint64_t signature = 0;
+  /// Offending template (or "key:<n>" when no template is known).
+  std::string offending;
+  /// Sorted top-contributing context templates (the signature's inputs).
+  std::vector<std::string> context;
+  /// Number of abnormal verdicts folded in.
+  uint64_t count = 0;
+  int64_t first_seen_ms = 0;
+  int64_t last_seen_ms = 0;
+  /// Worst (highest) observed rank and its score across the incident.
+  int worst_rank = 0;
+  float worst_score = 0.0f;
+  /// Session/position of the worst-rank verdict — the triage entry point
+  /// (join against the flight recorder / audit log for the full window).
+  std::string exemplar_session;
+  int exemplar_position = 0;
+};
+
+/// Online incident aggregator: folds per-verdict audit records into
+/// incidents keyed by their explain signature, so a thousand repetitions
+/// of the same anomaly read as one incident with a count, not a thousand
+/// alert lines. Thread-safe; designed to sit next to the audit log on the
+/// detection path (Observe is a map upsert under a mutex — no I/O, no
+/// model access).
+class IncidentAggregator {
+ public:
+  explicit IncidentAggregator(IncidentOptions options = {});
+
+  /// Folds one verdict. Records that are not abnormal or carry no explain
+  /// block are ignored (returns false), so callers can feed every audit
+  /// record through unconditionally.
+  bool Observe(const AuditRecord& record);
+
+  /// All incidents, most verdicts first (ties: earliest first_seen first).
+  std::vector<Incident> Snapshot() const;
+
+  /// Total abnormal verdicts folded / distinct incidents seen.
+  uint64_t VerdictsTotal() const;
+  uint64_t IncidentsTotal() const;
+  /// Incidents whose last verdict is within open_window_ms of `now_ms`
+  /// (all of them when open_window_ms is 0).
+  uint64_t OpenIncidents(int64_t now_ms) const;
+
+  /// Exports the rollup: detector/incidents_total and
+  /// detector/incidents_open gauges, plus per-incident
+  /// detector/incident/{count,worst_rank,last_seen_ms} gauges labeled with
+  /// signature+offending for the top_n incidents by count.
+  void PublishMetrics(MetricsRegistry* registry, int64_t now_ms) const;
+
+  const IncidentOptions& options() const { return options_; }
+
+ private:
+  const IncidentOptions options_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Incident> incidents_;
+  uint64_t verdicts_total_ = 0;
+};
+
+/// Renders the aggregator state as a human-readable triage table (one line
+/// per incident, count-descending, at most `top_n`; empty string when no
+/// incidents). Shared by ucad_cli's end-of-run summary and
+/// tools/incident_report.
+std::string FormatIncidentTable(const std::vector<Incident>& incidents,
+                                int top_n);
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_INCIDENT_H_

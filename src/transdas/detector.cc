@@ -148,6 +148,77 @@ std::vector<TransDasDetector::Candidate> TransDasDetector::ExplainOperation(
   return candidates;
 }
 
+TransDasDetector::VerdictAttribution TransDasDetector::AttributeOperation(
+    const std::vector<int>& keys, int position, int top_k) const {
+  UCAD_CHECK(position >= 1 && position < static_cast<int>(keys.size()));
+  UCAD_CHECK_GE(top_k, 1);
+  const int L = model_->config().window;
+  const int vocab = model_->config().vocab_size;
+  std::vector<int> window = BuildWindow(keys, position);
+  const int take = std::min(L, position);
+
+  VerdictAttribution out;
+  out.verdict.position = position;
+
+  std::unique_ptr<nn::InferenceContext> ctx = AcquireContext();
+  // One forward re-derives the verdict and, via the armed capture, the
+  // final block's attention over the window — same tail-restricted row
+  // the streaming scorer computes, so the verdict matches DetectSession
+  // bitwise.
+  ctx->SetAttentionCaptureRow(L - 1);
+  const nn::Tensor& outputs =
+      model_->ForwardInference(ctx.get(), window, /*rows_from=*/L - 1);
+  const nn::Tensor& logits =
+      model_->AllKeyLogitsInference(ctx.get(), outputs, L - 1);
+  ScoreKey(logits, L - 1, keys[position], &out.verdict);
+  const std::vector<std::vector<float>> attention = ctx->captured_attention();
+  ctx->SetAttentionCaptureRow(-1);
+
+  // Per-position attention mass, averaged over heads; padding slots (left
+  // of the right-aligned context) carry mass but name no operation, so
+  // they are never candidates — their share is simply not attributed.
+  const float inv_heads =
+      attention.empty() ? 0.0f : 1.0f / static_cast<float>(attention.size());
+  std::vector<AttributionEntry> candidates;
+  candidates.reserve(static_cast<size_t>(take));
+  for (int j = L - take; j < L; ++j) {
+    AttributionEntry entry;
+    entry.session_position = position - take + (j - (L - take));
+    entry.key = window[j];
+    float mass = 0.0f;
+    for (const std::vector<float>& head : attention) mass += head[j];
+    entry.attention = mass * inv_heads;
+    candidates.push_back(entry);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const AttributionEntry& a, const AttributionEntry& b) {
+                     return a.attention > b.attention;
+                   });
+  if (static_cast<int>(candidates.size()) > top_k) {
+    candidates.resize(static_cast<size_t>(top_k));
+  }
+
+  // Exact leave-one-out counterfactuals: mask one context position to k0
+  // and re-score through the same pooled workspace and row-tail path, so
+  // each counterfactual is one cheap row forward and every stored float
+  // matches a from-scratch DetectSession of the edited session.
+  for (AttributionEntry& entry : candidates) {
+    const int j = L - take + (entry.session_position - (position - take));
+    const int saved = window[j];
+    window[j] = 0;
+    const nn::Tensor& cf_outputs =
+        model_->ForwardInference(ctx.get(), window, /*rows_from=*/L - 1);
+    const nn::Tensor& cf_logits =
+        model_->AllKeyLogitsInference(ctx.get(), cf_outputs, L - 1);
+    entry.counterfactual = nn::ScoreLogitsRow(cf_logits.row(L - 1), vocab,
+                                              keys[position], options_.top_p);
+    window[j] = saved;
+  }
+  ReleaseContext(std::move(ctx));
+  out.contributions = std::move(candidates);
+  return out;
+}
+
 namespace {
 
 /// Flushes per-session scoring observations into the default registry.

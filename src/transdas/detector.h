@@ -80,6 +80,41 @@ class TransDasDetector {
   std::vector<Candidate> ExplainOperation(const std::vector<int>& keys,
                                           int position, int top_k = 5) const;
 
+  /// One context operation's contribution to a verdict.
+  struct AttributionEntry {
+    /// Session position of the contributing context operation.
+    int session_position = 0;
+    /// Key at that position (as the scoring window saw it, i.e. sanitized).
+    int key = 0;
+    /// Share of the final block's attention mass the intent prediction
+    /// spent on this position, averaged over heads (each head's row sums
+    /// to 1, so shares across the window sum to ~1).
+    float attention = 0.0f;
+    /// Exact leave-one-out counterfactual: the verdict of the observed
+    /// operation with this context position masked to k0 — one tail-
+    /// restricted row forward, bitwise-identical to scoring the edited
+    /// session from scratch.
+    nn::RowScore counterfactual;
+  };
+
+  /// Attribution of one verdict: the re-derived base verdict plus the
+  /// top-k contributing context positions, attention-descending.
+  struct VerdictAttribution {
+    OperationVerdict verdict;
+    std::vector<AttributionEntry> contributions;
+  };
+
+  /// Attributes the verdict at `position` of `keys` to its context: which
+  /// window positions the final block attended to when predicting the
+  /// contextual intent (captured from the same forward that re-derives
+  /// the verdict — no extra pass), and how the verdict shifts when each
+  /// top-attributed context operation is masked out. Runs on the tape-free
+  /// engine regardless of options().use_tape_engine (the engines agree
+  /// bitwise, and only nn/infer exposes the attribution hook). Off the
+  /// detection hot path: call it for abnormal/promoted windows only.
+  VerdictAttribution AttributeOperation(const std::vector<int>& keys,
+                                        int position, int top_k = 5) const;
+
   const DetectorOptions& options() const { return options_; }
 
  private:

@@ -189,6 +189,14 @@ const nn::Tensor& TransDasModel::ForwardInference(
       // pre-scaled scores (scale = 1 skips its identity pass).
       nn::MatMulSliceKernel(*qkv, qoff, head_dim, *kt, r0, scores, scale);
       nn::MaskedSoftmaxKernel(scores, 1.0f, mask_, r0);
+      if (b + 1 == blocks_.size() && ctx->attention_capture_row() >= 0) {
+        // Attribution hook: hand the armed output row's post-softmax
+        // attention weights to the context. A read of already-stored
+        // values, so capture cannot perturb the computed logits.
+        const int cap = ctx->attention_capture_row();
+        UCAD_DCHECK(cap >= r0 && cap < L);
+        ctx->RecordAttentionRow(static_cast<size_t>(hi), scores->row(cap), L);
+      }
       nn::AttnContextKernel(*scores, r0, *qkv, voff, head_dim, qoff, concat);
     }
     nn::Tensor* mh = ws.Acquire(L, h);

@@ -1,0 +1,266 @@
+// Locks down the verdict-attribution engine (TransDasDetector::
+// AttributeOperation + the InferenceContext attention-capture hook):
+//
+//  * EXACT counterfactuals — the leave-one-out re-score through the pooled
+//    workspace + row-tail-restricted path must be bitwise-identical to
+//    scoring the edited session from scratch (streaming scorer and
+//    non-batched DetectSession), at every thread count.
+//  * Arming the capture must not perturb the forward — logits stay bitwise
+//    what an uncaptured forward (and hence the tape) produces.
+//  * Attention attribution semantics — shares are averaged over heads, sum
+//    to ~1 over the real (non-padding) window, come out attention-sorted,
+//    and never point at padding slots.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/infer.h"
+#include "nn/tensor.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ucad {
+namespace {
+
+/// Restores single-thread mode even when a test fails mid-way.
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { util::SetNumThreads(1); }
+};
+
+transdas::TransDasConfig SmallConfig() {
+  transdas::TransDasConfig config;
+  config.vocab_size = 31;
+  config.window = 8;
+  config.hidden_dim = 12;
+  config.num_heads = 3;
+  config.num_blocks = 2;
+  return config;
+}
+
+std::vector<int> RandomSession(int length, int vocab, util::Rng* rng) {
+  std::vector<int> keys(length);
+  for (int& key : keys) {
+    key = 1 + static_cast<int>(rng->UniformU64(vocab - 1));
+  }
+  return keys;
+}
+
+// ---------- exact counterfactuals ----------
+
+TEST(ExplainAttributionTest, CounterfactualsMatchFromScratchRescoreBitwise) {
+  ThreadGuard guard;
+  util::Rng rng(2024);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  const std::vector<int> session = RandomSession(20, 31, &rng);
+  for (int threads : {1, 2, 8}) {
+    util::SetNumThreads(threads);
+    // Positions below, at, and beyond the window length L=8 exercise both
+    // the left-padded and the sliding-window alignment.
+    for (int position : {1, 3, 7, 8, 13, 19}) {
+      const auto attribution =
+          detector.AttributeOperation(session, position, /*top_k=*/4);
+      const std::vector<int> preceding(session.begin(),
+                                       session.begin() + position);
+      // The attribution's base verdict is the verdict being explained.
+      const transdas::OperationVerdict base =
+          detector.ScoreNextOperation(preceding, session[position]);
+      ASSERT_EQ(attribution.verdict.rank, base.rank);
+      ASSERT_EQ(attribution.verdict.score, base.score);
+      ASSERT_EQ(attribution.verdict.margin, base.margin);
+      ASSERT_FALSE(attribution.contributions.empty());
+      for (const auto& entry : attribution.contributions) {
+        ASSERT_GE(entry.session_position, 0);
+        ASSERT_LT(entry.session_position, position);
+        // Leave-one-out from scratch: mask the contributing op in the
+        // session prefix and re-score the observed op with a fresh window.
+        std::vector<int> edited = preceding;
+        edited[entry.session_position] = 0;
+        const transdas::OperationVerdict rescored =
+            detector.ScoreNextOperation(edited, session[position]);
+        // Bitwise: EXPECT_EQ on floats, not EXPECT_FLOAT_EQ.
+        EXPECT_EQ(entry.counterfactual.rank, rescored.rank);
+        EXPECT_EQ(entry.counterfactual.score, rescored.score);
+        EXPECT_EQ(entry.counterfactual.margin, rescored.margin);
+        EXPECT_EQ(entry.counterfactual.abnormal, rescored.abnormal);
+      }
+    }
+  }
+}
+
+TEST(ExplainAttributionTest,
+     CounterfactualsMatchNonBatchedDetectSessionBitwise) {
+  ThreadGuard guard;
+  util::Rng rng(7);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::DetectorOptions options;
+  options.top_p = 3;
+  options.batched = false;  // per-op sliding windows, same as streaming
+  transdas::TransDasDetector detector(&model, options);
+  const std::vector<int> session = RandomSession(14, 31, &rng);
+  const int position = 11;
+  for (int threads : {1, 2, 8}) {
+    util::SetNumThreads(threads);
+    const auto attribution =
+        detector.AttributeOperation(session, position, /*top_k=*/3);
+    for (const auto& entry : attribution.contributions) {
+      // Score the whole edited session from scratch and pull the verdict
+      // of the explained op out of it.
+      std::vector<int> edited(session.begin(),
+                              session.begin() + position + 1);
+      edited[entry.session_position] = 0;
+      const transdas::SessionVerdict verdict = detector.DetectSession(edited);
+      const auto op = std::find_if(
+          verdict.operations.begin(), verdict.operations.end(),
+          [&](const transdas::OperationVerdict& v) {
+            return v.position == position;
+          });
+      ASSERT_NE(op, verdict.operations.end());
+      EXPECT_EQ(entry.counterfactual.rank, op->rank);
+      EXPECT_EQ(entry.counterfactual.score, op->score);
+      EXPECT_EQ(entry.counterfactual.margin, op->margin);
+    }
+  }
+}
+
+// ---------- the capture hook cannot perturb the forward ----------
+
+TEST(ExplainAttributionTest, ArmedCaptureLeavesLogitsBitwiseIdentical) {
+  ThreadGuard guard;
+  util::Rng rng(99);
+  const transdas::TransDasConfig config = SmallConfig();
+  transdas::TransDasModel model(config, &rng);
+  const int L = config.window;
+  std::vector<int> window(L);
+  for (int& key : window) {
+    key = static_cast<int>(rng.UniformU64(config.vocab_size));
+  }
+  nn::InferenceContext plain;
+  nn::InferenceContext armed;
+  armed.SetAttentionCaptureRow(L - 1);
+  for (int threads : {1, 2, 8}) {
+    util::SetNumThreads(threads);
+    const nn::Tensor& expected =
+        model.AllKeyLogitsInference(&plain, model.ForwardInference(&plain,
+                                                                   window));
+    const nn::Tensor& captured =
+        model.AllKeyLogitsInference(&armed, model.ForwardInference(&armed,
+                                                                   window));
+    ASSERT_TRUE(expected.SameShape(captured));
+    for (int i = 0; i < expected.rows(); ++i) {
+      for (int j = 0; j < expected.cols(); ++j) {
+        ASSERT_EQ(expected.at(i, j), captured.at(i, j))
+            << "threads=" << threads << " at (" << i << "," << j << ")";
+      }
+    }
+    // The armed context actually captured: one row per head, each a
+    // softmax row over the window.
+    ASSERT_EQ(armed.captured_attention().size(),
+              static_cast<size_t>(config.num_heads));
+    for (const std::vector<float>& row : armed.captured_attention()) {
+      ASSERT_EQ(row.size(), static_cast<size_t>(L));
+      float sum = 0.0f;
+      for (float w : row) sum += w;
+      EXPECT_NEAR(sum, 1.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(ExplainAttributionTest, AttributionDoesNotDisturbPooledScoring) {
+  // Attribution leases contexts from the same pool the scoring paths use;
+  // a verdict computed after an attribution must equal one computed
+  // before, bitwise.
+  ThreadGuard guard;
+  util::Rng rng(5);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  const std::vector<int> session = RandomSession(12, 31, &rng);
+  const std::vector<int> preceding(session.begin(), session.begin() + 9);
+  const transdas::OperationVerdict before =
+      detector.ScoreNextOperation(preceding, session[9]);
+  detector.AttributeOperation(session, 9, 5);
+  const transdas::OperationVerdict after =
+      detector.ScoreNextOperation(preceding, session[9]);
+  EXPECT_EQ(before.rank, after.rank);
+  EXPECT_EQ(before.score, after.score);
+  EXPECT_EQ(before.margin, after.margin);
+}
+
+// ---------- attention semantics ----------
+
+TEST(ExplainAttributionTest, AttentionSharesSortedAndSumToOne) {
+  ThreadGuard guard;
+  util::Rng rng(17);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  const std::vector<int> session = RandomSession(20, 31, &rng);
+  // top_k >= L returns every real context position: the head-averaged
+  // shares then cover the full window and must sum to ~1 (each head's
+  // softmax row sums to 1; row L-1 is unmasked).
+  const auto attribution = detector.AttributeOperation(session, 13, 100);
+  ASSERT_EQ(attribution.contributions.size(), 8u);  // take = min(L, 13) = 8
+  float total = 0.0f;
+  for (size_t i = 0; i < attribution.contributions.size(); ++i) {
+    const auto& entry = attribution.contributions[i];
+    total += entry.attention;
+    EXPECT_GE(entry.attention, 0.0f);
+    if (i > 0) {
+      EXPECT_LE(entry.attention,
+                attribution.contributions[i - 1].attention);
+    }
+    // The right-aligned window covers session positions [5, 13).
+    EXPECT_GE(entry.session_position, 5);
+    EXPECT_LT(entry.session_position, 13);
+    EXPECT_EQ(entry.key, session[entry.session_position]);
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-3f);
+}
+
+TEST(ExplainAttributionTest, ShortContextExcludesPaddingSlots) {
+  ThreadGuard guard;
+  util::Rng rng(23);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  const std::vector<int> session = RandomSession(8, 31, &rng);
+  // position=2: only session positions 0 and 1 are real context; the six
+  // k0-padding slots must never surface as contributions even with a huge
+  // top_k.
+  const auto attribution = detector.AttributeOperation(session, 2, 100);
+  ASSERT_EQ(attribution.contributions.size(), 2u);
+  for (const auto& entry : attribution.contributions) {
+    EXPECT_GE(entry.session_position, 0);
+    EXPECT_LT(entry.session_position, 2);
+  }
+}
+
+TEST(ExplainAttributionTest, TopKTruncatesToHighestAttention) {
+  ThreadGuard guard;
+  util::Rng rng(31);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model,
+                                      transdas::DetectorOptions{.top_p = 3});
+  const std::vector<int> session = RandomSession(20, 31, &rng);
+  const auto full = detector.AttributeOperation(session, 13, 100);
+  const auto top2 = detector.AttributeOperation(session, 13, 2);
+  ASSERT_EQ(top2.contributions.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(top2.contributions[i].session_position,
+              full.contributions[i].session_position);
+    EXPECT_EQ(top2.contributions[i].attention,
+              full.contributions[i].attention);
+  }
+}
+
+}  // namespace
+}  // namespace ucad

@@ -1,0 +1,217 @@
+// Incident aggregator: folding attributed verdicts into signature-keyed
+// incidents, the open/total split, metric export, and the triage table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit_log.h"
+#include "obs/explain.h"
+#include "obs/incident.h"
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+namespace {
+
+AuditRecord AbnormalRecord(const std::string& session, int position,
+                           const std::string& offending,
+                           const std::vector<std::string>& context,
+                           int rank, int64_t wall_ms) {
+  AuditRecord r;
+  r.session_id = session;
+  r.position = position;
+  r.key = 7;
+  r.observed = offending;
+  r.rank = rank;
+  r.score = -1.0f;
+  r.abnormal = true;
+  r.wall_ms = wall_ms;
+  for (size_t i = 0; i < context.size(); ++i) {
+    ExplainContribution c;
+    c.position = static_cast<int>(i);
+    c.key = static_cast<int>(i) + 1;
+    c.tmpl = context[i];
+    c.attention = 1.0f / static_cast<float>(context.size());
+    c.cf_rank = 1;
+    r.explain.contributions.push_back(c);
+  }
+  r.explain.signature = IncidentSignature(offending, context);
+  r.has_explain = true;
+  return r;
+}
+
+TEST(IncidentAggregatorTest, FoldsSameSignatureIntoOneIncident) {
+  IncidentAggregator aggregator;
+  const std::vector<std::string> context = {"A", "B"};
+  EXPECT_TRUE(aggregator.Observe(
+      AbnormalRecord("s1", 4, "DROP TABLE t", context, 40, 1000)));
+  EXPECT_TRUE(aggregator.Observe(
+      AbnormalRecord("s2", 9, "DROP TABLE t", context, 90, 2000)));
+  EXPECT_TRUE(aggregator.Observe(
+      AbnormalRecord("s3", 2, "DROP TABLE t", context, 10, 3000)));
+  EXPECT_EQ(aggregator.IncidentsTotal(), 1u);
+  EXPECT_EQ(aggregator.VerdictsTotal(), 3u);
+  const std::vector<Incident> incidents = aggregator.Snapshot();
+  ASSERT_EQ(incidents.size(), 1u);
+  const Incident& incident = incidents[0];
+  EXPECT_EQ(incident.signature, IncidentSignature("DROP TABLE t", context));
+  EXPECT_EQ(incident.offending, "DROP TABLE t");
+  EXPECT_EQ(incident.count, 3u);
+  EXPECT_EQ(incident.first_seen_ms, 1000);
+  EXPECT_EQ(incident.last_seen_ms, 3000);
+  // Worst verdict (highest rank) supplies the exemplar.
+  EXPECT_EQ(incident.worst_rank, 90);
+  EXPECT_EQ(incident.exemplar_session, "s2");
+  EXPECT_EQ(incident.exemplar_position, 9);
+  EXPECT_EQ(incident.context, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(IncidentAggregatorTest, ContextOrderJitterDoesNotSplitIncidents) {
+  // The same offending template against the same context set must fold
+  // into one incident even when per-window attention ordering differs.
+  IncidentAggregator aggregator;
+  aggregator.Observe(
+      AbnormalRecord("s1", 1, "DELETE FROM t", {"A", "B", "C"}, 5, 1));
+  aggregator.Observe(
+      AbnormalRecord("s2", 1, "DELETE FROM t", {"C", "B", "A"}, 5, 2));
+  EXPECT_EQ(aggregator.IncidentsTotal(), 1u);
+  // A different context set is a different incident.
+  aggregator.Observe(
+      AbnormalRecord("s3", 1, "DELETE FROM t", {"A", "B"}, 5, 3));
+  EXPECT_EQ(aggregator.IncidentsTotal(), 2u);
+}
+
+TEST(IncidentAggregatorTest, IgnoresNormalAndUnattributedRecords) {
+  IncidentAggregator aggregator;
+  AuditRecord normal = AbnormalRecord("s1", 1, "X", {"A"}, 1, 1);
+  normal.abnormal = false;
+  EXPECT_FALSE(aggregator.Observe(normal));
+  AuditRecord unattributed = AbnormalRecord("s1", 2, "X", {"A"}, 50, 1);
+  unattributed.has_explain = false;
+  EXPECT_FALSE(aggregator.Observe(unattributed));
+  EXPECT_EQ(aggregator.IncidentsTotal(), 0u);
+  EXPECT_EQ(aggregator.VerdictsTotal(), 0u);
+}
+
+TEST(IncidentAggregatorTest, SnapshotSortsByCountThenFirstSeen) {
+  IncidentAggregator aggregator;
+  aggregator.Observe(AbnormalRecord("s1", 1, "rare", {"A"}, 5, 50));
+  for (int i = 0; i < 3; ++i) {
+    aggregator.Observe(AbnormalRecord("s2", i + 1, "hot", {"B"}, 5, 100 + i));
+  }
+  aggregator.Observe(AbnormalRecord("s3", 1, "tie", {"C"}, 5, 10));
+  const std::vector<Incident> incidents = aggregator.Snapshot();
+  ASSERT_EQ(incidents.size(), 3u);
+  EXPECT_EQ(incidents[0].offending, "hot");   // count 3
+  EXPECT_EQ(incidents[1].offending, "tie");   // count 1, first seen 10
+  EXPECT_EQ(incidents[2].offending, "rare");  // count 1, first seen 50
+}
+
+TEST(IncidentAggregatorTest, OpenWindowAgesIncidentsOut) {
+  IncidentOptions options;
+  options.open_window_ms = 1000;
+  IncidentAggregator aggregator(options);
+  aggregator.Observe(AbnormalRecord("s1", 1, "old", {"A"}, 5, 1000));
+  aggregator.Observe(AbnormalRecord("s2", 1, "new", {"B"}, 5, 5000));
+  EXPECT_EQ(aggregator.IncidentsTotal(), 2u);
+  EXPECT_EQ(aggregator.OpenIncidents(5500), 1u);  // "old" idle > 1s
+  EXPECT_EQ(aggregator.OpenIncidents(1500), 2u);
+  // open_window_ms = 0 disables the age-out.
+  IncidentAggregator forever(IncidentOptions{.open_window_ms = 0});
+  forever.Observe(AbnormalRecord("s1", 1, "old", {"A"}, 5, 1000));
+  EXPECT_EQ(forever.OpenIncidents(1000000000), 1u);
+}
+
+TEST(IncidentAggregatorTest, PublishMetricsExportsRollupAndTopN) {
+  IncidentOptions options;
+  options.top_n = 1;
+  IncidentAggregator aggregator(options);
+  for (int i = 0; i < 2; ++i) {
+    aggregator.Observe(AbnormalRecord("s1", i + 1, "hot", {"A"}, 30, 100));
+  }
+  aggregator.Observe(AbnormalRecord("s2", 1, "cold", {"B"}, 9, 100));
+  MetricsRegistry registry;
+  aggregator.PublishMetrics(&registry, 100);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/incidents_total")->Value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/incidents_open")->Value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("detector/incident_verdicts_total")->Value(), 3.0);
+  // Only the top-1 incident gets labeled per-incident gauges.
+  const Labels hot = {
+      {"signature",
+       SignatureHex(IncidentSignature("hot", {"A"}))},
+      {"offending", "hot"}};
+  EXPECT_DOUBLE_EQ(registry.GetGauge("detector/incident/count", hot)->Value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("detector/incident/worst_rank", hot)->Value(), 30.0);
+  bool saw_cold = false;
+  registry.ForEachSeries([&](const MetricsRegistry::SeriesRef& s) {
+    for (const auto& [k, v] : s.labels) {
+      saw_cold |= k == "offending" && v == "cold";
+    }
+  });
+  EXPECT_FALSE(saw_cold);
+}
+
+TEST(IncidentAggregatorTest, FormatTableListsTopIncidents) {
+  IncidentAggregator aggregator;
+  for (int i = 0; i < 2; ++i) {
+    aggregator.Observe(
+        AbnormalRecord("s7", i + 1, "UPDATE t SET x = ?", {"A"}, 12, 100));
+  }
+  const std::string table =
+      FormatIncidentTable(aggregator.Snapshot(), /*top_n=*/5);
+  EXPECT_NE(table.find("UPDATE t SET x = ?"), std::string::npos) << table;
+  EXPECT_NE(table.find("s7@"), std::string::npos) << table;
+  EXPECT_NE(
+      table.find(SignatureHex(IncidentSignature("UPDATE t SET x = ?",
+                                                {"A"}))),
+      std::string::npos)
+      << table;
+  EXPECT_TRUE(FormatIncidentTable({}, 5).empty());
+  // Overflow note when more incidents exist than the table shows.
+  aggregator.Observe(AbnormalRecord("s8", 1, "other", {"B"}, 2, 100));
+  const std::string truncated =
+      FormatIncidentTable(aggregator.Snapshot(), /*top_n=*/1);
+  EXPECT_NE(truncated.find("1 more incident"), std::string::npos)
+      << truncated;
+}
+
+TEST(IncidentAggregatorTest, RoundTripsThroughAuditJsonl) {
+  // The aggregator built online and one rebuilt from the serialized audit
+  // records must agree — this is the contract tools/incident_report
+  // depends on.
+  IncidentAggregator online;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4; ++i) {
+    AuditRecord r = AbnormalRecord("s1", i + 1, "DROP TABLE t",
+                                   {"SELECT 1", "key:9"}, 20 + i, 1000 + i);
+    online.Observe(r);
+    lines.push_back(AuditRecordToJson(r));
+  }
+  IncidentAggregator replayed;
+  for (const std::string& line : lines) {
+    auto parsed = ParseAuditRecord(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    replayed.Observe(*parsed);
+  }
+  const std::vector<Incident> a = online.Snapshot();
+  const std::vector<Incident> b = replayed.Snapshot();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].signature, b[0].signature);
+  EXPECT_EQ(a[0].count, b[0].count);
+  EXPECT_EQ(a[0].worst_rank, b[0].worst_rank);
+  EXPECT_EQ(a[0].first_seen_ms, b[0].first_seen_ms);
+  EXPECT_EQ(a[0].last_seen_ms, b[0].last_seen_ms);
+  EXPECT_EQ(a[0].exemplar_session, b[0].exemplar_session);
+  EXPECT_EQ(a[0].context, b[0].context);
+}
+
+}  // namespace
+}  // namespace ucad::obs

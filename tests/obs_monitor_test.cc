@@ -42,6 +42,29 @@ TEST(P2QuantileTest, ApproximatesUniformQuantiles) {
   EXPECT_NEAR(p99.Value(), 99.0, 1.0);
 }
 
+TEST(P2QuantileTest, PreWarmupQueriesAreExactNearestRank) {
+  // Queried before the five-sample warmup, the sketch must fall back to
+  // the exact nearest-rank quantile of the sorted prefix — including the
+  // empty case, which a scrape can hit before any operation was scored.
+  P2Quantile median(0.5);
+  P2Quantile p90(0.9);
+  EXPECT_DOUBLE_EQ(median.Value(), 0.0);
+  EXPECT_DOUBLE_EQ(p90.Value(), 0.0);
+  const double values[4] = {7.0, 2.0, 9.0, 1.0};
+  for (double v : values) {
+    median.Observe(v);
+    p90.Observe(v);
+  }
+  // Sorted prefix {1,2,7,9}: nearest rank idx = lround(q * (n-1)).
+  EXPECT_DOUBLE_EQ(median.Value(), 7.0);  // idx lround(1.5) = 2
+  EXPECT_DOUBLE_EQ(p90.Value(), 9.0);     // idx lround(2.7) = 3
+  EXPECT_EQ(median.Count(), 4u);
+  // One observation: every quantile is that observation.
+  P2Quantile p99(0.99);
+  p99.Observe(42.0);
+  EXPECT_DOUBLE_EQ(p99.Value(), 42.0);
+}
+
 TEST(P2QuantileTest, MonotoneUnderSortedInput) {
   // Sorted input is the classic degenerate case for marker-based
   // sketches; the estimate must stay within the observed range.
@@ -102,6 +125,16 @@ TEST(PsiTest, SmoothingKeepsEmptyBucketsFinite) {
   const double psi = PopulationStabilityIndex(reference, live);
   EXPECT_TRUE(std::isfinite(psi));
   EXPECT_GT(psi, 0.0);
+}
+
+TEST(PsiTest, AllEmptyReferenceHistogramScoresZero) {
+  // A reference with no mass cannot support a ratio; the contract is a
+  // hard 0.0 (stable), not NaN/inf from the smoothing terms.
+  std::vector<uint64_t> empty(4, 0);
+  std::vector<uint64_t> live = {10, 20, 5, 1};
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex(empty, live), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex(live, empty), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationStabilityIndex(empty, empty), 0.0);
 }
 
 TEST(PsiTest, ModerateShiftLandsBetweenThresholds) {
@@ -218,6 +251,38 @@ TEST(DetectionMonitorTest, ResetClearsStateAndGauges) {
   EXPECT_FALSE(monitor.HasReference());
   EXPECT_DOUBLE_EQ(registry.GetGauge("detector/rank/p50")->Value(), 0.0);
   EXPECT_DOUBLE_EQ(registry.GetGauge("detector/drift/psi")->Value(), 0.0);
+}
+
+TEST(DetectionMonitorTest, EmptyExplicitReferenceNeverAlerts) {
+  // SetReferenceRanks({}) installs an all-zero reference histogram (e.g. a
+  // training replay that produced no scored ops). Completed windows must
+  // score PSI 0 against it — never NaN, never a spurious alert.
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(8), &registry);
+  monitor.SetReferenceRanks({});
+  EXPECT_TRUE(monitor.HasReference());
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(10000, -1.0);
+  EXPECT_EQ(monitor.WindowsCompleted(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.LastPsi(), 0.0);
+  EXPECT_EQ(monitor.Alerts(), 0u);
+  EXPECT_FALSE(monitor.DriftAlertActive());
+}
+
+TEST(DetectionMonitorTest, DriftAlertClearsWhenDistributionRecovers) {
+  MetricsRegistry registry;
+  DetectionMonitor monitor(SmallWindow(8), &registry);
+  // Window 1 auto-adopts as reference; window 2 drifts hard.
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(1, 2.0);
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(10000, -3.0);
+  ASSERT_TRUE(monitor.DriftAlertActive());
+  ASSERT_EQ(monitor.Alerts(), 1u);
+  // Window 3 matches the reference again: the flag must clear (it is
+  // re-stored on every completed window), while the alert counter —
+  // cumulative by contract — keeps its count.
+  for (int i = 0; i < 8; ++i) monitor.ObserveOperation(1, 2.0);
+  EXPECT_FALSE(monitor.DriftAlertActive());
+  EXPECT_NEAR(monitor.LastPsi(), 0.0, 0.05);
+  EXPECT_EQ(monitor.Alerts(), 1u);
 }
 
 TEST(DetectionMonitorTest, EnableFlagDefaultsOffAndToggles) {

@@ -69,19 +69,60 @@ std::string FlagNames(uint32_t flags) {
 
 /// Index over an audit log for exemplar cross-references: trace records
 /// carry only the FNV-1a hash of the session id, so the join key is
-/// (hash(session_id), position).
+/// (hash(session_id), position). Distinct session ids can collide on the
+/// hash, so both maps are multi-valued: a join is attributed only when the
+/// (hash, position) key resolves to a single session — otherwise the
+/// ambiguity is reported instead of silently picking a winner.
 struct AuditIndex {
-  std::map<std::pair<uint64_t, int>, const obs::AuditRecord*> by_key;
-  std::map<uint64_t, std::string> session_names;
+  std::map<std::pair<uint64_t, int>, std::vector<const obs::AuditRecord*>>
+      by_key;
+  /// Distinct session ids per hash, in first-seen order.
+  std::map<uint64_t, std::vector<std::string>> sessions_by_hash;
 
   void Build(const std::vector<obs::AuditRecord>& records) {
     for (const obs::AuditRecord& r : records) {
       const uint64_t h = obs::Fnv1aHash64(r.session_id);
-      session_names.emplace(h, r.session_id);
-      by_key[{h, r.position}] = &r;
+      std::vector<std::string>& names = sessions_by_hash[h];
+      if (std::find(names.begin(), names.end(), r.session_id) ==
+          names.end()) {
+        names.push_back(r.session_id);
+      }
+      by_key[{h, r.position}].push_back(&r);
+    }
+  }
+
+  /// Prints one warning per colliding hash (distinct ids, same FNV-1a).
+  /// Joins stay usable where only one colliding session has a record at
+  /// the traced position; the rest print as ambiguous.
+  void WarnCollisions() const {
+    for (const auto& [hash, names] : sessions_by_hash) {
+      if (names.size() < 2) continue;
+      std::fprintf(stderr,
+                   "warning: audit session ids collide on fnv1a hash "
+                   "%016llx:",
+                   static_cast<unsigned long long>(hash));
+      for (const std::string& name : names) {
+        std::fprintf(stderr, " \"%s\"", name.c_str());
+      }
+      std::fprintf(stderr,
+                   " — joins at positions present in more than one of them "
+                   "are reported as ambiguous\n");
     }
   }
 };
+
+/// Distinct session ids among `records` (collision probe for one join key).
+std::vector<std::string> DistinctSessions(
+    const std::vector<const obs::AuditRecord*>& records) {
+  std::vector<std::string> names;
+  for (const obs::AuditRecord* r : records) {
+    if (std::find(names.begin(), names.end(), r->session_id) ==
+        names.end()) {
+      names.push_back(r->session_id);
+    }
+  }
+  return names;
+}
 
 void PrintWindow(const obs::WindowTrace& t, const AuditIndex* audit) {
   std::printf("  seq=%llu session=%s position=%d rank=%d score=%.4f "
@@ -99,14 +140,26 @@ void PrintWindow(const obs::WindowTrace& t, const AuditIndex* audit) {
   if (audit == nullptr) return;
   const auto it = audit->by_key.find({t.session_hash, t.position});
   if (it == audit->by_key.end()) {
-    const auto name = audit->session_names.find(t.session_hash);
-    if (name != audit->session_names.end()) {
+    const auto names = audit->sessions_by_hash.find(t.session_hash);
+    if (names != audit->sessions_by_hash.end()) {
       std::printf("    audit: session \"%s\", no record at position %d\n",
-                  name->second.c_str(), t.position);
+                  names->second.front().c_str(), t.position);
     }
     return;
   }
-  const obs::AuditRecord& r = *it->second;
+  const std::vector<std::string> sessions = DistinctSessions(it->second);
+  if (sessions.size() > 1) {
+    // Hash collision AND both sessions have a record at this position:
+    // nothing distinguishes them, so refuse to attribute.
+    std::printf("    audit: AMBIGUOUS — session hash %016llx is shared by",
+                static_cast<unsigned long long>(t.session_hash));
+    for (const std::string& name : sessions) {
+      std::printf(" \"%s\"", name.c_str());
+    }
+    std::printf(", all with a record at position %d\n", t.position);
+    return;
+  }
+  const obs::AuditRecord& r = *it->second.front();
   std::printf("    audit: session \"%s\" key=%d rank=%d%s%s\n",
               r.session_id.c_str(), r.key, r.rank,
               r.abnormal ? " ABNORMAL" : "",
@@ -158,6 +211,7 @@ int main(int argc, char** argv) {
     }
     audit_records = std::move(records).value();
     audit.Build(audit_records);
+    audit.WarnCollisions();
     audit_ptr = &audit;
   }
 

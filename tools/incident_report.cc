@@ -1,0 +1,257 @@
+// Offline triage report over a per-verdict audit log (JSONL produced by
+// `ucad_cli detect|monitor --audit-out ... --explain`):
+//
+//   incident_report <audit.jsonl> [--flight dump.flight] [--top N]
+//                   [--open-sec S]
+//
+// Folds every attributed abnormal verdict into incidents (same rollup the
+// CLI computes online: one incident per explain signature), then renders
+// the triage view: the incident table (count-descending), and for each of
+// the top N incidents its attribution bars (mean share of final-block
+// attention mass per context template across the incident's verdicts),
+// the leave-one-out counterfactual deltas of the exemplar verdict, and —
+// with --flight — the exemplar's window trace (per-stage latency
+// breakdown) joined from the flight-recorder dump.
+//
+// "Open" incidents are those whose last verdict is within --open-sec
+// (default 900) of the newest record in the log, so the report gives the
+// same open/total split a live scrape would have shown at end of run.
+//
+// Exit codes: 0 ok, 1 usage/IO/parse error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/audit_log.h"
+#include "obs/explain.h"
+#include "obs/flight.h"
+#include "obs/incident.h"
+#include "obs/manifest.h"
+
+using namespace ucad;  // NOLINT
+
+namespace {
+
+/// Mean attention share per context template across one incident's
+/// verdicts, plus the best counterfactual rank drop seen for it.
+struct TemplateAttribution {
+  double attention_sum = 0.0;
+  uint64_t samples = 0;
+  /// Lowest (best) counterfactual rank any verdict reached by masking
+  /// this template, and the base rank of that verdict.
+  int best_cf_rank = 0;
+  int base_rank_at_best = 0;
+
+  double MeanAttention() const {
+    return samples > 0 ? attention_sum / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// Horizontal bar: `share` in [0,1] scaled against `max_share`.
+std::string Bar(double share, double max_share, int width) {
+  const int filled =
+      max_share > 0.0
+          ? static_cast<int>(share / max_share * width + 0.5)
+          : 0;
+  std::string out(static_cast<size_t>(std::max(filled, 0)), '#');
+  out.resize(static_cast<size_t>(width), ' ');
+  return out;
+}
+
+void PrintExemplarTrace(const obs::FlightDump& dump,
+                        const std::string& session_id, int position) {
+  const uint64_t hash = obs::Fnv1aHash64(session_id);
+  // Ring + retained, deduped by seq — the exemplar may live in either.
+  std::map<uint64_t, const obs::WindowTrace*> by_seq;
+  for (const obs::WindowTrace& t : dump.records) by_seq.emplace(t.seq, &t);
+  for (const obs::WindowTrace& t : dump.retained) by_seq.emplace(t.seq, &t);
+  const obs::WindowTrace* best = nullptr;
+  for (const auto& [seq, t] : by_seq) {
+    if (t->session_hash != hash || t->position > position) continue;
+    // Nearest traced window at or before the exemplar op (the rings are
+    // sampled, so the exact position may not have been retained).
+    if (best == nullptr || t->position > best->position) best = t;
+  }
+  if (best == nullptr) {
+    std::printf("  flight: no trace for session \"%s\" at or before "
+                "position %d\n",
+                session_id.c_str(), position);
+    return;
+  }
+  std::printf("  flight (seq=%llu position=%d%s): total %.3f ms =",
+              static_cast<unsigned long long>(best->seq), best->position,
+              best->position == position ? "" : ", nearest earlier window",
+              static_cast<double>(best->total_ms));
+  for (int s = 0; s < obs::kFlightStageCount; ++s) {
+    std::printf(" %s %.3f", obs::FlightStageName(s),
+                static_cast<double>(best->stage_ms[s]));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string audit_path;
+  std::string flight_path;
+  int top_n = 5;
+  int open_sec = 15 * 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight" && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_n = std::atoi(argv[++i]);
+    } else if (arg == "--open-sec" && i + 1 < argc) {
+      open_sec = std::atoi(argv[++i]);
+    } else if (audit_path.empty() && !arg.empty() && arg[0] != '-') {
+      audit_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (audit_path.empty() || top_n < 1) {
+    std::fprintf(stderr,
+                 "usage: incident_report <audit.jsonl> "
+                 "[--flight dump.flight] [--top N] [--open-sec S]\n");
+    return 1;
+  }
+
+  auto records = obs::ReadAuditLogFile(audit_path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::FlightDump dump;
+  bool have_flight = false;
+  if (!flight_path.empty()) {
+    auto dump_result = obs::ReadFlightDumpFile(flight_path);
+    if (!dump_result.ok()) {
+      std::fprintf(stderr, "%s\n", dump_result.status().ToString().c_str());
+      return 1;
+    }
+    dump = std::move(dump_result).value();
+    have_flight = true;
+  }
+
+  obs::IncidentAggregator aggregator(obs::IncidentOptions{
+      .open_window_ms = static_cast<int64_t>(open_sec) * 1000,
+      .top_n = top_n});
+  uint64_t abnormal = 0;
+  int64_t newest_ms = 0;
+  for (const obs::AuditRecord& r : *records) {
+    if (r.abnormal) ++abnormal;
+    newest_ms = std::max(newest_ms, r.wall_ms);
+    aggregator.Observe(r);
+  }
+
+  std::printf("incident report: %s\n", audit_path.c_str());
+  std::printf("  %zu records, %llu abnormal, %llu attributed; "
+              "%llu incident(s), %llu open\n",
+              records->size(), static_cast<unsigned long long>(abnormal),
+              static_cast<unsigned long long>(aggregator.VerdictsTotal()),
+              static_cast<unsigned long long>(aggregator.IncidentsTotal()),
+              static_cast<unsigned long long>(
+                  aggregator.OpenIncidents(newest_ms)));
+  if (aggregator.IncidentsTotal() == 0) {
+    std::printf("  (no attributed abnormal verdicts — run detect with "
+                "--explain to populate the explain blocks)\n");
+    return 0;
+  }
+
+  const std::vector<obs::Incident> incidents = aggregator.Snapshot();
+  std::printf("\ntop incidents\n%s",
+              obs::FormatIncidentTable(incidents, top_n).c_str());
+
+  // Per-incident attribution rollup straight from the explain blocks.
+  std::map<uint64_t, std::map<std::string, TemplateAttribution>> by_incident;
+  std::map<uint64_t, const obs::AuditRecord*> exemplar_record;
+  for (const obs::AuditRecord& r : *records) {
+    if (!r.abnormal || !r.has_explain) continue;
+    for (const obs::ExplainContribution& c : r.explain.contributions) {
+      TemplateAttribution& attribution =
+          by_incident[r.explain.signature]
+                     [!c.tmpl.empty() ? c.tmpl
+                                      : "key:" + std::to_string(c.key)];
+      attribution.attention_sum += c.attention;
+      if (attribution.samples == 0 || c.cf_rank < attribution.best_cf_rank) {
+        attribution.best_cf_rank = c.cf_rank;
+        attribution.base_rank_at_best = r.rank;
+      }
+      ++attribution.samples;
+    }
+  }
+  for (const obs::Incident& incident : incidents) {
+    for (const obs::AuditRecord& r : *records) {
+      if (r.has_explain && r.explain.signature == incident.signature &&
+          r.session_id == incident.exemplar_session &&
+          r.position == incident.exemplar_position) {
+        exemplar_record[incident.signature] = &r;
+        break;
+      }
+    }
+  }
+
+  int shown = 0;
+  for (const obs::Incident& incident : incidents) {
+    if (shown++ >= top_n) break;
+    std::printf("\nincident %s — %s\n",
+                obs::SignatureHex(incident.signature).c_str(),
+                incident.offending.c_str());
+    std::printf("  %llu verdict(s), worst rank %d (score %.4f), seen "
+                "%lld..%lld ms, exemplar %s@%d\n",
+                static_cast<unsigned long long>(incident.count),
+                incident.worst_rank,
+                static_cast<double>(incident.worst_score),
+                static_cast<long long>(incident.first_seen_ms),
+                static_cast<long long>(incident.last_seen_ms),
+                incident.exemplar_session.c_str(),
+                incident.exemplar_position);
+    const auto attribution = by_incident.find(incident.signature);
+    if (attribution != by_incident.end()) {
+      double max_share = 0.0;
+      for (const auto& [tmpl, ta] : attribution->second) {
+        max_share = std::max(max_share, ta.MeanAttention());
+      }
+      std::printf("  attribution (mean attention share; cf = rank with the "
+                  "op masked):\n");
+      // Sort bars attention-descending for readability.
+      std::vector<std::pair<std::string, const TemplateAttribution*>> rows;
+      for (const auto& [tmpl, ta] : attribution->second) {
+        rows.emplace_back(tmpl, &ta);
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second->MeanAttention() >
+                                b.second->MeanAttention();
+                       });
+      for (const auto& [tmpl, ta] : rows) {
+        std::printf("    %s %5.3f  cf rank %d -> %d  %s\n",
+                    Bar(ta->MeanAttention(), max_share, 24).c_str(),
+                    ta->MeanAttention(), ta->base_rank_at_best,
+                    ta->best_cf_rank, tmpl.c_str());
+      }
+    }
+    const auto exemplar = exemplar_record.find(incident.signature);
+    if (exemplar != exemplar_record.end() &&
+        !exemplar->second->expected.empty()) {
+      std::printf("  context expected instead:");
+      for (const obs::AuditCandidate& cand : exemplar->second->expected) {
+        std::printf(" [key=%d score=%.4f]", cand.key,
+                    static_cast<double>(cand.score));
+      }
+      std::printf("\n");
+    }
+    if (have_flight) {
+      PrintExemplarTrace(dump, incident.exemplar_session,
+                         incident.exemplar_position);
+    }
+  }
+  return 0;
+}
