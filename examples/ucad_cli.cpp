@@ -6,6 +6,7 @@
 //   ucad_cli detect <model-file> <log-file> [top_p]
 //   ucad_cli monitor <model-file> <log-file> [top_p]  # live drift view
 //   ucad_cli quickstart [dir] [epochs]      # gen-demo + train + detect
+//   ucad_cli top <port> [iterations] [interval-ms]    # live /history view
 //
 // Observability flags (accepted by every command, in any position):
 //   --metrics-out <file>   dump the metrics registry as JSONL on exit
@@ -23,9 +24,20 @@
 //                          tools/incident_report
 //   --incident-top <n>     incidents shown/exported in the rollup (default 5)
 //   --incident-open-sec <s> incidents idle this long count as resolved
-//   --serve-metrics <port> serve Prometheus /metrics + /healthz on
+//   --serve-metrics <port> serve Prometheus /metrics, the SLO-graded
+//                          /healthz, and the /history time-series JSON on
 //                          127.0.0.1:<port> for the lifetime of the run
-//                          (also enables the streaming drift monitor)
+//                          (also enables the streaming drift monitor and
+//                          the metrics time-series sampler)
+//   --canary               run canary probe rounds during monitor: known-
+//                          normal, rare-injection, and mimicry probe
+//                          sessions scored in shadow mode (never touching
+//                          the audit log, drift reference, or incidents)
+//   --canary-every <n>     sessions between canary rounds (default 8)
+//   --canary-scenario <s>  workload the probes are synthesized from:
+//                          commenting (default) or location — probing a
+//                          scenario the model was NOT trained on induces
+//                          a visible canary SLO breach on demand
 //   --flight-dump-dir <d>  install the fatal-signal handler: on
 //                          SIGSEGV/SIGABRT/SIGBUS write the flight-recorder
 //                          rings, metrics snapshot, and run manifest into
@@ -43,8 +55,12 @@
 //   user<TAB>address<TAB>unix_time<TAB>SQL
 // with blank lines or `# session` separating sessions (sql/log_reader.h).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +74,7 @@
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "obs/audit_log.h"
+#include "obs/canary.h"
 #include "obs/explain.h"
 #include "obs/flight.h"
 #include "obs/incident.h"
@@ -66,6 +83,9 @@
 #include "obs/metrics_server.h"
 #include "obs/monitor.h"
 #include "obs/pool_metrics.h"
+#include "obs/slo.h"
+#include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sql/log_reader.h"
 #include "transdas/detector.h"
@@ -73,6 +93,7 @@
 #include "transdas/trainer.h"
 #include "util/thread_pool.h"
 #include "workload/commenting.h"
+#include "workload/location.h"
 
 using namespace ucad;  // NOLINT
 
@@ -178,6 +199,18 @@ int g_incident_top = 5;
 int g_incident_open_sec = 15 * 60;
 /// Active incident aggregator while a detect/monitor run has --explain on.
 obs::IncidentAggregator* g_incident_agg = nullptr;
+/// --canary: run probe rounds during monitor (shadow-scored, known-verdict
+/// sessions that measure live recall without contaminating the stats).
+bool g_canary = false;
+/// --canary-every: real sessions between canary rounds.
+int g_canary_every = 8;
+/// --canary-scenario: workload probes are synthesized from. Probing a
+/// scenario the model never saw is the supported way to induce a canary
+/// SLO breach (the CI smoke uses it).
+std::string g_canary_scenario = "commenting";
+/// Active SLO evaluator while --serve-metrics is on; Monitor prints
+/// [health] lines from it at drift-window cadence.
+obs::SloEvaluator* g_slo = nullptr;
 
 int64_t NowUnixMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -287,6 +320,50 @@ void AuditSession(obs::AuditLog* audit,
     if (g_incident_agg != nullptr) g_incident_agg->Observe(record);
     if (audit != nullptr) audit->Append(std::move(record));
   }
+}
+
+/// One-line health rollup for the monitor's [health] status lines: the
+/// grade plus the names of any breached SLOs.
+std::string HealthStatusLine(const obs::HealthReport& report) {
+  std::string line = obs::HealthGradeName(report.grade);
+  for (const obs::SloStatus& slo : report.slos) {
+    if (slo.grade == obs::HealthGrade::kOk) continue;
+    line += " ";
+    line += slo.name;
+    line += "(burn ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  std::max(slo.burn_fast, slo.burn_slow));
+    line += buf;
+    line += ")";
+  }
+  return line;
+}
+
+/// Builds the canary engine for a monitor run: probes synthesized from the
+/// --canary-scenario workload, scored through the detector's shadow path,
+/// with mimicry candidates drawn from the detector's own explanations.
+std::unique_ptr<obs::CanaryEngine> MakeCanaryEngine(
+    const workload::SessionGenerator& generator,
+    const transdas::TransDasDetector& detector,
+    const sql::Vocabulary& vocab, int top_p) {
+  obs::CanaryScoreFn score = [&detector](const std::vector<int>& keys) {
+    return detector.ShadowDetectSession(keys).abnormal;
+  };
+  obs::CanaryExpectFn expect = [&detector](const std::vector<int>& keys,
+                                           int position, int top_k) {
+    std::vector<int> out;
+    for (const auto& cand :
+         detector.ExplainOperation(keys, position, top_k)) {
+      out.push_back(cand.key);
+    }
+    return out;
+  };
+  obs::CanaryOptions options;
+  options.top_p = top_p;
+  return std::make_unique<obs::CanaryEngine>(&generator, &vocab,
+                                             std::move(score),
+                                             std::move(expect), options);
 }
 
 /// End-of-run incident rollup: publishes the detector/incidents_* gauges
@@ -409,28 +486,63 @@ int Monitor(const std::string& model_path, const std::string& log_path,
       .open_window_ms = static_cast<int64_t>(g_incident_open_sec) * 1000,
       .top_n = g_incident_top});
   g_incident_agg = g_explain ? &incidents : nullptr;
+  // Canary probes ride the monitor loop: every g_canary_every real
+  // sessions one round of known-verdict probes is shadow-scored. The
+  // generator must outlive the engine.
+  std::unique_ptr<workload::SessionGenerator> canary_generator;
+  std::unique_ptr<obs::CanaryEngine> canary;
+  if (g_canary) {
+    canary_generator = std::make_unique<workload::SessionGenerator>(
+        g_canary_scenario == "location"
+            ? workload::MakeLocationScenario()
+            : workload::MakeCommentingScenario());
+    canary = MakeCanaryEngine(*canary_generator, detector,
+                              bundle->vocabulary, top_p);
+    std::printf("canary probes on: scenario %s, one round per %d "
+                "sessions\n",
+                g_canary_scenario.c_str(), g_canary_every);
+  }
   uint64_t last_windows = monitor.WindowsCompleted();
   int flagged = 0;
   for (size_t i = 0; i < log->size(); ++i) {
-    obs::FlightSessionScope flight_scope(SessionId(i));
-    const sql::KeySession keys =
-        sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
-    const transdas::SessionVerdict verdict =
-        detector.DetectSession(keys.keys);
-    if (audit != nullptr || g_explain) {
-      AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
-                   keys.keys, verdict, SessionId(i));
+    {
+      obs::FlightSessionScope flight_scope(SessionId(i));
+      const sql::KeySession keys =
+          sql::TokenizeSessionFrozen((*log)[i], bundle->vocabulary);
+      const transdas::SessionVerdict verdict =
+          detector.DetectSession(keys.keys);
+      if (audit != nullptr || g_explain) {
+        AuditSession(audit.get(), detector, bundle->vocabulary, (*log)[i],
+                     keys.keys, verdict, SessionId(i));
+      }
+      if (verdict.abnormal) {
+        ++flagged;
+        std::printf("session %zu (user %s): ABNORMAL (%zu ops flagged)\n",
+                    i + 1, (*log)[i].attrs.user.c_str(),
+                    verdict.AbnormalPositions().size());
+      }
     }
-    if (verdict.abnormal) {
-      ++flagged;
-      std::printf("session %zu (user %s): ABNORMAL (%zu ops flagged)\n",
-                  i + 1, (*log)[i].attrs.user.c_str(),
-                  verdict.AbnormalPositions().size());
+    if (canary != nullptr && (i + 1) % static_cast<size_t>(std::max(
+                                           1, g_canary_every)) ==
+                                 0) {
+      canary->RunRound();
     }
     const uint64_t windows = monitor.WindowsCompleted();
     if (windows != last_windows) {
       last_windows = windows;
       std::printf("[drift] %s\n", monitor.StatusLine().c_str());
+      if (canary != nullptr) {
+        std::printf("[canary] hit rate %.2f (%llu probes, %llu missed, "
+                    "%llu false)\n",
+                    canary->HitRate(),
+                    static_cast<unsigned long long>(canary->ProbesTotal()),
+                    static_cast<unsigned long long>(canary->MissedFlags()),
+                    static_cast<unsigned long long>(canary->FalseFlags()));
+      }
+      if (g_slo != nullptr) {
+        std::printf("[health] %s\n",
+                    HealthStatusLine(g_slo->Evaluate()).c_str());
+      }
       // Live rollup: a scraper watching /metrics sees incident gauges move
       // at drift-window cadence, not only at process exit.
       if (g_explain) {
@@ -440,6 +552,19 @@ int Monitor(const std::string& model_path, const std::string& log_path,
   }
   std::printf("done: %d/%zu sessions flagged; %s\n", flagged, log->size(),
               monitor.StatusLine().c_str());
+  if (canary != nullptr) {
+    std::printf("canary: %llu probes, hit rate %.2f (%llu true, %llu "
+                "missed, %llu false flags)\n",
+                static_cast<unsigned long long>(canary->ProbesTotal()),
+                canary->HitRate(),
+                static_cast<unsigned long long>(canary->TrueFlags()),
+                static_cast<unsigned long long>(canary->MissedFlags()),
+                static_cast<unsigned long long>(canary->FalseFlags()));
+  }
+  if (g_slo != nullptr) {
+    std::printf("health: %s\n",
+                HealthStatusLine(g_slo->Evaluate()).c_str());
+  }
   if (g_explain) ReportIncidents(incidents);
   g_incident_agg = nullptr;
   if (audit != nullptr) {
@@ -448,6 +573,126 @@ int Monitor(const std::string& model_path, const std::string& log_path,
                 static_cast<unsigned long long>(audit->appended()),
                 static_cast<unsigned long long>(audit->dropped()),
                 audit->path().c_str());
+  }
+  return 0;
+}
+
+/// One blocking HTTP/1.0 GET against 127.0.0.1:`port`; returns the body
+/// (headers stripped) or empty on any failure — `top` treats an empty
+/// answer as "endpoint gone" and says so rather than crashing.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  return header_end == std::string::npos ? ""
+                                         : response.substr(header_end + 4);
+}
+
+/// ASCII sparkline of the last `width` values, scaled to the series max.
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  const size_t start = values.size() > width ? values.size() - width : 0;
+  double max = 0.0;
+  for (size_t i = start; i < values.size(); ++i) {
+    max = std::max(max, values[i]);
+  }
+  std::string out;
+  for (size_t i = start; i < values.size(); ++i) {
+    const int level =
+        max > 0.0 ? static_cast<int>(values[i] / max * 9.0 + 0.5) : 0;
+    out += kLevels[std::clamp(level, 0, 9)];
+  }
+  return out;
+}
+
+/// Live terminal view over a running monitor's quality endpoints: polls
+/// /healthz and /history?ticks=60, renders the health grade and a
+/// sparkline-per-series table, repeats. The terminal-dashboard answer to
+/// "is it still detecting?" without Prometheus/Grafana in the loop.
+int Top(int port, int iterations, int interval_ms) {
+  for (int it = 0; it < iterations; ++it) {
+    const std::string health = HttpGet(port, "/healthz");
+    const std::string history = HttpGet(port, "/history?ticks=60");
+    if (health.empty() && history.empty()) {
+      std::fprintf(stderr,
+                   "no response from 127.0.0.1:%d — is a monitor running "
+                   "with --serve-metrics %d?\n",
+                   port, port);
+      return 1;
+    }
+    // \033[H\033[2J = cursor home + clear: a live view, not a scroll.
+    if (it > 0) std::printf("\033[H\033[2J");
+    std::printf("ucad top — 127.0.0.1:%d (poll %d/%d)\n", port, it + 1,
+                iterations);
+    std::printf("health: %s", health.empty() ? "(no /healthz)\n"
+                                             : health.c_str());
+    const auto parsed = obs::ParseJson(history);
+    if (!parsed.ok()) {
+      std::printf("(no /history yet: %s)\n",
+                  parsed.status().ToString().c_str());
+    } else {
+      const obs::JsonValue* series = parsed->Find("series");
+      std::printf("%-36s %10s  %s\n", "series", "latest", "last 60 ticks");
+      size_t shown = 0;
+      static const std::vector<obs::JsonValue> kEmpty;
+      for (const obs::JsonValue& s :
+           series != nullptr ? series->array : kEmpty) {
+        const obs::JsonValue* name = s.Find("series");
+        const obs::JsonValue* type = s.Find("type");
+        if (name == nullptr || type == nullptr) continue;
+        // The interesting live series: canary + slo + detector health,
+        // counter rates and latency p99s. Cap the view at a screenful.
+        const std::string& key = name->string_value;
+        const bool interesting =
+            key.rfind("canary/", 0) == 0 || key.rfind("slo/", 0) == 0 ||
+            key.rfind("detector/", 0) == 0;
+        if (!interesting || shown >= 24) continue;
+        const obs::JsonValue* values =
+            type->string_value == "histogram" ? s.Find("p99")
+            : type->string_value == "counter" ? s.Find("rates")
+                                              : s.Find("values");
+        if (values == nullptr || values->array.empty()) continue;
+        std::vector<double> nums;
+        nums.reserve(values->array.size());
+        for (const obs::JsonValue& v : values->array) {
+          nums.push_back(v.NumberOr(0.0));
+        }
+        const char* unit = type->string_value == "histogram" ? " p99"
+                           : type->string_value == "counter" ? " /s"
+                                                             : "";
+        std::printf("%-36s %10.3f  %s\n", (key + unit).c_str(),
+                    nums.back(), Sparkline(nums, 60).c_str());
+        ++shown;
+      }
+      if (shown == 0) {
+        std::printf("(no canary/slo/detector series retained yet)\n");
+      }
+    }
+    std::fflush(stdout);
+    if (it + 1 < iterations) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
   }
   return 0;
 }
@@ -472,6 +717,7 @@ void Usage() {
                "  ucad_cli detect <model-file> <log-file> [top_p=6]\n"
                "  ucad_cli monitor <model-file> <log-file> [top_p=6]\n"
                "  ucad_cli quickstart [dir=.] [epochs=20]\n"
+               "  ucad_cli top <port> [iterations=20] [interval-ms=1000]\n"
                "observability flags (any command, any position):\n"
                "  --metrics-out <file>  write a JSONL metrics snapshot on "
                "exit\n"
@@ -505,10 +751,23 @@ void Usage() {
                "  --incident-open-sec <s>  incidents idle this long count "
                "as resolved\n"
                "                        (default 900)\n"
-               "  --serve-metrics <p>   Prometheus /metrics + /healthz on "
+               "  --serve-metrics <p>   Prometheus /metrics, SLO-graded "
+               "/healthz, and\n"
+               "                        /history time-series JSON on "
                "127.0.0.1:<p>\n"
                "                        (0 = ephemeral port; enables the "
-               "drift monitor)\n"
+               "drift monitor\n"
+               "                        and the 1s metrics sampler)\n"
+               "  --canary              shadow-score known-verdict probe "
+               "sessions during\n"
+               "                        monitor; feeds the canary/* metrics "
+               "and SLOs\n"
+               "  --canary-every <n>    sessions between canary rounds "
+               "(default 8)\n"
+               "  --canary-scenario <s> probe workload: commenting|location "
+               "(probing an\n"
+               "                        untrained scenario induces a canary "
+               "breach)\n"
                "  --flight-dump-dir <d> on SIGSEGV/SIGABRT/SIGBUS dump "
                "flight rings,\n"
                "                        metrics, and manifest to "
@@ -589,7 +848,8 @@ int main(int argc, char** argv) {
         arg == "--audit-max-mb" || arg == "--serve-metrics" ||
         arg == "--linger" || arg == "--drift-window" || arg == "--threads" ||
         arg == "--flight-dump-dir" || arg == "--flight-out" ||
-        arg == "--incident-top" || arg == "--incident-open-sec") {
+        arg == "--incident-top" || arg == "--incident-open-sec" ||
+        arg == "--canary-every" || arg == "--canary-scenario") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
         return 2;
@@ -619,11 +879,22 @@ int main(int argc, char** argv) {
         flight_dump_dir = value;
       } else if (arg == "--flight-out") {
         flight_out = value;
+      } else if (arg == "--canary-every") {
+        g_canary_every = std::atoi(value.c_str());
+      } else if (arg == "--canary-scenario") {
+        if (value != "commenting" && value != "location") {
+          std::fprintf(stderr,
+                       "--canary-scenario must be commenting or location\n");
+          return 2;
+        }
+        g_canary_scenario = value;
       } else {
         drift_window = std::atoi(value.c_str());
       }
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--canary") {
+      g_canary = true;
     } else if (arg == "--explain") {
       g_explain = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -643,17 +914,46 @@ int main(int argc, char** argv) {
     monitor_options.window = drift_window;
     obs::SetDefaultMonitorOptions(monitor_options);
   }
+  // Quality-observability layer: the time-series sampler and the SLO
+  // evaluator live while the scrape endpoint does. Declared before the
+  // server (and joined in ~QualityLayer before the evaluator dies) so the
+  // accept thread and the sampler callback never outlive their targets.
+  struct QualityLayer {
+    obs::TimeSeriesStore store;
+    obs::SloEvaluator slo;
+    QualityLayer()
+        : store(&obs::DefaultMetrics()),
+          slo(obs::DefaultSloSpecs(), &store) {}
+    ~QualityLayer() { store.Stop(); }
+  };
+  std::unique_ptr<QualityLayer> quality;
   obs::MetricsHttpServer server;
   if (serve_port >= 0) {
     // A scrape endpoint implies live monitoring: drift/quantile series
     // should be on whatever Prometheus is watching.
     obs::SetDetectionMonitorEnabled(true);
+    quality = std::make_unique<QualityLayer>();
+    // Each sampler tick re-grades the SLOs, so slo/* gauges (and the
+    // /healthz answer they mirror) move at tick cadence even when the
+    // command loop is busy scoring.
+    quality->store.Start([q = quality.get()](int64_t) {
+      q->slo.EvaluateAndPublish();
+    });
+    server.SetHistorySource(&quality->store);
+    server.SetHealthHandler(
+        [q = quality.get()]() -> std::pair<int, std::string> {
+          const obs::HealthReport report = q->slo.Evaluate();
+          return {report.grade == obs::HealthGrade::kUnhealthy ? 503 : 200,
+                  report.ToText()};
+        });
+    g_slo = &quality->slo;
     const util::Status st = server.Start(serve_port);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 2;
     }
-    std::printf("serving metrics on http://127.0.0.1:%d/metrics\n",
+    std::printf("serving metrics on http://127.0.0.1:%d/metrics "
+                "(/healthz, /history)\n",
                 server.port());
   }
   obs::RunManifest manifest("ucad_cli");
@@ -690,6 +990,10 @@ int main(int argc, char** argv) {
   } else if (command == "quickstart") {
     rc = Quickstart(args.size() > 1 ? args[1] : ".",
                     args.size() > 2 ? std::atoi(args[2].c_str()) : 20);
+  } else if (command == "top" && args.size() >= 2) {
+    rc = Top(std::atoi(args[1].c_str()),
+             args.size() > 2 ? std::atoi(args[2].c_str()) : 20,
+             args.size() > 3 ? std::atoi(args[3].c_str()) : 1000);
   } else {
     Usage();
     return 2;

@@ -1,0 +1,148 @@
+#include "obs/canary.h"
+
+#include <algorithm>
+
+#include "sql/session.h"
+#include "util/timer.h"
+
+namespace ucad::obs {
+
+const char* ProbeClassName(ProbeClass cls) {
+  switch (cls) {
+    case ProbeClass::kNormal:
+      return "normal";
+    case ProbeClass::kRareInjection:
+      return "rare_injection";
+    case ProbeClass::kMimicry:
+      return "mimicry";
+  }
+  return "unknown";
+}
+
+CanaryEngine::CanaryEngine(const workload::SessionGenerator* generator,
+                           const sql::Vocabulary* vocabulary,
+                           CanaryScoreFn score, CanaryExpectFn expect,
+                           CanaryOptions options, MetricsRegistry* registry)
+    : generator_(generator),
+      vocabulary_(vocabulary),
+      score_(std::move(score)),
+      expect_(std::move(expect)),
+      options_(options),
+      registry_(registry != nullptr ? registry : &DefaultMetrics()),
+      synthesizer_(generator),
+      rng_(options.seed) {
+  true_flag_counter_ = registry_->GetCounter("canary/true_flag_total");
+  missed_flag_counter_ = registry_->GetCounter("canary/missed_flag_total");
+  false_flag_counter_ = registry_->GetCounter("canary/false_flag_total");
+  clean_probes_counter_ = registry_->GetCounter("canary/clean_probes_total");
+  expected_flag_counter_ =
+      registry_->GetCounter("canary/expected_flag_total");
+  hit_rate_gauge_ = registry_->GetGauge("canary/hit_rate");
+  hit_rate_gauge_->Set(1.0);
+}
+
+std::vector<int> CanaryEngine::BuildProbe(ProbeClass probe_class,
+                                          bool* expect_abnormal) {
+  const sql::RawSession base = generator_->GenerateNormal(&rng_);
+  switch (probe_class) {
+    case ProbeClass::kNormal: {
+      *expect_abnormal = false;
+      return sql::TokenizeSessionFrozen(base, *vocabulary_).keys;
+    }
+    case ProbeClass::kRareInjection: {
+      *expect_abnormal = true;
+      const sql::RawSession probe =
+          synthesizer_.CredentialStealing(base, &rng_);
+      return sql::TokenizeSessionFrozen(probe, *vocabulary_).keys;
+    }
+    case ProbeClass::kMimicry: {
+      *expect_abnormal = true;
+      std::vector<int> keys =
+          sql::TokenizeSessionFrozen(base, *vocabulary_).keys;
+      // Substitute one scored position (never position 0 — it has no
+      // context and is never scored) with the first expected candidate
+      // OUTSIDE the top-p admission set: the model's own (top_p+1)-th
+      // choice. That key is plausible by construction — the hardest
+      // substitution the detector must still flag.
+      if (keys.size() >= 2 && expect_ != nullptr) {
+        const int position =
+            rng_.UniformInt(1, static_cast<int>(keys.size()) - 1);
+        const std::vector<int> expected =
+            expect_(keys, position, options_.top_p + 1);
+        if (static_cast<int>(expected.size()) > options_.top_p) {
+          keys[position] = expected[static_cast<size_t>(options_.top_p)];
+          return keys;
+        }
+      }
+      // Vocabulary smaller than top_p+1 (or no expect callback): the
+      // admission set covers every known key, so no in-vocabulary mimicry
+      // exists. Probe with an unknown key instead — k0 always flags.
+      if (keys.size() >= 2) {
+        keys[rng_.UniformInt(1, static_cast<int>(keys.size()) - 1)] = 0;
+      }
+      return keys;
+    }
+  }
+  *expect_abnormal = false;
+  return {};
+}
+
+ProbeResult CanaryEngine::RunProbe(ProbeClass probe_class) {
+  ProbeResult result;
+  result.probe_class = probe_class;
+  const std::vector<int> keys =
+      BuildProbe(probe_class, &result.expected_abnormal);
+  util::Timer timer;
+  result.flagged = score_(keys);
+  result.latency_ms = timer.ElapsedMillis();
+
+  const Labels class_labels = {{"class", ProbeClassName(probe_class)}};
+  registry_->GetCounter("canary/probes_total", class_labels)->Increment();
+  registry_
+      ->GetHistogram("canary/probe_latency_ms", class_labels,
+                     Histogram::DefaultLatencyBounds())
+      ->Observe(result.latency_ms);
+  ++probes_total_;
+  if (result.expected_abnormal) {
+    expected_flag_counter_->Increment();
+    if (result.flagged) {
+      ++true_flags_;
+      true_flag_counter_->Increment();
+    } else {
+      ++missed_flags_;
+      missed_flag_counter_->Increment();
+    }
+  } else {
+    clean_probes_counter_->Increment();
+    if (result.flagged) {
+      ++false_flags_;
+      false_flag_counter_->Increment();
+    }
+  }
+  recent_correct_.push_back(result.Correct());
+  while (recent_correct_.size() > options_.hit_rate_window) {
+    recent_correct_.pop_front();
+  }
+  hit_rate_gauge_->Set(HitRate());
+  return result;
+}
+
+std::vector<ProbeResult> CanaryEngine::RunRound() {
+  std::vector<ProbeResult> results;
+  results.push_back(RunProbe(ProbeClass::kNormal));
+  results.push_back(RunProbe(ProbeClass::kRareInjection));
+  if (expect_ != nullptr) {
+    results.push_back(RunProbe(ProbeClass::kMimicry));
+  }
+  return results;
+}
+
+double CanaryEngine::HitRate() const {
+  if (recent_correct_.empty()) return 1.0;
+  const auto correct =
+      std::count(recent_correct_.begin(), recent_correct_.end(), true);
+  return static_cast<double>(correct) /
+         static_cast<double>(recent_correct_.size());
+}
+
+}  // namespace ucad::obs

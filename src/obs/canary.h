@@ -1,0 +1,142 @@
+#ifndef UCAD_OBS_CANARY_H_
+#define UCAD_OBS_CANARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sql/vocabulary.h"
+#include "util/rng.h"
+#include "workload/anomaly.h"
+#include "workload/scenario.h"
+
+namespace ucad::obs {
+
+/// What a canary probe is built from and what verdict it must earn.
+enum class ProbeClass {
+  /// A plain generated session — must score clean.
+  kNormal,
+  /// CredentialStealing (A2) rare-template injection — must flag.
+  kRareInjection,
+  /// A normal session with one operation replaced by the model's own
+  /// (top_p+1)-th expected candidate — a key the model itself considers
+  /// plausible, sitting just OUTSIDE the top-p admission set. Stresses the
+  /// cutoff with the hardest flag the detector is still required to make.
+  kMimicry,
+};
+const char* ProbeClassName(ProbeClass cls);
+
+/// Outcome of one probe.
+struct ProbeResult {
+  ProbeClass probe_class = ProbeClass::kNormal;
+  bool expected_abnormal = false;
+  bool flagged = false;
+  double latency_ms = 0.0;
+  /// True when the verdict matched the expectation.
+  bool Correct() const { return flagged == expected_abnormal; }
+};
+
+/// Scores a tokenized probe session through the detector's SHADOW path
+/// (bitwise-identical scoring, observability side effects suppressed);
+/// returns the session-level abnormal verdict. Injected by the caller so
+/// obs never links the detector library (which links back into obs).
+using CanaryScoreFn = std::function<bool(const std::vector<int>& keys)>;
+
+/// The model's top-k expected keys at `position` of `keys`, best first
+/// (the detector's ExplainOperation). Used to build mimicry probes; may be
+/// null, which disables the mimicry class.
+using CanaryExpectFn = std::function<std::vector<int>(
+    const std::vector<int>& keys, int position, int top_k)>;
+
+struct CanaryOptions {
+  uint64_t seed = 0x5eed'c0de;
+  /// The detector's top-p admission cutoff: the mimicry probe substitutes
+  /// the (top_p+1)-th expected candidate, the best key still outside the
+  /// admission set.
+  int top_p = 5;
+  /// Probes contributing to the rolling canary/hit_rate gauge.
+  size_t hit_rate_window = 64;
+};
+
+/// Synthetic monitoring for an unsupervised detector: continuously score
+/// probe sessions of KNOWN verdict through the real detection path and
+/// count hits/misses, because once deployed there are no labels and
+/// "recall right now" is otherwise unobservable. Probes are scored in
+/// shadow mode — the injected score callback must keep them out of the
+/// cumulative detector metrics, the PSI drift reference, the audit log,
+/// and the incident aggregator, so canaries never contaminate the
+/// statistics they are guarding.
+///
+/// Emits (under the registry passed in):
+///   canary/probes_total{class=}     probes run per class
+///   canary/true_flag_total          expected-abnormal probes that flagged
+///   canary/missed_flag_total        expected-abnormal probes scored clean
+///   canary/false_flag_total         known-normal probes that flagged
+///   canary/clean_probes_total       known-normal probes run
+///   canary/expected_flag_total      expected-abnormal probes run
+///   canary/probe_latency_ms{class=} per-class probe scoring latency
+///   canary/hit_rate                 rolling fraction of correct verdicts
+///
+/// Not thread-safe; drive it from one monitoring loop.
+class CanaryEngine {
+ public:
+  /// `generator` and `vocabulary` must outlive the engine. `score` is
+  /// required; `expect` may be null (disables kMimicry, RunRound then
+  /// skips it).
+  CanaryEngine(const workload::SessionGenerator* generator,
+               const sql::Vocabulary* vocabulary, CanaryScoreFn score,
+               CanaryExpectFn expect, CanaryOptions options = {},
+               MetricsRegistry* registry = nullptr);
+
+  /// Builds, scores, and accounts one probe of the given class.
+  ProbeResult RunProbe(ProbeClass probe_class);
+
+  /// One probe per available class (normal, rare-injection, mimicry when
+  /// the expect callback is present). Returns the results.
+  std::vector<ProbeResult> RunRound();
+
+  uint64_t ProbesTotal() const { return probes_total_; }
+  uint64_t TrueFlags() const { return true_flags_; }
+  uint64_t MissedFlags() const { return missed_flags_; }
+  uint64_t FalseFlags() const { return false_flags_; }
+  /// Rolling fraction of correct verdicts over the last
+  /// options.hit_rate_window probes (1.0 before any probe ran).
+  double HitRate() const;
+
+  const CanaryOptions& options() const { return options_; }
+
+ private:
+  /// Tokenized key sequence for a probe of the class, plus its expected
+  /// verdict. Mimicry falls back to rare-injection when the expect
+  /// callback cannot produce a candidate outside the admission set.
+  std::vector<int> BuildProbe(ProbeClass probe_class, bool* expect_abnormal);
+
+  const workload::SessionGenerator* generator_;
+  const sql::Vocabulary* vocabulary_;
+  CanaryScoreFn score_;
+  CanaryExpectFn expect_;
+  CanaryOptions options_;
+  MetricsRegistry* registry_;
+  workload::AnomalySynthesizer synthesizer_;
+  util::Rng rng_;
+
+  uint64_t probes_total_ = 0;
+  uint64_t true_flags_ = 0;
+  uint64_t missed_flags_ = 0;
+  uint64_t false_flags_ = 0;
+  std::deque<bool> recent_correct_;
+
+  Counter* true_flag_counter_;
+  Counter* missed_flag_counter_;
+  Counter* false_flag_counter_;
+  Counter* clean_probes_counter_;
+  Counter* expected_flag_counter_;
+  Gauge* hit_rate_gauge_;
+};
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_CANARY_H_

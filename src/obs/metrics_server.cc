@@ -46,14 +46,57 @@ std::string HttpResponse(int code, const char* reason,
   return out;
 }
 
-/// Extracts the request path from an HTTP request line ("GET /metrics
-/// HTTP/1.1"); empty when malformed or not a GET.
-std::string RequestPath(const std::string& request) {
-  if (request.rfind("GET ", 0) != 0) return "";
-  const size_t start = 4;
-  const size_t end = request.find(' ', start);
-  if (end == std::string::npos) return "";
-  return request.substr(start, end - start);
+/// Parsed request line ("GET /metrics HTTP/1.1"): method and path, split
+/// so the handler can answer 405 (method known, not GET) distinctly from
+/// 400 (no parseable request line at all).
+struct RequestLine {
+  std::string method;
+  std::string path;
+};
+
+RequestLine ParseRequestLine(const std::string& request) {
+  RequestLine line;
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos || method_end == 0) return line;
+  const size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return line;
+  line.method = request.substr(0, method_end);
+  line.path = request.substr(method_end + 1, path_end - method_end - 1);
+  // Reject anything that is not a plausible HTTP token/path — a random
+  // byte stream splitting on spaces should stay a 400, not a 405.
+  for (const char c : line.method) {
+    if (c < 'A' || c > 'Z') return RequestLine{};
+  }
+  if (line.path.empty() || line.path[0] != '/') return RequestLine{};
+  return line;
+}
+
+/// Splits "/history?ticks=60&prefix=canary/" into the bare path and its
+/// query parameters (unknown keys ignored; no %-decoding — our values are
+/// digits and metric-name characters).
+std::string SplitQuery(const std::string& path, size_t* ticks,
+                       std::string* prefix) {
+  const size_t q = path.find('?');
+  if (q == std::string::npos) return path;
+  std::string rest = path.substr(q + 1);
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t amp = rest.find('&', pos);
+    if (amp == std::string::npos) amp = rest.size();
+    const std::string param = rest.substr(pos, amp - pos);
+    const size_t eq = param.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = param.substr(0, eq);
+      const std::string value = param.substr(eq + 1);
+      if (key == "ticks") {
+        *ticks = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      } else if (key == "prefix") {
+        *prefix = value;
+      }
+    }
+    pos = amp + 1;
+  }
+  return path.substr(0, q);
 }
 
 }  // namespace
@@ -62,6 +105,15 @@ MetricsHttpServer::MetricsHttpServer(MetricsRegistry* registry)
     : registry_(registry != nullptr ? registry : &DefaultMetrics()) {}
 
 MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::SetHealthHandler(HealthHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  health_handler_ = std::move(handler);
+}
+
+void MetricsHttpServer::SetHistorySource(const TimeSeriesStore* store) {
+  history_source_.store(store);
+}
 
 util::Status MetricsHttpServer::Start(int port) {
   if (serving()) {
@@ -127,11 +179,32 @@ void MetricsHttpServer::HandleConnection(int client_fd) {
   const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
   if (n <= 0) return;
   buf[n] = '\0';
-  const std::string path = RequestPath(buf);
+  const RequestLine line = ParseRequestLine(buf);
+  size_t history_ticks = 0;
+  std::string history_prefix;
+  const std::string path =
+      SplitQuery(line.path, &history_ticks, &history_prefix);
   requests_.fetch_add(1);
   if (MetricsEnabled()) {
     registry_->GetCounter("obs/http_requests_total", {{"path", path}})
         ->Increment();
+  }
+  if (line.method.empty()) {
+    SendAll(client_fd,
+            HttpResponse(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  if (line.method != "GET") {
+    // The scrape surface is read-only by design: every route answers the
+    // same 405 so probes (HEAD, POST health pushes) fail loudly instead of
+    // being misread as scrapes.
+    std::string response =
+        HttpResponse(405, "Method Not Allowed", "text/plain",
+                     "method not allowed; this endpoint is GET-only\n");
+    const size_t header_end = response.find("\r\n\r\n");
+    response.insert(header_end, "\r\nAllow: GET");
+    SendAll(client_fd, response);
+    return;
   }
   if (path == "/metrics") {
     if (uptime_gauge_ != nullptr) uptime_gauge_->Set(ProcessUptimeSeconds());
@@ -139,13 +212,35 @@ void MetricsHttpServer::HandleConnection(int client_fd) {
             HttpResponse(200, "OK", "text/plain; version=0.0.4",
                          PromText(*registry_)));
   } else if (path == "/healthz") {
-    SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
-  } else if (path.empty()) {
-    SendAll(client_fd,
-            HttpResponse(400, "Bad Request", "text/plain", "bad request\n"));
+    HealthHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(handler_mu_);
+      handler = health_handler_;
+    }
+    if (handler == nullptr) {
+      SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    } else {
+      const auto [code, body] = handler();
+      SendAll(client_fd,
+              HttpResponse(code, code >= 500 ? "Service Unavailable" : "OK",
+                           "text/plain", body));
+    }
+  } else if (path == "/history") {
+    const TimeSeriesStore* store = history_source_.load();
+    if (store == nullptr) {
+      SendAll(client_fd,
+              HttpResponse(404, "Not Found", "text/plain",
+                           "no time-series store attached\n"));
+    } else {
+      SendAll(client_fd,
+              HttpResponse(200, "OK", "application/json",
+                           store->HistoryJson(history_ticks, history_prefix)));
+    }
   } else {
     SendAll(client_fd,
-            HttpResponse(404, "Not Found", "text/plain", "not found\n"));
+            HttpResponse(404, "Not Found", "text/plain",
+                         "not found: " + path +
+                             " (routes: /metrics /healthz /history)\n"));
   }
 }
 

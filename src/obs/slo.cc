@@ -1,0 +1,245 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ucad::obs {
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* HealthGradeName(HealthGrade grade) {
+  switch (grade) {
+    case HealthGrade::kOk:
+      return "ok";
+    case HealthGrade::kDegraded:
+      return "degraded";
+    case HealthGrade::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
+std::string HealthReport::ToText() const {
+  std::string out = HealthGradeName(grade);
+  out += "\n";
+  size_t ok_count = 0;
+  for (const SloStatus& s : slos) {
+    if (s.grade == HealthGrade::kOk) {
+      ++ok_count;
+      continue;
+    }
+    out += "slo ";
+    out += s.name;
+    out += " ";
+    out += HealthGradeName(s.grade);
+    out += ": ";
+    out += s.reason;
+    out += " (burn fast " + FormatValue(s.burn_fast) + ", slow " +
+           FormatValue(s.burn_slow) + ")\n";
+  }
+  out += "slo ok: " + std::to_string(ok_count) + "/" +
+         std::to_string(slos.size()) + "\n";
+  return out;
+}
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"status\":\"";
+  out += HealthGradeName(grade);
+  out += "\",\"evaluated_unix_ms\":" + std::to_string(evaluated_unix_ms);
+  out += ",\"slos\":[";
+  for (size_t i = 0; i < slos.size(); ++i) {
+    const SloStatus& s = slos[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"status\":\"";
+    out += HealthGradeName(s.grade);
+    out += "\",\"measured\":" + FormatValue(s.measured);
+    out += ",\"burn_fast\":" + FormatValue(s.burn_fast);
+    out += ",\"burn_slow\":" + FormatValue(s.burn_slow);
+    out += ",\"reason\":\"" + JsonEscape(s.reason) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+SloEvaluator::SloEvaluator(std::vector<SloSpec> specs,
+                           const TimeSeriesStore* store,
+                           MetricsRegistry* registry)
+    : specs_(std::move(specs)),
+      store_(store),
+      registry_(registry != nullptr ? registry : &DefaultMetrics()) {}
+
+bool SloEvaluator::WindowBurn(const SloSpec& spec, int64_t window_ms,
+                              double* burn, double* measured) const {
+  switch (spec.signal) {
+    case SloSignal::kGauge: {
+      double v;
+      if (!store_->GaugeMax(spec.series, window_ms, &v)) return false;
+      *measured = v;
+      *burn = spec.ceiling > 0.0 ? v / spec.ceiling : (v > 0.0 ? 2.0 : 0.0);
+      return true;
+    }
+    case SloSignal::kGaugeBand: {
+      // The ceiling side burns on the window max, the floor side on the
+      // window min — a band violation in either direction within the
+      // window counts.
+      double hi, lo;
+      if (!store_->GaugeMax(spec.series, window_ms, &hi) ||
+          !store_->GaugeMin(spec.series, window_ms, &lo)) {
+        return false;
+      }
+      const double above =
+          spec.ceiling > 0.0 ? hi / spec.ceiling : (hi > 0.0 ? 2.0 : 0.0);
+      // Linear in the shortfall: at the floor burn is 1, at zero it is 2.
+      const double below =
+          spec.floor > 0.0 ? 2.0 - lo / spec.floor : 0.0;
+      *burn = std::max({above, below, 0.0});
+      *measured = above >= below ? hi : lo;
+      return true;
+    }
+    case SloSignal::kCounterRatio: {
+      double num, den;
+      if (!store_->CounterRate(spec.series, window_ms, &num) ||
+          !store_->CounterRate(spec.denominator, window_ms, &den)) {
+        return false;
+      }
+      if (den <= 0.0) return false;  // no denominator events: no signal
+      const double ratio = num / den;
+      *measured = ratio;
+      *burn = spec.ceiling > 0.0 ? ratio / spec.ceiling
+                                 : (ratio > 0.0 ? 2.0 : 0.0);
+      return true;
+    }
+    case SloSignal::kHistogramP99: {
+      WindowedHistogram w;
+      if (!store_->HistogramWindow(spec.series, window_ms, &w) ||
+          w.count == 0) {
+        return false;
+      }
+      *measured = w.p99;
+      *burn = spec.ceiling > 0.0 ? w.p99 / spec.ceiling
+                                 : (w.p99 > 0.0 ? 2.0 : 0.0);
+      return true;
+    }
+  }
+  return false;
+}
+
+SloStatus SloEvaluator::EvaluateOne(const SloSpec& spec) const {
+  SloStatus status;
+  status.name = spec.name;
+  double fast_measured = 0.0, slow_measured = 0.0;
+  const bool have_fast = WindowBurn(spec, spec.fast_window_ms,
+                                    &status.burn_fast, &fast_measured);
+  const bool have_slow = WindowBurn(spec, spec.slow_window_ms,
+                                    &status.burn_slow, &slow_measured);
+  if (!have_fast) status.burn_fast = 0.0;
+  if (!have_slow) status.burn_slow = 0.0;
+  status.measured = have_fast ? fast_measured : slow_measured;
+  // Multi-window rule: breach only when BOTH windows are out of budget.
+  if (have_fast && have_slow && status.burn_fast > 1.0 &&
+      status.burn_slow > 1.0) {
+    const double floor_burn = std::min(status.burn_fast, status.burn_slow);
+    status.grade = floor_burn >= spec.unhealthy_factor
+                       ? HealthGrade::kUnhealthy
+                       : HealthGrade::kDegraded;
+    status.reason = spec.description.empty()
+                        ? spec.series + " out of budget"
+                        : spec.description;
+    status.reason += ", measured " + FormatValue(status.measured);
+    if (spec.signal == SloSignal::kGaugeBand) {
+      status.reason += " outside [" + FormatValue(spec.floor) + ", " +
+                       FormatValue(spec.ceiling) + "]";
+    } else {
+      status.reason += " vs ceiling " + FormatValue(spec.ceiling);
+    }
+  }
+  return status;
+}
+
+HealthReport SloEvaluator::Evaluate() const {
+  HealthReport report;
+  report.evaluated_unix_ms = store_->LatestTickMs();
+  for (const SloSpec& spec : specs_) {
+    report.slos.push_back(EvaluateOne(spec));
+    report.grade = std::max(report.grade, report.slos.back().grade);
+  }
+  return report;
+}
+
+HealthReport SloEvaluator::EvaluateAndPublish() {
+  const HealthReport report = Evaluate();
+  registry_->GetGauge("slo/status")
+      ->Set(static_cast<double>(static_cast<int>(report.grade)));
+  for (const SloStatus& s : report.slos) {
+    const Labels labels = {{"slo", s.name}};
+    registry_->GetGauge("slo/burn_rate", labels)
+        ->Set(std::max(s.burn_fast, s.burn_slow));
+    registry_->GetGauge("slo/ok", labels)
+        ->Set(s.grade == HealthGrade::kOk ? 1.0 : 0.0);
+  }
+  return report;
+}
+
+std::vector<SloSpec> DefaultSloSpecs() {
+  std::vector<SloSpec> specs;
+  // Ceilings are failure-mode thresholds, not performance targets: they
+  // must hold on cold undertrained smoke models in CI as well as on real
+  // deployments, so each leaves generous headroom.
+  specs.push_back({.name = "score-p99",
+                   .signal = SloSignal::kHistogramP99,
+                   .series = "detector/score_latency_ms",
+                   .ceiling = 250.0,
+                   .description = "per-window score latency p99 (ms)"});
+  specs.push_back({.name = "anomaly-band",
+                   .signal = SloSignal::kGaugeBand,
+                   .series = "detector/anomaly_rate",
+                   .ceiling = 0.9,
+                   .floor = 0.0,  // no lower bound by default
+                   .description = "session anomaly rate band"});
+  specs.push_back({.name = "psi-drift",
+                   .signal = SloSignal::kGauge,
+                   .series = "detector/drift/psi",
+                   .ceiling = 0.25,
+                   .description = "rank-distribution PSI vs reference"});
+  specs.push_back({.name = "canary-miss",
+                   .signal = SloSignal::kCounterRatio,
+                   .series = "canary/missed_flag_total",
+                   .denominator = "canary/expected_flag_total",
+                   .ceiling = 0.5,
+                   .description = "canary probes expected to flag that "
+                                  "scored clean"});
+  // The false-flag ceiling tracks the detector's intrinsic FP rate, which
+  // on small demo models sits near 0.5 — the ceiling catches "flags
+  // everything" (probing an untrained scenario pushes the ratio to ~1.0),
+  // not ordinary precision.
+  specs.push_back({.name = "canary-false-flag",
+                   .signal = SloSignal::kCounterRatio,
+                   .series = "canary/false_flag_total",
+                   .denominator = "canary/clean_probes_total",
+                   .ceiling = 0.8,
+                   .description = "known-normal canary probes that "
+                                  "flagged abnormal"});
+  specs.push_back({.name = "audit-drop",
+                   .signal = SloSignal::kCounterRatio,
+                   .series = "audit/dropped_total",
+                   .denominator = "audit/records_total",
+                   .ceiling = 0.01,
+                   .description = "audit records dropped"});
+  specs.push_back({.name = "flight-drop",
+                   .signal = SloSignal::kCounterRatio,
+                   .series = "flight/dropped_total",
+                   .denominator = "flight/records_total",
+                   .ceiling = 0.10,
+                   .description = "flight traces dropped"});
+  return specs;
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,112 @@
+#ifndef UCAD_OBS_SLO_H_
+#define UCAD_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace ucad::obs {
+
+/// How an SLO reads its measurement out of the time-series store.
+enum class SloSignal {
+  /// Max of a gauge over the window vs a ceiling (PSI drift).
+  kGauge,
+  /// Gauge must stay inside [floor, ceiling] (anomaly-rate band: both a
+  /// detector that flags everything and one that has gone silent are
+  /// failure modes).
+  kGaugeBand,
+  /// Windowed rate of a numerator counter over a denominator counter vs a
+  /// ratio ceiling (canary miss ratio, audit-drop budget).
+  kCounterRatio,
+  /// Windowed histogram-delta p99 vs a latency ceiling.
+  kHistogramP99,
+};
+
+/// One declarative service-level objective over metric series.
+struct SloSpec {
+  std::string name;         ///< stable slug, becomes the {slo=} label
+  SloSignal signal = SloSignal::kGauge;
+  std::string series;       ///< measured series ("name{k=v,...}" key)
+  std::string denominator;  ///< kCounterRatio only
+  double ceiling = 0.0;
+  double floor = 0.0;       ///< kGaugeBand only
+  /// Multi-window burn: the objective is breached only when BOTH windows
+  /// burn above 1 — the fast window gives detection latency, the slow
+  /// window rides out blips (a one-tick p99 spike alone never degrades).
+  int64_t fast_window_ms = 60 * 1000;
+  int64_t slow_window_ms = 300 * 1000;
+  /// Breach escalates from degraded to unhealthy when both burns reach
+  /// this multiple of the objective.
+  double unhealthy_factor = 2.0;
+  std::string description;
+};
+
+enum class HealthGrade { kOk = 0, kDegraded = 1, kUnhealthy = 2 };
+const char* HealthGradeName(HealthGrade grade);
+
+/// Evaluation of one SLO at one instant.
+struct SloStatus {
+  std::string name;
+  HealthGrade grade = HealthGrade::kOk;
+  /// Measured value over the fast window (ratio, p99 ms, gauge max...).
+  double measured = 0.0;
+  /// Burn = measured / objective (>1 means out of budget). A window with
+  /// no data burns 0: absence of evidence never degrades health.
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  std::string reason;  ///< human-readable, non-empty when breached
+};
+
+/// Rolled-up health: the worst per-SLO grade wins.
+struct HealthReport {
+  HealthGrade grade = HealthGrade::kOk;
+  std::vector<SloStatus> slos;
+  int64_t evaluated_unix_ms = 0;
+
+  /// Text form served by /healthz: first line is the grade, then one line
+  /// per breached SLO ("slo <name>: <reason>"), then "slo ok: N/M".
+  std::string ToText() const;
+  /// JSON form for dashboards: grade plus every SLO's burns.
+  std::string ToJson() const;
+};
+
+/// Evaluates a set of SLO specs against a TimeSeriesStore and mirrors the
+/// result into `slo/status` (0 ok / 1 degraded / 2 unhealthy),
+/// `slo/burn_rate{slo=}` and `slo/ok{slo=}` gauges so scrapes and the
+/// /history endpoint see the same health the /healthz endpoint reports.
+class SloEvaluator {
+ public:
+  SloEvaluator(std::vector<SloSpec> specs, const TimeSeriesStore* store,
+               MetricsRegistry* registry = nullptr);
+
+  /// Pure evaluation at the store's newest tick; no gauges touched.
+  HealthReport Evaluate() const;
+  /// Evaluate + publish the slo/* gauges.
+  HealthReport EvaluateAndPublish();
+
+  const std::vector<SloSpec>& specs() const { return specs_; }
+
+ private:
+  SloStatus EvaluateOne(const SloSpec& spec) const;
+  /// Burn rate of `spec` over one window; false when the window has no
+  /// data for the series. `measured` gets the window's raw measurement.
+  bool WindowBurn(const SloSpec& spec, int64_t window_ms, double* burn,
+                  double* measured) const;
+
+  std::vector<SloSpec> specs_;
+  const TimeSeriesStore* store_;
+  MetricsRegistry* registry_;
+};
+
+/// The shipped objective set: score-latency p99 ceiling, anomaly-rate
+/// band, PSI drift ceiling, canary miss/false-flag ratio ceilings, and
+/// audit/flight drop budgets. Ceilings are deliberately forgiving — they
+/// catch "detection is broken", not "detection is slightly worse".
+std::vector<SloSpec> DefaultSloSpecs();
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_SLO_H_

@@ -384,6 +384,35 @@ Snapshot MergeMinOfN(const std::vector<Snapshot>& runs) {
   return merged;
 }
 
+Snapshot SubtractSnapshots(const Snapshot& later, const Snapshot& earlier) {
+  Snapshot delta;
+  for (const auto& [series, late] : later) {
+    MetricSample d = late;
+    const auto it = earlier.find(series);
+    if (it != earlier.end()) {
+      const MetricSample& early = it->second;
+      if (d.type == "counter") {
+        d.value = late.value >= early.value ? late.value - early.value : 0.0;
+      } else if (d.type == "histogram") {
+        if (late.count < early.count) {
+          // Restart clamp: the earlier baseline belongs to a previous
+          // process lifetime — empty, never negative.
+          d.count = d.sum = 0.0;
+        } else {
+          d.count = late.count - early.count;
+          d.sum = late.sum >= early.sum ? late.sum - early.sum : 0.0;
+        }
+        // Distribution stats cannot be subtracted from summaries.
+        d.min = d.max = d.mean = d.p50 = d.p90 = d.p99 = 0.0;
+        if (d.count > 0.0 && d.sum > 0.0) d.mean = d.sum / d.count;
+      }
+      // Gauges keep the later instantaneous value.
+    }
+    delta[series] = std::move(d);
+  }
+  return delta;
+}
+
 CompareReport CompareSnapshots(const Snapshot& baseline,
                                const Snapshot& candidate,
                                const CompareOptions& options) {

@@ -60,6 +60,20 @@ util::Result<Snapshot> ParseSnapshot(const std::string& text);
 /// first occurrence.
 Snapshot MergeMinOfN(const std::vector<Snapshot>& runs);
 
+/// Windowed delta `later - earlier` over two snapshots of the same
+/// registry. Counters subtract with a clamp at zero. Histograms subtract
+/// count/sum; when the later snapshot carries FEWER observations than the
+/// earlier one (the producing process restarted between scrapes, so the
+/// earlier baseline describes a dead counter stream) the whole series
+/// clamps to EMPTY — zero count/sum and zeroed distribution stats — rather
+/// than underflowing. Gauges keep the later instantaneous value.
+/// Distribution stats (min/max/mean/percentiles) of a non-empty histogram
+/// delta are NOT derivable from two summary snapshots and are zeroed;
+/// use TimeSeriesStore::HistogramWindow for real windowed percentiles.
+/// Series absent from `earlier` pass through as their later value (a
+/// series born inside the window is all delta).
+Snapshot SubtractSnapshots(const Snapshot& later, const Snapshot& earlier);
+
 /// How a metric is gated during comparison.
 enum class MetricClass {
   kTiming,  ///< wall-time-like — gated with relative tolerance

@@ -1,0 +1,424 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace ucad::obs {
+
+namespace {
+
+int64_t WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "name{k=v,...}" — the same series-key rendering snapshot.cc derives when
+/// parsing a JSONL dump, so /history series line up with bench_compare and
+/// snapshot tooling.
+std::string RenderSeriesKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+/// Interpolated quantile over DELTA bucket counts (finite buckets in bound
+/// order, then overflow). Mirrors Histogram::Percentile's scheme: linear
+/// interpolation inside the bucket that holds the target rank, with the
+/// overflow bucket pinned to its lower bound.
+double DeltaPercentile(const std::vector<uint64_t>& buckets,
+                       const std::vector<double>& bounds, uint64_t total,
+                       double q) {
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      const bool overflow = i >= bounds.size();
+      const double upper = overflow ? bounds.empty() ? 0.0 : bounds.back()
+                                    : bounds[i];
+      if (overflow) return upper;  // unbounded bucket: report its floor
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    *out += "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+WindowedHistogram HistogramDelta(const HistogramPoint& later,
+                                 const HistogramPoint& earlier,
+                                 const std::vector<double>& bounds) {
+  WindowedHistogram out;
+  // Restart clamp: a shrinking total count means the counter stream reset
+  // underneath us; any per-bucket subtraction would mix two lifetimes.
+  if (later.count < earlier.count) return out;
+  out.count = later.count - earlier.count;
+  out.sum = later.sum >= earlier.sum ? later.sum - earlier.sum : 0.0;
+  if (out.count == 0) return out;
+  std::vector<uint64_t> delta(later.buckets.size(), 0);
+  for (size_t i = 0; i < later.buckets.size(); ++i) {
+    const uint64_t earlier_count =
+        i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    delta[i] = later.buckets[i] >= earlier_count
+                   ? later.buckets[i] - earlier_count
+                   : 0;
+  }
+  out.p50 = DeltaPercentile(delta, bounds, out.count, 0.50);
+  out.p99 = DeltaPercentile(delta, bounds, out.count, 0.99);
+  return out;
+}
+
+TimeSeriesStore::TimeSeriesStore(MetricsRegistry* registry,
+                                 TimeSeriesOptions options)
+    : registry_(registry != nullptr ? registry : &DefaultMetrics()),
+      options_(options) {}
+
+TimeSeriesStore::~TimeSeriesStore() { Stop(); }
+
+uint32_t TimeSeriesStore::InternLocked(const std::string& key, char type) {
+  auto it = series_index_.find(key);
+  if (it != series_index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(series_.size());
+  series_.push_back(SeriesInfo{key, type, {}});
+  series_index_.emplace(key, id);
+  return id;
+}
+
+int64_t TimeSeriesStore::Sample(int64_t unix_ms) {
+  if (unix_ms <= 0) unix_ms = WallClockMs();
+  Tick tick;
+  tick.unix_ms = unix_ms;
+  // Capture outside mu_ ordering concerns: ForEachSeries holds the registry
+  // lock, our mu_ is taken after; queries never touch the registry, so the
+  // two locks nest in only this one order.
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_->ForEachSeries([&](const MetricsRegistry::SeriesRef& ref) {
+    const std::string key = RenderSeriesKey(ref.name, ref.labels);
+    if (ref.counter != nullptr) {
+      const uint32_t id = InternLocked(key, 'c');
+      tick.scalars.push_back(
+          {id, static_cast<double>(ref.counter->Value())});
+    } else if (ref.gauge != nullptr) {
+      const uint32_t id = InternLocked(key, 'g');
+      tick.scalars.push_back({id, ref.gauge->Value()});
+    } else if (ref.histogram != nullptr) {
+      const uint32_t id = InternLocked(key, 'h');
+      if (series_[id].bounds.empty()) {
+        series_[id].bounds = ref.histogram->bounds();
+      }
+      HistogramPoint point;
+      point.count = ref.histogram->Count();
+      point.sum = ref.histogram->Sum();
+      const size_t finite = ref.histogram->bounds().size();
+      point.buckets.resize(finite + 1);
+      for (size_t i = 0; i < finite; ++i) {
+        point.buckets[i] = ref.histogram->BucketCount(i);
+      }
+      point.buckets[finite] = ref.histogram->OverflowCount();
+      tick.histograms.push_back({id, std::move(point)});
+    }
+  });
+  ticks_.push_back(std::move(tick));
+  while (ticks_.size() > options_.capacity) ticks_.pop_front();
+  return unix_ms;
+}
+
+void TimeSeriesStore::Start(std::function<void(int64_t)> after_sample) {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_.joinable()) return;
+  sampler_stop_ = false;
+  sampler_ = std::thread([this, after_sample = std::move(after_sample)] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    while (!sampler_stop_) {
+      lock.unlock();
+      const int64_t stamp = Sample();
+      if (after_sample) after_sample(stamp);
+      lock.lock();
+      sampler_cv_.wait_for(lock,
+                           std::chrono::milliseconds(options_.interval_ms),
+                           [this] { return sampler_stop_; });
+    }
+  });
+}
+
+void TimeSeriesStore::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_.joinable()) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+}
+
+bool TimeSeriesStore::sampling() const {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  return sampler_.joinable() && !sampler_stop_;
+}
+
+size_t TimeSeriesStore::TickCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_.size();
+}
+
+int64_t TimeSeriesStore::LatestTickMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_.empty() ? 0 : ticks_.back().unix_ms;
+}
+
+size_t TimeSeriesStore::WindowStartLocked(int64_t window_ms) const {
+  if (ticks_.empty()) return static_cast<size_t>(-1);
+  const int64_t cutoff = ticks_.back().unix_ms - window_ms;
+  size_t start = ticks_.size() - 1;
+  while (start > 0 && ticks_[start - 1].unix_ms >= cutoff) --start;
+  return start;
+}
+
+bool TimeSeriesStore::FindSeriesLocked(const std::string& series, char type,
+                                       uint32_t* id) const {
+  auto it = series_index_.find(series);
+  if (it == series_index_.end()) return false;
+  if (series_[it->second].type != type) return false;
+  *id = it->second;
+  return true;
+}
+
+bool TimeSeriesStore::ScalarAtLocked(size_t t, uint32_t id,
+                                     double* value) const {
+  for (const ScalarPoint& p : ticks_[t].scalars) {
+    if (p.series_id == id) {
+      *value = p.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+const HistogramPoint* TimeSeriesStore::HistogramAtLocked(size_t t,
+                                                         uint32_t id) const {
+  for (const HistogramTickPoint& p : ticks_[t].histograms) {
+    if (p.series_id == id) return &p.point;
+  }
+  return nullptr;
+}
+
+bool TimeSeriesStore::CounterRate(const std::string& series,
+                                  int64_t window_ms,
+                                  double* rate_per_sec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id;
+  if (!FindSeriesLocked(series, 'c', &id) || ticks_.size() < 2) return false;
+  const size_t start = WindowStartLocked(window_ms);
+  const size_t end = ticks_.size() - 1;
+  // Earliest/latest ticks inside the window that carry this series.
+  double first = 0.0, last = 0.0;
+  int64_t first_ms = 0, last_ms = 0;
+  bool have_first = false, have_last = false;
+  for (size_t t = start; t <= end && !have_first; ++t) {
+    if (ScalarAtLocked(t, id, &first)) {
+      first_ms = ticks_[t].unix_ms;
+      have_first = true;
+    }
+  }
+  for (size_t t = end + 1; t-- > start && !have_last;) {
+    if (ScalarAtLocked(t, id, &last)) {
+      last_ms = ticks_[t].unix_ms;
+      have_last = true;
+    }
+  }
+  if (!have_first || !have_last || last_ms <= first_ms) return false;
+  const double delta = last >= first ? last - first : 0.0;  // restart clamp
+  *rate_per_sec = delta / (static_cast<double>(last_ms - first_ms) / 1000.0);
+  return true;
+}
+
+bool TimeSeriesStore::HistogramWindow(const std::string& series,
+                                      int64_t window_ms,
+                                      WindowedHistogram* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id;
+  if (!FindSeriesLocked(series, 'h', &id) || ticks_.size() < 2) return false;
+  const size_t start = WindowStartLocked(window_ms);
+  const size_t end = ticks_.size() - 1;
+  const HistogramPoint* first = nullptr;
+  const HistogramPoint* last = nullptr;
+  for (size_t t = start; t <= end && first == nullptr; ++t) {
+    first = HistogramAtLocked(t, id);
+  }
+  for (size_t t = end + 1; t-- > start && last == nullptr;) {
+    last = HistogramAtLocked(t, id);
+  }
+  if (first == nullptr || last == nullptr || first == last) return false;
+  *out = HistogramDelta(*last, *first, series_[id].bounds);
+  return true;
+}
+
+bool TimeSeriesStore::GaugeLatest(const std::string& series,
+                                  double* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id;
+  if (!FindSeriesLocked(series, 'g', &id)) return false;
+  for (size_t t = ticks_.size(); t-- > 0;) {
+    if (ScalarAtLocked(t, id, value)) return true;
+  }
+  return false;
+}
+
+bool TimeSeriesStore::GaugeMax(const std::string& series, int64_t window_ms,
+                               double* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id;
+  if (!FindSeriesLocked(series, 'g', &id) || ticks_.empty()) return false;
+  const size_t start = WindowStartLocked(window_ms);
+  bool found = false;
+  for (size_t t = start; t < ticks_.size(); ++t) {
+    double v;
+    if (ScalarAtLocked(t, id, &v)) {
+      if (!found || v > *value) *value = v;
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool TimeSeriesStore::GaugeMin(const std::string& series, int64_t window_ms,
+                               double* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id;
+  if (!FindSeriesLocked(series, 'g', &id) || ticks_.empty()) return false;
+  const size_t start = WindowStartLocked(window_ms);
+  bool found = false;
+  for (size_t t = start; t < ticks_.size(); ++t) {
+    double v;
+    if (ScalarAtLocked(t, id, &v)) {
+      if (!found || v < *value) *value = v;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::string TimeSeriesStore::HistoryJson(size_t last_ticks,
+                                         const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t total = ticks_.size();
+  const size_t start =
+      last_ticks > 0 && last_ticks < total ? total - last_ticks : 0;
+  const size_t n = total - start;
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\"interval_ms\":" + std::to_string(options_.interval_ms);
+  out += ",\"capacity\":" + std::to_string(options_.capacity);
+  out += ",\"ticks\":[";
+  for (size_t t = start; t < total; ++t) {
+    if (t > start) out += ",";
+    out += std::to_string(ticks_[t].unix_ms);
+  }
+  out += "],\"series\":[";
+
+  bool first_series = true;
+  for (uint32_t id = 0; id < series_.size(); ++id) {
+    const SeriesInfo& info = series_[id];
+    if (!prefix.empty() && info.key.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (!first_series) out += ",";
+    first_series = false;
+    out += "{\"series\":\"" + JsonEscape(info.key) + "\",\"type\":\"";
+    out += info.type == 'c'   ? "counter"
+           : info.type == 'g' ? "gauge"
+                              : "histogram";
+    out += "\"";
+    if (info.type == 'c' || info.type == 'g') {
+      out += ",\"values\":[";
+      std::vector<double> values(n, 0.0);
+      for (size_t t = start; t < total; ++t) {
+        double v = 0.0;
+        ScalarAtLocked(t, id, &v);
+        values[t - start] = v;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) out += ",";
+        AppendDouble(&out, values[i]);
+      }
+      out += "]";
+      if (info.type == 'c') {
+        // Per-tick rate: clamped delta from the previous tick over the
+        // elapsed wall time (first tick in view rates 0).
+        out += ",\"rates\":[";
+        for (size_t t = start; t < total; ++t) {
+          if (t > start) out += ",";
+          double rate = 0.0;
+          if (t > 0) {
+            double prev = 0.0, cur = 0.0;
+            const bool have_prev = ScalarAtLocked(t - 1, id, &prev);
+            const bool have_cur = ScalarAtLocked(t, id, &cur);
+            const int64_t dt = ticks_[t].unix_ms - ticks_[t - 1].unix_ms;
+            if (have_prev && have_cur && dt > 0 && cur >= prev) {
+              rate = (cur - prev) / (static_cast<double>(dt) / 1000.0);
+            }
+          }
+          AppendDouble(&out, rate);
+        }
+        out += "]";
+      }
+    } else {
+      // Histogram: cumulative counts plus per-tick windowed deltas.
+      std::string counts = ",\"counts\":[";
+      std::string window_counts = ",\"window_counts\":[";
+      std::string p50 = ",\"p50\":[";
+      std::string p99 = ",\"p99\":[";
+      for (size_t t = start; t < total; ++t) {
+        if (t > start) {
+          counts += ",";
+          window_counts += ",";
+          p50 += ",";
+          p99 += ",";
+        }
+        const HistogramPoint* cur = HistogramAtLocked(t, id);
+        counts += std::to_string(cur != nullptr ? cur->count : 0);
+        WindowedHistogram w;
+        if (t > 0 && cur != nullptr) {
+          const HistogramPoint* prev = HistogramAtLocked(t - 1, id);
+          if (prev != nullptr) w = HistogramDelta(*cur, *prev, info.bounds);
+        }
+        window_counts += std::to_string(w.count);
+        AppendDouble(&p50, w.p50);
+        AppendDouble(&p99, w.p99);
+      }
+      out += counts + "]" + window_counts + "]" + p50 + "]" + p99 + "]";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ucad::obs

@@ -1,0 +1,192 @@
+#ifndef UCAD_OBS_TIMESERIES_H_
+#define UCAD_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ucad::obs {
+
+/// Options for the metrics time-series store.
+struct TimeSeriesOptions {
+  /// Ticks retained; the ring evicts the oldest tick past this. At the
+  /// default 1s interval this keeps 10 minutes of history.
+  size_t capacity = 600;
+  /// Sampler thread interval (Start()).
+  int64_t interval_ms = 1000;
+};
+
+/// Cumulative histogram state captured at one tick: total count/sum plus
+/// the per-bucket counts (finite buckets in bound order, then the +inf
+/// overflow bucket).
+struct HistogramPoint {
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<uint64_t> buckets;
+};
+
+/// A windowed histogram delta (later tick minus earlier tick) with
+/// percentiles estimated over the delta buckets — "p99 over the last
+/// minute", which the cumulative-forever registry histograms cannot show.
+struct WindowedHistogram {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Subtracts cumulative histogram state `earlier` from `later` over shared
+/// `bounds`. A later point with fewer total observations than the earlier
+/// one means the producing process (or registry) restarted between the two
+/// snapshots: the delta is then clamped to EMPTY — never underflowed —
+/// because the earlier baseline no longer describes the same counter
+/// stream. Individual bucket underflows (torn relaxed-atomic reads) clamp
+/// to zero per bucket.
+WindowedHistogram HistogramDelta(const HistogramPoint& later,
+                                 const HistogramPoint& earlier,
+                                 const std::vector<double>& bounds);
+
+/// Fixed-capacity in-process metrics history: samples a MetricsRegistry on
+/// a tick (manually via Sample, or from a background thread via Start),
+/// retains the last `capacity` ticks in a ring, and answers windowed
+/// queries the cumulative registry cannot: counter rates over the last N
+/// seconds and histogram-delta percentiles per window. The retained
+/// history is served as JSON by the metrics server's /history endpoint.
+///
+/// Thread-safe: Sample and every query take one internal mutex; sampling
+/// reads the registry only through its thread-safe scrape surface, so
+/// ticking concurrently with detector scoring is safe.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(MetricsRegistry* registry = nullptr,
+                           TimeSeriesOptions options = {});
+  ~TimeSeriesStore();
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Captures one tick stamped `unix_ms` (wall clock when <= 0). Evicts
+  /// the oldest tick past capacity. Returns the tick's timestamp.
+  int64_t Sample(int64_t unix_ms = 0);
+
+  /// Spawns the sampler thread: one Sample per options().interval_ms,
+  /// invoking `after_sample` (may be null) with the tick timestamp after
+  /// each capture — the hook the CLI uses to re-evaluate SLOs at tick
+  /// cadence. No-op when already running.
+  void Start(std::function<void(int64_t)> after_sample = nullptr);
+
+  /// Stops and joins the sampler thread. Idempotent; the destructor calls
+  /// it.
+  void Stop();
+  bool sampling() const;
+
+  size_t TickCount() const;
+  /// Unix-ms timestamp of the newest tick (0 when empty).
+  int64_t LatestTickMs() const;
+
+  /// Per-second rate of counter `series` over the trailing `window_ms`
+  /// ending at the newest tick: clamped delta / elapsed. The window start
+  /// clamps to the oldest retained tick, so short histories answer with
+  /// what they have. False when the series is unknown, fewer than two
+  /// ticks cover it, or no time elapsed. A counter reset (later < earlier,
+  /// process restart) clamps the delta to zero rather than underflowing.
+  bool CounterRate(const std::string& series, int64_t window_ms,
+                   double* rate_per_sec) const;
+
+  /// Histogram delta over the trailing `window_ms` (see HistogramDelta for
+  /// the restart clamp). False when the series is unknown or fewer than
+  /// two ticks cover it.
+  bool HistogramWindow(const std::string& series, int64_t window_ms,
+                       WindowedHistogram* out) const;
+
+  /// Latest sampled value of gauge `series`; false when never sampled.
+  bool GaugeLatest(const std::string& series, double* value) const;
+
+  /// Maximum sampled value of gauge `series` over the trailing
+  /// `window_ms`; false when no tick in the window carries it.
+  bool GaugeMax(const std::string& series, int64_t window_ms,
+                double* value) const;
+
+  /// Minimum sampled value of gauge `series` over the trailing
+  /// `window_ms`; false when no tick in the window carries it.
+  bool GaugeMin(const std::string& series, int64_t window_ms,
+                double* value) const;
+
+  /// The retained history as one JSON object:
+  ///
+  ///   {"interval_ms":N,"capacity":N,
+  ///    "ticks":[unix_ms,...],
+  ///    "series":[
+  ///      {"series":"detector/sessions_total","type":"counter",
+  ///       "values":[...],"rates":[...]},          // per-tick rate (/sec)
+  ///      {"series":"detector/drift/psi","type":"gauge","values":[...]},
+  ///      {"series":"detector/score_latency_ms","type":"histogram",
+  ///       "counts":[...],                         // cumulative totals
+  ///       "window_counts":[...],                  // per-tick deltas
+  ///       "p50":[...],"p99":[...]}]}              // per-tick delta pcts
+  ///
+  /// Arrays parallel "ticks"; ticks before a series first appeared carry
+  /// 0. `last_ticks` limits to the newest N ticks (0 = all retained);
+  /// `prefix` keeps only series whose name starts with it (empty = all).
+  std::string HistoryJson(size_t last_ticks = 0,
+                          const std::string& prefix = {}) const;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  /// Scalar (counter/gauge) observation at one tick.
+  struct ScalarPoint {
+    uint32_t series_id;
+    double value;
+  };
+  struct HistogramTickPoint {
+    uint32_t series_id;
+    HistogramPoint point;
+  };
+  struct Tick {
+    int64_t unix_ms = 0;
+    std::vector<ScalarPoint> scalars;
+    std::vector<HistogramTickPoint> histograms;
+  };
+  /// One interned series: rendered key ("name{k=v,...}"), type, and (for
+  /// histograms) the bucket bounds captured on first sight.
+  struct SeriesInfo {
+    std::string key;
+    char type = '?';  // 'c' counter, 'g' gauge, 'h' histogram
+    std::vector<double> bounds;
+  };
+
+  uint32_t InternLocked(const std::string& key, char type);
+  /// Oldest tick index whose timestamp is >= newest - window (clamped to
+  /// the ring); SIZE_MAX when the ring is empty.
+  size_t WindowStartLocked(int64_t window_ms) const;
+  bool FindSeriesLocked(const std::string& series, char type,
+                        uint32_t* id) const;
+  /// Scalar value of series `id` at tick `t` (false when absent).
+  bool ScalarAtLocked(size_t t, uint32_t id, double* value) const;
+  const HistogramPoint* HistogramAtLocked(size_t t, uint32_t id) const;
+
+  MetricsRegistry* registry_;
+  const TimeSeriesOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<SeriesInfo> series_;
+  std::unordered_map<std::string, uint32_t> series_index_;
+  std::deque<Tick> ticks_;
+
+  mutable std::mutex sampler_mu_;  // guards thread start/stop handshake
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace ucad::obs
+
+#endif  // UCAD_OBS_TIMESERIES_H_

@@ -262,8 +262,21 @@ void RecordDetectMetrics(const SessionVerdict& verdict, double setup_ms,
 
 SessionVerdict TransDasDetector::DetectSession(
     const std::vector<int>& keys) const {
+  return DetectSessionImpl(keys, /*shadow=*/false);
+}
+
+SessionVerdict TransDasDetector::ShadowDetectSession(
+    const std::vector<int>& keys) const {
+  return DetectSessionImpl(keys, /*shadow=*/true);
+}
+
+SessionVerdict TransDasDetector::DetectSessionImpl(
+    const std::vector<int>& keys, bool shadow) const {
   UCAD_TRACE_SPAN("detector/session");
-  const bool metrics = obs::MetricsEnabled();
+  // Shadow runs score identically but never flush RecordDetectMetrics:
+  // canary probes must not move the cumulative counters, the anomaly rate,
+  // or the PSI drift reference that real traffic is judged against.
+  const bool metrics = obs::MetricsEnabled() && !shadow;
   util::Timer timer;
   SessionVerdict verdict;
   if (keys.size() < 2) return verdict;

@@ -54,6 +54,17 @@ class TransDasDetector {
   /// Scores a full session.
   SessionVerdict DetectSession(const std::vector<int>& keys) const;
 
+  /// Scores a full session in SHADOW mode: the identical code path and
+  /// bitwise-identical verdicts as DetectSession (same pooled contexts,
+  /// same window planning, same parallel fan-out), but with the detector's
+  /// cumulative observability suppressed — no detector/* counters or
+  /// latency observations, no anomaly_rate update, and nothing fed to the
+  /// DetectionMonitor's quantiles or PSI drift reference. The canary probe
+  /// engine scores through this entry point so synthetic probes never
+  /// contaminate the production statistics they are guarding. (Flight
+  /// tracing, a sampled debugging ring rather than a statistic, stays on.)
+  SessionVerdict ShadowDetectSession(const std::vector<int>& keys) const;
+
   /// Scores only the latest operation given its preceding keys (the
   /// paper's streaming formulation): returns the rank of `next_key`.
   int RankNextOperation(const std::vector<int>& preceding,
@@ -118,6 +129,11 @@ class TransDasDetector {
   const DetectorOptions& options() const { return options_; }
 
  private:
+  /// Shared body of DetectSession and ShadowDetectSession; `shadow` only
+  /// gates the end-of-session metrics flush, never the scoring itself.
+  SessionVerdict DetectSessionImpl(const std::vector<int>& keys,
+                                   bool shadow) const;
+
   /// Fills rank/score/margin/abnormal of `op` from one row of all-key
   /// logits — delegates to nn::ScoreLogitsRow, the single-pass source of
   /// truth shared by both detection modes and the audit log.

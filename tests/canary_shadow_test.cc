@@ -1,0 +1,139 @@
+// Shadow-mode detection: ShadowDetectSession must be bitwise-identical to
+// DetectSession (same ranks, scores, margins — at every thread count, in
+// both batched and non-batched mode) while leaving every cumulative
+// observability surface untouched: detector/* counters, the anomaly-rate
+// gauge, and the DetectionMonitor's quantile/PSI state. This is what lets
+// the canary engine probe the live detector without contaminating the
+// statistics it is guarding.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ucad {
+namespace {
+
+transdas::TransDasConfig SmallConfig() {
+  transdas::TransDasConfig config;
+  config.vocab_size = 14;
+  config.window = 8;
+  config.hidden_dim = 12;
+  config.num_heads = 2;
+  config.num_blocks = 2;
+  config.dropout = 0.0f;
+  return config;
+}
+
+std::vector<std::vector<int>> ProbeSessions() {
+  return {
+      {1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4},
+      {4, 3, 2, 1, 8, 7, 6, 5},
+      {1, 1, 2, 2, 3, 3, 13, 4},
+      {5, 6, 7, 0, 9, 10},  // unknown key: -inf margin path
+      {2, 9},
+  };
+}
+
+void ExpectBitwiseEqual(const transdas::SessionVerdict& a,
+                        const transdas::SessionVerdict& b) {
+  EXPECT_EQ(a.abnormal, b.abnormal);
+  ASSERT_EQ(a.operations.size(), b.operations.size());
+  for (size_t i = 0; i < a.operations.size(); ++i) {
+    const transdas::OperationVerdict& x = a.operations[i];
+    const transdas::OperationVerdict& y = b.operations[i];
+    EXPECT_EQ(x.position, y.position);
+    EXPECT_EQ(x.rank, y.rank) << "position " << i;
+    EXPECT_EQ(x.abnormal, y.abnormal) << "position " << i;
+    // EXPECT_EQ on floats is exact equality — bitwise parity, not "close".
+    EXPECT_EQ(x.score, y.score) << "position " << i;
+    EXPECT_EQ(x.margin, y.margin) << "position " << i;
+  }
+}
+
+class CanaryShadowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetDetectionMonitorEnabled(true);
+  }
+  void TearDown() override {
+    obs::SetDetectionMonitorEnabled(false);
+    obs::SetMetricsEnabled(false);
+    util::SetNumThreads(1);
+  }
+};
+
+TEST_F(CanaryShadowTest, ShadowVerdictsAreBitwiseIdenticalAcrossThreads) {
+  util::Rng rng(21);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  for (const bool batched : {true, false}) {
+    transdas::DetectorOptions options;
+    options.batched = batched;
+    transdas::TransDasDetector detector(&model, options);
+    for (const int threads : {1, 2, 8}) {
+      util::SetNumThreads(threads);
+      for (const std::vector<int>& session : ProbeSessions()) {
+        const transdas::SessionVerdict real = detector.DetectSession(session);
+        const transdas::SessionVerdict shadow =
+            detector.ShadowDetectSession(session);
+        ExpectBitwiseEqual(real, shadow);
+      }
+    }
+  }
+}
+
+TEST_F(CanaryShadowTest, ShadowLeavesCumulativeMetricsUntouched) {
+  util::Rng rng(22);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model, transdas::DetectorOptions{});
+  obs::MetricsRegistry& registry = obs::DefaultMetrics();
+  obs::DetectionMonitor& monitor = obs::DefaultDetectionMonitor();
+
+  // Warm the instruments so every series exists before the baseline read.
+  detector.DetectSession({1, 2, 3, 4, 5, 6});
+
+  const uint64_t sessions_before =
+      registry.GetCounter("detector/sessions_total")->Value();
+  const uint64_t operations_before =
+      registry.GetCounter("detector/operations_total")->Value();
+  const double anomaly_rate_before =
+      registry.GetGauge("detector/anomaly_rate")->Value();
+  const uint64_t monitor_ops_before = monitor.Operations();
+
+  for (const std::vector<int>& session : ProbeSessions()) {
+    const transdas::SessionVerdict verdict =
+        detector.ShadowDetectSession(session);
+    EXPECT_EQ(verdict.operations.size(), session.size() - 1);
+  }
+
+  // Shadow scoring ran real inference but no cumulative statistic moved.
+  EXPECT_EQ(registry.GetCounter("detector/sessions_total")->Value(),
+            sessions_before);
+  EXPECT_EQ(registry.GetCounter("detector/operations_total")->Value(),
+            operations_before);
+  EXPECT_EQ(registry.GetGauge("detector/anomaly_rate")->Value(),
+            anomaly_rate_before);
+  EXPECT_EQ(monitor.Operations(), monitor_ops_before);
+
+  // The real path still observes: the same sessions scored for real move
+  // every one of those surfaces.
+  for (const std::vector<int>& session : ProbeSessions()) {
+    detector.DetectSession(session);
+  }
+  EXPECT_EQ(registry.GetCounter("detector/sessions_total")->Value(),
+            sessions_before + ProbeSessions().size());
+  EXPECT_GT(registry.GetCounter("detector/operations_total")->Value(),
+            operations_before);
+  EXPECT_GT(monitor.Operations(), monitor_ops_before);
+}
+
+}  // namespace
+}  // namespace ucad

@@ -1,0 +1,211 @@
+// CanaryEngine with fake score/expect callbacks: probe construction
+// (normal / rare-injection / mimicry substitution and its fallback),
+// verdict accounting into the canary/* metrics, and the rolling hit-rate
+// window. The real-detector integration lives in canary_shadow_test.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/canary.h"
+#include "obs/metrics.h"
+#include "sql/statement.h"
+#include "sql/vocabulary.h"
+#include "util/rng.h"
+#include "workload/commenting.h"
+#include "workload/scenario.h"
+
+namespace ucad::obs {
+namespace {
+
+/// Generator + frozen vocabulary over the commenting scenario — the same
+/// construction the CLI uses before handing both to the engine.
+class CanaryEngineTest : public ::testing::Test {
+ protected:
+  CanaryEngineTest() : generator_(workload::MakeCommentingScenario()) {
+    util::Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+      for (const auto& op : generator_.GenerateNormal(&rng).operations) {
+        vocab_.GetOrAssign(sql::ParseStatement(op.sql));
+      }
+    }
+  }
+
+  workload::SessionGenerator generator_;
+  sql::Vocabulary vocab_;
+};
+
+TEST_F(CanaryEngineTest, NormalProbeTokenizesToKnownKeys) {
+  MetricsRegistry registry;
+  std::vector<int> seen;
+  CanaryEngine engine(
+      &generator_, &vocab_,
+      [&seen](const std::vector<int>& keys) {
+        seen = keys;
+        return false;
+      },
+      nullptr, CanaryOptions{}, &registry);
+  const ProbeResult result = engine.RunProbe(ProbeClass::kNormal);
+  EXPECT_FALSE(result.expected_abnormal);
+  EXPECT_FALSE(result.flagged);
+  EXPECT_TRUE(result.Correct());
+  ASSERT_FALSE(seen.empty());
+  // A vocabulary frozen over the same scenario knows every key: no k0.
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 0), 0);
+}
+
+TEST_F(CanaryEngineTest, MimicryProbeSubstitutesTheExpectCallbacksCandidate) {
+  MetricsRegistry registry;
+  CanaryOptions options;
+  options.top_p = 5;
+  std::vector<int> seen;
+  int expect_calls = 0;
+  int asked_top_k = 0;
+  CanaryEngine engine(
+      &generator_, &vocab_,
+      [&seen](const std::vector<int>& keys) {
+        seen = keys;
+        return true;
+      },
+      // Fake model: the (top_p+1)-th expected candidate is the sentinel
+      // 9999, which no tokenized session can contain.
+      [&expect_calls, &asked_top_k](const std::vector<int>& keys,
+                                    int position, int top_k) {
+        EXPECT_GE(position, 1);
+        EXPECT_LT(position, static_cast<int>(keys.size()));
+        ++expect_calls;
+        asked_top_k = top_k;
+        return std::vector<int>{1, 2, 3, 4, 5, 9999};
+      },
+      options, &registry);
+  const ProbeResult result = engine.RunProbe(ProbeClass::kMimicry);
+  EXPECT_TRUE(result.expected_abnormal);
+  EXPECT_EQ(expect_calls, 1);
+  // The engine asks for one candidate beyond the admission set...
+  EXPECT_EQ(asked_top_k, options.top_p + 1);
+  // ...and substitutes exactly that candidate into the scored session.
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 9999), 1);
+}
+
+TEST_F(CanaryEngineTest, MimicryFallsBackToUnknownKeyWhenNoCandidate) {
+  // An expect callback whose vocabulary is smaller than top_p+1 cannot
+  // name a key outside the admission set: the probe degrades to an
+  // unknown-key (k0) substitution, which always flags.
+  MetricsRegistry registry;
+  std::vector<int> seen;
+  CanaryEngine engine(
+      &generator_, &vocab_,
+      [&seen](const std::vector<int>& keys) {
+        seen = keys;
+        return true;
+      },
+      [](const std::vector<int>&, int, int) {
+        return std::vector<int>{1, 2};  // fewer than top_p+1 candidates
+      },
+      CanaryOptions{}, &registry);
+  const ProbeResult result = engine.RunProbe(ProbeClass::kMimicry);
+  EXPECT_TRUE(result.expected_abnormal);
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 0), 1);
+}
+
+TEST_F(CanaryEngineTest, RunRoundSkipsMimicryWithoutExpectCallback) {
+  MetricsRegistry registry;
+  CanaryEngine without(
+      &generator_, &vocab_, [](const std::vector<int>&) { return false; },
+      nullptr, CanaryOptions{}, &registry);
+  EXPECT_EQ(without.RunRound().size(), 2u);
+  MetricsRegistry registry2;
+  CanaryEngine with(
+      &generator_, &vocab_, [](const std::vector<int>&) { return false; },
+      [](const std::vector<int>&, int, int) {
+        return std::vector<int>{1, 2, 3, 4, 5, 6};
+      },
+      CanaryOptions{}, &registry2);
+  const std::vector<ProbeResult> round = with.RunRound();
+  ASSERT_EQ(round.size(), 3u);
+  EXPECT_EQ(round[0].probe_class, ProbeClass::kNormal);
+  EXPECT_EQ(round[1].probe_class, ProbeClass::kRareInjection);
+  EXPECT_EQ(round[2].probe_class, ProbeClass::kMimicry);
+}
+
+TEST_F(CanaryEngineTest, AccountingSplitsVerdictsByExpectation) {
+  // A detector that flags EVERYTHING: expected-abnormal probes become true
+  // flags, the known-normal probe becomes a false flag.
+  MetricsRegistry registry;
+  CanaryEngine engine(
+      &generator_, &vocab_, [](const std::vector<int>&) { return true; },
+      [](const std::vector<int>&, int, int) {
+        return std::vector<int>{1, 2, 3, 4, 5, 9999};
+      },
+      CanaryOptions{}, &registry);
+  engine.RunRound();
+  EXPECT_EQ(engine.ProbesTotal(), 3u);
+  EXPECT_EQ(engine.TrueFlags(), 2u);
+  EXPECT_EQ(engine.MissedFlags(), 0u);
+  EXPECT_EQ(engine.FalseFlags(), 1u);
+  EXPECT_EQ(registry.GetCounter("canary/true_flag_total")->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("canary/missed_flag_total")->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("canary/false_flag_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("canary/clean_probes_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("canary/expected_flag_total")->Value(), 2u);
+  for (const char* cls : {"normal", "rare_injection", "mimicry"}) {
+    EXPECT_EQ(registry
+                  .GetCounter("canary/probes_total", {{"class", cls}})
+                  ->Value(),
+              1u)
+        << cls;
+    EXPECT_EQ(registry
+                  .GetHistogram("canary/probe_latency_ms", {{"class", cls}},
+                                Histogram::DefaultLatencyBounds())
+                  ->Count(),
+              1u)
+        << cls;
+  }
+  // 2 correct out of 3: the rolling gauge mirrors HitRate().
+  EXPECT_NEAR(engine.HitRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(registry.GetGauge("canary/hit_rate")->Value(), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST_F(CanaryEngineTest, SilentDetectorAccumulatesMisses) {
+  // A detector that flags NOTHING: expected-abnormal probes are misses.
+  MetricsRegistry registry;
+  CanaryEngine engine(
+      &generator_, &vocab_, [](const std::vector<int>&) { return false; },
+      nullptr, CanaryOptions{}, &registry);
+  engine.RunRound();
+  engine.RunRound();
+  EXPECT_EQ(engine.MissedFlags(), 2u);
+  EXPECT_EQ(engine.TrueFlags(), 0u);
+  EXPECT_EQ(engine.FalseFlags(), 0u);
+  EXPECT_EQ(registry.GetCounter("canary/missed_flag_total")->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("canary/expected_flag_total")->Value(), 2u);
+  // Normal probes were correct, rare-injection probes were not.
+  EXPECT_NEAR(engine.HitRate(), 0.5, 1e-12);
+}
+
+TEST_F(CanaryEngineTest, HitRateIsARollingWindow) {
+  MetricsRegistry registry;
+  bool verdict = false;
+  CanaryOptions options;
+  options.hit_rate_window = 4;
+  CanaryEngine engine(
+      &generator_, &vocab_,
+      [&verdict](const std::vector<int>&) { return verdict; }, nullptr,
+      options, &registry);
+  EXPECT_DOUBLE_EQ(engine.HitRate(), 1.0);  // before any probe
+  // 4 wrong verdicts (normal probes flagged), then 4 right ones: the
+  // window must forget the wrong run entirely.
+  verdict = true;
+  for (int i = 0; i < 4; ++i) engine.RunProbe(ProbeClass::kNormal);
+  EXPECT_DOUBLE_EQ(engine.HitRate(), 0.0);
+  verdict = false;
+  for (int i = 0; i < 4; ++i) engine.RunProbe(ProbeClass::kNormal);
+  EXPECT_DOUBLE_EQ(engine.HitRate(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("canary/hit_rate")->Value(), 1.0);
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
 #include "obs/prom_text.h"
+#include "obs/timeseries.h"
 
 namespace ucad::obs {
 namespace {
@@ -263,13 +264,85 @@ TEST(MetricsHttpServerTest, ServesMetricsAndHealthz) {
   EXPECT_FALSE(server.serving());
 }
 
-TEST(MetricsHttpServerTest, UnknownRouteIs404) {
+TEST(MetricsHttpServerTest, UnknownRouteIs404WithHelpfulBody) {
   MetricsRegistry registry;
   MetricsHttpServer server(&registry);
   ASSERT_TRUE(server.Start(0).ok());
   const std::string response =
       HttpGet(server.port(), "GET /nope HTTP/1.0");
-  EXPECT_NE(response.find("404"), std::string::npos) << response;
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos)
+      << response;
+  // The body names the path it rejected and the routes that do exist, so a
+  // misconfigured scraper fails with a self-explanatory answer.
+  EXPECT_NE(response.find("not found: /nope"), std::string::npos);
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.find("/healthz"), std::string::npos);
+  EXPECT_NE(response.find("/history"), std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, NonGetMethodsAre405WithAllowHeader) {
+  MetricsRegistry registry;
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  for (const char* request :
+       {"POST /metrics HTTP/1.0", "PUT /healthz HTTP/1.0",
+        "DELETE /history HTTP/1.0", "HEAD /metrics HTTP/1.0"}) {
+    const std::string response = HttpGet(server.port(), request);
+    EXPECT_NE(response.find("HTTP/1.0 405 Method Not Allowed"),
+              std::string::npos)
+        << request << " -> " << response;
+    EXPECT_NE(response.find("Allow: GET"), std::string::npos) << request;
+    EXPECT_NE(response.find("method not allowed"), std::string::npos)
+        << request;
+  }
+  // GET on the same routes keeps working after the rejects.
+  const std::string metrics = HttpGet(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, HistoryWithoutStoreIs404) {
+  MetricsRegistry registry;
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response =
+      HttpGet(server.port(), "GET /history HTTP/1.0");
+  EXPECT_NE(response.find("HTTP/1.0 404"), std::string::npos) << response;
+  EXPECT_NE(response.find("no time-series store attached"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, HistoryServesStoreJsonWithQueryParameters) {
+  MetricsRegistry registry;
+  registry.GetCounter("canary/probes_total")->Increment(5);
+  registry.GetCounter("detector/sessions_total")->Increment(7);
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  store.Sample(2000);
+  store.Sample(3000);
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  server.SetHistorySource(&store);
+
+  const std::string all = HttpGet(server.port(), "GET /history HTTP/1.0");
+  EXPECT_NE(all.find("HTTP/1.0 200 OK"), std::string::npos) << all;
+  EXPECT_NE(all.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(all.find("\"ticks\":[1000,2000,3000]"), std::string::npos);
+  EXPECT_NE(all.find("canary/probes_total"), std::string::npos);
+  EXPECT_NE(all.find("detector/sessions_total"), std::string::npos);
+
+  // ?ticks= limits the view, ?prefix= filters series.
+  const std::string filtered = HttpGet(
+      server.port(), "GET /history?ticks=2&prefix=canary/ HTTP/1.0");
+  EXPECT_NE(filtered.find("\"ticks\":[2000,3000]"), std::string::npos)
+      << filtered;
+  EXPECT_NE(filtered.find("canary/probes_total"), std::string::npos);
+  EXPECT_EQ(filtered.find("detector/sessions_total"), std::string::npos);
+
+  // Detaching the store restores the 404.
+  server.SetHistorySource(nullptr);
+  const std::string detached =
+      HttpGet(server.port(), "GET /history HTTP/1.0");
+  EXPECT_NE(detached.find("HTTP/1.0 404"), std::string::npos);
 }
 
 TEST(MetricsHttpServerTest, MalformedRequestIs400) {

@@ -1,0 +1,157 @@
+// TSan job for the whole quality-observability surface running at once:
+// detector threads scoring (real + shadow) into the default registry, the
+// TimeSeriesStore sampler ticking and re-evaluating SLOs, and scraper
+// threads hammering /metrics, /history, and /healthz concurrently. CI runs
+// this binary under -DUCAD_SANITIZE=thread.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
+#include "obs/monitor.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ucad {
+namespace {
+
+transdas::TransDasConfig SmallConfig() {
+  transdas::TransDasConfig config;
+  config.vocab_size = 14;
+  config.window = 8;
+  config.hidden_dim = 12;
+  config.num_heads = 2;
+  config.num_blocks = 2;
+  config.dropout = 0.0f;
+  return config;
+}
+
+/// One blocking HTTP/1.0 round-trip against 127.0.0.1:`port`.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ObsServerConcurrencyTest, ScrapesAndHistoryWhileScoringAndSampling) {
+  obs::SetMetricsEnabled(true);
+  obs::SetDetectionMonitorEnabled(true);
+  util::SetNumThreads(2);
+
+  util::Rng rng(31);
+  transdas::TransDasModel model(SmallConfig(), &rng);
+  transdas::TransDasDetector detector(&model, transdas::DetectorOptions{});
+
+  obs::TimeSeriesOptions ts_options;
+  ts_options.capacity = 128;
+  ts_options.interval_ms = 1;
+  obs::TimeSeriesStore store(&obs::DefaultMetrics(), ts_options);
+  obs::SloEvaluator evaluator(obs::DefaultSloSpecs(), &store);
+  store.Start([&evaluator](int64_t) { evaluator.EvaluateAndPublish(); });
+
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  server.SetHistorySource(&store);
+  server.SetHealthHandler([&evaluator]() -> std::pair<int, std::string> {
+    const obs::HealthReport report = evaluator.Evaluate();
+    return {report.grade == obs::HealthGrade::kUnhealthy ? 503 : 200,
+            report.ToText()};
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes_ok{0};
+
+  std::thread scorer([&detector, &stop] {
+    const std::vector<std::vector<int>> sessions = {
+        {1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4},
+        {4, 3, 2, 1, 8, 7, 6, 5},
+    };
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto& s = sessions[i++ % sessions.size()];
+      // Alternate real and shadow scoring — the canary engine interleaves
+      // both against the same detector while scrapes are in flight.
+      if (i % 2 == 0) {
+        detector.DetectSession(s);
+      } else {
+        detector.ShadowDetectSession(s);
+      }
+    }
+  });
+
+  std::vector<std::thread> scrapers;
+  const std::vector<std::string> paths = {"/metrics", "/history?ticks=16",
+                                          "/healthz",
+                                          "/history?prefix=slo/"};
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&, t] {
+      int i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string response =
+            HttpGet(server.port(), paths[i++ % paths.size()]);
+        if (response.find("HTTP/1.0 200") != std::string::npos) {
+          scrapes_ok.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  scorer.join();
+  for (std::thread& t : scrapers) t.join();
+  store.Stop();
+  server.Stop();
+
+  EXPECT_GT(scrapes_ok.load(), 0);
+  EXPECT_GE(store.TickCount(), 2u);
+  // The history view contains both detector series and SLO gauges by now.
+  const std::string history = store.HistoryJson();
+  EXPECT_NE(history.find("detector/sessions_total"), std::string::npos);
+  EXPECT_NE(history.find("slo/status"), std::string::npos);
+
+  obs::SetDetectionMonitorEnabled(false);
+  obs::SetMetricsEnabled(false);
+  util::SetNumThreads(1);
+}
+
+}  // namespace
+}  // namespace ucad

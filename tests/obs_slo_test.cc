@@ -1,0 +1,321 @@
+// SLO evaluation: multi-window burn-rate semantics (no data never
+// degrades, fast-only blips never degrade, breach requires both windows,
+// escalation to unhealthy, recovery), the published slo/* gauges, and the
+// /healthz endpoint wired through MetricsHttpServer's health handler.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace ucad::obs {
+namespace {
+
+/// Counter-ratio objective used throughout: err/req must stay under 10%,
+/// with short windows so tests can craft breach/recovery timelines.
+SloSpec ErrRatioSpec() {
+  SloSpec spec;
+  spec.name = "err-ratio";
+  spec.signal = SloSignal::kCounterRatio;
+  spec.series = "svc/err_total";
+  spec.denominator = "svc/req_total";
+  spec.ceiling = 0.1;
+  spec.fast_window_ms = 60'000;
+  spec.slow_window_ms = 120'000;
+  spec.unhealthy_factor = 2.0;
+  spec.description = "request error ratio";
+  return spec;
+}
+
+TEST(SloEvaluatorTest, EmptyStoreIsOk) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  const HealthReport report = evaluator.Evaluate();
+  EXPECT_EQ(report.grade, HealthGrade::kOk);
+  ASSERT_EQ(report.slos.size(), 1u);
+  EXPECT_EQ(report.slos[0].grade, HealthGrade::kOk);
+  EXPECT_DOUBLE_EQ(report.slos[0].burn_fast, 0.0);
+  EXPECT_DOUBLE_EQ(report.slos[0].burn_slow, 0.0);
+  EXPECT_NE(report.ToText().find("ok"), std::string::npos);
+  EXPECT_NE(report.ToText().find("slo ok: 1/1"), std::string::npos);
+}
+
+TEST(SloEvaluatorTest, MissingSeriesNeverDegrades) {
+  // Ticks exist but the objective's series was never emitted: absence of
+  // evidence is not a breach.
+  MetricsRegistry registry;
+  registry.GetCounter("other/counter_total")->Increment();
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  store.Sample(31'000);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  EXPECT_EQ(evaluator.Evaluate().grade, HealthGrade::kOk);
+}
+
+TEST(SloEvaluatorTest, FastWindowBlipAloneDoesNotDegrade) {
+  MetricsRegistry registry;
+  Counter* req = registry.GetCounter("svc/req_total");
+  Counter* err = registry.GetCounter("svc/err_total");
+  TimeSeriesStore store(&registry);
+  // 8 clean half-minutes, then one bad half-minute: the fast 60s window
+  // burns hot (ratio 0.5) but the slow 120s window stays at budget.
+  int64_t t = 1'000'000;
+  for (int i = 0; i < 8; ++i) {
+    req->Increment(100);
+    store.Sample(t += 30'000);
+  }
+  req->Increment(100);
+  err->Increment(30);
+  store.Sample(t += 30'000);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  const HealthReport report = evaluator.Evaluate();
+  ASSERT_EQ(report.slos.size(), 1u);
+  EXPECT_GT(report.slos[0].burn_fast, 1.0);
+  EXPECT_LE(report.slos[0].burn_slow, 1.0);
+  EXPECT_EQ(report.grade, HealthGrade::kOk)
+      << report.ToText();
+}
+
+TEST(SloEvaluatorTest, SustainedBreachDegradesThenRecovers) {
+  MetricsRegistry registry;
+  Counter* req = registry.GetCounter("svc/req_total");
+  Counter* err = registry.GetCounter("svc/err_total");
+  TimeSeriesStore store(&registry);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  // Sustained 15% error ratio: burn 1.5 in both windows -> degraded (but
+  // under the 2.0 unhealthy factor).
+  int64_t t = 1'000'000;
+  store.Sample(t);
+  for (int i = 0; i < 6; ++i) {
+    req->Increment(100);
+    err->Increment(15);
+    store.Sample(t += 30'000);
+  }
+  HealthReport report = evaluator.Evaluate();
+  EXPECT_EQ(report.grade, HealthGrade::kDegraded) << report.ToText();
+  ASSERT_EQ(report.slos.size(), 1u);
+  EXPECT_NEAR(report.slos[0].burn_fast, 1.5, 1e-9);
+  EXPECT_NEAR(report.slos[0].burn_slow, 1.5, 1e-9);
+  EXPECT_NE(report.slos[0].reason.find("request error ratio"),
+            std::string::npos);
+  EXPECT_NE(report.ToText().find("slo err-ratio degraded"),
+            std::string::npos);
+
+  // Recovery: enough clean ticks to flush both windows -> ok again.
+  for (int i = 0; i < 6; ++i) {
+    req->Increment(100);
+    store.Sample(t += 30'000);
+  }
+  report = evaluator.Evaluate();
+  EXPECT_EQ(report.grade, HealthGrade::kOk) << report.ToText();
+}
+
+TEST(SloEvaluatorTest, DeepBreachEscalatesToUnhealthy) {
+  MetricsRegistry registry;
+  Counter* req = registry.GetCounter("svc/req_total");
+  Counter* err = registry.GetCounter("svc/err_total");
+  TimeSeriesStore store(&registry);
+  int64_t t = 1'000'000;
+  store.Sample(t);
+  for (int i = 0; i < 6; ++i) {
+    req->Increment(100);
+    err->Increment(30);  // 30% ratio: burn 3.0 >= unhealthy_factor 2.0
+    store.Sample(t += 30'000);
+  }
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  const HealthReport report = evaluator.Evaluate();
+  EXPECT_EQ(report.grade, HealthGrade::kUnhealthy) << report.ToText();
+  EXPECT_NE(report.ToText().find("unhealthy"), std::string::npos);
+}
+
+TEST(SloEvaluatorTest, GaugeCeilingAndBandSignals) {
+  MetricsRegistry registry;
+  Gauge* psi = registry.GetGauge("det/psi");
+  Gauge* rate = registry.GetGauge("det/rate");
+  TimeSeriesStore store(&registry);
+  SloSpec psi_spec;
+  psi_spec.name = "psi";
+  psi_spec.signal = SloSignal::kGauge;
+  psi_spec.series = "det/psi";
+  psi_spec.ceiling = 0.25;
+  psi_spec.fast_window_ms = 60'000;
+  psi_spec.slow_window_ms = 120'000;
+  SloSpec band_spec;
+  band_spec.name = "rate-band";
+  band_spec.signal = SloSignal::kGaugeBand;
+  band_spec.series = "det/rate";
+  band_spec.ceiling = 0.9;
+  band_spec.floor = 0.01;
+  band_spec.fast_window_ms = 60'000;
+  band_spec.slow_window_ms = 120'000;
+  int64_t t = 1'000'000;
+  psi->Set(0.5);   // 2x the PSI ceiling, sustained
+  rate->Set(0.0);  // detector gone silent: below the band floor
+  for (int i = 0; i < 5; ++i) store.Sample(t += 30'000);
+  SloEvaluator evaluator({psi_spec, band_spec}, &store, &registry);
+  const HealthReport report = evaluator.Evaluate();
+  ASSERT_EQ(report.slos.size(), 2u);
+  EXPECT_NE(report.slos[0].grade, HealthGrade::kOk) << report.ToText();
+  EXPECT_NEAR(report.slos[0].burn_fast, 2.0, 1e-9);
+  // Silence burns 2.0 - 0/floor = 2.0 on the band's floor side.
+  EXPECT_NE(report.slos[1].grade, HealthGrade::kOk) << report.ToText();
+  EXPECT_NEAR(report.slos[1].burn_fast, 2.0, 1e-9);
+}
+
+TEST(SloEvaluatorTest, HistogramP99Signal) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("svc/latency_ms", {}, {10.0, 100.0, 1000.0});
+  TimeSeriesStore store(&registry);
+  SloSpec spec;
+  spec.name = "latency-p99";
+  spec.signal = SloSignal::kHistogramP99;
+  spec.series = "svc/latency_ms";
+  spec.ceiling = 50.0;
+  spec.fast_window_ms = 60'000;
+  spec.slow_window_ms = 120'000;
+  int64_t t = 1'000'000;
+  store.Sample(t);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 20; ++j) h->Observe(500.0);  // way past the ceiling
+    store.Sample(t += 30'000);
+  }
+  SloEvaluator evaluator({spec}, &store, &registry);
+  const HealthReport report = evaluator.Evaluate();
+  EXPECT_NE(report.grade, HealthGrade::kOk) << report.ToText();
+  EXPECT_GT(report.slos[0].measured, 50.0);
+}
+
+TEST(SloEvaluatorTest, EvaluateAndPublishMirrorsIntoGauges) {
+  MetricsRegistry registry;
+  Counter* req = registry.GetCounter("svc/req_total");
+  Counter* err = registry.GetCounter("svc/err_total");
+  TimeSeriesStore store(&registry);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  int64_t t = 1'000'000;
+  store.Sample(t);
+  for (int i = 0; i < 6; ++i) {
+    req->Increment(100);
+    err->Increment(15);
+    store.Sample(t += 30'000);
+  }
+  const HealthReport report = evaluator.EvaluateAndPublish();
+  EXPECT_EQ(report.grade, HealthGrade::kDegraded);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("slo/status")->Value(), 1.0);
+  const Labels labels = {{"slo", "err-ratio"}};
+  EXPECT_NEAR(registry.GetGauge("slo/burn_rate", labels)->Value(), 1.5,
+              1e-9);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("slo/ok", labels)->Value(), 0.0);
+}
+
+TEST(SloEvaluatorTest, ReportJsonCarriesEverySlo) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(&registry);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  const std::string json = evaluator.Evaluate().ToJson();
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"err-ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"burn_fast\":"), std::string::npos);
+}
+
+TEST(DefaultSloSpecsTest, ShipsCanaryAndDetectorObjectives) {
+  const std::vector<SloSpec> specs = DefaultSloSpecs();
+  ASSERT_GE(specs.size(), 5u);
+  std::vector<std::string> names;
+  for (const SloSpec& s : specs) names.push_back(s.name);
+  for (const char* expected :
+       {"score-p99", "anomaly-band", "psi-drift", "canary-miss",
+        "canary-false-flag"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing default SLO " << expected;
+  }
+}
+
+// ---------- /healthz through the server ----------
+
+/// One blocking HTTP/1.0 round-trip against 127.0.0.1:`port`.
+std::string HttpGet(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = request_line + "\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HealthzEndpointTest, ReflectsSloGradeAndRecovers) {
+  MetricsRegistry registry;
+  Counter* req = registry.GetCounter("svc/req_total");
+  Counter* err = registry.GetCounter("svc/err_total");
+  TimeSeriesStore store(&registry);
+  SloEvaluator evaluator({ErrRatioSpec()}, &store, &registry);
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  // The CLI's wiring: ok/degraded answer 200 (scrapes must keep working
+  // while degraded), only unhealthy answers 503.
+  server.SetHealthHandler([&evaluator]() -> std::pair<int, std::string> {
+    const HealthReport report = evaluator.Evaluate();
+    return {report.grade == HealthGrade::kUnhealthy ? 503 : 200,
+            report.ToText()};
+  });
+
+  // Healthy: no data yet.
+  std::string response = HttpGet(server.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok"), std::string::npos);
+
+  // Induce a sustained deep breach -> unhealthy -> 503 with the reason.
+  int64_t t = 1'000'000;
+  store.Sample(t);
+  for (int i = 0; i < 6; ++i) {
+    req->Increment(100);
+    err->Increment(30);
+    store.Sample(t += 30'000);
+  }
+  response = HttpGet(server.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos) << response;
+  EXPECT_NE(response.find("unhealthy"), std::string::npos);
+  EXPECT_NE(response.find("err-ratio"), std::string::npos);
+
+  // Recovery flushes both windows -> 200 "ok" again.
+  for (int i = 0; i < 8; ++i) {
+    req->Increment(100);
+    store.Sample(t += 30'000);
+  }
+  response = HttpGet(server.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos) << response;
+
+  // Detaching the handler restores the static answer.
+  server.SetHealthHandler(nullptr);
+  response = HttpGet(server.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucad::obs

@@ -228,5 +228,96 @@ TEST(CompareSnapshotsTest, CountersGatedOnlyWhenRequested) {
   EXPECT_EQ(report.regressions[0].series, "nn/tape_ops_total");
 }
 
+// ---------- Windowed snapshot delta ----------
+
+MetricSample CounterSample(const std::string& series, double value) {
+  MetricSample s;
+  s.name = series;
+  s.series = series;
+  s.type = "counter";
+  s.value = value;
+  return s;
+}
+
+MetricSample GaugeSample(const std::string& series, double value) {
+  MetricSample s = CounterSample(series, value);
+  s.type = "gauge";
+  return s;
+}
+
+MetricSample HistogramSample(const std::string& series, double count,
+                             double sum) {
+  MetricSample s;
+  s.name = series;
+  s.series = series;
+  s.type = "histogram";
+  s.count = count;
+  s.sum = sum;
+  s.min = 0.1;
+  s.max = 9.0;
+  s.mean = count > 0 ? sum / count : 0.0;
+  s.p50 = 1.0;
+  s.p90 = 5.0;
+  s.p99 = 8.0;
+  return s;
+}
+
+TEST(SubtractSnapshotsTest, CountersSubtractAndClampAtZero) {
+  Snapshot earlier, later;
+  earlier["a_total"] = CounterSample("a_total", 10.0);
+  later["a_total"] = CounterSample("a_total", 35.0);
+  // Restarted process: the later scrape is BELOW the earlier baseline.
+  earlier["b_total"] = CounterSample("b_total", 100.0);
+  later["b_total"] = CounterSample("b_total", 3.0);
+  const Snapshot delta = SubtractSnapshots(later, earlier);
+  EXPECT_DOUBLE_EQ(delta.at("a_total").value, 25.0);
+  EXPECT_DOUBLE_EQ(delta.at("b_total").value, 0.0);
+}
+
+TEST(SubtractSnapshotsTest, GaugesKeepLaterInstantaneousValue) {
+  Snapshot earlier, later;
+  earlier["rate"] = GaugeSample("rate", 0.9);
+  later["rate"] = GaugeSample("rate", 0.2);
+  const Snapshot delta = SubtractSnapshots(later, earlier);
+  EXPECT_DOUBLE_EQ(delta.at("rate").value, 0.2);
+}
+
+TEST(SubtractSnapshotsTest, HistogramsSubtractCountAndSum) {
+  Snapshot earlier, later;
+  earlier["lat_ms"] = HistogramSample("lat_ms", 10.0, 40.0);
+  later["lat_ms"] = HistogramSample("lat_ms", 16.0, 58.0);
+  const Snapshot delta = SubtractSnapshots(later, earlier);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").count, 6.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").sum, 18.0);
+  // Mean is recomputed from the window; the summary-only distribution
+  // stats cannot be subtracted and are zeroed.
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").mean, 3.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").p99, 0.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").max, 0.0);
+}
+
+TEST(SubtractSnapshotsTest, HistogramRestartClampsToEmptyNotUnderflow) {
+  // The later snapshot carries fewer observations than the earlier one:
+  // the producing process restarted, so the delta must clamp to an empty
+  // histogram — a negative or wrapped count would poison every consumer.
+  Snapshot earlier, later;
+  earlier["lat_ms"] = HistogramSample("lat_ms", 1000.0, 5000.0);
+  later["lat_ms"] = HistogramSample("lat_ms", 4.0, 2.0);
+  const Snapshot delta = SubtractSnapshots(later, earlier);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").count, 0.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").sum, 0.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").mean, 0.0);
+  EXPECT_DOUBLE_EQ(delta.at("lat_ms").p50, 0.0);
+}
+
+TEST(SubtractSnapshotsTest, SeriesBornInsideWindowPassThrough) {
+  Snapshot earlier, later;
+  later["new_total"] = CounterSample("new_total", 7.0);
+  later["new_ms"] = HistogramSample("new_ms", 3.0, 9.0);
+  const Snapshot delta = SubtractSnapshots(later, earlier);
+  EXPECT_DOUBLE_EQ(delta.at("new_total").value, 7.0);
+  EXPECT_DOUBLE_EQ(delta.at("new_ms").count, 3.0);
+}
+
 }  // namespace
 }  // namespace ucad::obs

@@ -1,0 +1,313 @@
+// TimeSeriesStore: ring retention, windowed counter rates, histogram-delta
+// percentiles (including the process-restart clamp), gauge window queries,
+// the /history JSON document, and the background sampler lifecycle.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/timeseries.h"
+
+namespace ucad::obs {
+namespace {
+
+// ---------- HistogramDelta ----------
+
+TEST(HistogramDeltaTest, SubtractsAndInterpolatesPercentiles) {
+  const std::vector<double> bounds = {1.0, 5.0, 10.0};
+  HistogramPoint earlier;
+  earlier.count = 2;
+  earlier.sum = 1.0;
+  earlier.buckets = {2, 0, 0, 0};
+  HistogramPoint later;
+  later.count = 6;
+  later.sum = 9.0;
+  later.buckets = {4, 2, 0, 0};
+  const WindowedHistogram w = HistogramDelta(later, earlier, bounds);
+  EXPECT_EQ(w.count, 4u);
+  EXPECT_DOUBLE_EQ(w.sum, 8.0);
+  // Delta buckets are [2,2,0,0] over 4 observations. p50's rank-2 target
+  // lands exactly at the top of the first bucket (upper bound 1); p99's
+  // rank 3.96 interpolates 98% into the (1,5] bucket.
+  EXPECT_DOUBLE_EQ(w.p50, 1.0);
+  EXPECT_NEAR(w.p99, 1.0 + 4.0 * 0.98, 1e-12);
+}
+
+TEST(HistogramDeltaTest, OverflowBucketPinsToLastBound) {
+  const std::vector<double> bounds = {1.0, 5.0};
+  HistogramPoint earlier;  // empty
+  HistogramPoint later;
+  later.count = 3;
+  later.sum = 300.0;
+  later.buckets = {0, 0, 3};  // everything in +inf
+  const WindowedHistogram w = HistogramDelta(later, earlier, bounds);
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_DOUBLE_EQ(w.p50, 5.0);
+  EXPECT_DOUBLE_EQ(w.p99, 5.0);
+}
+
+TEST(HistogramDeltaTest, RestartClampsWholeDeltaToEmpty) {
+  // The later snapshot carries FEWER total observations than the earlier
+  // one: the producing process restarted, so the baseline describes a dead
+  // counter stream. The delta must clamp to empty — never underflow.
+  const std::vector<double> bounds = {1.0, 5.0};
+  HistogramPoint earlier;
+  earlier.count = 10;
+  earlier.sum = 50.0;
+  earlier.buckets = {5, 5, 0};
+  HistogramPoint later;
+  later.count = 3;
+  later.sum = 4.0;
+  later.buckets = {3, 0, 0};
+  const WindowedHistogram w = HistogramDelta(later, earlier, bounds);
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_DOUBLE_EQ(w.sum, 0.0);
+  EXPECT_DOUBLE_EQ(w.p50, 0.0);
+  EXPECT_DOUBLE_EQ(w.p99, 0.0);
+}
+
+TEST(HistogramDeltaTest, PerBucketUnderflowClampsToZero) {
+  // Total count grew but one bucket read torn (relaxed atomics): the torn
+  // bucket clamps to zero instead of wrapping to 2^64.
+  const std::vector<double> bounds = {1.0};
+  HistogramPoint earlier;
+  earlier.count = 4;
+  earlier.buckets = {4, 0};
+  HistogramPoint later;
+  later.count = 6;
+  later.buckets = {3, 3};  // first bucket "shrank"
+  const WindowedHistogram w = HistogramDelta(later, earlier, bounds);
+  EXPECT_EQ(w.count, 2u);
+  EXPECT_DOUBLE_EQ(w.p50, 1.0);  // all visible delta mass in overflow
+}
+
+// ---------- Sampling and ring retention ----------
+
+TEST(TimeSeriesStoreTest, RingEvictsOldestPastCapacity) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/ticks_total");
+  TimeSeriesOptions options;
+  options.capacity = 3;
+  TimeSeriesStore store(&registry, options);
+  for (int i = 1; i <= 5; ++i) {
+    store.Sample(1000 * i);
+  }
+  EXPECT_EQ(store.TickCount(), 3u);
+  EXPECT_EQ(store.LatestTickMs(), 5000);
+  // The JSON view confirms the oldest two ticks were evicted.
+  auto doc = ParseJson(store.HistoryJson());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* ticks = doc->Find("ticks");
+  ASSERT_NE(ticks, nullptr);
+  ASSERT_EQ(ticks->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks->array[0].number, 3000.0);
+  EXPECT_DOUBLE_EQ(ticks->array[2].number, 5000.0);
+}
+
+TEST(TimeSeriesStoreTest, CounterRateOverTrailingWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("req/served_total");
+  TimeSeriesStore store(&registry);
+  c->Increment(10);
+  store.Sample(1000);
+  c->Increment(30);
+  store.Sample(4000);
+  double rate = 0.0;
+  // 30 new observations over 3 seconds.
+  ASSERT_TRUE(store.CounterRate("req/served_total", 10'000, &rate));
+  EXPECT_DOUBLE_EQ(rate, 10.0);
+  // A window too short to span two ticks has no rate to report.
+  EXPECT_FALSE(store.CounterRate("req/served_total", 1, &rate));
+  // Unknown series and wrong-type lookups answer false.
+  EXPECT_FALSE(store.CounterRate("req/unknown_total", 10'000, &rate));
+}
+
+TEST(TimeSeriesStoreTest, WindowClampsToRetainedHistory) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("req/served_total");
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  c->Increment(6);
+  store.Sample(4000);
+  double rate = 0.0;
+  // The window is far longer than the history: it clamps to what exists.
+  ASSERT_TRUE(store.CounterRate("req/served_total", 3'600'000, &rate));
+  EXPECT_DOUBLE_EQ(rate, 2.0);
+}
+
+TEST(TimeSeriesStoreTest, HistogramWindowPercentiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("req/latency_ms", {}, {1.0, 5.0, 10.0});
+  TimeSeriesStore store(&registry);
+  h->Observe(0.5);
+  store.Sample(1000);
+  h->Observe(4.0);
+  h->Observe(4.5);
+  h->Observe(100.0);
+  store.Sample(2000);
+  WindowedHistogram w;
+  ASSERT_TRUE(store.HistogramWindow("req/latency_ms", 10'000, &w));
+  // Only the 3 observations between the ticks count; the pre-window 0.5
+  // must not show up in the delta.
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_GT(w.p50, 1.0);
+  EXPECT_LE(w.p50, 5.0);
+  EXPECT_DOUBLE_EQ(w.p99, 10.0);  // overflow pinned to the last bound
+  EXPECT_FALSE(store.HistogramWindow("req/latency_ms", 1, &w));
+}
+
+TEST(TimeSeriesStoreTest, GaugeLatestMaxMin) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("detector/drift/psi");
+  TimeSeriesStore store(&registry);
+  double v = 0.0;
+  EXPECT_FALSE(store.GaugeLatest("detector/drift/psi", &v));
+  g->Set(0.1);
+  store.Sample(1000);
+  g->Set(0.4);
+  store.Sample(2000);
+  g->Set(0.2);
+  store.Sample(3000);
+  ASSERT_TRUE(store.GaugeLatest("detector/drift/psi", &v));
+  EXPECT_DOUBLE_EQ(v, 0.2);
+  ASSERT_TRUE(store.GaugeMax("detector/drift/psi", 10'000, &v));
+  EXPECT_DOUBLE_EQ(v, 0.4);
+  ASSERT_TRUE(store.GaugeMin("detector/drift/psi", 10'000, &v));
+  EXPECT_DOUBLE_EQ(v, 0.1);
+  // A window covering only the newest tick sees only its value.
+  ASSERT_TRUE(store.GaugeMax("detector/drift/psi", 500, &v));
+  EXPECT_DOUBLE_EQ(v, 0.2);
+}
+
+// ---------- /history JSON ----------
+
+TEST(TimeSeriesStoreTest, HistoryJsonRatesReconcileWithCumulativeValues) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("req/served_total");
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  c->Increment(4);
+  store.Sample(3000);
+  c->Increment(10);
+  store.Sample(4000);
+  auto doc = ParseJson(store.HistoryJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* series = doc->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 1u);
+  const JsonValue& counter = series->array[0];
+  EXPECT_EQ(counter.Find("series")->string_value, "req/served_total");
+  EXPECT_EQ(counter.Find("type")->string_value, "counter");
+  const JsonValue* values = counter.Find("values");
+  const JsonValue* rates = counter.Find("rates");
+  ASSERT_NE(values, nullptr);
+  ASSERT_NE(rates, nullptr);
+  ASSERT_EQ(values->array.size(), 3u);
+  ASSERT_EQ(rates->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(values->array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(values->array[1].number, 4.0);
+  EXPECT_DOUBLE_EQ(values->array[2].number, 14.0);
+  // rate[i] must equal (values[i] - values[i-1]) / elapsed seconds — the
+  // windowed series and the cumulative series describe the same events.
+  EXPECT_DOUBLE_EQ(rates->array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(rates->array[1].number, 4.0 / 2.0);
+  EXPECT_DOUBLE_EQ(rates->array[2].number, 10.0 / 1.0);
+}
+
+TEST(TimeSeriesStoreTest, HistoryJsonHistogramWindowCountsReconcile) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("req/latency_ms", {}, {1.0, 10.0});
+  TimeSeriesStore store(&registry);
+  h->Observe(0.5);
+  store.Sample(1000);
+  h->Observe(5.0);
+  h->Observe(6.0);
+  store.Sample(2000);
+  auto doc = ParseJson(store.HistoryJson());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& hist = doc->Find("series")->array[0];
+  EXPECT_EQ(hist.Find("type")->string_value, "histogram");
+  const JsonValue* counts = hist.Find("counts");
+  const JsonValue* window_counts = hist.Find("window_counts");
+  const JsonValue* p99 = hist.Find("p99");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_NE(window_counts, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_DOUBLE_EQ(counts->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(counts->array[1].number, 3.0);
+  // Per-tick delta equals the difference of adjacent cumulative counts.
+  EXPECT_DOUBLE_EQ(window_counts->array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(window_counts->array[1].number, 2.0);
+  EXPECT_GT(p99->array[1].number, 1.0);
+}
+
+TEST(TimeSeriesStoreTest, HistoryJsonTicksLimitAndPrefixFilter) {
+  MetricsRegistry registry;
+  registry.GetCounter("canary/probes_total")->Increment();
+  registry.GetCounter("detector/sessions_total")->Increment();
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  store.Sample(2000);
+  store.Sample(3000);
+  auto doc = ParseJson(store.HistoryJson(2, "canary/"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("ticks")->array.size(), 2u);
+  const JsonValue* series = doc->Find("series");
+  ASSERT_EQ(series->array.size(), 1u);
+  EXPECT_EQ(series->array[0].Find("series")->string_value,
+            "canary/probes_total");
+  // Arrays parallel the limited tick view.
+  EXPECT_EQ(series->array[0].Find("values")->array.size(), 2u);
+}
+
+TEST(TimeSeriesStoreTest, HistoryJsonLabeledSeriesUseSnapshotKeyFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("canary/probes_total", {{"class", "normal"}})
+      ->Increment();
+  TimeSeriesStore store(&registry);
+  store.Sample(1000);
+  const std::string json = store.HistoryJson();
+  // Same "name{k=v}" rendering as snapshot.cc, so /history series line up
+  // with snapshot/bench tooling.
+  EXPECT_NE(json.find("canary/probes_total{class=normal}"),
+            std::string::npos)
+      << json;
+}
+
+// ---------- Background sampler ----------
+
+TEST(TimeSeriesStoreTest, SamplerThreadTicksAndStops) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/ticks_total");
+  TimeSeriesOptions options;
+  options.interval_ms = 2;
+  TimeSeriesStore store(&registry, options);
+  EXPECT_FALSE(store.sampling());
+  std::atomic<int> callbacks{0};
+  store.Start([&callbacks](int64_t stamp) {
+    EXPECT_GT(stamp, 0);
+    callbacks.fetch_add(1);
+  });
+  EXPECT_TRUE(store.sampling());
+  store.Start();  // no-op while running
+  for (int i = 0; i < 500 && store.TickCount() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(store.TickCount(), 3u);
+  EXPECT_GE(callbacks.load(), 3);
+  store.Stop();
+  store.Stop();  // idempotent
+  EXPECT_FALSE(store.sampling());
+  const size_t after_stop = store.TickCount();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(store.TickCount(), after_stop);
+}
+
+}  // namespace
+}  // namespace ucad::obs

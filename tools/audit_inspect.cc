@@ -1,13 +1,16 @@
 // Offline aggregation/replay of a detection audit log (JSONL produced by
 // `ucad_cli detect --audit-out` / `ucad_cli monitor --audit-out`):
 //
-//   audit_inspect <audit.jsonl> [--top N] [--window W]
+//   audit_inspect <audit.jsonl> [--top N] [--window W] [--json]
 //
 // Prints session/verdict totals, the rank distribution (exact quantiles +
 // CDF over the monitor's rank buckets), the top offending keys by abnormal
 // verdict count, and a drift timeline: the records replayed in windows of
 // W, each window's rank histogram PSI'd against the first window — the
 // same statistic the live monitor publishes as detector/drift/psi.
+//
+// --json emits the same aggregation as one machine-readable JSON object on
+// stdout (for dashboards and CI assertions) instead of the tables.
 //
 // Exit codes: 0 ok, 1 usage/IO/parse error.
 
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "obs/audit_log.h"
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "util/table_printer.h"
 
@@ -35,6 +39,12 @@ struct KeyStats {
   uint64_t total = 0;
   uint64_t abnormal = 0;
   int worst_rank = 0;
+};
+
+struct DriftWindow {
+  double abnormal_rate = 0.0;
+  double psi = 0.0;  // 0 for the reference window
+  bool reference = false;
 };
 
 double ExactQuantile(const std::vector<int>& sorted, double q) {
@@ -50,17 +60,26 @@ std::string Fixed(double v, int precision) {
   return buf;
 }
 
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   int top_n = 10;
   int window = 256;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--top" || arg == "--window") && i + 1 < argc) {
       const int value = std::atoi(argv[++i]);
       (arg == "--top" ? top_n : window) = value;
+    } else if (arg == "--json") {
+      json = true;
     } else if (path.empty()) {
       path = arg;
     } else {
@@ -71,7 +90,7 @@ int main(int argc, char** argv) {
   if (path.empty() || top_n < 1 || window < 2) {
     std::fprintf(stderr,
                  "usage: audit_inspect <audit.jsonl> [--top N] [--window "
-                 "W]\n");
+                 "W] [--json]\n");
     return 1;
   }
 
@@ -81,7 +100,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (records->empty()) {
-    std::printf("%s: empty audit log\n", path.c_str());
+    if (json) {
+      std::printf("{\"path\":\"%s\",\"records\":0}\n",
+                  obs::JsonEscape(path).c_str());
+    } else {
+      std::printf("%s: empty audit log\n", path.c_str());
+    }
     return 0;
   }
 
@@ -115,6 +139,114 @@ int main(int argc, char** argv) {
   for (const auto& [id, abnormal] : sessions) {
     if (abnormal) ++abnormal_sessions;
   }
+
+  // ---- Rank distribution --------------------------------------------
+  std::sort(ranks.begin(), ranks.end());
+  std::vector<uint64_t> bucket_counts(obs::RankBuckets::Size(), 0);
+  for (int rank : ranks) ++bucket_counts[obs::RankBuckets::BucketOf(rank)];
+
+  // ---- Top offending keys -------------------------------------------
+  std::vector<std::pair<int, KeyStats>> offenders(keys.begin(), keys.end());
+  std::sort(offenders.begin(), offenders.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.abnormal != b.second.abnormal
+                         ? a.second.abnormal > b.second.abnormal
+                         : a.second.worst_rank > b.second.worst_rank;
+            });
+
+  // ---- Drift timeline (replay) --------------------------------------
+  // Windows of `window` records in log order, PSI against the first full
+  // window — the offline mirror of detector/drift/psi.
+  const size_t n_windows = records->size() / static_cast<size_t>(window);
+  std::vector<DriftWindow> drift_windows;
+  if (n_windows >= 2) {
+    std::vector<uint64_t> reference(obs::RankBuckets::Size(), 0);
+    for (size_t w = 0; w < n_windows; ++w) {
+      std::vector<uint64_t> counts(obs::RankBuckets::Size(), 0);
+      uint64_t abnormal_in_window = 0;
+      for (size_t i = w * window; i < (w + 1) * static_cast<size_t>(window);
+           ++i) {
+        const obs::AuditRecord& r = (*records)[i];
+        ++counts[obs::RankBuckets::BucketOf(r.rank)];
+        if (r.abnormal) ++abnormal_in_window;
+      }
+      DriftWindow dw;
+      dw.abnormal_rate = static_cast<double>(abnormal_in_window) / window;
+      if (w == 0) {
+        reference = counts;
+        dw.reference = true;
+      } else {
+        dw.psi = obs::PopulationStabilityIndex(reference, counts);
+      }
+      drift_windows.push_back(dw);
+    }
+  }
+
+  if (json) {
+    std::string out = "{\"path\":\"" + obs::JsonEscape(path) + "\"";
+    out += ",\"records\":" + std::to_string(records->size());
+    out += ",\"sessions\":" + std::to_string(sessions.size());
+    out += ",\"span_ms\":" + std::to_string(last_ms - first_ms);
+    if (!records->front().model_hash.empty()) {
+      out += ",\"model_hash\":\"" +
+             obs::JsonEscape(records->front().model_hash) + "\"";
+    }
+    out += ",\"abnormal_records\":" + std::to_string(abnormal_records);
+    out += ",\"abnormal_sessions\":" + std::to_string(abnormal_sessions);
+    if (std::isfinite(closest_normal_margin)) {
+      out += ",\"closest_normal_margin\":" + Num(closest_normal_margin);
+    }
+    out += ",\"rank_quantiles\":{\"p50\":" + Num(ExactQuantile(ranks, 0.50)) +
+           ",\"p90\":" + Num(ExactQuantile(ranks, 0.90)) +
+           ",\"p99\":" + Num(ExactQuantile(ranks, 0.99)) +
+           ",\"max\":" + std::to_string(ranks.back()) + "}";
+    out += ",\"rank_buckets\":[";
+    bool first = true;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < bucket_counts.size(); ++b) {
+      if (bucket_counts[b] == 0) continue;
+      cumulative += bucket_counts[b];
+      if (!first) out += ",";
+      first = false;
+      out += "{\"label\":\"" +
+             obs::JsonEscape(obs::RankBuckets::LabelOf(b)) +
+             "\",\"count\":" + std::to_string(bucket_counts[b]) +
+             ",\"cdf\":" +
+             Num(static_cast<double>(cumulative) /
+                 static_cast<double>(ranks.size())) +
+             "}";
+    }
+    out += "],\"top_keys\":[";
+    first = true;
+    int shown = 0;
+    for (const auto& [key, ks] : offenders) {
+      if (ks.abnormal == 0 || shown >= top_n) break;
+      ++shown;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"key\":" + std::to_string(key) +
+             ",\"abnormal\":" + std::to_string(ks.abnormal) +
+             ",\"total\":" + std::to_string(ks.total) +
+             ",\"worst_rank\":" + std::to_string(ks.worst_rank) +
+             ",\"observed\":\"" + obs::JsonEscape(ks.observed) + "\"}";
+    }
+    out += "],\"drift\":{\"window\":" + std::to_string(window) +
+           ",\"windows\":[";
+    for (size_t w = 0; w < drift_windows.size(); ++w) {
+      if (w > 0) out += ",";
+      out += "{\"abnormal_rate\":" + Num(drift_windows[w].abnormal_rate);
+      if (drift_windows[w].reference) {
+        out += ",\"reference\":true";
+      } else {
+        out += ",\"psi\":" + Num(drift_windows[w].psi);
+      }
+      out += "}";
+    }
+    out += "]}}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
   std::printf("%s: %zu verdicts over %zu sessions (%.1f s span)\n",
               path.c_str(), records->size(), sessions.size(),
               static_cast<double>(last_ms - first_ms) / 1e3);
@@ -131,13 +263,9 @@ int main(int argc, char** argv) {
                 closest_normal_margin);
   }
 
-  // ---- Rank distribution --------------------------------------------
-  std::sort(ranks.begin(), ranks.end());
   std::printf("\nrank quantiles: p50=%g p90=%g p99=%g max=%d\n",
               ExactQuantile(ranks, 0.50), ExactQuantile(ranks, 0.90),
               ExactQuantile(ranks, 0.99), ranks.back());
-  std::vector<uint64_t> bucket_counts(obs::RankBuckets::Size(), 0);
-  for (int rank : ranks) ++bucket_counts[obs::RankBuckets::BucketOf(rank)];
   util::TablePrinter cdf({"rank", "count", "cdf"});
   uint64_t cumulative = 0;
   for (size_t b = 0; b < bucket_counts.size(); ++b) {
@@ -151,14 +279,6 @@ int main(int argc, char** argv) {
   }
   cdf.Print(std::cout);
 
-  // ---- Top offending keys -------------------------------------------
-  std::vector<std::pair<int, KeyStats>> offenders(keys.begin(), keys.end());
-  std::sort(offenders.begin(), offenders.end(),
-            [](const auto& a, const auto& b) {
-              return a.second.abnormal != b.second.abnormal
-                         ? a.second.abnormal > b.second.abnormal
-                         : a.second.worst_rank > b.second.worst_rank;
-            });
   std::printf("\ntop offending keys (by abnormal verdicts):\n");
   util::TablePrinter top({"key", "abnormal", "total", "worst rank",
                           "observed"});
@@ -178,34 +298,19 @@ int main(int argc, char** argv) {
     top.Print(std::cout);
   }
 
-  // ---- Drift timeline (replay) --------------------------------------
-  // Windows of `window` records in log order, PSI against the first full
-  // window — the offline mirror of detector/drift/psi.
-  const size_t n_windows = records->size() / static_cast<size_t>(window);
-  if (n_windows >= 2) {
+  if (!drift_windows.empty()) {
     std::printf("\ndrift timeline (window=%d, reference=window 0):\n",
                 window);
-    std::vector<uint64_t> reference(obs::RankBuckets::Size(), 0);
     util::TablePrinter drift({"window", "abnormal rate", "psi", ""});
-    for (size_t w = 0; w < n_windows; ++w) {
-      std::vector<uint64_t> counts(obs::RankBuckets::Size(), 0);
-      uint64_t abnormal_in_window = 0;
-      for (size_t i = w * window; i < (w + 1) * static_cast<size_t>(window);
-           ++i) {
-        const obs::AuditRecord& r = (*records)[i];
-        ++counts[obs::RankBuckets::BucketOf(r.rank)];
-        if (r.abnormal) ++abnormal_in_window;
-      }
-      const double rate =
-          static_cast<double>(abnormal_in_window) / window;
-      if (w == 0) {
-        reference = counts;
-        drift.AddRow({"0", Fixed(rate, 4), "-", "(reference)"});
+    for (size_t w = 0; w < drift_windows.size(); ++w) {
+      const DriftWindow& dw = drift_windows[w];
+      if (dw.reference) {
+        drift.AddRow({"0", Fixed(dw.abnormal_rate, 4), "-", "(reference)"});
         continue;
       }
-      const double psi = obs::PopulationStabilityIndex(reference, counts);
-      drift.AddRow({std::to_string(w), Fixed(rate, 4), Fixed(psi, 4),
-                    psi > 0.25 ? "ALERT" : (psi > 0.1 ? "shift" : "")});
+      drift.AddRow({std::to_string(w), Fixed(dw.abnormal_rate, 4),
+                    Fixed(dw.psi, 4),
+                    dw.psi > 0.25 ? "ALERT" : (dw.psi > 0.1 ? "shift" : "")});
     }
     drift.Print(std::cout);
   } else {

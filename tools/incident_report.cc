@@ -2,7 +2,7 @@
 // `ucad_cli detect|monitor --audit-out ... --explain`):
 //
 //   incident_report <audit.jsonl> [--flight dump.flight] [--top N]
-//                   [--open-sec S]
+//                   [--open-sec S] [--json]
 //
 // Folds every attributed abnormal verdict into incidents (same rollup the
 // CLI computes online: one incident per explain signature), then renders
@@ -16,6 +16,10 @@
 // "Open" incidents are those whose last verdict is within --open-sec
 // (default 900) of the newest record in the log, so the report gives the
 // same open/total split a live scrape would have shown at end of run.
+//
+// --json emits the same rollup as one machine-readable JSON object on
+// stdout (incidents array with attribution, expected candidates, and the
+// joined flight trace when --flight is given) instead of the tables.
 //
 // Exit codes: 0 ok, 1 usage/IO/parse error.
 
@@ -31,6 +35,7 @@
 #include "obs/flight.h"
 #include "obs/incident.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 
 using namespace ucad;  // NOLINT
 
@@ -62,8 +67,12 @@ std::string Bar(double share, double max_share, int width) {
   return out;
 }
 
-void PrintExemplarTrace(const obs::FlightDump& dump,
-                        const std::string& session_id, int position) {
+/// Nearest traced window at or before the exemplar op for this session
+/// (the rings are sampled, so the exact position may not be retained).
+/// Null when the dump holds no trace for the session.
+const obs::WindowTrace* FindExemplarTrace(const obs::FlightDump& dump,
+                                          const std::string& session_id,
+                                          int position) {
   const uint64_t hash = obs::Fnv1aHash64(session_id);
   // Ring + retained, deduped by seq — the exemplar may live in either.
   std::map<uint64_t, const obs::WindowTrace*> by_seq;
@@ -72,10 +81,15 @@ void PrintExemplarTrace(const obs::FlightDump& dump,
   const obs::WindowTrace* best = nullptr;
   for (const auto& [seq, t] : by_seq) {
     if (t->session_hash != hash || t->position > position) continue;
-    // Nearest traced window at or before the exemplar op (the rings are
-    // sampled, so the exact position may not have been retained).
     if (best == nullptr || t->position > best->position) best = t;
   }
+  return best;
+}
+
+void PrintExemplarTrace(const obs::FlightDump& dump,
+                        const std::string& session_id, int position) {
+  const obs::WindowTrace* best =
+      FindExemplarTrace(dump, session_id, position);
   if (best == nullptr) {
     std::printf("  flight: no trace for session \"%s\" at or before "
                 "position %d\n",
@@ -93,6 +107,12 @@ void PrintExemplarTrace(const obs::FlightDump& dump,
   std::printf("\n");
 }
 
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +120,7 @@ int main(int argc, char** argv) {
   std::string flight_path;
   int top_n = 5;
   int open_sec = 15 * 60;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--flight" && i + 1 < argc) {
@@ -108,6 +129,8 @@ int main(int argc, char** argv) {
       top_n = std::atoi(argv[++i]);
     } else if (arg == "--open-sec" && i + 1 < argc) {
       open_sec = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      json = true;
     } else if (audit_path.empty() && !arg.empty() && arg[0] != '-') {
       audit_path = arg;
     } else {
@@ -118,7 +141,8 @@ int main(int argc, char** argv) {
   if (audit_path.empty() || top_n < 1) {
     std::fprintf(stderr,
                  "usage: incident_report <audit.jsonl> "
-                 "[--flight dump.flight] [--top N] [--open-sec S]\n");
+                 "[--flight dump.flight] [--top N] [--open-sec S] "
+                 "[--json]\n");
     return 1;
   }
 
@@ -151,23 +175,7 @@ int main(int argc, char** argv) {
     aggregator.Observe(r);
   }
 
-  std::printf("incident report: %s\n", audit_path.c_str());
-  std::printf("  %zu records, %llu abnormal, %llu attributed; "
-              "%llu incident(s), %llu open\n",
-              records->size(), static_cast<unsigned long long>(abnormal),
-              static_cast<unsigned long long>(aggregator.VerdictsTotal()),
-              static_cast<unsigned long long>(aggregator.IncidentsTotal()),
-              static_cast<unsigned long long>(
-                  aggregator.OpenIncidents(newest_ms)));
-  if (aggregator.IncidentsTotal() == 0) {
-    std::printf("  (no attributed abnormal verdicts — run detect with "
-                "--explain to populate the explain blocks)\n");
-    return 0;
-  }
-
   const std::vector<obs::Incident> incidents = aggregator.Snapshot();
-  std::printf("\ntop incidents\n%s",
-              obs::FormatIncidentTable(incidents, top_n).c_str());
 
   // Per-incident attribution rollup straight from the explain blocks.
   std::map<uint64_t, std::map<std::string, TemplateAttribution>> by_incident;
@@ -197,6 +205,115 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (json) {
+    std::string out = "{\"path\":\"" + obs::JsonEscape(audit_path) + "\"";
+    out += ",\"records\":" + std::to_string(records->size());
+    out += ",\"abnormal\":" + std::to_string(abnormal);
+    out += ",\"attributed\":" + std::to_string(aggregator.VerdictsTotal());
+    out += ",\"incidents_total\":" +
+           std::to_string(aggregator.IncidentsTotal());
+    out += ",\"incidents_open\":" +
+           std::to_string(aggregator.OpenIncidents(newest_ms));
+    out += ",\"incidents\":[";
+    int emitted = 0;
+    for (const obs::Incident& incident : incidents) {
+      if (emitted >= top_n) break;
+      if (emitted++ > 0) out += ",";
+      out += "{\"signature\":\"" + obs::SignatureHex(incident.signature) +
+             "\"";
+      out += ",\"offending\":\"" + obs::JsonEscape(incident.offending) +
+             "\"";
+      out += ",\"context\":[";
+      for (size_t i = 0; i < incident.context.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + obs::JsonEscape(incident.context[i]) + "\"";
+      }
+      out += "],\"count\":" + std::to_string(incident.count);
+      out += ",\"first_seen_ms\":" + std::to_string(incident.first_seen_ms);
+      out += ",\"last_seen_ms\":" + std::to_string(incident.last_seen_ms);
+      out += ",\"worst_rank\":" + std::to_string(incident.worst_rank);
+      out += ",\"worst_score\":" +
+             Num(static_cast<double>(incident.worst_score));
+      out += ",\"exemplar_session\":\"" +
+             obs::JsonEscape(incident.exemplar_session) + "\"";
+      out += ",\"exemplar_position\":" +
+             std::to_string(incident.exemplar_position);
+      const auto attribution = by_incident.find(incident.signature);
+      out += ",\"attribution\":[";
+      if (attribution != by_incident.end()) {
+        std::vector<std::pair<std::string, const TemplateAttribution*>> rows;
+        for (const auto& [tmpl, ta] : attribution->second) {
+          rows.emplace_back(tmpl, &ta);
+        }
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.second->MeanAttention() >
+                                  b.second->MeanAttention();
+                         });
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "{\"template\":\"" + obs::JsonEscape(rows[i].first) +
+                 "\",\"mean_attention\":" +
+                 Num(rows[i].second->MeanAttention()) +
+                 ",\"base_rank\":" +
+                 std::to_string(rows[i].second->base_rank_at_best) +
+                 ",\"cf_rank\":" +
+                 std::to_string(rows[i].second->best_cf_rank) + "}";
+        }
+      }
+      out += "]";
+      const auto exemplar = exemplar_record.find(incident.signature);
+      if (exemplar != exemplar_record.end() &&
+          !exemplar->second->expected.empty()) {
+        out += ",\"expected\":[";
+        for (size_t i = 0; i < exemplar->second->expected.size(); ++i) {
+          const obs::AuditCandidate& cand = exemplar->second->expected[i];
+          if (i > 0) out += ",";
+          out += "{\"key\":" + std::to_string(cand.key) + ",\"score\":" +
+                 Num(static_cast<double>(cand.score)) + "}";
+        }
+        out += "]";
+      }
+      if (have_flight) {
+        const obs::WindowTrace* trace = FindExemplarTrace(
+            dump, incident.exemplar_session, incident.exemplar_position);
+        if (trace != nullptr) {
+          out += ",\"flight\":{\"seq\":" + std::to_string(trace->seq) +
+                 ",\"position\":" + std::to_string(trace->position) +
+                 ",\"total_ms\":" +
+                 Num(static_cast<double>(trace->total_ms)) + ",\"stages\":{";
+          for (int s = 0; s < obs::kFlightStageCount; ++s) {
+            if (s > 0) out += ",";
+            out += "\"" + std::string(obs::FlightStageName(s)) + "\":" +
+                   Num(static_cast<double>(trace->stage_ms[s]));
+          }
+          out += "}}";
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("incident report: %s\n", audit_path.c_str());
+  std::printf("  %zu records, %llu abnormal, %llu attributed; "
+              "%llu incident(s), %llu open\n",
+              records->size(), static_cast<unsigned long long>(abnormal),
+              static_cast<unsigned long long>(aggregator.VerdictsTotal()),
+              static_cast<unsigned long long>(aggregator.IncidentsTotal()),
+              static_cast<unsigned long long>(
+                  aggregator.OpenIncidents(newest_ms)));
+  if (aggregator.IncidentsTotal() == 0) {
+    std::printf("  (no attributed abnormal verdicts — run detect with "
+                "--explain to populate the explain blocks)\n");
+    return 0;
+  }
+
+  std::printf("\ntop incidents\n%s",
+              obs::FormatIncidentTable(incidents, top_n).c_str());
 
   int shown = 0;
   for (const obs::Incident& incident : incidents) {
