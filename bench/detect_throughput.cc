@@ -126,10 +126,195 @@ std::pair<EngineResult, EngineResult> RunEngines(
   return {tape, fused};
 }
 
+/// Per-operation streaming walk over every session (the §5.3 online
+/// formulation): one ScoreNextOperation per scored position. Returns the
+/// wall time of the walk in ms.
+double StreamWalk(const transdas::TransDasDetector& detector,
+                  const std::vector<std::vector<int>>& sessions) {
+  util::Timer timer;
+  for (const std::vector<int>& keys : sessions) {
+    if (keys.size() < 2) continue;
+    std::vector<int> preceding;
+    preceding.reserve(keys.size());
+    preceding.push_back(keys[0]);
+    for (size_t i = 1; i < keys.size(); ++i) {
+      detector.ScoreNextOperation(preceding, keys[i]);
+      preceding.push_back(keys[i]);
+    }
+  }
+  return timer.ElapsedMillis();
+}
+
+bool SameVerdict(const transdas::SessionVerdict& a,
+                 const transdas::SessionVerdict& b) {
+  if (a.abnormal != b.abnormal ||
+      a.operations.size() != b.operations.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.operations.size(); ++i) {
+    if (a.operations[i].rank != b.operations[i].rank ||
+        a.operations[i].score != b.operations[i].score ||
+        a.operations[i].margin != b.operations[i].margin ||
+        a.operations[i].abnormal != b.operations[i].abnormal) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// UCAD_BENCH_INCREMENTAL=1: the PR 9 scoring tiers against their PR 5
+/// from-scratch counterparts on the same trained Scenario-I model —
+/// (a) multi-window batched DetectSessions vs per-window DetectSession,
+/// (b) slide-cache incremental streaming vs from-scratch streaming. All
+/// four slices run back-to-back inside each pass (min-of-N best pass), so
+/// machine-load shifts hit every tier of a pass equally. Warmup passes
+/// double as a verdict-identity check: any divergence fails the run before
+/// a single timed pass. UCAD_BENCH_ASSERT_BATCH_SPEEDUP gates the batched
+/// tier's windows/sec multiple over the fused from-scratch path.
+int RunIncrementalMode(eval::Scale scale) {
+  bench::Banner("Detect throughput incremental", scale);
+
+  eval::ScenarioConfig config = eval::ScenarioIConfig(scale);
+  util::Timer timer;
+  const eval::ScenarioDataset ds =
+      eval::BuildScenarioDataset(config.spec, config.dataset);
+  config.model.vocab_size = ds.vocab.size();
+  util::Rng rng(41);
+  transdas::TransDasModel model(config.model, &rng);
+  transdas::TransDasTrainer trainer(&model, config.training);
+  trainer.Train(ds.train);
+  std::printf("dataset + training: %.1fs (vocab %d, L=%d)\n",
+              timer.ElapsedSeconds(), config.model.vocab_size,
+              config.model.window);
+
+  std::vector<std::vector<int>> sessions;
+  int64_t total_windows = 0;
+  int64_t total_ops = 0;
+  for (const eval::LabeledSet& set : ds.TestSets()) {
+    for (const std::vector<int>& keys : set.sessions) {
+      total_windows += SessionWindows(keys.size(), config.model.window);
+      if (keys.size() >= 2) {
+        total_ops += static_cast<int64_t>(keys.size()) - 1;
+      }
+      sessions.push_back(keys);
+    }
+  }
+  std::printf("scoring %zu sessions (%lld windows, %lld streamed ops) per "
+              "pass\n",
+              sessions.size(), static_cast<long long>(total_windows),
+              static_cast<long long>(total_ops));
+
+  transdas::DetectorOptions fused_opts = config.detection;
+  fused_opts.use_tape_engine = false;
+  transdas::DetectorOptions batch_opts = fused_opts;
+  batch_opts.batch_windows = 16;
+  transdas::DetectorOptions incr_opts = fused_opts;
+  incr_opts.incremental = true;
+  const transdas::TransDasDetector fused_engine(&model, fused_opts);
+  const transdas::TransDasDetector batch_engine(&model, batch_opts);
+  const transdas::TransDasDetector stream_engine(&model, fused_opts);
+  const transdas::TransDasDetector incr_engine(&model, incr_opts);
+
+  // Warmup (sizes workspaces, primes weight caches) + parity: the batched
+  // tier must be verdict-identical to the per-window fused path.
+  const std::vector<transdas::SessionVerdict> batched_verdicts =
+      batch_engine.DetectSessions(sessions);
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    if (!SameVerdict(fused_engine.DetectSession(sessions[s]),
+                     batched_verdicts[s])) {
+      std::fprintf(stderr,
+                   "FAIL: batched verdicts diverge from fused on session "
+                   "%zu\n",
+                   s);
+      return 1;
+    }
+  }
+  StreamWalk(stream_engine, sessions);
+  StreamWalk(incr_engine, sessions);
+
+  struct Tier {
+    std::string name;
+    double best_ms = 0.0;
+    int64_t units = 0;  // windows or streamed ops per pass
+  };
+  Tier fused{"fused", 0.0, total_windows};
+  Tier batch{"batch", 0.0, total_windows};
+  Tier stream{"stream", 0.0, total_ops};
+  Tier incr{"incr", 0.0, total_ops};
+  const int passes = scale == eval::Scale::kSmoke ? 5 : 8;
+  for (int pass = 0; pass < passes; ++pass) {
+    util::Timer slice;
+    for (const std::vector<int>& keys : sessions) {
+      fused_engine.DetectSession(keys);
+    }
+    const double fused_ms = slice.ElapsedMillis();
+    util::Timer batch_timer;
+    batch_engine.DetectSessions(sessions);
+    const double batch_ms = batch_timer.ElapsedMillis();
+    const double stream_ms = StreamWalk(stream_engine, sessions);
+    const double incr_ms = StreamWalk(incr_engine, sessions);
+    const double pass_ms[] = {fused_ms, batch_ms, stream_ms, incr_ms};
+    Tier* tiers[] = {&fused, &batch, &stream, &incr};
+    for (int t = 0; t < 4; ++t) {
+      obs::DefaultMetrics()
+          .GetHistogram("bench/detect/" + tiers[t]->name + "_pass_ms")
+          ->Observe(pass_ms[t]);
+      if (tiers[t]->best_ms == 0.0 || pass_ms[t] < tiers[t]->best_ms) {
+        tiers[t]->best_ms = pass_ms[t];
+      }
+    }
+  }
+
+  util::TablePrinter table({"Tier", "best pass (ms)", "units/sec"});
+  for (const Tier* t : {&fused, &batch, &stream, &incr}) {
+    const double per_sec =
+        static_cast<double>(t->units) / (t->best_ms / 1000.0);
+    obs::DefaultMetrics()
+        .GetGauge("bench/detect/" + t->name +
+                  (t->units == total_windows ? "_windows_per_sec"
+                                             : "_ops_per_sec"))
+        ->Set(per_sec);
+    table.AddRow({t->name, util::FormatDouble(t->best_ms, 2),
+                  util::FormatDouble(per_sec, 0)});
+  }
+  table.Print(std::cout);
+
+  const double batch_speedup = fused.best_ms / batch.best_ms;
+  const double incr_speedup = stream.best_ms / incr.best_ms;
+  obs::DefaultMetrics()
+      .GetGauge("bench/detect/speedup_batch_over_fused")
+      ->Set(batch_speedup);
+  obs::DefaultMetrics()
+      .GetGauge("bench/detect/speedup_incr_over_stream")
+      ->Set(incr_speedup);
+  std::printf("batched speedup over fused per-window: %.2fx\n",
+              batch_speedup);
+  std::printf("incremental speedup over from-scratch streaming: %.2fx\n",
+              incr_speedup);
+
+  const char* assert_env = std::getenv("UCAD_BENCH_ASSERT_BATCH_SPEEDUP");
+  if (assert_env != nullptr && *assert_env != '\0') {
+    const double required = std::atof(assert_env);
+    if (!(batch_speedup >= required)) {
+      std::fprintf(stderr,
+                   "FAIL: batched speedup %.2fx below required %.2fx\n",
+                   batch_speedup, required);
+      return 1;
+    }
+    std::printf("batch speedup gate: %.2fx >= %.2fx OK\n", batch_speedup,
+                required);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   const eval::Scale scale = eval::ScaleFromEnv();
+  const char* inc_env = std::getenv("UCAD_BENCH_INCREMENTAL");
+  if (inc_env != nullptr && *inc_env != '\0' && std::string(inc_env) != "0") {
+    return RunIncrementalMode(scale);
+  }
   bench::Banner("Detect throughput", scale);
 
   eval::ScenarioConfig config = eval::ScenarioIConfig(scale);

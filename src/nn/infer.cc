@@ -22,6 +22,11 @@ std::atomic<int64_t> g_live_contexts{0};
 std::atomic<uint64_t> g_forwards_total{0};
 std::atomic<int64_t> g_ws_live_bytes{0};
 std::atomic<int64_t> g_ws_peak_bytes{0};
+std::atomic<uint64_t> g_slide_hits_total{0};
+std::atomic<uint64_t> g_slide_misses_total{0};
+std::atomic<uint64_t> g_batches_total{0};
+std::atomic<uint64_t> g_batched_windows_total{0};
+std::atomic<uint64_t> g_batched_slots_total{0};
 
 /// Mirrors the tape's row-partition dispatch gate (SoftmaxRows): fan out
 /// only when the row range clears the elementwise threshold and there is
@@ -63,7 +68,31 @@ uint64_t InferForwardsTotal() {
   return g_forwards_total.load(std::memory_order_relaxed);
 }
 
+uint64_t SlideCacheHitsTotal() {
+  return g_slide_hits_total.load(std::memory_order_relaxed);
+}
+
+uint64_t SlideCacheMissesTotal() {
+  return g_slide_misses_total.load(std::memory_order_relaxed);
+}
+
+uint64_t BatchForwardsTotal() {
+  return g_batches_total.load(std::memory_order_relaxed);
+}
+
+uint64_t BatchedWindowsTotal() {
+  return g_batched_windows_total.load(std::memory_order_relaxed);
+}
+
+uint64_t BatchedSlotsTotal() {
+  return g_batched_slots_total.load(std::memory_order_relaxed);
+}
+
 }  // namespace internal
+
+Workspace::~Workspace() {
+  internal::RecordWorkspaceBytes(-static_cast<int64_t>(TotalBytes()));
+}
 
 Tensor* Workspace::Acquire(int rows, int cols) {
   if (cursor_ == slots_.size()) {
@@ -97,12 +126,34 @@ InferenceContext::InferenceContext() {
 
 InferenceContext::~InferenceContext() {
   g_live_contexts.fetch_sub(1, std::memory_order_relaxed);
+  // The two workspaces subtract their own bytes in ~Workspace; the derived
+  // weight cache and the slide cache are accounted here.
   int64_t cached_bytes = 0;
   for (const auto& [key, entry] : weight_cache_) {
     cached_bytes += static_cast<int64_t>(entry.tensor.size() * sizeof(float));
   }
+  cached_bytes += static_cast<int64_t>(
+      (slide_cache_.embed.size() + slide_cache_.qkv0.size()) * sizeof(float));
+  internal::RecordWorkspaceBytes(-cached_bytes);
+}
+
+void InferenceContext::EnsureSlideCacheShapes(int window, int hidden,
+                                              int packed_cols) {
+  WindowSlideCache& sc = slide_cache_;
+  if (sc.embed.rows() == window && sc.embed.cols() == hidden &&
+      sc.qkv0.rows() == window && sc.qkv0.cols() == packed_cols) {
+    return;
+  }
+  const int64_t before = static_cast<int64_t>(
+      (sc.embed.size() + sc.qkv0.size()) * sizeof(float));
+  sc.embed = Tensor(window, hidden);
+  sc.qkv0 = Tensor(window, packed_cols);
+  sc.keys.assign(static_cast<size_t>(window), 0);
+  sc.valid = false;
   internal::RecordWorkspaceBytes(
-      -static_cast<int64_t>(workspace_.TotalBytes()) - cached_bytes);
+      static_cast<int64_t>((sc.embed.size() + sc.qkv0.size()) *
+                           sizeof(float)) -
+      before);
 }
 
 const Tensor& InferenceContext::CachedWeight(
@@ -134,6 +185,19 @@ void InferenceContext::NoteForward() {
   g_forwards_total.fetch_add(1, std::memory_order_relaxed);
 }
 
+void InferenceContext::NoteSlideCache(bool hit) {
+  (hit ? g_slide_hits_total : g_slide_misses_total)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void InferenceContext::NoteBatchForward(int windows, int capacity) {
+  g_batches_total.fetch_add(1, std::memory_order_relaxed);
+  g_batched_windows_total.fetch_add(static_cast<uint64_t>(windows),
+                                    std::memory_order_relaxed);
+  g_batched_slots_total.fetch_add(static_cast<uint64_t>(capacity),
+                                  std::memory_order_relaxed);
+}
+
 void InferenceContext::RecordAttentionRow(size_t head, const float* row,
                                           int cols) {
   if (head == 0) captured_attention_.clear();
@@ -143,10 +207,13 @@ void InferenceContext::RecordAttentionRow(size_t head, const float* row,
 
 void GatherRowsKernel(const Tensor& table, const std::vector<int>& indices,
                       Tensor* out) {
-  UCAD_DCHECK(out->rows() == static_cast<int>(indices.size()));
+  // >= rather than ==: the batched engine gathers B*L rows into a
+  // capacity-sized buffer and leaves the unused slots untouched.
+  UCAD_DCHECK(out->rows() >= static_cast<int>(indices.size()));
   UCAD_DCHECK(out->cols() == table.cols());
   const int cols = table.cols();
-  RowParallelFor(0, out->rows(), cols, [&](int64_t r0, int64_t r1) {
+  RowParallelFor(0, static_cast<int>(indices.size()), cols,
+                 [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const int idx = indices[static_cast<size_t>(r)];
       UCAD_DCHECK(idx >= 0 && idx < table.rows());
@@ -300,13 +367,14 @@ void AttnContextRows(const Tensor& att, const Tensor& qkv, int vcol0, int hd,
 }  // namespace
 
 void MatMulSliceKernel(const Tensor& a, int acol0, int k, const Tensor& b,
-                       int row0, Tensor* out, float post_scale) {
+                       int row0, Tensor* out, float post_scale, int row1) {
   UCAD_DCHECK(acol0 >= 0 && acol0 + k <= a.cols());
   UCAD_DCHECK(b.rows() == k);
   UCAD_DCHECK(out->rows() == a.rows() && out->cols() == b.cols());
-  UCAD_DCHECK(row0 >= 0 && row0 <= a.rows());
+  const int end = row1 < 0 ? a.rows() : row1;
+  UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= a.rows());
   const int n = b.cols();
-  RowParallelFor(row0, a.rows(), k * n, [&](int64_t r0, int64_t r1) {
+  RowParallelFor(row0, end, k * n, [&](int64_t r0, int64_t r1) {
     // Compile-time depth for the shipped head/hidden widths: a fully
     // unrolled 4-10 deep accumulation loop beats the generic counted one.
     switch (k) {
@@ -360,6 +428,35 @@ void AttnContextKernel(const Tensor& att, int row0, const Tensor& qkv,
   });
 }
 
+namespace {
+
+/// One row of the masked-attention softmax, shared by MaskedSoftmaxKernel
+/// and the batched attention pipeline. The mask add is fused with the
+/// running max: add-then-compare has no mul-feeding-add shape, so
+/// contraction cannot merge what the tape stores as separate Add and
+/// SoftmaxRows-max traversals. Peeling c=0 preserves the tape's exact max
+/// seeding (max_v = o[0], then std::max pairs in ascending order — NaN
+/// handling included); the normalization is byte-for-byte the tape's
+/// SoftmaxRows row loop (exp of the float difference, double sum, one
+/// float reciprocal).
+inline void MaskedSoftmaxRow(float* o, const float* m, int n) {
+  o[0] += m[0];
+  float max_v = o[0];
+  for (int c = 1; c < n; ++c) {
+    o[c] += m[c];
+    max_v = std::max(max_v, o[c]);
+  }
+  double sum = 0.0;
+  for (int c = 0; c < n; ++c) {
+    o[c] = std::exp(o[c] - max_v);
+    sum += o[c];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (int c = 0; c < n; ++c) o[c] *= inv;
+}
+
+}  // namespace
+
 void MaskedSoftmaxKernel(Tensor* scores, float scale, const Tensor& mask,
                          int row0) {
   UCAD_DCHECK(scores->SameShape(mask));
@@ -368,7 +465,6 @@ void MaskedSoftmaxKernel(Tensor* scores, float scale, const Tensor& mask,
     for (int64_t ri = r0; ri < r1; ++ri) {
       const int r = static_cast<int>(ri);
       float* o = scores->row(r);
-      const float* m = mask.row(r);
       // Scale in its own pass so each store rounds exactly like the tape's
       // Scale node (no cross-op FMA contraction with the mask add). Callers
       // that pre-scaled (the scores kernel's epilogue) pass scale == 1, and
@@ -376,41 +472,133 @@ void MaskedSoftmaxKernel(Tensor* scores, float scale, const Tensor& mask,
       if (scale != 1.0f) {
         for (int c = 0; c < n; ++c) o[c] *= scale;
       }
-      // Mask add fused with the running max: add-then-compare has no
-      // mul-feeding-add shape, so contraction cannot merge what the tape
-      // stores as separate Add and SoftmaxRows-max traversals. Peeling c=0
-      // preserves the tape's exact max seeding (max_v = o[0], then
-      // std::max pairs in ascending order — NaN handling included).
-      o[0] += m[0];
-      float max_v = o[0];
-      for (int c = 1; c < n; ++c) {
-        o[c] += m[c];
-        max_v = std::max(max_v, o[c]);
+      MaskedSoftmaxRow(o, mask.row(r), n);
+    }
+  });
+}
+
+namespace {
+
+/// Row-range worker of BatchedAttentionHeadKernel: each global row r maps
+/// to window b = r / L, query position i = r % L, and runs the exact
+/// per-row pipelines of MatMulSliceKernel (zeroed destination, ascending-
+/// depth accumulation, zero-operand skip, scale epilogue), MaskedSoftmaxRow
+/// (window-local mask row i), and AttnContextKernel (value rows of window b
+/// only). HD is the compile-time head width where possible, HD = 0 the
+/// runtime fallback — same dispatch as the single-window kernels.
+template <int HD>
+void BatchedAttnRows(const Tensor& qkv, int L, const int* rows_from, int qoff,
+                     int hd, const Tensor& kt, float scale, const Tensor& mask,
+                     int voff, int ccol0, int64_t r0, int64_t r1,
+                     Tensor* scores, Tensor* concat) {
+  const int depth = HD > 0 ? HD : hd;
+  for (int64_t gr = r0; gr < r1; ++gr) {
+    const int r = static_cast<int>(gr);
+    const int b = r / L;
+    const int i = r - b * L;
+    if (rows_from != nullptr && i < rows_from[b]) continue;
+    float* o = scores->row(r);
+    const float* q = qkv.row(r) + qoff;
+    for (int j = 0; j < L; ++j) o[j] = 0.0f;
+    for (int p = 0; p < depth; ++p) {
+      const float av = q[p];
+      if (av == 0.0f) continue;
+      const float* __restrict__ brow = kt.row(b * hd + p);
+      for (int j = 0; j < L; ++j) o[j] += av * brow[j];
+    }
+    if (scale != 1.0f) {
+      for (int j = 0; j < L; ++j) o[j] *= scale;
+    }
+    MaskedSoftmaxRow(o, mask.row(i), L);
+    const int vbase = b * L;
+    float* crow = concat->row(r) + ccol0;
+    if constexpr (HD > 0) {
+      float acc[HD > 0 ? HD : 1];
+      for (int d = 0; d < HD; ++d) acc[d] = 0.0f;
+      for (int p = 0; p < L; ++p) {
+        const float av = o[p];
+        if (av == 0.0f) continue;
+        const float* vrow = qkv.row(vbase + p) + voff;
+        for (int d = 0; d < HD; ++d) acc[d] += av * vrow[d];
       }
-      // Byte-for-byte the tape's SoftmaxRows row loop: exp of the float
-      // difference, double sum, one float reciprocal.
-      double sum = 0.0;
-      for (int c = 0; c < n; ++c) {
-        o[c] = std::exp(o[c] - max_v);
-        sum += o[c];
+      for (int d = 0; d < HD; ++d) crow[d] = acc[d];
+    } else {
+      for (int d = 0; d < hd; ++d) crow[d] = 0.0f;
+      for (int p = 0; p < L; ++p) {
+        const float av = o[p];
+        if (av == 0.0f) continue;
+        const float* vrow = qkv.row(vbase + p) + voff;
+        for (int d = 0; d < hd; ++d) crow[d] += av * vrow[d];
       }
-      const float inv = static_cast<float>(1.0 / sum);
-      for (int c = 0; c < n; ++c) o[c] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+void BatchedTransposeSliceKernel(const Tensor& qkv, int num_windows, int L,
+                                 int col0, int cols, Tensor* out) {
+  UCAD_DCHECK(out->rows() >= num_windows * cols && out->cols() == L);
+  UCAD_DCHECK(qkv.rows() >= num_windows * L);
+  UCAD_DCHECK(col0 >= 0 && col0 + cols <= qkv.cols());
+  for (int b = 0; b < num_windows; ++b) {
+    for (int i = 0; i < L; ++i) {
+      const float* arow = qkv.row(b * L + i) + col0;
+      for (int c = 0; c < cols; ++c) out->at(b * cols + c, i) = arow[c];
+    }
+  }
+}
+
+void BatchedAttentionHeadKernel(const Tensor& qkv, int num_windows, int L,
+                                const int* rows_from, int qoff, int hd,
+                                const Tensor& kt, float scale,
+                                const Tensor& mask, int voff, int ccol0,
+                                Tensor* scores, Tensor* concat) {
+  UCAD_DCHECK(qkv.rows() >= num_windows * L);
+  UCAD_DCHECK(kt.rows() >= num_windows * hd && kt.cols() == L);
+  UCAD_DCHECK(mask.rows() == L && mask.cols() == L);
+  UCAD_DCHECK(scores->rows() >= num_windows * L && scores->cols() == L);
+  UCAD_DCHECK(concat->rows() >= num_windows * L);
+  UCAD_DCHECK(qoff >= 0 && qoff + hd <= qkv.cols());
+  UCAD_DCHECK(voff >= 0 && voff + hd <= qkv.cols());
+  UCAD_DCHECK(ccol0 >= 0 && ccol0 + hd <= concat->cols());
+  const int total = num_windows * L;
+  // Per-row cost: L*hd (scores) + L (softmax) + L*hd (context).
+  RowParallelFor(0, total, L * (2 * hd + 2), [&](int64_t r0, int64_t r1) {
+    switch (hd) {
+      case 4:
+        BatchedAttnRows<4>(qkv, L, rows_from, qoff, hd, kt, scale, mask, voff,
+                           ccol0, r0, r1, scores, concat);
+        break;
+      case 5:
+        BatchedAttnRows<5>(qkv, L, rows_from, qoff, hd, kt, scale, mask, voff,
+                           ccol0, r0, r1, scores, concat);
+        break;
+      case 8:
+        BatchedAttnRows<8>(qkv, L, rows_from, qoff, hd, kt, scale, mask, voff,
+                           ccol0, r0, r1, scores, concat);
+        break;
+      default:
+        BatchedAttnRows<0>(qkv, L, rows_from, qoff, hd, kt, scale, mask, voff,
+                           ccol0, r0, r1, scores, concat);
+        break;
     }
   });
 }
 
 void ResidualLayerNormKernel(const Tensor& x, const Tensor& res,
                              const Tensor& gain, const Tensor& bias, float eps,
-                             Tensor* out, int row0) {
+                             Tensor* out, int row0, int row1) {
   UCAD_DCHECK(x.SameShape(res));
   UCAD_DCHECK(out->SameShape(x));
   UCAD_DCHECK(gain.rows() == 1 && gain.cols() == x.cols());
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  const int end = row1 < 0 ? x.rows() : row1;
+  UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x.rows());
   const int n = x.cols();
   const float* vg = gain.row(0);
   const float* vb = bias.row(0);
-  RowParallelFor(row0, x.rows(), n, [&](int64_t r0, int64_t r1) {
+  RowParallelFor(row0, end, n, [&](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
       const int r = static_cast<int>(ri);
       const float* xin = x.row(r);
@@ -438,11 +626,13 @@ void ResidualLayerNormKernel(const Tensor& x, const Tensor& res,
   });
 }
 
-void BiasReluKernel(Tensor* x, const Tensor& bias, int row0) {
+void BiasReluKernel(Tensor* x, const Tensor& bias, int row0, int row1) {
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  const int end = row1 < 0 ? x->rows() : row1;
+  UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x->rows());
   const int n = x->cols();
   const float* vb = bias.row(0);
-  RowParallelFor(row0, x->rows(), n, [&](int64_t r0, int64_t r1) {
+  RowParallelFor(row0, end, n, [&](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
       float* o = x->row(static_cast<int>(ri));
       // One rounded add (the AddRowVector store) then an exact max.
@@ -451,11 +641,13 @@ void BiasReluKernel(Tensor* x, const Tensor& bias, int row0) {
   });
 }
 
-void BiasAddKernel(Tensor* x, const Tensor& bias, int row0) {
+void BiasAddKernel(Tensor* x, const Tensor& bias, int row0, int row1) {
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  const int end = row1 < 0 ? x->rows() : row1;
+  UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x->rows());
   const int n = x->cols();
   const float* vb = bias.row(0);
-  RowParallelFor(row0, x->rows(), n, [&](int64_t r0, int64_t r1) {
+  RowParallelFor(row0, end, n, [&](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
       float* o = x->row(static_cast<int>(ri));
       for (int c = 0; c < n; ++c) o[c] += vb[c];
@@ -512,18 +704,28 @@ RowScore ScoreLogitsRow(const float* logits, int vocab, int key, int top_p) {
 }
 
 void PublishInferMetrics(obs::MetricsRegistry* registry) {
-  const uint64_t contexts = g_contexts_total.load(std::memory_order_relaxed);
-  const uint64_t forwards = g_forwards_total.load(std::memory_order_relaxed);
-  obs::Counter* contexts_counter =
-      registry->GetCounter("nn/infer/contexts_total");
-  if (contexts > contexts_counter->Value()) {
-    contexts_counter->Increment(contexts - contexts_counter->Value());
-  }
-  obs::Counter* forwards_counter =
-      registry->GetCounter("nn/infer/forwards_total");
-  if (forwards > forwards_counter->Value()) {
-    forwards_counter->Increment(forwards - forwards_counter->Value());
-  }
+  const auto publish_counter = [registry](const char* name, uint64_t value) {
+    obs::Counter* counter = registry->GetCounter(name);
+    if (value > counter->Value()) counter->Increment(value - counter->Value());
+  };
+  publish_counter("nn/infer/contexts_total",
+                  g_contexts_total.load(std::memory_order_relaxed));
+  publish_counter("nn/infer/forwards_total",
+                  g_forwards_total.load(std::memory_order_relaxed));
+  publish_counter("nn/infer/slide_cache_hits",
+                  g_slide_hits_total.load(std::memory_order_relaxed));
+  publish_counter("nn/infer/slide_cache_misses",
+                  g_slide_misses_total.load(std::memory_order_relaxed));
+  publish_counter("nn/infer/batches_total",
+                  g_batches_total.load(std::memory_order_relaxed));
+  publish_counter("nn/infer/batched_windows_total",
+                  g_batched_windows_total.load(std::memory_order_relaxed));
+  const uint64_t slots = g_batched_slots_total.load(std::memory_order_relaxed);
+  registry->GetGauge("nn/infer/batch_occupancy")
+      ->Set(slots == 0 ? 0.0
+                       : static_cast<double>(g_batched_windows_total.load(
+                             std::memory_order_relaxed)) /
+                             static_cast<double>(slots));
   registry->GetGauge("nn/infer/live_contexts")
       ->Set(static_cast<double>(
           g_live_contexts.load(std::memory_order_relaxed)));

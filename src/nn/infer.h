@@ -29,6 +29,7 @@ namespace ucad::nn {
 class Workspace {
  public:
   Workspace() = default;
+  ~Workspace();
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
@@ -52,7 +53,7 @@ class Workspace {
   size_t cursor_ = 0;
 };
 
-/// Per-lane state of the tape-free inference engine: the buffer arena plus
+/// Per-lane state of the tape-free inference engine: the buffer arenas plus
 /// caches of derived weights (the transposed embedding table used by the
 /// all-key logits kernel and the per-block packed QKV projection matrices),
 /// keyed by source pointer + weight version so fine-tuning invalidates
@@ -60,12 +61,48 @@ class Workspace {
 /// windows; construction is cheap, the first forward sizes everything.
 class InferenceContext {
  public:
+  /// Cross-window sliding cache for the streaming scorer. UCAD windows are
+  /// order-free (no positional encodings), so a per-position row of the
+  /// embedding matrix — and, because the block-0 Q|K|V projection is
+  /// row-wise, that position's packed projection row — is a pure function
+  /// of (key, weight version). Consecutive sliding windows share L-1 keys;
+  /// the cache retains both row sets so a slide recomputes only the newly
+  /// arrived position. Validity is decided by comparing the cached window's
+  /// keys (not a session id): equal keys imply bitwise-equal rows, so hits
+  /// across interleaved sessions are exact and misses merely recompute.
+  struct WindowSlideCache {
+    /// Model the rows were derived from (cache is per-model).
+    const void* model = nullptr;
+    /// weight_version() at fill time; any bump invalidates (hot swap,
+    /// fine-tune, FreezePaddingRow).
+    uint64_t version = 0;
+    /// The exact (sanitized) window the rows belong to.
+    std::vector<int> keys;
+    /// Cached embedding rows, [L x h].
+    Tensor embed;
+    /// Cached block-0 packed Q|K|V projection rows, [L x packed_cols].
+    Tensor qkv0;
+    bool valid = false;
+  };
+
   InferenceContext();
   InferenceContext(const InferenceContext&) = delete;
   InferenceContext& operator=(const InferenceContext&) = delete;
   ~InferenceContext();
 
   Workspace& workspace() { return workspace_; }
+
+  /// Separate arena for multi-window batched forwards: batched frames have
+  /// a different (capacity-sized) acquisition sequence, and sharing one
+  /// arena with single-window frames would churn slot shapes every time a
+  /// pooled context alternates between the two modes.
+  Workspace& batch_workspace() { return batch_workspace_; }
+
+  WindowSlideCache& slide_cache() { return slide_cache_; }
+
+  /// Sizes (and byte-accounts) the slide-cache tensors; a no-op once the
+  /// shapes match, so steady-state slides never allocate.
+  void EnsureSlideCacheShapes(int window, int hidden, int packed_cols);
 
   /// `src` transposed, cached until `version` (or the source pointer)
   /// changes. Transposition is a pure copy, so the cache cannot perturb
@@ -82,6 +119,16 @@ class InferenceContext {
 
   /// Called by the engine after each full forward (feeds nn/infer metrics).
   void NoteForward();
+
+  /// Slide-cache accounting (feeds nn/infer/slide_cache_{hits,misses}):
+  /// called once per slide-cached forward, hit when the cache supplied the
+  /// embedding + block-0 QKV rows (exact match or one-position slide).
+  void NoteSlideCache(bool hit);
+
+  /// Batched-forward accounting: one batched forward packed `windows` of
+  /// `capacity` slots (feeds nn/infer/batches_total, batched_windows_total
+  /// and the batch_occupancy gauge). Also counts as one forward.
+  void NoteBatchForward(int windows, int capacity);
 
   // ---- Verdict-attribution hook ---------------------------------------
   //
@@ -115,6 +162,8 @@ class InferenceContext {
   };
 
   Workspace workspace_;
+  Workspace batch_workspace_;
+  WindowSlideCache slide_cache_;
   std::unordered_map<const void*, CacheEntry> weight_cache_;
   int attention_capture_row_ = -1;
   std::vector<std::vector<float>> captured_attention_;
@@ -130,8 +179,10 @@ class InferenceContext {
 // thresholds in parallel_thresholds.h; row partitions never change
 // accumulation order, so parallel==serial stays bitwise.
 
-/// Embedding gather: out[i, :] = table[indices[i], :]. `out` must be
-/// [|indices| x table.cols]. Indices must be valid rows (pre-sanitized).
+/// Embedding gather: out[i, :] = table[indices[i], :]. `out` must have at
+/// least |indices| rows (extra rows — the unused slots of a partially
+/// filled batch — are left untouched) and table.cols columns. Indices must
+/// be valid rows (pre-sanitized).
 void GatherRowsKernel(const Tensor& table, const std::vector<int>& indices,
                       Tensor* out);
 
@@ -143,16 +194,19 @@ void TransposeKernel(const Tensor& a, Tensor* out);
 /// materializing the slice first.
 void TransposeSliceKernel(const Tensor& a, int col0, int cols, Tensor* out);
 
-/// out[row0.., :] = a[row0.., acol0:acol0+k] * b, where b is [k x out.cols].
-/// Exactly the shared MatMulAccum recipe per output element (zeroed
-/// destination, products added in ascending depth order, zero operands
-/// skipped), so restricting the row range or reading `a` through a column
-/// offset cannot perturb bitwise parity. Rows below `row0` are untouched.
-/// `post_scale`, when not 1, multiplies the finished rows in a separate
-/// epilogue pass — element-for-element the tape's Scale node applied to the
-/// stored matmul result (a multiply after an add cannot FMA-contract).
+/// out[row0..row1, :] = a[row0..row1, acol0:acol0+k] * b, where b is
+/// [k x out.cols]. Exactly the shared MatMulAccum recipe per output element
+/// (zeroed destination, products added in ascending depth order, zero
+/// operands skipped), so restricting the row range or reading `a` through a
+/// column offset cannot perturb bitwise parity. Rows outside [row0, row1)
+/// are untouched; `row1` = -1 means a.rows() (the batched engine passes the
+/// occupied prefix of a capacity-sized buffer). `post_scale`, when not 1,
+/// multiplies the finished rows in a separate epilogue pass —
+/// element-for-element the tape's Scale node applied to the stored matmul
+/// result (a multiply after an add cannot FMA-contract).
 void MatMulSliceKernel(const Tensor& a, int acol0, int k, const Tensor& b,
-                       int row0, Tensor* out, float post_scale = 1.0f);
+                       int row0, Tensor* out, float post_scale = 1.0f,
+                       int row1 = -1);
 
 /// Attention context fused with the head concat: for rows >= row0,
 /// concat[i, ccol0:ccol0+hd] = att[i, :] * qkv[:, vcol0:vcol0+hd]. Same
@@ -170,20 +224,54 @@ void AttnContextKernel(const Tensor& att, int row0, const Tensor& qkv,
 void MaskedSoftmaxKernel(Tensor* scores, float scale, const Tensor& mask,
                          int row0 = 0);
 
-/// Fused residual + layer norm on rows >= row0: out = gain ⊙ norm(x + res)
-/// + bias, rows normalized independently (mean/var in double, matching the
-/// tape's LayerNormRows). `gain`/`bias` are [1 x n]; `out` must be
-/// [x.rows x n] and may not alias the inputs.
+/// Fused residual + layer norm on rows [row0, row1): out = gain ⊙
+/// norm(x + res) + bias, rows normalized independently (mean/var in double,
+/// matching the tape's LayerNormRows). `gain`/`bias` are [1 x n]; `out`
+/// must be [x.rows x n] and may not alias the inputs. `row1` = -1 means
+/// x.rows().
 void ResidualLayerNormKernel(const Tensor& x, const Tensor& res,
                              const Tensor& gain, const Tensor& bias, float eps,
-                             Tensor* out, int row0 = 0);
+                             Tensor* out, int row0 = 0, int row1 = -1);
 
-/// In-place fused bias + ReLU on rows >= row0:
-/// x[r, c] = max(0, x[r, c] + bias[0, c]).
-void BiasReluKernel(Tensor* x, const Tensor& bias, int row0 = 0);
+/// In-place fused bias + ReLU on rows [row0, row1):
+/// x[r, c] = max(0, x[r, c] + bias[0, c]). `row1` = -1 means x->rows().
+void BiasReluKernel(Tensor* x, const Tensor& bias, int row0 = 0,
+                    int row1 = -1);
 
-/// In-place row-broadcast bias add on rows >= row0: x[r, c] += bias[0, c].
-void BiasAddKernel(Tensor* x, const Tensor& bias, int row0 = 0);
+/// In-place row-broadcast bias add on rows [row0, row1):
+/// x[r, c] += bias[0, c]. `row1` = -1 means x->rows().
+void BiasAddKernel(Tensor* x, const Tensor& bias, int row0 = 0, int row1 = -1);
+
+// ---- Multi-window batched kernels ------------------------------------------
+//
+// The batched engine stacks B windows' rows into one [B*L x ...] buffer so
+// per-block projections run as one wide GEMM instead of B skinny ones.
+// Every batched kernel is a pure row regrouping of the single-window
+// kernels above — each stored float goes through the identical per-element
+// accumulation chain — so batching cannot perturb bitwise parity either.
+
+/// Per-window column-slice transpose: for each window b < num_windows,
+/// out rows [b*cols, (b+1)*cols) = qkv rows [b*L, (b+1)*L) columns
+/// [col0, col0+cols) transposed — B stacked TransposeSliceKernel results.
+/// Pure copy; rows of `out` beyond num_windows*cols are untouched.
+void BatchedTransposeSliceKernel(const Tensor& qkv, int num_windows, int L,
+                                 int col0, int cols, Tensor* out);
+
+/// One attention head over B stacked windows, block-diagonal: for window b
+/// and query row i (>= rows_from[b] when given; global row r = b*L + i),
+/// runs scores = Q K^T (via `kt`, the BatchedTransposeSliceKernel output),
+/// post_scale epilogue, masked softmax, and the context-into-concat matmul
+/// — the exact per-row pipelines of MatMulSliceKernel(post_scale) +
+/// MaskedSoftmaxKernel(scale=1) + AttnContextKernel, window-local, so every
+/// stored value is bitwise the single-window kernels'. `scores` ([>=B*L x
+/// L]) holds the per-window post-softmax attention rows on return;
+/// `rows_from` (size num_windows) restricts each window's query rows, null
+/// = all rows.
+void BatchedAttentionHeadKernel(const Tensor& qkv, int num_windows, int L,
+                                const int* rows_from, int qoff, int hd,
+                                const Tensor& kt, float scale,
+                                const Tensor& mask, int voff, int ccol0,
+                                Tensor* scores, Tensor* concat);
 
 // ---- Fused logits -> Eq. 10 score kernel -----------------------------------
 
@@ -211,10 +299,14 @@ RowScore ScoreLogitsRow(const float* logits, int vocab, int key, int top_p);
 // ---- nn/infer metrics ------------------------------------------------------
 
 /// Publishes the process-wide inference-engine accounting into `registry`:
-/// nn/infer/contexts_total + nn/infer/forwards_total (counters),
+/// nn/infer/contexts_total + nn/infer/forwards_total +
+/// nn/infer/slide_cache_hits + nn/infer/slide_cache_misses +
+/// nn/infer/batches_total + nn/infer/batched_windows_total (counters),
 /// nn/infer/live_contexts + nn/infer/workspace_live_bytes +
-/// nn/infer/workspace_peak_bytes (gauges). Counters are relaxed atomics fed
-/// off the hot path (workspace growth and frame completion only).
+/// nn/infer/workspace_peak_bytes + nn/infer/batch_occupancy (gauges; the
+/// occupancy is cumulative batched windows / batched slots, in (0, 1] once
+/// any batch ran). Counters are relaxed atomics fed off the hot path
+/// (workspace growth and frame completion only).
 void PublishInferMetrics(obs::MetricsRegistry* registry);
 
 namespace internal {
@@ -222,6 +314,11 @@ namespace internal {
 void RecordWorkspaceBytes(int64_t delta);
 int64_t WorkspaceLiveBytes();
 uint64_t InferForwardsTotal();
+uint64_t SlideCacheHitsTotal();
+uint64_t SlideCacheMissesTotal();
+uint64_t BatchForwardsTotal();
+uint64_t BatchedWindowsTotal();
+uint64_t BatchedSlotsTotal();
 }  // namespace internal
 
 }  // namespace ucad::nn

@@ -104,6 +104,19 @@ struct DetectorOptions {
   /// implementation and costs graph recording + per-node allocation on
   /// every window.
   bool use_tape_engine = false;
+  /// When > 1 (and the fused engine is in use), batched DetectSession spans
+  /// are packed up to `batch_windows` at a time into multi-window GEMMs
+  /// (ForwardInferenceBatched); DetectSessions() additionally packs spans
+  /// across sessions. Verdicts are identical to the from-scratch path
+  /// (docs/INFERENCE.md "Incremental & batched scoring"). 0/1 keeps the
+  /// per-window PR 5 fused path.
+  int batch_windows = 0;
+  /// Reuse per-position embedding + block-0 Q|K|V rows across consecutive
+  /// window slides in ScoreNextOperation via the context's WindowSlideCache.
+  /// Only effective when the model has no position embedding
+  /// (SupportsSlideCache()); verdicts and logits stay bitwise identical to
+  /// the from-scratch path.
+  bool incremental = false;
 };
 
 }  // namespace ucad::transdas

@@ -80,7 +80,7 @@ void TransDasDetector::ReleaseContext(
 
 void TransDasDetector::WithWindowLogits(
     const std::vector<int>& input, int rows_from,
-    const std::function<void(const nn::Tensor&)>& fn) const {
+    const std::function<void(const nn::Tensor&)>& fn, bool slide) const {
   if (options_.use_tape_engine) {
     nn::Tape tape;
     obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
@@ -96,7 +96,7 @@ void TransDasDetector::WithWindowLogits(
   std::unique_ptr<nn::InferenceContext> ctx = AcquireContext();
   obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
   const nn::Tensor& outputs =
-      model_->ForwardInference(ctx.get(), input, rows_from);
+      model_->ForwardInference(ctx.get(), input, rows_from, slide);
   fn(model_->AllKeyLogitsInference(ctx.get(), outputs, rows_from));
   ReleaseContext(std::move(ctx));
 }
@@ -115,10 +115,15 @@ OperationVerdict TransDasDetector::ScoreNextOperation(
   // The last output position carries the contextual intent of the next
   // operation (§5.3); the inference engine only computes that row's tail.
   OperationVerdict op;
-  this->WithWindowLogits(window, /*rows_from=*/L - 1,
-                         [&](const nn::Tensor& logits) {
-                           ScoreKey(logits, L - 1, next_key, &op);
-                         });
+  // Incremental streaming: consecutive calls for the same session slide the
+  // window by one, so the context's slide cache reuses L-1 of the embedding
+  // and block-0 projection rows (keyed by the sanitized window itself —
+  // interleaved sessions through the pool can only miss, never corrupt).
+  const bool slide = options_.incremental && !options_.use_tape_engine;
+  this->WithWindowLogits(
+      window, /*rows_from=*/L - 1,
+      [&](const nn::Tensor& logits) { ScoreKey(logits, L - 1, next_key, &op); },
+      slide);
   obs::FlightEnd(op.rank, op.score, op.margin, op.abnormal);
   return op;
 }
@@ -319,60 +324,70 @@ SessionVerdict TransDasDetector::DetectSessionImpl(
   std::vector<int> padded(L, 0);  // L leading pads so op 1..L-1 get context
   padded.reserve(L + keys.size());
   for (int key : keys) padded.push_back(Sanitize(key, vocab));
-  // Window ending at padded index w scores session positions [lo, w]
-  // (targets padded[w+1..w+L]). Advance so every position in [1, n) is
-  // owned by exactly one window; the tail window is clamped inside the
-  // sequence and simply re-derives — but does not own — earlier positions.
-  struct WindowSpan {
-    int w;   // last padded index covered (window is padded[w .. w+L-1])
-    int lo;  // first session position this window owns
-  };
-  std::vector<WindowSpan> spans;
-  int next = 1;
-  while (next < n) {
-    const int w = std::min(next + L - 1, n - 1);
-    spans.push_back(WindowSpan{w, next});
-    next = w + 1;
-  }
   verdict.operations.resize(n - 1);
+  std::vector<BatchSpan> spans;
+  AppendSpans(&padded, &keys, &verdict.operations, n, L, &spans);
   const double setup_ms = timer.ElapsedMillis();
-  // The spans own disjoint position ranges, so the forward passes fan out
-  // across the pool with each lane writing disjoint verdict slots. The
-  // window placement is fixed by (n, L) alone — thread count never changes
-  // which window scores a position, so verdicts match the serial walk.
-  util::ParallelFor(
-      0, static_cast<int64_t>(spans.size()), /*grain=*/1,
-      [this, &spans, &padded, &keys, &verdict, L, n](int64_t b0, int64_t b1) {
-        for (int64_t b = b0; b < b1; ++b) {
-          const WindowSpan& span = spans[b];
-          obs::FlightBegin(span.lo);
-          std::vector<int> input(padded.begin() + span.w,
-                                 padded.begin() + span.w + L);
-          // Output row i scores session position w + i + 1 - L, so the rows
-          // this span owns are the contiguous tail starting at lo's row;
-          // clamped tail windows (and short sessions) skip the re-derived
-          // prefix entirely in the inference engine.
-          const int rows_from = span.lo + L - 1 - span.w;
-          // The flight trace summarizes the window by its worst-ranked
-          // operation (the one an investigator drills into first).
-          OperationVerdict worst;
-          worst.rank = -1;
-          bool any_abnormal = false;
-          WithWindowLogits(input, rows_from, [&](const nn::Tensor& scores) {
-            for (int i = 0; i < L; ++i) {
-              const int session_pos = span.w + i + 1 - L;  // target of output i
-              if (session_pos < span.lo || session_pos >= n) continue;
-              OperationVerdict op;
-              op.position = session_pos;
-              ScoreKey(scores, i, keys[session_pos], &op);
-              if (op.abnormal) any_abnormal = true;
-              if (op.rank > worst.rank) worst = op;
-              verdict.operations[session_pos - 1] = op;
-            }
-          });
-          obs::FlightEnd(worst.rank, worst.score, worst.margin, any_abnormal);
-        }
-      });
+  const int bw = options_.batch_windows;
+  if (bw > 1 && !options_.use_tape_engine) {
+    // Multi-window tier: pack up to batch_windows spans per forward. Chunk
+    // boundaries are a pure function of the span list, and batching never
+    // changes a computed logits row, so verdicts match the per-window walk
+    // at any thread count.
+    const int64_t chunks = (static_cast<int64_t>(spans.size()) + bw - 1) / bw;
+    util::ParallelFor(0, chunks, /*grain=*/1,
+                      [this, &spans, bw](int64_t c0, int64_t c1) {
+                        for (int64_t c = c0; c < c1; ++c) {
+                          const int start = static_cast<int>(c) * bw;
+                          const int count = std::min(
+                              bw, static_cast<int>(spans.size()) - start);
+                          std::unique_ptr<nn::InferenceContext> ctx =
+                              AcquireContext();
+                          ScoreSpanBatch(ctx.get(), spans.data() + start, count,
+                                         bw);
+                          ReleaseContext(std::move(ctx));
+                        }
+                      });
+  } else {
+    // The spans own disjoint position ranges, so the forward passes fan out
+    // across the pool with each lane writing disjoint verdict slots. The
+    // window placement is fixed by (n, L) alone — thread count never changes
+    // which window scores a position, so verdicts match the serial walk.
+    util::ParallelFor(
+        0, static_cast<int64_t>(spans.size()), /*grain=*/1,
+        [this, &spans, &padded, &keys, L, n](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            const BatchSpan& span = spans[b];
+            obs::FlightBegin(span.lo);
+            std::vector<int> input(padded.begin() + span.w,
+                                   padded.begin() + span.w + L);
+            // Output row i scores session position w + i + 1 - L, so the
+            // rows this span owns are the contiguous tail starting at lo's
+            // row; clamped tail windows (and short sessions) skip the
+            // re-derived prefix entirely in the inference engine.
+            const int rows_from = span.lo + L - 1 - span.w;
+            // The flight trace summarizes the window by its worst-ranked
+            // operation (the one an investigator drills into first).
+            OperationVerdict worst;
+            worst.rank = -1;
+            bool any_abnormal = false;
+            WithWindowLogits(input, rows_from, [&](const nn::Tensor& scores) {
+              for (int i = 0; i < L; ++i) {
+                const int session_pos = span.w + i + 1 - L;
+                if (session_pos < span.lo || session_pos >= n) continue;
+                OperationVerdict op;
+                op.position = session_pos;
+                ScoreKey(scores, i, keys[session_pos], &op);
+                if (op.abnormal) any_abnormal = true;
+                if (op.rank > worst.rank) worst = op;
+                (*span.ops)[session_pos - 1] = op;
+              }
+            });
+            obs::FlightEnd(worst.rank, worst.score, worst.margin,
+                           any_abnormal);
+          }
+        });
+  }
   for (const OperationVerdict& op : verdict.operations) {
     if (op.abnormal) {
       verdict.abnormal = true;
@@ -383,6 +398,134 @@ SessionVerdict TransDasDetector::DetectSessionImpl(
     RecordDetectMetrics(verdict, setup_ms, timer.ElapsedMillis() - setup_ms);
   }
   return verdict;
+}
+
+void TransDasDetector::AppendSpans(const std::vector<int>* padded,
+                                   const std::vector<int>* keys,
+                                   std::vector<OperationVerdict>* ops, int n,
+                                   int L, std::vector<BatchSpan>* out) {
+  // Window ending at padded index w scores session positions [lo, w]
+  // (targets padded[w+1..w+L]). Advance so every position in [1, n) is
+  // owned by exactly one window; the tail window is clamped inside the
+  // sequence and simply re-derives — but does not own — earlier positions.
+  int next = 1;
+  while (next < n) {
+    const int w = std::min(next + L - 1, n - 1);
+    out->push_back(BatchSpan{padded, keys, ops, w, next, n});
+    next = w + 1;
+  }
+}
+
+void TransDasDetector::ScoreSpanBatch(nn::InferenceContext* ctx,
+                                      const BatchSpan* spans, int count,
+                                      int capacity) const {
+  const int L = model_->config().window;
+  obs::FlightBegin(spans[0].lo);
+  std::vector<int> input;
+  input.reserve(static_cast<size_t>(count) * L);
+  std::vector<int> rows_from(count);
+  for (int b = 0; b < count; ++b) {
+    const BatchSpan& s = spans[b];
+    input.insert(input.end(), s.padded->begin() + s.w,
+                 s.padded->begin() + s.w + L);
+    rows_from[b] = s.lo + L - 1 - s.w;
+  }
+  obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
+  const nn::Tensor& outputs =
+      model_->ForwardInferenceBatched(ctx, input, rows_from, capacity);
+  const nn::Tensor& logits =
+      model_->AllKeyLogitsInferenceBatched(ctx, outputs, rows_from, capacity);
+  obs::FlightStageBoundary(obs::FlightStage::kScore);
+  // One flight trace covers the whole batch, summarized by its worst
+  // verdict; spans write disjoint slots of their sessions' verdict arrays.
+  OperationVerdict worst;
+  worst.rank = -1;
+  bool any_abnormal = false;
+  for (int b = 0; b < count; ++b) {
+    const BatchSpan& s = spans[b];
+    for (int i = rows_from[b]; i < L; ++i) {
+      const int session_pos = s.w + i + 1 - L;
+      if (session_pos < s.lo || session_pos >= s.n) continue;
+      OperationVerdict op;
+      op.position = session_pos;
+      ScoreKey(logits, b * L + i, (*s.keys)[session_pos], &op);
+      if (op.abnormal) any_abnormal = true;
+      if (op.rank > worst.rank) worst = op;
+      (*s.ops)[session_pos - 1] = op;
+    }
+  }
+  obs::FlightEnd(worst.rank, worst.score, worst.margin, any_abnormal);
+}
+
+std::vector<SessionVerdict> TransDasDetector::DetectSessions(
+    const std::vector<std::vector<int>>& sessions) const {
+  std::vector<SessionVerdict> verdicts(sessions.size());
+  const int bw = options_.batch_windows;
+  if (!options_.batched || bw <= 1 || options_.use_tape_engine) {
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      verdicts[s] = DetectSessionImpl(sessions[s], /*shadow=*/false);
+    }
+    return verdicts;
+  }
+  UCAD_TRACE_SPAN("detector/sessions");
+  const bool metrics = obs::MetricsEnabled();
+  util::Timer timer;
+  const int L = model_->config().window;
+  const int vocab = model_->config().vocab_size;
+  // Global span plan in input order: each session contributes its own
+  // DetectSession span sequence (same placement, so per-position verdicts
+  // are owned by the same windows), and chunking packs spans across session
+  // boundaries so clamped tails share batches with their neighbors.
+  std::vector<std::vector<int>> padded(sessions.size());
+  std::vector<BatchSpan> spans;
+  int scored_sessions = 0;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    const std::vector<int>& keys = sessions[s];
+    const int n = static_cast<int>(keys.size());
+    if (n < 2) continue;  // no scorable operation; empty verdict, no metrics
+    ++scored_sessions;
+    std::vector<int>& pad = padded[s];
+    pad.assign(L, 0);
+    pad.reserve(static_cast<size_t>(L) + keys.size());
+    for (int key : keys) pad.push_back(Sanitize(key, vocab));
+    verdicts[s].operations.resize(n - 1);
+    AppendSpans(&pad, &keys, &verdicts[s].operations, n, L, &spans);
+  }
+  const double setup_ms = timer.ElapsedMillis();
+  const int64_t chunks = (static_cast<int64_t>(spans.size()) + bw - 1) / bw;
+  util::ParallelFor(0, chunks, /*grain=*/1,
+                    [this, &spans, bw](int64_t c0, int64_t c1) {
+                      for (int64_t c = c0; c < c1; ++c) {
+                        const int start = static_cast<int>(c) * bw;
+                        const int count = std::min(
+                            bw, static_cast<int>(spans.size()) - start);
+                        std::unique_ptr<nn::InferenceContext> ctx =
+                            AcquireContext();
+                        ScoreSpanBatch(ctx.get(), spans.data() + start, count,
+                                       bw);
+                        ReleaseContext(std::move(ctx));
+                      }
+                    });
+  const double score_ms = timer.ElapsedMillis() - setup_ms;
+  for (SessionVerdict& v : verdicts) {
+    for (const OperationVerdict& op : v.operations) {
+      if (op.abnormal) {
+        v.abnormal = true;
+        break;
+      }
+    }
+  }
+  if (metrics && scored_sessions > 0) {
+    // The batch shares one setup + one scoring sweep; amortize both evenly
+    // so per-session histograms and the drift monitor keep their meaning.
+    const double su = setup_ms / scored_sessions;
+    const double sc = score_ms / scored_sessions;
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      if (sessions[s].size() < 2) continue;
+      RecordDetectMetrics(verdicts[s], su, sc);
+    }
+  }
+  return verdicts;
 }
 
 }  // namespace ucad::transdas

@@ -65,6 +65,20 @@ class TransDasDetector {
   /// tracing, a sampled debugging ring rather than a statistic, stays on.)
   SessionVerdict ShadowDetectSession(const std::vector<int>& keys) const;
 
+  /// Scores many sessions as one cross-session stream of window spans.
+  /// With options().batched, batch_windows > 1, and the fused engine, the
+  /// spans of ALL sessions are packed — in input order — into multi-window
+  /// batches of up to batch_windows, so partially filled tail windows of
+  /// short sessions share GEMMs with their neighbors instead of wasting a
+  /// pass each. Verdicts are element-identical to calling DetectSession on
+  /// each session (the span plan is a pure function of each session's
+  /// length, and batching never changes a computed row — see
+  /// docs/INFERENCE.md). Otherwise falls back to per-session DetectSession.
+  /// Per-session metrics are still flushed, with the shared setup/score
+  /// latency amortized evenly over the scored sessions.
+  std::vector<SessionVerdict> DetectSessions(
+      const std::vector<std::vector<int>>& sessions) const;
+
   /// Scores only the latest operation given its preceding keys (the
   /// paper's streaming formulation): returns the rank of `next_key`.
   int RankNextOperation(const std::vector<int>& preceding,
@@ -152,9 +166,40 @@ class TransDasDetector {
   /// `fn` must only read logits rows >= rows_from — the inference engine
   /// skips the final block's row-wise tail below that row (the tape engine
   /// always computes the full window, so the rows it hands over agree
-  /// bitwise either way).
+  /// bitwise either way). `slide` forwards to ForwardInference's
+  /// WindowSlideCache (ignored by the tape engine and by models without
+  /// slide-cache support).
   void WithWindowLogits(const std::vector<int>& input, int rows_from,
-                        const std::function<void(const nn::Tensor&)>& fn) const;
+                        const std::function<void(const nn::Tensor&)>& fn,
+                        bool slide = false) const;
+
+  /// One window span of the batched formulation: the window is
+  /// padded[w .. w+L-1], it owns session positions [lo, w], and writes its
+  /// verdicts into `ops` (sized n-1 for a session of n keys). The pointers
+  /// alias the caller's storage for the duration of a DetectSession(s) call.
+  struct BatchSpan {
+    const std::vector<int>* padded;
+    const std::vector<int>* keys;
+    std::vector<OperationVerdict>* ops;
+    int w = 0;
+    int lo = 0;
+    int n = 0;
+  };
+
+  /// Plans the batched window spans of one padded session (the same plan
+  /// DetectSession's batched mode walks: advance by L, clamp the tail) and
+  /// appends them to `out`. Pure function of (n, L) — neither thread count
+  /// nor batch packing changes which window owns a position.
+  static void AppendSpans(const std::vector<int>* padded,
+                          const std::vector<int>* keys,
+                          std::vector<OperationVerdict>* ops, int n, int L,
+                          std::vector<BatchSpan>* out);
+
+  /// Scores `count` spans as one multi-window batch on `ctx` (capacity
+  /// fixes the workspace shapes so partial batches reuse the same slots);
+  /// one flight trace covers the batch, summarized by its worst verdict.
+  void ScoreSpanBatch(nn::InferenceContext* ctx, const BatchSpan* spans,
+                      int count, int capacity) const;
 
   std::unique_ptr<nn::InferenceContext> AcquireContext() const;
   void ReleaseContext(std::unique_ptr<nn::InferenceContext> ctx) const;

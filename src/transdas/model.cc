@@ -1,7 +1,9 @@
 #include "transdas/model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "obs/flight.h"
 #include "sql/vocabulary.h"
@@ -11,6 +13,25 @@ namespace ucad::transdas {
 
 namespace {
 constexpr float kMaskValue = -1e9f;
+
+/// Merges each window's owned final-block rows ([b*L + rows_from[b],
+/// (b+1)*L) in the stacked row space) into maximal contiguous ranges, so
+/// adjacent full windows run their row-wise tails as one kernel call.
+std::vector<std::pair<int, int>> OwnedRowRanges(
+    const std::vector<int>& rows_from, int L) {
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(rows_from.size());
+  for (size_t b = 0; b < rows_from.size(); ++b) {
+    const int start = static_cast<int>(b) * L + rows_from[b];
+    const int end = (static_cast<int>(b) + 1) * L;
+    if (!ranges.empty() && ranges.back().second == start) {
+      ranges.back().second = end;
+    } else {
+      ranges.emplace_back(start, end);
+    }
+  }
+  return ranges;
+}
 }  // namespace
 
 TransDasModel::TransDasModel(const TransDasConfig& config, util::Rng* rng)
@@ -121,8 +142,42 @@ nn::VarId TransDasModel::AllKeyLogits(nn::Tape* tape, nn::VarId outputs) {
   return tape->MatMul(outputs, tape->Transpose(embedding_->Table(tape)));
 }
 
+const nn::Tensor& TransDasModel::PackedQkv(nn::InferenceContext* ctx,
+                                           size_t block_index, uint64_t wv,
+                                           int packed_cols) {
+  // All heads' Q|K|V projections as one packed [h x 3h] matrix: one wide
+  // matmul instead of 3m narrow ones. Column j of the packed matrix is a
+  // column of some head's weight, so each output element's accumulation
+  // chain is exactly the per-head MatMul's. The column count is rounded
+  // up to a vector-friendly multiple of 8 with zero columns — the pad
+  // outputs are never read, and real columns are untouched by them.
+  Block& block = blocks_[block_index];
+  return ctx->CachedWeight(
+      &block, wv, config_.hidden_dim, packed_cols,
+      [this, &block](nn::Tensor* out) {
+        out->SetZero();
+        const int hd = config_.hidden_dim / config_.num_heads;
+        for (size_t hi = 0; hi < block.heads.size(); ++hi) {
+          const Head& head = block.heads[hi];
+          for (int r = 0; r < out->rows(); ++r) {
+            float* orow = out->row(r);
+            const int off = static_cast<int>(hi) * hd;
+            std::memcpy(orow + off, head.wq.value().row(r),
+                        static_cast<size_t>(hd) * sizeof(float));
+            std::memcpy(orow + config_.hidden_dim + off,
+                        head.wk.value().row(r),
+                        static_cast<size_t>(hd) * sizeof(float));
+            std::memcpy(orow + 2 * config_.hidden_dim + off,
+                        head.wv.value().row(r),
+                        static_cast<size_t>(hd) * sizeof(float));
+          }
+        }
+      });
+}
+
 const nn::Tensor& TransDasModel::ForwardInference(
-    nn::InferenceContext* ctx, const std::vector<int>& window, int rows_from) {
+    nn::InferenceContext* ctx, const std::vector<int>& window, int rows_from,
+    bool slide) {
   UCAD_CHECK_EQ(static_cast<int>(window.size()), config_.window);
   nn::Workspace& ws = ctx->workspace();
   ws.BeginFrame();
@@ -132,11 +187,66 @@ const nn::Tensor& TransDasModel::ForwardInference(
   const int head_dim = h / m;
   const float scale = 1.0f / std::sqrt(static_cast<float>(h));
   UCAD_DCHECK(rows_from >= 0 && rows_from < L);
+  // One forward pins one weight version: every derived-weight lookup below
+  // resolves against this snapshot, so a MarkWeightsUpdated landing between
+  // a batch's pack and flush can never mix projection versions within the
+  // pass — the bump takes effect on the next forward.
+  const uint64_t wv = weight_version_;
+  const int packed_cols = (3 * h + 7) / 8 * 8;
 
+  // The x slot is acquired in slide mode too (untouched), so pooled
+  // contexts alternating between sliding and from-scratch frames keep the
+  // identical slot-shape sequence and never churn the arena.
   nn::Tensor* x = ws.Acquire(L, h);
-  nn::GatherRowsKernel(embedding_->table().value(), window, x);
-  if (position_embedding_ != nullptr) {
-    x->AddInPlace(position_embedding_->value());
+  const nn::Tensor* xin = x;
+  const nn::Tensor* qkv0_cached = nullptr;
+  if (slide && SupportsSlideCache()) {
+    ctx->EnsureSlideCacheShapes(L, h, packed_cols);
+    nn::InferenceContext::WindowSlideCache& sc = ctx->slide_cache();
+    const bool keyed = sc.valid && sc.model == this && sc.version == wv;
+    // First row whose embedding/projection must be recomputed: L = exact
+    // revisit (reuse everything), L-1 = one-position slide, 0 = miss.
+    int recompute_from = 0;
+    if (keyed && sc.keys == window) {
+      recompute_from = L;
+    } else if (keyed && std::equal(sc.keys.begin() + 1, sc.keys.end(),
+                                   window.begin())) {
+      // Rows 0..L-2 are the previous window's rows 1..L-1: both cached
+      // tensors are pure per-key row functions, so a row move is exact.
+      std::memmove(sc.embed.row(0), sc.embed.row(1),
+                   static_cast<size_t>(L - 1) * h * sizeof(float));
+      std::memmove(sc.qkv0.row(0), sc.qkv0.row(1),
+                   static_cast<size_t>(L - 1) * packed_cols * sizeof(float));
+      recompute_from = L - 1;
+    }
+    ctx->NoteSlideCache(recompute_from >= L - 1);
+    if (recompute_from < L) {
+      const nn::Tensor& packed = PackedQkv(ctx, 0, wv, packed_cols);
+      if (recompute_from == 0) {
+        nn::GatherRowsKernel(embedding_->table().value(), window, &sc.embed);
+        nn::MatMulSliceKernel(sc.embed, 0, h, packed, 0, &sc.qkv0);
+      } else {
+        // Only the newly arrived position: a one-row gather (the same
+        // memcpy GatherRowsKernel performs) + a one-row projection.
+        UCAD_DCHECK(window[L - 1] >= 0 &&
+                    window[L - 1] < embedding_->table().value().rows());
+        std::memcpy(sc.embed.row(L - 1),
+                    embedding_->table().value().row(window[L - 1]),
+                    static_cast<size_t>(h) * sizeof(float));
+        nn::MatMulSliceKernel(sc.embed, 0, h, packed, L - 1, &sc.qkv0);
+      }
+      sc.keys = window;
+      sc.model = this;
+      sc.version = wv;
+      sc.valid = true;
+    }
+    xin = &sc.embed;
+    qkv0_cached = &sc.qkv0;
+  } else {
+    nn::GatherRowsKernel(embedding_->table().value(), window, x);
+    if (position_embedding_ != nullptr) {
+      x->AddInPlace(position_embedding_->value());
+    }
   }
   obs::FlightStageBoundary(obs::FlightStage::kEmbed);
   for (size_t b = 0; b < blocks_.size(); ++b) {
@@ -145,36 +255,19 @@ const nn::Tensor& TransDasModel::ForwardInference(
     // only the final block may restrict its query rows; its keys/values
     // (and every earlier block) still cover the whole window.
     const int r0 = b + 1 == blocks_.size() ? rows_from : 0;
-    // All heads' Q|K|V projections as one packed [h x 3h] matrix: one wide
-    // matmul instead of 3m narrow ones. Column j of the packed matrix is a
-    // column of some head's weight, so each output element's accumulation
-    // chain is exactly the per-head MatMul's. The column count is rounded
-    // up to a vector-friendly multiple of 8 with zero columns — the pad
-    // outputs are never read, and real columns are untouched by them.
-    const int packed_cols = (3 * h + 7) / 8 * 8;
-    const nn::Tensor& packed = ctx->CachedWeight(
-        &block, weight_version_, h, packed_cols,
-        [this, &block](nn::Tensor* out) {
-          out->SetZero();
-          const int hd = config_.hidden_dim / config_.num_heads;
-          for (size_t hi = 0; hi < block.heads.size(); ++hi) {
-            const Head& head = block.heads[hi];
-            for (int r = 0; r < out->rows(); ++r) {
-              float* orow = out->row(r);
-              const int off = static_cast<int>(hi) * hd;
-              std::memcpy(orow + off, head.wq.value().row(r),
-                          static_cast<size_t>(hd) * sizeof(float));
-              std::memcpy(orow + config_.hidden_dim + off,
-                          head.wk.value().row(r),
-                          static_cast<size_t>(hd) * sizeof(float));
-              std::memcpy(orow + 2 * config_.hidden_dim + off,
-                          head.wv.value().row(r),
-                          static_cast<size_t>(hd) * sizeof(float));
-            }
-          }
-        });
+    const nn::Tensor& packed = PackedQkv(ctx, b, wv, packed_cols);
+    if (on_block_weights_for_test_) {
+      on_block_weights_for_test_(static_cast<int>(b), wv);
+    }
     nn::Tensor* qkv = ws.Acquire(L, packed_cols);
-    nn::MatMulSliceKernel(*x, 0, h, packed, 0, qkv);
+    const nn::Tensor* qkv_in = qkv;
+    if (b == 0 && qkv0_cached != nullptr) {
+      // Block-0 projections came from the slide cache; the slot stays
+      // acquired (sequence stability) but untouched.
+      qkv_in = qkv0_cached;
+    } else {
+      nn::MatMulSliceKernel(*xin, 0, h, packed, 0, qkv);
+    }
     // Multi-head attention with masking, one fused softmax per head; each
     // head's context lands directly in its concat column block.
     nn::Tensor* concat = ws.Acquire(L, h);
@@ -183,11 +276,11 @@ const nn::Tensor& TransDasModel::ForwardInference(
       const int koff = h + hi * head_dim;
       const int voff = 2 * h + hi * head_dim;
       nn::Tensor* kt = ws.Acquire(head_dim, L);
-      nn::TransposeSliceKernel(*qkv, koff, head_dim, kt);
+      nn::TransposeSliceKernel(*qkv_in, koff, head_dim, kt);
       nn::Tensor* scores = ws.Acquire(L, L);
       // Scale folded into the matmul's epilogue pass; the softmax then sees
       // pre-scaled scores (scale = 1 skips its identity pass).
-      nn::MatMulSliceKernel(*qkv, qoff, head_dim, *kt, r0, scores, scale);
+      nn::MatMulSliceKernel(*qkv_in, qoff, head_dim, *kt, r0, scores, scale);
       nn::MaskedSoftmaxKernel(scores, 1.0f, mask_, r0);
       if (b + 1 == blocks_.size() && ctx->attention_capture_row() >= 0) {
         // Attribution hook: hand the armed output row's post-softmax
@@ -197,32 +290,143 @@ const nn::Tensor& TransDasModel::ForwardInference(
         UCAD_DCHECK(cap >= r0 && cap < L);
         ctx->RecordAttentionRow(static_cast<size_t>(hi), scores->row(cap), L);
       }
-      nn::AttnContextKernel(*scores, r0, *qkv, voff, head_dim, qoff, concat);
+      nn::AttnContextKernel(*scores, r0, *qkv_in, voff, head_dim, qoff,
+                            concat);
     }
     nn::Tensor* mh = ws.Acquire(L, h);
     nn::MatMulSliceKernel(*concat, 0, h, block.wo.value(), r0, mh);
     // Dropout is identity outside training; fold the residual into the norm.
     nn::Tensor* ln1 = ws.Acquire(L, h);
-    nn::ResidualLayerNormKernel(*x, *mh, block.ln_attention->gain().value(),
+    nn::ResidualLayerNormKernel(*xin, *mh, block.ln_attention->gain().value(),
                                 block.ln_attention->bias().value(), 1e-5f, ln1,
                                 r0);
-    x = ln1;
+    xin = ln1;
     obs::FlightStageBoundary(obs::FlightStage::kAttention);
     // Point-wise feed-forward (Eq. 7): bias+relu and bias fused in place.
     nn::Tensor* ff = ws.Acquire(L, h);
-    nn::MatMulSliceKernel(*x, 0, h, block.w1.value(), r0, ff);
+    nn::MatMulSliceKernel(*xin, 0, h, block.w1.value(), r0, ff);
     nn::BiasReluKernel(ff, block.b1.value(), r0);
     nn::Tensor* ff2 = ws.Acquire(L, h);
     nn::MatMulSliceKernel(*ff, 0, h, block.w2.value(), r0, ff2);
     nn::BiasAddKernel(ff2, block.b2.value(), r0);
     nn::Tensor* ln2 = ws.Acquire(L, h);
-    nn::ResidualLayerNormKernel(*x, *ff2, block.ln_ffn->gain().value(),
+    nn::ResidualLayerNormKernel(*xin, *ff2, block.ln_ffn->gain().value(),
                                 block.ln_ffn->bias().value(), 1e-5f, ln2, r0);
-    x = ln2;
+    xin = ln2;
     obs::FlightStageBoundary(obs::FlightStage::kFfn);
   }
   ctx->NoteForward();
-  return *x;
+  return *xin;
+}
+
+const nn::Tensor& TransDasModel::ForwardInferenceBatched(
+    nn::InferenceContext* ctx, const std::vector<int>& keys,
+    const std::vector<int>& rows_from, int capacity) {
+  const int L = config_.window;
+  const int h = config_.hidden_dim;
+  const int m = config_.num_heads;
+  const int head_dim = h / m;
+  const int B = static_cast<int>(rows_from.size());
+  UCAD_CHECK_GT(B, 0);
+  UCAD_CHECK_GE(capacity, B);
+  UCAD_CHECK_EQ(static_cast<int>(keys.size()), B * L);
+  // The capture hook is a single-window contract; batched scoring never
+  // arms it (attribution re-derives verdicts through ForwardInference).
+  UCAD_DCHECK(ctx->attention_capture_row() < 0);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(h));
+  const uint64_t wv = weight_version_;
+  const int packed_cols = (3 * h + 7) / 8 * 8;
+  const int total = B * L;
+  const int cap_rows = capacity * L;
+  // The dedicated batch arena: batched frames acquire capacity-sized slots,
+  // which must not evict the single-window arena of a pooled context.
+  nn::Workspace& ws = ctx->batch_workspace();
+  ws.BeginFrame();
+
+  nn::Tensor* x = ws.Acquire(cap_rows, h);
+  nn::GatherRowsKernel(embedding_->table().value(), keys, x);
+  if (position_embedding_ != nullptr) {
+    // Window-local broadcast of the learnable position rows — the same
+    // elementwise adds AddInPlace performs on the single-window path.
+    const nn::Tensor& pe = position_embedding_->value();
+    for (int b = 0; b < B; ++b) {
+      for (int i = 0; i < L; ++i) {
+        float* xr = x->row(b * L + i);
+        const float* pr = pe.row(i);
+        for (int c = 0; c < h; ++c) xr[c] += pr[c];
+      }
+    }
+  }
+  obs::FlightStageBoundary(obs::FlightStage::kEmbed);
+
+  // Row-wise tails of the final block only touch each window's owned rows;
+  // earlier blocks compute every occupied row as one range.
+  const std::vector<std::pair<int, int>> owned = OwnedRowRanges(rows_from, L);
+  const std::vector<std::pair<int, int>> full{{0, total}};
+
+  const nn::Tensor* xin = x;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    Block& block = blocks_[b];
+    const bool final_block = b + 1 == blocks_.size();
+    const std::vector<std::pair<int, int>>& rs = final_block ? owned : full;
+    const nn::Tensor& packed = PackedQkv(ctx, b, wv, packed_cols);
+    if (on_block_weights_for_test_) {
+      on_block_weights_for_test_(static_cast<int>(b), wv);
+    }
+    // One wide [B*L x h] GEMM per block instead of B skinny ones — the
+    // arithmetic-intensity win the batcher exists for. Keys/values must
+    // cover every row of every window, so no rows_from restriction here.
+    nn::Tensor* qkv = ws.Acquire(cap_rows, packed_cols);
+    nn::MatMulSliceKernel(*xin, 0, h, packed, 0, qkv, 1.0f, total);
+    nn::Tensor* concat = ws.Acquire(cap_rows, h);
+    for (int hi = 0; hi < m; ++hi) {
+      const int qoff = hi * head_dim;
+      const int koff = h + hi * head_dim;
+      const int voff = 2 * h + hi * head_dim;
+      nn::Tensor* kt = ws.Acquire(capacity * head_dim, L);
+      nn::BatchedTransposeSliceKernel(*qkv, B, L, koff, head_dim, kt);
+      nn::Tensor* scores = ws.Acquire(cap_rows, L);
+      nn::BatchedAttentionHeadKernel(
+          *qkv, B, L, final_block ? rows_from.data() : nullptr, qoff, head_dim,
+          *kt, scale, mask_, voff, qoff, scores, concat);
+    }
+    nn::Tensor* mh = ws.Acquire(cap_rows, h);
+    for (const auto& [start, end] : rs) {
+      nn::MatMulSliceKernel(*concat, 0, h, block.wo.value(), start, mh, 1.0f,
+                            end);
+    }
+    nn::Tensor* ln1 = ws.Acquire(cap_rows, h);
+    for (const auto& [start, end] : rs) {
+      nn::ResidualLayerNormKernel(*xin, *mh, block.ln_attention->gain().value(),
+                                  block.ln_attention->bias().value(), 1e-5f,
+                                  ln1, start, end);
+    }
+    xin = ln1;
+    obs::FlightStageBoundary(obs::FlightStage::kAttention);
+    nn::Tensor* ff = ws.Acquire(cap_rows, h);
+    for (const auto& [start, end] : rs) {
+      nn::MatMulSliceKernel(*xin, 0, h, block.w1.value(), start, ff, 1.0f,
+                            end);
+      nn::BiasReluKernel(ff, block.b1.value(), start, end);
+    }
+    nn::Tensor* ff2 = ws.Acquire(cap_rows, h);
+    for (const auto& [start, end] : rs) {
+      nn::MatMulSliceKernel(*ff, 0, h, block.w2.value(), start, ff2, 1.0f,
+                            end);
+      nn::BiasAddKernel(ff2, block.b2.value(), start, end);
+    }
+    nn::Tensor* ln2 = ws.Acquire(cap_rows, h);
+    for (const auto& [start, end] : rs) {
+      nn::ResidualLayerNormKernel(*xin, *ff2, block.ln_ffn->gain().value(),
+                                  block.ln_ffn->bias().value(), 1e-5f, ln2,
+                                  start, end);
+    }
+    xin = ln2;
+    obs::FlightStageBoundary(obs::FlightStage::kFfn);
+  }
+  ctx->NoteForward();
+  ctx->NoteBatchForward(B, capacity);
+  return *xin;
 }
 
 const nn::Tensor& TransDasModel::AllKeyLogitsInference(
@@ -236,6 +440,23 @@ const nn::Tensor& TransDasModel::AllKeyLogitsInference(
       embedding_->table().value(), weight_version_);
   nn::Tensor* logits = ctx->workspace().Acquire(outputs.rows(), table_t.cols());
   nn::MatMulSliceKernel(outputs, 0, outputs.cols(), table_t, rows_from, logits);
+  obs::FlightStageBoundary(obs::FlightStage::kLogits);
+  return *logits;
+}
+
+const nn::Tensor& TransDasModel::AllKeyLogitsInferenceBatched(
+    nn::InferenceContext* ctx, const nn::Tensor& outputs,
+    const std::vector<int>& rows_from, int capacity) {
+  const int L = config_.window;
+  UCAD_DCHECK(outputs.rows() == capacity * L);
+  const nn::Tensor& table_t = ctx->TransposedCopy(
+      embedding_->table().value(), weight_version_);
+  nn::Tensor* logits =
+      ctx->batch_workspace().Acquire(outputs.rows(), table_t.cols());
+  for (const auto& [start, end] : OwnedRowRanges(rows_from, L)) {
+    nn::MatMulSliceKernel(outputs, 0, outputs.cols(), table_t, start, logits,
+                          1.0f, end);
+  }
   obs::FlightStageBoundary(obs::FlightStage::kLogits);
   return *logits;
 }

@@ -2,7 +2,9 @@
 #define UCAD_TRANSDAS_MODEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "nn/infer.h"
@@ -55,9 +57,34 @@ class TransDasModel {
   /// below `rows_from` of the result are unspecified. Callers that only
   /// score a tail of the window (the detector's clamped spans and the
   /// streaming scorer) skip the rest of the last block's work.
+  ///
+  /// With `slide` (and SupportsSlideCache()), the context's WindowSlideCache
+  /// supplies the embedding rows and block-0 packed Q|K|V rows: an exact-
+  /// match or one-position-slide window recomputes at most the newly
+  /// arrived row of both (everything deeper depends on the whole window and
+  /// is recomputed). The cache is keyed by the sanitized window keys plus
+  /// (model, weight_version), so interleaved sessions and weight hot-swaps
+  /// can only cause misses, never wrong rows — equal keys at equal version
+  /// imply bitwise-equal rows, keeping the slide path bitwise identical to
+  /// the from-scratch forward.
   const nn::Tensor& ForwardInference(nn::InferenceContext* ctx,
                                      const std::vector<int>& window,
-                                     int rows_from = 0);
+                                     int rows_from = 0, bool slide = false);
+
+  /// Multi-window batched forward: `keys` holds `rows_from.size()` windows
+  /// of L keys concatenated (windows may come from different sessions —
+  /// rows never mix across windows, attention is block-diagonal), and the
+  /// per-block projections run as single [B*L x ...] GEMMs through the
+  /// context's batch workspace. The returned [capacity*L x h] tensor's row
+  /// b*L + i is bitwise ForwardInference(window b, rows_from[b])'s row i for
+  /// i >= rows_from[b] (rows below each window's cut, and the rows of
+  /// unused slots beyond B, are unspecified). `capacity` (>= B) fixes the
+  /// buffer shapes so partially filled batches reuse the same workspace
+  /// slots. The attention-capture hook is not supported on this path.
+  const nn::Tensor& ForwardInferenceBatched(nn::InferenceContext* ctx,
+                                            const std::vector<int>& keys,
+                                            const std::vector<int>& rows_from,
+                                            int capacity);
 
   /// Tape-free Eq. 10 logits ([L x vocab]) for ForwardInference outputs,
   /// computed for rows >= rows_from (earlier rows unspecified). The
@@ -66,6 +93,19 @@ class TransDasModel {
   const nn::Tensor& AllKeyLogitsInference(nn::InferenceContext* ctx,
                                           const nn::Tensor& outputs,
                                           int rows_from = 0);
+
+  /// Batched Eq. 10 logits ([capacity*L x vocab]) for
+  /// ForwardInferenceBatched outputs: row b*L + i computed exactly when
+  /// i >= rows_from[b], bitwise equal to the single-window kernel's row.
+  const nn::Tensor& AllKeyLogitsInferenceBatched(
+      nn::InferenceContext* ctx, const nn::Tensor& outputs,
+      const std::vector<int>& rows_from, int capacity);
+
+  /// Whether the cross-window slide cache applies: per-position rows are
+  /// reusable across slides only because the embedding (and hence block-0
+  /// QKV) row is a pure function of the key — a position embedding makes
+  /// rows position-dependent, so those configs always recompute.
+  bool SupportsSlideCache() const { return position_embedding_ == nullptr; }
 
   /// All trainable parameters.
   std::vector<nn::Parameter*> Params();
@@ -88,6 +128,15 @@ class TransDasModel {
   const TransDasConfig& config() const { return config_; }
   nn::Embedding& embedding() { return *embedding_; }
 
+  /// Test seam for the weight-version staleness contract: invoked once per
+  /// block inside every inference forward, right after that block's derived
+  /// weights were resolved, with (block index, the weight-version snapshot
+  /// the forward pinned at entry). Tests use it to bump weight_version()
+  /// mid-forward and assert the forward never mixes versions.
+  void SetBlockWeightsHookForTest(std::function<void(int, uint64_t)> hook) {
+    on_block_weights_for_test_ = std::move(hook);
+  }
+
  private:
   struct Head {
     nn::Parameter wq;  // [h x h/m]
@@ -109,12 +158,21 @@ class TransDasModel {
   /// -inf entries), built once.
   nn::Tensor BuildMask() const;
 
+  /// The packed per-block Q|K|V projection ([h x packed_cols]) resolved
+  /// through the context's derived-weight cache at version `wv` — the
+  /// weight-version snapshot a forward pins at entry, so one forward can
+  /// never mix projection versions even if MarkWeightsUpdated lands
+  /// mid-pass.
+  const nn::Tensor& PackedQkv(nn::InferenceContext* ctx, size_t block_index,
+                              uint64_t wv, int packed_cols);
+
   TransDasConfig config_;
   std::unique_ptr<nn::Embedding> embedding_;
   std::unique_ptr<nn::Parameter> position_embedding_;  // null unless enabled
   std::vector<Block> blocks_;
   nn::Tensor mask_;
   uint64_t weight_version_ = 1;
+  std::function<void(int, uint64_t)> on_block_weights_for_test_;
 };
 
 }  // namespace ucad::transdas

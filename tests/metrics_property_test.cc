@@ -1,12 +1,21 @@
 // Randomized property tests for the evaluation metrics: for arbitrary
 // classifiers and test-set layouts, the derived rates must satisfy the
-// standard identities.
+// standard identities. Also the accounting invariants of the incremental/
+// batched inference tier: slide-cache hits + misses must equal the number
+// of slide-enabled forwards, and the batch-occupancy gauge must stay a
+// valid ratio in (0, 1].
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
+#include "nn/infer.h"
+#include "obs/metrics.h"
+#include "transdas/config.h"
+#include "transdas/detector.h"
+#include "transdas/model.h"
 #include "util/rng.h"
 
 namespace ucad::eval {
@@ -135,6 +144,91 @@ TEST_P(MetricsPropertyTest, BinaryAgreesWithSetEvaluation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
                          ::testing::Values(1u, 7u, 42u, 1234u, 99999u,
                                            31337u, 271828u, 314159u));
+
+// ---------- Incremental/batched tier accounting invariants ----------
+
+class InferAccountingPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(InferAccountingPropertyTest, SlideCacheHitsPlusMissesEqualScoredOps) {
+  util::Rng rng(GetParam());
+  transdas::TransDasConfig config;
+  config.vocab_size = 15 + static_cast<int>(rng.UniformU64(10));
+  config.window = 4 + static_cast<int>(rng.UniformU64(5));
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.num_blocks = 1 + static_cast<int>(rng.UniformU64(2));
+  transdas::TransDasModel model(config, &rng);
+  transdas::DetectorOptions opts;
+  opts.incremental = true;
+  const transdas::TransDasDetector detector(&model, opts);
+
+  const uint64_t hits0 = nn::internal::SlideCacheHitsTotal();
+  const uint64_t misses0 = nn::internal::SlideCacheMissesTotal();
+  uint64_t scored = 0;
+  std::vector<int> preceding;
+  const int ops = 5 + static_cast<int>(rng.UniformU64(20));
+  for (int i = 0; i < ops; ++i) {
+    const int next = static_cast<int>(rng.UniformU64(config.vocab_size));
+    detector.ScoreNextOperation(preceding, next);
+    ++scored;
+    preceding.push_back(next);
+  }
+  // Every incremental position scored notes exactly one hit or one miss —
+  // no forward is double-counted and none escapes the accounting.
+  const uint64_t hits = nn::internal::SlideCacheHitsTotal() - hits0;
+  const uint64_t misses = nn::internal::SlideCacheMissesTotal() - misses0;
+  EXPECT_EQ(hits + misses, scored);
+  // Single-threaded single-session stream: at most the first forward (plus
+  // a possible L-boundary re-prime) can miss; the slide chain then holds.
+  EXPECT_GE(hits, scored - 2);
+}
+
+TEST_P(InferAccountingPropertyTest, BatchOccupancyGaugeStaysARatio) {
+  util::Rng rng(GetParam() + 17);
+  transdas::TransDasConfig config;
+  config.vocab_size = 18;
+  config.window = 5;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  transdas::TransDasModel model(config, &rng);
+  transdas::DetectorOptions opts;
+  opts.batch_windows = 2 + static_cast<int>(rng.UniformU64(4));
+  const transdas::TransDasDetector detector(&model, opts);
+
+  const uint64_t windows0 = nn::internal::BatchedWindowsTotal();
+  const uint64_t slots0 = nn::internal::BatchedSlotsTotal();
+  const uint64_t batches0 = nn::internal::BatchForwardsTotal();
+  std::vector<std::vector<int>> sessions(6);
+  for (std::vector<int>& keys : sessions) {
+    keys.resize(2 + rng.UniformU64(25));
+    for (int& key : keys) {
+      key = static_cast<int>(rng.UniformU64(config.vocab_size));
+    }
+  }
+  detector.DetectSessions(sessions);
+  const uint64_t windows = nn::internal::BatchedWindowsTotal() - windows0;
+  const uint64_t slots = nn::internal::BatchedSlotsTotal() - slots0;
+  const uint64_t batches = nn::internal::BatchForwardsTotal() - batches0;
+  ASSERT_GT(batches, 0u);
+  // Each batch contributes capacity slots and 1..capacity windows, so the
+  // occupancy ratio is bounded by (0, 1] and the slot count is exactly
+  // batches * batch_windows.
+  EXPECT_EQ(slots, batches * static_cast<uint64_t>(opts.batch_windows));
+  EXPECT_GE(windows, batches);  // at least one window per batch
+  EXPECT_LE(windows, slots);
+  // The published gauge is the cumulative ratio and must stay in (0, 1].
+  obs::MetricsRegistry registry;
+  nn::PublishInferMetrics(&registry);
+  const double occupancy =
+      registry.GetGauge("nn/infer/batch_occupancy")->Value();
+  EXPECT_GT(occupancy, 0.0);
+  EXPECT_LE(occupancy, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InferAccountingPropertyTest,
+                         ::testing::Values(3u, 19u, 777u, 4242u));
 
 }  // namespace
 }  // namespace ucad::eval
