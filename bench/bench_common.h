@@ -101,6 +101,13 @@ inline void Banner(const std::string& title, eval::Scale scale) {
   if (first) std::atexit(internal::DumpMetricsAtExit);
 }
 
+/// Attaches a key/value note to the run manifest Banner registered (a
+/// no-op record if metrics snapshots are suppressed). Lets benches stamp
+/// mode-specific context — e.g. which kernel tiers ran — into run.json.
+inline void AddManifestNote(const std::string& key, const std::string& value) {
+  internal::BenchManifest().AddNote(key, value);
+}
+
 /// Formats an EvalResult as the paper's Table 2 row:
 /// FPR(V1,V2,V3) FNR(A1,A2,A3) P R F1.
 inline std::vector<std::string> MetricsRow(const std::string& method,

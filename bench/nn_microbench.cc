@@ -1,12 +1,17 @@
 // Microbenchmarks (google-benchmark) for the substrate kernels on the
 // training/detection hot paths: matmul, softmax, a full attention block,
-// one Trans-DAS training step, and preprocessing primitives.
+// one Trans-DAS training step, preprocessing primitives, and the per-tier
+// inference kernels (reference vs vectorized vs int8 GEMM) at the
+// detector's Scenario-I shapes.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "nn/infer.h"
+#include "nn/simd.h"
 #include "nn/tape.h"
 #include "nn/tensor.h"
 #include "prep/ngram.h"
@@ -88,6 +93,130 @@ void BM_TransDasTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransDasTrainStep)->Arg(30)->Arg(50);
+
+// ---- Per-tier inference kernels (docs/INFERENCE.md "Kernel tiers") ----
+//
+// Arg 0 selects the tier (0 = reference, 1 = vectorized); shapes are the
+// detection hot path's: [L=30 x h=10] activations against the packed Q|K|V
+// ([10 x 32]) and all-key-logits ([10 x vocab]) weights. The int8 GEMM has
+// its own benchmark (it replaces these matmuls at the model level rather
+// than inside MatMulSliceKernel).
+
+void BM_InferMatMulSlice(benchmark::State& state) {
+  const auto tier = static_cast<nn::KernelTier>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  const int L = 30, h = 10;
+  util::Rng rng(6);
+  const nn::Tensor a = nn::Tensor::Randn(L, h, 1.0f, &rng);
+  const nn::Tensor b = nn::Tensor::Randn(h, cols, 1.0f, &rng);
+  nn::Tensor out(L, cols);
+  nn::ScopedKernelTier scope(tier);
+  for (auto _ : state) {
+    nn::MatMulSliceKernel(a, 0, h, b, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * L * h * cols);
+}
+BENCHMARK(BM_InferMatMulSlice)
+    ->Args({0, 32})
+    ->Args({1, 32})
+    ->Args({0, 512})
+    ->Args({1, 512});
+
+void BM_InferInt8Gemm(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  const int L = 30, h = 10;
+  util::Rng rng(6);
+  const nn::Tensor a = nn::Tensor::Randn(L, h, 1.0f, &rng);
+  const nn::Tensor b = nn::Tensor::Randn(h, cols, 1.0f, &rng);
+  nn::QuantizedWeight q;
+  nn::QuantizeWeightRows(b, /*transpose=*/true, &q);
+  nn::Tensor out(L, cols);
+  for (auto _ : state) {
+    nn::Int8GemmKernel(a, 0, h, q, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * L * h * cols);
+}
+BENCHMARK(BM_InferInt8Gemm)->Arg(32)->Arg(512);
+
+void BM_InferMaskedSoftmax(benchmark::State& state) {
+  const auto tier = static_cast<nn::KernelTier>(state.range(0));
+  const int L = 30;
+  util::Rng rng(7);
+  const nn::Tensor src = nn::Tensor::Randn(L, L, 2.0f, &rng);
+  nn::Tensor mask(L, L);
+  for (int i = 0; i + 1 < L; ++i) mask.at(i, i + 1) = -1e9f;
+  nn::Tensor scores(L, L);
+  nn::ScopedKernelTier scope(tier);
+  for (auto _ : state) {
+    // Both tiers pay the same refill; softmax runs on identical inputs.
+    std::memcpy(scores.data(), src.data(),
+                static_cast<size_t>(L) * L * sizeof(float));
+    nn::MaskedSoftmaxKernel(&scores, 0.316f, mask);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * L * L);
+}
+BENCHMARK(BM_InferMaskedSoftmax)->Arg(0)->Arg(1);
+
+void BM_InferResidualLayerNorm(benchmark::State& state) {
+  const auto tier = static_cast<nn::KernelTier>(state.range(0));
+  const int L = 30, h = 10;
+  util::Rng rng(8);
+  const nn::Tensor x = nn::Tensor::Randn(L, h, 1.0f, &rng);
+  const nn::Tensor res = nn::Tensor::Randn(L, h, 1.0f, &rng);
+  const nn::Tensor gain = nn::Tensor::Randn(1, h, 0.5f, &rng);
+  const nn::Tensor bias = nn::Tensor::Randn(1, h, 0.5f, &rng);
+  nn::Tensor out(L, h);
+  nn::ScopedKernelTier scope(tier);
+  for (auto _ : state) {
+    nn::ResidualLayerNormKernel(x, res, gain, bias, 1e-5f, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * L * h);
+}
+BENCHMARK(BM_InferResidualLayerNorm)->Arg(0)->Arg(1);
+
+void BM_InferAttnContext(benchmark::State& state) {
+  const auto tier = static_cast<nn::KernelTier>(state.range(0));
+  const int L = 30, h = 10, hd = 5;
+  util::Rng rng(9);
+  nn::Tensor att = nn::Tensor::Randn(L, L, 1.0f, &rng);
+  nn::MaskedSoftmaxKernel(&att, 1.0f, nn::Tensor(L, L));
+  const nn::Tensor qkv = nn::Tensor::Randn(L, 32, 1.0f, &rng);
+  nn::Tensor concat(L, h);
+  nn::ScopedKernelTier scope(tier);
+  for (auto _ : state) {
+    nn::AttnContextKernel(att, 0, qkv, 20, hd, 0, &concat);
+    benchmark::DoNotOptimize(concat.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * L * L * hd);
+}
+BENCHMARK(BM_InferAttnContext)->Arg(0)->Arg(1);
+
+void BM_InferForwardTier(benchmark::State& state) {
+  const auto tier = static_cast<nn::KernelTier>(state.range(0));
+  transdas::TransDasConfig config;
+  config.vocab_size = 512;
+  config.window = 30;
+  config.hidden_dim = 10;
+  config.num_heads = 2;
+  config.num_blocks = 6;
+  util::Rng rng(10);
+  transdas::TransDasModel model(config, &rng);
+  nn::InferenceContext ctx;
+  std::vector<int> window(config.window);
+  for (int i = 0; i < config.window; ++i) window[i] = 1 + (i * 17) % 500;
+  nn::ScopedKernelTier scope(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.AllKeyLogitsInference(&ctx, model.ForwardInference(&ctx, window))
+            .data());
+  }
+  state.SetItemsProcessed(state.iterations() * config.window);
+}
+BENCHMARK(BM_InferForwardTier)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_StatementAbstraction(benchmark::State& state) {
   const std::string sql =

@@ -27,25 +27,8 @@ std::atomic<uint64_t> g_slide_misses_total{0};
 std::atomic<uint64_t> g_batches_total{0};
 std::atomic<uint64_t> g_batched_windows_total{0};
 std::atomic<uint64_t> g_batched_slots_total{0};
-
-/// Mirrors the tape's row-partition dispatch gate (SoftmaxRows): fan out
-/// only when the row range clears the elementwise threshold and there is
-/// more than one row to split. Rows are independent in every kernel here,
-/// so the partition never changes accumulation order. Templated on the
-/// callable so the (overwhelmingly common) serial path never materializes
-/// a std::function — at repro dims that is ~40 closure heap allocations
-/// per window otherwise.
-template <typename Fn>
-void RowParallelFor(int row0, int rows, int cols, Fn&& fn) {
-  const int64_t size = static_cast<int64_t>(rows - row0) * cols;
-  if (size >= kParallelElemwiseMin && rows - row0 > 1 &&
-      util::NumThreads() > 1) {
-    const int64_t grain = std::max<int64_t>(1, kParallelElemwiseGrain / cols);
-    util::ParallelFor(row0, rows, grain, std::forward<Fn>(fn));
-  } else {
-    fn(row0, rows);
-  }
-}
+std::atomic<uint64_t> g_tier_forwards_total[3] = {{0}, {0}, {0}};
+std::atomic<int> g_last_forward_tier{0};
 
 }  // namespace
 
@@ -88,6 +71,11 @@ uint64_t BatchedSlotsTotal() {
   return g_batched_slots_total.load(std::memory_order_relaxed);
 }
 
+uint64_t TierForwardsTotal(KernelTier tier) {
+  return g_tier_forwards_total[static_cast<int>(tier)].load(
+      std::memory_order_relaxed);
+}
+
 }  // namespace internal
 
 Workspace::~Workspace() {
@@ -127,10 +115,14 @@ InferenceContext::InferenceContext() {
 InferenceContext::~InferenceContext() {
   g_live_contexts.fetch_sub(1, std::memory_order_relaxed);
   // The two workspaces subtract their own bytes in ~Workspace; the derived
-  // weight cache and the slide cache are accounted here.
+  // weight caches (float and quantized) and the slide cache are accounted
+  // here.
   int64_t cached_bytes = 0;
   for (const auto& [key, entry] : weight_cache_) {
     cached_bytes += static_cast<int64_t>(entry.tensor.size() * sizeof(float));
+  }
+  for (const auto& [key, entry] : quant_cache_) {
+    cached_bytes += static_cast<int64_t>(entry.weight.bytes());
   }
   cached_bytes += static_cast<int64_t>(
       (slide_cache_.embed.size() + slide_cache_.qkv0.size()) * sizeof(float));
@@ -181,8 +173,29 @@ const Tensor& InferenceContext::TransposedCopy(const Tensor& src,
                       [&src](Tensor* out) { TransposeKernel(src, out); });
 }
 
-void InferenceContext::NoteForward() {
+const QuantizedWeight& InferenceContext::CachedQuantWeight(const void* key,
+                                                           uint64_t version,
+                                                           const Tensor& src,
+                                                           bool transpose) {
+  QuantCacheEntry& entry = quant_cache_[key];
+  if (entry.version != version || entry.src_rows != src.rows() ||
+      entry.src_cols != src.cols() || entry.weight.scales.empty()) {
+    const int64_t before = static_cast<int64_t>(entry.weight.bytes());
+    QuantizeWeightRows(src, transpose, &entry.weight);
+    entry.version = version;
+    entry.src_rows = src.rows();
+    entry.src_cols = src.cols();
+    internal::RecordWorkspaceBytes(
+        static_cast<int64_t>(entry.weight.bytes()) - before);
+  }
+  return entry.weight;
+}
+
+void InferenceContext::NoteForward(KernelTier tier) {
   g_forwards_total.fetch_add(1, std::memory_order_relaxed);
+  g_tier_forwards_total[static_cast<int>(tier)].fetch_add(
+      1, std::memory_order_relaxed);
+  g_last_forward_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
 }
 
 void InferenceContext::NoteSlideCache(bool hit) {
@@ -373,6 +386,10 @@ void MatMulSliceKernel(const Tensor& a, int acol0, int k, const Tensor& b,
   UCAD_DCHECK(out->rows() == a.rows() && out->cols() == b.cols());
   const int end = row1 < 0 ? a.rows() : row1;
   UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= a.rows());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::MatMulSlice(a, acol0, k, b, row0, end, post_scale, out);
+    return;
+  }
   const int n = b.cols();
   RowParallelFor(row0, end, k * n, [&](int64_t r0, int64_t r1) {
     // Compile-time depth for the shipped head/hidden widths: a fully
@@ -409,6 +426,10 @@ void AttnContextKernel(const Tensor& att, int row0, const Tensor& qkv,
   UCAD_DCHECK(vcol0 >= 0 && vcol0 + hd <= qkv.cols());
   UCAD_DCHECK(ccol0 >= 0 && ccol0 + hd <= concat->cols());
   UCAD_DCHECK(concat->rows() == att.rows());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::AttnContext(att, row0, qkv, vcol0, hd, ccol0, concat);
+    return;
+  }
   const int k = att.cols();
   RowParallelFor(row0, att.rows(), k * hd, [&](int64_t r0, int64_t r1) {
     switch (hd) {
@@ -460,6 +481,10 @@ inline void MaskedSoftmaxRow(float* o, const float* m, int n) {
 void MaskedSoftmaxKernel(Tensor* scores, float scale, const Tensor& mask,
                          int row0) {
   UCAD_DCHECK(scores->SameShape(mask));
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::MaskedSoftmax(scores, scale, mask, row0);
+    return;
+  }
   const int n = scores->cols();
   RowParallelFor(row0, scores->rows(), n, [&](int64_t r0, int64_t r1) {
     for (int64_t ri = r0; ri < r1; ++ri) {
@@ -562,6 +587,11 @@ void BatchedAttentionHeadKernel(const Tensor& qkv, int num_windows, int L,
   UCAD_DCHECK(qoff >= 0 && qoff + hd <= qkv.cols());
   UCAD_DCHECK(voff >= 0 && voff + hd <= qkv.cols());
   UCAD_DCHECK(ccol0 >= 0 && ccol0 + hd <= concat->cols());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::BatchedAttnHead(qkv, num_windows, L, rows_from, qoff, hd, kt, scale,
+                          mask, voff, ccol0, scores, concat);
+    return;
+  }
   const int total = num_windows * L;
   // Per-row cost: L*hd (scores) + L (softmax) + L*hd (context).
   RowParallelFor(0, total, L * (2 * hd + 2), [&](int64_t r0, int64_t r1) {
@@ -595,6 +625,10 @@ void ResidualLayerNormKernel(const Tensor& x, const Tensor& res,
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x.cols());
   const int end = row1 < 0 ? x.rows() : row1;
   UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x.rows());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::ResidualLayerNorm(x, res, gain, bias, eps, out, row0, end);
+    return;
+  }
   const int n = x.cols();
   const float* vg = gain.row(0);
   const float* vb = bias.row(0);
@@ -630,6 +664,10 @@ void BiasReluKernel(Tensor* x, const Tensor& bias, int row0, int row1) {
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x->cols());
   const int end = row1 < 0 ? x->rows() : row1;
   UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x->rows());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::BiasRelu(x, bias, row0, end);
+    return;
+  }
   const int n = x->cols();
   const float* vb = bias.row(0);
   RowParallelFor(row0, end, n, [&](int64_t r0, int64_t r1) {
@@ -645,6 +683,10 @@ void BiasAddKernel(Tensor* x, const Tensor& bias, int row0, int row1) {
   UCAD_DCHECK(bias.rows() == 1 && bias.cols() == x->cols());
   const int end = row1 < 0 ? x->rows() : row1;
   UCAD_DCHECK(row0 >= 0 && row0 <= end && end <= x->rows());
+  if (CurrentKernelTier() != KernelTier::kReference) {
+    fast::BiasAdd(x, bias, row0, end);
+    return;
+  }
   const int n = x->cols();
   const float* vb = bias.row(0);
   RowParallelFor(row0, end, n, [&](int64_t r0, int64_t r1) {
@@ -720,6 +762,24 @@ void PublishInferMetrics(obs::MetricsRegistry* registry) {
                   g_batches_total.load(std::memory_order_relaxed));
   publish_counter("nn/infer/batched_windows_total",
                   g_batched_windows_total.load(std::memory_order_relaxed));
+  for (const KernelTier tier : {KernelTier::kReference, KernelTier::kVectorized,
+                                KernelTier::kInt8}) {
+    obs::Counter* counter = registry->GetCounter(
+        "nn/infer/tier_forwards_total", {{"tier", KernelTierName(tier)}});
+    const uint64_t value = internal::TierForwardsTotal(tier);
+    if (value > counter->Value()) counter->Increment(value - counter->Value());
+  }
+  publish_counter("nn/infer/int8_gemm_rows_total",
+                  internal::Int8GemmRowsTotal());
+  registry->GetGauge("nn/infer/kernel_tier")
+      ->Set(static_cast<double>(
+          g_last_forward_tier.load(std::memory_order_relaxed)));
+  registry->GetGauge("nn/infer/simd_isa")
+      ->Set(static_cast<double>(static_cast<int>(util::ActiveSimdIsa())));
+  registry->GetGauge("nn/infer/quant_weight_max_abs_err")
+      ->Set(internal::QuantWeightMaxAbsErr());
+  registry->GetGauge("nn/infer/quant_act_max_abs_err")
+      ->Set(internal::QuantActMaxAbsErr());
   const uint64_t slots = g_batched_slots_total.load(std::memory_order_relaxed);
   registry->GetGauge("nn/infer/batch_occupancy")
       ->Set(slots == 0 ? 0.0

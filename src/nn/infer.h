@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/simd.h"
 #include "nn/tensor.h"
 
 namespace ucad::obs {
@@ -117,8 +118,20 @@ class InferenceContext {
                              int cols,
                              const std::function<void(Tensor*)>& fill);
 
-  /// Called by the engine after each full forward (feeds nn/infer metrics).
-  void NoteForward();
+  /// int8 twin of CachedWeight: returns `src` quantized to per-row-scale
+  /// int8 (QuantizeWeightRows semantics, transpose included), rebuilt
+  /// whenever the version or source shape changes — i.e. prepared once per
+  /// MarkWeightsUpdated, amortized across every int8-tier forward. Kept in
+  /// a map separate from the float cache so a source tensor can serve as
+  /// the key of both. Contexts are pooled per detector and a detector has
+  /// one fixed kernel tier, so float and quantized caches never mix within
+  /// a slide-cache lineage.
+  const QuantizedWeight& CachedQuantWeight(const void* key, uint64_t version,
+                                           const Tensor& src, bool transpose);
+
+  /// Called by the engine after each full forward (feeds nn/infer metrics);
+  /// `tier` attributes the forward to its kernel tier.
+  void NoteForward(KernelTier tier = KernelTier::kReference);
 
   /// Slide-cache accounting (feeds nn/infer/slide_cache_{hits,misses}):
   /// called once per slide-cached forward, hit when the cache supplied the
@@ -160,24 +173,38 @@ class InferenceContext {
     uint64_t version = 0;
     Tensor tensor;
   };
+  struct QuantCacheEntry {
+    uint64_t version = 0;
+    int src_rows = 0;
+    int src_cols = 0;
+    QuantizedWeight weight;
+  };
 
   Workspace workspace_;
   Workspace batch_workspace_;
   WindowSlideCache slide_cache_;
   std::unordered_map<const void*, CacheEntry> weight_cache_;
+  std::unordered_map<const void*, QuantCacheEntry> quant_cache_;
   int attention_capture_row_ = -1;
   std::vector<std::vector<float>> captured_attention_;
 };
 
 // ---- Fused forward kernels -------------------------------------------------
 //
-// Each kernel replicates the tape path's per-op rounding exactly: fusion
-// saves graph recording, gradient bookkeeping, and intermediate buffers, but
-// every float store happens in the same order with the same value as the
-// corresponding tape ops, so the engines agree bitwise (docs/INFERENCE.md).
+// Under the default KernelTier::kReference each kernel replicates the tape
+// path's per-op rounding exactly: fusion saves graph recording, gradient
+// bookkeeping, and intermediate buffers, but every float store happens in
+// the same order with the same value as the corresponding tape ops, so the
+// engines agree bitwise (docs/INFERENCE.md). When the calling thread's
+// ambient tier (simd.h) is kVectorized or kInt8, the arithmetic kernels
+// route to the relaxed fast:: bodies instead — runtime-dispatched
+// vectorized implementations whose contract is verdict identity, not
+// bitwise logits. Pure-copy kernels (gather/transpose) are tier-invariant.
 // Row-partitioned kernels dispatch through the global thread pool above the
 // thresholds in parallel_thresholds.h; row partitions never change
-// accumulation order, so parallel==serial stays bitwise.
+// accumulation order, so parallel==serial stays bitwise per tier. Kernels
+// read the tier once at entry (on the calling thread) before fanning out,
+// so pool workers inherit the decision through the captured lambda.
 
 /// Embedding gather: out[i, :] = table[indices[i], :]. `out` must have at
 /// least |indices| rows (extra rows — the unused slots of a partially
@@ -301,12 +328,19 @@ RowScore ScoreLogitsRow(const float* logits, int vocab, int key, int top_p);
 /// Publishes the process-wide inference-engine accounting into `registry`:
 /// nn/infer/contexts_total + nn/infer/forwards_total +
 /// nn/infer/slide_cache_hits + nn/infer/slide_cache_misses +
-/// nn/infer/batches_total + nn/infer/batched_windows_total (counters),
+/// nn/infer/batches_total + nn/infer/batched_windows_total +
+/// nn/infer/tier_forwards_total{tier=...} +
+/// nn/infer/int8_gemm_rows_total (counters),
 /// nn/infer/live_contexts + nn/infer/workspace_live_bytes +
-/// nn/infer/workspace_peak_bytes + nn/infer/batch_occupancy (gauges; the
-/// occupancy is cumulative batched windows / batched slots, in (0, 1] once
-/// any batch ran). Counters are relaxed atomics fed off the hot path
-/// (workspace growth and frame completion only).
+/// nn/infer/workspace_peak_bytes + nn/infer/batch_occupancy +
+/// nn/infer/kernel_tier (ordinal of the most recent forward's tier) +
+/// nn/infer/simd_isa (ordinal of util::ActiveSimdIsa()) +
+/// nn/infer/quant_weight_max_abs_err + nn/infer/quant_act_max_abs_err
+/// (gauges; the quant errors are process-lifetime watermarks of
+/// |dequantized - original|, the occupancy is cumulative batched windows /
+/// batched slots, in (0, 1] once any batch ran). Counters are relaxed
+/// atomics fed off the hot path (workspace growth and frame completion
+/// only).
 void PublishInferMetrics(obs::MetricsRegistry* registry);
 
 namespace internal {
@@ -319,6 +353,7 @@ uint64_t SlideCacheMissesTotal();
 uint64_t BatchForwardsTotal();
 uint64_t BatchedWindowsTotal();
 uint64_t BatchedSlotsTotal();
+uint64_t TierForwardsTotal(KernelTier tier);
 }  // namespace internal
 
 }  // namespace ucad::nn

@@ -1,7 +1,11 @@
 #ifndef UCAD_NN_PARALLEL_THRESHOLDS_H_
 #define UCAD_NN_PARALLEL_THRESHOLDS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace ucad::nn {
 
@@ -17,6 +21,27 @@ namespace ucad::nn {
 /// dispatch overhead); chunks hold at least kParallelElemwiseGrain elements.
 constexpr int64_t kParallelElemwiseMin = int64_t{1} << 16;
 constexpr int64_t kParallelElemwiseGrain = int64_t{1} << 14;
+
+/// Mirrors the tape's row-partition dispatch gate (SoftmaxRows): fan out
+/// only when the row range clears the elementwise threshold and there is
+/// more than one row to split. Rows are independent in every kernel that
+/// uses this, so the partition never changes accumulation order. Templated
+/// on the callable so the (overwhelmingly common) serial path never
+/// materializes a std::function — at repro dims that is ~40 closure heap
+/// allocations per window otherwise. Shared by the reference kernels
+/// (infer.cc) and the relaxed tier (simd.cc), so a kernel that is parallel
+/// on one tier is parallel on the other.
+template <typename Fn>
+void RowParallelFor(int row0, int rows, int cols, Fn&& fn) {
+  const int64_t size = static_cast<int64_t>(rows - row0) * cols;
+  if (size >= kParallelElemwiseMin && rows - row0 > 1 &&
+      util::NumThreads() > 1) {
+    const int64_t grain = std::max<int64_t>(1, kParallelElemwiseGrain / cols);
+    util::ParallelFor(row0, rows, grain, std::forward<Fn>(fn));
+  } else {
+    fn(row0, rows);
+  }
+}
 
 }  // namespace ucad::nn
 

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/cpu_features.h"
 
 #ifndef UCAD_GIT_SHA
 #define UCAD_GIT_SHA "unknown"
@@ -74,7 +75,10 @@ void PublishBuildInfo(MetricsRegistry* registry) {
   if (registry == nullptr) registry = &DefaultMetrics();
   registry
       ->GetGauge("obs/build_info",
-                 {{"git_sha", BuildGitSha()}, {"build_type", BuildType()}})
+                 {{"git_sha", BuildGitSha()},
+                  {"build_type", BuildType()},
+                  {"cpu_features", util::CpuFeaturesString()},
+                  {"simd_isa", util::SimdIsaName(util::ActiveSimdIsa())}})
       ->Set(1.0);
   registry->GetGauge("proc/uptime_seconds")->Set(ProcessUptimeSeconds());
 }
@@ -174,7 +178,10 @@ void RunManifest::Write(std::ostream& os) const {
   os << "  \"hardware\": {\"hardware_concurrency\": "
      << std::thread::hardware_concurrency()
      << ", \"cache_line_bytes\": " << CacheLineBytes()
-     << ", \"page_bytes\": " << PageBytes() << "},\n";
+     << ", \"page_bytes\": " << PageBytes()
+     << ", \"cpu_features\": " << JsonStr(util::CpuFeaturesString())
+     << ", \"simd_isa\": "
+     << JsonStr(util::SimdIsaName(util::ActiveSimdIsa())) << "},\n";
   os << "  \"start_unix_ms\": " << start_unix_ms_ << ",\n";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6f", wall_seconds);

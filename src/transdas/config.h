@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "nn/simd.h"
+
 namespace ucad::transdas {
 
 /// Attention masking schemes. Trans-DAS's contribution is
@@ -117,6 +119,14 @@ struct DetectorOptions {
   /// (SupportsSlideCache()); verdicts and logits stay bitwise identical to
   /// the from-scratch path.
   bool incremental = false;
+  /// Kernel tier of the inference engine (docs/INFERENCE.md "Kernel
+  /// tiers"). kReference (default) keeps the bitwise tape-parity contract;
+  /// kVectorized runs the runtime-dispatched relaxed SIMD kernels
+  /// (verdict-identity contract); kInt8 additionally quantizes the packed
+  /// Q|K|V and all-key-logits GEMM weights to int8 with per-row scales.
+  /// Ignored (always reference) when use_tape_engine is set. Composes with
+  /// batched / batch_windows / incremental.
+  nn::KernelTier kernel_tier = nn::KernelTier::kReference;
 };
 
 }  // namespace ucad::transdas

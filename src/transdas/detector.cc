@@ -93,6 +93,10 @@ void TransDasDetector::WithWindowLogits(
     fn(tape.value(logits));
     return;
   }
+  // The tier scope lives here — the per-thread forward site — rather than
+  // at DetectSession entry: session-level fan-out runs on pool threads
+  // whose ambient tier would otherwise stay kReference.
+  nn::ScopedKernelTier tier_scope(options_.kernel_tier);
   std::unique_ptr<nn::InferenceContext> ctx = AcquireContext();
   obs::FlightStageBoundary(obs::FlightStage::kContextAcquire);
   const nn::Tensor& outputs =
@@ -165,11 +169,12 @@ TransDasDetector::VerdictAttribution TransDasDetector::AttributeOperation(
   VerdictAttribution out;
   out.verdict.position = position;
 
+  nn::ScopedKernelTier tier_scope(options_.kernel_tier);
   std::unique_ptr<nn::InferenceContext> ctx = AcquireContext();
   // One forward re-derives the verdict and, via the armed capture, the
   // final block's attention over the window — same tail-restricted row
   // the streaming scorer computes, so the verdict matches DetectSession
-  // bitwise.
+  // on the detector's own tier (bitwise under kReference).
   ctx->SetAttentionCaptureRow(L - 1);
   const nn::Tensor& outputs =
       model_->ForwardInference(ctx.get(), window, /*rows_from=*/L - 1);
@@ -420,6 +425,7 @@ void TransDasDetector::ScoreSpanBatch(nn::InferenceContext* ctx,
                                       const BatchSpan* spans, int count,
                                       int capacity) const {
   const int L = model_->config().window;
+  nn::ScopedKernelTier tier_scope(options_.kernel_tier);
   obs::FlightBegin(spans[0].lo);
   std::vector<int> input;
   input.reserve(static_cast<size_t>(count) * L);

@@ -175,6 +175,14 @@ const nn::Tensor& TransDasModel::PackedQkv(nn::InferenceContext* ctx,
       });
 }
 
+const nn::QuantizedWeight& TransDasModel::QuantizedPackedQkv(
+    nn::InferenceContext* ctx, size_t block_index, uint64_t wv,
+    int packed_cols) {
+  const nn::Tensor& packed = PackedQkv(ctx, block_index, wv, packed_cols);
+  return ctx->CachedQuantWeight(&blocks_[block_index], wv, packed,
+                                /*transpose=*/true);
+}
+
 const nn::Tensor& TransDasModel::ForwardInference(
     nn::InferenceContext* ctx, const std::vector<int>& window, int rows_from,
     bool slide) {
@@ -192,6 +200,11 @@ const nn::Tensor& TransDasModel::ForwardInference(
   // a batch's pack and flush can never mix projection versions within the
   // pass — the bump takes effect on the next forward.
   const uint64_t wv = weight_version_;
+  // Like the weight version, the kernel tier is pinned once per forward:
+  // the fused kernels re-read the thread-local themselves, but the int8
+  // GEMM routing below must agree with the tier the slide cache's rows
+  // were produced under within this pass.
+  const nn::KernelTier tier = nn::CurrentKernelTier();
   const int packed_cols = (3 * h + 7) / 8 * 8;
 
   // The x slot is acquired in slide mode too (untouched), so pooled
@@ -221,10 +234,9 @@ const nn::Tensor& TransDasModel::ForwardInference(
     }
     ctx->NoteSlideCache(recompute_from >= L - 1);
     if (recompute_from < L) {
-      const nn::Tensor& packed = PackedQkv(ctx, 0, wv, packed_cols);
+      int row0 = 0;
       if (recompute_from == 0) {
         nn::GatherRowsKernel(embedding_->table().value(), window, &sc.embed);
-        nn::MatMulSliceKernel(sc.embed, 0, h, packed, 0, &sc.qkv0);
       } else {
         // Only the newly arrived position: a one-row gather (the same
         // memcpy GatherRowsKernel performs) + a one-row projection.
@@ -233,7 +245,20 @@ const nn::Tensor& TransDasModel::ForwardInference(
         std::memcpy(sc.embed.row(L - 1),
                     embedding_->table().value().row(window[L - 1]),
                     static_cast<size_t>(h) * sizeof(float));
-        nn::MatMulSliceKernel(sc.embed, 0, h, packed, L - 1, &sc.qkv0);
+        row0 = L - 1;
+      }
+      if (tier == nn::KernelTier::kInt8) {
+        // Output row r of the int8 GEMM depends only on activation row r
+        // (per-row activation quantization), so the one-row recompute is
+        // bitwise-consistent with a full fill — the slide cache's
+        // exactness argument carries over within the tier.
+        nn::Int8GemmKernel(sc.embed, 0, h,
+                           QuantizedPackedQkv(ctx, 0, wv, packed_cols), row0,
+                           &sc.qkv0);
+      } else {
+        nn::MatMulSliceKernel(sc.embed, 0, h,
+                              PackedQkv(ctx, 0, wv, packed_cols), row0,
+                              &sc.qkv0);
       }
       sc.keys = window;
       sc.model = this;
@@ -265,6 +290,9 @@ const nn::Tensor& TransDasModel::ForwardInference(
       // Block-0 projections came from the slide cache; the slot stays
       // acquired (sequence stability) but untouched.
       qkv_in = qkv0_cached;
+    } else if (tier == nn::KernelTier::kInt8) {
+      nn::Int8GemmKernel(*xin, 0, h,
+                         QuantizedPackedQkv(ctx, b, wv, packed_cols), 0, qkv);
     } else {
       nn::MatMulSliceKernel(*xin, 0, h, packed, 0, qkv);
     }
@@ -315,7 +343,7 @@ const nn::Tensor& TransDasModel::ForwardInference(
     xin = ln2;
     obs::FlightStageBoundary(obs::FlightStage::kFfn);
   }
-  ctx->NoteForward();
+  ctx->NoteForward(tier);
   return *xin;
 }
 
@@ -335,6 +363,7 @@ const nn::Tensor& TransDasModel::ForwardInferenceBatched(
   UCAD_DCHECK(ctx->attention_capture_row() < 0);
   const float scale = 1.0f / std::sqrt(static_cast<float>(h));
   const uint64_t wv = weight_version_;
+  const nn::KernelTier tier = nn::CurrentKernelTier();
   const int packed_cols = (3 * h + 7) / 8 * 8;
   const int total = B * L;
   const int cap_rows = capacity * L;
@@ -377,7 +406,13 @@ const nn::Tensor& TransDasModel::ForwardInferenceBatched(
     // arithmetic-intensity win the batcher exists for. Keys/values must
     // cover every row of every window, so no rows_from restriction here.
     nn::Tensor* qkv = ws.Acquire(cap_rows, packed_cols);
-    nn::MatMulSliceKernel(*xin, 0, h, packed, 0, qkv, 1.0f, total);
+    if (tier == nn::KernelTier::kInt8) {
+      nn::Int8GemmKernel(*xin, 0, h,
+                         QuantizedPackedQkv(ctx, b, wv, packed_cols), 0, qkv,
+                         1.0f, total);
+    } else {
+      nn::MatMulSliceKernel(*xin, 0, h, packed, 0, qkv, 1.0f, total);
+    }
     nn::Tensor* concat = ws.Acquire(cap_rows, h);
     for (int hi = 0; hi < m; ++hi) {
       const int qoff = hi * head_dim;
@@ -424,20 +459,31 @@ const nn::Tensor& TransDasModel::ForwardInferenceBatched(
     xin = ln2;
     obs::FlightStageBoundary(obs::FlightStage::kFfn);
   }
-  ctx->NoteForward();
+  ctx->NoteForward(tier);
   ctx->NoteBatchForward(B, capacity);
   return *xin;
 }
 
 const nn::Tensor& TransDasModel::AllKeyLogitsInference(
     nn::InferenceContext* ctx, const nn::Tensor& outputs, int rows_from) {
+  const nn::Tensor& table = embedding_->table().value();
+  if (nn::CurrentKernelTier() == nn::KernelTier::kInt8) {
+    // The embedding table is already [vocab x h] — exactly the row-major
+    // B^T layout Int8GemmKernel wants — so the int8 tier quantizes it
+    // directly and never materializes the float transpose.
+    const nn::QuantizedWeight& qt = ctx->CachedQuantWeight(
+        &table, weight_version_, table, /*transpose=*/false);
+    nn::Tensor* logits = ctx->workspace().Acquire(outputs.rows(), table.rows());
+    nn::Int8GemmKernel(outputs, 0, outputs.cols(), qt, rows_from, logits);
+    obs::FlightStageBoundary(obs::FlightStage::kLogits);
+    return *logits;
+  }
   // Materialized M^T + the same per-element recipe the tape path's
   // nn::MatMul runs: the tape's MatMulTransposeBAccum shortcut accumulates
   // in double, so going through it here would break bitwise parity. The
   // transpose itself is a pure copy and is cached across windows on the
   // context.
-  const nn::Tensor& table_t = ctx->TransposedCopy(
-      embedding_->table().value(), weight_version_);
+  const nn::Tensor& table_t = ctx->TransposedCopy(table, weight_version_);
   nn::Tensor* logits = ctx->workspace().Acquire(outputs.rows(), table_t.cols());
   nn::MatMulSliceKernel(outputs, 0, outputs.cols(), table_t, rows_from, logits);
   obs::FlightStageBoundary(obs::FlightStage::kLogits);
@@ -449,8 +495,20 @@ const nn::Tensor& TransDasModel::AllKeyLogitsInferenceBatched(
     const std::vector<int>& rows_from, int capacity) {
   const int L = config_.window;
   UCAD_DCHECK(outputs.rows() == capacity * L);
-  const nn::Tensor& table_t = ctx->TransposedCopy(
-      embedding_->table().value(), weight_version_);
+  const nn::Tensor& table = embedding_->table().value();
+  if (nn::CurrentKernelTier() == nn::KernelTier::kInt8) {
+    const nn::QuantizedWeight& qt = ctx->CachedQuantWeight(
+        &table, weight_version_, table, /*transpose=*/false);
+    nn::Tensor* logits =
+        ctx->batch_workspace().Acquire(outputs.rows(), table.rows());
+    for (const auto& [start, end] : OwnedRowRanges(rows_from, L)) {
+      nn::Int8GemmKernel(outputs, 0, outputs.cols(), qt, start, logits, 1.0f,
+                         end);
+    }
+    obs::FlightStageBoundary(obs::FlightStage::kLogits);
+    return *logits;
+  }
+  const nn::Tensor& table_t = ctx->TransposedCopy(table, weight_version_);
   nn::Tensor* logits =
       ctx->batch_workspace().Acquire(outputs.rows(), table_t.cols());
   for (const auto& [start, end] : OwnedRowRanges(rows_from, L)) {

@@ -166,6 +166,14 @@ class TransDasModel {
   const nn::Tensor& PackedQkv(nn::InferenceContext* ctx, size_t block_index,
                               uint64_t wv, int packed_cols);
 
+  /// Int8 per-row-quantized transpose of PackedQkv (row j of the quantized
+  /// weight is packed column j — the B^T row layout Int8GemmKernel wants),
+  /// resolved through the context's quantized-weight cache at the same
+  /// pinned version. Only consulted on the kInt8 tier.
+  const nn::QuantizedWeight& QuantizedPackedQkv(nn::InferenceContext* ctx,
+                                                size_t block_index,
+                                                uint64_t wv, int packed_cols);
+
   TransDasConfig config_;
   std::unique_ptr<nn::Embedding> embedding_;
   std::unique_ptr<nn::Parameter> position_embedding_;  // null unless enabled

@@ -1,0 +1,125 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ucad::util {
+
+namespace {
+
+CpuFeatureSet Detect() {
+  CpuFeatureSet f;
+#if defined(__aarch64__) || defined(_M_ARM64)
+  // ASIMD (NEON) is architecturally mandatory on AArch64.
+  f.neon = true;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+/// -1 = no override, otherwise the SimdIsa ordinal. Seeded from the
+/// UCAD_SIMD_ISA env var on first read so forced-scalar CI legs and bench
+/// runs need no code changes.
+std::atomic<int> g_isa_override{-2};  // -2 = env not consulted yet
+
+int LoadOverride() {
+  int v = g_isa_override.load(std::memory_order_relaxed);
+  if (v != -2) return v;
+  int from_env = -1;
+  if (const char* env = std::getenv("UCAD_SIMD_ISA")) {
+    SimdIsa isa;
+    if (ParseSimdIsa(env, &isa)) from_env = static_cast<int>(isa);
+  }
+  // First thread in wins; a concurrent SetSimdIsaOverride may have landed,
+  // in which case keep it.
+  int expected = -2;
+  g_isa_override.compare_exchange_strong(expected, from_env,
+                                         std::memory_order_relaxed);
+  return g_isa_override.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const CpuFeatureSet& DetectedCpuFeatures() {
+  static const CpuFeatureSet features = Detect();
+  return features;
+}
+
+std::string CpuFeaturesString() {
+  const CpuFeatureSet& f = DetectedCpuFeatures();
+  std::string out;
+  const auto add = [&out](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  add(f.sse42, "sse4.2");
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.avx512f, "avx512f");
+  add(f.neon, "neon");
+  return out.empty() ? "none" : out;
+}
+
+const char* SimdIsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool ParseSimdIsa(const std::string& name, SimdIsa* out) {
+  if (name == "scalar") {
+    *out = SimdIsa::kScalar;
+  } else if (name == "avx2") {
+    *out = SimdIsa::kAvx2;
+  } else if (name == "neon") {
+    *out = SimdIsa::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdIsa ActiveSimdIsa() {
+  SimdIsa isa = SimdIsa::kScalar;
+#if defined(__AVX2__) && defined(__FMA__)
+  // The AVX2 kernel bodies only exist when the build enables them; the
+  // runtime check matters for generic (-march=x86-64-v3 built, older host)
+  // deployments.
+  if (DetectedCpuFeatures().avx2 && DetectedCpuFeatures().fma) {
+    isa = SimdIsa::kAvx2;
+  }
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  if (DetectedCpuFeatures().neon) isa = SimdIsa::kNeon;
+#endif
+  const int override_v = LoadOverride();
+  if (override_v == static_cast<int>(SimdIsa::kScalar)) {
+    // Overrides narrow only (scalar is the sole cross-family target):
+    // forcing an ISA the build/host lacks would dispatch to kernels that
+    // cannot run, so any other requested family is ignored unless it is
+    // what detection already picked.
+    isa = SimdIsa::kScalar;
+  }
+  return isa;
+}
+
+void SetSimdIsaOverride(SimdIsa isa) {
+  g_isa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ClearSimdIsaOverride() {
+  g_isa_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace ucad::util

@@ -1,0 +1,59 @@
+#ifndef UCAD_UTIL_CPU_FEATURES_H_
+#define UCAD_UTIL_CPU_FEATURES_H_
+
+#include <string>
+
+namespace ucad::util {
+
+/// Runtime-detected SIMD capabilities of the host CPU. Detection runs once
+/// (first call) and is immutable afterwards; all fields are false when the
+/// platform has no detection support (non-GNU x86, exotic arches).
+struct CpuFeatureSet {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  /// aarch64 baseline (ASIMD is mandatory on AArch64).
+  bool neon = false;
+};
+
+/// The host's detected feature set (cached after the first call).
+const CpuFeatureSet& DetectedCpuFeatures();
+
+/// Comma-joined detected feature names, e.g. "sse4.2,avx2,fma,avx512f",
+/// "neon", or "none" — for build_info labels and run manifests.
+std::string CpuFeaturesString();
+
+/// Vector instruction family the dispatched kernels run under. kAvx2 implies
+/// FMA (the dispatcher requires both); kNeon is the AArch64 baseline, where
+/// the relaxed kernels are compiler-lowered to ASIMD rather than hand-coded.
+enum class SimdIsa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Stable lowercase name ("scalar", "avx2", "neon").
+const char* SimdIsaName(SimdIsa isa);
+
+/// Parses a SimdIsaName; returns false (and leaves *out alone) on junk.
+bool ParseSimdIsa(const std::string& name, SimdIsa* out);
+
+/// The ISA the fast kernel tier dispatches to right now: the strongest
+/// family that is (a) enabled in this translation of the kernels (compile
+/// flags), (b) supported by the host CPU, and (c) not excluded by an
+/// override. Overrides can only narrow — requesting an ISA the build/host
+/// cannot run falls back to scalar, never up.
+SimdIsa ActiveSimdIsa();
+
+/// Caps ActiveSimdIsa() for the whole process (test/bench seam, also
+/// settable via the UCAD_SIMD_ISA env var read on first use). Thread-safe;
+/// takes effect on subsequent kernel calls.
+void SetSimdIsaOverride(SimdIsa isa);
+
+/// Removes the override (environment override included).
+void ClearSimdIsaOverride();
+
+}  // namespace ucad::util
+
+#endif  // UCAD_UTIL_CPU_FEATURES_H_
